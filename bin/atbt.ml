@@ -1,0 +1,262 @@
+(* atbt - command-line interface to the active/busy time library.
+
+     atbt generate --kind flexible --n 20 --seed 7 -o jobs.txt
+     atbt active jobs.txt --algorithm rounding
+     atbt busy jobs.txt -g 4 --algorithm greedy-tracking
+     atbt bounds jobs.txt -g 4
+
+   Instance files are the plain-text format of {!Workload.Io}. *)
+
+module Q = Rational
+module S = Workload.Slotted
+module B = Workload.Bjob
+module Io = Workload.Io
+
+open Cmdliner
+
+let load path =
+  try Ok (Io.parse_file path) with
+  | Io.Parse_error (line, msg) -> Error (Printf.sprintf "%s:%d: %s" path line msg)
+  | Sys_error msg -> Error msg
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("atbt: " ^ msg);
+      exit 1
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+(* ------------------------------------------------------------ generate -- *)
+
+let generate kind n g horizon seed output =
+  let instance =
+    match kind with
+    | "slotted" ->
+        let params : Workload.Generate.slotted_params =
+          { n; horizon; max_length = 4; slack = 4; g }
+        in
+        Io.Slotted_instance (Workload.Generate.slotted ~params ~seed ())
+    | "interval" -> Io.Busy_instance (Workload.Generate.interval_jobs ~n ~horizon ~seed ())
+    | "flexible" -> Io.Busy_instance (Workload.Generate.flexible_jobs ~n ~horizon ~seed ())
+    | other ->
+        prerr_endline ("atbt: unknown kind " ^ other ^ " (slotted|interval|flexible)");
+        exit 1
+  in
+  match output with
+  | None -> print_string (Io.to_string instance)
+  | Some path ->
+      Io.write_file path instance;
+      Printf.printf "wrote %s\n" path
+
+let generate_cmd =
+  let kind =
+    Arg.(value & opt string "flexible" & info [ "kind" ] ~docv:"KIND" ~doc:"slotted, interval or flexible")
+  in
+  let n = Arg.(value & opt int 12 & info [ "n" ] ~docv:"N" ~doc:"number of jobs") in
+  let g = Arg.(value & opt int 3 & info [ "g" ] ~docv:"G" ~doc:"capacity (slotted instances)") in
+  let horizon = Arg.(value & opt int 24 & info [ "horizon" ] ~docv:"T" ~doc:"time horizon") in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"random seed") in
+  let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"output file") in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a random instance")
+    Term.(const generate $ kind $ n $ g $ horizon $ seed $ output)
+
+(* -------------------------------------------------------------- active -- *)
+
+let active_solve path algorithm order render svg verbose =
+  setup_logs verbose;
+  match or_die (load path) with
+  | Io.Busy_instance _ ->
+      prerr_endline "atbt: active expects a slotted instance";
+      exit 1
+  | Io.Slotted_instance inst -> (
+      let order =
+        match order with
+        | "l2r" -> Active.Minimal.Left_to_right
+        | "r2l" -> Active.Minimal.Right_to_left
+        | o ->
+            prerr_endline ("atbt: unknown order " ^ o ^ " (l2r|r2l)");
+            exit 1
+      in
+      let result =
+        match algorithm with
+        | "minimal" -> Ok (Active.Minimal.solve inst order)
+        | "rounding" -> Ok (Option.map fst (Active.Rounding.solve inst))
+        | "exact" -> Ok (Active.Exact.branch_and_bound inst)
+        | "unit" ->
+            if Active.Unit_jobs.is_unit inst then Ok (Active.Unit_jobs.solve inst)
+            else Error "unit algorithm requires unit-length jobs"
+        | other -> Error ("unknown algorithm " ^ other ^ " (minimal|rounding|exact|unit)")
+      in
+      match or_die result with
+      | None -> print_endline "infeasible"
+      | Some sol ->
+          (match Active.Solution.verify inst sol with
+          | None -> ()
+          | Some problem ->
+              prerr_endline ("atbt: internal error, invalid solution: " ^ problem);
+              exit 2);
+          Format.printf "%a" Active.Solution.pp sol;
+          if render then print_string (Render.slotted inst sol);
+          (match svg with
+          | Some file ->
+              let oc = open_out file in
+              output_string oc (Render.slotted_svg inst sol);
+              close_out oc;
+              Printf.printf "wrote %s\n" file
+          | None -> ());
+          let report = Sim.run_active inst sol in
+          Printf.printf "energy %s, power-ons %d, utilization %s\n"
+            (Q.to_string report.Sim.total_energy) report.Sim.total_switch_ons
+            (Q.to_string report.Sim.utilization))
+
+let active_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let algorithm =
+    Arg.(value & opt string "rounding" & info [ "algorithm"; "a" ] ~docv:"ALG" ~doc:"minimal, rounding, exact or unit")
+  in
+  let order = Arg.(value & opt string "r2l" & info [ "order" ] ~docv:"ORDER" ~doc:"closing order for minimal: l2r or r2l") in
+  let render = Arg.(value & flag & info [ "render" ] ~doc:"print an ASCII Gantt chart") in
+  let svg = Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc:"write an SVG Gantt chart") in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"trace algorithm decisions") in
+  Cmd.v
+    (Cmd.info "active" ~doc:"Minimize active time of a slotted instance")
+    Term.(const active_solve $ path $ algorithm $ order $ render $ svg $ verbose)
+
+(* ---------------------------------------------------------------- busy -- *)
+
+let busy_solve path g algorithm placement preemptive render svg =
+  match or_die (load path) with
+  | Io.Slotted_instance _ ->
+      prerr_endline "atbt: busy expects a busy-time instance";
+      exit 1
+  | Io.Busy_instance jobs ->
+      if jobs = [] then begin
+        print_endline "empty instance: busy time 0";
+        exit 0
+      end;
+      if preemptive then begin
+        let sol = Busy.Preemptive.unbounded jobs in
+        (match Busy.Preemptive.check jobs sol with
+        | None -> ()
+        | Some problem ->
+            prerr_endline ("atbt: internal error: " ^ problem);
+            exit 2);
+        let cost, _, _ = Busy.Preemptive.bounded ~g jobs in
+        Printf.printf "preemptive busy time: unbounded capacity %s, capacity %d: %s\n"
+          (Q.to_string sol.Busy.Preemptive.cost) g (Q.to_string cost)
+      end
+      else begin
+        let placement_mode =
+          match placement with
+          | "greedy" -> Busy.Pipeline.Greedy_placement
+          | "exact" -> Busy.Pipeline.Exact_placement
+          | o ->
+              prerr_endline ("atbt: unknown placement " ^ o ^ " (greedy|exact)");
+              exit 1
+        in
+        let pinned, packing =
+          match algorithm with
+          | "first-fit" -> Busy.Pipeline.run ~g ~placement:placement_mode ~algorithm:Busy.Pipeline.First_fit jobs
+          | "greedy-tracking" ->
+              Busy.Pipeline.run ~g ~placement:placement_mode ~algorithm:Busy.Pipeline.Greedy_tracking jobs
+          | "two-approx" -> Busy.Pipeline.run ~g ~placement:placement_mode ~algorithm:Busy.Pipeline.Two_approx jobs
+          | "auto" ->
+              (* structure-aware dispatch: exact where a special case
+                 applies, 2-approximation otherwise *)
+              let pinned = Busy.Pipeline.place placement_mode jobs in
+              let pick () =
+                if Busy.Laminar.is_laminar pinned then ("laminar (exact DP)", Busy.Laminar.exact ~g pinned)
+                else if Busy.Special.is_proper pinned && Busy.Special.is_clique pinned then
+                  ("proper clique (exact DP)", Busy.Special.proper_clique_exact ~g pinned)
+                else if Busy.Special.is_proper pinned then
+                  ("proper (2-approx greedy)", Busy.Special.proper_greedy ~g pinned)
+                else if Busy.Special.is_clique pinned then
+                  ("clique (2-approx greedy)", Busy.Special.clique_greedy ~g pinned)
+                else ("general (flow 2-approx)", Busy.Two_approx.solve ~g pinned)
+              in
+              let structure, packing = pick () in
+              Printf.printf "detected structure: %s\n" structure;
+              (pinned, packing)
+          | o ->
+              prerr_endline ("atbt: unknown algorithm " ^ o ^ " (first-fit|greedy-tracking|two-approx|auto)");
+              exit 1
+        in
+        (match Busy.Bundle.check ~g pinned packing with
+        | None -> ()
+        | Some problem ->
+            prerr_endline ("atbt: internal error, invalid packing: " ^ problem);
+            exit 2);
+        Printf.printf "total busy time: %s on %d machines\n"
+          (Q.to_string (Busy.Bundle.total_busy packing))
+          (List.length packing);
+        Format.printf "%a" Busy.Bundle.pp packing;
+        if render then print_string (Render.packing packing);
+        (match svg with
+        | Some file ->
+            let oc = open_out file in
+            output_string oc (Render.packing_svg packing);
+            close_out oc;
+            Printf.printf "wrote %s\n" file
+        | None -> ());
+        let report = Sim.run_packing ~g packing in
+        Printf.printf "energy %s, power-ons %d, peak %d, utilization %s\n"
+          (Q.to_string report.Sim.total_energy) report.Sim.total_switch_ons report.Sim.peak_parallelism
+          (Q.to_string report.Sim.utilization)
+      end
+
+let busy_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let g = Arg.(value & opt int 2 & info [ "g" ] ~docv:"G" ~doc:"machine capacity") in
+  let algorithm =
+    Arg.(value & opt string "greedy-tracking" & info [ "algorithm"; "a" ] ~docv:"ALG" ~doc:"first-fit, greedy-tracking or two-approx")
+  in
+  let placement =
+    Arg.(value & opt string "greedy" & info [ "placement" ] ~docv:"P" ~doc:"flexible-job placement: greedy or exact")
+  in
+  let preemptive = Arg.(value & flag & info [ "preemptive" ] ~doc:"preemptive model (Theorems 6/7)") in
+  let render = Arg.(value & flag & info [ "render" ] ~doc:"print an ASCII Gantt chart") in
+  let svg = Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc:"write an SVG Gantt chart") in
+  Cmd.v
+    (Cmd.info "busy" ~doc:"Minimize busy time of a job set")
+    Term.(const busy_solve $ path $ g $ algorithm $ placement $ preemptive $ render $ svg)
+
+(* -------------------------------------------------------------- bounds -- *)
+
+let bounds path g =
+  match or_die (load path) with
+  | Io.Slotted_instance inst ->
+      Printf.printf "slotted instance: n=%d T=%d g=%d\n" (S.num_jobs inst) (S.horizon inst) inst.S.g;
+      Printf.printf "mass lower bound ceil(P/g): %d\n" (S.mass_lower_bound inst);
+      (match Active.Lp_model.solve inst with
+      | Some lp -> Printf.printf "LP lower bound: %s\n" (Q.to_string lp.Active.Lp_model.cost)
+      | None -> print_endline "LP: infeasible")
+  | Io.Busy_instance jobs ->
+      Printf.printf "busy instance: n=%d\n" (List.length jobs);
+      Printf.printf "mass bound l(J)/g: %s\n" (Q.to_string (Busy.Bounds.mass ~g jobs));
+      if List.for_all B.is_interval jobs then begin
+        Printf.printf "span bound Sp(J): %s\n" (Q.to_string (Busy.Bounds.span jobs));
+        Printf.printf "demand profile bound: %s\n" (Q.to_string (Busy.Bounds.demand_profile ~g jobs))
+      end
+      else begin
+        let pinned = Busy.Placement.greedy jobs in
+        Printf.printf "span bound (greedy placement): %s\n"
+          (Q.to_string (Intervals.span (List.map B.interval_of pinned)))
+      end
+
+let bounds_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let g = Arg.(value & opt int 2 & info [ "g" ] ~docv:"G" ~doc:"machine capacity") in
+  Cmd.v (Cmd.info "bounds" ~doc:"Print lower bounds for an instance") Term.(const bounds $ path $ g)
+
+(* ---------------------------------------------------------------- main -- *)
+
+let () =
+  let info =
+    Cmd.info "atbt" ~version:"1.0.0"
+      ~doc:"Minimizing active and busy time (Chang, Khuller, Mukherjee; SPAA 2014)"
+  in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; active_cmd; busy_cmd; bounds_cmd ]))

@@ -1,0 +1,60 @@
+(* VM consolidation scenario (the paper's data-center motivation).
+
+   Batch VMs arrive with an earliest start (data availability), a deadline
+   (SLA) and a duration. Each physical host runs up to [g] VMs at once; a
+   host burns power whenever at least one VM is on it. Minimizing total
+   powered-host hours is exactly the busy-time problem for flexible jobs.
+
+   The example builds a day of batch VM requests, converts them to pinned
+   reservations by span-minimizing placement, packs them with FirstFit,
+   GreedyTracking and the 2-approximation, and reports powered-host hours
+   against the mass and span lower bounds.
+
+   Run with: dune exec examples/datacenter.exe *)
+
+module Q = Rational
+module B = Workload.Bjob
+
+let () =
+  let host_capacity = 4 in
+  (* a reproducible day of 28 batch VM requests, in hours *)
+  let requests =
+    Workload.Generate.flexible_jobs ~n:28 ~horizon:24 ~max_length:6 ~slack_factor:3 ~seed:2024 ()
+  in
+  Printf.printf "=== VM consolidation: %d batch VMs, hosts of capacity %d ===\n\n"
+    (List.length requests) host_capacity;
+  List.iter
+    (fun (j : B.t) ->
+      Printf.printf "  vm-%02d: window [%s, %s) duration %sh\n" j.B.id (Q.to_string j.B.release)
+        (Q.to_string j.B.deadline) (Q.to_string j.B.length))
+    requests;
+
+  (* step 1: pin reservations, minimizing the powered span if all VMs
+     shared one infinite host *)
+  let pinned = Busy.Placement.greedy requests in
+  let opt_inf = Intervals.span (List.map B.interval_of pinned) in
+  Printf.printf "\nspan-minimizing placement: all work fits in %sh of wall-clock coverage\n"
+    (Q.to_string opt_inf);
+
+  (* step 2: consolidate onto hosts *)
+  let mass = Busy.Bounds.mass ~g:host_capacity requests in
+  Printf.printf "lower bounds: mass %sh (total VM-hours / capacity), span %sh\n\n" (Q.to_string mass)
+    (Q.to_string opt_inf);
+  let run name alg =
+    let packing = alg ~g:host_capacity pinned in
+    assert (Busy.Bundle.check ~g:host_capacity pinned packing = None);
+    let busy = Busy.Bundle.total_busy packing in
+    let lb = Q.max mass opt_inf in
+    Printf.printf "%-28s: %2d hosts, %6.2f powered-host hours (%.2fx lower bound)\n" name
+      (List.length packing) (Q.to_float busy)
+      (Q.to_float busy /. Q.to_float lb)
+  in
+  run "FirstFit (4-approx)" Busy.First_fit.solve;
+  run "GreedyTracking (3-approx)" Busy.Greedy_tracking.solve;
+  run "TwoApprox (2-approx)" Busy.Two_approx.solve;
+
+  (* what if VMs could be live-migrated? (preemptive model, Theorems 6/7) *)
+  let sol = Busy.Preemptive.unbounded requests in
+  let bounded_cost, _, _ = Busy.Preemptive.bounded ~g:host_capacity requests in
+  Printf.printf "\nwith live migration (preemptive): unbounded hosts %sh, capacity-%d hosts %sh\n"
+    (Q.to_string sol.Busy.Preemptive.cost) host_capacity (Q.to_string bounded_cost)

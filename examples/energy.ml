@@ -1,0 +1,58 @@
+(* Energy-aware single-machine scheduler (the active-time model).
+
+   A compute node can run up to [g] tasks per hour slot and pays for every
+   hour it is powered. Tasks have arrival hours, deadline hours and CPU
+   demands; they may be preempted at hour boundaries. The goal is to
+   choose the powered hours (Theorem 1/2 algorithms) and print the day's
+   timeline.
+
+   Run with: dune exec examples/energy.exe *)
+
+module Q = Rational
+module S = Workload.Slotted
+
+let () =
+  let g = 3 in
+  let inst =
+    S.make ~g
+      [ S.job ~id:0 ~release:0 ~deadline:8 ~length:4; (* overnight batch *)
+        S.job ~id:1 ~release:0 ~deadline:8 ~length:4;
+        S.job ~id:2 ~release:6 ~deadline:10 ~length:2; (* morning etl *)
+        S.job ~id:3 ~release:6 ~deadline:12 ~length:3;
+        S.job ~id:4 ~release:9 ~deadline:12 ~length:3; (* rigid noon task *)
+        S.job ~id:5 ~release:12 ~deadline:20 ~length:2; (* afternoon *)
+        S.job ~id:6 ~release:12 ~deadline:24 ~length:5;
+        S.job ~id:7 ~release:18 ~deadline:24 ~length:2; (* evening *)
+        S.job ~id:8 ~release:18 ~deadline:22 ~length:1 ]
+  in
+  Printf.printf "=== Powered-hours minimization: %d tasks, capacity %d/hour ===\n\n" (S.num_jobs inst) g;
+  Format.printf "%a@." S.pp inst;
+
+  let timeline sol =
+    let open_set = sol.Active.Solution.open_slots in
+    let buf = Buffer.create 32 in
+    for t = 1 to S.horizon inst do
+      Buffer.add_char buf (if List.mem t open_set then '#' else '.')
+    done;
+    Buffer.contents buf
+  in
+  let report name = function
+    | None -> Printf.printf "%-24s: infeasible\n" name
+    | Some sol ->
+        assert (Active.Solution.verify inst sol = None);
+        Printf.printf "%-24s: %2d powered hours  |%s|\n" name (Active.Solution.cost sol) (timeline sol)
+  in
+  report "minimal feasible (3x)" (Active.Minimal.solve inst Active.Minimal.Right_to_left);
+  report "LP rounding (2x)"
+    (Option.map fst (Active.Rounding.solve inst));
+  report "exact branch-and-bound" (Active.Exact.branch_and_bound inst);
+
+  (* per-task schedule of the exact solution *)
+  match Active.Exact.branch_and_bound inst with
+  | None -> ()
+  | Some sol ->
+      print_endline "\nexact schedule (task -> powered hours used):";
+      List.iter
+        (fun (id, slots) ->
+          Printf.printf "  task %d: hours %s\n" id (String.concat "," (List.map string_of_int slots)))
+        sol.Active.Solution.schedule

@@ -1,0 +1,52 @@
+(* Optical network design scenario (OADM / fiber minimization, the paper's
+   second motivation, after Flammini et al. and Kumar-Rudra).
+
+   Lightpath requests occupy a contiguous segment of links on a line
+   network; a fiber carries at most [g] wavelengths over the links it
+   spans and costs its span in fiber-kilometres. Grouping requests into
+   fibers to minimize total fiber length is the busy-time problem for
+   interval jobs: a request over links [i, j) is an interval job [i, j).
+
+   Run with: dune exec examples/optical.exe *)
+
+module Q = Rational
+module B = Workload.Bjob
+
+let () =
+  let wavelengths = 3 in
+  let links = 40 in
+  (* a reproducible set of 30 lightpath requests on a 40-link line *)
+  let requests = Workload.Generate.interval_jobs ~n:30 ~horizon:links ~max_length:12 ~seed:7 () in
+  Printf.printf "=== Fiber minimization: %d lightpaths, %d-link line, %d wavelengths/fiber ===\n\n"
+    (List.length requests) links wavelengths;
+
+  let profile = Busy.Bounds.demand_profile ~g:wavelengths requests in
+  Printf.printf "demand profile lower bound: %s fiber-links\n" (Q.to_string profile);
+  Printf.printf "raw peak demand: %d concurrent lightpaths\n\n"
+    (Intervals.Demand.max_raw (List.map B.interval_of requests));
+
+  let run name alg =
+    let packing = alg ~g:wavelengths requests in
+    assert (Busy.Bundle.check ~g:wavelengths requests packing = None);
+    let cost = Busy.Bundle.total_busy packing in
+    Printf.printf "%-28s: %2d fibers, %6.1f fiber-links (%.2fx profile bound)\n" name
+      (List.length packing) (Q.to_float cost)
+      (Q.to_float cost /. Q.to_float profile);
+    packing
+  in
+  let _ = run "FirstFit (4-approx)" Busy.First_fit.solve in
+  let _ = run "GreedyTracking (3-approx)" Busy.Greedy_tracking.solve in
+  let packing = run "TwoApprox (2-approx)" Busy.Two_approx.solve in
+
+  (* show the fiber layout of the best solution *)
+  print_endline "\nTwoApprox fiber layout (one line per fiber, requests by id):";
+  List.iteri
+    (fun i fiber ->
+      let ids = List.map (fun (j : B.t) -> Printf.sprintf "%d" j.B.id) fiber in
+      let span =
+        Intervals.Union.components (Intervals.Union.of_list (List.map B.interval_of fiber))
+      in
+      Printf.printf "  fiber %2d spans %-28s requests {%s}\n" i
+        (String.concat " u " (List.map Intervals.Interval.to_string span))
+        (String.concat "," ids))
+    packing

@@ -1,0 +1,92 @@
+(* A guided tour of the paper's results on tiny instances - run this to
+   see each theorem "happen" on inputs small enough to inspect by eye.
+
+   Run with: dune exec examples/paper_tour.exe *)
+
+module Q = Rational
+module S = Workload.Slotted
+module B = Workload.Bjob
+module Gad = Workload.Gadgets
+
+let section title =
+  Printf.printf "\n--- %s ---\n" title
+
+let () =
+  section "Fig. 1: the opening example (busy time, g = 3)";
+  let jobs = Gad.figure_one () in
+  let packing = Gad.figure_one_packing jobs in
+  Printf.printf "seven interval jobs; the paper's packing uses 2 machines:\n";
+  print_string (Render.packing ~width:48 packing);
+  Printf.printf "its busy time %s is optimal (exhaustive search: %s)\n"
+    (Q.to_string (Busy.Bundle.total_busy packing))
+    (Q.to_string (Busy.Exact.optimum ~g:3 jobs));
+
+  section "Theorem 1: minimal feasible solutions are 3-approximate (tight)";
+  let g = 4 in
+  let inst = Gad.minimal_feasible_tight g in
+  let bad = Gad.minimal_feasible_tight_bad_slots g in
+  Printf.printf "the Fig. 3 instance at g=%d: OPT = %d but the slot set\n" g g;
+  Printf.printf "  {%s}\n" (String.concat "," (List.map string_of_int bad));
+  Printf.printf "is minimal (no slot can close) and costs %d = 3g-2.\n" (List.length bad);
+  assert (Active.Minimal.is_minimal inst ~open_slots:bad);
+
+  section "Theorem 2: LP rounding is 2-approximate";
+  (match Active.Rounding.solve inst with
+  | Some (sol, stats) ->
+      Printf.printf "on the same instance the LP relaxation costs %s and the\n"
+        (Q.to_string stats.Active.Rounding.lp_cost);
+      Printf.printf "rounded solution opens %d slots - the optimum:\n" (Active.Solution.cost sol);
+      print_string (Render.slotted inst sol)
+  | None -> assert false);
+
+  section "Section 3.5: the LP cannot do better than 2";
+  let gap = Gad.integrality_gap 3 in
+  (match (Active.Lp_model.solve gap, Active.Exact.optimum gap) with
+  | Some lp, Some ip ->
+      Printf.printf "g pairs of twin slots, g+1 jobs each: LP pays %s, integers pay %d.\n"
+        (Q.to_string lp.Active.Lp_model.cost) ip
+  | _ -> assert false);
+
+  section "Theorem 5: GreedyTracking packs tracks, 3-approximate";
+  let interval_jobs = Workload.Generate.interval_jobs ~n:9 ~horizon:18 ~max_length:5 ~seed:8 () in
+  let track, len = Busy.Greedy_tracking.max_track interval_jobs in
+  Printf.printf "the longest track of a 9-job instance has %d jobs, length %s;\n"
+    (List.length track) (Q.to_string len);
+  let packing = Busy.Greedy_tracking.solve ~g:3 interval_jobs in
+  Printf.printf "bundling g=3 tracks per machine gives busy time %s (OPT %s):\n"
+    (Q.to_string (Busy.Bundle.total_busy packing))
+    (Q.to_string (Busy.Exact.optimum ~g:3 interval_jobs));
+  print_string (Render.packing ~width:48 packing);
+
+  section "Theorem 3 / Appendix A: two 2-approximations";
+  let ta = Gad.two_approx_tight ~eps:(Q.of_ints 1 10) ~eps':(Q.of_ints 1 20) in
+  let flow_cost = Busy.Bundle.total_busy (Busy.Two_approx.solve ~g:2 ta.Gad.ta_jobs) in
+  let kr_cost = Busy.Bundle.total_busy (Busy.Kumar_rudra.solve ~g:2 ta.Gad.ta_jobs) in
+  Printf.printf "on the Fig. 8 gadget (OPT = %s): the flow route packs %s,\n"
+    (Q.to_string ta.Gad.ta_opt_cost) (Q.to_string flow_cost);
+  Printf.printf "the level route packs %s - exactly the factor-2 worst case.\n" (Q.to_string kr_cost);
+
+  section "Theorem 6: preemption solved exactly for unbounded machines";
+  let flex =
+    [ B.make ~id:0 ~release:Q.zero ~deadline:Q.one ~length:Q.one;
+      B.make ~id:1 ~release:(Q.of_int 4) ~deadline:(Q.of_int 5) ~length:Q.one;
+      B.make ~id:2 ~release:Q.zero ~deadline:(Q.of_int 5) ~length:Q.two ]
+  in
+  let sol = Busy.Preemptive.unbounded flex in
+  Printf.printf "a job straddles two rigid ones; the greedy splits it and pays %s\n"
+    (Q.to_string sol.Busy.Preemptive.cost);
+  Printf.printf "(the LP oracle agrees: %s; unsplit it would cost %s):\n"
+    (Q.to_string (Busy.Preemptive.lp_optimum flex))
+    (Q.to_string (Busy.Placement.optimum_span flex));
+  print_string (Render.preemptive sol ~width:40);
+
+  section "Beyond the theorems: laminar instances are exactly solvable";
+  let nested = [ B.interval ~id:0 ~start:Q.zero ~length:(Q.of_int 8);
+                 B.interval ~id:1 ~start:Q.one ~length:(Q.of_int 3);
+                 B.interval ~id:2 ~start:(Q.of_int 5) ~length:Q.two;
+                 B.interval ~id:3 ~start:Q.two ~length:Q.one ] in
+  let packing = Busy.Laminar.exact ~g:2 nested in
+  Printf.printf "nested jobs ride inside their ancestors for free (g=2): cost %s\n"
+    (Q.to_string (Busy.Bundle.total_busy packing));
+  print_string (Render.packing ~width:40 packing);
+  print_newline ()

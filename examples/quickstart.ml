@@ -1,0 +1,74 @@
+(* Quickstart: a five-minute tour of the library.
+
+   Part 1 - active time: one machine, capacity g, slotted time; minimize
+   the number of slots the machine is on.
+   Part 2 - busy time: unbounded machines of capacity g, real-valued time;
+   minimize total machine-on time.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Q = Rational
+module S = Workload.Slotted
+module B = Workload.Bjob
+
+let () =
+  print_endline "=== Part 1: active time ===";
+  (* three jobs on a machine that can run 2 jobs at a time *)
+  let inst =
+    S.make ~g:2
+      [ S.job ~id:0 ~release:0 ~deadline:6 ~length:3; (* flexible *)
+        S.job ~id:1 ~release:2 ~deadline:5 ~length:3; (* rigid: slots 3,4,5 *)
+        S.job ~id:2 ~release:0 ~deadline:8 ~length:2 ]
+  in
+  Format.printf "%a" S.pp inst;
+
+  (* a minimal feasible solution: 3-approximate (Theorem 1) *)
+  (match Active.Minimal.solve inst Active.Minimal.Right_to_left with
+  | Some sol -> Format.printf "minimal feasible: %a" Active.Solution.pp sol
+  | None -> print_endline "infeasible");
+
+  (* LP rounding: 2-approximate (Theorem 2) *)
+  (match Active.Rounding.solve inst with
+  | Some (sol, stats) ->
+      Format.printf "LP optimum %s, rounded: %a" (Q.to_string stats.Active.Rounding.lp_cost)
+        Active.Solution.pp sol
+  | None -> print_endline "infeasible");
+
+  (* exact optimum by branch-and-bound *)
+  (match Active.Exact.optimum inst with
+  | Some opt -> Printf.printf "exact optimum: %d active slots\n" opt
+  | None -> print_endline "infeasible");
+
+  print_endline "\n=== Part 2: busy time ===";
+  (* interval jobs: fixed position; machines have capacity 2 *)
+  let jobs =
+    [ B.interval ~id:0 ~start:Q.zero ~length:(Q.of_int 3);
+      B.interval ~id:1 ~start:Q.one ~length:(Q.of_int 3);
+      B.interval ~id:2 ~start:Q.two ~length:(Q.of_int 3);
+      B.interval ~id:3 ~start:(Q.of_int 7) ~length:Q.one ]
+  in
+  let g = 2 in
+  let show name packing =
+    assert (Busy.Bundle.check ~g jobs packing = None);
+    Printf.printf "%s: total busy time %s\n" name (Q.to_string (Busy.Bundle.total_busy packing));
+    Format.printf "%a" Busy.Bundle.pp packing
+  in
+  show "FirstFit (4-approx)" (Busy.First_fit.solve ~g jobs);
+  show "GreedyTracking (3-approx)" (Busy.Greedy_tracking.solve ~g jobs);
+  show "TwoApprox (2-approx)" (Busy.Two_approx.solve ~g jobs);
+  Printf.printf "lower bound (demand profile): %s\n" (Q.to_string (Busy.Bounds.demand_profile ~g jobs));
+  Printf.printf "exact optimum: %s\n" (Q.to_string (Busy.Exact.optimum ~g jobs));
+
+  (* flexible jobs go through a span-minimizing placement first *)
+  let flexible =
+    [ B.make ~id:0 ~release:Q.zero ~deadline:(Q.of_int 6) ~length:Q.two;
+      B.make ~id:1 ~release:Q.one ~deadline:(Q.of_int 5) ~length:Q.two ]
+  in
+  let pinned, packing =
+    Busy.Pipeline.run ~g ~placement:Busy.Pipeline.Exact_placement ~algorithm:Busy.Pipeline.Greedy_tracking
+      flexible
+  in
+  Printf.printf "flexible jobs pinned at: %s -> busy %s\n"
+    (String.concat ", "
+       (List.map (fun j -> Intervals.Interval.to_string (B.interval_of j)) pinned))
+    (Q.to_string (Busy.Bundle.total_busy packing))

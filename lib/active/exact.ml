@@ -1,0 +1,92 @@
+(* Exact optima for the active-time problem.
+
+   The paper conjectures the problem NP-hard and only compares against OPT
+   analytically; the benches need OPT numerically, so we compute it by
+   branch-and-bound over open/closed decisions per relevant slot with
+
+     - monotone feasibility pruning (close a slot only while the remaining
+       open-or-undecided set stays feasible), and
+     - cost pruning against the incumbent, seeded with a minimal feasible
+       solution, with the mass bound ceil(P/g) as a global floor.
+
+   [brute_force] cross-checks the B&B on tiny instances in the tests. *)
+
+module S = Workload.Slotted
+
+let src = Logs.Src.create "abt.exact" ~doc:"active-time branch and bound"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* statistics of the last branch_and_bound call (search effort) *)
+type bb_stats = { nodes : int; flow_checks : int }
+
+let last_stats = ref { nodes = 0; flow_checks = 0 }
+
+let popcount =
+  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
+  go 0
+
+(* Exhaustive search over all subsets of relevant slots. Only sensible for
+   a dozen slots or so; raises [Invalid_argument] beyond 20. *)
+let brute_force (inst : S.t) =
+  let slots = Array.of_list (S.relevant_slots inst) in
+  let k = Array.length slots in
+  if k > 20 then invalid_arg "Exact.brute_force: too many slots";
+  let best = ref None in
+  let best_cost = ref max_int in
+  for mask = 0 to (1 lsl k) - 1 do
+    let c = popcount mask in
+    if c < !best_cost then begin
+      let open_slots =
+        List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list slots)
+      in
+      if Feasibility.feasible inst ~open_slots then begin
+        best := Some open_slots;
+        best_cost := c
+      end
+    end
+  done;
+  Option.bind !best (fun open_slots -> Solution.of_open_slots inst ~open_slots)
+
+let branch_and_bound (inst : S.t) =
+  let slots = Array.of_list (S.relevant_slots inst) in
+  let k = Array.length slots in
+  let mass_lb = S.mass_lower_bound inst in
+  (* incumbent from a minimal feasible solution *)
+  match Minimal.solve inst Minimal.Right_to_left with
+  | None -> None (* infeasible instance *)
+  | Some seed ->
+      let best = ref (Solution.cost seed) in
+      let best_set = ref seed.Solution.open_slots in
+      let nodes = ref 0 and flow_checks = ref 0 in
+      (* DFS: i = next slot index, opened = chosen-open slots (reversed),
+         n_open = |opened|. Undecided slots are i..k-1. Invariant: opened
+         plus all undecided is feasible. *)
+      let rec dfs i opened n_open =
+        incr nodes;
+        if n_open < !best then begin
+          if i = k then begin
+            (* all decided; invariant says [opened] is feasible *)
+            best := n_open;
+            best_set := List.rev opened
+          end
+          else if max n_open mass_lb < !best then begin
+            (* try closing slot i: keep going only if still feasible *)
+            let rest = Array.to_list (Array.sub slots (i + 1) (k - i - 1)) in
+            let candidate = List.rev_append opened rest in
+            incr flow_checks;
+            if Feasibility.feasible inst ~open_slots:candidate then dfs (i + 1) opened n_open;
+            (* then try opening slot i *)
+            dfs (i + 1) (slots.(i) :: opened) (n_open + 1)
+          end
+        end
+      in
+      incr flow_checks;
+      if Feasibility.feasible inst ~open_slots:(Array.to_list slots) then dfs 0 [] 0;
+      last_stats := { nodes = !nodes; flow_checks = !flow_checks };
+      Log.info (fun m ->
+          m "branch and bound: %d slots, %d nodes, %d flow checks, optimum %d" k !nodes !flow_checks !best);
+      Solution.of_open_slots inst ~open_slots:!best_set
+
+(* Optimal active time, or [None] when the instance is infeasible. *)
+let optimum inst = Option.map Solution.cost (branch_and_bound inst)

@@ -1,0 +1,24 @@
+(** Exact optima for the active-time problem, used by tests and benches to
+    measure true approximation ratios (the paper conjectures the problem
+    NP-hard; both solvers are exponential in the worst case).
+
+    [branch_and_bound] decides open/closed per relevant slot with monotone
+    feasibility pruning and cost pruning against an incumbent seeded by a
+    minimal feasible solution; practical to a few dozen slots.
+    [brute_force] enumerates slot subsets and cross-checks the B&B in the
+    tests. *)
+
+(** Raises [Invalid_argument] beyond 20 relevant slots. [None] iff
+    infeasible. *)
+val brute_force : Workload.Slotted.t -> Solution.t option
+
+(** [None] iff infeasible. *)
+val branch_and_bound : Workload.Slotted.t -> Solution.t option
+
+(** Optimal active time ([None] iff infeasible). *)
+val optimum : Workload.Slotted.t -> int option
+
+(** Search effort of the most recent [branch_and_bound] call. *)
+type bb_stats = { nodes : int; flow_checks : int }
+
+val last_stats : bb_stats ref

@@ -1,0 +1,85 @@
+(* Feasibility of an active-time instance for a given set of open slots,
+   via the flow network G_feas of the paper's Fig. 2:
+
+     source --p_j--> job j --1--> slot t (open, in j's window) --g--> sink
+
+   The instance is feasible on the open set iff the max flow saturates all
+   job arcs (value P = sum of lengths); an integral max flow is a schedule.
+
+   This check is the workhorse of the whole active-time side: minimal
+   feasible solutions close slots guarded by it, the LP rounding uses it to
+   decide whether a barely-open slot may stay closed, and the exact
+   branch-and-bound prunes with it. *)
+
+module S = Workload.Slotted
+
+type network = {
+  graph : Flow.t;
+  job_edges : (int * Flow.edge) array; (* job id, source->job arc *)
+  (* (job array index, slot) -> job->slot arc *)
+  assign_edges : ((int * int) * Flow.edge) list;
+  source : int;
+  sink : int;
+  total : int;
+}
+
+let build (t : S.t) ~open_slots =
+  let open_set = Hashtbl.create 32 in
+  List.iter (fun s -> Hashtbl.replace open_set s ()) open_slots;
+  let slots = List.filter (Hashtbl.mem open_set) (S.relevant_slots t) in
+  let slot_index = Hashtbl.create 32 in
+  List.iteri (fun i s -> Hashtbl.replace slot_index s i) slots;
+  let n = S.num_jobs t in
+  let m = List.length slots in
+  (* nodes: 0 = source, 1..n jobs, n+1..n+m slots, n+m+1 sink *)
+  let source = 0 and sink = n + m + 1 in
+  let g = Flow.create (n + m + 2) in
+  let job_edges =
+    Array.mapi
+      (fun idx (j : S.job) -> (j.S.id, Flow.add_edge g ~src:source ~dst:(idx + 1) ~cap:j.S.length))
+      t.S.jobs
+  in
+  let assign_edges = ref [] in
+  Array.iteri
+    (fun idx (j : S.job) ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt slot_index s with
+          | Some si ->
+              let e = Flow.add_edge g ~src:(idx + 1) ~dst:(n + 1 + si) ~cap:1 in
+              assign_edges := ((idx, s), e) :: !assign_edges
+          | None -> ())
+        (S.window_slots j))
+    t.S.jobs;
+  List.iteri (fun si _ -> ignore (Flow.add_edge g ~src:(n + 1 + si) ~dst:sink ~cap:t.S.g)) slots;
+  { graph = g; job_edges; assign_edges = !assign_edges; source; sink; total = S.total_length t }
+
+(* [feasible t ~open_slots] decides whether all jobs fit in the open slots.
+   [only_jobs] restricts the test to a subset of job ids (used by the LP
+   rounding, which processes jobs deadline by deadline). *)
+let feasible ?only_jobs (t : S.t) ~open_slots =
+  let t' =
+    match only_jobs with
+    | None -> t
+    | Some ids ->
+        let keep = Hashtbl.create 16 in
+        List.iter (fun id -> Hashtbl.replace keep id ()) ids;
+        { t with S.jobs = Array.of_seq (Seq.filter (fun j -> Hashtbl.mem keep j.S.id) (Array.to_seq t.S.jobs)) }
+  in
+  let net = build t' ~open_slots in
+  Flow.max_flow net.graph ~source:net.source ~sink:net.sink = net.total
+
+(* [schedule t ~open_slots] is an integral schedule on the open slots, or
+   [None] when infeasible. *)
+let schedule (t : S.t) ~open_slots =
+  let net = build t ~open_slots in
+  if Flow.max_flow net.graph ~source:net.source ~sink:net.sink <> net.total then None
+  else begin
+    let slots_of = Array.make (S.num_jobs t) [] in
+    List.iter
+      (fun ((idx, s), e) -> if Flow.flow net.graph e = 1 then slots_of.(idx) <- s :: slots_of.(idx))
+      net.assign_edges;
+    Some
+      (Array.to_list
+         (Array.mapi (fun idx (j : S.job) -> (j.S.id, List.sort compare slots_of.(idx))) t.S.jobs))
+  end

@@ -1,0 +1,16 @@
+(** Feasibility of an active-time instance on a set of open slots, via the
+    flow network [G_feas] of the paper's Fig. 2:
+
+    {v source --p_j--> job j --1--> open slot t in window --g--> sink v}
+
+    The instance is feasible iff the max flow saturates every job arc; an
+    integral max flow is a schedule. This check backs the minimal-feasible
+    closing loop, the LP rounding's "may this barely-open slot stay
+    closed" test and the exact branch-and-bound. *)
+
+(** [feasible ?only_jobs t ~open_slots] decides whether all jobs (or just
+    those with ids in [only_jobs]) fit into the open slots. *)
+val feasible : ?only_jobs:int list -> Workload.Slotted.t -> open_slots:int list -> bool
+
+(** An integral schedule on the open slots, or [None] when infeasible. *)
+val schedule : Workload.Slotted.t -> open_slots:int list -> Workload.Slotted.schedule option

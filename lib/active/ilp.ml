@@ -1,0 +1,114 @@
+(* LP-based branch and bound for the active-time integer program - the
+   OR-style exact solver, complementing {!Exact}'s combinatorial
+   flow-pruned search. At every node some slots are fixed open/closed and
+   LP1 is re-solved with the corresponding bounds:
+
+   - LP infeasible            -> prune;
+   - ceil(LP value) >= best   -> prune (active time is integral);
+   - LP solution integral     -> new incumbent (an integral y admits an
+                                 integral schedule by flow integrality);
+   - otherwise branch on a most-fractional slot, 'open' branch first.
+
+   The incumbent is seeded with a minimal feasible solution. E16 compares
+   nodes and work against {!Exact.branch_and_bound}. *)
+
+module S = Workload.Slotted
+module Q = Rational
+
+type stats = { nodes : int; lp_solves : int }
+
+let src = Logs.Src.create "abt.ilp" ~doc:"LP-based branch and bound"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Solve LP1 with per-slot fixings: [fixing slot = Some true/false] pins
+   y to 1/0. Returns the objective and the y values, or None when
+   infeasible. [rule] selects the simplex pricing rule (ablation). *)
+let solve_lp ?(rule = Lp.Dantzig_with_fallback) (inst : S.t) ~fixing =
+  let slots = S.relevant_slots inst in
+  let m = Lp.create () in
+  let y_vars =
+    List.map
+      (fun s ->
+        let lower, upper =
+          match fixing s with Some true -> (Q.one, Q.one) | Some false -> (Q.zero, Q.zero) | None -> (Q.zero, Q.one)
+        in
+        (s, Lp.add_var ~lower ~upper m (Printf.sprintf "y_%d" s)))
+      slots
+  in
+  let y_var s = List.assoc s y_vars in
+  let x_vars =
+    Array.to_list inst.S.jobs
+    |> List.concat_map (fun (j : S.job) ->
+           List.map (fun s -> ((s, j.S.id), Lp.add_var m (Printf.sprintf "x_%d_%d" s j.S.id))) (S.window_slots j))
+  in
+  List.iter
+    (fun ((s, _), xv) -> Lp.add_constraint m [ (Q.one, xv); (Q.minus_one, y_var s) ] Lp.Le Q.zero)
+    x_vars;
+  List.iter
+    (fun s ->
+      let terms = List.filter_map (fun ((s', _), xv) -> if s' = s then Some (Q.one, xv) else None) x_vars in
+      if terms <> [] then Lp.add_constraint m ((Q.of_int (-inst.S.g), y_var s) :: terms) Lp.Le Q.zero)
+    slots;
+  Array.iter
+    (fun (j : S.job) ->
+      let terms = List.filter_map (fun ((_, id), xv) -> if id = j.S.id then Some (Q.one, xv) else None) x_vars in
+      Lp.add_constraint m terms Lp.Ge (Q.of_int j.S.length))
+    inst.S.jobs;
+  Lp.set_objective m Lp.Minimize (List.map (fun (_, yv) -> (Q.one, yv)) y_vars);
+  match Lp.solve ~rule m with
+  | Lp.Infeasible -> None
+  | Lp.Unbounded -> assert false
+  | Lp.Optimal sol -> Some (Lp.objective_value sol, List.map (fun (s, yv) -> (s, Lp.value sol yv)) y_vars)
+
+let solve (inst : S.t) =
+  match Minimal.solve inst Minimal.Right_to_left with
+  | None -> None
+  | Some seed ->
+      let best = ref (Solution.cost seed) in
+      let best_slots = ref seed.Solution.open_slots in
+      let nodes = ref 0 and lp_solves = ref 0 in
+      (* fixings as an assoc list slot -> bool *)
+      let rec branch fixed =
+        incr nodes;
+        let fixing s = List.assoc_opt s fixed in
+        incr lp_solves;
+        match solve_lp inst ~fixing with
+        | None -> ()
+        | Some (value, ys) ->
+            let lb = Q.ceil_int value in
+            if lb < !best then begin
+              (* most fractional undecided slot *)
+              let fractional =
+                List.filter_map
+                  (fun (s, v) ->
+                    if Q.is_integer v then None
+                    else Some (s, Q.abs (Q.sub v Q.half)))
+                  ys
+              in
+              match fractional with
+              | [] ->
+                  (* integral LP solution: candidate incumbent *)
+                  let open_slots = List.filter_map (fun (s, v) -> if Q.equal v Q.one then Some s else None) ys in
+                  let cost = List.length open_slots in
+                  if cost < !best then begin
+                    best := cost;
+                    best_slots := open_slots;
+                    Log.debug (fun m -> m "incumbent %d" cost)
+                  end
+              | _ ->
+                  let s, _ =
+                    List.fold_left (fun (bs, bd) (s, d) -> if Q.compare d bd < 0 then (s, d) else (bs, bd))
+                      (List.hd fractional) fractional
+                  in
+                  branch ((s, true) :: fixed);
+                  branch ((s, false) :: fixed)
+            end
+      in
+      branch [];
+      Log.info (fun m -> m "ILP: %d nodes, %d LP solves, optimum %d" !nodes !lp_solves !best);
+      Option.map
+        (fun sol -> (sol, { nodes = !nodes; lp_solves = !lp_solves }))
+        (Solution.of_open_slots inst ~open_slots:!best_slots)
+
+let optimum inst = Option.map (fun (sol, _) -> Solution.cost sol) (solve inst)

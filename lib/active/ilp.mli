@@ -1,0 +1,23 @@
+(** LP-based branch and bound for the active-time integer program: at
+    each node LP1 is re-solved with the branching fixings; pruning uses
+    infeasibility and [ceil(LP) >= incumbent] (active time is integral);
+    integral LP solutions become incumbents directly. Complements the
+    combinatorial flow-pruned search of {!Exact}; experiment E16 compares
+    their search effort. *)
+
+type stats = { nodes : int; lp_solves : int }
+
+(** LP1 with per-slot fixings ([Some true/false] pins y to 1/0); returns
+    the objective and y values, or [None] when infeasible. Exposed for
+    the pricing-rule ablation. *)
+val solve_lp :
+  ?rule:Lp.pivot_rule ->
+  Workload.Slotted.t ->
+  fixing:(int -> bool option) ->
+  (Rational.t * (int * Rational.t) list) option
+
+(** [None] iff the instance is infeasible; otherwise the exact optimum
+    with search statistics. *)
+val solve : Workload.Slotted.t -> (Solution.t * stats) option
+
+val optimum : Workload.Slotted.t -> int option

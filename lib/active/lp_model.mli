@@ -1,0 +1,35 @@
+(** The LP relaxation LP1 of the active-time integer program (Section 3):
+
+    {v
+    min  sum_t y_t
+    s.t. x_{t,j} <= y_t                for each job j, slot t in window
+         sum_j x_{t,j} <= g y_t        for each slot t
+         sum_t x_{t,j} >= p_j          for each job j
+         0 <= y_t <= 1, x >= 0, x = 0 outside windows
+    v}
+
+    Solved exactly over the rationals ({!Lp}); the optimum lower-bounds
+    the integral optimum, and the y-vector feeds the rounding of
+    Theorem 2. The integrality gap is 2 (Section 3.5, experiment E3). *)
+
+type t = {
+  cost : Rational.t;  (** optimal LP objective *)
+  y : (int * Rational.t) list;  (** slot -> y_t, all relevant slots *)
+  x : ((int * int) * Rational.t) list;  (** (slot, job id) -> mass, nonzero entries *)
+}
+
+(** [y_at t slot] is the slot's y value (0 when absent). *)
+val y_at : t -> int -> Rational.t
+
+(** [None] iff the instance is infeasible. *)
+val solve : Workload.Slotted.t -> t option
+
+(** LP2 of Section 3.1: with the slot openings fixed to the given y
+    vector, does a feasible fractional assignment exist? *)
+val feasible_with_y : Workload.Slotted.t -> (int * Rational.t) list -> bool
+
+(** The right-shifted y vector (Section 3.1): block masses between
+    consecutive distinct deadlines packed against their right ends.
+    Lemma 3 asserts [feasible_with_y inst (right_shift inst t)] whenever
+    [t] is a feasible LP solution; the property tests verify this. *)
+val right_shift : Workload.Slotted.t -> t -> (int * Rational.t) list

@@ -1,0 +1,61 @@
+(* Minimal feasible solutions (Section 2 of the paper).
+
+   Start from a feasible set of open slots and close slots one at a time
+   while the instance stays feasible. Feasibility is monotone in the open
+   set, so a single pass over any closing order yields an
+   inclusion-minimal feasible set (once closing slot s fails it fails
+   forever). Theorem 1: every minimal feasible solution costs at most
+   3 OPT, and Fig. 3 shows some cost ~3 OPT; the closing order controls
+   which minimal solution is reached, so benches probe several. *)
+
+module S = Workload.Slotted
+
+type order =
+  | Left_to_right
+  | Right_to_left
+  | Shuffled of int (* seed *)
+  | Given of int list (* close in exactly this order; remaining slots appended l-to-r *)
+
+let order_slots order slots =
+  match order with
+  | Left_to_right -> slots
+  | Right_to_left -> List.rev slots
+  | Shuffled seed ->
+      let st = Random.State.make [| seed |] in
+      let arr = Array.of_list slots in
+      for i = Array.length arr - 1 downto 1 do
+        let k = Random.State.int st (i + 1) in
+        let tmp = arr.(i) in
+        arr.(i) <- arr.(k);
+        arr.(k) <- tmp
+      done;
+      Array.to_list arr
+  | Given explicit ->
+      let rest = List.filter (fun s -> not (List.mem s explicit)) slots in
+      List.filter (fun s -> List.mem s slots) explicit @ rest
+
+(* [minimalize inst ~start order] closes slots of [start] greedily in the
+   given order. Returns [None] when [start] itself is infeasible. *)
+let minimalize (inst : S.t) ~start order =
+  if not (Feasibility.feasible inst ~open_slots:start) then None
+  else begin
+    let current = ref (List.sort_uniq compare start) in
+    List.iter
+      (fun s ->
+        let without = List.filter (fun s' -> s' <> s) !current in
+        if Feasibility.feasible inst ~open_slots:without then current := without)
+      (order_slots order !current);
+    Solution.of_open_slots inst ~open_slots:!current
+  end
+
+(* [solve inst order] starts from all relevant slots open. [None] iff the
+   instance is infeasible. *)
+let solve (inst : S.t) order = minimalize inst ~start:(S.relevant_slots inst) order
+
+(* [is_minimal inst ~open_slots] checks Definition 4: the set is feasible
+   and closing any single slot breaks feasibility. *)
+let is_minimal (inst : S.t) ~open_slots =
+  Feasibility.feasible inst ~open_slots
+  && List.for_all
+       (fun s -> not (Feasibility.feasible inst ~open_slots:(List.filter (fun s' -> s' <> s) open_slots)))
+       open_slots

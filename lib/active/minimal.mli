@@ -1,0 +1,28 @@
+(** Minimal feasible solutions (Section 2, Theorem 1): start from a
+    feasible open-slot set and close slots while feasibility is preserved.
+    Feasibility is monotone in the open set, so a single pass over any
+    closing order reaches an inclusion-minimal set, and Theorem 1 bounds
+    every minimal solution by [3 OPT] (tight on the Fig. 3 gadget).
+
+    The closing order selects {e which} minimal solution is found; the
+    directional orders are empirically optimal for unit jobs (see
+    {!Unit_jobs}) while a shuffled order can land on strictly worse
+    minimal sets. *)
+
+type order =
+  | Left_to_right
+  | Right_to_left
+  | Shuffled of int  (** seed *)
+  | Given of int list  (** close in this order; remaining slots appended *)
+
+(** [minimalize inst ~start order] closes slots of [start] greedily.
+    [None] when [start] itself is infeasible. *)
+val minimalize : Workload.Slotted.t -> start:int list -> order -> Solution.t option
+
+(** [solve inst order] minimalizes from all relevant slots open. [None]
+    iff the instance is infeasible. *)
+val solve : Workload.Slotted.t -> order -> Solution.t option
+
+(** Definition 4: feasible, and closing any single slot breaks
+    feasibility. *)
+val is_minimal : Workload.Slotted.t -> open_slots:int list -> bool

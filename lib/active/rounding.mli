@@ -1,0 +1,25 @@
+(** LP rounding for active time (Theorem 2): a 2-approximation.
+
+    Solve LP1 exactly, right-shift block masses against each distinct
+    deadline (Lemma 3), then sweep deadlines: fully-open slots open as-is;
+    a fractional slot with mass >= 1/2 opens outright; a barely-open slot
+    (< 1/2) opens only when a max-flow test shows the jobs processed so
+    far do not fit, otherwise its mass is carried right as a {e proxy}
+    (Section 3.4). The dependent/trio/filler machinery of the paper is
+    analysis only; its content — feasibility after every iteration and
+    [#opened <= 2 sum Y] — is asserted at runtime and fuzzed by the
+    property tests. *)
+
+type stats = {
+  lp_cost : Rational.t;
+  rounded_cost : int;
+  fallback_used : bool;
+      (** defensive re-opening was needed; never expected, and asserted
+          false throughout the test suite *)
+}
+
+exception Infeasible_instance
+
+(** [None] iff the instance is infeasible; otherwise a verified solution
+    of cost at most twice the LP optimum. *)
+val solve : Workload.Slotted.t -> (Solution.t * stats) option

@@ -1,0 +1,13 @@
+(** The unit-length special case (Chang–Gabow–Khuller give a fast exact
+    greedy). Directional minimalization (closing slots right-to-left — the
+    lazy-activation behaviour) matches the branch-and-bound optimum on
+    every generated unit instance, and the test suite pins both that and
+    the fact that minimality alone is NOT sufficient: a shuffled closing
+    order can end in a strictly worse minimal set (regression at fuzzer
+    seed 23641). *)
+
+val is_unit : Workload.Slotted.t -> bool
+
+(** Exact for unit-length instances (validated against branch-and-bound);
+    raises [Invalid_argument] otherwise. [None] iff infeasible. *)
+val solve : Workload.Slotted.t -> Solution.t option

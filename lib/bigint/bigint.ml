@@ -1,0 +1,336 @@
+(* Sign-magnitude arbitrary-precision integers.
+
+   Magnitudes are little-endian [int array]s of base-2^30 digits with no
+   leading zero digit; the magnitude of zero is the empty array. Digits fit
+   comfortably in OCaml's 63-bit native ints, so schoolbook multiplication
+   (digit products < 2^60) and Knuth Algorithm D division need no special
+   carry handling beyond [land]/[asr], which OCaml evaluates with floor
+   semantics on negative intermediate values. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize_mag mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length mag then mag else Array.sub mag 0 !n
+
+let make sign mag =
+  let mag = normalize_mag mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else if n = Stdlib.min_int then
+    (* -2^62 on 64-bit: |min_int| has no native representation. *)
+    { sign = -1; mag = [| 0; 0; 4 |] }
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    let rec digits acc n = if n = 0 then acc else digits ((n land mask) :: acc) (n lsr base_bits) in
+    make sign (Array.of_list (List.rev (digits [] (abs n))))
+  end
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+let sign t = t.sign
+let is_zero t = t.sign = 0
+let num_digits t = Array.length t.mag
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let compare x y =
+  if x.sign <> y.sign then compare x.sign y.sign
+  else if x.sign = 0 then 0
+  else if x.sign > 0 then cmp_mag x.mag y.mag
+  else cmp_mag y.mag x.mag
+
+let equal x y = compare x y = 0
+let min x y = if compare x y <= 0 then x else y
+let max x y = if compare x y >= 0 then x else y
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+let is_one t = t.sign = 1 && Array.length t.mag = 1 && t.mag.(0) = 1
+
+(* |a| + |b| *)
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = Stdlib.max la lb + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let da = if i < la then a.(i) else 0 in
+    let db = if i < lb then b.(i) else 0 in
+    let t = da + db + !carry in
+    r.(i) <- t land mask;
+    carry := t lsr base_bits
+  done;
+  r
+
+(* |a| - |b|, requires |a| >= |b| *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let db = if i < lb then b.(i) else 0 in
+    let t = a.(i) - db + !borrow in
+    r.(i) <- t land mask;
+    borrow := t asr base_bits
+  done;
+  assert (!borrow = 0);
+  r
+
+let add x y =
+  if x.sign = 0 then y
+  else if y.sign = 0 then x
+  else if x.sign = y.sign then make x.sign (add_mag x.mag y.mag)
+  else begin
+    match cmp_mag x.mag y.mag with
+    | 0 -> zero
+    | c when c > 0 -> make x.sign (sub_mag x.mag y.mag)
+    | _ -> make y.sign (sub_mag y.mag x.mag)
+  end
+
+let sub x y = add x (neg y)
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make (la + lb) 0 in
+  for i = 0 to la - 1 do
+    let ai = a.(i) in
+    if ai <> 0 then begin
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let t = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- t land mask;
+        carry := t lsr base_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    end
+  done;
+  r
+
+let mul x y =
+  if x.sign = 0 || y.sign = 0 then zero
+  else make (x.sign * y.sign) (mul_mag x.mag y.mag)
+
+(* |a| shifted left by [s] bits (0 <= s < base_bits), with [extra] spare
+   top digits for Algorithm D's dividend extension. *)
+let shl_mag a s extra =
+  let la = Array.length a in
+  let r = Array.make (la + 1 + extra) 0 in
+  if s = 0 then Array.blit a 0 r 0 la
+  else begin
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let t = (a.(i) lsl s) lor !carry in
+      r.(i) <- t land mask;
+      carry := t lsr base_bits
+    done;
+    r.(la) <- !carry
+  end;
+  r
+
+(* |a| shifted right by [s] bits (0 <= s < base_bits). *)
+let shr_mag a s =
+  if s = 0 then Array.copy a
+  else begin
+    let la = Array.length a in
+    let r = Array.make la 0 in
+    for i = 0 to la - 1 do
+      let hi = if i + 1 < la then a.(i + 1) else 0 in
+      r.(i) <- (a.(i) lsr s) lor ((hi lsl (base_bits - s)) land mask)
+    done;
+    r
+  end
+
+(* |a| / d and |a| mod d for a single digit 0 < d < base. *)
+let divmod_mag_small a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let t = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- t / d;
+    r := t mod d
+  done;
+  (q, !r)
+
+let bit_length_digit d =
+  let rec go n d = if d = 0 then n else go (n + 1) (d lsr 1) in
+  go 0 d
+
+(* Knuth Algorithm D on magnitudes: |u| / |v| with Array.length v >= 2. *)
+let divmod_mag_knuth u v =
+  let n = Array.length v in
+  let m = Array.length u - n in
+  let s = base_bits - bit_length_digit v.(n - 1) in
+  let un = shl_mag u s 0 in
+  (* shl_mag already appends one top digit *)
+  let vn = normalize_mag (shl_mag v s 0) in
+  assert (Array.length vn = n);
+  let q = Array.make (m + 1) 0 in
+  for j = m downto 0 do
+    let top = (un.(j + n) lsl base_bits) lor un.(j + n - 1) in
+    let qhat = ref (top / vn.(n - 1)) in
+    let rhat = ref (top mod vn.(n - 1)) in
+    let adjusting = ref true in
+    while !adjusting do
+      if !qhat >= base || !qhat * vn.(n - 2) > (!rhat lsl base_bits) lor un.(j + n - 2) then begin
+        decr qhat;
+        rhat := !rhat + vn.(n - 1);
+        if !rhat >= base then adjusting := false
+      end
+      else adjusting := false
+    done;
+    (* multiply-and-subtract *)
+    let borrow = ref 0 in
+    for i = 0 to n - 1 do
+      let t = un.(i + j) - (!qhat * vn.(i)) + !borrow in
+      un.(i + j) <- t land mask;
+      borrow := t asr base_bits
+    done;
+    let t = un.(j + n) + !borrow in
+    un.(j + n) <- t land mask;
+    if t < 0 then begin
+      (* qhat was one too large: add divisor back *)
+      decr qhat;
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let s2 = un.(i + j) + vn.(i) + !carry in
+        un.(i + j) <- s2 land mask;
+        carry := s2 lsr base_bits
+      done;
+      un.(j + n) <- (un.(j + n) + !carry) land mask
+    end;
+    q.(j) <- !qhat
+  done;
+  let r = shr_mag (Array.sub un 0 n) s in
+  (q, r)
+
+let divmod x y =
+  if y.sign = 0 then raise Division_by_zero
+  else if x.sign = 0 then (zero, zero)
+  else if cmp_mag x.mag y.mag < 0 then (zero, x)
+  else begin
+    let qm, rm =
+      if Array.length y.mag = 1 then begin
+        let q, r = divmod_mag_small x.mag y.mag.(0) in
+        (q, if r = 0 then [||] else [| r |])
+      end
+      else divmod_mag_knuth x.mag y.mag
+    in
+    (make (x.sign * y.sign) qm, make x.sign rm)
+  end
+
+let div x y = fst (divmod x y)
+let rem x y = snd (divmod x y)
+
+let rec gcd_aux a b = if is_zero b then a else gcd_aux b (rem a b)
+let gcd x y = gcd_aux (abs x) (abs y)
+
+let pow b n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (mul acc b) (mul b b) (n lsr 1)
+    else go acc (mul b b) (n lsr 1)
+  in
+  go one b n
+
+let to_int t =
+  match Array.length t.mag with
+  | 0 -> Some 0
+  | 1 -> Some (t.sign * t.mag.(0))
+  | 2 -> Some (t.sign * ((t.mag.(1) lsl base_bits) lor t.mag.(0)))
+  | 3 when t.mag.(2) < 1 lsl (62 - (2 * base_bits)) ->
+      Some (t.sign * ((t.mag.(2) lsl (2 * base_bits)) lor (t.mag.(1) lsl base_bits) lor t.mag.(0)))
+  | 3 when t.sign < 0 && t.mag.(2) = 4 && t.mag.(1) = 0 && t.mag.(0) = 0 -> Some Stdlib.min_int
+  | _ -> None
+
+let to_int_exn t =
+  match to_int t with Some n -> n | None -> failwith "Bigint.to_int_exn: value does not fit"
+
+let to_float t =
+  let f = ref 0.0 in
+  for i = Array.length t.mag - 1 downto 0 do
+    f := (!f *. float_of_int base) +. float_of_int t.mag.(i)
+  done;
+  float_of_int t.sign *. !f
+
+let decimal_chunk = 1_000_000_000 (* 10^9 < 2^30 *)
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let rec chunks acc mag =
+      if Array.length mag = 0 then acc
+      else begin
+        let q, r = divmod_mag_small mag decimal_chunk in
+        chunks (r :: acc) (normalize_mag q)
+      end
+    in
+    (match chunks [] t.mag with
+    | [] -> assert false
+    | first :: rest ->
+        if t.sign < 0 then Buffer.add_char buf '-';
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty string";
+  let sign, start =
+    match s.[0] with '-' -> (-1, 1) | '+' -> (1, 1) | _ -> (1, 0)
+  in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let chunk = ref 0 and chunk_len = ref 0 in
+  let pow10 = [| 1; 10; 100; 1_000; 10_000; 100_000; 1_000_000; 10_000_000; 100_000_000; 1_000_000_000 |] in
+  let flush () =
+    if !chunk_len > 0 then begin
+      let scale = of_int pow10.(!chunk_len) in
+      acc := add (mul !acc scale) (of_int !chunk);
+      chunk := 0;
+      chunk_len := 0
+    end
+  in
+  for i = start to len - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bigint.of_string: invalid character";
+    chunk := (!chunk * 10) + (Char.code c - Char.code '0');
+    incr chunk_len;
+    if !chunk_len = 9 then flush ()
+  done;
+  flush ();
+  if sign < 0 then neg !acc else !acc
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( ~- ) = neg
+let ( = ) = equal
+let ( < ) a b = Stdlib.( < ) (compare a b) 0
+let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
+let ( > ) a b = Stdlib.( > ) (compare a b) 0
+let ( >= ) a b = Stdlib.( >= ) (compare a b) 0

@@ -1,0 +1,97 @@
+(** Arbitrary-precision signed integers.
+
+    Substrate for the exact rational arithmetic used by the simplex solver
+    ({!module:Lp}): tableau pivoting overflows 64-bit machine integers even
+    on small LPs, and the container provides no [zarith].
+
+    Values are immutable. The representation is sign-magnitude with the
+    magnitude stored little-endian in base [2^30]; all operations are
+    schoolbook (adequate for the digit counts reached by LP pivoting on the
+    instance sizes this repository handles). *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+(** {1 Conversions} *)
+
+(** [of_int n] is exact for every native [int]. *)
+val of_int : int -> t
+
+(** [to_int t] is [Some n] when [t] fits a native [int], else [None]. *)
+val to_int : t -> int option
+
+(** [to_int_exn t] raises [Failure] when [t] does not fit a native [int]. *)
+val to_int_exn : t -> int
+
+(** [of_string s] parses an optional sign followed by decimal digits.
+    Raises [Invalid_argument] on malformed input. *)
+val of_string : string -> t
+
+(** Decimal rendering, ["-"]-prefixed when negative. *)
+val to_string : t -> string
+
+(** [to_float t] is the nearest (up to accumulated rounding) float. *)
+val to_float : t -> float
+
+(** {1 Inspection} *)
+
+(** [sign t] is [-1], [0] or [1]. *)
+val sign : t -> int
+
+val is_zero : t -> bool
+val is_one : t -> bool
+
+(** Number of base-[2^30] digits of the magnitude (0 for zero). *)
+val num_digits : t -> int
+
+(** {1 Comparison} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [q] truncated toward zero
+    and [sign r = sign a] (or [r = 0]); i.e. C-style division.
+    Raises [Division_by_zero] when [b] is zero. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** Greatest common divisor; always non-negative, [gcd zero zero = zero]. *)
+val gcd : t -> t -> t
+
+(** [pow b n] for [n >= 0]. Raises [Invalid_argument] on negative [n]. *)
+val pow : t -> int -> t
+
+(** {1 Convenience operators} *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( ~- ) : t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+(* Lower bounds on the optimal busy time (Section 4.1).
+
+   - mass (Observation 2):   OPT >= total length / g
+   - span (Observation 3):   OPT >= OPT_infinity (= Sp(J) for interval jobs)
+   - demand profile (Obs 4): OPT >= sum over interesting intervals of
+                             ceil(raw demand / g) * length  (interval jobs)
+
+   The profile bound dominates both others on interval jobs; all three are
+   exposed because the paper's analyses charge them separately. *)
+
+module Q = Rational
+module B = Workload.Bjob
+
+let intervals jobs = List.map B.interval_of jobs
+
+let mass ~g jobs =
+  if g < 1 then invalid_arg "Bounds.mass: g < 1";
+  Q.div (B.total_length jobs) (Q.of_int g)
+
+(* Span bound for interval jobs: Sp(J). (For flexible jobs the right span
+   bound is OPT_infinity, computed by a placement; see {!Placement}.) *)
+let span jobs = Intervals.span (intervals jobs)
+
+let demand_profile ~g jobs = Intervals.Demand.profile_cost ~g (intervals jobs)
+
+(* The strongest combination available for interval jobs. *)
+let best ~g jobs = Q.max (mass ~g jobs) (Q.max (span jobs) (demand_profile ~g jobs))

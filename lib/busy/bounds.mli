@@ -1,0 +1,16 @@
+(** Lower bounds on the optimal busy time (Section 4.1):
+    mass [l(J)/g] (Observation 2), span [Sp(J)] (Observation 3, interval
+    jobs), and the demand profile [sum ceil(A/g) * |cell|] (Observation 4,
+    interval jobs), which dominates both. *)
+
+(** Raises [Invalid_argument] when [g < 1]. *)
+val mass : g:int -> Workload.Bjob.t list -> Rational.t
+
+(** Span bound for interval jobs. (For flexible jobs use a placement's
+    span, see {!Placement}.) *)
+val span : Workload.Bjob.t list -> Rational.t
+
+val demand_profile : g:int -> Workload.Bjob.t list -> Rational.t
+
+(** [max mass (max span demand_profile)]. *)
+val best : g:int -> Workload.Bjob.t list -> Rational.t

@@ -1,0 +1,53 @@
+(* Exact optimal bundling of interval jobs (small n): branch-and-bound over
+   set partitions. Jobs are inserted one at a time into an existing bundle
+   (if capacity allows) or a fresh bundle; the partial cost (sum of bundle
+   spans so far) prunes against the incumbent, seeded by the better of
+   FirstFit and GreedyTracking.
+
+   Used by the tests and benches to measure true approximation ratios; the
+   busy time problem is NP-hard for interval jobs even at g = 2 [14], so
+   this is inherently exponential. *)
+
+module Q = Rational
+module B = Workload.Bjob
+
+let solve ~g jobs =
+  if g < 1 then invalid_arg "Exact.solve: g < 1";
+  List.iter
+    (fun (j : B.t) -> if not (B.is_interval j) then invalid_arg "Exact.solve: flexible job")
+    jobs;
+  if List.length jobs > 14 then invalid_arg "Exact.solve: too many jobs for exhaustive search";
+  (* sort by release: inserting left to right keeps partial spans stable *)
+  let sorted = List.sort (fun (a : B.t) (b : B.t) -> Q.compare a.B.release b.B.release) jobs in
+  let seed =
+    let a = First_fit.solve ~g jobs and b = Greedy_tracking.solve ~g jobs in
+    if Q.compare (Bundle.total_busy a) (Bundle.total_busy b) <= 0 then a else b
+  in
+  let best = ref (Bundle.total_busy seed) in
+  let best_packing = ref seed in
+  let rec dfs bundles cost = function
+    | [] ->
+        if Q.compare cost !best < 0 then begin
+          best := cost;
+          best_packing := bundles
+        end
+    | (j : B.t) :: rest ->
+        (* try each existing bundle *)
+        List.iteri
+          (fun i bundle ->
+            if Bundle.fits ~g bundle j then begin
+              let grown = j :: bundle in
+              let delta = Q.sub (Bundle.busy_time grown) (Bundle.busy_time bundle) in
+              let cost' = Q.add cost delta in
+              if Q.compare cost' !best < 0 then
+                dfs (List.mapi (fun k b -> if k = i then grown else b) bundles) cost' rest
+            end)
+          bundles;
+        (* or open a new bundle *)
+        let cost' = Q.add cost j.B.length in
+        if Q.compare cost' !best < 0 then dfs ([ j ] :: bundles) cost' rest
+  in
+  dfs [] Q.zero sorted;
+  !best_packing
+
+let optimum ~g jobs = Bundle.total_busy (solve ~g jobs)

@@ -1,0 +1,8 @@
+(** Exact optimal bundling of interval jobs: branch-and-bound over set
+    partitions (insert jobs left-to-right into an existing or a fresh
+    bundle), pruned by partial cost against an incumbent seeded by
+    FirstFit/GreedyTracking. The problem is NP-hard even for [g = 2], so
+    this is exponential; [Invalid_argument] beyond 14 jobs. *)
+
+val solve : g:int -> Workload.Bjob.t list -> Bundle.packing
+val optimum : g:int -> Workload.Bjob.t list -> Rational.t

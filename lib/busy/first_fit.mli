@@ -1,0 +1,6 @@
+(** FIRSTFIT (Flammini et al.): the 4-approximate interval-job baseline.
+    Jobs in non-increasing length order, each into the first bundle whose
+    capacity it does not violate. Raises [Invalid_argument] on flexible
+    jobs or [g < 1]. *)
+
+val solve : g:int -> Workload.Bjob.t list -> Bundle.packing

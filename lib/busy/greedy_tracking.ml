@@ -1,0 +1,89 @@
+(* GREEDYTRACKING (Algorithm 1, Theorem 5): the paper's 3-approximation for
+   interval jobs.
+
+   Iteratively extract a maximum-length track (pairwise-disjoint job set,
+   Definition 14) by weighted interval scheduling, and bundle g consecutive
+   tracks per machine. Theorem 5: Sp(B_1) <= OPT_inf and, for i > 1,
+   Sp(B_i) <= 2 l(B_{i-1}) / g, giving 3 OPT in total.
+
+   [witness] builds the proof's certificate Q_i for a bundle: a subset with
+   the same span in which at most two jobs are live at any time, so that
+   Sp(B_i) <= l(Q_i) <= 2 * l(longest track). It is exposed for the
+   property tests, which check both certificate properties on random
+   packings. *)
+
+module Q = Rational
+module B = Workload.Bjob
+module I = Intervals.Interval
+
+let max_track jobs =
+  Intervals.Track.max_weight_disjoint ~interval:B.interval_of ~weight:(fun (j : B.t) -> j.B.length) jobs
+
+let solve ~g jobs =
+  if g < 1 then invalid_arg "Greedy_tracking.solve: g < 1";
+  List.iter
+    (fun (j : B.t) ->
+      if not (B.is_interval j) then invalid_arg "Greedy_tracking.solve: flexible job (convert first)")
+    jobs;
+  Bundle.ensure_unique_ids "Greedy_tracking.solve" jobs;
+  let rec go remaining tracks =
+    if remaining = [] then List.rev tracks
+    else begin
+      let track, _ = max_track remaining in
+      assert (track <> []);
+      let chosen = List.map (fun (j : B.t) -> j.B.id) track in
+      let remaining = List.filter (fun (j : B.t) -> not (List.mem j.B.id chosen)) remaining in
+      go remaining (track :: tracks)
+    end
+  in
+  let tracks = go jobs [] in
+  (* bundle g consecutive tracks per machine *)
+  let rec bundle acc current count = function
+    | [] -> List.rev (if current = [] then acc else List.concat current :: acc)
+    | t :: rest ->
+        if count = g then bundle (List.concat current :: acc) [ t ] 1 rest
+        else bundle acc (t :: current) (count + 1) rest
+  in
+  bundle [] [] 0 tracks
+
+(* The certificate subset Q_i of a bundle (proof of Theorem 5):
+   1. drop any job whose window is contained in another's;
+   2. scan the remaining "proper" set by release time, repeatedly moving
+      the latest-deadline job live at the current frontier into Q_i.
+   Guarantees: Sp(Q_i) = Sp(bundle); at most 2 jobs of Q_i live anywhere. *)
+let witness bundle =
+  (* step 1: remove contained windows (ties: keep the first) *)
+  let proper =
+    List.filteri
+      (fun i (j : B.t) ->
+        not
+          (List.exists
+             (fun (idx, (k : B.t)) ->
+               idx <> i
+               && I.subset (B.interval_of j) (B.interval_of k)
+               && ((not (I.equal (B.interval_of j) (B.interval_of k))) || idx < i))
+             (List.mapi (fun idx k -> (idx, k)) bundle)))
+      bundle
+  in
+  let sorted = List.sort (fun (a : B.t) (b : B.t) -> Q.compare a.B.release b.B.release) proper in
+  let live_at t (j : B.t) = Q.compare j.B.release t <= 0 && Q.compare t j.B.deadline < 0 in
+  let rec scan q = function
+    | [] -> List.rev q
+    | (hd : B.t) :: _ as remaining ->
+        let dmax = match q with [] -> hd.B.release | last :: _ -> last.B.deadline in
+        let live, _rest = List.partition (live_at dmax) remaining in
+        if live = [] then
+          (* gap: the earliest remaining job starts a new component *)
+          let rest = List.tl remaining in
+          scan (List.hd remaining :: q) rest
+        else begin
+          let last =
+            List.fold_left (fun acc (j : B.t) -> if Q.compare j.B.deadline acc.B.deadline > 0 then j else acc)
+              (List.hd live) live
+          in
+          (* drop all live jobs except [last]; keep the not-yet-live ones *)
+          let rest = List.filter (fun (j : B.t) -> (not (live_at dmax j)) && j != last) remaining in
+          scan (last :: q) rest
+        end
+  in
+  scan [] sorted

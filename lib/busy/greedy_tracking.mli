@@ -1,0 +1,19 @@
+(** GREEDYTRACKING (Algorithm 1, Theorem 5): the paper's 3-approximation
+    for interval jobs. Repeatedly extract a maximum-length track
+    (pairwise-disjoint jobs, Definition 14) by weighted interval
+    scheduling; every [g] consecutive tracks form one bundle.
+
+    Guarantee: [Sp(B_1) <= OPT_inf] and [Sp(B_i) <= 2 l(B_{i-1}) / g] for
+    [i > 1], hence at most [3 OPT]; tight on the Fig. 6/7 gadget
+    (experiment E5). *)
+
+(** A maximum-length track of the given interval jobs, with its length. *)
+val max_track : Workload.Bjob.t list -> Workload.Bjob.t list * Rational.t
+
+(** Raises [Invalid_argument] on flexible jobs or [g < 1]. *)
+val solve : g:int -> Workload.Bjob.t list -> Bundle.packing
+
+(** The certificate subset Q_i of a bundle from the proof of Theorem 5:
+    same span as the bundle, at most two jobs live at any time. Exposed
+    for the property tests. *)
+val witness : Bundle.t -> Workload.Bjob.t list

@@ -1,0 +1,108 @@
+(* Kumar-Rudra's 2-approximation (paper Appendix A.1), reconstructed:
+
+   0. Pad with dummy jobs so the raw demand over every interesting
+      interval is a multiple of g (their analysis assumes this; dummies
+      are dropped from the output).
+   1. Phase 1: assign jobs to LEVELS by release order, each job to the
+      lowest level where at most one already-assigned job overlaps it -
+      so at most two jobs of a level are ever active together (the
+      "limited infeasibility" of the paper).
+   2. Phase 2: group g consecutive levels; open TWO fibers per group;
+      split each level between them by a greedy 2-coloring in release
+      order. A level's conflict graph has clique number at most 2 by
+      construction, and greedy colouring in left-endpoint order uses
+      exactly the clique number of colours on interval graphs, so two
+      colours always suffice: each fiber holds at most one active job per
+      level, i.e. at most g in total - a feasible packing.
+
+   Cost: each group of g levels pays two fibers whose spans sit inside
+   the demand profile's levels, giving <= 2 x profile <= 2 OPT
+   (property-tested). This is the literal algorithm behind Theorem 3;
+   {!Two_approx} is the Alicherry-Bhatia flow route to the same bound. *)
+
+module Q = Rational
+module B = Workload.Bjob
+module I = Intervals.Interval
+module D = Intervals.Demand
+
+let is_dummy (j : B.t) = j.B.id < 0
+
+(* dummy jobs topping every positive cell up to a multiple of g *)
+let pad ~g jobs =
+  let cells = D.cells (List.map B.interval_of jobs) in
+  let fresh = ref 0 in
+  List.concat_map
+    (fun (c : D.cell) ->
+      let missing = if c.D.raw = 0 then 0 else (g - (c.D.raw mod g)) mod g in
+      List.init missing (fun _ ->
+          decr fresh;
+          B.interval ~id:!fresh ~start:c.D.cell.I.lo ~length:(I.length c.D.cell)))
+    cells
+
+(* peak number of [assigned] jobs overlapping [iv] *)
+let peak_overlap assigned iv =
+  let clipped = List.filter_map (fun (j : B.t) -> I.intersect (B.interval_of j) iv) assigned in
+  D.max_raw clipped
+
+let solve ~g jobs =
+  if g < 1 then invalid_arg "Kumar_rudra.solve: g < 1";
+  List.iter
+    (fun (j : B.t) ->
+      if not (B.is_interval j) then invalid_arg "Kumar_rudra.solve: flexible job (convert first)";
+      if is_dummy j then invalid_arg "Kumar_rudra.solve: job ids must be non-negative")
+    jobs;
+  if jobs = [] then []
+  else begin
+    let padded =
+      List.stable_sort (fun (a : B.t) (b : B.t) -> Q.compare a.B.release b.B.release)
+        (jobs @ pad ~g jobs)
+    in
+    (* phase 1: levels as growable list of reversed job lists *)
+    let levels : B.t list array ref = ref (Array.make 0 []) in
+    let ensure n =
+      if Array.length !levels < n then begin
+        let bigger = Array.make n [] in
+        Array.blit !levels 0 bigger 0 (Array.length !levels);
+        levels := bigger
+      end
+    in
+    List.iter
+      (fun (j : B.t) ->
+        let iv = B.interval_of j in
+        let rec find l =
+          ensure (l + 1);
+          if peak_overlap !levels.(l) iv <= 1 then l else find (l + 1)
+        in
+        let l = find 0 in
+        !levels.(l) <- j :: !levels.(l))
+      padded;
+    (* phase 2: per group of g levels, two fibers; greedy 2-coloring
+       within each level *)
+    let nlevels = Array.length !levels in
+    let ngroups = (nlevels + g - 1) / g in
+    let fibers = Array.make (2 * ngroups) [] in
+    Array.iteri
+      (fun l members ->
+        let group = l / g in
+        (* members are reversed release order; restore, then color each
+           job with the smallest color unused by earlier overlapping
+           members (two always suffice: clique number <= 2) *)
+        let colored = ref [] in
+        List.iter
+          (fun (j : B.t) ->
+            let iv = B.interval_of j in
+            let used =
+              List.filter_map
+                (fun (k, c) -> if I.overlaps (B.interval_of k) iv then Some c else None)
+                !colored
+            in
+            let color = if List.mem 0 used then 1 else 0 in
+            assert (not (List.mem color used));
+            colored := (j, color) :: !colored;
+            fibers.((2 * group) + color) <- j :: fibers.((2 * group) + color))
+          (List.rev members))
+      !levels;
+    Array.to_list fibers
+    |> List.map (List.filter (fun j -> not (is_dummy j)))
+    |> List.filter (fun b -> b <> [])
+  end

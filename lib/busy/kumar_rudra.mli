@@ -1,0 +1,11 @@
+(** Kumar–Rudra's 2-approximation for interval jobs (paper Appendix A.1),
+    reconstructed literally: pad demand to multiples of [g]; assign jobs
+    to levels by release order allowing at most two overlapping per
+    level; open two fibers per [g] levels, splitting each level's jobs
+    between them by parity. Property-tested to cost at most
+    [2 * demand profile]; compare {!Two_approx} (the Alicherry–Bhatia
+    flow route to the same bound). *)
+
+(** Raises [Invalid_argument] on flexible jobs, negative ids (reserved
+    for padding dummies) or [g < 1]. *)
+val solve : g:int -> Workload.Bjob.t list -> Bundle.packing

@@ -1,0 +1,149 @@
+(* Exact busy time for laminar instances (Khandekar et al. show the
+   laminar case is polynomial; Section 1 of the paper).
+
+   In a laminar family, two jobs overlap only if one contains the other,
+   so a bundle's busy time is the total length of its inclusion-maximal
+   members, and the capacity constraint says a bundle holds at most g
+   jobs on any nesting chain. Writing each bundle as clusters (one
+   maximal "top" job plus descendants that ride inside it for free), the
+   problem becomes: pick tops minimizing their total length such that
+   every non-top job can join a cluster of a strict ancestor with fewer
+   than g members on the path.
+
+   Clusters open along the current root path are interchangeable for
+   feasibility, so only the TOTAL remaining join capacity R along the
+   path matters, giving a linear-size DP per tree:
+
+     f(v, R) = min( f_kids(R - 1)               if R >= 1 (join: free)
+                  , len(v) + f_kids(R + g - 1)  (open own cluster) )
+
+   with f_kids(R') the sum over children. The optimum is f(root, 0)
+   summed over the forest. Correctness is property-tested against the
+   exhaustive optimum on random laminar instances. *)
+
+module Q = Rational
+module B = Workload.Bjob
+module I = Intervals.Interval
+
+type node = { job : B.t; children : node list }
+
+let is_laminar jobs =
+  let arr = Array.of_list jobs in
+  let ok = ref true in
+  Array.iteri
+    (fun i (ji : B.t) ->
+      Array.iteri
+        (fun k (jk : B.t) ->
+          if i < k then begin
+            let a = B.interval_of ji and b = B.interval_of jk in
+            if I.overlaps a b && (not (I.subset a b)) && not (I.subset b a) then ok := false
+          end)
+        arr)
+    arr;
+  !ok
+
+(* Laminar forest: sort by (lo asc, hi desc, id) and maintain the stack of
+   currently-open ancestors. Equal intervals nest by sort order. *)
+let build_forest jobs =
+  let sorted =
+    List.sort
+      (fun (a : B.t) (b : B.t) ->
+        let ia = B.interval_of a and ib = B.interval_of b in
+        let c = Q.compare ia.I.lo ib.I.lo in
+        if c <> 0 then c
+        else
+          let c = Q.compare ib.I.hi ia.I.hi in
+          if c <> 0 then c else compare a.B.id b.B.id)
+      jobs
+  in
+  (* children accumulated in reverse *)
+  let roots = ref [] in
+  let stack : (B.t * node list ref) list ref = ref [] in
+  let close_until (iv : I.t) =
+    let rec go () =
+      match !stack with
+      | (top, kids) :: rest when not (I.subset iv (B.interval_of top)) ->
+          let node = { job = top; children = List.rev !kids } in
+          stack := rest;
+          (match !stack with
+          | (_, parent_kids) :: _ -> parent_kids := node :: !parent_kids
+          | [] -> roots := node :: !roots);
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  List.iter
+    (fun (j : B.t) ->
+      close_until (B.interval_of j);
+      stack := (j, ref []) :: !stack)
+    sorted;
+  (* close everything: use an interval right of all jobs *)
+  (match sorted with
+  | [] -> ()
+  | _ ->
+      let far = List.fold_left (fun acc (j : B.t) -> Q.max acc j.B.deadline) Q.zero sorted in
+      close_until (I.make (Q.add far Q.one) (Q.add far Q.two)));
+  List.rev !roots
+
+type choice = Join | Open
+
+let exact ~g jobs =
+  if g < 1 then invalid_arg "Laminar.exact: g < 1";
+  List.iter
+    (fun (j : B.t) -> if not (B.is_interval j) then invalid_arg "Laminar.exact: flexible job")
+    jobs;
+  if not (is_laminar jobs) then invalid_arg "Laminar.exact: instance is not laminar";
+  Bundle.ensure_unique_ids "Laminar.exact" jobs;
+  let forest = build_forest jobs in
+  (* DP with memoized (node, R) -> (cost, choice), then a reconstruction
+     pass. Clusters are identified by the id of their top job; when
+     joining we draw from an open ancestor cluster with remaining
+     capacity (which one is immaterial: only the path total matters, and
+     total >= 1 iff some cluster has remaining >= 1). *)
+  let bundles : (int, B.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  let memo : (int * int, Q.t * choice) Hashtbl.t = Hashtbl.create 64 in
+  let rec cost node r =
+    match Hashtbl.find_opt memo (node.job.B.id, r) with
+    | Some (c, _) -> c
+    | None ->
+        let kids_cost r' = List.fold_left (fun acc k -> Q.add acc (cost k r')) Q.zero node.children in
+        let open_cost = Q.add node.job.B.length (kids_cost (r + g - 1)) in
+        let best =
+          if r >= 1 then begin
+            let join_cost = kids_cost (r - 1) in
+            if Q.compare join_cost open_cost <= 0 then (join_cost, Join) else (open_cost, Open)
+          end
+          else (open_cost, Open)
+        in
+        Hashtbl.replace memo (node.job.B.id, r) best;
+        fst best
+  in
+  (* rebuild: open_clusters = (top id, remaining) list along the path *)
+  let rec rebuild node r open_clusters =
+    ignore (cost node r);
+    let _, choice = Hashtbl.find memo (node.job.B.id, r) in
+    match choice with
+    | Open ->
+        let bucket = ref [ node.job ] in
+        Hashtbl.replace bundles node.job.B.id bucket;
+        let clusters' = (node.job.B.id, g - 1) :: open_clusters in
+        List.iter (fun c -> rebuild c (r + g - 1) clusters') node.children
+    | Join ->
+        (* take from the open cluster with the least positive remaining *)
+        let usable = List.filter (fun (_, rem) -> rem > 0) open_clusters in
+        let tid, _ =
+          List.fold_left (fun (bt, br) (t, rem) -> if rem < br then (t, rem) else (bt, br))
+            (List.hd usable) usable
+        in
+        let bucket = Hashtbl.find bundles tid in
+        bucket := node.job :: !bucket;
+        let clusters' =
+          List.map (fun (t, rem) -> if t = tid then (t, rem - 1) else (t, rem)) open_clusters
+        in
+        List.iter (fun c -> rebuild c (r - 1) clusters') node.children
+  in
+  List.iter (fun root -> rebuild root 0 []) forest;
+  Hashtbl.fold (fun _ bucket acc -> !bucket :: acc) bundles []
+
+let optimum ~g jobs = Bundle.total_busy (exact ~g jobs)

@@ -1,0 +1,22 @@
+(** Exact busy time for laminar instances (Khandekar et al. prove the
+    laminar case polynomial; Section 1 of the paper).
+
+    In a laminar family overlap implies nesting, so a bundle's busy time
+    is the total length of its inclusion-maximal members and capacity
+    means at most [g] bundle members on any nesting chain. The solver
+    runs a tree DP over the laminar forest in which only the total
+    remaining join capacity along the current root path is state:
+
+    [f(v, R) = min(join: f_kids(R-1) if R >= 1, open: len v + f_kids(R+g-1))]
+
+    Validated against the exhaustive optimum on random laminar instances
+    in the tests. *)
+
+(** Every pair of intervals is nested or disjoint. *)
+val is_laminar : Workload.Bjob.t list -> bool
+
+(** Exact optimal packing. Raises [Invalid_argument] on non-laminar or
+    flexible inputs, or [g < 1]. Polynomial time. *)
+val exact : g:int -> Workload.Bjob.t list -> Bundle.packing
+
+val optimum : g:int -> Workload.Bjob.t list -> Rational.t

@@ -1,0 +1,65 @@
+(* The dual resource-allocation problem (Mertzios et al., Section 1.3):
+   given interval jobs, capacity g and a busy-time budget, schedule as
+   many jobs as possible without the packing's total busy time exceeding
+   the budget. NP-hard whenever the minimization problem is (the paper's
+   Section 1.3), so we provide an exact subset search for small n and a
+   budget-greedy heuristic, compared in experiment E13.
+
+   Ties in job count are broken toward smaller busy time. *)
+
+module Q = Rational
+module B = Workload.Bjob
+
+(* Cheapest packing of a set: exact for tiny sets, GreedyTracking beyond
+   (keeps [exact]'s subset search sound as an accept/reject oracle only
+   for small n, which is the documented scope). *)
+let min_busy ~g jobs =
+  if jobs = [] then (Q.zero, [])
+  else begin
+    let packing = if List.length jobs <= 9 then Exact.solve ~g jobs else Greedy_tracking.solve ~g jobs in
+    (Bundle.total_busy packing, packing)
+  end
+
+let exact ~g ~budget jobs =
+  if g < 1 then invalid_arg "Maximize.exact: g < 1";
+  let n = List.length jobs in
+  if n > 12 then invalid_arg "Maximize.exact: too many jobs for exhaustive search";
+  let arr = Array.of_list jobs in
+  let best = ref ([], Q.zero, []) in
+  let best_count = ref (-1) in
+  for mask = 0 to (1 lsl n) - 1 do
+    let subset = List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list arr) in
+    let count = List.length subset in
+    if count >= !best_count then begin
+      let busy, packing = min_busy ~g subset in
+      if Q.compare busy budget <= 0 then begin
+        let _, cur_busy, _ = !best in
+        if count > !best_count || Q.compare busy cur_busy < 0 then begin
+          best := (subset, busy, packing);
+          best_count := count
+        end
+      end
+    end
+  done;
+  let subset, busy, packing = !best in
+  (subset, busy, packing)
+
+(* Greedy: consider jobs by non-decreasing length (cheap first); accept a
+   job when the accepted set still packs within budget. *)
+let greedy ~g ~budget jobs =
+  if g < 1 then invalid_arg "Maximize.greedy: g < 1";
+  let sorted = List.stable_sort (fun (a : B.t) (b : B.t) -> Q.compare a.B.length b.B.length) jobs in
+  let accepted = ref [] in
+  let packing = ref [] in
+  let busy = ref Q.zero in
+  List.iter
+    (fun job ->
+      let candidate = job :: !accepted in
+      let b, p = min_busy ~g candidate in
+      if Q.compare b budget <= 0 then begin
+        accepted := candidate;
+        packing := p;
+        busy := b
+      end)
+    sorted;
+  (!accepted, !busy, !packing)

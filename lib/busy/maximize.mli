@@ -1,0 +1,17 @@
+(** The dual resource-allocation maximization (Mertzios et al., Section
+    1.3): schedule as many interval jobs as possible subject to a total
+    busy-time budget and capacity [g]. NP-hard whenever the minimization
+    is; exact subset search for small [n], budget-greedy heuristic beyond
+    (experiment E13 compares them). Results are
+    [(accepted jobs, their busy time, their packing)]. *)
+
+(** Raises [Invalid_argument] beyond 12 jobs or [g < 1]. Maximizes the
+    job count, ties broken toward smaller busy time. *)
+val exact :
+  g:int -> budget:Rational.t -> Workload.Bjob.t list ->
+  Workload.Bjob.t list * Rational.t * Bundle.packing
+
+(** Cheapest-first greedy acceptance. *)
+val greedy :
+  g:int -> budget:Rational.t -> Workload.Bjob.t list ->
+  Workload.Bjob.t list * Rational.t * Bundle.packing

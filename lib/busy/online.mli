@@ -1,0 +1,17 @@
+(** Online busy time (Shalom et al., cited in Section 1.3): interval jobs
+    arrive in release order and are assigned to machines immediately and
+    irrevocably. Deterministic algorithms cannot beat competitiveness [g]
+    in general; classing jobs by length underlies the O(g)-competitive
+    algorithm. Both rules below are property-tested to produce valid
+    packings; experiment E12 measures their empirical competitive
+    ratios. *)
+
+(** Length class [k] such that [length] is in [\[2^k, 2^{k+1})]. Raises
+    [Invalid_argument] on non-positive lengths. *)
+val length_class : Rational.t -> int
+
+(** First machine with capacity, jobs in release order. *)
+val first_fit : g:int -> Workload.Bjob.t list -> Bundle.packing
+
+(** First fit within per-length-class machine pools. *)
+val bucketed_first_fit : g:int -> Workload.Bjob.t list -> Bundle.packing

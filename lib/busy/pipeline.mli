@@ -1,0 +1,26 @@
+(** End-to-end busy-time scheduling of flexible jobs (Section 4.3): pin
+    jobs by a span-minimizing placement, then run an interval-job
+    algorithm. With GreedyTracking this is the paper's 3-approximation;
+    with the 2-approximation it is 4-approximate and tight (Theorem 10);
+    with FirstFit it is the prior 4-approximation. *)
+
+type interval_algorithm = First_fit | Greedy_tracking | Two_approx
+
+type placement_mode =
+  | Exact_placement
+  | Greedy_placement
+  | Pinned of Workload.Bjob.t list
+      (** a precomputed (e.g. adversarial) placement; must pin exactly the
+          input job set *)
+
+(** Applies the placement mode; raises [Invalid_argument] when a pinned
+    placement mismatches the jobs or is not all-interval. *)
+val place : placement_mode -> Workload.Bjob.t list -> Workload.Bjob.t list
+
+(** Returns the pinned jobs and the packing of them. *)
+val run :
+  g:int ->
+  placement:placement_mode ->
+  algorithm:interval_algorithm ->
+  Workload.Bjob.t list ->
+  Workload.Bjob.t list * Bundle.packing

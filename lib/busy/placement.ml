@@ -1,0 +1,128 @@
+(* Span-minimizing placement of flexible jobs with unbounded capacity -
+   the role Khandekar et al.'s dynamic program (paper Theorem 4) plays in
+   the flexible-job pipeline. Its output converts flexible jobs to
+   interval jobs whose span is OPT_infinity, the lower bound used by
+   Theorems 5/10.
+
+   Substitution (DESIGN.md item 2): the FSTTCS'10 DP is only sketched in
+   this paper, so we provide
+
+   - [exact]: branch-and-bound over integer start times (valid for
+     integer-data instances: a sliding argument moves any optimal
+     placement to integer starts without increasing the union measure),
+     pruned by the partial union measure against an incumbent. Exponential
+     worst case; intended for small n / small windows (tests, gadgets).
+
+   - [greedy]: place jobs in non-increasing length order at the start
+     minimizing the marginal union growth (candidates: window ends and
+     positions snapped against already-placed intervals), then local-search
+     re-placement passes until a fixed point. Near-optimal empirically;
+     the tests measure its gap against [exact] on random instances.
+
+   Both return interval jobs (same ids, pinned starts). *)
+
+module Q = Rational
+module B = Workload.Bjob
+module I = Intervals.Interval
+module U = Intervals.Union
+
+let is_integer_job (j : B.t) = Q.is_integer j.B.release && Q.is_integer j.B.deadline && Q.is_integer j.B.length
+
+let span_of placed = Intervals.span (List.map B.interval_of placed)
+
+(* candidate starts for [j] given a union of already-placed intervals:
+   window ends, plus starts that butt j against an existing component
+   boundary (end of a component, or start of a component minus length) *)
+let candidate_starts (j : B.t) union =
+  let lo = j.B.release and hi = B.latest_start j in
+  let clamp s = if Q.compare s lo < 0 then None else if Q.compare s hi > 0 then None else Some s in
+  let anchors =
+    List.concat_map
+      (fun (c : I.t) -> [ c.I.lo; c.I.hi; Q.sub c.I.lo j.B.length; Q.sub c.I.hi j.B.length ])
+      (U.components union)
+  in
+  List.sort_uniq Q.compare (lo :: hi :: List.filter_map clamp anchors)
+
+let place_best union (j : B.t) =
+  let best = ref None in
+  List.iter
+    (fun s ->
+      let iv = I.make s (Q.add s j.B.length) in
+      let cost = U.marginal union iv in
+      match !best with
+      | Some (_, c) when Q.compare c cost <= 0 -> ()
+      | _ -> best := Some (s, cost))
+    (candidate_starts j union);
+  match !best with Some (s, _) -> B.place j s | None -> assert false
+
+let greedy ?(passes = 3) jobs =
+  let sorted = List.stable_sort (fun (a : B.t) (b : B.t) -> Q.compare b.B.length a.B.length) jobs in
+  let initial =
+    List.fold_left
+      (fun (placed, union) j ->
+        let p = place_best union j in
+        (p :: placed, U.add union (B.interval_of p)))
+      ([], U.empty) sorted
+    |> fst
+  in
+  (* local search: re-place each job given all the others *)
+  let improve placed =
+    List.fold_left
+      (fun placed (j : B.t) ->
+        let others = List.filter (fun (k : B.t) -> k.B.id <> j.B.id) placed in
+        let union = U.of_list (List.map B.interval_of others) in
+        let original = List.find (fun (o : B.t) -> o.B.id = j.B.id) jobs in
+        place_best union original :: others)
+      placed jobs
+  in
+  let rec loop placed k =
+    if k = 0 then placed
+    else begin
+      let placed' = improve placed in
+      if Q.compare (span_of placed') (span_of placed) < 0 then loop placed' (k - 1) else placed
+    end
+  in
+  List.sort (fun (a : B.t) (b : B.t) -> compare a.B.id b.B.id) (loop initial passes)
+
+(* Exact minimum-span placement for integer-data instances. *)
+let exact jobs =
+  List.iter
+    (fun j ->
+      if not (is_integer_job j) then invalid_arg "Placement.exact: non-integer job data")
+    jobs;
+  let incumbent = ref (greedy jobs) in
+  let best = ref (span_of !incumbent) in
+  (* order jobs by window start for a left-to-right search *)
+  let sorted = List.sort (fun (a : B.t) (b : B.t) -> Q.compare a.B.release b.B.release) jobs in
+  let rec dfs placed union = function
+    | [] ->
+        let s = U.measure union in
+        if Q.compare s !best < 0 then begin
+          best := s;
+          incumbent := List.rev placed
+        end
+    | (j : B.t) :: rest ->
+        if Q.compare (U.measure union) !best < 0 then begin
+          let lo = Q.floor_int j.B.release and hi = Q.floor_int (B.latest_start j) in
+          (* try starts in an order that looks at snapped positions first *)
+          let starts = List.init (hi - lo + 1) (fun i -> Q.of_int (lo + i)) in
+          let scored =
+            List.map
+              (fun s ->
+                let iv = I.make s (Q.add s j.B.length) in
+                (U.marginal union iv, s))
+              starts
+          in
+          let ordered = List.sort (fun (a, _) (b, _) -> Q.compare a b) scored in
+          List.iter
+            (fun (_, s) ->
+              let p = B.place j s in
+              dfs (p :: placed) (U.add union (B.interval_of p)) rest)
+            ordered
+        end
+  in
+  dfs [] U.empty sorted;
+  List.sort (fun (a : B.t) (b : B.t) -> compare a.B.id b.B.id) !incumbent
+
+(* Convenience: minimal span value. *)
+let optimum_span jobs = span_of (exact jobs)

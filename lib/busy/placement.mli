@@ -1,0 +1,24 @@
+(** Span-minimizing placement of flexible jobs with unbounded capacity —
+    the role of Khandekar et al.'s dynamic program (paper Theorem 4) in
+    the flexible-job pipeline. The output pins every job to a start time;
+    its span is the [OPT_infinity] lower bound used by Theorems 5/10.
+
+    Substitution (DESIGN.md item 2): [exact] is a branch-and-bound over
+    integer start times (complete for integer-data instances by a sliding
+    argument), [greedy] a marginal-span insertion with local-search
+    re-placement; the tests measure the greedy's gap against [exact]. *)
+
+(** Greedy placement: non-increasing length order, each job at the
+    candidate start minimizing the marginal union growth, then up to
+    [passes] re-placement sweeps. Returns interval jobs, sorted by id. *)
+val greedy : ?passes:int -> Workload.Bjob.t list -> Workload.Bjob.t list
+
+(** Exact minimum-span placement. Raises [Invalid_argument] on
+    non-integer job data; exponential — intended for small instances. *)
+val exact : Workload.Bjob.t list -> Workload.Bjob.t list
+
+(** Span of the exact placement: [OPT_infinity] for integer instances. *)
+val optimum_span : Workload.Bjob.t list -> Rational.t
+
+(** Measure of the union of a placed job set's intervals. *)
+val span_of : Workload.Bjob.t list -> Rational.t

@@ -1,0 +1,73 @@
+(* Online busy-time MAXIMIZATION on a single machine without parallelism
+   (Faigle, Garbe, Kern, cited in Section 1.3): interval jobs arrive by
+   release time; the machine runs at most one job at a time and may abort
+   the running job to start a newly arrived one, losing the aborted job.
+   Credit is earned for COMPLETED jobs only; the objective is their total
+   length - the opposite of everything else in this repository, included
+   to complete the related-work coverage.
+
+   Policies:
+   - [greedy_switch]: abort iff the arriving job would finish later than
+     the running one (the natural deterministic rule; deterministic
+     policies cannot be constant-competitive, which is why Faigle et al.
+     randomize - experiment E12 shows the losses empirically);
+   - [stubborn]: never abort.
+
+   [offline_optimum] is the true offline optimum: completed jobs are
+   pairwise disjoint, so it is a maximum-total-length set of disjoint
+   intervals (weighted interval scheduling). *)
+
+module Q = Rational
+module B = Workload.Bjob
+
+let release_order jobs =
+  List.stable_sort (fun (a : B.t) (b : B.t) -> Q.compare a.B.release b.B.release) jobs
+
+let check name jobs =
+  List.iter (fun (j : B.t) -> if not (B.is_interval j) then invalid_arg (name ^ ": flexible job")) jobs
+
+(* Run a policy: [switch ~running ~candidate] decides whether to abort.
+   Returns (total completed length, completed jobs in order). *)
+let run ~switch jobs =
+  let completed = ref [] in
+  let value = ref Q.zero in
+  let running : B.t option ref = ref None in
+  let finish_up_to t =
+    match !running with
+    | Some j when Q.compare j.B.deadline t <= 0 ->
+        value := Q.add !value j.B.length;
+        completed := j :: !completed;
+        running := None
+    | _ -> ()
+  in
+  List.iter
+    (fun (j : B.t) ->
+      finish_up_to j.B.release;
+      match !running with
+      | None -> running := Some j
+      | Some current -> if switch ~running:current ~candidate:j then running := Some j)
+    (release_order jobs);
+  (match !running with
+  | Some j ->
+      value := Q.add !value j.B.length;
+      completed := j :: !completed
+  | None -> ());
+  (!value, List.rev !completed)
+
+let greedy_switch jobs =
+  check "Single_online.greedy_switch" jobs;
+  run ~switch:(fun ~running ~candidate -> Q.compare candidate.B.deadline running.B.deadline > 0) jobs
+
+let stubborn jobs =
+  check "Single_online.stubborn" jobs;
+  run ~switch:(fun ~running:_ ~candidate:_ -> false) jobs
+
+(* True offline optimum: any schedule's completed jobs are pairwise
+   disjoint, and any disjoint set is schedulable, so this is weighted
+   interval scheduling with weight = length. *)
+let offline_optimum jobs =
+  check "Single_online.offline_optimum" jobs;
+  let chosen, total =
+    Intervals.Track.max_weight_disjoint ~interval:B.interval_of ~weight:(fun (j : B.t) -> j.B.length) jobs
+  in
+  (total, chosen)

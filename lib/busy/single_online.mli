@@ -1,0 +1,16 @@
+(** Online busy-time maximization on a single machine without parallelism
+    (Faigle–Garbe–Kern, Section 1.3): interval jobs arrive by release
+    time; at most one runs at a time; an arrival may abort the running
+    job (losing it); credit is the total length of completed jobs. *)
+
+(** Abort iff the arriving job finishes later. Returns (total completed
+    length, completed jobs). Raises [Invalid_argument] on flexible
+    jobs. *)
+val greedy_switch : Workload.Bjob.t list -> Rational.t * Workload.Bjob.t list
+
+(** Never abort. *)
+val stubborn : Workload.Bjob.t list -> Rational.t * Workload.Bjob.t list
+
+(** The offline optimum: a maximum-total-length set of pairwise disjoint
+    jobs (weighted interval scheduling). *)
+val offline_optimum : Workload.Bjob.t list -> Rational.t * Workload.Bjob.t list

@@ -1,0 +1,23 @@
+(** Special-case busy-time algorithms (paper footnote 1, Section 1.3):
+    proper instances and cliques admit 2-approximations; proper cliques
+    are exactly solvable by a consecutive-runs dynamic program
+    (Mertzios et al.). All functions require interval jobs and raise
+    [Invalid_argument] when the structural precondition fails. *)
+
+(** No job's interval strictly contains another's. *)
+val is_proper : Workload.Bjob.t list -> bool
+
+(** All intervals share a common time point. *)
+val is_clique : Workload.Bjob.t list -> bool
+
+(** Release-order first fit; 2-approximate on proper instances. *)
+val proper_greedy : g:int -> Workload.Bjob.t list -> Bundle.packing
+
+(** [g] consecutive jobs (release order) per machine; 2-approximate on
+    cliques. *)
+val clique_greedy : g:int -> Workload.Bjob.t list -> Bundle.packing
+
+(** Exact on proper cliques: O(n g) DP over consecutive runs of the
+    release-sorted order (validated against exhaustive search in the
+    tests). *)
+val proper_clique_exact : g:int -> Workload.Bjob.t list -> Bundle.packing

@@ -1,0 +1,26 @@
+(** The interval-job 2-approximation, after Alicherry–Bhatia and
+    Kumar–Rudra (paper Theorem 3 and Appendix A).
+
+    Each iteration routes a flow of value 2 through the event DAG — one
+    capacity-1 edge per job, capacity-1 idle edges between consecutive
+    events inside the support, capacity-2 bridges across zero-demand
+    gaps — and decomposes it into two tracks that {e jointly cover} the
+    current support (idle capacity 1 forces at least one job edge across
+    every boundary). Every support point loses at least one unit of
+    demand per iteration; after the [g] iterations of a bundle pair the
+    demand has dropped by [g] everywhere, so pair [p]'s busy time charges
+    level [p] of the demand profile at most twice: total
+    [<= 2 * profile <= 2 OPT]. *)
+
+(** [covering_track_pair jobs] is two tracks whose union covers the
+    support of [jobs] (all interval). Exposed for tests. *)
+val covering_track_pair : Workload.Bjob.t list -> Workload.Bjob.t list * Workload.Bjob.t list
+
+(** Raises [Invalid_argument] on flexible jobs or [g < 1]. Property-tested
+    to cost at most [2 * demand profile]. *)
+val solve : g:int -> Workload.Bjob.t list -> Bundle.packing
+
+(** Ablation-only variant: a bundle pair absorbs [pair_depth] track pairs
+    instead of the [g] the charging argument requires. Valid packings,
+    weaker costs. *)
+val solve_with_depth : pair_depth:int -> g:int -> Workload.Bjob.t list -> Bundle.packing

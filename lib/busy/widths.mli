@@ -1,0 +1,43 @@
+(** Busy time with job widths/demands (Khandekar et al., discussed in
+    Section 1): each job carries a width [w <= g] and the widths of the
+    jobs active on a machine may sum to at most [g] at any time. Unit
+    widths recover the standard model. *)
+
+type wjob = { job : Workload.Bjob.t; width : int }
+
+(** Raises [Invalid_argument] on [width < 1] or a flexible job. *)
+val wjob : job:Workload.Bjob.t -> width:int -> wjob
+
+(** Peak total width of a bundle, optionally restricted to a window. *)
+val peak_width : ?within:Intervals.Interval.t -> wjob list -> int
+
+val fits : g:int -> wjob list -> wjob -> bool
+val busy_time : wjob list -> Rational.t
+val total_busy : wjob list list -> Rational.t
+
+(** Partition + width-capacity validation; first violation or [None]. *)
+val check : g:int -> wjob list -> wjob list list -> string option
+
+(** [sum(w_j p_j) / g]. *)
+val mass : g:int -> wjob list -> Rational.t
+
+val span : wjob list -> Rational.t
+
+(** Width-weighted demand profile: [sum ceil(width demand / g) * |cell|]. *)
+val demand_profile : g:int -> wjob list -> Rational.t
+
+val best_bound : g:int -> wjob list -> Rational.t
+
+(** FirstFit by non-increasing length over width-aware capacity. *)
+val first_fit : g:int -> wjob list -> wjob list list
+
+val is_wide : g:int -> wjob -> bool
+
+(** Khandekar et al.'s device: wide jobs ([w > g/2]) packed among
+    themselves, narrow jobs separately (their 5-approximation's
+    skeleton). *)
+val narrow_wide_split : g:int -> wjob list -> wjob list list
+
+(** Exact optimum by insertion branch-and-bound; [Invalid_argument]
+    beyond 12 jobs. *)
+val exact : g:int -> wjob list -> wjob list list

@@ -1,0 +1,210 @@
+(* Dinic's algorithm. Edges live in growable parallel arrays; the reverse
+   (residual) edge of edge [i] is [i lxor 1]. [cap] holds residual capacity;
+   the original capacity is kept separately so per-edge flow is
+   [orig - residual] for forward edges. *)
+
+type t = {
+  mutable dst : int array;
+  mutable cap : int array; (* residual *)
+  mutable orig : int array; (* original capacity; 0 for reverse edges *)
+  mutable edge_count : int;
+  adj : int list array; (* per-vertex edge indices, reversed order *)
+  n : int;
+  mutable pushed : bool; (* some flow has been pushed since reset *)
+}
+
+and _adj = int list array
+
+type edge = int
+
+let create n =
+  { dst = Array.make 16 0; cap = Array.make 16 0; orig = Array.make 16 0; edge_count = 0;
+    adj = Array.make (Stdlib.max n 1) []; n; pushed = false }
+
+let vertex_count t = t.n
+
+let ensure_room t =
+  let len = Array.length t.dst in
+  if t.edge_count + 2 > len then begin
+    let grow a = Array.append a (Array.make len 0) in
+    t.dst <- grow t.dst;
+    t.cap <- grow t.cap;
+    t.orig <- grow t.orig
+  end
+
+let add_edge t ~src ~dst ~cap =
+  if cap < 0 then invalid_arg "Flow.add_edge: negative capacity";
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then invalid_arg "Flow.add_edge: vertex out of range";
+  ensure_room t;
+  let e = t.edge_count in
+  t.dst.(e) <- dst;
+  t.cap.(e) <- cap;
+  t.orig.(e) <- cap;
+  t.dst.(e + 1) <- src;
+  t.cap.(e + 1) <- 0;
+  t.orig.(e + 1) <- 0;
+  t.edge_count <- e + 2;
+  t.adj.(src) <- e :: t.adj.(src);
+  t.adj.(dst) <- (e + 1) :: t.adj.(dst);
+  e
+
+let set_cap t e cap =
+  if t.pushed then invalid_arg "Flow.set_cap: flow present; reset first";
+  if cap < 0 then invalid_arg "Flow.set_cap: negative capacity";
+  t.cap.(e) <- cap;
+  t.orig.(e) <- cap
+
+let flow t e = t.orig.(e) - t.cap.(e)
+let cap t e = t.orig.(e)
+
+let reset t =
+  Array.blit t.orig 0 t.cap 0 t.edge_count;
+  t.pushed <- false
+
+(* BFS levels on the residual graph; level.(v) = -1 when unreachable. *)
+let bfs t ~source ~sink level =
+  Array.fill level 0 t.n (-1);
+  level.(source) <- 0;
+  let queue = Queue.create () in
+  Queue.push source queue;
+  let found = ref false in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun e ->
+        let w = t.dst.(e) in
+        if t.cap.(e) > 0 && level.(w) < 0 then begin
+          level.(w) <- level.(v) + 1;
+          if w = sink then found := true;
+          Queue.push w queue
+        end)
+      t.adj.(v)
+  done;
+  !found
+
+let max_flow t ~source ~sink =
+  if source = sink then invalid_arg "Flow.max_flow: source = sink";
+  let level = Array.make t.n (-1) in
+  let iter = Array.make t.n [] in
+  let total = ref 0 in
+  (* DFS for a blocking flow along level-increasing residual edges. *)
+  let rec dfs v limit =
+    if v = sink then limit
+    else begin
+      let pushed = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        match iter.(v) with
+        | [] -> continue_ := false
+        | e :: rest ->
+            let w = t.dst.(e) in
+            if t.cap.(e) > 0 && level.(w) = level.(v) + 1 then begin
+              let d = dfs w (Stdlib.min limit t.cap.(e)) in
+              if d > 0 then begin
+                t.cap.(e) <- t.cap.(e) - d;
+                t.cap.(e lxor 1) <- t.cap.(e lxor 1) + d;
+                pushed := d;
+                continue_ := false
+              end
+              else iter.(v) <- rest
+            end
+            else iter.(v) <- rest
+      done;
+      !pushed
+    end
+  in
+  while bfs t ~source ~sink level do
+    Array.blit t.adj 0 iter 0 t.n;
+    let d = ref (dfs source max_int) in
+    while !d > 0 do
+      total := !total + !d;
+      d := dfs source max_int
+    done
+  done;
+  if !total > 0 then t.pushed <- true;
+  !total
+
+let min_cut t ~source =
+  let side = Array.make t.n false in
+  side.(source) <- true;
+  let queue = Queue.create () in
+  Queue.push source queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun e ->
+        let w = t.dst.(e) in
+        if t.cap.(e) > 0 && not side.(w) then begin
+          side.(w) <- true;
+          Queue.push w queue
+        end)
+      t.adj.(v)
+  done;
+  side
+
+let decompose_paths t ~source ~sink =
+  (* Work on a copy of per-edge flow; repeatedly trace a positive-flow walk
+     from source. Cycles encountered along the walk are cancelled in place
+     (flow strictly decreases, so this terminates); walks reaching the sink
+     become simple paths. *)
+  let fl = Array.init t.edge_count (fun e -> if t.orig.(e) > 0 then flow t e else 0) in
+  let paths = ref [] in
+  let pos = Array.make t.n (-1) in
+  (* stack_v.(i) = i-th vertex of the walk; stack_e.(i) = edge into it. *)
+  let stack_v = Array.make (t.n + 1) 0 in
+  let stack_e = Array.make (t.n + 1) 0 in
+  let exception Restart in
+  let finished = ref false in
+  while not !finished do
+    match
+      Array.fill pos 0 t.n (-1);
+      stack_v.(0) <- source;
+      pos.(source) <- 0;
+      let depth = ref 0 in
+      let outcome = ref None in
+      (try
+         while !outcome = None do
+           let v = stack_v.(!depth) in
+           if v = sink then outcome := Some true
+           else
+             match List.find_opt (fun e -> t.orig.(e) > 0 && fl.(e) > 0) t.adj.(v) with
+             | None -> outcome := Some false
+             | Some e ->
+                 let w = t.dst.(e) in
+                 if w <> sink && pos.(w) >= 0 then begin
+                   (* cycle: w .. v -> w; cancel its flow and restart *)
+                   let lo = pos.(w) in
+                   let amount = ref fl.(e) in
+                   for i = lo + 1 to !depth do
+                     amount := Stdlib.min !amount fl.(stack_e.(i))
+                   done;
+                   fl.(e) <- fl.(e) - !amount;
+                   for i = lo + 1 to !depth do
+                     fl.(stack_e.(i)) <- fl.(stack_e.(i)) - !amount
+                   done;
+                   raise Restart
+                 end
+                 else begin
+                   incr depth;
+                   stack_v.(!depth) <- w;
+                   stack_e.(!depth) <- e;
+                   pos.(w) <- !depth
+                 end
+         done
+       with Restart -> outcome := None);
+      (!outcome, !depth)
+    with
+    | None, _ -> () (* cycle cancelled; retry *)
+    | Some false, _ -> finished := true
+    | Some true, depth ->
+        let amount = ref max_int in
+        for i = 1 to depth do
+          amount := Stdlib.min !amount fl.(stack_e.(i))
+        done;
+        for i = 1 to depth do
+          fl.(stack_e.(i)) <- fl.(stack_e.(i)) - !amount
+        done;
+        let vertices = List.init (depth + 1) (fun i -> stack_v.(i)) in
+        paths := (vertices, !amount) :: !paths
+  done;
+  List.rev !paths

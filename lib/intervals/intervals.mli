@@ -1,0 +1,108 @@
+(** Geometry of half-open time intervals over exact rational time.
+
+    This is the shared vocabulary of the busy-time model: spans (projection
+    measure, Definition 9/10 in the paper), *interesting intervals*
+    (Definition 12: maximal intervals in which no job begins or ends), raw
+    demand [A(t)] and the demand profile [D(t) = ceil(A(t)/g)]
+    (Definitions 11/13), tracks (Definition 14: pairwise-disjoint job sets)
+    and the maximum-length track computation used by GreedyTracking. *)
+
+module Interval : sig
+  (** A half-open interval [\[lo, hi)] with [lo <= hi]. *)
+  type t = private { lo : Rational.t; hi : Rational.t }
+
+  (** Raises [Invalid_argument] when [hi < lo]. *)
+  val make : Rational.t -> Rational.t -> t
+
+  val of_ints : int -> int -> t
+  val length : t -> Rational.t
+  val is_empty : t -> bool
+  val contains : t -> Rational.t -> bool
+
+  (** Positive-measure intersection ([\[0,1)] and [\[1,2)] do not overlap). *)
+  val overlaps : t -> t -> bool
+
+  (** [subset a b] iff [a] is contained in [b] (empty intervals in all). *)
+  val subset : t -> t -> bool
+
+  val intersect : t -> t -> t option
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Canonical unions of intervals: sorted, disjoint, non-adjacent, nonempty
+    components. The busy time of a machine is the measure of the union of
+    its jobs' intervals. *)
+module Union : sig
+  type t
+
+  val empty : t
+  val of_list : Interval.t list -> t
+
+  (** Maximal components, sorted by left endpoint. *)
+  val components : t -> Interval.t list
+
+  (** Total measure — [Sp(S)] in the paper. *)
+  val measure : t -> Rational.t
+
+  val add : t -> Interval.t -> t
+  val union : t -> t -> t
+  val contains_point : t -> Rational.t -> bool
+
+  (** [gaps u within] lists the maximal subintervals of [within] that are
+      disjoint from [u], in order. *)
+  val gaps : t -> Interval.t -> Interval.t list
+
+  (** Measure of [of_list (iv :: components u)] minus measure of [u]: how
+      much busy time adding [iv] would cost. *)
+  val marginal : t -> Interval.t -> Rational.t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** [span intervals] is the measure of the union — [Sp] of a job set. *)
+val span : Interval.t list -> Rational.t
+
+module Demand : sig
+  (** A cell of the demand profile: an interesting interval together with
+      its raw demand (number of covering intervals). *)
+  type cell = { cell : Interval.t; raw : int }
+
+  (** Event-ordered cells of strictly positive length covering
+      [\[min lo, max hi)], including zero-demand cells (holes). Empty input
+      gives []. Input intervals of zero length are ignored. *)
+  val cells : Interval.t list -> cell list
+
+  (** Positive-demand cells only. *)
+  val support : Interval.t list -> cell list
+
+  (** Raw demand at a point. *)
+  val raw_at : Interval.t list -> Rational.t -> int
+
+  (** Maximum raw demand over all cells. *)
+  val max_raw : Interval.t list -> int
+
+  (** Demand-profile lower bound (Observation 4):
+      [sum over cells of length * ceil(raw/g)]. Raises [Invalid_argument]
+      when [g <= 0]. *)
+  val profile_cost : g:int -> Interval.t list -> Rational.t
+
+  (** Mass lower bound (Observation 2): [sum of lengths / g]. *)
+  val mass_bound : g:int -> Interval.t list -> Rational.t
+end
+
+module Track : sig
+  (** [max_weight_disjoint ~interval ~weight items] is a maximum-weight
+      subset of pairwise non-overlapping items (ties broken arbitrarily),
+      with its weight, by the classic weighted-interval-scheduling DP in
+      O(n log n). Zero-length items never conflict with anything. Weights
+      must be non-negative. *)
+  val max_weight_disjoint :
+    interval:('a -> Interval.t) -> weight:('a -> Rational.t) -> 'a list -> 'a list * Rational.t
+
+  (** [is_track ~interval items] iff items are pairwise non-overlapping. *)
+  val is_track : interval:('a -> Interval.t) -> 'a list -> bool
+end

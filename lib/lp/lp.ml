@@ -1,0 +1,304 @@
+module Q = Rational
+
+type sense = Le | Ge | Eq
+type objective_direction = Minimize | Maximize
+type var = int
+
+type row = { terms : (Q.t * var) list; sense : sense; rhs : Q.t }
+
+type model = {
+  mutable names : string list; (* reversed *)
+  mutable nvars : int;
+  mutable lower : Q.t list; (* reversed *)
+  mutable upper : Q.t option list; (* reversed *)
+  mutable rows : row list; (* reversed *)
+  mutable nrows : int;
+  mutable obj_dir : objective_direction;
+  mutable obj : (Q.t * var) list;
+}
+
+type solution = { objective : Q.t; var_values : Q.t array; sol_names : string array }
+
+type result = Optimal of solution | Infeasible | Unbounded
+
+let create () =
+  { names = []; nvars = 0; lower = []; upper = []; rows = []; nrows = 0; obj_dir = Minimize; obj = [] }
+
+let add_var ?(lower = Q.zero) ?upper m name =
+  (match upper with
+  | Some u when Q.compare u lower < 0 -> invalid_arg "Lp.add_var: upper < lower"
+  | _ -> ());
+  let v = m.nvars in
+  m.names <- name :: m.names;
+  m.lower <- lower :: m.lower;
+  m.upper <- upper :: m.upper;
+  m.nvars <- v + 1;
+  v
+
+let var_name m v = List.nth m.names (m.nvars - 1 - v)
+let num_vars m = m.nvars
+let num_constraints m = m.nrows
+
+(* Sum duplicate variables so the tableau sees each column once per row. *)
+let combine_terms terms =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (c, v) ->
+      let prev = try Hashtbl.find tbl v with Not_found -> Q.zero in
+      Hashtbl.replace tbl v (Q.add prev c))
+    terms;
+  Hashtbl.fold (fun v c acc -> if Q.is_zero c then acc else (c, v) :: acc) tbl []
+
+let add_constraint m terms sense rhs =
+  List.iter
+    (fun (_, v) -> if v < 0 || v >= m.nvars then invalid_arg "Lp.add_constraint: unknown variable")
+    terms;
+  m.rows <- { terms = combine_terms terms; sense; rhs } :: m.rows;
+  m.nrows <- m.nrows + 1
+
+let set_objective m dir terms =
+  List.iter
+    (fun (_, v) -> if v < 0 || v >= m.nvars then invalid_arg "Lp.set_objective: unknown variable")
+    terms;
+  m.obj_dir <- dir;
+  m.obj <- combine_terms terms
+
+(* ---------------------------------------------------------------------- *)
+(* Simplex on a dense rational tableau.                                    *)
+(* ---------------------------------------------------------------------- *)
+
+(* After the pivot count without strict objective improvement exceeds this
+   threshold we switch from Dantzig to Bland's rule, which cannot cycle. *)
+let degenerate_pivot_threshold = 64
+
+(* Pricing rule: Dantzig (most negative reduced cost) with the Bland
+   fallback above, or pure Bland. Exposed for the pivot-rule ablation. *)
+type pivot_rule = Dantzig_with_fallback | Pure_bland
+
+(* pivots performed by the most recent [solve] (both phases) *)
+let last_pivots = ref 0
+
+type tableau = {
+  a : Q.t array array; (* nrows x (ncols + 1); last column = rhs *)
+  mutable obj_row : Q.t array; (* length ncols *)
+  mutable obj_val : Q.t;
+  basis : int array; (* basic column of each row *)
+  ncols : int;
+  allowed : bool array; (* columns allowed to enter (artificials excluded in phase 2) *)
+}
+
+let pivot tab ~prow ~pcol =
+  let arr = tab.a in
+  let n = tab.ncols in
+  let prow_arr = arr.(prow) in
+  let pelem = prow_arr.(pcol) in
+  if not (Q.equal pelem Q.one) then
+    for j = 0 to n do
+      if not (Q.is_zero prow_arr.(j)) then prow_arr.(j) <- Q.div prow_arr.(j) pelem
+    done;
+  Array.iteri
+    (fun i row ->
+      if i <> prow && not (Q.is_zero row.(pcol)) then begin
+        let f = row.(pcol) in
+        for j = 0 to n do
+          if not (Q.is_zero prow_arr.(j)) then row.(j) <- Q.sub row.(j) (Q.mul f prow_arr.(j))
+        done
+      end)
+    arr;
+  let f = tab.obj_row.(pcol) in
+  if not (Q.is_zero f) then begin
+    for j = 0 to n - 1 do
+      if not (Q.is_zero prow_arr.(j)) then tab.obj_row.(j) <- Q.sub tab.obj_row.(j) (Q.mul f prow_arr.(j))
+    done;
+    (* v' = v + r_q * theta, theta = normalized pivot-row rhs *)
+    tab.obj_val <- Q.add tab.obj_val (Q.mul f prow_arr.(n))
+  end;
+  tab.basis.(prow) <- pcol
+
+(* Entering column: Dantzig (most negative reduced cost) or Bland (first
+   negative). Returns None at optimality. *)
+let entering tab ~bland =
+  let best = ref None in
+  (try
+     for j = 0 to tab.ncols - 1 do
+       if tab.allowed.(j) && Q.compare tab.obj_row.(j) Q.zero < 0 then
+         if bland then begin
+           best := Some j;
+           raise Exit
+         end
+         else
+           match !best with
+           | Some k when Q.compare tab.obj_row.(k) tab.obj_row.(j) <= 0 -> ()
+           | _ -> best := Some j
+     done
+   with Exit -> ());
+  !best
+
+(* Leaving row by ratio test; ties broken by smallest basic variable index
+   (Bland-compatible). Returns None when the column is unbounded below. *)
+let leaving tab ~pcol =
+  let m = Array.length tab.a in
+  let n = tab.ncols in
+  let best = ref None in
+  for i = 0 to m - 1 do
+    let aij = tab.a.(i).(pcol) in
+    if Q.compare aij Q.zero > 0 then begin
+      let ratio = Q.div tab.a.(i).(n) aij in
+      match !best with
+      | None -> best := Some (i, ratio)
+      | Some (bi, br) ->
+          let c = Q.compare ratio br in
+          if c < 0 || (c = 0 && tab.basis.(i) < tab.basis.(bi)) then best := Some (i, ratio)
+    end
+  done;
+  Option.map fst !best
+
+type simplex_outcome = S_optimal | S_unbounded
+
+let run_simplex ?(rule = Dantzig_with_fallback) tab =
+  let bland = ref (rule = Pure_bland) in
+  let stalled = ref 0 in
+  let outcome = ref None in
+  while !outcome = None do
+    match entering tab ~bland:!bland with
+    | None -> outcome := Some S_optimal
+    | Some pcol -> (
+        match leaving tab ~pcol with
+        | None -> outcome := Some S_unbounded
+        | Some prow ->
+            let before = tab.obj_val in
+            pivot tab ~prow ~pcol;
+            incr last_pivots;
+            if Q.equal before tab.obj_val then begin
+              incr stalled;
+              if !stalled > degenerate_pivot_threshold then bland := true
+            end
+            else stalled := 0)
+  done;
+  Option.get !outcome
+
+let solve ?(rule = Dantzig_with_fallback) m =
+  last_pivots := 0;
+  (* Shift variables by their lower bounds: work with z = x - l >= 0. *)
+  let lower = Array.of_list (List.rev m.lower) in
+  let upper = Array.of_list (List.rev m.upper) in
+  let names = Array.of_list (List.rev m.names) in
+  let rows0 = List.rev m.rows in
+  (* upper bounds become rows over z *)
+  let upper_rows =
+    List.concat
+      (List.init m.nvars (fun v ->
+           match upper.(v) with
+           | None -> []
+           | Some u -> [ { terms = [ (Q.one, v) ]; sense = Le; rhs = Q.sub u lower.(v) } ]))
+  in
+  let shift_row r =
+    let shift = List.fold_left (fun acc (c, v) -> Q.add acc (Q.mul c lower.(v))) Q.zero r.terms in
+    { r with rhs = Q.sub r.rhs shift }
+  in
+  let rows = List.map shift_row rows0 @ upper_rows in
+  let nrows = List.length rows in
+  (* objective over z, with constant offset for the lower-bound shift *)
+  let minimize_obj = match m.obj_dir with Minimize -> m.obj | Maximize -> List.map (fun (c, v) -> (Q.neg c, v)) m.obj in
+  let obj_offset = List.fold_left (fun acc (c, v) -> Q.add acc (Q.mul c lower.(v))) Q.zero minimize_obj in
+  (* columns: structural z (nvars) | slacks (one per Le/Ge row) | artificials (one per row) *)
+  let nslack = List.fold_left (fun acc r -> match r.sense with Eq -> acc | Le | Ge -> acc + 1) 0 rows in
+  let ncols = m.nvars + nslack + nrows in
+  let a = Array.init nrows (fun _ -> Array.make (ncols + 1) Q.zero) in
+  let basis = Array.make nrows 0 in
+  let allowed = Array.make ncols true in
+  let slack_idx = ref m.nvars in
+  List.iteri
+    (fun i r ->
+      let neg = Q.compare r.rhs Q.zero < 0 in
+      let put c v = a.(i).(v) <- Q.add a.(i).(v) (if neg then Q.neg c else c) in
+      List.iter (fun (c, v) -> put c v) r.terms;
+      (match r.sense with
+      | Le ->
+          put Q.one !slack_idx;
+          incr slack_idx
+      | Ge ->
+          put Q.minus_one !slack_idx;
+          incr slack_idx
+      | Eq -> ());
+      a.(i).(ncols) <- Q.abs r.rhs;
+      (* artificial variable for this row *)
+      let art = m.nvars + nslack + i in
+      a.(i).(art) <- Q.one;
+      basis.(i) <- art)
+    rows;
+  (* Phase 1: minimize sum of artificials. Canonical reduced costs with the
+     artificial basis: r_j = -sum_i a_ij for structural/slack columns. *)
+  let obj_row = Array.make ncols Q.zero in
+  for j = 0 to m.nvars + nslack - 1 do
+    let s = ref Q.zero in
+    for i = 0 to nrows - 1 do
+      s := Q.add !s a.(i).(j)
+    done;
+    obj_row.(j) <- Q.neg !s
+  done;
+  let rhs_sum = ref Q.zero in
+  for i = 0 to nrows - 1 do
+    rhs_sum := Q.add !rhs_sum a.(i).(ncols)
+  done;
+  let tab = { a; obj_row; obj_val = !rhs_sum; basis; ncols; allowed } in
+  match run_simplex ~rule tab with
+  | S_unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+  | S_optimal ->
+      if Q.compare tab.obj_val Q.zero > 0 then Infeasible
+      else begin
+        (* Drive remaining artificials out of the basis where possible. *)
+        let art_start = m.nvars + nslack in
+        for i = 0 to nrows - 1 do
+          if tab.basis.(i) >= art_start then begin
+            let found = ref None in
+            for j = 0 to art_start - 1 do
+              if !found = None && not (Q.is_zero tab.a.(i).(j)) then found := Some j
+            done;
+            match !found with
+            | Some j -> pivot tab ~prow:i ~pcol:j
+            | None -> () (* redundant row: all-zero; harmless to keep *)
+          end
+        done;
+        (* Forbid artificials from re-entering. *)
+        for j = art_start to ncols - 1 do
+          tab.allowed.(j) <- false
+        done;
+        (* Phase 2: original objective. Recompute reduced costs w.r.t. the
+           current basis: r_j = c_j - sum_i c_B(i) * a_ij. *)
+        let c = Array.make ncols Q.zero in
+        List.iter (fun (coef, v) -> c.(v) <- Q.add c.(v) coef) minimize_obj;
+        for j = 0 to ncols - 1 do
+          let s = ref c.(j) in
+          for i = 0 to nrows - 1 do
+            let cb = if tab.basis.(i) < ncols then c.(tab.basis.(i)) else Q.zero in
+            if not (Q.is_zero cb) then s := Q.sub !s (Q.mul cb tab.a.(i).(j))
+          done;
+          tab.obj_row.(j) <- !s
+        done;
+        let v = ref Q.zero in
+        for i = 0 to nrows - 1 do
+          let cb = c.(tab.basis.(i)) in
+          if not (Q.is_zero cb) then v := Q.add !v (Q.mul cb tab.a.(i).(ncols))
+        done;
+        tab.obj_val <- !v;
+        match run_simplex ~rule tab with
+        | S_unbounded -> Unbounded
+        | S_optimal ->
+            let z = Array.make m.nvars Q.zero in
+            Array.iteri (fun i bv -> if bv < m.nvars then z.(bv) <- tab.a.(i).(ncols)) tab.basis;
+            let x = Array.init m.nvars (fun i -> Q.add z.(i) lower.(i)) in
+            let objective =
+              let raw = Q.add tab.obj_val obj_offset in
+              match m.obj_dir with Minimize -> raw | Maximize -> Q.neg raw
+            in
+            Optimal { objective; var_values = x; sol_names = names }
+      end
+
+let objective_value s = s.objective
+let value s v = s.var_values.(v)
+let values s = Array.to_list (Array.mapi (fun i n -> (n, s.var_values.(i))) s.sol_names)
+
+let pp_solution fmt s =
+  Format.fprintf fmt "objective = %a@." Q.pp s.objective;
+  Array.iteri (fun i n -> Format.fprintf fmt "  %s = %a@." n Q.pp s.var_values.(i)) s.sol_names

@@ -1,0 +1,77 @@
+(** Linear programming with exact rational arithmetic.
+
+    A small modelling layer (named variables with bounds, linear
+    constraints, a linear objective) over a dense two-phase primal simplex
+    solver working in {!Rational} arithmetic. Exactness matters here: the
+    paper's LP-rounding algorithm (Theorem 2) branches on exact thresholds
+    of the optimal solution ([y_t = 1], [y_t >= 1/2], [y_t > 0]), which are
+    ill-defined under floating point.
+
+    Anti-cycling: the solver uses Dantzig pricing while the objective
+    strictly improves and falls back to Bland's rule after a bounded number
+    of degenerate pivots, which guarantees termination.
+
+    Scale: intended for the LP1/LP2 programs of the active-time model at
+    laptop instance sizes (hundreds of variables/constraints), not for
+    industrial LPs. *)
+
+type model
+type var
+
+(** Row comparison senses. *)
+type sense = Le | Ge | Eq
+
+type objective_direction = Minimize | Maximize
+
+(** {1 Model building} *)
+
+val create : unit -> model
+
+(** [add_var m ~lower ?upper name] declares a variable with finite lower
+    bound [lower] (default 0) and optional upper bound. Raises
+    [Invalid_argument] when [upper < lower]. *)
+val add_var : ?lower:Rational.t -> ?upper:Rational.t -> model -> string -> var
+
+val var_name : model -> var -> string
+val num_vars : model -> int
+val num_constraints : model -> int
+
+(** [add_constraint m terms sense rhs] adds [sum(c_i * x_i) sense rhs].
+    Duplicate variables in [terms] are summed. *)
+val add_constraint : model -> (Rational.t * var) list -> sense -> Rational.t -> unit
+
+(** Replaces any previous objective. Default objective is [Minimize 0]. *)
+val set_objective : model -> objective_direction -> (Rational.t * var) list -> unit
+
+(** {1 Solving} *)
+
+type solution
+
+type result = Optimal of solution | Infeasible | Unbounded
+
+(** Pricing rule. [Dantzig_with_fallback] (the default) picks the most
+    negative reduced cost and switches to Bland's rule after a bounded
+    number of degenerate pivots; [Pure_bland] always takes the first
+    negative column (fewer comparisons per pivot, usually many more
+    pivots — see the ablation experiment). Both terminate. *)
+type pivot_rule = Dantzig_with_fallback | Pure_bland
+
+(** Pivots performed by the most recent [solve] call (both phases). *)
+val last_pivots : int ref
+
+(** Solves the model. The model may be re-solved after adding constraints
+    or changing the objective. *)
+val solve : ?rule:pivot_rule -> model -> result
+
+(** Objective value at the returned vertex. *)
+val objective_value : solution -> Rational.t
+
+(** Value of a variable at the returned vertex. *)
+val value : solution -> var -> Rational.t
+
+(** All values, in declaration order. *)
+val values : solution -> (string * Rational.t) list
+
+(** {1 Debugging} *)
+
+val pp_solution : Format.formatter -> solution -> unit

@@ -1,0 +1,23 @@
+(** Multicore work-sharing on OCaml 5 domains (no external dependencies).
+
+    [map f xs] evaluates [f] over [xs] on several domains with an atomic
+    work-stealing index, preserving input order in the results. Intended
+    for the embarrassingly parallel sweeps of the bench harness (many
+    seeds x algorithms, each task pure and allocation-heavy); every
+    algorithm in this repository builds its mutable state (flow networks,
+    simplex tableaux) per call, so tasks must not share mutable state and
+    none of ours do.
+
+    Exceptions raised by tasks are caught per task and re-raised in the
+    caller after all domains join (the first one in input order wins). *)
+
+(** [map ?domains f xs]. [domains] defaults to
+    [Domain.recommended_domain_count () - 1], at least 1; the calling
+    domain participates in the work. *)
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [init ?domains n f] is [map ?domains f [0; ...; n-1]]. *)
+val init : ?domains:int -> int -> (int -> 'b) -> 'b list
+
+(** Number of worker domains [map] would use by default. *)
+val default_domains : unit -> int

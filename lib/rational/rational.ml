@@ -1,0 +1,104 @@
+type t = { num : Bigint.t; den : Bigint.t }
+
+(* Invariant: den > 0 and gcd(num, den) = 1 (den = 1 when num = 0). *)
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
+    let g = Bigint.gcd num den in
+    if Bigint.is_one g then { num; den } else { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+let zero = of_int 0
+let one = of_int 1
+let two = of_int 2
+let half = of_ints 1 2
+let minus_one = of_int (-1)
+let num t = t.num
+let den t = t.den
+let sign t = Bigint.sign t.num
+let is_zero t = Bigint.is_zero t.num
+let is_integer t = Bigint.is_one t.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+      let n = Bigint.of_string (String.sub s 0 i) in
+      let d = Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      make n d
+  | None -> (
+      match String.index_opt s '.' with
+      | None -> of_bigint (Bigint.of_string s)
+      | Some i ->
+          let int_part = String.sub s 0 i in
+          let frac = String.sub s (i + 1) (String.length s - i - 1) in
+          if String.length frac = 0 then invalid_arg "Rational.of_string: trailing dot";
+          let scale = Bigint.pow (Bigint.of_int 10) (String.length frac) in
+          let negative = String.length int_part > 0 && (int_part.[0] = '-') in
+          let int_value = if int_part = "" || int_part = "-" || int_part = "+" then Bigint.zero else Bigint.of_string int_part in
+          let frac_value = Bigint.of_string frac in
+          let magnitude = Bigint.add (Bigint.mul (Bigint.abs int_value) scale) frac_value in
+          make (if negative then Bigint.neg magnitude else magnitude) scale)
+
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den (dens > 0) *)
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let neg t = { t with num = Bigint.neg t.num }
+let abs t = if sign t < 0 then neg t else t
+let add a b = make (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)) (Bigint.mul a.den b.den)
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let inv t =
+  if is_zero t then raise Division_by_zero;
+  make t.den t.num
+
+let div a b = mul a (inv b)
+
+let floor t =
+  let q, r = Bigint.divmod t.num t.den in
+  if Bigint.is_zero r || Bigint.sign t.num >= 0 then of_bigint q else of_bigint (Bigint.sub q Bigint.one)
+
+let ceil t = neg (floor (neg t))
+
+let to_int t = if is_integer t then Bigint.to_int t.num else None
+
+let floor_int t =
+  match Bigint.to_int (num (floor t)) with
+  | Some n -> n
+  | None -> failwith "Rational.floor_int: out of native range"
+
+let ceil_int t =
+  match Bigint.to_int (num (ceil t)) with
+  | Some n -> n
+  | None -> failwith "Rational.ceil_int: out of native range"
+
+let to_float t = Bigint.to_float t.num /. Bigint.to_float t.den
+
+let to_string t =
+  if is_integer t then Bigint.to_string t.num
+  else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( ~- ) = neg
+let ( = ) = equal
+let ( <> ) a b = not (equal a b)
+let ( < ) a b = Stdlib.( < ) (compare a b) 0
+let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
+let ( > ) a b = Stdlib.( > ) (compare a b) 0
+let ( >= ) a b = Stdlib.( >= ) (compare a b) 0

@@ -1,0 +1,97 @@
+(** Exact rational arithmetic over {!Bigint}.
+
+    Every value is kept normalized: the denominator is strictly positive and
+    [gcd num den = 1]. Rationals are the time domain of the busy-time model
+    (real-valued release times, deadlines and the epsilon gadgets of the
+    paper's tight examples) and the scalar field of the simplex solver. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val half : t
+val minus_one : t
+
+(** {1 Construction} *)
+
+(** [make num den] is [num/den] normalized. Raises [Division_by_zero]
+    when [den] is zero. *)
+val make : Bigint.t -> Bigint.t -> t
+
+(** [of_ints num den]. Raises [Division_by_zero] when [den = 0]. *)
+val of_ints : int -> int -> t
+
+val of_int : int -> t
+val of_bigint : Bigint.t -> t
+
+(** [of_string s] accepts ["n"], ["n/d"] and decimal ["i.f"] forms. *)
+val of_string : string -> t
+
+(** {1 Deconstruction} *)
+
+val num : t -> Bigint.t
+
+(** Always strictly positive. *)
+val den : t -> Bigint.t
+
+val to_float : t -> float
+
+(** ["n"] when integral, ["n/d"] otherwise. *)
+val to_string : t -> string
+
+(** [to_int t] is [Some n] iff [t] is integral and fits a native int. *)
+val to_int : t -> int option
+
+(** {1 Predicates and comparisons} *)
+
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Raises [Division_by_zero] when the divisor is zero. *)
+val div : t -> t -> t
+
+(** Raises [Division_by_zero] on zero. *)
+val inv : t -> t
+
+(** Largest integer [<= t], as a rational. *)
+val floor : t -> t
+
+(** Smallest integer [>= t], as a rational. *)
+val ceil : t -> t
+
+(** [floor_int t] as a native int. Raises [Failure] when out of range. *)
+val floor_int : t -> int
+
+val ceil_int : t -> int
+
+(** {1 Operators} *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( ~- ) : t -> t
+val ( = ) : t -> t -> bool
+val ( <> ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

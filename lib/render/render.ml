@@ -1,0 +1,174 @@
+module Q = Rational
+module B = Workload.Bjob
+module Bundle = Busy.Bundle
+module I = Intervals.Interval
+module S = Workload.Slotted
+
+let slotted (inst : S.t) (sol : Active.Solution.t) =
+  let horizon = S.horizon inst in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "slots   ";
+  for t = 1 to horizon do
+    Buffer.add_char buf (if List.mem t sol.Active.Solution.open_slots then '#' else '.')
+  done;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (id, slots) ->
+      Buffer.add_string buf (Printf.sprintf "job %-4d" id);
+      for t = 1 to horizon do
+        Buffer.add_char buf (if List.mem t slots then 'x' else '.')
+      done;
+      Buffer.add_char buf '\n')
+    (List.sort compare sol.Active.Solution.schedule);
+  Buffer.contents buf
+
+(* map a rational coordinate into 0..width-1 columns over [lo, hi) *)
+let column ~lo ~hi ~width x =
+  if Q.compare hi lo <= 0 then 0
+  else begin
+    let frac = Q.div (Q.sub x lo) (Q.sub hi lo) in
+    let c = Q.floor_int (Q.mul frac (Q.of_int width)) in
+    max 0 (min (width - 1) c)
+  end
+
+let hull intervals =
+  match intervals with
+  | [] -> None
+  | (first : I.t) :: _ ->
+      Some
+        (List.fold_left
+           (fun (lo, hi) (iv : I.t) -> (Q.min lo iv.I.lo, Q.max hi iv.I.hi))
+           (first.I.lo, first.I.hi) intervals)
+
+let packing ?(width = 60) (p : Bundle.packing) =
+  let all = List.concat_map (fun bundle -> List.map B.interval_of bundle) p in
+  match hull all with
+  | None -> "(empty packing)\n"
+  | Some (lo, hi) ->
+      let buf = Buffer.create 256 in
+      List.iteri
+        (fun m bundle ->
+          let row = Bytes.make width '.' in
+          List.iter
+            (fun (j : B.t) ->
+              let iv = B.interval_of j in
+              let c0 = column ~lo ~hi ~width iv.I.lo in
+              (* end column: last column strictly inside the interval *)
+              let c1 =
+                let c = column ~lo ~hi ~width iv.I.hi in
+                if Q.equal iv.I.hi hi then width - 1 else max c0 (c - if c > c0 then 1 else 0)
+              in
+              let ch = Char.chr (Char.code '0' + (abs j.B.id mod 10)) in
+              for c = c0 to c1 do
+                Bytes.set row c (if Bytes.get row c = '.' then ch else '*')
+              done)
+            bundle;
+          Buffer.add_string buf (Printf.sprintf "m%-3d |%s|\n" m (Bytes.to_string row)))
+        p;
+      Buffer.contents buf
+
+(* ------------------------------------------------------------- SVG ---- *)
+
+let svg_palette = [| "#4e79a7"; "#f28e2b"; "#59a14f"; "#e15759"; "#b07aa1"; "#76b7b2"; "#edc948" |]
+
+let svg_header ~w ~h =
+  Printf.sprintf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\" font-family=\"monospace\" font-size=\"11\">\n"
+    w h w h
+
+let svg_x ~lo ~hi ~width x =
+  let frac = Q.to_float (Q.div (Q.sub x lo) (Q.sub hi lo)) in
+  60.0 +. (frac *. float_of_int (width - 80))
+
+let packing_svg ?(width = 720) (p : Bundle.packing) =
+  let all = List.concat_map (fun bundle -> List.map B.interval_of bundle) p in
+  match hull all with
+  | None -> svg_header ~w:width ~h:40 ^ "<text x=\"10\" y=\"20\">empty packing</text>\n</svg>\n"
+  | Some (lo, hi) ->
+      let lane_h = 26 in
+      let h = (List.length p * lane_h) + 40 in
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf (svg_header ~w:width ~h);
+      List.iteri
+        (fun m bundle ->
+          let y = 10 + (m * lane_h) in
+          Buffer.add_string buf
+            (Printf.sprintf "<text x=\"8\" y=\"%d\">m%d</text>\n" (y + 15) m);
+          List.iter
+            (fun (j : B.t) ->
+              let iv = B.interval_of j in
+              let x0 = svg_x ~lo ~hi ~width iv.I.lo and x1 = svg_x ~lo ~hi ~width iv.I.hi in
+              let color = svg_palette.(abs j.B.id mod Array.length svg_palette) in
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" fill=\"%s\" fill-opacity=\"0.55\" stroke=\"%s\"/>\n"
+                   x0 y (x1 -. x0) (lane_h - 6) color color);
+              Buffer.add_string buf
+                (Printf.sprintf "<text x=\"%.1f\" y=\"%d\" fill=\"#222\">%d</text>\n" (x0 +. 3.0) (y + 14) j.B.id))
+            bundle)
+        p;
+      Buffer.add_string buf
+        (Printf.sprintf "<text x=\"60\" y=\"%d\">%s</text>\n" (h - 8) (Q.to_string lo));
+      Buffer.add_string buf
+        (Printf.sprintf "<text x=\"%d\" y=\"%d\" text-anchor=\"end\">%s</text>\n" (width - 20) (h - 8)
+           (Q.to_string hi));
+      Buffer.add_string buf "</svg>\n";
+      Buffer.contents buf
+
+let slotted_svg ?(width = 720) (inst : S.t) (sol : Active.Solution.t) =
+  let horizon = S.horizon inst in
+  let lane_h = 22 in
+  let rows = List.length sol.Active.Solution.schedule in
+  let h = ((rows + 1) * lane_h) + 40 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (svg_header ~w:width ~h);
+  let slot_w = float_of_int (width - 80) /. float_of_int (max 1 horizon) in
+  let x_of s = 60.0 +. (float_of_int (s - 1) *. slot_w) in
+  (* open-slot band *)
+  Buffer.add_string buf (Printf.sprintf "<text x=\"8\" y=\"%d\">on</text>\n" 24);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%.1f\" y=\"10\" width=\"%.1f\" height=\"%d\" fill=\"#bbb\" stroke=\"#888\"/>\n"
+           (x_of s) slot_w (lane_h - 6)))
+    sol.Active.Solution.open_slots;
+  List.iteri
+    (fun row (id, slots) ->
+      let y = 10 + ((row + 1) * lane_h) in
+      Buffer.add_string buf (Printf.sprintf "<text x=\"8\" y=\"%d\">j%d</text>\n" (y + 14) id);
+      let color = svg_palette.(abs id mod Array.length svg_palette) in
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" fill=\"%s\" fill-opacity=\"0.6\" stroke=\"%s\"/>\n"
+               (x_of s) y slot_w (lane_h - 6) color color))
+        slots)
+    (List.sort compare sol.Active.Solution.schedule);
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let preemptive (sol : Busy.Preemptive.solution) ~width =
+  let all = List.concat_map (fun a -> a.Busy.Preemptive.pieces) sol.Busy.Preemptive.assignments in
+  match hull all with
+  | None -> "(empty solution)\n"
+  | Some (lo, hi) ->
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun a ->
+          let row = Bytes.make width '.' in
+          List.iter
+            (fun (iv : I.t) ->
+              let c0 = column ~lo ~hi ~width iv.I.lo in
+              let c1 =
+                let c = column ~lo ~hi ~width iv.I.hi in
+                if Q.equal iv.I.hi hi then width - 1 else max c0 (c - if c > c0 then 1 else 0)
+              in
+              for c = c0 to c1 do
+                Bytes.set row c '#'
+              done)
+            a.Busy.Preemptive.pieces;
+          Buffer.add_string buf (Printf.sprintf "job %-3d |%s|\n" a.Busy.Preemptive.job.B.id (Bytes.to_string row)))
+        sol.Busy.Preemptive.assignments;
+      Buffer.contents buf

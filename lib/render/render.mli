@@ -1,0 +1,23 @@
+(** ASCII Gantt rendering of schedules and packings, used by the CLI and
+    the examples. Deterministic output (golden-tested). *)
+
+(** One row per job plus an open-slot header; [#] marks powered slots,
+    [x] scheduled units, [.] idle. *)
+val slotted : Workload.Slotted.t -> Active.Solution.t -> string
+
+(** One row per machine; jobs drawn with their id digit (last digit for
+    ids >= 10), scaled onto [width] columns over the packing's hull.
+    Overlapping jobs on a machine show as [*]. *)
+val packing : ?width:int -> Busy.Bundle.packing -> string
+
+(** One row per job of a preemptive solution; pieces drawn as [#]. *)
+val preemptive : Busy.Preemptive.solution -> width:int -> string
+
+(** Standalone SVG of a packing: one lane per machine, one rectangle per
+    job (labelled with its id), time axis along the bottom. [width] is
+    the drawing width in pixels (default 720). *)
+val packing_svg : ?width:int -> Busy.Bundle.packing -> string
+
+(** SVG of an active-time solution: open-slot band plus one lane per
+    job. *)
+val slotted_svg : ?width:int -> Workload.Slotted.t -> Active.Solution.t -> string

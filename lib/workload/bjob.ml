@@ -1,0 +1,44 @@
+(* Busy-time jobs: real-valued (exact rational) release, deadline, length.
+   A job is an *interval job* when its window has no slack
+   (deadline = release + length); otherwise it is *flexible*. *)
+
+module Q = Rational
+
+type t = { id : int; release : Q.t; deadline : Q.t; length : Q.t }
+
+let make ~id ~release ~deadline ~length =
+  if Q.compare length Q.zero <= 0 then invalid_arg "Bjob.make: length <= 0";
+  if Q.compare (Q.sub deadline release) length < 0 then invalid_arg "Bjob.make: window shorter than length";
+  { id; release; deadline; length }
+
+(* Interval job at a fixed position. *)
+let interval ~id ~start ~length = make ~id ~release:start ~deadline:(Q.add start length) ~length
+
+let of_ints ~id ~release ~deadline ~length =
+  make ~id ~release:(Q.of_int release) ~deadline:(Q.of_int deadline) ~length:(Q.of_int length)
+
+let is_interval j = Q.equal (Q.sub j.deadline j.release) j.length
+let window j = Intervals.Interval.make j.release j.deadline
+
+(* The occupied interval of an interval job. *)
+let interval_of j =
+  if not (is_interval j) then invalid_arg "Bjob.interval_of: flexible job";
+  window j
+
+(* Latest feasible start. *)
+let latest_start j = Q.sub j.deadline j.length
+
+(* [place j start] pins a flexible job to a concrete start time, producing
+   an interval job with the same id and length. Raises [Invalid_argument]
+   when the start is outside [release, deadline - length]. *)
+let place j start =
+  if Q.compare start j.release < 0 || Q.compare start (latest_start j) > 0 then
+    invalid_arg "Bjob.place: start outside window";
+  interval ~id:j.id ~start ~length:j.length
+
+let total_length jobs = List.fold_left (fun acc j -> Q.add acc j.length) Q.zero jobs
+
+let pp fmt j =
+  Format.fprintf fmt "job %d: [%s, %s) p=%s%s" j.id (Q.to_string j.release) (Q.to_string j.deadline)
+    (Q.to_string j.length)
+    (if is_interval j then " (interval)" else "")

@@ -1,0 +1,41 @@
+(** Busy-time jobs — Section 4.1 of the paper.
+
+    Release, deadline and length are exact rationals (the model allows
+    real values, and the paper's tight instances need exact epsilons). A
+    job is an {e interval job} (Definition 8) when its window has no
+    slack; otherwise it is {e flexible} and must be pinned to a start time
+    before the interval-job algorithms apply (see {!Busy.Placement}). *)
+
+type t = private { id : int; release : Rational.t; deadline : Rational.t; length : Rational.t }
+
+(** Raises [Invalid_argument] when [length <= 0] or the window is shorter
+    than the length. *)
+val make : id:int -> release:Rational.t -> deadline:Rational.t -> length:Rational.t -> t
+
+(** Interval job at a fixed position: window [\[start, start+length)]. *)
+val interval : id:int -> start:Rational.t -> length:Rational.t -> t
+
+val of_ints : id:int -> release:int -> deadline:int -> length:int -> t
+
+(** [deadline = release + length]. *)
+val is_interval : t -> bool
+
+(** The window [\[release, deadline)]. *)
+val window : t -> Intervals.Interval.t
+
+(** The occupied interval of an interval job; raises [Invalid_argument]
+    on a flexible job. *)
+val interval_of : t -> Intervals.Interval.t
+
+(** [deadline - length]. *)
+val latest_start : t -> Rational.t
+
+(** [place j start] pins a flexible job, producing an interval job with
+    the same id and length. Raises [Invalid_argument] when [start] is
+    outside [\[release, deadline - length\]]. *)
+val place : t -> Rational.t -> t
+
+(** Sum of lengths — the mass [l(J)]. *)
+val total_length : t list -> Rational.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,160 @@
+(* Deterministic random instance generators (seeded with Random.State).
+
+   The random families cover the structures the busy-time literature singles
+   out: general windows with controlled slack, interval jobs, cliques (all
+   windows share a point), proper instances (no window contains another) and
+   laminar instances (windows nest). *)
+
+module Q = Rational
+
+type slotted_params = {
+  n : int; (* number of jobs *)
+  horizon : int; (* T: slots 1..T *)
+  max_length : int;
+  slack : int; (* extra window size beyond the length, at most *)
+  g : int;
+}
+
+let default_slotted = { n = 10; horizon = 20; max_length = 4; slack = 4; g = 3 }
+
+let slotted ?(params = default_slotted) ~seed () =
+  let st = Random.State.make [| seed |] in
+  let jobs =
+    List.init params.n (fun id ->
+        let length = 1 + Random.State.int st params.max_length in
+        let slack = Random.State.int st (params.slack + 1) in
+        let window = min params.horizon (length + slack) in
+        let release = Random.State.int st (params.horizon - window + 1) in
+        Slotted.job ~id ~release ~deadline:(release + window) ~length)
+  in
+  Slotted.make ~g:params.g jobs
+
+(* Unit-length slotted jobs (the Chang–Gabow–Khuller special case). *)
+let slotted_unit ?(horizon = 20) ?(g = 3) ~n ~seed () =
+  let st = Random.State.make [| seed |] in
+  let jobs =
+    List.init n (fun id ->
+        let window = 1 + Random.State.int st (max 1 (horizon / 3)) in
+        let release = Random.State.int st (horizon - window + 1) in
+        Slotted.job ~id ~release ~deadline:(release + window) ~length:1)
+  in
+  Slotted.make ~g jobs
+
+type busy_params = {
+  bn : int;
+  bhorizon : int; (* integer grid for randomness; values stay rational-exact *)
+  bmax_length : int;
+  bslack : int; (* 0 makes every job an interval job *)
+}
+
+let default_busy = { bn = 12; bhorizon = 30; bmax_length = 6; bslack = 4 }
+
+let busy_jobs ?(params = default_busy) ~seed () =
+  let st = Random.State.make [| seed |] in
+  List.init params.bn (fun id ->
+      let length = 1 + Random.State.int st params.bmax_length in
+      let slack = if params.bslack = 0 then 0 else Random.State.int st (params.bslack + 1) in
+      let window = length + slack in
+      let release = Random.State.int st (max 1 (params.bhorizon - window + 1)) in
+      Bjob.of_ints ~id ~release ~deadline:(release + window) ~length)
+
+let interval_jobs ?(n = 12) ?(horizon = 30) ?(max_length = 6) ~seed () =
+  busy_jobs ~params:{ bn = n; bhorizon = horizon; bmax_length = max_length; bslack = 0 } ~seed ()
+
+(* Clique: every window contains the common point [t]; here t = horizon/2. *)
+let clique_interval_jobs ?(n = 12) ?(max_length = 6) ~seed () =
+  let st = Random.State.make [| seed |] in
+  let t = max_length + 1 in
+  List.init n (fun id ->
+      let length = 1 + Random.State.int st max_length in
+      (* start in (t - length, t] so the interval covers point t - something *)
+      let start = t - Random.State.int st length in
+      Bjob.of_ints ~id ~release:start ~deadline:(start + length) ~length)
+
+(* Proper: windows sorted by release also sorted by deadline, none
+   contained in another. *)
+let proper_interval_jobs ?(n = 12) ~seed () =
+  let st = Random.State.make [| seed |] in
+  let rec build id release deadline acc =
+    if id >= n then List.rev acc
+    else begin
+      let release' = release + 1 + Random.State.int st 3 in
+      let deadline' = max (deadline + 1 + Random.State.int st 3) (release' + 1) in
+      let j = Bjob.of_ints ~id ~release:release' ~deadline:deadline' ~length:(deadline' - release') in
+      build (id + 1) release' deadline' (j :: acc)
+    end
+  in
+  build 0 0 0 []
+
+(* Proper clique: releases strictly increasing, deadlines strictly
+   increasing, and every interval contains the common point between the
+   largest release and the smallest deadline. *)
+let proper_clique_interval_jobs ?(n = 8) ~seed () =
+  let st = Random.State.make [| seed |] in
+  let releases = Array.init n (fun i -> i + Random.State.int st 2) in
+  Array.sort compare releases;
+  (* deadlines all beyond the last release *)
+  let base = releases.(n - 1) + 1 in
+  let deadlines = Array.init n (fun i -> base + i + Random.State.int st 3) in
+  Array.sort compare deadlines;
+  List.init n (fun i ->
+      Bjob.of_ints ~id:i ~release:releases.(i) ~deadline:deadlines.(i)
+        ~length:(deadlines.(i) - releases.(i)))
+
+(* Laminar: any two windows are disjoint or nested. Built by recursive
+   splitting of [0, span). *)
+let laminar_interval_jobs ?(depth = 3) ?(span = 32) ~seed () =
+  let st = Random.State.make [| seed |] in
+  let jobs = ref [] in
+  let next_id = ref 0 in
+  let add lo hi =
+    let id = !next_id in
+    incr next_id;
+    jobs := Bjob.of_ints ~id ~release:lo ~deadline:hi ~length:(hi - lo) :: !jobs
+  in
+  let rec go lo hi d =
+    if hi - lo >= 2 && d > 0 then begin
+      add lo hi;
+      let mid = lo + 1 + Random.State.int st (hi - lo - 1) in
+      if Random.State.bool st then go lo mid (d - 1);
+      if Random.State.bool st then go mid hi (d - 1)
+    end
+    else if hi - lo >= 1 then add lo hi
+  in
+  go 0 span depth;
+  List.rev !jobs
+
+(* Interval jobs with random widths in 1..max_width (for the Khandekar
+   width generalization). Returns (job, width) pairs. *)
+let widthed_interval_jobs ?(n = 10) ?(horizon = 24) ?(max_length = 5) ?(max_width = 3) ~seed () =
+  let st = Random.State.make [| seed |] in
+  List.init n (fun id ->
+      let length = 1 + Random.State.int st max_length in
+      let release = Random.State.int st (max 1 (horizon - length + 1)) in
+      let width = 1 + Random.State.int st max_width in
+      (Bjob.of_ints ~id ~release ~deadline:(release + length) ~length, width))
+
+(* Flexible jobs whose windows have multiplicative slack: window size is
+   about [factor] times the length. *)
+let flexible_jobs ?(n = 10) ?(horizon = 40) ?(max_length = 5) ?(slack_factor = 2) ~seed () =
+  let st = Random.State.make [| seed |] in
+  List.init n (fun id ->
+      let length = 1 + Random.State.int st max_length in
+      let window = min horizon (length * slack_factor) in
+      let release = Random.State.int st (max 1 (horizon - window + 1)) in
+      Bjob.of_ints ~id ~release ~deadline:(release + window) ~length)
+
+(* Diurnal (data-center-like) flexible jobs: releases cluster around two
+   daily peaks at 1/4 and 3/4 of the horizon, mimicking a morning and an
+   evening batch wave. *)
+let diurnal_flexible_jobs ?(n = 20) ?(horizon = 48) ?(max_length = 6) ~seed () =
+  let st = Random.State.make [| seed |] in
+  List.init n (fun id ->
+      let peak = if Random.State.bool st then horizon / 4 else 3 * horizon / 4 in
+      let jitter = Random.State.int st (max 1 (horizon / 8)) - (horizon / 16) in
+      let length = 1 + Random.State.int st max_length in
+      let release = max 0 (min (horizon - length - 1) (peak + jitter)) in
+      let slack = Random.State.int st (max 1 (horizon / 6)) in
+      let deadline = min horizon (release + length + slack) in
+      let deadline = max deadline (release + length) in
+      Bjob.of_ints ~id ~release ~deadline ~length)

@@ -1,0 +1,113 @@
+(* Plain-text instance files.
+
+   Slotted (active-time) instances:
+
+     slotted
+     g 3
+     job 0 0 6 3        # job <id> <release> <deadline> <length>
+
+   Busy-time instances (rational coordinates allowed: "5/2", "0.25"):
+
+     busy
+     job 0 0 5/2 1
+
+   '#' starts a comment; blank lines are ignored. *)
+
+module Q = Rational
+
+type instance = Slotted_instance of Slotted.t | Busy_instance of Bjob.t list
+
+let strip_comment line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line
+
+let tokens_of_line line =
+  String.split_on_char ' ' (String.trim (strip_comment line)) |> List.filter (fun s -> s <> "")
+
+exception Parse_error of int * string
+
+let parse_error lineno fmt = Printf.ksprintf (fun msg -> raise (Parse_error (lineno, msg))) fmt
+
+let parse_lines lines =
+  let kind = ref None in
+  let g = ref None in
+  let slotted_jobs = ref [] in
+  let busy_jobs = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match tokens_of_line line with
+      | [] -> ()
+      | [ "slotted" ] -> kind := Some `Slotted
+      | [ "busy" ] -> kind := Some `Busy
+      | [ "g"; v ] -> (
+          match int_of_string_opt v with
+          | Some n when n >= 1 -> g := Some n
+          | _ -> parse_error lineno "invalid capacity %S" v)
+      | "job" :: rest -> (
+          match (!kind, rest) with
+          | None, _ -> parse_error lineno "job before header ('slotted' or 'busy')"
+          | Some `Slotted, [ id; r; d; p ] -> (
+              match (int_of_string_opt id, int_of_string_opt r, int_of_string_opt d, int_of_string_opt p) with
+              | Some id, Some release, Some deadline, Some length -> (
+                  try slotted_jobs := Slotted.job ~id ~release ~deadline ~length :: !slotted_jobs
+                  with Invalid_argument msg -> parse_error lineno "%s" msg)
+              | _ -> parse_error lineno "slotted jobs need four integers")
+          | Some `Busy, [ id; r; d; p ] -> (
+              match int_of_string_opt id with
+              | None -> parse_error lineno "invalid job id %S" id
+              | Some id -> (
+                  try
+                    busy_jobs :=
+                      Bjob.make ~id ~release:(Q.of_string r) ~deadline:(Q.of_string d) ~length:(Q.of_string p)
+                      :: !busy_jobs
+                  with Invalid_argument msg | Failure msg -> parse_error lineno "%s" msg))
+          | Some _, _ -> parse_error lineno "jobs need four fields: id release deadline length")
+      | tok :: _ -> parse_error lineno "unknown directive %S" tok)
+    lines;
+  match !kind with
+  | None -> raise (Parse_error (0, "missing header ('slotted' or 'busy')"))
+  | Some `Slotted ->
+      let g = match !g with Some g -> g | None -> raise (Parse_error (0, "slotted instances need 'g <capacity>'")) in
+      Slotted_instance (Slotted.make ~g (List.rev !slotted_jobs))
+  | Some `Busy -> Busy_instance (List.rev !busy_jobs)
+
+let parse_string s = parse_lines (String.split_on_char '\n' s)
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      parse_lines (List.rev !lines))
+
+let to_string = function
+  | Slotted_instance inst ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "slotted\n";
+      Buffer.add_string buf (Printf.sprintf "g %d\n" inst.Slotted.g);
+      Array.iter
+        (fun (j : Slotted.job) ->
+          Buffer.add_string buf
+            (Printf.sprintf "job %d %d %d %d\n" j.Slotted.id j.Slotted.release j.Slotted.deadline
+               j.Slotted.length))
+        inst.Slotted.jobs;
+      Buffer.contents buf
+  | Busy_instance jobs ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "busy\n";
+      List.iter
+        (fun (j : Bjob.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf "job %d %s %s %s\n" j.Bjob.id (Q.to_string j.Bjob.release)
+               (Q.to_string j.Bjob.deadline) (Q.to_string j.Bjob.length)))
+        jobs;
+      Buffer.contents buf
+
+let write_file path instance =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string instance))

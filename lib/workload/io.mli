@@ -1,0 +1,30 @@
+(** Plain-text instance files.
+
+    Slotted (active-time) instances:
+    {v
+    slotted
+    g 3
+    job 0 0 6 3        # job <id> <release> <deadline> <length>
+    v}
+
+    Busy-time instances (rational coordinates allowed: "5/2", "0.25"):
+    {v
+    busy
+    job 0 0 5/2 1
+    v}
+
+    ['#'] starts a comment; blank lines are ignored. *)
+
+type instance = Slotted_instance of Slotted.t | Busy_instance of Bjob.t list
+
+(** Raised on malformed input with a 1-based line number (0 for
+    whole-file problems) and a message. *)
+exception Parse_error of int * string
+
+val parse_string : string -> instance
+
+(** Raises {!Parse_error} or [Sys_error]. *)
+val parse_file : string -> instance
+
+val to_string : instance -> string
+val write_file : string -> instance -> unit

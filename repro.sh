@@ -1,0 +1,9 @@
+#!/bin/sh
+# One-command reproduction: build, run the full test suite and every
+# experiment, recording outputs next to this script.
+set -e
+cd "$(dirname "$0")"
+dune build @all
+dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+dune exec bench/main.exe 2>&1 | tee bench_output.txt
+echo "done: see test_output.txt, bench_output.txt, EXPERIMENTS.md"

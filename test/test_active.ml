@@ -1,0 +1,365 @@
+(* Active-time tests: feasibility via G_feas, minimal feasible solutions
+   (Theorem 1, Fig. 3), the exact solvers, LP1 (lower bound, integrality
+   gap) and the LP rounding 2-approximation (Theorem 2).
+
+   The property tests check, on random small instances, every bound the
+   paper proves: minimal <= 3 OPT, LP <= OPT <= rounding <= 2 LP, and
+   minimal = OPT for unit jobs. *)
+
+module Q = Rational
+module S = Workload.Slotted
+module Gen = Workload.Generate
+module Gad = Workload.Gadgets
+
+let job = S.job
+
+let small_inst jobs g = S.make ~g jobs
+
+(* -- feasibility --------------------------------------------------------- *)
+
+let test_feasibility_basic () =
+  let inst = small_inst [ job ~id:0 ~release:0 ~deadline:2 ~length:2 ] 1 in
+  Alcotest.(check bool) "all open feasible" true (Active.Feasibility.feasible inst ~open_slots:[ 1; 2 ]);
+  Alcotest.(check bool) "one slot infeasible" false (Active.Feasibility.feasible inst ~open_slots:[ 1 ]);
+  Alcotest.(check bool) "irrelevant slot useless" false (Active.Feasibility.feasible inst ~open_slots:[ 1; 3 ])
+
+let test_feasibility_capacity () =
+  (* three unit jobs, same single-slot window, g = 2: infeasible *)
+  let jobs = List.init 3 (fun id -> job ~id ~release:0 ~deadline:1 ~length:1) in
+  Alcotest.(check bool) "over capacity" false
+    (Active.Feasibility.feasible (small_inst jobs 2) ~open_slots:[ 1 ]);
+  Alcotest.(check bool) "g=3 ok" true (Active.Feasibility.feasible (small_inst jobs 3) ~open_slots:[ 1 ])
+
+let test_feasibility_only_jobs () =
+  let jobs =
+    [ job ~id:0 ~release:0 ~deadline:1 ~length:1; job ~id:1 ~release:0 ~deadline:1 ~length:1 ]
+  in
+  let inst = small_inst jobs 1 in
+  Alcotest.(check bool) "both jobs too much" false (Active.Feasibility.feasible inst ~open_slots:[ 1 ]);
+  Alcotest.(check bool) "restricted to one job" true
+    (Active.Feasibility.feasible ~only_jobs:[ 0 ] inst ~open_slots:[ 1 ])
+
+let test_schedule_extraction () =
+  let jobs =
+    [ job ~id:0 ~release:0 ~deadline:3 ~length:2; job ~id:1 ~release:1 ~deadline:3 ~length:2 ]
+  in
+  let inst = small_inst jobs 2 in
+  (match Active.Feasibility.schedule inst ~open_slots:[ 1; 2; 3 ] with
+  | None -> Alcotest.fail "expected schedule"
+  | Some sched -> Alcotest.(check (option string)) "valid schedule" None (S.check_schedule inst sched));
+  Alcotest.(check bool) "infeasible gives none" true
+    (Active.Feasibility.schedule inst ~open_slots:[ 1 ] = None)
+
+(* -- minimal feasible ----------------------------------------------------- *)
+
+let test_minimal_simple () =
+  (* one job of length 2 in window of 4: minimal = 2 slots *)
+  let inst = small_inst [ job ~id:0 ~release:0 ~deadline:4 ~length:2 ] 1 in
+  List.iter
+    (fun order ->
+      match Active.Minimal.solve inst order with
+      | None -> Alcotest.fail "feasible instance"
+      | Some sol ->
+          Alcotest.(check int) "cost" 2 (Active.Solution.cost sol);
+          Alcotest.(check (option string)) "valid" None (Active.Solution.verify inst sol);
+          Alcotest.(check bool) "minimal" true
+            (Active.Minimal.is_minimal inst ~open_slots:sol.Active.Solution.open_slots))
+    [ Active.Minimal.Left_to_right; Active.Minimal.Right_to_left; Active.Minimal.Shuffled 7 ]
+
+let test_minimal_infeasible () =
+  let inst = small_inst [ job ~id:0 ~release:0 ~deadline:1 ~length:1; job ~id:1 ~release:0 ~deadline:1 ~length:1 ] 1 in
+  Alcotest.(check bool) "infeasible" true (Active.Minimal.solve inst Active.Minimal.Left_to_right = None)
+
+let test_minimal_fig3_gadget () =
+  let g = 4 in
+  let inst = Gad.minimal_feasible_tight g in
+  (* the optimal slot set is feasible and costs g *)
+  let opt_slots = Gad.minimal_feasible_tight_opt_slots g in
+  Alcotest.(check bool) "opt slots feasible" true (Active.Feasibility.feasible inst ~open_slots:opt_slots);
+  (* the adversarial start set is feasible and minimalizes to ~3g *)
+  let bad = Gad.minimal_feasible_tight_bad_slots g in
+  Alcotest.(check bool) "bad slots feasible" true (Active.Feasibility.feasible inst ~open_slots:bad);
+  (* the adversarial set is already minimal: every closing order keeps it *)
+  Alcotest.(check bool) "bad set is minimal" true (Active.Minimal.is_minimal inst ~open_slots:bad);
+  (match Active.Minimal.minimalize inst ~start:bad Active.Minimal.Left_to_right with
+  | None -> Alcotest.fail "bad start should be feasible"
+  | Some sol ->
+      Alcotest.(check int) "bad minimal cost = 3g-2" ((3 * g) - 2) (Active.Solution.cost sol);
+      Alcotest.(check bool) "is minimal" true
+        (Active.Minimal.is_minimal inst ~open_slots:sol.Active.Solution.open_slots));
+  (* exact optimum is g *)
+  Alcotest.(check (option int)) "OPT = g" (Some g) (Active.Exact.optimum inst)
+
+let test_minimal_given_order () =
+  (* the Given order closes the listed slots first *)
+  let inst = small_inst [ job ~id:0 ~release:0 ~deadline:4 ~length:2 ] 1 in
+  match Active.Minimal.solve inst (Active.Minimal.Given [ 3; 4 ]) with
+  | None -> Alcotest.fail "feasible"
+  | Some sol ->
+      (* closing 3 then 4 first leaves 1,2 open *)
+      Alcotest.(check (list int)) "slots 1,2 remain" [ 1; 2 ] sol.Active.Solution.open_slots
+
+(* -- exact solvers -------------------------------------------------------- *)
+
+let test_exact_simple () =
+  let inst =
+    small_inst
+      [ job ~id:0 ~release:0 ~deadline:4 ~length:2; job ~id:1 ~release:0 ~deadline:4 ~length:2 ]
+      2
+  in
+  Alcotest.(check (option int)) "bnb" (Some 2) (Active.Exact.optimum inst);
+  match Active.Exact.brute_force inst with
+  | None -> Alcotest.fail "feasible"
+  | Some sol -> Alcotest.(check int) "brute force" 2 (Active.Solution.cost sol)
+
+let test_exact_infeasible () =
+  let inst = small_inst [ job ~id:0 ~release:0 ~deadline:1 ~length:1; job ~id:1 ~release:0 ~deadline:1 ~length:1 ] 1 in
+  Alcotest.(check (option int)) "bnb none" None (Active.Exact.optimum inst)
+
+(* -- LP ------------------------------------------------------------------- *)
+
+let test_lp_exact_on_integral () =
+  (* instance whose LP optimum is integral: one job, window = length *)
+  let inst = small_inst [ job ~id:0 ~release:0 ~deadline:3 ~length:3 ] 2 in
+  match Active.Lp_model.solve inst with
+  | None -> Alcotest.fail "feasible"
+  | Some lp -> Alcotest.(check string) "cost 3" "3" (Q.to_string lp.Active.Lp_model.cost)
+
+let test_lp_infeasible () =
+  let inst = small_inst [ job ~id:0 ~release:0 ~deadline:1 ~length:1; job ~id:1 ~release:0 ~deadline:1 ~length:1 ] 1 in
+  Alcotest.(check bool) "lp infeasible" true (Active.Lp_model.solve inst = None)
+
+let test_lp_assignment_consistency () =
+  (* the LP's x variables must serve each job's full demand, within
+     capacity and the y values *)
+  let params : Gen.slotted_params = { n = 6; horizon = 10; max_length = 3; slack = 3; g = 2 } in
+  let inst = Gen.slotted ~params ~seed:13 () in
+  match Active.Lp_model.solve inst with
+  | None -> Alcotest.fail "feasible"
+  | Some lp ->
+      Array.iter
+        (fun (j : S.job) ->
+          let served =
+            List.fold_left
+              (fun acc ((_, id), v) -> if id = j.S.id then Q.add acc v else acc)
+              Q.zero lp.Active.Lp_model.x
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "job %d served" j.S.id)
+            true
+            (Q.compare served (Q.of_int j.S.length) >= 0))
+        inst.S.jobs;
+      List.iter
+        (fun (slot, y) ->
+          let used =
+            List.fold_left
+              (fun acc ((s, _), v) -> if s = slot then Q.add acc v else acc)
+              Q.zero lp.Active.Lp_model.x
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "slot %d capacity" slot)
+            true
+            (Q.compare used (Q.mul (Q.of_int inst.S.g) y) <= 0))
+        lp.Active.Lp_model.y
+
+let test_lp_integrality_gap () =
+  (* Section 3.5: LP = g+1, IP = 2g *)
+  let g = 3 in
+  let inst = Gad.integrality_gap g in
+  (match Active.Lp_model.solve inst with
+  | None -> Alcotest.fail "feasible"
+  | Some lp -> Alcotest.(check string) "LP = g+1" "4" (Q.to_string lp.Active.Lp_model.cost));
+  Alcotest.(check (option int)) "IP = 2g" (Some (2 * g)) (Active.Exact.optimum inst)
+
+(* -- LP rounding ---------------------------------------------------------- *)
+
+let check_rounding inst =
+  match Active.Rounding.solve inst with
+  | None -> None
+  | Some (sol, stats) ->
+      Alcotest.(check (option string)) "rounded schedule valid" None (Active.Solution.verify inst sol);
+      Alcotest.(check bool) "no fallback" false stats.Active.Rounding.fallback_used;
+      Alcotest.(check bool) "cost <= 2 LP" true
+        (Q.compare (Q.of_int stats.Active.Rounding.rounded_cost) (Q.mul Q.two stats.Active.Rounding.lp_cost) <= 0);
+      Alcotest.(check bool) "cost >= LP" true
+        (Q.compare (Q.of_int stats.Active.Rounding.rounded_cost) stats.Active.Rounding.lp_cost >= 0);
+      Some (sol, stats)
+
+let test_rounding_simple () =
+  let inst = small_inst [ job ~id:0 ~release:0 ~deadline:4 ~length:2 ] 1 in
+  match check_rounding inst with
+  | None -> Alcotest.fail "feasible"
+  | Some (sol, _) -> Alcotest.(check int) "cost 2" 2 (Active.Solution.cost sol)
+
+let test_rounding_integrality_gadget () =
+  let g = 3 in
+  let inst = Gad.integrality_gap g in
+  match check_rounding inst with
+  | None -> Alcotest.fail "feasible"
+  | Some (sol, _) -> Alcotest.(check int) "rounding exact here" (2 * g) (Active.Solution.cost sol)
+
+let test_rounding_fig3 () =
+  let g = 4 in
+  let inst = Gad.minimal_feasible_tight g in
+  match check_rounding inst with
+  | None -> Alcotest.fail "feasible"
+  | Some (sol, _) ->
+      (* 2-approx: at most 2g; in fact LP rounding does well here *)
+      Alcotest.(check bool) "within 2 OPT" true (Active.Solution.cost sol <= 2 * g)
+
+let test_rounding_infeasible () =
+  let inst = small_inst [ job ~id:0 ~release:0 ~deadline:1 ~length:1; job ~id:1 ~release:0 ~deadline:1 ~length:1 ] 1 in
+  Alcotest.(check bool) "none" true (Active.Rounding.solve inst = None)
+
+(* -- unit jobs ------------------------------------------------------------ *)
+
+let test_unit_jobs_guard () =
+  let inst = small_inst [ job ~id:0 ~release:0 ~deadline:3 ~length:2 ] 1 in
+  Alcotest.check_raises "rejects non-unit" (Invalid_argument "Unit_jobs.solve: instance has non-unit jobs")
+    (fun () -> ignore (Active.Unit_jobs.solve inst))
+
+(* Regression: even for unit jobs, NOT every minimal feasible solution is
+   optimal - a shuffled closing order can land on a worse minimal set
+   (found by the property fuzzer at seed 23641). Only the directional
+   orders coincide with the optimum here. *)
+let test_unit_jobs_bad_minimal_exists () =
+  let inst = Gen.slotted_unit ~horizon:8 ~g:2 ~n:6 ~seed:23641 () in
+  Alcotest.(check (option int)) "OPT" (Some 4) (Active.Exact.optimum inst);
+  (match Active.Minimal.solve inst (Active.Minimal.Shuffled 23641) with
+  | None -> Alcotest.fail "feasible"
+  | Some sol ->
+      Alcotest.(check int) "shuffled minimal is worse" 5 (Active.Solution.cost sol);
+      Alcotest.(check bool) "yet minimal" true
+        (Active.Minimal.is_minimal inst ~open_slots:sol.Active.Solution.open_slots));
+  match Active.Unit_jobs.solve inst with
+  | None -> Alcotest.fail "feasible"
+  | Some sol -> Alcotest.(check int) "unit solver optimal" 4 (Active.Solution.cost sol)
+
+(* -- properties ----------------------------------------------------------- *)
+
+let tiny_params : Gen.slotted_params = { n = 5; horizon = 8; max_length = 3; slack = 3; g = 2 }
+
+let seed_arb = QCheck.int_range 0 100_000
+
+let prop_ilp_matches_bnb =
+  QCheck.Test.make ~name:"LP-based branch and bound = combinatorial optimum" ~count:25 seed_arb
+    (fun seed ->
+      let inst = Gen.slotted ~params:tiny_params ~seed () in
+      Active.Ilp.optimum inst = Active.Exact.optimum inst
+      &&
+      match Active.Ilp.solve inst with
+      | None -> Active.Exact.optimum inst = None
+      | Some (sol, _) -> Active.Solution.verify inst sol = None)
+
+let prop_bnb_matches_bruteforce =
+  QCheck.Test.make ~name:"branch-and-bound = brute force" ~count:40 seed_arb (fun seed ->
+      let inst = Gen.slotted ~params:{ tiny_params with n = 4; horizon = 6 } ~seed () in
+      let a = Option.map Active.Solution.cost (Active.Exact.brute_force inst) in
+      let b = Active.Exact.optimum inst in
+      a = b)
+
+let prop_minimal_within_3opt =
+  QCheck.Test.make ~name:"minimal feasible <= 3 OPT (all orders)" ~count:40 seed_arb (fun seed ->
+      let inst = Gen.slotted ~params:tiny_params ~seed () in
+      match Active.Exact.optimum inst with
+      | None -> true
+      | Some opt ->
+          List.for_all
+            (fun order ->
+              match Active.Minimal.solve inst order with
+              | None -> false
+              | Some sol ->
+                  Active.Solution.cost sol <= 3 * opt
+                  && Active.Solution.verify inst sol = None
+                  && Active.Minimal.is_minimal inst ~open_slots:sol.Active.Solution.open_slots)
+            [ Active.Minimal.Left_to_right; Active.Minimal.Right_to_left; Active.Minimal.Shuffled seed ])
+
+let prop_lp_sandwich =
+  QCheck.Test.make ~name:"LP <= OPT <= rounding <= 2 LP, rounding feasible" ~count:40 seed_arb
+    (fun seed ->
+      let inst = Gen.slotted ~params:tiny_params ~seed () in
+      match (Active.Lp_model.solve inst, Active.Exact.optimum inst, Active.Rounding.solve inst) with
+      | None, None, None -> true
+      | Some lp, Some opt, Some (sol, stats) ->
+          let lpc = lp.Active.Lp_model.cost in
+          let r = Active.Solution.cost sol in
+          Q.compare lpc (Q.of_int opt) <= 0
+          && opt <= r
+          && Q.compare (Q.of_int r) (Q.mul Q.two lpc) <= 0
+          && (not stats.Active.Rounding.fallback_used)
+          && Active.Solution.verify inst sol = None
+      | _ -> false)
+
+let prop_unit_minimal_optimal =
+  QCheck.Test.make ~name:"unit jobs: directional minimalization is optimal" ~count:40 seed_arb
+    (fun seed ->
+      let inst = Gen.slotted_unit ~horizon:8 ~g:2 ~n:6 ~seed () in
+      match Active.Exact.optimum inst with
+      | None -> Active.Unit_jobs.solve inst = None
+      | Some opt ->
+          List.for_all
+            (fun order ->
+              match Active.Minimal.solve inst order with
+              | None -> false
+              | Some sol -> Active.Solution.cost sol = opt)
+            [ Active.Minimal.Left_to_right; Active.Minimal.Right_to_left ])
+
+(* Lemma 3, computationally: the right-shifted y vector still admits a
+   feasible fractional assignment, and preserves the total mass. *)
+let prop_right_shift_feasible =
+  QCheck.Test.make ~name:"Lemma 3: right-shifted LP solution stays feasible" ~count:30 seed_arb
+    (fun seed ->
+      let inst = Gen.slotted ~params:tiny_params ~seed () in
+      match Active.Lp_model.solve inst with
+      | None -> true
+      | Some lp ->
+          let shifted = Active.Lp_model.right_shift inst lp in
+          let mass l = List.fold_left (fun acc (_, v) -> Q.add acc v) Q.zero l in
+          Q.equal (mass shifted) (mass lp.Active.Lp_model.y)
+          && List.for_all (fun (_, v) -> Q.compare v Q.zero >= 0 && Q.compare v Q.one <= 0) shifted
+          && Active.Lp_model.feasible_with_y inst shifted)
+
+let prop_lp_below_opt =
+  QCheck.Test.make ~name:"LP value within (OPT/2, OPT]" ~count:40 seed_arb (fun seed ->
+      let inst = Gen.slotted ~params:{ tiny_params with g = 3 } ~seed () in
+      match (Active.Lp_model.solve inst, Active.Exact.optimum inst) with
+      | None, None -> true
+      | Some lp, Some opt ->
+          let lpc = lp.Active.Lp_model.cost in
+          Q.compare lpc (Q.of_int opt) <= 0 && Q.compare (Q.mul Q.two lpc) (Q.of_int opt) >= 0
+      | _ -> false)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_bnb_matches_bruteforce; prop_ilp_matches_bnb; prop_minimal_within_3opt; prop_lp_sandwich;
+      prop_unit_minimal_optimal; prop_right_shift_feasible; prop_lp_below_opt ]
+
+let () =
+  Alcotest.run "active"
+    [ ( "feasibility",
+        [ Alcotest.test_case "basic" `Quick test_feasibility_basic;
+          Alcotest.test_case "capacity" `Quick test_feasibility_capacity;
+          Alcotest.test_case "only_jobs" `Quick test_feasibility_only_jobs;
+          Alcotest.test_case "schedule extraction" `Quick test_schedule_extraction ] );
+      ( "minimal",
+        [ Alcotest.test_case "simple" `Quick test_minimal_simple;
+          Alcotest.test_case "infeasible" `Quick test_minimal_infeasible;
+          Alcotest.test_case "given order" `Quick test_minimal_given_order;
+          Alcotest.test_case "fig3 gadget" `Quick test_minimal_fig3_gadget ] );
+      ( "exact",
+        [ Alcotest.test_case "simple" `Quick test_exact_simple;
+          Alcotest.test_case "infeasible" `Quick test_exact_infeasible ] );
+      ( "lp",
+        [ Alcotest.test_case "integral instance" `Quick test_lp_exact_on_integral;
+          Alcotest.test_case "infeasible" `Quick test_lp_infeasible;
+          Alcotest.test_case "assignment consistency" `Quick test_lp_assignment_consistency;
+          Alcotest.test_case "integrality gap gadget" `Quick test_lp_integrality_gap ] );
+      ( "rounding",
+        [ Alcotest.test_case "simple" `Quick test_rounding_simple;
+          Alcotest.test_case "integrality gadget" `Quick test_rounding_integrality_gadget;
+          Alcotest.test_case "fig3 gadget" `Quick test_rounding_fig3;
+          Alcotest.test_case "infeasible" `Quick test_rounding_infeasible ] );
+      ( "unit jobs",
+        [ Alcotest.test_case "guard" `Quick test_unit_jobs_guard;
+          Alcotest.test_case "bad minimal exists" `Quick test_unit_jobs_bad_minimal_exists ] );
+      ("properties", props) ]

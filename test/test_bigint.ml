@@ -1,0 +1,248 @@
+(* Unit and property tests for Bigint.
+
+   Properties are checked against native-int oracles on ranges where native
+   arithmetic is exact, and against algebraic laws (ring axioms, Euclidean
+   division identities) on genuinely large random values. *)
+
+let b = Bigint.of_int
+let s = Bigint.to_string
+
+let check_b msg expected actual = Alcotest.(check string) msg expected (s actual)
+
+(* -- unit tests ---------------------------------------------------------- *)
+
+let test_constants () =
+  check_b "zero" "0" Bigint.zero;
+  check_b "one" "1" Bigint.one;
+  check_b "two" "2" Bigint.two;
+  check_b "minus_one" "-1" Bigint.minus_one
+
+let test_of_int_roundtrip () =
+  List.iter
+    (fun n -> Alcotest.(check (option int)) (string_of_int n) (Some n) (Bigint.to_int (b n)))
+    [ 0; 1; -1; 42; -42; 1 lsl 29; (1 lsl 30) - 1; 1 lsl 30; 1 lsl 31; max_int; min_int; max_int - 1; min_int + 1 ]
+
+let test_of_string () =
+  check_b "simple" "12345" (Bigint.of_string "12345");
+  check_b "negative" "-12345" (Bigint.of_string "-12345");
+  check_b "plus sign" "7" (Bigint.of_string "+7");
+  check_b "zero" "0" (Bigint.of_string "0");
+  check_b "leading zeros" "99" (Bigint.of_string "00099");
+  let big = "123456789012345678901234567890123456789" in
+  check_b "big roundtrip" big (Bigint.of_string big);
+  let negbig = "-9999999999999999999999999999999999999999999" in
+  check_b "negative big roundtrip" negbig (Bigint.of_string negbig)
+
+let test_of_string_invalid () =
+  List.iter
+    (fun input ->
+      Alcotest.check_raises ("reject " ^ input) (Invalid_argument "Bigint.of_string: invalid character") (fun () ->
+          ignore (Bigint.of_string input)))
+    [ "12a3"; "1.5"; "1 2" ];
+  Alcotest.check_raises "reject empty" (Invalid_argument "Bigint.of_string: empty string") (fun () ->
+      ignore (Bigint.of_string ""));
+  Alcotest.check_raises "reject bare sign" (Invalid_argument "Bigint.of_string: no digits") (fun () ->
+      ignore (Bigint.of_string "-"))
+
+let test_add_carries () =
+  (* exercise digit-boundary carries *)
+  let big30 = b ((1 lsl 30) - 1) in
+  check_b "carry over 2^30" "1073741824" (Bigint.add big30 Bigint.one);
+  let x = Bigint.of_string "999999999999999999999999999999" in
+  check_b "decimal carry" "1000000000000000000000000000000" (Bigint.add x Bigint.one);
+  check_b "cancel to zero" "0" (Bigint.add x (Bigint.neg x))
+
+let test_mul_big () =
+  let x = Bigint.of_string "123456789123456789" in
+  let y = Bigint.of_string "987654321987654321" in
+  check_b "cross-digit product" "121932631356500531347203169112635269" (Bigint.mul x y);
+  check_b "sign -*+" "-121932631356500531347203169112635269" (Bigint.mul (Bigint.neg x) y);
+  check_b "times zero" "0" (Bigint.mul x Bigint.zero)
+
+let test_divmod_truncation () =
+  (* C-style truncated division: sign of remainder follows the dividend *)
+  let cases = [ (7, 2); (-7, 2); (7, -2); (-7, -2); (6, 3); (-6, 3); (0, 5) ] in
+  List.iter
+    (fun (x, y) ->
+      let q, r = Bigint.divmod (b x) (b y) in
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "%d /%% %d" x y)
+        (x / y, x mod y)
+        (Bigint.to_int_exn q, Bigint.to_int_exn r))
+    cases
+
+let test_divmod_big () =
+  let x = Bigint.of_string "121932631356500531347203169112635269" in
+  let y = Bigint.of_string "123456789123456789" in
+  let q, r = Bigint.divmod x y in
+  check_b "exact quotient" "987654321987654321" q;
+  check_b "exact remainder" "0" r;
+  let q2, r2 = Bigint.divmod (Bigint.add x Bigint.one) y in
+  check_b "quotient with rem" "987654321987654321" q2;
+  check_b "remainder one" "1" r2
+
+let test_div_by_zero () =
+  Alcotest.check_raises "divide by zero" Division_by_zero (fun () -> ignore (Bigint.divmod Bigint.one Bigint.zero))
+
+let test_knuth_addback () =
+  (* Dividends engineered so Algorithm D's qhat over-estimates and the
+     add-back branch runs: classic pattern with high digits just below the
+     divisor's. *)
+  let base = Bigint.pow Bigint.two 30 in
+  let v = Bigint.add (Bigint.mul base base) Bigint.one in
+  (* v = 2^60 + 1 *)
+  let u = Bigint.sub (Bigint.mul v (Bigint.sub base Bigint.one)) Bigint.one in
+  let q, r = Bigint.divmod u v in
+  (* u = v*(base-2) + (v-1) *)
+  check_b "addback quotient" (s (Bigint.sub base Bigint.two)) q;
+  check_b "addback remainder" (s (Bigint.sub v Bigint.one)) r;
+  (* sanity: identity u = q*v + r *)
+  check_b "identity" (s u) (Bigint.add (Bigint.mul q v) r)
+
+let test_gcd () =
+  Alcotest.(check int) "gcd(12,18)" 6 (Bigint.to_int_exn (Bigint.gcd (b 12) (b 18)));
+  Alcotest.(check int) "gcd(-12,18)" 6 (Bigint.to_int_exn (Bigint.gcd (b (-12)) (b 18)));
+  Alcotest.(check int) "gcd(0,5)" 5 (Bigint.to_int_exn (Bigint.gcd Bigint.zero (b 5)));
+  Alcotest.(check int) "gcd(0,0)" 0 (Bigint.to_int_exn (Bigint.gcd Bigint.zero Bigint.zero));
+  let big = Bigint.of_string "123456789012345678901234567890" in
+  check_b "gcd with self" (s (Bigint.abs big)) (Bigint.gcd big big)
+
+let test_pow () =
+  check_b "2^0" "1" (Bigint.pow Bigint.two 0);
+  check_b "2^10" "1024" (Bigint.pow Bigint.two 10);
+  check_b "10^30" ("1" ^ String.make 30 '0') (Bigint.pow (b 10) 30);
+  check_b "(-2)^3" "-8" (Bigint.pow (b (-2)) 3);
+  Alcotest.check_raises "negative exponent" (Invalid_argument "Bigint.pow: negative exponent") (fun () ->
+      ignore (Bigint.pow Bigint.two (-1)))
+
+let test_compare () =
+  let open Bigint in
+  Alcotest.(check bool) "1 < 2" true (b 1 < b 2);
+  Alcotest.(check bool) "-2 < 1" true (b (-2) < b 1);
+  Alcotest.(check bool) "-2 < -1" true (b (-2) < b (-1));
+  Alcotest.(check bool) "equal" true (of_string "100000000000000000000" = of_string "100000000000000000000");
+  Alcotest.(check int) "min" (-5) (to_int_exn (min (b (-5)) (b 3)));
+  Alcotest.(check int) "max" 3 (to_int_exn (max (b (-5)) (b 3)))
+
+let test_to_float () =
+  Alcotest.(check (float 1e-9)) "small" 42.0 (Bigint.to_float (b 42));
+  Alcotest.(check (float 1e-9)) "negative" (-42.0) (Bigint.to_float (b (-42)));
+  let x = Bigint.pow (b 10) 20 in
+  Alcotest.(check (float 1e6)) "1e20" 1e20 (Bigint.to_float x)
+
+(* -- property tests ------------------------------------------------------ *)
+
+let small_int = QCheck.int_range (-1_000_000) 1_000_000
+
+let big_pair =
+  (* pairs of bigints with up to ~120 bits built from strings of digits *)
+  let digits = QCheck.Gen.(string_size ~gen:(char_range '0' '9') (int_range 1 36)) in
+  let gen =
+    QCheck.Gen.(
+      map2
+        (fun (s1, n1) (s2, n2) ->
+          let mk s neg =
+            let v = Bigint.of_string s in
+            if neg then Bigint.neg v else v
+          in
+          (mk s1 n1, mk s2 n2))
+        (pair digits bool) (pair digits bool))
+  in
+  QCheck.make gen ~print:(fun (x, y) -> Printf.sprintf "(%s, %s)" (s x) (s y))
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"add matches int oracle" ~count:1500 (QCheck.pair small_int small_int) (fun (x, y) ->
+      Bigint.to_int_exn (Bigint.add (b x) (b y)) = x + y)
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"mul matches int oracle" ~count:1500 (QCheck.pair small_int small_int) (fun (x, y) ->
+      Bigint.to_int_exn (Bigint.mul (b x) (b y)) = x * y)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"to_string/of_string roundtrip" ~count:1000 big_pair (fun (x, _) ->
+      Bigint.equal x (Bigint.of_string (Bigint.to_string x)))
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"add commutative" ~count:1000 big_pair (fun (x, y) ->
+      Bigint.equal (Bigint.add x y) (Bigint.add y x))
+
+let prop_mul_commutative =
+  QCheck.Test.make ~name:"mul commutative" ~count:1000 big_pair (fun (x, y) ->
+      Bigint.equal (Bigint.mul x y) (Bigint.mul y x))
+
+let prop_distributive =
+  QCheck.Test.make ~name:"mul distributes over add" ~count:1000
+    (QCheck.pair big_pair big_pair)
+    (fun ((x, y), (z, _)) ->
+      Bigint.equal (Bigint.mul x (Bigint.add y z)) (Bigint.add (Bigint.mul x y) (Bigint.mul x z)))
+
+let prop_sub_inverse =
+  QCheck.Test.make ~name:"x - y + y = x" ~count:1000 big_pair (fun (x, y) ->
+      Bigint.equal x (Bigint.add (Bigint.sub x y) y))
+
+let prop_divmod_identity =
+  QCheck.Test.make ~name:"divmod identity and remainder bound" ~count:1500 big_pair (fun (x, y) ->
+      QCheck.assume (not (Bigint.is_zero y));
+      let q, r = Bigint.divmod x y in
+      Bigint.equal x (Bigint.add (Bigint.mul q y) r)
+      && Bigint.compare (Bigint.abs r) (Bigint.abs y) < 0
+      && (Bigint.is_zero r || Bigint.sign r = Bigint.sign x))
+
+let prop_gcd_divides =
+  QCheck.Test.make ~name:"gcd divides both and is maximal vs product" ~count:1000 big_pair (fun (x, y) ->
+      QCheck.assume (not (Bigint.is_zero x) && not (Bigint.is_zero y));
+      let g = Bigint.gcd x y in
+      Bigint.is_zero (Bigint.rem x g) && Bigint.is_zero (Bigint.rem y g) && Bigint.sign g = 1)
+
+let prop_compare_total_order =
+  QCheck.Test.make ~name:"compare antisymmetric and consistent with sub" ~count:1000 big_pair (fun (x, y) ->
+      let c = Bigint.compare x y in
+      c = -Bigint.compare y x && c = Bigint.sign (Bigint.sub x y))
+
+let prop_to_float_sign =
+  QCheck.Test.make ~name:"to_float preserves sign" ~count:600 big_pair (fun (x, _) ->
+      compare (Bigint.to_float x) 0.0 = Bigint.sign x)
+
+let prop_pow_additive =
+  QCheck.Test.make ~name:"pow b (m+n) = pow b m * pow b n" ~count:600
+    (QCheck.triple (QCheck.int_range (-50) 50) (QCheck.int_range 0 12) (QCheck.int_range 0 12))
+    (fun (base, m, n) ->
+      let b' = b base in
+      Bigint.equal (Bigint.pow b' (m + n)) (Bigint.mul (Bigint.pow b' m) (Bigint.pow b' n)))
+
+let prop_order_add_monotone =
+  QCheck.Test.make ~name:"x <= y implies x + z <= y + z" ~count:1000
+    (QCheck.pair big_pair big_pair)
+    (fun ((x, y), (z, _)) ->
+      if Bigint.compare x y <= 0 then Bigint.compare (Bigint.add x z) (Bigint.add y z) <= 0 else true)
+
+let prop_abs_triangle =
+  QCheck.Test.make ~name:"|x + y| <= |x| + |y|; |x*y| = |x|*|y|" ~count:1000 big_pair (fun (x, y) ->
+      Bigint.compare (Bigint.abs (Bigint.add x y)) (Bigint.add (Bigint.abs x) (Bigint.abs y)) <= 0
+      && Bigint.equal (Bigint.abs (Bigint.mul x y)) (Bigint.mul (Bigint.abs x) (Bigint.abs y)))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_add_matches_int; prop_mul_matches_int; prop_string_roundtrip; prop_add_commutative;
+      prop_mul_commutative; prop_distributive; prop_sub_inverse; prop_divmod_identity;
+      prop_gcd_divides; prop_compare_total_order; prop_to_float_sign; prop_pow_additive;
+      prop_order_add_monotone; prop_abs_triangle ]
+
+let () =
+  Alcotest.run "bigint"
+    [ ( "unit",
+        [ Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "of_int roundtrip" `Quick test_of_int_roundtrip;
+          Alcotest.test_case "of_string" `Quick test_of_string;
+          Alcotest.test_case "of_string invalid" `Quick test_of_string_invalid;
+          Alcotest.test_case "add carries" `Quick test_add_carries;
+          Alcotest.test_case "mul big" `Quick test_mul_big;
+          Alcotest.test_case "divmod truncation" `Quick test_divmod_truncation;
+          Alcotest.test_case "divmod big" `Quick test_divmod_big;
+          Alcotest.test_case "divide by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "knuth add-back" `Quick test_knuth_addback;
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "to_float" `Quick test_to_float ] );
+      ("properties", props) ]

@@ -1,0 +1,347 @@
+(* Tests for the exact simplex solver: textbook LPs with known optima,
+   infeasibility/unboundedness detection, degenerate instances, and
+   properties (feasibility of the returned vertex, optimality vs sampled
+   feasible points, strong duality on generated primal/dual pairs). *)
+
+module Q = Rational
+
+let q = Q.of_ints
+let qi = Q.of_int
+
+let check_opt msg expected result =
+  match result with
+  | Lp.Optimal s -> Alcotest.(check string) msg expected (Q.to_string (Lp.objective_value s))
+  | Lp.Infeasible -> Alcotest.fail (msg ^ ": unexpectedly infeasible")
+  | Lp.Unbounded -> Alcotest.fail (msg ^ ": unexpectedly unbounded")
+
+let get_solution = function
+  | Lp.Optimal s -> s
+  | Lp.Infeasible -> Alcotest.fail "unexpectedly infeasible"
+  | Lp.Unbounded -> Alcotest.fail "unexpectedly unbounded"
+
+let test_textbook_max () =
+  (* max 3x + 5y s.t. x <= 4; 2y <= 12; 3x + 2y <= 18; x,y >= 0. Opt = 36 *)
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
+  Lp.add_constraint m [ (qi 1, x) ] Lp.Le (qi 4);
+  Lp.add_constraint m [ (qi 2, y) ] Lp.Le (qi 12);
+  Lp.add_constraint m [ (qi 3, x); (qi 2, y) ] Lp.Le (qi 18);
+  Lp.set_objective m Lp.Maximize [ (qi 3, x); (qi 5, y) ];
+  let r = Lp.solve m in
+  check_opt "objective" "36" r;
+  let s = get_solution r in
+  Alcotest.(check string) "x" "2" (Q.to_string (Lp.value s x));
+  Alcotest.(check string) "y" "6" (Q.to_string (Lp.value s y))
+
+let test_textbook_min () =
+  (* min 2x + 3y s.t. x + y >= 4; x + 3y >= 6; x,y >= 0. Opt at (3,1): 9 *)
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
+  Lp.add_constraint m [ (qi 1, x); (qi 1, y) ] Lp.Ge (qi 4);
+  Lp.add_constraint m [ (qi 1, x); (qi 3, y) ] Lp.Ge (qi 6);
+  Lp.set_objective m Lp.Minimize [ (qi 2, x); (qi 3, y) ];
+  check_opt "objective" "9" (Lp.solve m)
+
+let test_equality () =
+  (* min x + y s.t. x + 2y = 4; x - y = 1 -> x = 2, y = 1 *)
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
+  Lp.add_constraint m [ (qi 1, x); (qi 2, y) ] Lp.Eq (qi 4);
+  Lp.add_constraint m [ (qi 1, x); (qi (-1), y) ] Lp.Eq (qi 1);
+  Lp.set_objective m Lp.Minimize [ (qi 1, x); (qi 1, y) ];
+  let r = Lp.solve m in
+  check_opt "objective" "3" r;
+  let s = get_solution r in
+  Alcotest.(check string) "x" "2" (Q.to_string (Lp.value s x));
+  Alcotest.(check string) "y" "1" (Q.to_string (Lp.value s y))
+
+let test_fractional_optimum () =
+  (* max x + y s.t. 2x + y <= 3; x + 2y <= 3 -> x = y = 1; but with
+     2x + y <= 2, x + 2y <= 2 -> x = y = 2/3, objective 4/3. *)
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
+  Lp.add_constraint m [ (qi 2, x); (qi 1, y) ] Lp.Le (qi 2);
+  Lp.add_constraint m [ (qi 1, x); (qi 2, y) ] Lp.Le (qi 2);
+  Lp.set_objective m Lp.Maximize [ (qi 1, x); (qi 1, y) ];
+  check_opt "objective" "4/3" (Lp.solve m)
+
+let test_infeasible () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  Lp.add_constraint m [ (qi 1, x) ] Lp.Ge (qi 5);
+  Lp.add_constraint m [ (qi 1, x) ] Lp.Le (qi 3);
+  Lp.set_objective m Lp.Minimize [ (qi 1, x) ];
+  (match Lp.solve m with
+  | Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible")
+
+let test_unbounded () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  Lp.add_constraint m [ (qi 1, x) ] Lp.Ge (qi 1);
+  Lp.set_objective m Lp.Maximize [ (qi 1, x) ];
+  (match Lp.solve m with
+  | Lp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded")
+
+let test_bounds () =
+  (* variable bounds used directly, including a negative lower bound *)
+  let m = Lp.create () in
+  let x = Lp.add_var ~lower:(qi (-5)) ~upper:(qi (-2)) m "x" in
+  let y = Lp.add_var ~lower:(qi 1) ~upper:(qi 3) m "y" in
+  Lp.set_objective m Lp.Minimize [ (qi 1, x); (qi 1, y) ];
+  let r = Lp.solve m in
+  check_opt "objective" "-4" r;
+  let s = get_solution r in
+  Alcotest.(check string) "x at lower" "-5" (Q.to_string (Lp.value s x));
+  Alcotest.(check string) "y at lower" "1" (Q.to_string (Lp.value s y))
+
+let test_upper_bound_binding () =
+  let m = Lp.create () in
+  let x = Lp.add_var ~upper:(qi 7) m "x" in
+  Lp.set_objective m Lp.Maximize [ (qi 2, x) ];
+  check_opt "objective" "14" (Lp.solve m)
+
+let test_duplicate_terms () =
+  (* x + x <= 4 must behave as 2x <= 4 *)
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  Lp.add_constraint m [ (qi 1, x); (qi 1, x) ] Lp.Le (qi 4);
+  Lp.set_objective m Lp.Maximize [ (qi 1, x) ];
+  check_opt "objective" "2" (Lp.solve m)
+
+let test_degenerate () =
+  (* Beale's classic cycling example; must terminate and find opt -1/20.
+     min -3/4 x4 + 150 x5 - 1/50 x6 + 6 x7
+     s.t. 1/4 x4 - 60 x5 - 1/25 x6 + 9 x7 <= 0
+          1/2 x4 - 90 x5 - 1/50 x6 + 3 x7 <= 0
+          x6 <= 1 *)
+  let m = Lp.create () in
+  let x4 = Lp.add_var m "x4" and x5 = Lp.add_var m "x5" in
+  let x6 = Lp.add_var m "x6" and x7 = Lp.add_var m "x7" in
+  Lp.add_constraint m [ (q 1 4, x4); (qi (-60), x5); (q (-1) 25, x6); (qi 9, x7) ] Lp.Le Q.zero;
+  Lp.add_constraint m [ (q 1 2, x4); (qi (-90), x5); (q (-1) 50, x6); (qi 3, x7) ] Lp.Le Q.zero;
+  Lp.add_constraint m [ (qi 1, x6) ] Lp.Le Q.one;
+  Lp.set_objective m Lp.Minimize [ (q (-3) 4, x4); (qi 150, x5); (q (-1) 50, x6); (qi 6, x7) ];
+  check_opt "objective" "-1/20" (Lp.solve m)
+
+let test_zero_objective () =
+  (* pure feasibility problem *)
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  Lp.add_constraint m [ (qi 1, x) ] Lp.Ge (qi 2);
+  Lp.add_constraint m [ (qi 1, x) ] Lp.Le (qi 10);
+  check_opt "objective" "0" (Lp.solve m)
+
+let test_redundant_rows () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  Lp.add_constraint m [ (qi 1, x) ] Lp.Eq (qi 3);
+  Lp.add_constraint m [ (qi 2, x) ] Lp.Eq (qi 6);
+  Lp.add_constraint m [ (qi 1, x) ] Lp.Le (qi 3);
+  Lp.set_objective m Lp.Maximize [ (qi 5, x) ];
+  check_opt "objective" "15" (Lp.solve m)
+
+let test_negative_rhs () =
+  (* -x <= -3 is x >= 3 *)
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  Lp.add_constraint m [ (qi (-1), x) ] Lp.Le (qi (-3));
+  Lp.set_objective m Lp.Minimize [ (qi 1, x) ];
+  check_opt "objective" "3" (Lp.solve m)
+
+let test_no_constraints () =
+  (* pure bound optimization, no rows at all *)
+  let m = Lp.create () in
+  let x = Lp.add_var ~lower:(qi 2) ~upper:(qi 9) m "x" in
+  Lp.set_objective m Lp.Maximize [ (qi 1, x) ];
+  check_opt "objective" "9" (Lp.solve m)
+
+let test_empty_model () =
+  let m = Lp.create () in
+  check_opt "trivial optimum" "0" (Lp.solve m)
+
+let test_mixed_senses () =
+  (* min x + 2y s.t. x + y = 5; x - y >= 1; y <= 3 -> x=4,y=1? check:
+     x+y=5, x-y>=1 -> x >= 3; minimize x + 2y = x + 2(5-x) = 10 - x ->
+     maximize x -> x as large as possible: y >= 0 -> x <= 5; x=5,y=0:
+     x-y=5>=1 ok, y<=3 ok -> objective 5 *)
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" and y = Lp.add_var ~upper:(qi 3) m "y" in
+  Lp.add_constraint m [ (qi 1, x); (qi 1, y) ] Lp.Eq (qi 5);
+  Lp.add_constraint m [ (qi 1, x); (qi (-1), y) ] Lp.Ge (qi 1);
+  Lp.set_objective m Lp.Minimize [ (qi 1, x); (qi 2, y) ];
+  check_opt "objective" "5" (Lp.solve m)
+
+let test_infeasible_by_bounds () =
+  let m = Lp.create () in
+  let x = Lp.add_var ~lower:(qi 4) ~upper:(qi 10) m "x" in
+  Lp.add_constraint m [ (qi 1, x) ] Lp.Le (qi 2);
+  (match Lp.solve m with
+  | Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible");
+  Alcotest.check_raises "upper < lower rejected" (Invalid_argument "Lp.add_var: upper < lower")
+    (fun () -> ignore (Lp.add_var ~lower:(qi 5) ~upper:(qi 1) m "y"))
+
+let test_unknown_variable_rejected () =
+  (* a var handle from a bigger model is out of range in a smaller one *)
+  let m1 = Lp.create () in
+  let _x = Lp.add_var m1 "x" in
+  let m2 = Lp.create () in
+  let _y = Lp.add_var m2 "y" in
+  let z = Lp.add_var m2 "z" in
+  Alcotest.check_raises "foreign var" (Invalid_argument "Lp.add_constraint: unknown variable")
+    (fun () -> Lp.add_constraint m1 [ (qi 1, z) ] Lp.Le (qi 1));
+  Alcotest.check_raises "objective too" (Invalid_argument "Lp.set_objective: unknown variable")
+    (fun () -> Lp.set_objective m1 Lp.Minimize [ (qi 1, z) ])
+
+let test_values_accessor () =
+  let m = Lp.create () in
+  let _x = Lp.add_var ~upper:(qi 2) m "alpha" in
+  Lp.set_objective m Lp.Maximize [ (qi 1, _x) ];
+  let s = get_solution (Lp.solve m) in
+  Alcotest.(check (list (pair string string))) "values" [ ("alpha", "2") ]
+    (List.map (fun (n, v) -> (n, Q.to_string v)) (Lp.values s))
+
+(* -- properties ---------------------------------------------------------- *)
+
+(* Random box-constrained minimization with <= rows whose rhs >= 0: always
+   feasible at the origin. Check (1) returned point satisfies everything;
+   (2) no sampled feasible point beats the optimum. *)
+
+type rand_lp = { nv : int; rows : (int array * int) list; costs : int array; ubs : int array }
+
+let lp_gen =
+  let open QCheck.Gen in
+  let* nv = int_range 1 5 in
+  let* nr = int_range 0 6 in
+  let row = pair (array_size (return nv) (int_range (-4) 6)) (int_range 0 20) in
+  let* rows = list_size (return nr) row in
+  let* costs = array_size (return nv) (int_range (-5) 5) in
+  let* ubs = array_size (return nv) (int_range 0 8) in
+  return { nv; rows; costs; ubs }
+
+let lp_arb =
+  QCheck.make lp_gen ~print:(fun l ->
+      Printf.sprintf "nv=%d costs=[%s] ubs=[%s] rows=[%s]" l.nv
+        (String.concat ";" (Array.to_list (Array.map string_of_int l.costs)))
+        (String.concat ";" (Array.to_list (Array.map string_of_int l.ubs)))
+        (String.concat " | "
+           (List.map
+              (fun (r, b) ->
+                Printf.sprintf "%s <= %d" (String.concat "+" (Array.to_list (Array.map string_of_int r))) b)
+              l.rows)))
+
+let build_lp l =
+  let m = Lp.create () in
+  let vars = Array.init l.nv (fun i -> Lp.add_var ~upper:(qi l.ubs.(i)) m (Printf.sprintf "x%d" i)) in
+  List.iter
+    (fun (r, b) ->
+      let terms = Array.to_list (Array.mapi (fun i c -> (qi c, vars.(i))) r) in
+      Lp.add_constraint m terms Lp.Le (qi b))
+    l.rows;
+  Lp.set_objective m Lp.Minimize (Array.to_list (Array.mapi (fun i c -> (qi c, vars.(i))) l.costs));
+  (m, vars)
+
+let feasible l (point : Q.t array) =
+  let ok_box = Array.for_all2 (fun x u -> Q.compare x Q.zero >= 0 && Q.compare x (qi u) <= 0) point l.ubs in
+  ok_box
+  && List.for_all
+       (fun (r, b) ->
+         let lhs = ref Q.zero in
+         Array.iteri (fun i c -> lhs := Q.add !lhs (Q.mul (qi c) point.(i))) r;
+         Q.compare !lhs (qi b) <= 0)
+       l.rows
+
+let cost_at l point =
+  let c = ref Q.zero in
+  Array.iteri (fun i coef -> c := Q.add !c (Q.mul (qi coef) point.(i))) l.costs;
+  !c
+
+let prop_solution_feasible =
+  QCheck.Test.make ~name:"returned vertex is feasible" ~count:600 lp_arb (fun l ->
+      let m, vars = build_lp l in
+      match Lp.solve m with
+      | Lp.Optimal s -> feasible l (Array.map (Lp.value s) vars)
+      | Lp.Infeasible | Lp.Unbounded -> false (* box LPs are always feasible and bounded *))
+
+let prop_no_sample_beats_optimum =
+  QCheck.Test.make ~name:"no sampled feasible point beats the optimum" ~count:400
+    (QCheck.pair lp_arb (QCheck.make QCheck.Gen.(list_size (return 30) (int_range 0 1000))))
+    (fun (l, seeds) ->
+      let m, _ = build_lp l in
+      match Lp.solve m with
+      | Lp.Optimal s ->
+          let opt = Lp.objective_value s in
+          List.for_all
+            (fun seed ->
+              let point = Array.init l.nv (fun i -> q ((seed * (i + 3)) mod (l.ubs.(i) + 1)) 1) in
+              (not (feasible l point)) || Q.compare opt (cost_at l point) <= 0)
+            seeds
+      | _ -> false)
+
+(* Strong duality: primal min cx, Ax >= b, x >= 0 with b <= 0 (primal
+   feasible at 0) and c >= 0 (dual feasible at 0). Dual: max by, A^T y <= c,
+   y >= 0. Optimal values must coincide. *)
+let duality_gen =
+  let open QCheck.Gen in
+  let* nv = int_range 1 4 in
+  let* nr = int_range 1 4 in
+  let* a = array_size (return nr) (array_size (return nv) (int_range (-3) 5)) in
+  let* b = array_size (return nr) (int_range (-6) 0) in
+  let* c = array_size (return nv) (int_range 0 6) in
+  return (a, b, c)
+
+let duality_arb =
+  QCheck.make duality_gen ~print:(fun (a, b, c) ->
+      let row r = "[" ^ String.concat ";" (Array.to_list (Array.map string_of_int r)) ^ "]" in
+      Printf.sprintf "A=%s b=%s c=%s" (String.concat "" (Array.to_list (Array.map row a))) (row b) (row c))
+
+let prop_strong_duality =
+  QCheck.Test.make ~name:"strong duality on feasible primal/dual pairs" ~count:400 duality_arb
+    (fun (a, b, c) ->
+      let nr = Array.length a and nv = Array.length c in
+      let primal = Lp.create () in
+      let xs = Array.init nv (fun i -> Lp.add_var primal (Printf.sprintf "x%d" i)) in
+      Array.iteri
+        (fun i row ->
+          Lp.add_constraint primal (Array.to_list (Array.mapi (fun j coef -> (qi coef, xs.(j))) row)) Lp.Ge (qi b.(i)))
+        a;
+      Lp.set_objective primal Lp.Minimize (Array.to_list (Array.mapi (fun j coef -> (qi coef, xs.(j))) c));
+      let dual = Lp.create () in
+      let ys = Array.init nr (fun i -> Lp.add_var dual (Printf.sprintf "y%d" i)) in
+      for j = 0 to nv - 1 do
+        Lp.add_constraint dual (Array.to_list (Array.mapi (fun i row -> (qi row.(j), ys.(i))) a)) Lp.Le (qi c.(j))
+      done;
+      Lp.set_objective dual Lp.Maximize (Array.to_list (Array.mapi (fun i bi -> (qi bi, ys.(i))) b));
+      match (Lp.solve primal, Lp.solve dual) with
+      | Lp.Optimal p, Lp.Optimal d -> Q.equal (Lp.objective_value p) (Lp.objective_value d)
+      | _ -> false)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_solution_feasible; prop_no_sample_beats_optimum; prop_strong_duality ]
+
+let () =
+  Alcotest.run "lp"
+    [ ( "unit",
+        [ Alcotest.test_case "textbook max" `Quick test_textbook_max;
+          Alcotest.test_case "textbook min" `Quick test_textbook_min;
+          Alcotest.test_case "equalities" `Quick test_equality;
+          Alcotest.test_case "fractional optimum" `Quick test_fractional_optimum;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "variable bounds" `Quick test_bounds;
+          Alcotest.test_case "upper bound binding" `Quick test_upper_bound_binding;
+          Alcotest.test_case "duplicate terms" `Quick test_duplicate_terms;
+          Alcotest.test_case "degenerate (Beale)" `Quick test_degenerate;
+          Alcotest.test_case "zero objective" `Quick test_zero_objective;
+          Alcotest.test_case "redundant rows" `Quick test_redundant_rows;
+          Alcotest.test_case "negative rhs" `Quick test_negative_rhs;
+          Alcotest.test_case "no constraints" `Quick test_no_constraints;
+          Alcotest.test_case "empty model" `Quick test_empty_model;
+          Alcotest.test_case "mixed senses" `Quick test_mixed_senses;
+          Alcotest.test_case "infeasible by bounds" `Quick test_infeasible_by_bounds;
+          Alcotest.test_case "unknown variable rejected" `Quick test_unknown_variable_rejected;
+          Alcotest.test_case "values accessor" `Quick test_values_accessor ] );
+      ("properties", props) ]

@@ -1,0 +1,66 @@
+(* Tests for the multicore work pool: order preservation, equivalence with
+   sequential map, exception propagation, and a real workload (running the
+   busy-time algorithms on many seeds in parallel must agree with the
+   sequential run - also a thread-safety check for the algorithm stack,
+   which builds all mutable state per call). *)
+
+module Q = Rational
+
+let test_order_preserved () =
+  let xs = List.init 100 (fun i -> i) in
+  Alcotest.(check (list int)) "squares in order" (List.map (fun x -> x * x) xs)
+    (Parallel.Pool.map (fun x -> x * x) xs)
+
+let test_empty_and_small () =
+  Alcotest.(check (list int)) "empty" [] (Parallel.Pool.map (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 7 ] (Parallel.Pool.map (fun x -> x + 1) [ 6 ]);
+  Alcotest.(check (list int)) "more domains than tasks" [ 1; 2 ]
+    (Parallel.Pool.map ~domains:8 (fun x -> x) [ 1; 2 ])
+
+let test_init () =
+  Alcotest.(check (list int)) "init" [ 0; 2; 4; 6 ] (Parallel.Pool.init 4 (fun i -> 2 * i))
+
+let test_exception_propagates () =
+  Alcotest.check_raises "task failure resurfaces" (Failure "task 3") (fun () ->
+      ignore
+        (Parallel.Pool.map (fun i -> if i = 3 then failwith "task 3" else i) [ 0; 1; 2; 3; 4 ]))
+
+let test_default_domains_positive () =
+  Alcotest.(check bool) "at least one" true (Parallel.Pool.default_domains () >= 1)
+
+let test_real_workload_agrees () =
+  (* running the algorithm stack concurrently must give the sequential
+     answers: catches any hidden shared mutable state *)
+  let seeds = List.init 12 (fun i -> i) in
+  let work seed =
+    let jobs = Workload.Generate.interval_jobs ~n:14 ~horizon:28 ~max_length:5 ~seed () in
+    let cost solve = Q.to_string (Busy.Bundle.total_busy (solve ~g:3 jobs)) in
+    (cost Busy.First_fit.solve, cost Busy.Greedy_tracking.solve, cost Busy.Two_approx.solve)
+  in
+  let sequential = List.map work seeds in
+  let parallel = Parallel.Pool.map ~domains:4 work seeds in
+  Alcotest.(check bool) "identical results" true (sequential = parallel)
+
+let test_lp_workload_agrees () =
+  (* the exact simplex under concurrency *)
+  let seeds = List.init 6 (fun i -> i) in
+  let work seed =
+    let params : Workload.Generate.slotted_params = { n = 8; horizon = 12; max_length = 3; slack = 3; g = 2 } in
+    let inst = Workload.Generate.slotted ~params ~seed () in
+    match Active.Rounding.solve inst with
+    | Some (sol, stats) -> Some (Active.Solution.cost sol, Q.to_string stats.Active.Rounding.lp_cost)
+    | None -> None
+  in
+  Alcotest.(check bool) "identical results" true
+    (List.map work seeds = Parallel.Pool.map ~domains:3 work seeds)
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "pool",
+        [ Alcotest.test_case "order preserved" `Quick test_order_preserved;
+          Alcotest.test_case "empty and small" `Quick test_empty_and_small;
+          Alcotest.test_case "init" `Quick test_init;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "default domains" `Quick test_default_domains_positive;
+          Alcotest.test_case "busy-time stack under domains" `Quick test_real_workload_agrees;
+          Alcotest.test_case "simplex under domains" `Quick test_lp_workload_agrees ] ) ]

@@ -1,0 +1,142 @@
+(* Unit and property tests for Rational: field laws, normalization
+   invariants, ordering, floor/ceil, and parsing. *)
+
+module Q = Rational
+
+let q = Q.of_ints
+let check_q msg expected actual = Alcotest.(check string) msg expected (Q.to_string actual)
+
+let test_normalization () =
+  check_q "reduce" "2/3" (q 4 6);
+  check_q "negative den" "-2/3" (q 2 (-3));
+  check_q "double negative" "2/3" (q (-2) (-3));
+  check_q "zero" "0" (q 0 17);
+  check_q "integral" "5" (q 10 2);
+  Alcotest.(check string) "den positive" "3" (Bigint.to_string (Q.den (q 2 (-3))));
+  Alcotest.check_raises "zero denominator" Division_by_zero (fun () -> ignore (q 1 0))
+
+let test_parse () =
+  check_q "int" "42" (Q.of_string "42");
+  check_q "fraction" "1/3" (Q.of_string "2/6");
+  check_q "negative fraction" "-1/3" (Q.of_string "-2/6");
+  check_q "decimal" "1/4" (Q.of_string "0.25");
+  check_q "negative decimal" "-5/2" (Q.of_string "-2.5");
+  check_q "decimal no int part" "1/2" (Q.of_string ".5");
+  check_q "big decimal" "123456789123456789/100" (Q.of_string "1234567891234567.89")
+
+let test_arith () =
+  check_q "add" "5/6" (Q.add (q 1 2) (q 1 3));
+  check_q "sub" "1/6" (Q.sub (q 1 2) (q 1 3));
+  check_q "mul" "1/6" (Q.mul (q 1 2) (q 1 3));
+  check_q "div" "3/2" (Q.div (q 1 2) (q 1 3));
+  check_q "inv" "-3/2" (Q.inv (q (-2) 3));
+  check_q "add cancel" "0" (Q.add (q 1 2) (q (-1) 2));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () -> ignore (Q.div Q.one Q.zero));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Q.inv Q.zero))
+
+let test_floor_ceil () =
+  let cases =
+    [ (7, 2, "3", "4"); (-7, 2, "-4", "-3"); (6, 3, "2", "2"); (-6, 3, "-2", "-2"); (0, 5, "0", "0"); (1, 3, "0", "1"); (-1, 3, "-1", "0") ]
+  in
+  List.iter
+    (fun (n, d, fl, ce) ->
+      check_q (Printf.sprintf "floor %d/%d" n d) fl (Q.floor (q n d));
+      check_q (Printf.sprintf "ceil %d/%d" n d) ce (Q.ceil (q n d)))
+    cases;
+  Alcotest.(check int) "floor_int" 3 (Q.floor_int (q 7 2));
+  Alcotest.(check int) "ceil_int" (-3) (Q.ceil_int (q (-7) 2))
+
+let test_compare () =
+  let open Q in
+  Alcotest.(check bool) "1/2 < 2/3" true (q 1 2 < q 2 3);
+  Alcotest.(check bool) "-1/2 > -2/3" true (q (-1) 2 > q (-2) 3);
+  Alcotest.(check bool) "3/6 = 1/2" true (q 3 6 = q 1 2);
+  Alcotest.(check bool) "min" true (Q.min (q 1 2) (q 1 3) = q 1 3);
+  Alcotest.(check bool) "max" true (Q.max (q 1 2) (q 1 3) = q 1 2)
+
+let test_to_int () =
+  Alcotest.(check (option int)) "integral" (Some 5) (Q.to_int (q 10 2));
+  Alcotest.(check (option int)) "fractional" None (Q.to_int (q 1 2));
+  Alcotest.(check bool) "is_integer" true (Q.is_integer (q 4 2));
+  Alcotest.(check bool) "not integer" false (Q.is_integer (q 1 2))
+
+let test_to_float () =
+  Alcotest.(check (float 1e-12)) "1/2" 0.5 (Q.to_float (q 1 2));
+  Alcotest.(check (float 1e-12)) "-1/4" (-0.25) (Q.to_float (q (-1) 4))
+
+(* -- properties ---------------------------------------------------------- *)
+
+let rat_gen =
+  let open QCheck.Gen in
+  map2 (fun n d -> q n d) (int_range (-10_000) 10_000) (int_range 1 10_000)
+
+let rat = QCheck.make rat_gen ~print:Q.to_string
+let rat3 = QCheck.(triple rat rat rat)
+
+let prop_field_assoc =
+  QCheck.Test.make ~name:"add and mul associative" ~count:1000 rat3 (fun (a, bq, c) ->
+      Q.equal (Q.add a (Q.add bq c)) (Q.add (Q.add a bq) c)
+      && Q.equal (Q.mul a (Q.mul bq c)) (Q.mul (Q.mul a bq) c))
+
+let prop_distributive =
+  QCheck.Test.make ~name:"distributivity" ~count:1000 rat3 (fun (a, bq, c) ->
+      Q.equal (Q.mul a (Q.add bq c)) (Q.add (Q.mul a bq) (Q.mul a c)))
+
+let prop_inverse =
+  QCheck.Test.make ~name:"a * (1/a) = 1 ; a + (-a) = 0" ~count:1000 rat (fun a ->
+      Q.equal (Q.add a (Q.neg a)) Q.zero && (Q.is_zero a || Q.equal (Q.mul a (Q.inv a)) Q.one))
+
+let prop_normalized =
+  QCheck.Test.make ~name:"results always normalized" ~count:1000 (QCheck.pair rat rat) (fun (a, bq) ->
+      let check t =
+        Bigint.sign (Q.den t) = 1 && Bigint.equal (Bigint.gcd (Q.num t) (Q.den t)) (Bigint.gcd (Q.den t) (Q.num t))
+        && (Q.is_zero t || Bigint.is_one (Bigint.gcd (Q.num t) (Q.den t)))
+      in
+      check (Q.add a bq) && check (Q.sub a bq) && check (Q.mul a bq))
+
+let prop_floor_ceil_bracket =
+  QCheck.Test.make ~name:"floor <= x <= ceil, gap < 1" ~count:1000 rat (fun a ->
+      let f = Q.floor a and c = Q.ceil a in
+      Q.compare f a <= 0 && Q.compare a c <= 0
+      && Q.compare (Q.sub a f) Q.one < 0
+      && Q.compare (Q.sub c a) Q.one < 0
+      && Q.is_integer f && Q.is_integer c)
+
+let prop_order_compatible =
+  QCheck.Test.make ~name:"order compatible with addition" ~count:1000 rat3 (fun (a, bq, c) ->
+      if Q.compare a bq <= 0 then Q.compare (Q.add a c) (Q.add bq c) <= 0 else true)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"to_string/of_string roundtrip" ~count:1000 rat (fun a ->
+      Q.equal a (Q.of_string (Q.to_string a)))
+
+let prop_floor_shift =
+  QCheck.Test.make ~name:"floor(x + n) = floor(x) + n for integer n" ~count:1000
+    (QCheck.pair rat (QCheck.int_range (-50) 50))
+    (fun (x, n) ->
+      Q.equal (Q.floor (Q.add x (Q.of_int n))) (Q.add (Q.floor x) (Q.of_int n)))
+
+let prop_abs_sign =
+  QCheck.Test.make ~name:"x = sign(x) * |x|; |x| >= 0" ~count:1000 rat (fun x ->
+      Q.equal x (Q.mul (Q.of_int (Q.sign x)) (Q.abs x)) && Q.compare (Q.abs x) Q.zero >= 0)
+
+let prop_min_max =
+  QCheck.Test.make ~name:"min + max = x + y" ~count:1000 (QCheck.pair rat rat) (fun (x, y) ->
+      Q.equal (Q.add (Q.min x y) (Q.max x y)) (Q.add x y))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_field_assoc; prop_distributive; prop_inverse; prop_normalized; prop_floor_ceil_bracket;
+      prop_order_compatible; prop_string_roundtrip; prop_floor_shift; prop_abs_sign; prop_min_max ]
+
+let () =
+  Alcotest.run "rational"
+    [ ( "unit",
+        [ Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "parse" `Quick test_parse;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "to_int" `Quick test_to_int;
+          Alcotest.test_case "to_float" `Quick test_to_float ] );
+      ("properties", props) ]

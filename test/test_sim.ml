@@ -1,0 +1,187 @@
+(* Tests for the discrete-event simulator and the ASCII renderer.
+
+   The simulator is the end-to-end oracle of the repository: executing a
+   packing (or active-time solution) must spend exactly the analytic
+   objective in energy, flag no violations on valid schedules, and flag
+   violations on deliberately broken ones. *)
+
+module Q = Rational
+module B = Workload.Bjob
+module Gen = Workload.Generate
+
+let ij id start len = B.interval ~id ~start:(Q.of_int start) ~length:(Q.of_int len)
+
+let test_packing_energy () =
+  let jobs = [ ij 0 0 3; ij 1 1 3; ij 2 6 2 ] in
+  let packing = Busy.First_fit.solve ~g:2 jobs in
+  let report = Sim.run_packing ~g:2 packing in
+  Alcotest.(check (list string)) "no violations" [] report.Sim.violations;
+  Alcotest.(check string) "energy = busy time" (Q.to_string (Busy.Bundle.total_busy packing))
+    (Q.to_string report.Sim.total_energy);
+  Alcotest.(check bool) "peak within g" true (report.Sim.peak_parallelism <= 2);
+  Alcotest.(check bool) "utilization in (0,1]" true
+    (Q.compare report.Sim.utilization Q.zero > 0 && Q.compare report.Sim.utilization Q.one <= 0)
+
+let test_packing_violation_detected () =
+  (* 3 overlapping jobs forced onto one machine with g = 2 *)
+  let jobs = [ ij 0 0 3; ij 1 1 3; ij 2 2 3 ] in
+  let report = Sim.run_packing ~g:2 [ jobs ] in
+  Alcotest.(check bool) "violation flagged" true (report.Sim.violations <> []);
+  Alcotest.(check int) "peak recorded" 3 report.Sim.peak_parallelism
+
+let test_packing_flexible_rejected () =
+  let flex = B.make ~id:0 ~release:Q.zero ~deadline:(Q.of_int 5) ~length:Q.one in
+  let report = Sim.run_packing ~g:2 [ [ flex ] ] in
+  Alcotest.(check bool) "flexible flagged" true (report.Sim.violations <> [])
+
+let test_switch_counting () =
+  (* two disjoint jobs on one machine: two power-ons *)
+  let report = Sim.run_packing ~g:2 [ [ ij 0 0 1; ij 1 5 1 ] ] in
+  Alcotest.(check int) "switch ons" 2 report.Sim.total_switch_ons;
+  (* merged when adjacent *)
+  let report2 = Sim.run_packing ~g:2 [ [ ij 0 0 1; ij 1 1 1 ] ] in
+  Alcotest.(check int) "adjacent merge" 1 report2.Sim.total_switch_ons
+
+let test_active_energy () =
+  let inst =
+    Workload.Slotted.make ~g:2
+      [ Workload.Slotted.job ~id:0 ~release:0 ~deadline:4 ~length:2;
+        Workload.Slotted.job ~id:1 ~release:0 ~deadline:4 ~length:2 ]
+  in
+  match Active.Exact.branch_and_bound inst with
+  | None -> Alcotest.fail "feasible"
+  | Some sol ->
+      let report = Sim.run_active inst sol in
+      Alcotest.(check (list string)) "no violations" [] report.Sim.violations;
+      Alcotest.(check string) "energy = active time" (string_of_int (Active.Solution.cost sol))
+        (Q.to_string report.Sim.total_energy)
+
+let test_active_violation () =
+  let inst =
+    Workload.Slotted.make ~g:1 [ Workload.Slotted.job ~id:0 ~release:0 ~deadline:2 ~length:1 ]
+  in
+  (* schedule outside the declared open slots *)
+  let bogus = { Active.Solution.open_slots = [ 1 ]; schedule = [ (0, [ 2 ]) ] } in
+  let report = Sim.run_active inst bogus in
+  Alcotest.(check bool) "violation flagged" true (report.Sim.violations <> [])
+
+let test_preemptive_energy () =
+  let jobs = List.init 4 (fun id -> B.make ~id ~release:Q.zero ~deadline:Q.two ~length:Q.two) in
+  let cost, _, detail = Busy.Preemptive.bounded ~g:2 jobs in
+  let report = Sim.run_preemptive ~g:2 detail in
+  Alcotest.(check (list string)) "no violations" [] report.Sim.violations;
+  Alcotest.(check string) "energy = bounded cost" (Q.to_string cost) (Q.to_string report.Sim.total_energy)
+
+(* -- renderer ---------------------------------------------------------------- *)
+
+let test_render_slotted () =
+  let inst =
+    Workload.Slotted.make ~g:1 [ Workload.Slotted.job ~id:0 ~release:0 ~deadline:4 ~length:2 ]
+  in
+  let sol = { Active.Solution.open_slots = [ 2; 3 ]; schedule = [ (0, [ 2; 3 ]) ] } in
+  Alcotest.(check string) "gantt" "slots   .##.\njob 0   .xx.\n" (Render.slotted inst sol)
+
+let test_render_packing () =
+  let packing = [ [ ij 0 0 2; ij 1 2 2 ] ] in
+  let s = Render.packing ~width:8 packing in
+  Alcotest.(check string) "row" "m0   |00001111|\n" s;
+  Alcotest.(check string) "empty" "(empty packing)\n" (Render.packing [])
+
+let test_render_overlap_star () =
+  let s = Render.packing ~width:4 [ [ ij 0 0 2; ij 1 0 2 ] ] in
+  Alcotest.(check string) "overlap" "m0   |****|\n" s
+
+let count_substring needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let count = ref 0 in
+  for i = 0 to h - n do
+    if String.sub haystack i n = needle then incr count
+  done;
+  !count
+
+let test_render_svg () =
+  let packing = [ [ ij 0 0 2; ij 1 2 2 ]; [ ij 2 1 3 ] ] in
+  let svg = Render.packing_svg ~width:300 packing in
+  Alcotest.(check bool) "starts with svg" true (String.length svg > 4 && String.sub svg 0 4 = "<svg");
+  Alcotest.(check int) "one rect per job" 3 (count_substring "<rect" svg);
+  Alcotest.(check bool) "closes" true (count_substring "</svg>" svg = 1);
+  let empty = Render.packing_svg [] in
+  Alcotest.(check bool) "empty handled" true (count_substring "empty packing" empty = 1)
+
+let test_render_slotted_svg () =
+  let inst =
+    Workload.Slotted.make ~g:1 [ Workload.Slotted.job ~id:0 ~release:0 ~deadline:4 ~length:2 ]
+  in
+  let sol = { Active.Solution.open_slots = [ 2; 3 ]; schedule = [ (0, [ 2; 3 ]) ] } in
+  let svg = Render.slotted_svg inst sol in
+  (* 2 open-slot rects + 2 unit rects *)
+  Alcotest.(check int) "rects" 4 (count_substring "<rect" svg);
+  Alcotest.(check int) "closed" 1 (count_substring "</svg>" svg)
+
+let test_render_preemptive () =
+  let jobs = [ B.make ~id:0 ~release:Q.zero ~deadline:Q.two ~length:Q.one ] in
+  let sol = Busy.Preemptive.unbounded jobs in
+  let s = Render.preemptive sol ~width:4 in
+  Alcotest.(check bool) "contains job row" true (String.length s > 0 && String.sub s 0 4 = "job ")
+
+(* -- properties ---------------------------------------------------------------- *)
+
+let seed_arb = QCheck.int_range 0 100_000
+
+let prop_sim_matches_analytic =
+  QCheck.Test.make ~name:"simulated energy = analytic busy time, no violations" ~count:40 seed_arb
+    (fun seed ->
+      let jobs = Gen.interval_jobs ~n:10 ~horizon:20 ~max_length:5 ~seed () in
+      List.for_all
+        (fun g ->
+          List.for_all
+            (fun solve ->
+              let packing = solve ~g jobs in
+              let report = Sim.run_packing ~g packing in
+              report.Sim.violations = []
+              && Q.equal report.Sim.total_energy (Busy.Bundle.total_busy packing)
+              && report.Sim.peak_parallelism <= g
+              && Q.compare report.Sim.utilization Q.one <= 0)
+            [ Busy.First_fit.solve; Busy.Greedy_tracking.solve; Busy.Two_approx.solve ])
+        [ 1; 2; 3 ])
+
+let prop_sim_active =
+  QCheck.Test.make ~name:"active-time solutions replay cleanly" ~count:30 seed_arb (fun seed ->
+      let params : Gen.slotted_params = { n = 6; horizon = 10; max_length = 3; slack = 3; g = 2 } in
+      let inst = Gen.slotted ~params ~seed () in
+      match Active.Minimal.solve inst Active.Minimal.Right_to_left with
+      | None -> true
+      | Some sol ->
+          let report = Sim.run_active inst sol in
+          report.Sim.violations = []
+          && Q.equal report.Sim.total_energy (Q.of_int (Active.Solution.cost sol)))
+
+let prop_render_total =
+  QCheck.Test.make ~name:"renderer never raises and is line-structured" ~count:30 seed_arb (fun seed ->
+      let jobs = Gen.interval_jobs ~n:8 ~horizon:16 ~max_length:4 ~seed () in
+      let packing = Busy.First_fit.solve ~g:2 jobs in
+      let s = Render.packing ~width:40 packing in
+      String.length s > 0
+      && List.length (String.split_on_char '\n' s) = List.length packing + 1)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_sim_matches_analytic; prop_sim_active; prop_render_total ]
+
+let () =
+  Alcotest.run "sim"
+    [ ( "simulator",
+        [ Alcotest.test_case "packing energy" `Quick test_packing_energy;
+          Alcotest.test_case "violation detected" `Quick test_packing_violation_detected;
+          Alcotest.test_case "flexible rejected" `Quick test_packing_flexible_rejected;
+          Alcotest.test_case "switch counting" `Quick test_switch_counting;
+          Alcotest.test_case "active energy" `Quick test_active_energy;
+          Alcotest.test_case "active violation" `Quick test_active_violation;
+          Alcotest.test_case "preemptive energy" `Quick test_preemptive_energy ] );
+      ( "renderer",
+        [ Alcotest.test_case "slotted" `Quick test_render_slotted;
+          Alcotest.test_case "packing" `Quick test_render_packing;
+          Alcotest.test_case "overlap star" `Quick test_render_overlap_star;
+          Alcotest.test_case "svg packing" `Quick test_render_svg;
+          Alcotest.test_case "svg slotted" `Quick test_render_slotted_svg;
+          Alcotest.test_case "preemptive" `Quick test_render_preemptive ] );
+      ("properties", props) ]
