@@ -20,6 +20,7 @@
      e15 - S1 Khandekar         job widths/demands
      e16 - methodology          exact solvers head to head (flow vs LP B&B)
      e17 - methodology          worst-case hunting for the rounding ratio
+     e18 - methodology          fuel budgets and the degradation cascade
      abl - methodology          ablations of the documented design choices
      par - methodology          multicore sweep correctness/speedup
      timing                     Bechamel wall-clock micro-benchmarks
@@ -641,6 +642,50 @@ let e17 () =
         (float_of_int (Active.Solution.cost sol) /. f stats.Active.Rounding.lp_cost)
   | None -> ())
 
+(* ---------------------------------------------------------------- e18 -- *)
+
+let e18 () =
+  header "E18: deterministic budgets and the degradation cascade";
+  pr "The bb_hard gadget family (groups of g+1 unit jobs in wide disjoint\n";
+  pr "windows) defeats the branch-and-bound pruning: every subset of the\n";
+  pr "window's slots looks promising, so the tree grows ~16x per group.\n";
+  pr "Under a fuel budget the cascade falls back to LP rounding, which\n";
+  pr "solves these instances near-instantly.\n\n";
+  table_row (List.map col [ "groups"; "budget"; "tier"; "ticks"; "cost"; "mass bound" ]);
+  List.iter
+    (fun groups ->
+      List.iter
+        (fun limit ->
+          let inst = Gad.bb_hard ~g:2 ~groups ~width:6 in
+          let sol, prov = Active.Cascade.solve ~limit inst in
+          let ticks =
+            List.fold_left (fun acc (a : Budget.Cascade.attempt) -> acc + a.ticks) 0
+              prov.Active.Cascade.attempts
+          in
+          table_row
+            (List.map col
+               [ string_of_int groups;
+                 string_of_int limit;
+                 Option.value prov.Active.Cascade.winner ~default:"-";
+                 string_of_int ticks;
+                 (match sol with Some s -> string_of_int (Active.Solution.cost s) | None -> "-");
+                 string_of_int prov.Active.Cascade.mass_bound ]))
+        [ 10_000; 100_000 ])
+    [ 4; 5; 6 ];
+  pr "\nbusy-time cascade (interval jobs, n=18, g=3):\n";
+  table_row (List.map col [ "budget"; "tier"; "busy"; "lower bound" ]);
+  List.iter
+    (fun limit ->
+      let jobs = Gen.interval_jobs ~n:18 ~horizon:20 ~max_length:5 ~seed:7 () in
+      let packing, prov = Busy.Cascade.solve ~limit ~g:3 jobs in
+      table_row
+        (List.map col
+           [ string_of_int limit;
+             Option.value prov.Busy.Cascade.winner ~default:"-";
+             (match packing with Some p -> Q.to_string (Busy.Bundle.total_busy p) | None -> "-");
+             Q.to_string prov.Busy.Cascade.lower_bound ]))
+    [ 1_000; 1_000_000 ]
+
 (* ---------------------------------------------------------------- abl -- *)
 
 let abl () =
@@ -831,7 +876,7 @@ let timing () =
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8);
     ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
-    ("e16", e16); ("e17", e17); ("abl", abl); ("par", par); ("scaling", scaling); ("timing", timing) ]
+    ("e16", e16); ("e17", e17); ("e18", e18); ("abl", abl); ("par", par); ("scaling", scaling); ("timing", timing) ]
 
 let () =
   let requested = List.tl (Array.to_list Sys.argv) in

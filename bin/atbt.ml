@@ -2,10 +2,16 @@
 
      atbt generate --kind flexible --n 20 --seed 7 -o jobs.txt
      atbt active jobs.txt --algorithm rounding
+     atbt active jobs.txt --budget 100000 --cascade
      atbt busy jobs.txt -g 4 --algorithm greedy-tracking
      atbt bounds jobs.txt -g 4
 
-   Instance files are the plain-text format of {!Workload.Io}. *)
+   Instance files are the plain-text format of {!Workload.Io}.
+
+   Failures are structured values, not mid-function exits, so the exit
+   codes are meaningful: 0 success, 1 usage/parse error, 2 internal error
+   (a solver produced an invalid answer), 3 fuel budget exhausted without
+   an answer. *)
 
 module Q = Rational
 module S = Workload.Slotted
@@ -14,16 +20,29 @@ module Io = Workload.Io
 
 open Cmdliner
 
+type failure =
+  | Usage of string  (* bad flags or unparseable input: exit 1 *)
+  | Internal of string  (* a solver broke its own contract: exit 2 *)
+  | Fuel_exhausted of string  (* budget ran out without an answer: exit 3 *)
+
+let ( let* ) = Result.bind
+
+let finish = function
+  | Ok () -> 0
+  | Error (Usage msg) ->
+      prerr_endline ("atbt: " ^ msg);
+      1
+  | Error (Internal msg) ->
+      prerr_endline ("atbt: internal error: " ^ msg);
+      2
+  | Error (Fuel_exhausted msg) ->
+      prerr_endline ("atbt: " ^ msg);
+      3
+
 let load path =
   try Ok (Io.parse_file path) with
-  | Io.Parse_error (line, msg) -> Error (Printf.sprintf "%s:%d: %s" path line msg)
-  | Sys_error msg -> Error msg
-
-let or_die = function
-  | Ok v -> v
-  | Error msg ->
-      prerr_endline ("atbt: " ^ msg);
-      exit 1
+  | Io.Parse_error (line, msg) -> Error (Usage (Printf.sprintf "%s:%d: %s" path line msg))
+  | Sys_error msg -> Error (Usage msg)
 
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -32,24 +51,29 @@ let setup_logs verbose =
 (* ------------------------------------------------------------ generate -- *)
 
 let generate kind n g horizon seed output =
-  let instance =
-    match kind with
-    | "slotted" ->
-        let params : Workload.Generate.slotted_params =
-          { n; horizon; max_length = 4; slack = 4; g }
-        in
-        Io.Slotted_instance (Workload.Generate.slotted ~params ~seed ())
-    | "interval" -> Io.Busy_instance (Workload.Generate.interval_jobs ~n ~horizon ~seed ())
-    | "flexible" -> Io.Busy_instance (Workload.Generate.flexible_jobs ~n ~horizon ~seed ())
-    | other ->
-        prerr_endline ("atbt: unknown kind " ^ other ^ " (slotted|interval|flexible)");
-        exit 1
-  in
-  match output with
-  | None -> print_string (Io.to_string instance)
-  | Some path ->
-      Io.write_file path instance;
-      Printf.printf "wrote %s\n" path
+  finish
+    (let* () = if n < 1 then Error (Usage "-n must be at least 1") else Ok () in
+     let* () = if horizon < 1 then Error (Usage "--horizon must be at least 1") else Ok () in
+     let* () = if g < 1 then Error (Usage "-g must be at least 1") else Ok () in
+     let* instance =
+       match kind with
+       | "slotted" ->
+           let params : Workload.Generate.slotted_params =
+             { n; horizon; max_length = 4; slack = 4; g }
+           in
+           Ok (Io.Slotted_instance (Workload.Generate.slotted ~params ~seed ()))
+       | "interval" -> Ok (Io.Busy_instance (Workload.Generate.interval_jobs ~n ~horizon ~seed ()))
+       | "flexible" -> Ok (Io.Busy_instance (Workload.Generate.flexible_jobs ~n ~horizon ~seed ()))
+       | other -> Error (Usage ("unknown kind " ^ other ^ " (slotted|interval|flexible)"))
+     in
+     match output with
+     | None ->
+         print_string (Io.to_string instance);
+         Ok ()
+     | Some path ->
+         Io.write_file path instance;
+         Printf.printf "wrote %s\n" path;
+         Ok ())
 
 let generate_cmd =
   let kind =
@@ -66,52 +90,89 @@ let generate_cmd =
 
 (* -------------------------------------------------------------- active -- *)
 
-let active_solve path algorithm order render svg verbose =
-  setup_logs verbose;
-  match or_die (load path) with
-  | Io.Busy_instance _ ->
-      prerr_endline "atbt: active expects a slotted instance";
-      exit 1
-  | Io.Slotted_instance inst -> (
-      let order =
-        match order with
-        | "l2r" -> Active.Minimal.Left_to_right
-        | "r2l" -> Active.Minimal.Right_to_left
-        | o ->
-            prerr_endline ("atbt: unknown order " ^ o ^ " (l2r|r2l)");
-            exit 1
-      in
-      let result =
-        match algorithm with
-        | "minimal" -> Ok (Active.Minimal.solve inst order)
-        | "rounding" -> Ok (Option.map fst (Active.Rounding.solve inst))
-        | "exact" -> Ok (Active.Exact.branch_and_bound inst)
-        | "unit" ->
-            if Active.Unit_jobs.is_unit inst then Ok (Active.Unit_jobs.solve inst)
-            else Error "unit algorithm requires unit-length jobs"
-        | other -> Error ("unknown algorithm " ^ other ^ " (minimal|rounding|exact|unit)")
-      in
-      match or_die result with
-      | None -> print_endline "infeasible"
-      | Some sol ->
-          (match Active.Solution.verify inst sol with
-          | None -> ()
-          | Some problem ->
-              prerr_endline ("atbt: internal error, invalid solution: " ^ problem);
-              exit 2);
-          Format.printf "%a" Active.Solution.pp sol;
-          if render then print_string (Render.slotted inst sol);
-          (match svg with
-          | Some file ->
-              let oc = open_out file in
-              output_string oc (Render.slotted_svg inst sol);
-              close_out oc;
-              Printf.printf "wrote %s\n" file
-          | None -> ());
-          let report = Sim.run_active inst sol in
-          Printf.printf "energy %s, power-ons %d, utilization %s\n"
-            (Q.to_string report.Sim.total_energy) report.Sim.total_switch_ons
-            (Q.to_string report.Sim.utilization))
+let print_active_solution inst sol render svg =
+  let* () =
+    match Active.Solution.verify inst sol with
+    | None -> Ok ()
+    | Some problem -> Error (Internal ("invalid solution: " ^ problem))
+  in
+  Format.printf "%a" Active.Solution.pp sol;
+  if render then print_string (Render.slotted inst sol);
+  (match svg with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Render.slotted_svg inst sol);
+      close_out oc;
+      Printf.printf "wrote %s\n" file
+  | None -> ());
+  let report = Sim.run_active inst sol in
+  Printf.printf "energy %s, power-ons %d, utilization %s\n"
+    (Q.to_string report.Sim.total_energy) report.Sim.total_switch_ons
+    (Q.to_string report.Sim.utilization);
+  Ok ()
+
+let check_budget = function
+  | Some n when n < 0 -> Error (Usage "--budget must be nonnegative")
+  | _ -> Ok ()
+
+let active_solve path algorithm order budget cascade render svg verbose =
+  finish
+    (setup_logs verbose;
+     let* () = check_budget budget in
+     let* instance = load path in
+     let* inst =
+       match instance with
+       | Io.Busy_instance _ -> Error (Usage "active expects a slotted instance")
+       | Io.Slotted_instance inst -> Ok inst
+     in
+     let* order =
+       match order with
+       | "l2r" -> Ok Active.Minimal.Left_to_right
+       | "r2l" -> Ok Active.Minimal.Right_to_left
+       | o -> Error (Usage ("unknown order " ^ o ^ " (l2r|r2l)"))
+     in
+     if cascade then begin
+       let limit = Option.value budget ~default:100_000 in
+       let solution, prov = Active.Cascade.solve ~limit inst in
+       Format.printf "%a" Active.Cascade.pp_provenance prov;
+       match solution with
+       | None -> Ok (print_endline "infeasible")
+       | Some sol -> print_active_solution inst sol render svg
+     end
+     else
+       let fuel () = match budget with Some n -> Budget.limited n | None -> Budget.unlimited () in
+       let* solution =
+         match algorithm with
+         | "minimal" -> Ok (Active.Minimal.solve inst order)
+         | "rounding" -> (
+             try Ok (Option.map fst (Active.Rounding.solve ~budget:(fuel ()) inst))
+             with Budget.Out_of_fuel ->
+               Error (Fuel_exhausted "budget exhausted inside the LP; try --cascade"))
+         | "exact" -> (
+             match Active.Exact.budgeted ~budget:(fuel ()) inst with
+             | Budget.Complete r -> Ok r
+             | Budget.Exhausted { spent; incumbent } ->
+                 (match incumbent with
+                 | Some sol ->
+                     Printf.printf "budget exhausted after %d ticks; best incumbent (cost %d, not proven optimal):\n"
+                       spent (Active.Solution.cost sol);
+                     Format.printf "%a" Active.Solution.pp sol
+                 | None -> ());
+                 Error (Fuel_exhausted "exact search ran out of budget; try --cascade"))
+         | "unit" ->
+             if Active.Unit_jobs.is_unit inst then Ok (Active.Unit_jobs.solve inst)
+             else Error (Usage "unit algorithm requires unit-length jobs")
+         | other -> Error (Usage ("unknown algorithm " ^ other ^ " (minimal|rounding|exact|unit)"))
+       in
+       match solution with
+       | None -> Ok (print_endline "infeasible")
+       | Some sol -> print_active_solution inst sol render svg)
+
+let budget_arg =
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N" ~doc:"fuel budget in solver ticks (search nodes / simplex pivots)")
+
+let cascade_arg =
+  Arg.(value & flag & info [ "cascade" ] ~doc:"degrade exact -> approximation -> greedy within the budget, with provenance")
 
 let active_cmd =
   let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -124,95 +185,124 @@ let active_cmd =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"trace algorithm decisions") in
   Cmd.v
     (Cmd.info "active" ~doc:"Minimize active time of a slotted instance")
-    Term.(const active_solve $ path $ algorithm $ order $ render $ svg $ verbose)
+    Term.(const active_solve $ path $ algorithm $ order $ budget_arg $ cascade_arg $ render $ svg $ verbose)
 
 (* ---------------------------------------------------------------- busy -- *)
 
-let busy_solve path g algorithm placement preemptive render svg =
-  match or_die (load path) with
-  | Io.Slotted_instance _ ->
-      prerr_endline "atbt: busy expects a busy-time instance";
-      exit 1
-  | Io.Busy_instance jobs ->
-      if jobs = [] then begin
-        print_endline "empty instance: busy time 0";
-        exit 0
-      end;
-      if preemptive then begin
-        let sol = Busy.Preemptive.unbounded jobs in
-        (match Busy.Preemptive.check jobs sol with
-        | None -> ()
-        | Some problem ->
-            prerr_endline ("atbt: internal error: " ^ problem);
-            exit 2);
-        let cost, _, _ = Busy.Preemptive.bounded ~g jobs in
-        Printf.printf "preemptive busy time: unbounded capacity %s, capacity %d: %s\n"
-          (Q.to_string sol.Busy.Preemptive.cost) g (Q.to_string cost)
-      end
-      else begin
-        let placement_mode =
-          match placement with
-          | "greedy" -> Busy.Pipeline.Greedy_placement
-          | "exact" -> Busy.Pipeline.Exact_placement
-          | o ->
-              prerr_endline ("atbt: unknown placement " ^ o ^ " (greedy|exact)");
-              exit 1
-        in
-        let pinned, packing =
-          match algorithm with
-          | "first-fit" -> Busy.Pipeline.run ~g ~placement:placement_mode ~algorithm:Busy.Pipeline.First_fit jobs
-          | "greedy-tracking" ->
-              Busy.Pipeline.run ~g ~placement:placement_mode ~algorithm:Busy.Pipeline.Greedy_tracking jobs
-          | "two-approx" -> Busy.Pipeline.run ~g ~placement:placement_mode ~algorithm:Busy.Pipeline.Two_approx jobs
-          | "auto" ->
-              (* structure-aware dispatch: exact where a special case
-                 applies, 2-approximation otherwise *)
-              let pinned = Busy.Pipeline.place placement_mode jobs in
-              let pick () =
-                if Busy.Laminar.is_laminar pinned then ("laminar (exact DP)", Busy.Laminar.exact ~g pinned)
-                else if Busy.Special.is_proper pinned && Busy.Special.is_clique pinned then
-                  ("proper clique (exact DP)", Busy.Special.proper_clique_exact ~g pinned)
-                else if Busy.Special.is_proper pinned then
-                  ("proper (2-approx greedy)", Busy.Special.proper_greedy ~g pinned)
-                else if Busy.Special.is_clique pinned then
-                  ("clique (2-approx greedy)", Busy.Special.clique_greedy ~g pinned)
-                else ("general (flow 2-approx)", Busy.Two_approx.solve ~g pinned)
-              in
-              let structure, packing = pick () in
-              Printf.printf "detected structure: %s\n" structure;
-              (pinned, packing)
-          | o ->
-              prerr_endline ("atbt: unknown algorithm " ^ o ^ " (first-fit|greedy-tracking|two-approx|auto)");
-              exit 1
-        in
-        (match Busy.Bundle.check ~g pinned packing with
-        | None -> ()
-        | Some problem ->
-            prerr_endline ("atbt: internal error, invalid packing: " ^ problem);
-            exit 2);
-        Printf.printf "total busy time: %s on %d machines\n"
-          (Q.to_string (Busy.Bundle.total_busy packing))
-          (List.length packing);
-        Format.printf "%a" Busy.Bundle.pp packing;
-        if render then print_string (Render.packing packing);
-        (match svg with
-        | Some file ->
-            let oc = open_out file in
-            output_string oc (Render.packing_svg packing);
-            close_out oc;
-            Printf.printf "wrote %s\n" file
-        | None -> ());
-        let report = Sim.run_packing ~g packing in
-        Printf.printf "energy %s, power-ons %d, peak %d, utilization %s\n"
-          (Q.to_string report.Sim.total_energy) report.Sim.total_switch_ons report.Sim.peak_parallelism
-          (Q.to_string report.Sim.utilization)
-      end
+let print_packing ~g pinned packing render svg =
+  let* () =
+    match Busy.Bundle.check ~g pinned packing with
+    | None -> Ok ()
+    | Some problem -> Error (Internal ("invalid packing: " ^ problem))
+  in
+  Printf.printf "total busy time: %s on %d machines\n"
+    (Q.to_string (Busy.Bundle.total_busy packing))
+    (List.length packing);
+  Format.printf "%a" Busy.Bundle.pp packing;
+  if render then print_string (Render.packing packing);
+  (match svg with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Render.packing_svg packing);
+      close_out oc;
+      Printf.printf "wrote %s\n" file
+  | None -> ());
+  let report = Sim.run_packing ~g packing in
+  Printf.printf "energy %s, power-ons %d, peak %d, utilization %s\n"
+    (Q.to_string report.Sim.total_energy) report.Sim.total_switch_ons report.Sim.peak_parallelism
+    (Q.to_string report.Sim.utilization);
+  Ok ()
+
+let busy_solve path g algorithm placement preemptive budget cascade render svg =
+  finish
+    (let* () = check_budget budget in
+     let* instance = load path in
+     let* jobs =
+       match instance with
+       | Io.Slotted_instance _ -> Error (Usage "busy expects a busy-time instance")
+       | Io.Busy_instance jobs -> Ok jobs
+     in
+     if jobs = [] then Ok (print_endline "empty instance: busy time 0")
+     else if preemptive then begin
+       let sol = Busy.Preemptive.unbounded jobs in
+       let* () =
+         match Busy.Preemptive.check jobs sol with
+         | None -> Ok ()
+         | Some problem -> Error (Internal problem)
+       in
+       let cost, _, _ = Busy.Preemptive.bounded ~g jobs in
+       Printf.printf "preemptive busy time: unbounded capacity %s, capacity %d: %s\n"
+         (Q.to_string sol.Busy.Preemptive.cost) g (Q.to_string cost);
+       Ok ()
+     end
+     else
+       let* placement_mode =
+         match placement with
+         | "greedy" -> Ok Busy.Pipeline.Greedy_placement
+         | "exact" -> Ok Busy.Pipeline.Exact_placement
+         | o -> Error (Usage ("unknown placement " ^ o ^ " (greedy|exact)"))
+       in
+       if cascade then begin
+         let limit = Option.value budget ~default:100_000 in
+         let pinned = Busy.Pipeline.place placement_mode jobs in
+         let packing, prov = Busy.Cascade.solve ~limit ~g pinned in
+         Format.printf "%a" Busy.Cascade.pp_provenance prov;
+         match packing with
+         | None -> Error (Internal "cascade returned no packing")
+         | Some packing -> print_packing ~g pinned packing render svg
+       end
+       else
+         let* pinned, packing =
+           match algorithm with
+           | "first-fit" ->
+               Ok (Busy.Pipeline.run ~g ~placement:placement_mode ~algorithm:Busy.Pipeline.First_fit jobs)
+           | "greedy-tracking" ->
+               Ok (Busy.Pipeline.run ~g ~placement:placement_mode ~algorithm:Busy.Pipeline.Greedy_tracking jobs)
+           | "two-approx" ->
+               Ok (Busy.Pipeline.run ~g ~placement:placement_mode ~algorithm:Busy.Pipeline.Two_approx jobs)
+           | "exact" -> (
+               let pinned = Busy.Pipeline.place placement_mode jobs in
+               let fuel = match budget with Some n -> Budget.limited n | None -> Budget.unlimited () in
+               let* () =
+                 if budget = None && List.length pinned > 14 then
+                   Error (Usage "exact without --budget is capped at 14 jobs")
+                 else Ok ()
+               in
+               match Busy.Exact.budgeted ~budget:fuel ~g pinned with
+               | Budget.Complete packing -> Ok (pinned, packing)
+               | Budget.Exhausted { spent; incumbent } ->
+                   Printf.printf
+                     "budget exhausted after %d ticks; best incumbent %s (not proven optimal)\n" spent
+                     (Q.to_string (Busy.Bundle.total_busy incumbent));
+                   Error (Fuel_exhausted "exact search ran out of budget; try --cascade"))
+           | "auto" ->
+               (* structure-aware dispatch: exact where a special case
+                  applies, 2-approximation otherwise *)
+               let pinned = Busy.Pipeline.place placement_mode jobs in
+               let pick () =
+                 if Busy.Laminar.is_laminar pinned then ("laminar (exact DP)", Busy.Laminar.exact ~g pinned)
+                 else if Busy.Special.is_proper pinned && Busy.Special.is_clique pinned then
+                   ("proper clique (exact DP)", Busy.Special.proper_clique_exact ~g pinned)
+                 else if Busy.Special.is_proper pinned then
+                   ("proper (2-approx greedy)", Busy.Special.proper_greedy ~g pinned)
+                 else if Busy.Special.is_clique pinned then
+                   ("clique (2-approx greedy)", Busy.Special.clique_greedy ~g pinned)
+                 else ("general (flow 2-approx)", Busy.Two_approx.solve ~g pinned)
+               in
+               let structure, packing = pick () in
+               Printf.printf "detected structure: %s\n" structure;
+               Ok (pinned, packing)
+           | o ->
+               Error
+                 (Usage ("unknown algorithm " ^ o ^ " (first-fit|greedy-tracking|two-approx|exact|auto)"))
+         in
+         print_packing ~g pinned packing render svg)
 
 let busy_cmd =
   let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let g = Arg.(value & opt int 2 & info [ "g" ] ~docv:"G" ~doc:"machine capacity") in
   let algorithm =
-    Arg.(value & opt string "greedy-tracking" & info [ "algorithm"; "a" ] ~docv:"ALG" ~doc:"first-fit, greedy-tracking or two-approx")
+    Arg.(value & opt string "greedy-tracking" & info [ "algorithm"; "a" ] ~docv:"ALG" ~doc:"first-fit, greedy-tracking, two-approx, exact or auto")
   in
   let placement =
     Arg.(value & opt string "greedy" & info [ "placement" ] ~docv:"P" ~doc:"flexible-job placement: greedy or exact")
@@ -222,30 +312,34 @@ let busy_cmd =
   let svg = Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc:"write an SVG Gantt chart") in
   Cmd.v
     (Cmd.info "busy" ~doc:"Minimize busy time of a job set")
-    Term.(const busy_solve $ path $ g $ algorithm $ placement $ preemptive $ render $ svg)
+    Term.(const busy_solve $ path $ g $ algorithm $ placement $ preemptive $ budget_arg $ cascade_arg $ render $ svg)
 
 (* -------------------------------------------------------------- bounds -- *)
 
 let bounds path g =
-  match or_die (load path) with
-  | Io.Slotted_instance inst ->
-      Printf.printf "slotted instance: n=%d T=%d g=%d\n" (S.num_jobs inst) (S.horizon inst) inst.S.g;
-      Printf.printf "mass lower bound ceil(P/g): %d\n" (S.mass_lower_bound inst);
-      (match Active.Lp_model.solve inst with
-      | Some lp -> Printf.printf "LP lower bound: %s\n" (Q.to_string lp.Active.Lp_model.cost)
-      | None -> print_endline "LP: infeasible")
-  | Io.Busy_instance jobs ->
-      Printf.printf "busy instance: n=%d\n" (List.length jobs);
-      Printf.printf "mass bound l(J)/g: %s\n" (Q.to_string (Busy.Bounds.mass ~g jobs));
-      if List.for_all B.is_interval jobs then begin
-        Printf.printf "span bound Sp(J): %s\n" (Q.to_string (Busy.Bounds.span jobs));
-        Printf.printf "demand profile bound: %s\n" (Q.to_string (Busy.Bounds.demand_profile ~g jobs))
-      end
-      else begin
-        let pinned = Busy.Placement.greedy jobs in
-        Printf.printf "span bound (greedy placement): %s\n"
-          (Q.to_string (Intervals.span (List.map B.interval_of pinned)))
-      end
+  finish
+    (let* instance = load path in
+     match instance with
+     | Io.Slotted_instance inst ->
+         Printf.printf "slotted instance: n=%d T=%d g=%d\n" (S.num_jobs inst) (S.horizon inst) inst.S.g;
+         Printf.printf "mass lower bound ceil(P/g): %d\n" (S.mass_lower_bound inst);
+         (match Active.Lp_model.solve inst with
+         | Some lp -> Printf.printf "LP lower bound: %s\n" (Q.to_string lp.Active.Lp_model.cost)
+         | None -> print_endline "LP: infeasible");
+         Ok ()
+     | Io.Busy_instance jobs ->
+         Printf.printf "busy instance: n=%d\n" (List.length jobs);
+         Printf.printf "mass bound l(J)/g: %s\n" (Q.to_string (Busy.Bounds.mass ~g jobs));
+         if List.for_all B.is_interval jobs then begin
+           Printf.printf "span bound Sp(J): %s\n" (Q.to_string (Busy.Bounds.span jobs));
+           Printf.printf "demand profile bound: %s\n" (Q.to_string (Busy.Bounds.demand_profile ~g jobs))
+         end
+         else begin
+           let pinned = Busy.Placement.greedy jobs in
+           Printf.printf "span bound (greedy placement): %s\n"
+             (Q.to_string (Intervals.span (List.map B.interval_of pinned)))
+         end;
+         Ok ())
 
 let bounds_cmd =
   let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -256,7 +350,7 @@ let bounds_cmd =
 
 let () =
   let info =
-    Cmd.info "atbt" ~version:"1.0.0"
+    Cmd.info "atbt" ~version:"1.1.0"
       ~doc:"Minimizing active and busy time (Chang, Khuller, Mukherjee; SPAA 2014)"
   in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; active_cmd; busy_cmd; bounds_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ generate_cmd; active_cmd; busy_cmd; bounds_cmd ]))

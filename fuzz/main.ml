@@ -1,0 +1,65 @@
+(* Differential fuzzer CLI.
+
+   Sweep mode (default): run [--seeds] seeds of every case family under a
+   [--budget]-tick fuel limit, shrink failures and write them to
+   [--corpus]; exit 1 when any disagreement survives.
+
+   Replay mode ([--replay DIR]): re-check every counterexample file in
+   DIR and exit 1 if any still fails — the CI regression gate for the
+   checked-in corpus. A missing directory is an empty corpus, not an
+   error. *)
+
+let () =
+  let seeds = ref 200 in
+  let fuel = ref 200_000 in
+  let plant = ref false in
+  let corpus = ref "fuzz/corpus" in
+  let replay_dir = ref None in
+  let domains = ref None in
+  let spec =
+    [
+      ("--seeds", Arg.Set_int seeds, "N number of seeds to sweep (default 200)");
+      ("--budget", Arg.Set_int fuel, "N fuel ticks for each exact tier (default 200000)");
+      ("--plant-bug", Arg.Set plant, " arm the deliberately false oracle (shrinker self-test)");
+      ("--corpus", Arg.Set_string corpus, "DIR where failures are written (default fuzz/corpus)");
+      ("--replay", Arg.String (fun d -> replay_dir := Some d), "DIR replay a corpus instead of sweeping");
+      ("--domains", Arg.Int (fun d -> domains := Some d), "N worker domains (default: cores - 1)");
+    ]
+  in
+  let usage = "fuzz [--seeds N] [--budget N] [--plant-bug] [--corpus DIR] [--replay DIR]" in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  match !replay_dir with
+  | Some dir ->
+      let still_failing = Fuzz.Harness.replay ~planted_bug:!plant ~fuel:!fuel ~dir () in
+      List.iter
+        (fun (file, f) ->
+          Printf.printf "FAIL %s: [%s] %s\n" file f.Fuzz.Oracle.check f.Fuzz.Oracle.detail)
+        still_failing;
+      if still_failing = [] then begin
+        Printf.printf "replay: corpus %s clean\n" dir;
+        exit 0
+      end
+      else begin
+        Printf.printf "replay: %d counterexample(s) still failing\n" (List.length still_failing);
+        exit 1
+      end
+  | None ->
+      let report = Fuzz.Harness.run ~planted_bug:!plant ?domains:!domains ~seeds:!seeds ~fuel:!fuel () in
+      List.iter
+        (fun (cx : Fuzz.Harness.counterexample) ->
+          Printf.printf "FAIL %s: [%s] %s\n" cx.case cx.failure.Fuzz.Oracle.check
+            cx.failure.Fuzz.Oracle.detail)
+        report.Fuzz.Harness.failures;
+      if report.Fuzz.Harness.failures = [] then begin
+        Printf.printf "fuzz: %d seeds, %d cases, no disagreements\n" report.Fuzz.Harness.seeds
+          report.Fuzz.Harness.cases;
+        exit 0
+      end
+      else begin
+        let paths = Fuzz.Harness.write_corpus ~dir:!corpus report.Fuzz.Harness.failures in
+        List.iter (fun p -> Printf.printf "wrote %s\n" p) paths;
+        Printf.printf "fuzz: %d seeds, %d cases, %d disagreement(s)\n" report.Fuzz.Harness.seeds
+          report.Fuzz.Harness.cases
+          (List.length report.Fuzz.Harness.failures);
+        exit 1
+      end

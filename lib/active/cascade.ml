@@ -1,0 +1,47 @@
+(* Graceful degradation for the active-time model: run the solver tiers
+   in quality order, each under a fresh fuel budget, and return the first
+   answer together with a provenance record. The last tier
+   (minimal-feasible greedy, a 3-approximation) is polynomial and ignores
+   its budget, so the cascade always terminates with an answer on
+   feasible instances. *)
+
+module S = Workload.Slotted
+
+type provenance = {
+  winner : string option;  (* tier that produced [value] *)
+  attempts : Budget.Cascade.attempt list;  (* in run order *)
+  cost : int option;  (* active time of the returned solution *)
+  mass_bound : int;  (* ceil(P/g): lower bound on OPT, gap witness *)
+}
+
+let tiers (inst : S.t) =
+  [
+    ( "exact",
+      fun b ->
+        match Exact.budgeted ~budget:b inst with
+        | Budget.Complete r -> r
+        | Budget.Exhausted _ -> raise Budget.Out_of_fuel );
+    ("lp-rounding", fun b -> Option.map fst (Rounding.solve ~budget:b inst));
+    ("minimal", fun _ -> Minimal.solve inst Minimal.Right_to_left);
+  ]
+
+let solve ~limit (inst : S.t) =
+  let r = Budget.Cascade.run ~limit (tiers inst) in
+  let prov =
+    {
+      winner = r.Budget.Cascade.winner;
+      attempts = r.Budget.Cascade.attempts;
+      cost = Option.map Solution.cost r.Budget.Cascade.value;
+      mass_bound = S.mass_lower_bound inst;
+    }
+  in
+  (r.Budget.Cascade.value, prov)
+
+let pp_provenance fmt p =
+  List.iter (fun a -> Format.fprintf fmt "cascade: %a@." Budget.Cascade.pp_attempt a) p.attempts;
+  let tier = Option.value p.winner ~default:"none" in
+  match p.cost with
+  | Some c ->
+      Format.fprintf fmt "provenance: tier=%s cost=%d mass-bound=%d gap=%d@." tier c p.mass_bound
+        (c - p.mass_bound)
+  | None -> Format.fprintf fmt "provenance: tier=%s no-answer mass-bound=%d@." tier p.mass_bound

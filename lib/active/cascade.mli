@@ -1,0 +1,28 @@
+(** Graceful-degradation cascade for active time: exact branch and bound,
+    then the Theorem-2 LP rounding (2-approximation), then the
+    minimal-feasible greedy (3-approximation). Each tier gets a fresh
+    budget of the same tick limit; the first tier to finish within its
+    budget answers. The final greedy tier is polynomial and unmetered, so
+    on a feasible instance the cascade always returns a solution — at
+    degraded quality rather than not at all. *)
+
+type provenance = {
+  winner : string option;
+      (** tier that completed ([None] only if even the greedy failed,
+          which cannot happen on well-formed instances) *)
+  attempts : Budget.Cascade.attempt list;  (** every tier tried, in order *)
+  cost : int option;  (** active time of the returned solution *)
+  mass_bound : int;
+      (** the instance's mass lower bound ceil(P/g) on OPT; [cost -
+          mass_bound] bounds how far the degraded answer can be from
+          optimal *)
+}
+
+(** [solve ~limit inst] runs the cascade with [limit] ticks per tier.
+    [None] in the first component iff the instance is infeasible (always
+    detected — infeasibility is decided before any search). *)
+val solve : limit:int -> Workload.Slotted.t -> Solution.t option * provenance
+
+(** Multi-line human-readable provenance: one line per attempt plus a
+    final [provenance: tier=... cost=... mass-bound=... gap=...] line. *)
+val pp_provenance : Format.formatter -> provenance -> unit

@@ -48,13 +48,13 @@ let brute_force (inst : S.t) =
   done;
   Option.bind !best (fun open_slots -> Solution.of_open_slots inst ~open_slots)
 
-let branch_and_bound (inst : S.t) =
+let budgeted ~budget (inst : S.t) =
   let slots = Array.of_list (S.relevant_slots inst) in
   let k = Array.length slots in
   let mass_lb = S.mass_lower_bound inst in
   (* incumbent from a minimal feasible solution *)
   match Minimal.solve inst Minimal.Right_to_left with
-  | None -> None (* infeasible instance *)
+  | None -> Budget.Complete None (* infeasible instance *)
   | Some seed ->
       let best = ref (Solution.cost seed) in
       let best_set = ref seed.Solution.open_slots in
@@ -63,6 +63,7 @@ let branch_and_bound (inst : S.t) =
          n_open = |opened|. Undecided slots are i..k-1. Invariant: opened
          plus all undecided is feasible. *)
       let rec dfs i opened n_open =
+        Budget.tick budget;
         incr nodes;
         if n_open < !best then begin
           if i = k then begin
@@ -81,12 +82,27 @@ let branch_and_bound (inst : S.t) =
           end
         end
       in
+      (* Also records stats on the exhausted path, so [last_stats] always
+         reflects the work actually done. *)
+      let finish () =
+        last_stats := { nodes = !nodes; flow_checks = !flow_checks };
+        Solution.of_open_slots inst ~open_slots:!best_set
+      in
       incr flow_checks;
-      if Feasibility.feasible inst ~open_slots:(Array.to_list slots) then dfs 0 [] 0;
-      last_stats := { nodes = !nodes; flow_checks = !flow_checks };
-      Log.info (fun m ->
-          m "branch and bound: %d slots, %d nodes, %d flow checks, optimum %d" k !nodes !flow_checks !best);
-      Solution.of_open_slots inst ~open_slots:!best_set
+      (try
+         if Feasibility.feasible inst ~open_slots:(Array.to_list slots) then dfs 0 [] 0;
+         Log.info (fun m ->
+             m "branch and bound: %d slots, %d nodes, %d flow checks, optimum %d" k !nodes !flow_checks !best);
+         Budget.Complete (finish ())
+       with Budget.Out_of_fuel ->
+         Log.info (fun m ->
+             m "branch and bound: out of fuel after %d nodes, incumbent %d" !nodes !best);
+         Budget.Exhausted { spent = Budget.spent budget; incumbent = finish () })
+
+let branch_and_bound (inst : S.t) =
+  match budgeted ~budget:(Budget.unlimited ()) inst with
+  | Budget.Complete r -> r
+  | Budget.Exhausted _ -> assert false (* unlimited fuel never exhausts *)
 
 (* Optimal active time, or [None] when the instance is infeasible. *)
 let optimum inst = Option.map Solution.cost (branch_and_bound inst)

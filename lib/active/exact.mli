@@ -12,8 +12,15 @@
     infeasible. *)
 val brute_force : Workload.Slotted.t -> Solution.t option
 
-(** [None] iff infeasible. *)
+(** [None] iff infeasible. Equivalent to [budgeted] with unlimited fuel. *)
 val branch_and_bound : Workload.Slotted.t -> Solution.t option
+
+(** Budgeted branch and bound: one tick per search node. On exhaustion
+    returns [Exhausted] whose incumbent is the best feasible solution
+    found so far (at worst the minimal-solution seed) — [None] inside the
+    outcome still means the instance is infeasible, which is always
+    detected before any node is expanded. *)
+val budgeted : budget:Budget.t -> Workload.Slotted.t -> Solution.t option Budget.outcome
 
 (** Optimal active time ([None] iff infeasible). *)
 val optimum : Workload.Slotted.t -> int option

@@ -24,7 +24,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
 (* Solve LP1 with per-slot fixings: [fixing slot = Some true/false] pins
    y to 1/0. Returns the objective and the y values, or None when
    infeasible. [rule] selects the simplex pricing rule (ablation). *)
-let solve_lp ?(rule = Lp.Dantzig_with_fallback) (inst : S.t) ~fixing =
+let solve_lp ?(rule = Lp.Dantzig_with_fallback) ?budget (inst : S.t) ~fixing =
   let slots = S.relevant_slots inst in
   let m = Lp.create () in
   let y_vars =
@@ -56,24 +56,25 @@ let solve_lp ?(rule = Lp.Dantzig_with_fallback) (inst : S.t) ~fixing =
       Lp.add_constraint m terms Lp.Ge (Q.of_int j.S.length))
     inst.S.jobs;
   Lp.set_objective m Lp.Minimize (List.map (fun (_, yv) -> (Q.one, yv)) y_vars);
-  match Lp.solve ~rule m with
+  match Lp.solve ~rule ?budget m with
   | Lp.Infeasible -> None
   | Lp.Unbounded -> assert false
   | Lp.Optimal sol -> Some (Lp.objective_value sol, List.map (fun (s, yv) -> (s, Lp.value sol yv)) y_vars)
 
-let solve (inst : S.t) =
+let budgeted ~budget (inst : S.t) =
   match Minimal.solve inst Minimal.Right_to_left with
-  | None -> None
+  | None -> Budget.Complete None
   | Some seed ->
       let best = ref (Solution.cost seed) in
       let best_slots = ref seed.Solution.open_slots in
       let nodes = ref 0 and lp_solves = ref 0 in
       (* fixings as an assoc list slot -> bool *)
       let rec branch fixed =
+        Budget.tick budget;
         incr nodes;
         let fixing s = List.assoc_opt s fixed in
         incr lp_solves;
-        match solve_lp inst ~fixing with
+        match solve_lp ~budget inst ~fixing with
         | None -> ()
         | Some (value, ys) ->
             let lb = Q.ceil_int value in
@@ -105,10 +106,22 @@ let solve (inst : S.t) =
                   branch ((s, false) :: fixed)
             end
       in
-      branch [];
-      Log.info (fun m -> m "ILP: %d nodes, %d LP solves, optimum %d" !nodes !lp_solves !best);
-      Option.map
-        (fun sol -> (sol, { nodes = !nodes; lp_solves = !lp_solves }))
-        (Solution.of_open_slots inst ~open_slots:!best_slots)
+      let finish () =
+        Option.map
+          (fun sol -> (sol, { nodes = !nodes; lp_solves = !lp_solves }))
+          (Solution.of_open_slots inst ~open_slots:!best_slots)
+      in
+      (try
+         branch [];
+         Log.info (fun m -> m "ILP: %d nodes, %d LP solves, optimum %d" !nodes !lp_solves !best);
+         Budget.Complete (finish ())
+       with Budget.Out_of_fuel ->
+         Log.info (fun m -> m "ILP: out of fuel after %d nodes, incumbent %d" !nodes !best);
+         Budget.Exhausted { spent = Budget.spent budget; incumbent = finish () })
+
+let solve (inst : S.t) =
+  match budgeted ~budget:(Budget.unlimited ()) inst with
+  | Budget.Complete r -> r
+  | Budget.Exhausted _ -> assert false (* unlimited fuel never exhausts *)
 
 let optimum inst = Option.map (fun (sol, _) -> Solution.cost sol) (solve inst)

@@ -12,6 +12,7 @@ type stats = { nodes : int; lp_solves : int }
     the pricing-rule ablation. *)
 val solve_lp :
   ?rule:Lp.pivot_rule ->
+  ?budget:Budget.t ->
   Workload.Slotted.t ->
   fixing:(int -> bool option) ->
   (Rational.t * (int * Rational.t) list) option
@@ -19,5 +20,12 @@ val solve_lp :
 (** [None] iff the instance is infeasible; otherwise the exact optimum
     with search statistics. *)
 val solve : Workload.Slotted.t -> (Solution.t * stats) option
+
+(** Budgeted LP-based branch and bound. One tick per node plus one per
+    simplex pivot inside each LP re-solve, so the budget bounds total
+    work, not just tree size. The exhausted incumbent is the best
+    integral solution found (at worst the minimal-solution seed). *)
+val budgeted :
+  budget:Budget.t -> Workload.Slotted.t -> (Solution.t * stats) option Budget.outcome
 
 val optimum : Workload.Slotted.t -> int option

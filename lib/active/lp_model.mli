@@ -21,8 +21,9 @@ type t = {
 (** [y_at t slot] is the slot's y value (0 when absent). *)
 val y_at : t -> int -> Rational.t
 
-(** [None] iff the instance is infeasible. *)
-val solve : Workload.Slotted.t -> t option
+(** [None] iff the instance is infeasible. With [budget], each simplex
+    pivot costs one tick and exhaustion raises {!Budget.Out_of_fuel}. *)
+val solve : ?budget:Budget.t -> Workload.Slotted.t -> t option
 
 (** LP2 of Section 3.1: with the slot openings fixed to the given y
     vector, does a feasible fractional assignment exist? *)

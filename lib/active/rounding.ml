@@ -55,8 +55,8 @@ let rec force_feasible inst ~only_jobs ~opened ~closed_pool =
         let opened', _ = force_feasible inst ~only_jobs ~opened:(s :: opened) ~closed_pool:rest in
         (opened', true)
 
-let solve (inst : S.t) =
-  match Lp_model.solve inst with
+let solve ?budget (inst : S.t) =
+  match Lp_model.solve ?budget inst with
   | None -> None
   | Some lp ->
       let slots = S.relevant_slots inst in

@@ -21,5 +21,8 @@ type stats = {
 exception Infeasible_instance
 
 (** [None] iff the instance is infeasible; otherwise a verified solution
-    of cost at most twice the LP optimum. *)
-val solve : Workload.Slotted.t -> (Solution.t * stats) option
+    of cost at most twice the LP optimum. With [budget], the underlying
+    simplex ticks once per pivot and exhaustion raises
+    {!Budget.Out_of_fuel} (the deadline sweep after the LP is polynomial
+    and not metered). *)
+val solve : ?budget:Budget.t -> Workload.Slotted.t -> (Solution.t * stats) option

@@ -1,0 +1,69 @@
+(* Deterministic fuel budgets: a mutable tick counter against a fixed
+   limit. Ticks count solver events (search nodes, simplex pivots), never
+   wall-clock time, so budgeted runs are bit-for-bit reproducible. *)
+
+type t = { limit : int; mutable used : int }
+
+exception Out_of_fuel
+
+let unlimited () = { limit = max_int; used = 0 }
+
+let limited n =
+  if n < 0 then invalid_arg "Budget.limited: negative limit";
+  { limit = n; used = 0 }
+
+let tick b =
+  if b.used >= b.limit then raise Out_of_fuel;
+  b.used <- b.used + 1
+
+let spent b = b.used
+let remaining b = if b.limit = max_int then max_int else b.limit - b.used
+let is_limited b = b.limit <> max_int
+let exhausted b = b.used >= b.limit
+
+type 'a outcome = Complete of 'a | Exhausted of { spent : int; incumbent : 'a }
+
+let map f = function
+  | Complete v -> Complete (f v)
+  | Exhausted { spent; incumbent } -> Exhausted { spent; incumbent = f incumbent }
+
+module Cascade = struct
+  type status = Answered | No_answer | Tier_exhausted
+
+  type attempt = { tier : string; ticks : int; status : status }
+
+  type 'a result = {
+    value : 'a option;
+    winner : string option;
+    attempts : attempt list;
+  }
+
+  let run ~limit tiers =
+    let attempts = ref [] in
+    let record tier ticks status = attempts := { tier; ticks; status } :: !attempts in
+    let rec go = function
+      | [] -> { value = None; winner = None; attempts = List.rev !attempts }
+      | (name, solve) :: rest -> (
+          let b = limited limit in
+          match solve b with
+          | Some v ->
+              record name (spent b) Answered;
+              { value = Some v; winner = Some name; attempts = List.rev !attempts }
+          | None ->
+              record name (spent b) No_answer;
+              { value = None; winner = Some name; attempts = List.rev !attempts }
+          | exception Out_of_fuel ->
+              record name (spent b) Tier_exhausted;
+              go rest)
+    in
+    go tiers
+
+  let pp_attempt fmt a =
+    let verdict =
+      match a.status with
+      | Answered -> "answered"
+      | No_answer -> "no answer (definitive)"
+      | Tier_exhausted -> "exhausted"
+    in
+    Format.fprintf fmt "tier %s: %s after %d ticks" a.tier verdict a.ticks
+end

@@ -1,0 +1,80 @@
+(** Deterministic fuel budgets for the exponential solvers.
+
+    A budget counts abstract {e ticks} — search nodes, subset masks,
+    simplex pivots — not wall-clock time, so a budgeted run is exactly
+    reproducible across machines and CI. Solver hot loops call {!tick};
+    when the fuel is gone {!Out_of_fuel} aborts the search and the
+    budgeted entry points ({!Active.Exact.budgeted},
+    {!Active.Ilp.budgeted}, {!Busy.Exact.budgeted},
+    {!Busy.Maximize.exact_budgeted}, {!Lp.solve} with [~budget]) turn it
+    into a structured {!outcome} carrying the best incumbent found, so a
+    caller can degrade to an approximation instead of hanging.
+
+    {!Cascade} is the degradation runner: it tries a list of solver tiers
+    in order — each with a fresh budget of the same limit — and returns
+    the first definitive answer plus a provenance record of every
+    attempt. *)
+
+type t
+
+(** Raised by {!tick} when the fuel is spent. Escapes budgeted solvers
+    only through {!Lp.solve} (whose tableau has no meaningful incumbent)
+    and the functions documented to re-raise it. *)
+exception Out_of_fuel
+
+(** A budget that never exhausts (for the thin unbounded wrappers). *)
+val unlimited : unit -> t
+
+(** [limited n] allows exactly [n] ticks. Raises [Invalid_argument] when
+    [n < 0]. *)
+val limited : int -> t
+
+(** Consume one tick. Raises {!Out_of_fuel} when none remain; [spent]
+    then equals the limit. *)
+val tick : t -> unit
+
+(** Ticks consumed so far. *)
+val spent : t -> int
+
+(** Ticks left ([max_int] for an unlimited budget). *)
+val remaining : t -> int
+
+val is_limited : t -> bool
+val exhausted : t -> bool
+
+(** Result of a budgeted search: either it ran to completion, or the fuel
+    ran out and [incumbent] is the best (feasible but possibly
+    suboptimal) answer found within [spent] ticks. *)
+type 'a outcome = Complete of 'a | Exhausted of { spent : int; incumbent : 'a }
+
+(** [map f] applies [f] to the payload in either case. *)
+val map : ('a -> 'b) -> 'a outcome -> 'b outcome
+
+(** Graceful-degradation runner: exact -> approximation -> greedy. *)
+module Cascade : sig
+  type status =
+    | Answered  (** tier completed with an answer *)
+    | No_answer  (** tier completed and proved there is none (infeasible) *)
+    | Tier_exhausted  (** tier ran out of fuel; the next tier was tried *)
+
+  type attempt = { tier : string; ticks : int; status : status }
+
+  type 'a result = {
+    value : 'a option;
+    winner : string option;
+        (** the tier that completed — also set when it completed with
+            [No_answer] (a definitive infeasibility); [None] only when
+            every tier exhausted *)
+    attempts : attempt list;  (** in run order *)
+  }
+
+  (** [run ~limit tiers] gives each [(name, solve)] tier a fresh budget
+      of [limit] ticks, in order. A tier returns [Some answer] or [None]
+      (definitive: no answer exists) to stop the cascade, or raises
+      {!Out_of_fuel} to pass the baton. Total work is at most
+      [limit * length tiers] ticks; make the last tier polynomial so the
+      cascade always terminates with an answer. *)
+  val run : limit:int -> (string * (t -> 'a option)) list -> 'a result
+
+  val pp_attempt : Format.formatter -> attempt -> unit
+end

@@ -1,0 +1,53 @@
+(* Graceful degradation for the busy-time model: exact set-partition
+   search, then GreedyTracking (3-approximation), then FirstFit
+   (4-approximation), each under a fresh fuel budget. The greedy tiers
+   are polynomial and ignore their budgets, so the cascade always returns
+   a packing. The provenance reports the gap to the best Section-4.1
+   lower bound (mass / span / demand profile), which bounds how far the
+   degraded answer can be from optimal. *)
+
+module Q = Rational
+module B = Workload.Bjob
+
+type provenance = {
+  winner : string option;
+  attempts : Budget.Cascade.attempt list;
+  cost : Q.t option;  (* total busy time of the returned packing *)
+  lower_bound : Q.t;  (* Bounds.best: max of mass, span, demand profile *)
+}
+
+let tiers ~g jobs =
+  [
+    ( "exact",
+      fun b ->
+        match Exact.budgeted ~budget:b ~g jobs with
+        | Budget.Complete p -> Some p
+        | Budget.Exhausted _ -> raise Budget.Out_of_fuel );
+    ("greedy-tracking", fun _ -> Some (Greedy_tracking.solve ~g jobs));
+    ("first-fit", fun _ -> Some (First_fit.solve ~g jobs));
+  ]
+
+let solve ~limit ~g jobs =
+  List.iter
+    (fun (j : B.t) -> if not (B.is_interval j) then invalid_arg "Cascade.solve: flexible job")
+    jobs;
+  let r = Budget.Cascade.run ~limit (tiers ~g jobs) in
+  let prov =
+    {
+      winner = r.Budget.Cascade.winner;
+      attempts = r.Budget.Cascade.attempts;
+      cost = Option.map Bundle.total_busy r.Budget.Cascade.value;
+      lower_bound = Bounds.best ~g jobs;
+    }
+  in
+  (r.Budget.Cascade.value, prov)
+
+let pp_provenance fmt p =
+  List.iter (fun a -> Format.fprintf fmt "cascade: %a@." Budget.Cascade.pp_attempt a) p.attempts;
+  let tier = Option.value p.winner ~default:"none" in
+  match p.cost with
+  | Some c ->
+      Format.fprintf fmt "provenance: tier=%s busy=%s lower-bound=%s gap=%s@." tier (Q.to_string c)
+        (Q.to_string p.lower_bound)
+        (Q.to_string (Q.sub c p.lower_bound))
+  | None -> Format.fprintf fmt "provenance: tier=%s no-answer@." tier

@@ -1,0 +1,27 @@
+(** Graceful-degradation cascade for busy time: exact set-partition
+    branch and bound, then GreedyTracking (3-approximation), then
+    FirstFit (4-approximation). Each tier gets a fresh budget of the
+    same tick limit; the greedy tiers are polynomial and unmetered, so
+    the cascade always returns a packing. Interval jobs only (pin
+    flexible jobs with {!Placement} first); raises [Invalid_argument]
+    otherwise. *)
+
+type provenance = {
+  winner : string option;  (** tier that produced the packing *)
+  attempts : Budget.Cascade.attempt list;  (** every tier tried, in order *)
+  cost : Rational.t option;  (** total busy time of the returned packing *)
+  lower_bound : Rational.t;
+      (** best Section-4.1 lower bound on OPT (mass / span / demand
+          profile); [cost - lower_bound] bounds the regret of a degraded
+          answer *)
+}
+
+(** [solve ~limit ~g jobs] runs the cascade with [limit] ticks per tier.
+    The packing is always [Some] (FirstFit accepts any interval-job
+    list, including the empty one). *)
+val solve :
+  limit:int -> g:int -> Workload.Bjob.t list -> Bundle.packing option * provenance
+
+(** One line per attempt plus a final
+    [provenance: tier=... busy=... lower-bound=... gap=...] line. *)
+val pp_provenance : Format.formatter -> provenance -> unit

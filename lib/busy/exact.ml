@@ -6,17 +6,19 @@
 
    Used by the tests and benches to measure true approximation ratios; the
    busy time problem is NP-hard for interval jobs even at g = 2 [14], so
-   this is inherently exponential. *)
+   this is inherently exponential. [budgeted] meters the search (one tick
+   per node) and has no job cap: the fuel, not the instance size, bounds
+   the work, and the incumbent it returns on exhaustion is at worst the
+   FirstFit/GreedyTracking seed. *)
 
 module Q = Rational
 module B = Workload.Bjob
 
-let solve ~g jobs =
-  if g < 1 then invalid_arg "Exact.solve: g < 1";
+let budgeted ~budget ~g jobs =
+  if g < 1 then invalid_arg "Exact.budgeted: g < 1";
   List.iter
-    (fun (j : B.t) -> if not (B.is_interval j) then invalid_arg "Exact.solve: flexible job")
+    (fun (j : B.t) -> if not (B.is_interval j) then invalid_arg "Exact.budgeted: flexible job")
     jobs;
-  if List.length jobs > 14 then invalid_arg "Exact.solve: too many jobs for exhaustive search";
   (* sort by release: inserting left to right keeps partial spans stable *)
   let sorted = List.sort (fun (a : B.t) (b : B.t) -> Q.compare a.B.release b.B.release) jobs in
   let seed =
@@ -32,6 +34,7 @@ let solve ~g jobs =
           best_packing := bundles
         end
     | (j : B.t) :: rest ->
+        Budget.tick budget;
         (* try each existing bundle *)
         List.iteri
           (fun i bundle ->
@@ -47,7 +50,16 @@ let solve ~g jobs =
         let cost' = Q.add cost j.B.length in
         if Q.compare cost' !best < 0 then dfs ([ j ] :: bundles) cost' rest
   in
-  dfs [] Q.zero sorted;
-  !best_packing
+  try
+    dfs [] Q.zero sorted;
+    Budget.Complete !best_packing
+  with Budget.Out_of_fuel ->
+    Budget.Exhausted { spent = Budget.spent budget; incumbent = !best_packing }
+
+let solve ~g jobs =
+  if List.length jobs > 14 then invalid_arg "Exact.solve: too many jobs for exhaustive search";
+  match budgeted ~budget:(Budget.unlimited ()) ~g jobs with
+  | Budget.Complete p -> p
+  | Budget.Exhausted _ -> assert false (* unlimited fuel never exhausts *)
 
 let optimum ~g jobs = Bundle.total_busy (solve ~g jobs)

@@ -2,7 +2,17 @@
     partitions (insert jobs left-to-right into an existing or a fresh
     bundle), pruned by partial cost against an incumbent seeded by
     FirstFit/GreedyTracking. The problem is NP-hard even for [g = 2], so
-    this is exponential; [Invalid_argument] beyond 14 jobs. *)
+    this is exponential; [solve] raises [Invalid_argument] beyond 14
+    jobs, while [budgeted] takes any size and lets the fuel bound the
+    work instead. *)
 
 val solve : g:int -> Workload.Bjob.t list -> Bundle.packing
 val optimum : g:int -> Workload.Bjob.t list -> Rational.t
+
+(** Budgeted set-partition search, one tick per node (job insertion
+    point). No job cap: exhaustion returns the best packing found so
+    far, which is always valid — at worst the FirstFit/GreedyTracking
+    seed, so the incumbent is never more than 3x optimal. Raises
+    [Invalid_argument] on [g < 1] or flexible jobs. *)
+val budgeted :
+  budget:Budget.t -> g:int -> Workload.Bjob.t list -> Bundle.packing Budget.outcome

@@ -20,29 +20,39 @@ let min_busy ~g jobs =
     (Bundle.total_busy packing, packing)
   end
 
-let exact ~g ~budget jobs =
-  if g < 1 then invalid_arg "Maximize.exact: g < 1";
+(* [budget] is the problem's busy-time allowance (a rational); [fuel] is
+   the deterministic tick budget bounding the subset enumeration. *)
+let exact_budgeted ~fuel ~g ~budget jobs =
+  if g < 1 then invalid_arg "Maximize.exact_budgeted: g < 1";
   let n = List.length jobs in
-  if n > 12 then invalid_arg "Maximize.exact: too many jobs for exhaustive search";
+  if n > 30 then invalid_arg "Maximize.exact_budgeted: too many jobs for subset search";
   let arr = Array.of_list jobs in
   let best = ref ([], Q.zero, []) in
   let best_count = ref (-1) in
-  for mask = 0 to (1 lsl n) - 1 do
-    let subset = List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list arr) in
-    let count = List.length subset in
-    if count >= !best_count then begin
-      let busy, packing = min_busy ~g subset in
-      if Q.compare busy budget <= 0 then begin
-        let _, cur_busy, _ = !best in
-        if count > !best_count || Q.compare busy cur_busy < 0 then begin
-          best := (subset, busy, packing);
-          best_count := count
+  try
+    for mask = 0 to (1 lsl n) - 1 do
+      Budget.tick fuel;
+      let subset = List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list arr) in
+      let count = List.length subset in
+      if count >= !best_count then begin
+        let busy, packing = min_busy ~g subset in
+        if Q.compare busy budget <= 0 then begin
+          let _, cur_busy, _ = !best in
+          if count > !best_count || Q.compare busy cur_busy < 0 then begin
+            best := (subset, busy, packing);
+            best_count := count
+          end
         end
       end
-    end
-  done;
-  let subset, busy, packing = !best in
-  (subset, busy, packing)
+    done;
+    Budget.Complete !best
+  with Budget.Out_of_fuel -> Budget.Exhausted { spent = Budget.spent fuel; incumbent = !best }
+
+let exact ~g ~budget jobs =
+  if List.length jobs > 12 then invalid_arg "Maximize.exact: too many jobs for exhaustive search";
+  match exact_budgeted ~fuel:(Budget.unlimited ()) ~g ~budget jobs with
+  | Budget.Complete r -> r
+  | Budget.Exhausted _ -> assert false (* unlimited fuel never exhausts *)
 
 (* Greedy: consider jobs by non-decreasing length (cheap first); accept a
    job when the accepted set still packs within budget. *)

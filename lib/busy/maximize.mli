@@ -11,6 +11,15 @@ val exact :
   g:int -> budget:Rational.t -> Workload.Bjob.t list ->
   Workload.Bjob.t list * Rational.t * Bundle.packing
 
+(** Fuel-metered subset search: [budget] stays the problem's busy-time
+    allowance while [fuel] bounds the enumeration, one tick per subset
+    mask. The exhausted incumbent is the best accepted subset among the
+    masks enumerated so far (possibly empty). Raises [Invalid_argument]
+    beyond 30 jobs (mask overflow) or [g < 1]. *)
+val exact_budgeted :
+  fuel:Budget.t -> g:int -> budget:Rational.t -> Workload.Bjob.t list ->
+  (Workload.Bjob.t list * Rational.t * Bundle.packing) Budget.outcome
+
 (** Cheapest-first greedy acceptance. *)
 val greedy :
   g:int -> budget:Rational.t -> Workload.Bjob.t list ->

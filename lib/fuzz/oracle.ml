@@ -1,0 +1,302 @@
+(* Differential oracle: cross-checks every algorithm pair on one instance.
+
+   The properties are exactly the paper's guarantees, so any failure is a
+   bug in some solver (or in the oracle): verifiers accept every produced
+   solution, every approximation costs at least the exact optimum and at
+   most its proven ratio times the optimum, the solvers agree on
+   feasibility, IO round-trips preserve instances, and the two exact
+   branch-and-bounds (flow-pruned and LP-based) agree. Exact tiers run
+   under a fuel budget; on exhaustion the optimum-dependent checks are
+   skipped (never reported as failures) so the oracle stays deterministic
+   and bounded on adversarial instances.
+
+   [planted_bug] arms a deliberately false claim — "a FirstFit packing
+   never exceeds the span of the job union", which breaks as soon as
+   demand exceeds g anywhere — used by the tests to exercise the
+   shrinker end to end. *)
+
+module Q = Rational
+module S = Workload.Slotted
+module B = Workload.Bjob
+module Io = Workload.Io
+module Solution = Active.Solution
+
+type failure = { check : string; detail : string }
+
+let fail check fmt = Printf.ksprintf (fun detail -> Some { check; detail }) fmt
+
+(* run checks in order, report the first failure *)
+let first checks =
+  List.fold_left (fun acc c -> match acc with Some _ -> acc | None -> c ()) None checks
+
+(* Any uncaught exception (failed assert, Invalid_argument, ...) is a
+   finding in its own right, not a crash of the harness. *)
+let guard name f =
+  try f () with
+  | Budget.Out_of_fuel -> None
+  | e -> fail name "uncaught exception: %s" (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Active-time (slotted) model                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check_slotted ~fuel (inst : S.t) =
+  guard "slotted-oracle" @@ fun () ->
+  let verify name = function
+    | None -> None
+    | Some sol -> (
+        match Solution.verify inst sol with
+        | None -> None
+        | Some msg -> fail "verifier" "%s solution rejected: %s" name msg)
+  in
+  let minimal = Active.Minimal.solve inst Active.Minimal.Right_to_left in
+  let exact = Active.Exact.budgeted ~budget:(Budget.limited fuel) inst in
+  let rounding =
+    try `Done (Active.Rounding.solve ~budget:(Budget.limited fuel) inst)
+    with Budget.Out_of_fuel -> `Fuel
+  in
+  let feasible = minimal <> None in
+  (* the optimum when the exact search completed *)
+  let opt =
+    match exact with Budget.Complete r -> Option.map Solution.cost r | Budget.Exhausted _ -> None
+  in
+  first
+    [
+      (fun () ->
+        match Io.parse_string (Io.to_string (Io.Slotted_instance inst)) with
+        | Io.Slotted_instance i when i = inst -> None
+        | Io.Slotted_instance _ -> fail "slotted-io-roundtrip" "parse(print(inst)) differs"
+        | Io.Busy_instance _ -> fail "slotted-io-roundtrip" "came back as a busy instance"
+        | exception Io.Parse_error (l, m) -> fail "slotted-io-roundtrip" "line %d: %s" l m);
+      (* feasibility agreement: infeasibility is always decided before any
+         search, so even an exhausted exact tier has settled it *)
+      (fun () ->
+        match exact with
+        | Budget.Complete (Some _) when not feasible ->
+            fail "feasibility" "exact found a solution, minimal says infeasible"
+        | Budget.Complete None when feasible ->
+            fail "feasibility" "exact says infeasible, minimal found a solution"
+        | Budget.Exhausted _ when not feasible ->
+            fail "feasibility" "exact searched an instance minimal says is infeasible"
+        | _ -> None);
+      (fun () ->
+        match rounding with
+        | `Done None when feasible -> fail "feasibility" "lp-rounding says infeasible, minimal disagrees"
+        | `Done (Some _) when not feasible ->
+            fail "feasibility" "lp-rounding found a solution, minimal says infeasible"
+        | _ -> None);
+      (fun () -> verify "minimal" minimal);
+      (fun () ->
+        match exact with
+        | Budget.Complete r -> verify "exact" r
+        | Budget.Exhausted { incumbent; _ } -> verify "exact-incumbent" incumbent);
+      (fun () ->
+        match rounding with `Done r -> verify "lp-rounding" (Option.map fst r) | `Fuel -> None);
+      (fun () ->
+        match rounding with
+        | `Done (Some (sol, stats)) ->
+            first
+              [
+                (fun () ->
+                  if stats.Active.Rounding.fallback_used then
+                    fail "rounding-fallback" "defensive re-opening fired (Lemma 5/6 violated)"
+                  else None);
+                (fun () ->
+                  (* Theorem 2 invariant: at most twice the LP optimum *)
+                  if
+                    Q.compare (Q.of_int (Solution.cost sol))
+                      (Q.mul Q.two stats.Active.Rounding.lp_cost)
+                    > 0
+                  then
+                    fail "rounding-ratio" "rounded %d > 2 * lp %s" (Solution.cost sol)
+                      (Q.to_string stats.Active.Rounding.lp_cost)
+                  else None);
+                (fun () ->
+                  match opt with
+                  | Some o when Q.compare stats.Active.Rounding.lp_cost (Q.of_int o) > 0 ->
+                      fail "lp-bound" "lp %s exceeds integral optimum %d"
+                        (Q.to_string stats.Active.Rounding.lp_cost) o
+                  | _ -> None);
+              ]
+        | _ -> None);
+      (fun () ->
+        match opt with
+        | None -> None
+        | Some o ->
+            first
+              [
+                (fun () ->
+                  if S.mass_lower_bound inst > o then
+                    fail "mass-bound" "mass bound %d exceeds optimum %d" (S.mass_lower_bound inst) o
+                  else None);
+                (fun () ->
+                  match minimal with
+                  | Some sol when Solution.cost sol < o ->
+                      fail "opt-le-approx" "minimal %d below optimum %d" (Solution.cost sol) o
+                  | Some sol when Solution.cost sol > 3 * o ->
+                      fail "minimal-ratio" "minimal %d > 3 * optimum %d" (Solution.cost sol) o
+                  | _ -> None);
+                (fun () ->
+                  match rounding with
+                  | `Done (Some (sol, _)) when Solution.cost sol < o ->
+                      fail "opt-le-approx" "lp-rounding %d below optimum %d" (Solution.cost sol) o
+                  | `Done (Some (sol, _)) when Solution.cost sol > 2 * o ->
+                      fail "rounding-ratio" "lp-rounding %d > 2 * optimum %d" (Solution.cost sol) o
+                  | _ -> None);
+                (fun () ->
+                  (* unit-job special case must match the branch and bound *)
+                  if Active.Unit_jobs.is_unit inst then
+                    match Active.Unit_jobs.solve inst with
+                    | Some sol when Solution.cost sol <> o ->
+                        fail "unit-exact" "unit-jobs greedy %d vs optimum %d" (Solution.cost sol) o
+                    | None -> fail "unit-exact" "unit-jobs greedy says infeasible, optimum is %d" o
+                    | Some _ -> None
+                  else None);
+                (fun () ->
+                  (* differential: flow-pruned vs LP-based branch and bound *)
+                  if List.length (S.relevant_slots inst) <= 12 && S.num_jobs inst <= 8 then
+                    match Active.Ilp.budgeted ~budget:(Budget.limited fuel) inst with
+                    | Budget.Complete (Some (sol, _)) when Solution.cost sol <> o ->
+                        fail "ilp-differential" "LP-based B&B %d vs flow B&B %d" (Solution.cost sol) o
+                    | Budget.Complete None -> fail "ilp-differential" "LP-based B&B says infeasible, optimum is %d" o
+                    | _ -> None
+                  else None);
+              ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Busy-time model (interval jobs)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let busy_jobs_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : B.t) (y : B.t) ->
+         x.B.id = y.B.id && Q.equal x.B.release y.B.release && Q.equal x.B.deadline y.B.deadline
+         && Q.equal x.B.length y.B.length)
+       a b
+
+let busy_roundtrip jobs () =
+  match Io.parse_string (Io.to_string (Io.Busy_instance jobs)) with
+  | Io.Busy_instance back when busy_jobs_equal jobs back -> None
+  | Io.Busy_instance _ -> fail "busy-io-roundtrip" "parse(print(jobs)) differs"
+  | Io.Slotted_instance _ -> fail "busy-io-roundtrip" "came back as a slotted instance"
+  | exception Io.Parse_error (l, m) -> fail "busy-io-roundtrip" "line %d: %s" l m
+
+let check_busy ?(planted_bug = false) ~fuel ~g jobs =
+  guard "busy-oracle" @@ fun () ->
+  let algs =
+    [
+      ("first-fit", Busy.First_fit.solve ~g jobs, Q.of_int 4);
+      ("greedy-tracking", Busy.Greedy_tracking.solve ~g jobs, Q.of_int 3);
+      ("two-approx", Busy.Two_approx.solve ~g jobs, Q.two);
+      ("kumar-rudra", Busy.Kumar_rudra.solve ~g jobs, Q.two);
+    ]
+  in
+  let lb = Busy.Bounds.best ~g jobs in
+  first
+    [
+      busy_roundtrip jobs;
+      (fun () ->
+        List.fold_left
+          (fun acc (name, p, _) ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                match Busy.Bundle.check ~g jobs p with
+                | Some msg -> fail "verifier" "%s produced an invalid packing: %s" name msg
+                | None -> None))
+          None algs);
+      (fun () ->
+        (* Section 4.1: every lower bound is below every feasible cost *)
+        List.fold_left
+          (fun acc (name, p, _) ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                let c = Busy.Bundle.total_busy p in
+                if Q.compare c lb < 0 then
+                  fail "lower-bound" "%s cost %s below lower bound %s" name (Q.to_string c)
+                    (Q.to_string lb)
+                else None)
+          None algs);
+      (fun () ->
+        match Busy.Exact.budgeted ~budget:(Budget.limited fuel) ~g jobs with
+        | Budget.Exhausted { incumbent; _ } -> (
+            (* the incumbent is still a packing and must verify *)
+            match Busy.Bundle.check ~g jobs incumbent with
+            | Some msg -> fail "verifier" "exact incumbent invalid: %s" msg
+            | None -> None)
+        | Budget.Complete p -> (
+            match Busy.Bundle.check ~g jobs p with
+            | Some msg -> fail "verifier" "exact packing invalid: %s" msg
+            | None ->
+                let opt = Busy.Bundle.total_busy p in
+                first
+                  [
+                    (fun () ->
+                      if Q.compare lb opt > 0 then
+                        fail "lower-bound" "lower bound %s exceeds optimum %s" (Q.to_string lb)
+                          (Q.to_string opt)
+                      else None);
+                    (fun () ->
+                      List.fold_left
+                        (fun acc (name, q, ratio) ->
+                          match acc with
+                          | Some _ -> acc
+                          | None ->
+                              let c = Busy.Bundle.total_busy q in
+                              if Q.compare c opt < 0 then
+                                fail "opt-le-approx" "%s cost %s below optimum %s" name
+                                  (Q.to_string c) (Q.to_string opt)
+                              else if Q.compare c (Q.mul ratio opt) > 0 then
+                                fail "approx-ratio" "%s cost %s > %s * optimum %s" name
+                                  (Q.to_string c) (Q.to_string ratio) (Q.to_string opt)
+                              else None)
+                        None algs);
+                  ]));
+      (fun () ->
+        if planted_bug then begin
+          (* deliberately false: sum of bundle spans <= span of the union
+             (breaks whenever FirstFit needs overlapping bundles) *)
+          let ff = Busy.First_fit.solve ~g jobs in
+          let c = Busy.Bundle.total_busy ff in
+          let span = Busy.Bounds.span jobs in
+          if Q.compare c span > 0 then
+            fail "planted-span" "first-fit busy %s exceeds union span %s" (Q.to_string c)
+              (Q.to_string span)
+          else None
+        end
+        else None);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Flexible busy-time jobs: pin with the placement, then as above       *)
+(* ------------------------------------------------------------------ *)
+
+let check_flexible ?planted_bug ~fuel ~g jobs =
+  guard "flexible-oracle" @@ fun () ->
+  first
+    [
+      busy_roundtrip jobs;
+      (fun () ->
+        let pinned = Busy.Placement.greedy jobs in
+        if List.length pinned <> List.length jobs then
+          fail "placement" "greedy returned %d jobs for %d" (List.length pinned) (List.length jobs)
+        else
+          let mismatch =
+            List.find_opt
+              (fun (p : B.t) ->
+                match List.find_opt (fun (j : B.t) -> j.B.id = p.B.id) jobs with
+                | None -> true
+                | Some j ->
+                    (not (B.is_interval p))
+                    || (not (Q.equal p.B.length j.B.length))
+                    || Q.compare p.B.release j.B.release < 0
+                    || Q.compare p.B.deadline j.B.deadline > 0)
+              pinned
+          in
+          match mismatch with
+          | Some p -> fail "placement" "job %d placed outside its window (or altered)" p.B.id
+          | None -> check_busy ?planted_bug ~fuel ~g pinned);
+    ]

@@ -1,0 +1,104 @@
+(* Greedy counterexample minimization: starting from a failing instance,
+   repeatedly take the FIRST size-reducing transformation that still
+   fails, to a fixpoint. Transformations are ordered most-aggressive
+   first (drop a whole job, then pin a flexible job, then shave a unit of
+   length, then tighten a window by one), so the fixpoint tends to the
+   smallest job count.
+
+   Termination: every candidate strictly decreases the lexicographic
+   measure (job count, total length, total slack) — drops shrink the
+   first component, length shaves the second (no transform grows it),
+   pins and window tightenings the third. [max_steps] is a belt-and-
+   braces cap on top. *)
+
+module Q = Rational
+module S = Workload.Slotted
+module B = Workload.Bjob
+
+let max_steps = 10_000
+
+let fix ~fails ~candidates x0 =
+  let rec go steps x =
+    if steps >= max_steps then x
+    else
+      match List.find_opt fails (candidates x) with
+      | Some x' -> go (steps + 1) x'
+      | None -> x
+  in
+  go 0 x0
+
+(* replace element i, dropping the candidate when the mutation refuses *)
+let mutations jobs f =
+  List.concat (List.mapi (fun i j ->
+      match f j with
+      | None -> []
+      | Some j' -> [ List.mapi (fun k x -> if k = i then j' else x) jobs ])
+      jobs)
+
+let drops jobs = List.mapi (fun i _ -> List.filteri (fun k _ -> k <> i) jobs) jobs
+
+(* ------------------------------------------------------------------ *)
+(* Slotted (active-time) instances                                     *)
+(* ------------------------------------------------------------------ *)
+
+let try_job ~id ~release ~deadline ~length =
+  try Some (S.job ~id ~release ~deadline ~length) with Invalid_argument _ -> None
+
+let slotted_candidates (inst : S.t) =
+  let jobs = Array.to_list inst.S.jobs in
+  let shorten (j : S.job) =
+    if j.S.length > 1 then
+      try_job ~id:j.S.id ~release:j.S.release ~deadline:j.S.deadline ~length:(j.S.length - 1)
+    else None
+  in
+  let tighten_right (j : S.job) =
+    if S.window_size j > j.S.length then
+      try_job ~id:j.S.id ~release:j.S.release ~deadline:(j.S.deadline - 1) ~length:j.S.length
+    else None
+  in
+  let tighten_left (j : S.job) =
+    if S.window_size j > j.S.length then
+      try_job ~id:j.S.id ~release:(j.S.release + 1) ~deadline:j.S.deadline ~length:j.S.length
+    else None
+  in
+  List.map
+    (fun js -> S.make ~g:inst.S.g js)
+    (drops jobs @ mutations jobs shorten @ mutations jobs tighten_right
+   @ mutations jobs tighten_left)
+
+let slotted ~fails inst = fix ~fails ~candidates:slotted_candidates inst
+
+(* ------------------------------------------------------------------ *)
+(* Busy-time job lists (interval or flexible)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* shrink a length toward 1 by unit steps (rationals land on 1 exactly) *)
+let dec_length x =
+  let x' = Q.sub x Q.one in
+  if Q.compare x' Q.one < 0 then Q.one else x'
+
+let try_bjob ~id ~release ~deadline ~length =
+  try Some (B.make ~id ~release ~deadline ~length) with Invalid_argument _ -> None
+
+let busy_candidates (jobs : B.t list) =
+  let pin (j : B.t) = if B.is_interval j then None else Some (B.place j j.B.release) in
+  let shorten (j : B.t) =
+    if Q.compare j.B.length Q.one > 0 then
+      let length = dec_length j.B.length in
+      if B.is_interval j then Some (B.interval ~id:j.B.id ~start:j.B.release ~length)
+      else try_bjob ~id:j.B.id ~release:j.B.release ~deadline:j.B.deadline ~length
+    else None
+  in
+  let tighten (j : B.t) =
+    if B.is_interval j then None
+    else
+      let floor_d = Q.add j.B.release j.B.length in
+      let d = Q.sub j.B.deadline Q.one in
+      let d = if Q.compare d floor_d < 0 then floor_d else d in
+      if Q.compare d j.B.deadline < 0 then
+        try_bjob ~id:j.B.id ~release:j.B.release ~deadline:d ~length:j.B.length
+      else None
+  in
+  drops jobs @ mutations jobs pin @ mutations jobs shorten @ mutations jobs tighten
+
+let busy ~fails jobs = fix ~fails ~candidates:busy_candidates jobs

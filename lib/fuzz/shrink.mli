@@ -1,0 +1,12 @@
+(** Greedy counterexample minimization. [fails x] must hold for the input
+    and is re-evaluated on each candidate; the result is a local minimum:
+    no single job drop, flexible-job pin, unit length shave, or
+    one-slot window tightening still fails. The predicate must be total
+    (catch its own exceptions); shrinking terminates — every candidate
+    strictly decreases (job count, total length, total slack)
+    lexicographically, with a step cap as a backstop. *)
+
+val slotted :
+  fails:(Workload.Slotted.t -> bool) -> Workload.Slotted.t -> Workload.Slotted.t
+
+val busy : fails:(Workload.Bjob.t list -> bool) -> Workload.Bjob.t list -> Workload.Bjob.t list

@@ -155,7 +155,7 @@ let leaving tab ~pcol =
 
 type simplex_outcome = S_optimal | S_unbounded
 
-let run_simplex ?(rule = Dantzig_with_fallback) tab =
+let run_simplex ?(rule = Dantzig_with_fallback) ~budget tab =
   let bland = ref (rule = Pure_bland) in
   let stalled = ref 0 in
   let outcome = ref None in
@@ -166,6 +166,7 @@ let run_simplex ?(rule = Dantzig_with_fallback) tab =
         match leaving tab ~pcol with
         | None -> outcome := Some S_unbounded
         | Some prow ->
+            Budget.tick budget;
             let before = tab.obj_val in
             pivot tab ~prow ~pcol;
             incr last_pivots;
@@ -177,7 +178,8 @@ let run_simplex ?(rule = Dantzig_with_fallback) tab =
   done;
   Option.get !outcome
 
-let solve ?(rule = Dantzig_with_fallback) m =
+let solve ?(rule = Dantzig_with_fallback) ?budget m =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   last_pivots := 0;
   (* Shift variables by their lower bounds: work with z = x - l >= 0. *)
   let lower = Array.of_list (List.rev m.lower) in
@@ -242,7 +244,7 @@ let solve ?(rule = Dantzig_with_fallback) m =
     rhs_sum := Q.add !rhs_sum a.(i).(ncols)
   done;
   let tab = { a; obj_row; obj_val = !rhs_sum; basis; ncols; allowed } in
-  match run_simplex ~rule tab with
+  match run_simplex ~rule ~budget tab with
   | S_unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
   | S_optimal ->
       if Q.compare tab.obj_val Q.zero > 0 then Infeasible
@@ -282,7 +284,7 @@ let solve ?(rule = Dantzig_with_fallback) m =
           if not (Q.is_zero cb) then v := Q.add !v (Q.mul cb tab.a.(i).(ncols))
         done;
         tab.obj_val <- !v;
-        match run_simplex ~rule tab with
+        match run_simplex ~rule ~budget tab with
         | S_unbounded -> Unbounded
         | S_optimal ->
             let z = Array.make m.nvars Q.zero in

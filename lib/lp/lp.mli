@@ -60,8 +60,15 @@ type pivot_rule = Dantzig_with_fallback | Pure_bland
 val last_pivots : int ref
 
 (** Solves the model. The model may be re-solved after adding constraints
-    or changing the objective. *)
-val solve : ?rule:pivot_rule -> model -> result
+    or changing the objective.
+
+    When [budget] is given, every simplex pivot (both phases) consumes
+    one tick of it; on exhaustion the solve aborts by raising
+    {!Budget.Out_of_fuel}. A half-pivoted tableau has no meaningful
+    incumbent, so unlike the combinatorial solvers there is no
+    [Exhausted] result here — callers that want degradation catch the
+    exception (see [Active.Cascade]). *)
+val solve : ?rule:pivot_rule -> ?budget:Budget.t -> model -> result
 
 (** Objective value at the returned vertex. *)
 val objective_value : solution -> Rational.t

@@ -54,6 +54,32 @@ let minimal_feasible_tight_bad_slots g =
 let minimal_feasible_tight_opt_slots g = List.init g (fun i -> g + 1 + i)
 
 (* ---------------------------------------------------------------------- *)
+(* Branch-and-bound stress gadget (not from the paper): [groups] disjoint  *)
+(* groups of g+1 unit jobs sharing a window of [width] slots. Every group  *)
+(* needs exactly 2 open slots (g+1 units against capacity g), but any 2 of *)
+(* its [width] slots do, so the mass bound ceil(groups*(g+1)/g) sits far   *)
+(* below OPT = 2*groups and the flow pruning only bites deep in the tree:  *)
+(* the search is near-exhaustive over ~ C(width,2)^groups combinations.    *)
+(* Empirically (g=2): groups=5, width=6 -> ~7.1e6 nodes; each extra group  *)
+(* multiplies the count by ~16.                                            *)
+(* ---------------------------------------------------------------------- *)
+
+let bb_hard ~g ~groups ~width =
+  if g < 1 then invalid_arg "Gadgets.bb_hard: needs g >= 1";
+  if groups < 1 then invalid_arg "Gadgets.bb_hard: needs groups >= 1";
+  if width < 2 then invalid_arg "Gadgets.bb_hard: needs width >= 2";
+  let jobs = ref [] in
+  let id = ref 0 in
+  for k = 0 to groups - 1 do
+    let release = k * width in
+    for _ = 1 to g + 1 do
+      jobs := Slotted.job ~id:!id ~release ~deadline:(release + width) ~length:1 :: !jobs;
+      incr id
+    done
+  done;
+  Slotted.make ~g (List.rev !jobs)
+
+(* ---------------------------------------------------------------------- *)
 (* Fig. 1 — the paper's opening example: seven interval jobs that pack    *)
 (* optimally onto two machines with g = 3.                                 *)
 (* ---------------------------------------------------------------------- *)

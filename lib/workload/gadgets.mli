@@ -21,6 +21,17 @@ val minimal_feasible_tight_bad_slots : int -> int list
 (** The optimal slot set [\[g, 2g)] (slots [g+1..2g]) of cost [g]. *)
 val minimal_feasible_tight_opt_slots : int -> int list
 
+(** {1 Branch-and-bound stress instance (not from the paper)} *)
+
+(** [bb_hard ~g ~groups ~width]: [groups] disjoint groups of [g+1] unit
+    jobs, each group sharing a window of [width] slots. OPT is exactly
+    [2 * groups] (for [g >= 1], [width >= 2]) but any 2 slots per window
+    suffice, so the flow-pruned branch and bound of [Active.Exact]
+    explores ~[C(width,2)^groups] combinations — the node count grows
+    ~16x per added group at [g = 2], [width = 6]. Built to exercise the
+    fuel budgets and the degradation cascade. *)
+val bb_hard : g:int -> groups:int -> width:int -> Slotted.t
+
 (** {1 Fig. 1 — the paper's opening example} *)
 
 (** Seven interval jobs that pack optimally onto two machines with

@@ -19,8 +19,24 @@ type instance = Slotted_instance of Slotted.t | Busy_instance of Bjob.t list
 
 let strip_comment line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line
 
+(* Split on any whitespace run (spaces, tabs, carriage returns), so
+   tab-separated instance files parse the same as space-separated ones. *)
 let tokens_of_line line =
-  String.split_on_char ' ' (String.trim (strip_comment line)) |> List.filter (fun s -> s <> "")
+  let line = strip_comment line in
+  let n = String.length line in
+  let is_space = function ' ' | '\t' | '\r' | '\012' -> true | _ -> false in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else if is_space line.[i] then go (i + 1) acc
+    else begin
+      let j = ref i in
+      while !j < n && not (is_space line.[!j]) do
+        incr j
+      done;
+      go !j (String.sub line i (!j - i) :: acc)
+    end
+  in
+  go 0 []
 
 exception Parse_error of int * string
 

@@ -1,0 +1,118 @@
+(* Tests for the differential fuzz harness: a clean sweep finds no
+   disagreements, the planted bug is found and shrunk to the provable
+   minimum (g+1 jobs, <= 4), the shrinker reaches fixpoints on synthetic
+   predicates, and the corpus write/replay loop round-trips. *)
+
+module Q = Rational
+module B = Workload.Bjob
+module Io = Workload.Io
+module Gen = Workload.Generate
+
+let job_count = function
+  | Io.Slotted_instance inst -> Array.length inst.Workload.Slotted.jobs
+  | Io.Busy_instance jobs -> List.length jobs
+
+let test_clean_sweep () =
+  let report = Fuzz.Harness.run ~domains:2 ~seeds:10 ~fuel:200_000 () in
+  Alcotest.(check int) "five families per seed" 50 report.Fuzz.Harness.cases;
+  Alcotest.(check int) "no disagreements" 0 (List.length report.Fuzz.Harness.failures)
+
+let test_planted_bug_found_and_shrunk () =
+  let report = Fuzz.Harness.run ~planted_bug:true ~domains:2 ~seeds:6 ~fuel:100_000 () in
+  Alcotest.(check bool) "planted bug detected" true (report.Fuzz.Harness.failures <> []);
+  List.iter
+    (fun (cx : Fuzz.Harness.counterexample) ->
+      (* the false claim "FirstFit busy <= span" needs demand above g,
+         i.e. g+1 overlapping jobs; the shrinker must reach that minimum *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s shrunk to <= 4 jobs (got %d)" cx.Fuzz.Harness.case (job_count cx.Fuzz.Harness.instance))
+        true
+        (job_count cx.Fuzz.Harness.instance <= 4))
+    report.Fuzz.Harness.failures
+
+let test_shrink_busy_fixpoint () =
+  let jobs = Gen.interval_jobs ~n:7 ~horizon:15 ~max_length:4 ~seed:3 () in
+  (* synthetic failure: "at least 3 jobs" - minimal form is 3 unit jobs *)
+  let fails js = List.length js >= 3 in
+  let shrunk = Fuzz.Shrink.busy ~fails jobs in
+  Alcotest.(check int) "three jobs remain" 3 (List.length shrunk);
+  Alcotest.(check bool) "still fails" true (fails shrunk);
+  List.iter
+    (fun j -> Alcotest.(check bool) "length shrunk to 1" true (Q.equal j.B.length Q.one))
+    shrunk
+
+let test_shrink_slotted_fixpoint () =
+  let params : Gen.slotted_params = { n = 6; horizon = 12; max_length = 3; slack = 3; g = 2 } in
+  let inst = Gen.slotted ~params ~seed:2 () in
+  let fails i = Array.length i.Workload.Slotted.jobs >= 2 in
+  let shrunk = Fuzz.Shrink.slotted ~fails inst in
+  Alcotest.(check int) "two jobs remain" 2 (Array.length shrunk.Workload.Slotted.jobs);
+  Array.iter
+    (fun j ->
+      Alcotest.(check int) "unit length" 1 j.Workload.Slotted.length;
+      Alcotest.(check int) "tight window" 1 (j.Workload.Slotted.deadline - j.Workload.Slotted.release))
+    shrunk.Workload.Slotted.jobs
+
+let test_shrink_preserves_failure () =
+  (* shrinking must never return a passing instance *)
+  let jobs = Gen.interval_jobs ~n:5 ~horizon:10 ~max_length:3 ~seed:4 () in
+  let fails js = List.exists (fun j -> Q.compare j.B.length Q.one > 0) js in
+  if fails jobs then begin
+    let shrunk = Fuzz.Shrink.busy ~fails jobs in
+    Alcotest.(check bool) "failure preserved" true (fails shrunk)
+  end
+
+let with_temp_corpus f =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "atbt-fuzz-test-corpus" in
+  if Sys.file_exists dir then
+    Array.iter (fun file -> Sys.remove (Filename.concat dir file)) (Sys.readdir dir);
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun file -> Sys.remove (Filename.concat dir file)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_corpus_write_replay () =
+  with_temp_corpus (fun dir ->
+      let report = Fuzz.Harness.run ~planted_bug:true ~domains:2 ~seeds:3 ~fuel:100_000 () in
+      Alcotest.(check bool) "have failures to write" true (report.Fuzz.Harness.failures <> []);
+      let paths = Fuzz.Harness.write_corpus ~dir report.Fuzz.Harness.failures in
+      Alcotest.(check int) "one file per failure" (List.length report.Fuzz.Harness.failures)
+        (List.length paths);
+      (* with the bug still armed every counterexample still fails *)
+      let armed = Fuzz.Harness.replay ~planted_bug:true ~fuel:100_000 ~dir () in
+      Alcotest.(check int) "armed replay reproduces all" (List.length paths) (List.length armed);
+      (* with the bug fixed (unarmed) the corpus is clean: the regression gate *)
+      let fixed = Fuzz.Harness.replay ~fuel:100_000 ~dir () in
+      Alcotest.(check int) "unarmed replay is clean" 0 (List.length fixed))
+
+let test_replay_missing_dir () =
+  Alcotest.(check int) "missing corpus is empty" 0
+    (List.length (Fuzz.Harness.replay ~fuel:1_000 ~dir:"/nonexistent/fuzz-corpus" ()))
+
+let test_determinism () =
+  (* the whole harness is a pure function of (seed, fuel, planted_bug) *)
+  let run () =
+    let r = Fuzz.Harness.run ~planted_bug:true ~domains:2 ~seeds:2 ~fuel:50_000 () in
+    List.map
+      (fun (cx : Fuzz.Harness.counterexample) ->
+        (cx.Fuzz.Harness.case, cx.Fuzz.Harness.failure.Fuzz.Oracle.check, Io.to_string cx.Fuzz.Harness.instance))
+      r.Fuzz.Harness.failures
+  in
+  Alcotest.(check bool) "two runs agree bit-for-bit" true (run () = run ())
+
+let () =
+  Alcotest.run "fuzz"
+    [ ( "harness",
+        [ Alcotest.test_case "clean sweep" `Slow test_clean_sweep;
+          Alcotest.test_case "planted bug found and shrunk" `Slow test_planted_bug_found_and_shrunk;
+          Alcotest.test_case "determinism" `Quick test_determinism ] );
+      ( "shrinker",
+        [ Alcotest.test_case "busy fixpoint" `Quick test_shrink_busy_fixpoint;
+          Alcotest.test_case "slotted fixpoint" `Quick test_shrink_slotted_fixpoint;
+          Alcotest.test_case "failure preserved" `Quick test_shrink_preserves_failure ] );
+      ( "corpus",
+        [ Alcotest.test_case "write and replay" `Slow test_corpus_write_replay;
+          Alcotest.test_case "missing dir" `Quick test_replay_missing_dir ] ) ]

@@ -25,6 +25,41 @@ let test_exception_propagates () =
       ignore
         (Parallel.Pool.map (fun i -> if i = 3 then failwith "task 3" else i) [ 0; 1; 2; 3; 4 ]))
 
+let test_first_exception_in_input_order () =
+  (* when several tasks raise, the one reported is the first in input
+     order, not whichever domain happened to fail first *)
+  Alcotest.check_raises "earliest failing index wins" (Failure "task 1") (fun () ->
+      ignore
+        (Parallel.Pool.map ~domains:4
+           (fun i -> if i >= 1 then failwith (Printf.sprintf "task %d" i) else i)
+           [ 0; 1; 2; 3; 4; 5; 6; 7 ]))
+
+let test_failure_does_not_abort_queue () =
+  (* a failing task must not strand the queue: every task still runs and
+     all domains join before the exception resurfaces *)
+  let ran = Atomic.make 0 in
+  (try
+     ignore
+       (Parallel.Pool.map ~domains:4
+          (fun i ->
+            Atomic.incr ran;
+            if i = 0 then failwith "boom")
+          (List.init 16 (fun i -> i)))
+   with Failure _ -> ());
+  Alcotest.(check int) "all tasks executed" 16 (Atomic.get ran)
+
+let test_domains_zero_clamped () =
+  (* ~domains:0 (or negative) clamps to sequential execution rather than
+     spawning nothing and hanging or raising *)
+  Alcotest.(check (list int)) "empty list, zero domains" []
+    (Parallel.Pool.map ~domains:0 (fun x -> x) []);
+  Alcotest.(check (list int)) "zero domains is sequential" [ 2; 4; 6 ]
+    (Parallel.Pool.map ~domains:0 (fun x -> 2 * x) [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "negative domains clamp" [ 5 ]
+    (Parallel.Pool.map ~domains:(-3) (fun x -> x) [ 5 ]);
+  Alcotest.(check (list int)) "init with zero domains" [ 0; 1; 2 ]
+    (Parallel.Pool.init ~domains:0 3 (fun i -> i))
+
 let test_default_domains_positive () =
   Alcotest.(check bool) "at least one" true (Parallel.Pool.default_domains () >= 1)
 
@@ -61,6 +96,9 @@ let () =
           Alcotest.test_case "empty and small" `Quick test_empty_and_small;
           Alcotest.test_case "init" `Quick test_init;
           Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "first exception in input order" `Quick test_first_exception_in_input_order;
+          Alcotest.test_case "failure drains the queue" `Quick test_failure_does_not_abort_queue;
+          Alcotest.test_case "zero domains clamped" `Quick test_domains_zero_clamped;
           Alcotest.test_case "default domains" `Quick test_default_domains_positive;
           Alcotest.test_case "busy-time stack under domains" `Quick test_real_workload_agrees;
           Alcotest.test_case "simplex under domains" `Quick test_lp_workload_agrees ] ) ]

@@ -231,6 +231,20 @@ let test_io_errors () =
   | Workload.Io.Busy_instance [ _ ] -> ()
   | _ -> Alcotest.fail "comment handling"
 
+let test_io_whitespace () =
+  (* fields may be separated by tabs or any whitespace run, not just
+     single spaces *)
+  (match Workload.Io.parse_string "slotted\ng\t2\njob\t0\t0\t3\t1\njob 1\t 2  5\t3\n" with
+  | Workload.Io.Slotted_instance t ->
+      Alcotest.(check int) "g parsed" 2 t.S.g;
+      Alcotest.(check int) "both jobs parsed" 2 (Array.length t.S.jobs)
+  | _ -> Alcotest.fail "expected a slotted instance");
+  (* a tab-separated busy line with a trailing comment *)
+  match Workload.Io.parse_string "busy\njob\t0\t0\t3\t3\t# comment\n" with
+  | Workload.Io.Busy_instance [ j ] ->
+      Alcotest.(check bool) "interval job" true (B.is_interval j)
+  | _ -> Alcotest.fail "expected one busy job"
+
 (* properties: random slotted instances are well-formed *)
 let prop_slotted_wellformed =
   QCheck.Test.make ~name:"random slotted instances well-formed" ~count:100 (QCheck.int_range 0 10_000)
@@ -263,7 +277,8 @@ let () =
       ("bjob", [ Alcotest.test_case "busy-time jobs" `Quick test_bjob ]);
       ( "io",
         [ Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
-          Alcotest.test_case "errors" `Quick test_io_errors ] );
+          Alcotest.test_case "errors" `Quick test_io_errors;
+          Alcotest.test_case "tabs and whitespace" `Quick test_io_whitespace ] );
       ( "generators",
         [ Alcotest.test_case "deterministic" `Quick test_generators_deterministic;
           Alcotest.test_case "families" `Quick test_generator_families ] );
