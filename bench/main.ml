@@ -50,6 +50,26 @@ let fixed w s =
 
 let col = fixed 12
 
+(* One recorder per experiment run; the driver swaps in a fresh one and
+   serializes it to BENCH_<exp>.json afterwards (same Json/Obs schema as
+   `atbt --format json`, so CI can archive both kinds of document). *)
+let bench_obs = ref Obs.null
+
+let write_bench_json name obs =
+  let doc =
+    Obs.Json.Obj
+      [ ("schema", Obs.Json.Int 1);
+        ("tool", Obs.Json.String "bench");
+        ("experiment", Obs.Json.String name);
+        ("counters", Obs.counters_to_json obs);
+        ("spans", Obs.spans_to_json obs) ]
+  in
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc
+
 (* ---------------------------------------------------------------- e1 -- *)
 
 let e1 () =
@@ -213,13 +233,13 @@ let e5 () =
       let jobs = gt.Gad.gt_adversarial in
       let cost alg = Busy.Bundle.total_busy (alg ~g jobs) in
       let opt = f gt.Gad.gt_opt_cost in
-      let gtc = f (cost Busy.Greedy_tracking.solve) in
-      let tac = f (cost Busy.Two_approx.solve) in
+      let gtc = f (cost (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs)) in
+      let tac = f (cost (fun ~g jobs -> Busy.Two_approx.solve ~g jobs)) in
       table_row
         (List.map col
            [ string_of_int g; Printf.sprintf "%d/%d" eps_n eps_d; Printf.sprintf "%.2f" opt;
              Printf.sprintf "%.2f" gtc; Printf.sprintf "%.3f" (gtc /. opt); Printf.sprintf "%.2f" tac;
-             Printf.sprintf "%.3f" (tac /. opt); Printf.sprintf "%.2f" (f (cost Busy.First_fit.solve)) ]))
+             Printf.sprintf "%.3f" (tac /. opt); Printf.sprintf "%.2f" (f (cost (fun ~g jobs -> Busy.First_fit.solve ~g jobs))) ]))
     [ (2, 1, 4); (3, 1, 4); (4, 1, 10); (6, 1, 10); (8, 1, 20); (10, 1, 20) ];
   (* decompose the loss at g = 2, where the pinned instance (12 jobs) is
      still within exhaustive reach: total = packing loss x conversion loss *)
@@ -256,7 +276,7 @@ let e6 () =
       table_row
         (List.map col
            [ Printf.sprintf "%d/%d" en ed; Printf.sprintf "%.4f" opt;
-             Printf.sprintf "%.4f" (f (cost Busy.Two_approx.solve)); Printf.sprintf "%.4f" kr;
+             Printf.sprintf "%.4f" (f (cost (fun ~g jobs -> Busy.Two_approx.solve ~g jobs))); Printf.sprintf "%.4f" kr;
              Printf.sprintf "%.3f" (kr /. opt); Printf.sprintf "%.4f" cert;
              Printf.sprintf "%.3f" (cert /. opt) ]))
     [ (1, 4); (1, 10); (1, 100); (1, 1000) ]
@@ -300,7 +320,7 @@ let e8 () =
       let jobs = fa.Gad.fa_adversarial in
       let cost alg = f (Busy.Bundle.total_busy (alg ~g jobs)) in
       let opt = f fa.Gad.fa_opt_cost_approx in
-      let ta = cost Busy.Two_approx.solve and gt = cost Busy.Greedy_tracking.solve in
+      let ta = cost (fun ~g jobs -> Busy.Two_approx.solve ~g jobs) and gt = cost (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs) in
       assert (Busy.Bundle.check ~g jobs fa.Gad.fa_bad_packing = None);
       let cert = f (Busy.Bundle.total_busy fa.Gad.fa_bad_packing) in
       table_row
@@ -357,7 +377,7 @@ let e10 () =
           Some
             (List.map
                (fun alg -> f (Busy.Bundle.total_busy (alg ~g jobs)) /. lb)
-               [ Busy.First_fit.solve; Busy.Greedy_tracking.solve; Busy.Two_approx.solve;
+               [ (fun ~g jobs -> Busy.First_fit.solve ~g jobs); (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs); (fun ~g jobs -> Busy.Two_approx.solve ~g jobs);
                  Busy.Kumar_rudra.solve ])
       in
       let rows = List.filter_map (fun x -> x) (Parallel.Pool.init 10 per_seed) in
@@ -378,7 +398,7 @@ let e10 () =
     let opt = f (Busy.Exact.optimum ~g:2 jobs) in
     List.iteri
       (fun i alg -> ratios.(i) <- (f (Busy.Bundle.total_busy (alg ~g:2 jobs)) /. opt) :: ratios.(i))
-      [ Busy.First_fit.solve; Busy.Greedy_tracking.solve; Busy.Two_approx.solve ]
+      [ (fun ~g jobs -> Busy.First_fit.solve ~g jobs); (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs); (fun ~g jobs -> Busy.Two_approx.solve ~g jobs) ]
   done;
   List.iteri
     (fun i name ->
@@ -403,7 +423,7 @@ let e10 () =
           incr count;
           List.iteri
             (fun i alg -> acc.(i) <- acc.(i) +. (f (Busy.Bundle.total_busy (alg ~g pinned)) /. lb))
-            [ Busy.First_fit.solve; Busy.Greedy_tracking.solve; Busy.Two_approx.solve ]
+            [ (fun ~g jobs -> Busy.First_fit.solve ~g jobs); (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs); (fun ~g jobs -> Busy.Two_approx.solve ~g jobs) ]
         end
       done;
       let c = float_of_int !count in
@@ -431,7 +451,7 @@ let e11 () =
           let opt = f (Busy.Exact.optimum ~g jobs) in
           List.iteri
             (fun i alg -> acc.(i) <- acc.(i) +. (f (Busy.Bundle.total_busy (alg ~g jobs)) /. opt))
-            [ special; Busy.Greedy_tracking.solve; Busy.Two_approx.solve ]
+            [ special; (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs); (fun ~g jobs -> Busy.Two_approx.solve ~g jobs) ]
         done;
         table_row
           (List.map col
@@ -582,7 +602,7 @@ let e16 () =
     let t_flow = Unix.gettimeofday () -. t0 in
     let flow_stats = !Active.Exact.last_stats in
     let t0 = Unix.gettimeofday () in
-    let ilp = Active.Ilp.solve inst in
+    let ilp = Active.Ilp.exact inst in
     let t_ilp = Unix.gettimeofday () -. t0 in
     match (flow_opt, ilp) with
     | Some o1, Some (sol, st) ->
@@ -657,19 +677,19 @@ let e18 () =
       List.iter
         (fun limit ->
           let inst = Gad.bb_hard ~g:2 ~groups ~width:6 in
-          let sol, prov = Active.Cascade.solve ~limit inst in
+          let sol, prov = Active.Cascade.solve ~obs:!bench_obs ~limit inst in
           let ticks =
             List.fold_left (fun acc (a : Budget.Cascade.attempt) -> acc + a.ticks) 0
-              prov.Active.Cascade.attempts
+              prov.Budget.Cascade.attempts
           in
           table_row
             (List.map col
                [ string_of_int groups;
                  string_of_int limit;
-                 Option.value prov.Active.Cascade.winner ~default:"-";
+                 Option.value prov.Budget.Cascade.winner ~default:"-";
                  string_of_int ticks;
                  (match sol with Some s -> string_of_int (Active.Solution.cost s) | None -> "-");
-                 string_of_int prov.Active.Cascade.mass_bound ]))
+                 string_of_int prov.Budget.Cascade.bound ]))
         [ 10_000; 100_000 ])
     [ 4; 5; 6 ];
   pr "\nbusy-time cascade (interval jobs, n=18, g=3):\n";
@@ -677,13 +697,13 @@ let e18 () =
   List.iter
     (fun limit ->
       let jobs = Gen.interval_jobs ~n:18 ~horizon:20 ~max_length:5 ~seed:7 () in
-      let packing, prov = Busy.Cascade.solve ~limit ~g:3 jobs in
+      let packing, prov = Busy.Cascade.solve ~obs:!bench_obs ~limit ~g:3 jobs in
       table_row
         (List.map col
            [ string_of_int limit;
-             Option.value prov.Busy.Cascade.winner ~default:"-";
+             Option.value prov.Budget.Cascade.winner ~default:"-";
              (match packing with Some p -> Q.to_string (Busy.Bundle.total_busy p) | None -> "-");
-             Q.to_string prov.Busy.Cascade.lower_bound ]))
+             Q.to_string prov.Budget.Cascade.bound ]))
     [ 1_000; 1_000_000 ]
 
 (* ---------------------------------------------------------------- abl -- *)
@@ -815,9 +835,9 @@ let scaling () =
       in
       table_row
         (List.map col
-           [ string_of_int n; Printf.sprintf "%.1f" (ms Busy.First_fit.solve);
-             Printf.sprintf "%.1f" (ms Busy.Greedy_tracking.solve);
-             Printf.sprintf "%.1f" (ms Busy.Two_approx.solve);
+           [ string_of_int n; Printf.sprintf "%.1f" (ms (fun ~g jobs -> Busy.First_fit.solve ~g jobs));
+             Printf.sprintf "%.1f" (ms (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs));
+             Printf.sprintf "%.1f" (ms (fun ~g jobs -> Busy.Two_approx.solve ~g jobs));
              Printf.sprintf "%.1f" (ms Busy.Kumar_rudra.solve) ]))
     [ 50; 100; 200; 400 ]
 
@@ -871,12 +891,38 @@ let timing () =
       pr "%s | %s\n" (fixed 36 name) est)
     (List.sort compare rows)
 
+(* ---------------------------------------------------------------- e19 -- *)
+
+let e19 () =
+  header "E19: golden solver counters on the bb_hard family";
+  pr "Telemetry counts solver events (nodes, feasibility checks, flow\n";
+  pr "rounds), never wall-clock, so the counter set of a seeded run is\n";
+  pr "byte-reproducible. test/test_obs.ml pins the g=2 groups=3 width=6\n";
+  pr "row as a golden snapshot; a diff here means the search changed.\n\n";
+  table_row (List.map col [ "groups"; "outcome"; "counter"; "value" ]);
+  List.iter
+    (fun groups ->
+      let inst = Gad.bb_hard ~g:2 ~groups ~width:6 in
+      let obs = Obs.create () in
+      let outcome =
+        match Active.Exact.solve ~budget:(Budget.limited 1_000_000) ~obs inst with
+        | Budget.Complete (Some sol) -> Printf.sprintf "cost %d" (Active.Solution.cost sol)
+        | Budget.Complete None -> "infeasible"
+        | Budget.Exhausted { spent; _ } -> Printf.sprintf "exhausted@%d" spent
+      in
+      List.iter
+        (fun (name, v) ->
+          table_row (List.map col [ string_of_int groups; outcome; name; string_of_int v ]);
+          Obs.add !bench_obs (Printf.sprintf "e19.groups%d.%s" groups name) v)
+        (Obs.counters obs))
+    [ 2; 3; 4 ]
+
 (* -------------------------------------------------------------- main -- *)
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8);
     ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
-    ("e16", e16); ("e17", e17); ("e18", e18); ("abl", abl); ("par", par); ("scaling", scaling); ("timing", timing) ]
+    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("abl", abl); ("par", par); ("scaling", scaling); ("timing", timing) ]
 
 let () =
   let requested = List.tl (Array.to_list Sys.argv) in
@@ -893,4 +939,11 @@ let () =
               None)
         requested
   in
-  List.iter (fun (_, fn) -> fn ()) to_run
+  List.iter
+    (fun (name, fn) ->
+      let obs = Obs.create () in
+      bench_obs := obs;
+      fn ();
+      bench_obs := Obs.null;
+      write_bench_json name obs)
+    to_run

@@ -2,7 +2,7 @@
 
      atbt generate --kind flexible --n 20 --seed 7 -o jobs.txt
      atbt active jobs.txt --algorithm rounding
-     atbt active jobs.txt --budget 100000 --cascade
+     atbt active jobs.txt --budget 100000 --cascade --format json
      atbt busy jobs.txt -g 4 --algorithm greedy-tracking
      atbt bounds jobs.txt -g 4
 
@@ -11,14 +11,25 @@
    Failures are structured values, not mid-function exits, so the exit
    codes are meaningful: 0 success, 1 usage/parse error, 2 internal error
    (a solver produced an invalid answer), 3 fuel budget exhausted without
-   an answer. *)
+   an answer.
+
+   [--format text] (the default) keeps the historical human-readable
+   output. [--format json] emits exactly one machine-readable document on
+   stdout — schema documented in README.md — carrying the instance
+   digest, algorithm, cost, lower bounds, cascade provenance and the
+   solver telemetry (Obs counters and span tree). The document is emitted
+   on every path, including usage errors and budget exhaustion, with
+   [status] / [exit] mirroring the process exit code. *)
 
 module Q = Rational
 module S = Workload.Slotted
 module B = Workload.Bjob
 module Io = Workload.Io
+module J = Obs.Json
 
 open Cmdliner
+
+let version = "1.2.0"
 
 type failure =
   | Usage of string  (* bad flags or unparseable input: exit 1 *)
@@ -44,9 +55,81 @@ let load path =
   | Io.Parse_error (line, msg) -> Error (Usage (Printf.sprintf "%s:%d: %s" path line msg))
   | Sys_error msg -> Error (Usage msg)
 
+(* Every file the CLI creates goes through here so that an unwritable
+   path surfaces as a Usage error (exit 1) instead of an uncaught
+   [Sys_error] crash. *)
+let write_text_file path contents =
+  try
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents);
+    Ok ()
+  with Sys_error msg -> Error (Usage msg)
+
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+(* ---------------------------------------------------------- telemetry -- *)
+
+(* One JSON document per invocation; [status] and [exit] mirror the
+   process exit code so a consumer never needs the exit code separately. *)
+let emit_json ~command ~algorithm ~instance ~status ~code ~message ~cost ~bounds ~provenance obs =
+  let doc =
+    J.Obj
+      [ ("schema", J.Int 1);
+        ("tool", J.String "atbt");
+        ("version", J.String version);
+        ("command", J.String command);
+        ("algorithm", match algorithm with Some a -> J.String a | None -> J.Null);
+        ("instance", instance);
+        ("status", J.String status);
+        ("exit", J.Int code);
+        ("message", match message with Some m -> J.String m | None -> J.Null);
+        ("cost", cost);
+        ("bounds", bounds);
+        ("provenance", provenance);
+        ("counters", Obs.counters_to_json obs);
+        ("spans", Obs.spans_to_json obs) ]
+  in
+  print_endline (J.to_string doc);
+  code
+
+(* JSON-mode driver: the body computes (status, cost, bounds, provenance)
+   or a structured failure; either way exactly one document is printed. *)
+let finish_json ~command ~algorithm ~instance ~message obs result =
+  match result with
+  | Ok (status, cost, bounds, provenance) ->
+      emit_json ~command ~algorithm ~instance:(instance ()) ~status ~code:0 ~message:(message ())
+        ~cost ~bounds ~provenance obs
+  | Error f ->
+      let status, code, msg =
+        match f with
+        | Usage m -> ("usage-error", 1, m)
+        | Internal m -> ("internal-error", 2, m)
+        | Fuel_exhausted m -> ("budget-exhausted", 3, m)
+      in
+      emit_json ~command ~algorithm ~instance:(instance ()) ~status ~code ~message:(Some msg)
+        ~cost:J.Null ~bounds:J.Null ~provenance:J.Null obs
+
+let slotted_instance_json inst =
+  J.Obj
+    [ ("digest", J.String (Obs.digest (Io.to_string (Io.Slotted_instance inst))));
+      ("kind", J.String "slotted");
+      ("jobs", J.Int (S.num_jobs inst));
+      ("horizon", J.Int (S.horizon inst));
+      ("g", J.Int inst.S.g) ]
+
+let busy_instance_json ~g jobs =
+  J.Obj
+    [ ("digest", J.String (Obs.digest (Io.to_string (Io.Busy_instance jobs))));
+      ("kind", J.String "busy");
+      ("jobs", J.Int (List.length jobs));
+      ("g", J.Int g) ]
+
+let parse_format = function
+  | "text" -> Ok `Text
+  | "json" -> Ok `Json
+  | other -> Error (Usage ("unknown format " ^ other ^ " (text|json)"))
 
 (* ------------------------------------------------------------ generate -- *)
 
@@ -71,7 +154,7 @@ let generate kind n g horizon seed output =
          print_string (Io.to_string instance);
          Ok ()
      | Some path ->
-         Io.write_file path instance;
+         let* () = write_text_file path (Io.to_string instance) in
          Printf.printf "wrote %s\n" path;
          Ok ())
 
@@ -98,13 +181,14 @@ let print_active_solution inst sol render svg =
   in
   Format.printf "%a" Active.Solution.pp sol;
   if render then print_string (Render.slotted inst sol);
-  (match svg with
-  | Some file ->
-      let oc = open_out file in
-      output_string oc (Render.slotted_svg inst sol);
-      close_out oc;
-      Printf.printf "wrote %s\n" file
-  | None -> ());
+  let* () =
+    match svg with
+    | Some file ->
+        let* () = write_text_file file (Render.slotted_svg inst sol) in
+        Printf.printf "wrote %s\n" file;
+        Ok ()
+    | None -> Ok ()
+  in
   let report = Sim.run_active inst sol in
   Printf.printf "energy %s, power-ons %d, utilization %s\n"
     (Q.to_string report.Sim.total_energy) report.Sim.total_switch_ons
@@ -115,10 +199,12 @@ let check_budget = function
   | Some n when n < 0 -> Error (Usage "--budget must be nonnegative")
   | _ -> Ok ()
 
-let active_solve path algorithm order budget cascade render svg verbose =
+let active_fuel budget () =
+  match budget with Some n -> Budget.limited n | None -> Budget.unlimited ()
+
+let active_text path algorithm order budget cascade render svg =
   finish
-    (setup_logs verbose;
-     let* () = check_budget budget in
+    (let* () = check_budget budget in
      let* instance = load path in
      let* inst =
        match instance with
@@ -140,7 +226,7 @@ let active_solve path algorithm order budget cascade render svg verbose =
        | Some sol -> print_active_solution inst sol render svg
      end
      else
-       let fuel () = match budget with Some n -> Budget.limited n | None -> Budget.unlimited () in
+       let fuel = active_fuel budget in
        let* solution =
          match algorithm with
          | "minimal" -> Ok (Active.Minimal.solve inst order)
@@ -149,7 +235,7 @@ let active_solve path algorithm order budget cascade render svg verbose =
              with Budget.Out_of_fuel ->
                Error (Fuel_exhausted "budget exhausted inside the LP; try --cascade"))
          | "exact" -> (
-             match Active.Exact.budgeted ~budget:(fuel ()) inst with
+             match Active.Exact.solve ~budget:(fuel ()) inst with
              | Budget.Complete r -> Ok r
              | Budget.Exhausted { spent; incumbent } ->
                  (match incumbent with
@@ -168,11 +254,102 @@ let active_solve path algorithm order budget cascade render svg verbose =
        | None -> Ok (print_endline "infeasible")
        | Some sol -> print_active_solution inst sol render svg)
 
+(* JSON twin of [active_text]: same control flow, machine-readable
+   output, solvers run with a live recorder. [--render] is a no-op here
+   (ASCII art would corrupt the document); [--svg FILE] still writes. *)
+let active_json path algorithm order budget cascade svg =
+  let obs = Obs.create () in
+  let instance_json = ref J.Null in
+  let verified inst sol =
+    match Active.Solution.verify inst sol with
+    | None -> (
+        match svg with
+        | Some file -> write_text_file file (Render.slotted_svg inst sol)
+        | None -> Ok ())
+    | Some problem -> Error (Internal ("invalid solution: " ^ problem))
+  in
+  let result =
+    let* () = check_budget budget in
+    let* instance = load path in
+    let* inst =
+      match instance with
+      | Io.Busy_instance _ -> Error (Usage "active expects a slotted instance")
+      | Io.Slotted_instance inst -> Ok inst
+    in
+    instance_json := slotted_instance_json inst;
+    let* order =
+      match order with
+      | "l2r" -> Ok Active.Minimal.Left_to_right
+      | "r2l" -> Ok Active.Minimal.Right_to_left
+      | o -> Error (Usage ("unknown order " ^ o ^ " (l2r|r2l)"))
+    in
+    let bounds = J.Obj [ ("mass", J.Int (S.mass_lower_bound inst)) ] in
+    if cascade then begin
+      let limit = Option.value budget ~default:100_000 in
+      let solution, prov = Active.Cascade.solve ~obs ~limit inst in
+      let prov_json = Budget.Cascade.provenance_to_json ~cost_to_json:(fun c -> J.Int c) prov in
+      match solution with
+      | None -> Ok ("infeasible", J.Null, bounds, prov_json)
+      | Some sol ->
+          let* () = verified inst sol in
+          Ok ("ok", J.Int (Active.Solution.cost sol), bounds, prov_json)
+    end
+    else
+      let fuel = active_fuel budget in
+      let* solution =
+        match algorithm with
+        | "minimal" -> Ok (Active.Minimal.solve ~obs inst order)
+        | "rounding" -> (
+            try Ok (Option.map fst (Active.Rounding.solve ~budget:(fuel ()) ~obs inst))
+            with Budget.Out_of_fuel ->
+              Error (Fuel_exhausted "budget exhausted inside the LP; try --cascade"))
+        | "exact" -> (
+            match Active.Exact.solve ~budget:(fuel ()) ~obs inst with
+            | Budget.Complete r -> Ok r
+            | Budget.Exhausted { spent; incumbent } ->
+                let detail =
+                  match incumbent with
+                  | Some sol ->
+                      Printf.sprintf "; best incumbent cost %d, not proven optimal"
+                        (Active.Solution.cost sol)
+                  | None -> "; no incumbent"
+                in
+                Error
+                  (Fuel_exhausted
+                     (Printf.sprintf "exact search ran out of budget after %d ticks%s; try --cascade"
+                        spent detail)))
+        | "unit" ->
+            if Active.Unit_jobs.is_unit inst then Ok (Active.Unit_jobs.solve inst)
+            else Error (Usage "unit algorithm requires unit-length jobs")
+        | other -> Error (Usage ("unknown algorithm " ^ other ^ " (minimal|rounding|exact|unit)"))
+      in
+      match solution with
+      | None -> Ok ("infeasible", J.Null, bounds, J.Null)
+      | Some sol ->
+          let* () = verified inst sol in
+          Ok ("ok", J.Int (Active.Solution.cost sol), bounds, J.Null)
+  in
+  let algorithm = if cascade then "cascade" else algorithm in
+  finish_json ~command:"active" ~algorithm:(Some algorithm)
+    ~instance:(fun () -> !instance_json)
+    ~message:(fun () -> None)
+    obs result
+
+let active_solve path algorithm order budget cascade render svg format verbose =
+  setup_logs verbose;
+  match parse_format format with
+  | Error e -> finish (Error e)
+  | Ok `Text -> active_text path algorithm order budget cascade render svg
+  | Ok `Json -> active_json path algorithm order budget cascade svg
+
 let budget_arg =
   Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N" ~doc:"fuel budget in solver ticks (search nodes / simplex pivots)")
 
 let cascade_arg =
   Arg.(value & flag & info [ "cascade" ] ~doc:"degrade exact -> approximation -> greedy within the budget, with provenance")
+
+let format_arg =
+  Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT" ~doc:"output format: text (human-readable, default) or json (one telemetry document on stdout)")
 
 let active_cmd =
   let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -185,7 +362,7 @@ let active_cmd =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"trace algorithm decisions") in
   Cmd.v
     (Cmd.info "active" ~doc:"Minimize active time of a slotted instance")
-    Term.(const active_solve $ path $ algorithm $ order $ budget_arg $ cascade_arg $ render $ svg $ verbose)
+    Term.(const active_solve $ path $ algorithm $ order $ budget_arg $ cascade_arg $ render $ svg $ format_arg $ verbose)
 
 (* ---------------------------------------------------------------- busy -- *)
 
@@ -200,20 +377,26 @@ let print_packing ~g pinned packing render svg =
     (List.length packing);
   Format.printf "%a" Busy.Bundle.pp packing;
   if render then print_string (Render.packing packing);
-  (match svg with
-  | Some file ->
-      let oc = open_out file in
-      output_string oc (Render.packing_svg packing);
-      close_out oc;
-      Printf.printf "wrote %s\n" file
-  | None -> ());
+  let* () =
+    match svg with
+    | Some file ->
+        let* () = write_text_file file (Render.packing_svg packing) in
+        Printf.printf "wrote %s\n" file;
+        Ok ()
+    | None -> Ok ()
+  in
   let report = Sim.run_packing ~g packing in
   Printf.printf "energy %s, power-ons %d, peak %d, utilization %s\n"
     (Q.to_string report.Sim.total_energy) report.Sim.total_switch_ons report.Sim.peak_parallelism
     (Q.to_string report.Sim.utilization);
   Ok ()
 
-let busy_solve path g algorithm placement preemptive budget cascade render svg =
+let parse_placement = function
+  | "greedy" -> Ok Busy.Pipeline.Greedy_placement
+  | "exact" -> Ok Busy.Pipeline.Exact_placement
+  | o -> Error (Usage ("unknown placement " ^ o ^ " (greedy|exact)"))
+
+let busy_text path g algorithm placement preemptive budget cascade render svg =
   finish
     (let* () = check_budget budget in
      let* instance = load path in
@@ -236,12 +419,7 @@ let busy_solve path g algorithm placement preemptive budget cascade render svg =
        Ok ()
      end
      else
-       let* placement_mode =
-         match placement with
-         | "greedy" -> Ok Busy.Pipeline.Greedy_placement
-         | "exact" -> Ok Busy.Pipeline.Exact_placement
-         | o -> Error (Usage ("unknown placement " ^ o ^ " (greedy|exact)"))
-       in
+       let* placement_mode = parse_placement placement in
        if cascade then begin
          let limit = Option.value budget ~default:100_000 in
          let pinned = Busy.Pipeline.place placement_mode jobs in
@@ -268,7 +446,7 @@ let busy_solve path g algorithm placement preemptive budget cascade render svg =
                    Error (Usage "exact without --budget is capped at 14 jobs")
                  else Ok ()
                in
-               match Busy.Exact.budgeted ~budget:fuel ~g pinned with
+               match Busy.Exact.solve ~budget:fuel ~g pinned with
                | Budget.Complete packing -> Ok (pinned, packing)
                | Budget.Exhausted { spent; incumbent } ->
                    Printf.printf
@@ -298,6 +476,131 @@ let busy_solve path g algorithm placement preemptive budget cascade render svg =
          in
          print_packing ~g pinned packing render svg)
 
+(* JSON twin of [busy_text]. Bounds are the Section-4.1 lower bounds on
+   the pinned instance; [cost] is the packing's total busy time as an
+   exact rational string. *)
+let busy_json path g algorithm placement preemptive budget cascade svg =
+  let obs = Obs.create () in
+  let instance_json = ref J.Null in
+  let note = ref None in
+  let q = J.(fun v -> String (Q.to_string v)) in
+  let bounds_json pinned =
+    J.Obj
+      (( "mass", q (Busy.Bounds.mass ~g pinned) )
+      ::
+      (if pinned <> [] && List.for_all B.is_interval pinned then
+         [ ("span", q (Busy.Bounds.span pinned));
+           ("demand_profile", q (Busy.Bounds.demand_profile ~g pinned)) ]
+       else []))
+  in
+  let checked pinned packing =
+    match Busy.Bundle.check ~g pinned packing with
+    | None -> (
+        match svg with
+        | Some file -> write_text_file file (Render.packing_svg packing)
+        | None -> Ok ())
+    | Some problem -> Error (Internal ("invalid packing: " ^ problem))
+  in
+  let result =
+    let* () = check_budget budget in
+    let* instance = load path in
+    let* jobs =
+      match instance with
+      | Io.Slotted_instance _ -> Error (Usage "busy expects a busy-time instance")
+      | Io.Busy_instance jobs -> Ok jobs
+    in
+    instance_json := busy_instance_json ~g jobs;
+    if jobs = [] then Ok ("ok", q Q.zero, bounds_json [], J.Null)
+    else if preemptive then begin
+      let sol = Busy.Preemptive.unbounded jobs in
+      let* () =
+        match Busy.Preemptive.check jobs sol with
+        | None -> Ok ()
+        | Some problem -> Error (Internal problem)
+      in
+      let cost, _, _ = Busy.Preemptive.bounded ~g jobs in
+      let bounds =
+        J.Obj
+          [ ("mass", q (Busy.Bounds.mass ~g jobs));
+            ("preemptive_unbounded", q sol.Busy.Preemptive.cost) ]
+      in
+      Ok ("ok", q cost, bounds, J.Null)
+    end
+    else
+      let* placement_mode = parse_placement placement in
+      if cascade then begin
+        let limit = Option.value budget ~default:100_000 in
+        let pinned = Busy.Pipeline.place placement_mode jobs in
+        let packing, prov = Busy.Cascade.solve ~obs ~limit ~g pinned in
+        let prov_json = Budget.Cascade.provenance_to_json ~cost_to_json:q prov in
+        match packing with
+        | None -> Error (Internal "cascade returned no packing")
+        | Some packing ->
+            let* () = checked pinned packing in
+            Ok ("ok", q (Busy.Bundle.total_busy packing), bounds_json pinned, prov_json)
+      end
+      else
+        let* pinned, packing =
+          match algorithm with
+          | "first-fit" ->
+              Ok (Busy.Pipeline.run ~obs ~g ~placement:placement_mode ~algorithm:Busy.Pipeline.First_fit jobs)
+          | "greedy-tracking" ->
+              Ok (Busy.Pipeline.run ~obs ~g ~placement:placement_mode ~algorithm:Busy.Pipeline.Greedy_tracking jobs)
+          | "two-approx" ->
+              Ok (Busy.Pipeline.run ~obs ~g ~placement:placement_mode ~algorithm:Busy.Pipeline.Two_approx jobs)
+          | "exact" -> (
+              let pinned = Busy.Pipeline.place placement_mode jobs in
+              let fuel = match budget with Some n -> Budget.limited n | None -> Budget.unlimited () in
+              let* () =
+                if budget = None && List.length pinned > 14 then
+                  Error (Usage "exact without --budget is capped at 14 jobs")
+                else Ok ()
+              in
+              match Busy.Exact.solve ~budget:fuel ~obs ~g pinned with
+              | Budget.Complete packing -> Ok (pinned, packing)
+              | Budget.Exhausted { spent; incumbent } ->
+                  Error
+                    (Fuel_exhausted
+                       (Printf.sprintf
+                          "exact search ran out of budget after %d ticks; best incumbent %s, not proven optimal; try --cascade"
+                          spent
+                          (Q.to_string (Busy.Bundle.total_busy incumbent)))))
+          | "auto" ->
+              let pinned = Busy.Pipeline.place placement_mode jobs in
+              let pick () =
+                if Busy.Laminar.is_laminar pinned then ("laminar (exact DP)", Busy.Laminar.exact ~g pinned)
+                else if Busy.Special.is_proper pinned && Busy.Special.is_clique pinned then
+                  ("proper clique (exact DP)", Busy.Special.proper_clique_exact ~g pinned)
+                else if Busy.Special.is_proper pinned then
+                  ("proper (2-approx greedy)", Busy.Special.proper_greedy ~g pinned)
+                else if Busy.Special.is_clique pinned then
+                  ("clique (2-approx greedy)", Busy.Special.clique_greedy ~g pinned)
+                else ("general (flow 2-approx)", Busy.Two_approx.solve ~obs ~g pinned)
+              in
+              let structure, packing = pick () in
+              note := Some ("detected structure: " ^ structure);
+              Ok (pinned, packing)
+          | o ->
+              Error
+                (Usage ("unknown algorithm " ^ o ^ " (first-fit|greedy-tracking|two-approx|exact|auto)"))
+        in
+        let* () = checked pinned packing in
+        Ok ("ok", q (Busy.Bundle.total_busy packing), bounds_json pinned, J.Null)
+  in
+  let algorithm =
+    if preemptive then "preemptive" else if cascade then "cascade" else algorithm
+  in
+  finish_json ~command:"busy" ~algorithm:(Some algorithm)
+    ~instance:(fun () -> !instance_json)
+    ~message:(fun () -> !note)
+    obs result
+
+let busy_solve path g algorithm placement preemptive budget cascade render svg format =
+  match parse_format format with
+  | Error e -> finish (Error e)
+  | Ok `Text -> busy_text path g algorithm placement preemptive budget cascade render svg
+  | Ok `Json -> busy_json path g algorithm placement preemptive budget cascade svg
+
 let busy_cmd =
   let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let g = Arg.(value & opt int 2 & info [ "g" ] ~docv:"G" ~doc:"machine capacity") in
@@ -312,7 +615,7 @@ let busy_cmd =
   let svg = Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc:"write an SVG Gantt chart") in
   Cmd.v
     (Cmd.info "busy" ~doc:"Minimize busy time of a job set")
-    Term.(const busy_solve $ path $ g $ algorithm $ placement $ preemptive $ budget_arg $ cascade_arg $ render $ svg)
+    Term.(const busy_solve $ path $ g $ algorithm $ placement $ preemptive $ budget_arg $ cascade_arg $ render $ svg $ format_arg)
 
 (* -------------------------------------------------------------- bounds -- *)
 
@@ -350,7 +653,7 @@ let bounds_cmd =
 
 let () =
   let info =
-    Cmd.info "atbt" ~version:"1.1.0"
+    Cmd.info "atbt" ~version
       ~doc:"Minimizing active and busy time (Chang, Khuller, Mukherjee; SPAA 2014)"
   in
   exit (Cmd.eval' (Cmd.group info [ generate_cmd; active_cmd; busy_cmd; bounds_cmd ]))

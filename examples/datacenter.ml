@@ -49,9 +49,9 @@ let () =
       (List.length packing) (Q.to_float busy)
       (Q.to_float busy /. Q.to_float lb)
   in
-  run "FirstFit (4-approx)" Busy.First_fit.solve;
-  run "GreedyTracking (3-approx)" Busy.Greedy_tracking.solve;
-  run "TwoApprox (2-approx)" Busy.Two_approx.solve;
+  run "FirstFit (4-approx)" (fun ~g jobs -> Busy.First_fit.solve ~g jobs);
+  run "GreedyTracking (3-approx)" (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs);
+  run "TwoApprox (2-approx)" (fun ~g jobs -> Busy.Two_approx.solve ~g jobs);
 
   (* what if VMs could be live-migrated? (preemptive model, Theorems 6/7) *)
   let sol = Busy.Preemptive.unbounded requests in

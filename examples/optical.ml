@@ -34,9 +34,9 @@ let () =
       (Q.to_float cost /. Q.to_float profile);
     packing
   in
-  let _ = run "FirstFit (4-approx)" Busy.First_fit.solve in
-  let _ = run "GreedyTracking (3-approx)" Busy.Greedy_tracking.solve in
-  let packing = run "TwoApprox (2-approx)" Busy.Two_approx.solve in
+  let _ = run "FirstFit (4-approx)" (fun ~g jobs -> Busy.First_fit.solve ~g jobs) in
+  let _ = run "GreedyTracking (3-approx)" (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs) in
+  let packing = run "TwoApprox (2-approx)" (fun ~g jobs -> Busy.Two_approx.solve ~g jobs) in
 
   (* show the fiber layout of the best solution *)
   print_endline "\nTwoApprox fiber layout (one line per fiber, requests by id):";

@@ -25,9 +25,9 @@ let () =
       (Q.to_float report.Sim.utilization);
     packing
   in
-  let _ = run "FirstFit (4-approx)" Busy.First_fit.solve in
-  let _ = run "GreedyTracking (3-approx)" Busy.Greedy_tracking.solve in
-  let packing = run "TwoApprox (2-approx)" Busy.Two_approx.solve in
+  let _ = run "FirstFit (4-approx)" (fun ~g jobs -> Busy.First_fit.solve ~g jobs) in
+  let _ = run "GreedyTracking (3-approx)" (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs) in
+  let packing = run "TwoApprox (2-approx)" (fun ~g jobs -> Busy.Two_approx.solve ~g jobs) in
   print_endline "\nTwoApprox machine timeline (one row per machine):";
   print_string (Render.packing ~width:64 packing);
   (* preemptive comparison *)

@@ -7,41 +7,27 @@
 
 module S = Workload.Slotted
 
-type provenance = {
-  winner : string option;  (* tier that produced [value] *)
-  attempts : Budget.Cascade.attempt list;  (* in run order *)
-  cost : int option;  (* active time of the returned solution *)
-  mass_bound : int;  (* ceil(P/g): lower bound on OPT, gap witness *)
-}
+type provenance = int Budget.Cascade.provenance
 
-let tiers (inst : S.t) =
+let tiers ~obs (inst : S.t) =
   [
     ( "exact",
       fun b ->
-        match Exact.budgeted ~budget:b inst with
+        match Exact.solve ~budget:b ~obs inst with
         | Budget.Complete r -> r
         | Budget.Exhausted _ -> raise Budget.Out_of_fuel );
-    ("lp-rounding", fun b -> Option.map fst (Rounding.solve ~budget:b inst));
-    ("minimal", fun _ -> Minimal.solve inst Minimal.Right_to_left);
+    ("lp-rounding", fun b -> Option.map fst (Rounding.solve ~budget:b ~obs inst));
+    ("minimal", fun _ -> Minimal.solve ~obs inst Minimal.Right_to_left);
   ]
 
-let solve ~limit (inst : S.t) =
-  let r = Budget.Cascade.run ~limit (tiers inst) in
+let solve ?(obs = Obs.null) ~limit (inst : S.t) =
+  let r = Budget.Cascade.run ~obs ~limit (tiers ~obs inst) in
   let prov =
-    {
-      winner = r.Budget.Cascade.winner;
-      attempts = r.Budget.Cascade.attempts;
-      cost = Option.map Solution.cost r.Budget.Cascade.value;
-      mass_bound = S.mass_lower_bound inst;
-    }
+    Budget.Cascade.provenance ~cost_label:"cost" ~bound_label:"mass-bound" ~sub:( - )
+      ~bound:(S.mass_lower_bound inst)
+      ~cost:(Option.map Solution.cost r.Budget.Cascade.value)
+      r
   in
   (r.Budget.Cascade.value, prov)
 
-let pp_provenance fmt p =
-  List.iter (fun a -> Format.fprintf fmt "cascade: %a@." Budget.Cascade.pp_attempt a) p.attempts;
-  let tier = Option.value p.winner ~default:"none" in
-  match p.cost with
-  | Some c ->
-      Format.fprintf fmt "provenance: tier=%s cost=%d mass-bound=%d gap=%d@." tier c p.mass_bound
-        (c - p.mass_bound)
-  | None -> Format.fprintf fmt "provenance: tier=%s no-answer mass-bound=%d@." tier p.mass_bound
+let pp_provenance fmt p = Budget.Cascade.pp_provenance ~pp_cost:Format.pp_print_int fmt p

@@ -6,23 +6,21 @@
     on a feasible instance the cascade always returns a solution — at
     degraded quality rather than not at all. *)
 
-type provenance = {
-  winner : string option;
-      (** tier that completed ([None] only if even the greedy failed,
-          which cannot happen on well-formed instances) *)
-  attempts : Budget.Cascade.attempt list;  (** every tier tried, in order *)
-  cost : int option;  (** active time of the returned solution *)
-  mass_bound : int;
-      (** the instance's mass lower bound ceil(P/g) on OPT; [cost -
-          mass_bound] bounds how far the degraded answer can be from
-          optimal *)
-}
+(** Provenance with [int] active-time cost, ["cost"] / ["mass-bound"]
+    labels, and [bound] = the instance's mass lower bound ceil(P/g) on
+    OPT; [gap] bounds how far the degraded answer can be from optimal.
+    See {!Budget.Cascade.provenance} for the fields. *)
+type provenance = int Budget.Cascade.provenance
 
 (** [solve ~limit inst] runs the cascade with [limit] ticks per tier.
     [None] in the first component iff the instance is infeasible (always
-    detected — infeasibility is decided before any search). *)
-val solve : limit:int -> Workload.Slotted.t -> Solution.t option * provenance
+    detected — infeasibility is decided before any search). [?obs] is
+    threaded through the runner (cascade.* counters and per-tier spans)
+    and every tier's solver. *)
+val solve :
+  ?obs:Obs.t -> limit:int -> Workload.Slotted.t -> Solution.t option * provenance
 
 (** Multi-line human-readable provenance: one line per attempt plus a
-    final [provenance: tier=... cost=... mass-bound=... gap=...] line. *)
+    final [provenance: tier=... cost=... mass-bound=... gap=...] line
+    ({!Budget.Cascade.pp_provenance} with the int cost printer). *)
 val pp_provenance : Format.formatter -> provenance -> unit

@@ -48,12 +48,14 @@ let brute_force (inst : S.t) =
   done;
   Option.bind !best (fun open_slots -> Solution.of_open_slots inst ~open_slots)
 
-let budgeted ~budget (inst : S.t) =
+let solve ?budget ?(obs = Obs.null) (inst : S.t) =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  Obs.span obs "active.exact" @@ fun () ->
   let slots = Array.of_list (S.relevant_slots inst) in
   let k = Array.length slots in
   let mass_lb = S.mass_lower_bound inst in
   (* incumbent from a minimal feasible solution *)
-  match Minimal.solve inst Minimal.Right_to_left with
+  match Minimal.solve ~obs inst Minimal.Right_to_left with
   | None -> Budget.Complete None (* infeasible instance *)
   | Some seed ->
       let best = ref (Solution.cost seed) in
@@ -76,21 +78,23 @@ let budgeted ~budget (inst : S.t) =
             let rest = Array.to_list (Array.sub slots (i + 1) (k - i - 1)) in
             let candidate = List.rev_append opened rest in
             incr flow_checks;
-            if Feasibility.feasible inst ~open_slots:candidate then dfs (i + 1) opened n_open;
+            if Feasibility.feasible ~obs inst ~open_slots:candidate then dfs (i + 1) opened n_open;
             (* then try opening slot i *)
             dfs (i + 1) (slots.(i) :: opened) (n_open + 1)
           end
         end
       in
-      (* Also records stats on the exhausted path, so [last_stats] always
-         reflects the work actually done. *)
+      (* Also records stats on the exhausted path, so [last_stats] and the
+         obs counters always reflect the work actually done. *)
       let finish () =
         last_stats := { nodes = !nodes; flow_checks = !flow_checks };
+        Obs.add obs "active.exact.nodes" !nodes;
+        Obs.add obs "active.exact.flow_checks" !flow_checks;
         Solution.of_open_slots inst ~open_slots:!best_set
       in
       incr flow_checks;
       (try
-         if Feasibility.feasible inst ~open_slots:(Array.to_list slots) then dfs 0 [] 0;
+         if Feasibility.feasible ~obs inst ~open_slots:(Array.to_list slots) then dfs 0 [] 0;
          Log.info (fun m ->
              m "branch and bound: %d slots, %d nodes, %d flow checks, optimum %d" k !nodes !flow_checks !best);
          Budget.Complete (finish ())
@@ -99,8 +103,10 @@ let budgeted ~budget (inst : S.t) =
              m "branch and bound: out of fuel after %d nodes, incumbent %d" !nodes !best);
          Budget.Exhausted { spent = Budget.spent budget; incumbent = finish () })
 
+let budgeted ~budget inst = solve ~budget inst
+
 let branch_and_bound (inst : S.t) =
-  match budgeted ~budget:(Budget.unlimited ()) inst with
+  match solve ~budget:(Budget.unlimited ()) inst with
   | Budget.Complete r -> r
   | Budget.Exhausted _ -> assert false (* unlimited fuel never exhausts *)
 

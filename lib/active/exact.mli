@@ -12,15 +12,24 @@
     infeasible. *)
 val brute_force : Workload.Slotted.t -> Solution.t option
 
-(** [None] iff infeasible. Equivalent to [budgeted] with unlimited fuel. *)
+(** [None] iff infeasible. Equivalent to [solve] with unlimited fuel. *)
 val branch_and_bound : Workload.Slotted.t -> Solution.t option
 
-(** Budgeted branch and bound: one tick per search node. On exhaustion
-    returns [Exhausted] whose incumbent is the best feasible solution
-    found so far (at worst the minimal-solution seed) — [None] inside the
-    outcome still means the instance is infeasible, which is always
-    detected before any node is expanded. *)
+(** Budgeted branch and bound: one tick per search node (default:
+    unlimited). On exhaustion returns [Exhausted] whose incumbent is the
+    best feasible solution found so far (at worst the minimal-solution
+    seed) — [None] inside the outcome still means the instance is
+    infeasible, which is always detected before any node is expanded.
+
+    With [?obs], runs inside an [active.exact] span and records
+    [active.exact.nodes] / [active.exact.flow_checks] (on the exhausted
+    path too) plus the nested seed ([active.minimal]) and flow
+    counters. *)
+val solve :
+  ?budget:Budget.t -> ?obs:Obs.t -> Workload.Slotted.t -> Solution.t option Budget.outcome
+
 val budgeted : budget:Budget.t -> Workload.Slotted.t -> Solution.t option Budget.outcome
+[@@ocaml.deprecated "use [solve ?budget] instead"]
 
 (** Optimal active time ([None] iff infeasible). *)
 val optimum : Workload.Slotted.t -> int option

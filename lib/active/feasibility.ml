@@ -57,7 +57,7 @@ let build (t : S.t) ~open_slots =
 (* [feasible t ~open_slots] decides whether all jobs fit in the open slots.
    [only_jobs] restricts the test to a subset of job ids (used by the LP
    rounding, which processes jobs deadline by deadline). *)
-let feasible ?only_jobs (t : S.t) ~open_slots =
+let feasible ?only_jobs ?(obs = Obs.null) (t : S.t) ~open_slots =
   let t' =
     match only_jobs with
     | None -> t
@@ -67,7 +67,7 @@ let feasible ?only_jobs (t : S.t) ~open_slots =
         { t with S.jobs = Array.of_seq (Seq.filter (fun j -> Hashtbl.mem keep j.S.id) (Array.to_seq t.S.jobs)) }
   in
   let net = build t' ~open_slots in
-  Flow.max_flow net.graph ~source:net.source ~sink:net.sink = net.total
+  Flow.max_flow ~obs net.graph ~source:net.source ~sink:net.sink = net.total
 
 (* [schedule t ~open_slots] is an integral schedule on the open slots, or
    [None] when infeasible. *)

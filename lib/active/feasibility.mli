@@ -9,8 +9,10 @@
     closed" test and the exact branch-and-bound. *)
 
 (** [feasible ?only_jobs t ~open_slots] decides whether all jobs (or just
-    those with ids in [only_jobs]) fit into the open slots. *)
-val feasible : ?only_jobs:int list -> Workload.Slotted.t -> open_slots:int list -> bool
+    those with ids in [only_jobs]) fit into the open slots. [?obs] is
+    forwarded to {!Flow.max_flow}. *)
+val feasible :
+  ?only_jobs:int list -> ?obs:Obs.t -> Workload.Slotted.t -> open_slots:int list -> bool
 
 (** An integral schedule on the open slots, or [None] when infeasible. *)
 val schedule : Workload.Slotted.t -> open_slots:int list -> Workload.Slotted.schedule option

@@ -24,7 +24,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
 (* Solve LP1 with per-slot fixings: [fixing slot = Some true/false] pins
    y to 1/0. Returns the objective and the y values, or None when
    infeasible. [rule] selects the simplex pricing rule (ablation). *)
-let solve_lp ?(rule = Lp.Dantzig_with_fallback) ?budget (inst : S.t) ~fixing =
+let solve_lp ?(rule = Lp.Dantzig_with_fallback) ?budget ?obs (inst : S.t) ~fixing =
   let slots = S.relevant_slots inst in
   let m = Lp.create () in
   let y_vars =
@@ -56,13 +56,15 @@ let solve_lp ?(rule = Lp.Dantzig_with_fallback) ?budget (inst : S.t) ~fixing =
       Lp.add_constraint m terms Lp.Ge (Q.of_int j.S.length))
     inst.S.jobs;
   Lp.set_objective m Lp.Minimize (List.map (fun (_, yv) -> (Q.one, yv)) y_vars);
-  match Lp.solve ~rule ?budget m with
+  match Lp.solve ~rule ?budget ?obs m with
   | Lp.Infeasible -> None
   | Lp.Unbounded -> assert false
   | Lp.Optimal sol -> Some (Lp.objective_value sol, List.map (fun (s, yv) -> (s, Lp.value sol yv)) y_vars)
 
-let budgeted ~budget (inst : S.t) =
-  match Minimal.solve inst Minimal.Right_to_left with
+let solve ?budget ?(obs = Obs.null) (inst : S.t) =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  Obs.span obs "active.ilp" @@ fun () ->
+  match Minimal.solve ~obs inst Minimal.Right_to_left with
   | None -> Budget.Complete None
   | Some seed ->
       let best = ref (Solution.cost seed) in
@@ -74,7 +76,7 @@ let budgeted ~budget (inst : S.t) =
         incr nodes;
         let fixing s = List.assoc_opt s fixed in
         incr lp_solves;
-        match solve_lp ~budget inst ~fixing with
+        match solve_lp ~budget ~obs inst ~fixing with
         | None -> ()
         | Some (value, ys) ->
             let lb = Q.ceil_int value in
@@ -107,6 +109,8 @@ let budgeted ~budget (inst : S.t) =
             end
       in
       let finish () =
+        Obs.add obs "active.ilp.nodes" !nodes;
+        Obs.add obs "active.ilp.lp_solves" !lp_solves;
         Option.map
           (fun sol -> (sol, { nodes = !nodes; lp_solves = !lp_solves }))
           (Solution.of_open_slots inst ~open_slots:!best_slots)
@@ -119,9 +123,11 @@ let budgeted ~budget (inst : S.t) =
          Log.info (fun m -> m "ILP: out of fuel after %d nodes, incumbent %d" !nodes !best);
          Budget.Exhausted { spent = Budget.spent budget; incumbent = finish () })
 
-let solve (inst : S.t) =
-  match budgeted ~budget:(Budget.unlimited ()) inst with
+let budgeted ~budget inst = solve ~budget inst
+
+let exact (inst : S.t) =
+  match solve ~budget:(Budget.unlimited ()) inst with
   | Budget.Complete r -> r
   | Budget.Exhausted _ -> assert false (* unlimited fuel never exhausts *)
 
-let optimum inst = Option.map (fun (sol, _) -> Solution.cost sol) (solve inst)
+let optimum inst = Option.map (fun (sol, _) -> Solution.cost sol) (exact inst)

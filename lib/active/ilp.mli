@@ -13,19 +13,33 @@ type stats = { nodes : int; lp_solves : int }
 val solve_lp :
   ?rule:Lp.pivot_rule ->
   ?budget:Budget.t ->
+  ?obs:Obs.t ->
   Workload.Slotted.t ->
   fixing:(int -> bool option) ->
   (Rational.t * (int * Rational.t) list) option
 
-(** [None] iff the instance is infeasible; otherwise the exact optimum
-    with search statistics. *)
-val solve : Workload.Slotted.t -> (Solution.t * stats) option
+(** Budgeted LP-based branch and bound (default: unlimited fuel). One
+    tick per node plus one per simplex pivot inside each LP re-solve, so
+    the budget bounds total work, not just tree size. The exhausted
+    incumbent is the best integral solution found (at worst the
+    minimal-solution seed); [None] inside the outcome iff the instance is
+    infeasible.
 
-(** Budgeted LP-based branch and bound. One tick per node plus one per
-    simplex pivot inside each LP re-solve, so the budget bounds total
-    work, not just tree size. The exhausted incumbent is the best
-    integral solution found (at worst the minimal-solution seed). *)
+    With [?obs], runs inside an [active.ilp] span and records
+    [active.ilp.nodes] / [active.ilp.lp_solves] plus the nested [lp.*]
+    counters of every re-solve. *)
+val solve :
+  ?budget:Budget.t ->
+  ?obs:Obs.t ->
+  Workload.Slotted.t ->
+  (Solution.t * stats) option Budget.outcome
+
 val budgeted :
   budget:Budget.t -> Workload.Slotted.t -> (Solution.t * stats) option Budget.outcome
+[@@ocaml.deprecated "use [solve ?budget] instead"]
+
+(** [None] iff the instance is infeasible; otherwise the exact optimum
+    with search statistics ([solve] with unlimited fuel). *)
+val exact : Workload.Slotted.t -> (Solution.t * stats) option
 
 val optimum : Workload.Slotted.t -> int option

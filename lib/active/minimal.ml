@@ -36,21 +36,27 @@ let order_slots order slots =
 
 (* [minimalize inst ~start order] closes slots of [start] greedily in the
    given order. Returns [None] when [start] itself is infeasible. *)
-let minimalize (inst : S.t) ~start order =
-  if not (Feasibility.feasible inst ~open_slots:start) then None
+let minimalize ?(obs = Obs.null) (inst : S.t) ~start order =
+  Obs.span obs "active.minimal" @@ fun () ->
+  Obs.incr obs "active.minimal.feasibility_checks";
+  if not (Feasibility.feasible ~obs inst ~open_slots:start) then None
   else begin
     let current = ref (List.sort_uniq compare start) in
     List.iter
       (fun s ->
         let without = List.filter (fun s' -> s' <> s) !current in
-        if Feasibility.feasible inst ~open_slots:without then current := without)
+        Obs.incr obs "active.minimal.feasibility_checks";
+        if Feasibility.feasible ~obs inst ~open_slots:without then begin
+          Obs.incr obs "active.minimal.closures";
+          current := without
+        end)
       (order_slots order !current);
     Solution.of_open_slots inst ~open_slots:!current
   end
 
 (* [solve inst order] starts from all relevant slots open. [None] iff the
    instance is infeasible. *)
-let solve (inst : S.t) order = minimalize inst ~start:(S.relevant_slots inst) order
+let solve ?obs (inst : S.t) order = minimalize ?obs inst ~start:(S.relevant_slots inst) order
 
 (* [is_minimal inst ~open_slots] checks Definition 4: the set is feasible
    and closing any single slot breaks feasibility. *)

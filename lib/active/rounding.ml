@@ -55,8 +55,9 @@ let rec force_feasible inst ~only_jobs ~opened ~closed_pool =
         let opened', _ = force_feasible inst ~only_jobs ~opened:(s :: opened) ~closed_pool:rest in
         (opened', true)
 
-let solve ?budget (inst : S.t) =
-  match Lp_model.solve ?budget inst with
+let solve ?budget ?(obs = Obs.null) (inst : S.t) =
+  Obs.span obs "active.rounding" @@ fun () ->
+  match Lp_model.solve ?budget ~obs inst with
   | None -> None
   | Some lp ->
       let slots = S.relevant_slots inst in
@@ -79,6 +80,7 @@ let solve ?budget (inst : S.t) =
         let opened = ref [] in
         let open_slot s =
           assert (not (List.mem s !opened));
+          Obs.incr obs "active.rounding.opened";
           opened := s :: !opened
         in
         let proxy = ref None in
@@ -88,6 +90,7 @@ let solve ?budget (inst : S.t) =
         let prev = ref 0 in
         List.iter
           (fun b ->
+            Obs.incr obs "active.rounding.blocks";
             let b_prev = !prev in
             prev := b;
             (* block mass over (b_prev, b] *)
@@ -128,8 +131,12 @@ let solve ?budget (inst : S.t) =
                 Log.debug (fun m -> m "  half-open: opening slot %d" pointer);
                 open_slot pointer
               end
-              else if Feasibility.feasible inst ~only_jobs:!processed ~open_slots:!opened then begin
+              else if
+                (Obs.incr obs "active.rounding.flow_tests";
+                 Feasibility.feasible ~obs inst ~only_jobs:!processed ~open_slots:!opened)
+              then begin
                 Log.debug (fun m -> m "  barely open: carrying proxy (%s at %d)" (Q.to_string frac_mass) pointer);
+                Obs.incr obs "active.rounding.proxy_carries";
                 proxy := Some (pointer, frac_mass)
               end
               else begin
@@ -138,7 +145,7 @@ let solve ?budget (inst : S.t) =
               end
             end;
             (* Lemma 5/6 invariants *)
-            (if not (Feasibility.feasible inst ~only_jobs:!processed ~open_slots:!opened) then begin
+            (if not (Feasibility.feasible ~obs inst ~only_jobs:!processed ~open_slots:!opened) then begin
                let pool = List.rev (List.filter (fun s -> not (List.mem s !opened)) slots) in
                let opened', _ = force_feasible inst ~only_jobs:!processed ~opened:!opened ~closed_pool:pool in
                opened := opened';

@@ -24,5 +24,13 @@ exception Infeasible_instance
     of cost at most twice the LP optimum. With [budget], the underlying
     simplex ticks once per pivot and exhaustion raises
     {!Budget.Out_of_fuel} (the deadline sweep after the LP is polynomial
-    and not metered). *)
-val solve : ?budget:Budget.t -> Workload.Slotted.t -> (Solution.t * stats) option
+    and not metered).
+
+    With [?obs], runs inside an [active.rounding] span and records
+    [active.rounding.blocks] (deadline blocks swept),
+    [active.rounding.opened] (slots opened),
+    [active.rounding.flow_tests] (barely-open feasibility probes) and
+    [active.rounding.proxy_carries], plus the nested [lp.*] and [flow.*]
+    counters. *)
+val solve :
+  ?budget:Budget.t -> ?obs:Obs.t -> Workload.Slotted.t -> (Solution.t * stats) option

@@ -38,14 +38,18 @@ module Cascade = struct
     attempts : attempt list;
   }
 
-  let run ~limit tiers =
+  let run ?(obs = Obs.null) ~limit tiers =
     let attempts = ref [] in
-    let record tier ticks status = attempts := { tier; ticks; status } :: !attempts in
+    let record tier ticks status =
+      Obs.incr obs "cascade.attempts";
+      Obs.add obs "cascade.ticks" ticks;
+      attempts := { tier; ticks; status } :: !attempts
+    in
     let rec go = function
       | [] -> { value = None; winner = None; attempts = List.rev !attempts }
       | (name, solve) :: rest -> (
           let b = limited limit in
-          match solve b with
+          match Obs.span obs ("cascade." ^ name) (fun () -> solve b) with
           | Some v ->
               record name (spent b) Answered;
               { value = Some v; winner = Some name; attempts = List.rev !attempts }
@@ -54,6 +58,7 @@ module Cascade = struct
               { value = None; winner = Some name; attempts = List.rev !attempts }
           | exception Out_of_fuel ->
               record name (spent b) Tier_exhausted;
+              Obs.incr obs "cascade.tiers_exhausted";
               go rest)
     in
     go tiers
@@ -66,4 +71,60 @@ module Cascade = struct
       | Tier_exhausted -> "exhausted"
     in
     Format.fprintf fmt "tier %s: %s after %d ticks" a.tier verdict a.ticks
+
+  (* One provenance shape for every cascade, with the cost type (int
+     active slots vs. rational busy time) as a parameter; the label
+     strings let a single formatter reproduce each model's historical
+     output byte for byte. *)
+  type 'cost provenance = {
+    winner : string option;
+    attempts : attempt list;
+    cost : 'cost option;
+    bound : 'cost;
+    gap : 'cost option;
+    cost_label : string;
+    bound_label : string;
+  }
+
+  let provenance ~cost_label ~bound_label ~sub ~bound ~cost (r : 'a result) =
+    {
+      winner = r.winner;
+      attempts = r.attempts;
+      cost;
+      bound;
+      gap = Option.map (fun c -> sub c bound) cost;
+      cost_label;
+      bound_label;
+    }
+
+  let pp_provenance ~pp_cost fmt p =
+    List.iter (fun a -> Format.fprintf fmt "cascade: %a@." pp_attempt a) p.attempts;
+    let tier = Option.value p.winner ~default:"none" in
+    match (p.cost, p.gap) with
+    | Some c, Some g ->
+        Format.fprintf fmt "provenance: tier=%s %s=%a %s=%a gap=%a@." tier p.cost_label pp_cost c
+          p.bound_label pp_cost p.bound pp_cost g
+    | _ ->
+        Format.fprintf fmt "provenance: tier=%s no-answer %s=%a@." tier p.bound_label pp_cost
+          p.bound
+
+  let provenance_to_json ~cost_to_json p =
+    let attempt_to_json a =
+      Obs.Json.Obj
+        [ ("tier", Obs.Json.String a.tier);
+          ("ticks", Obs.Json.Int a.ticks);
+          ( "status",
+            Obs.Json.String
+              (match a.status with
+              | Answered -> "answered"
+              | No_answer -> "no-answer"
+              | Tier_exhausted -> "exhausted") ) ]
+    in
+    let opt f = function None -> Obs.Json.Null | Some v -> f v in
+    Obs.Json.Obj
+      [ ("winner", opt (fun w -> Obs.Json.String w) p.winner);
+        ("attempts", Obs.Json.List (List.map attempt_to_json p.attempts));
+        (p.cost_label, opt cost_to_json p.cost);
+        (p.bound_label, cost_to_json p.bound);
+        ("gap", opt cost_to_json p.gap) ]
 end

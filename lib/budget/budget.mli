@@ -4,9 +4,9 @@
     simplex pivots — not wall-clock time, so a budgeted run is exactly
     reproducible across machines and CI. Solver hot loops call {!tick};
     when the fuel is gone {!Out_of_fuel} aborts the search and the
-    budgeted entry points ({!Active.Exact.budgeted},
-    {!Active.Ilp.budgeted}, {!Busy.Exact.budgeted},
-    {!Busy.Maximize.exact_budgeted}, {!Lp.solve} with [~budget]) turn it
+    budgeted entry points ({!Active.Exact.solve}, {!Active.Ilp.solve},
+    {!Busy.Exact.solve}, {!Busy.Maximize.solve}, {!Lp.solve} — every
+    exponential solver takes [?budget] and returns an outcome) turn it
     into a structured {!outcome} carrying the best incumbent found, so a
     caller can degrade to an approximation instead of hanging.
 
@@ -73,8 +73,53 @@ module Cascade : sig
       (definitive: no answer exists) to stop the cascade, or raises
       {!Out_of_fuel} to pass the baton. Total work is at most
       [limit * length tiers] ticks; make the last tier polynomial so the
-      cascade always terminates with an answer. *)
-  val run : limit:int -> (string * (t -> 'a option)) list -> 'a result
+      cascade always terminates with an answer. With [?obs], each tier
+      runs inside a [cascade.<tier>] span and the runner records
+      [cascade.attempts], [cascade.ticks] and [cascade.tiers_exhausted]
+      counters. *)
+  val run : ?obs:Obs.t -> limit:int -> (string * (t -> 'a option)) list -> 'a result
 
   val pp_attempt : Format.formatter -> attempt -> unit
+
+  (** Model-independent provenance: what each cascade reports about a
+      run. The cost type is a parameter (active time is an [int] slot
+      count, busy time a rational); [cost_label] / [bound_label] carry the
+      model's vocabulary (["cost"]/["mass-bound"] vs.
+      ["busy"]/["lower-bound"]) so {!pp_provenance} is the only
+      formatter. *)
+  type 'cost provenance = {
+    winner : string option;
+        (** tier that completed — also set on a definitive [No_answer];
+            [None] only when every tier exhausted *)
+    attempts : attempt list;  (** every tier tried, in run order *)
+    cost : 'cost option;  (** cost of the returned answer *)
+    bound : 'cost;  (** lower bound on OPT, the gap witness *)
+    gap : 'cost option;  (** [cost - bound] when an answer exists *)
+    cost_label : string;
+    bound_label : string;
+  }
+
+  (** Build a provenance from a cascade {!result}; [sub] computes the
+      gap in the model's cost type. *)
+  val provenance :
+    cost_label:string ->
+    bound_label:string ->
+    sub:('cost -> 'cost -> 'cost) ->
+    bound:'cost ->
+    cost:'cost option ->
+    'a result ->
+    'cost provenance
+
+  (** One [cascade: tier ...] line per attempt, then a final
+      [provenance: tier=<w> <cost_label>=<c> <bound_label>=<b> gap=<g>]
+      line (or [... no-answer <bound_label>=<b>] without an answer). *)
+  val pp_provenance :
+    pp_cost:(Format.formatter -> 'cost -> unit) ->
+    Format.formatter ->
+    'cost provenance ->
+    unit
+
+  (** Provenance as a JSON object (winner, attempts, cost, bound, gap)
+      for the [--format json] telemetry document. *)
+  val provenance_to_json : cost_to_json:('cost -> Obs.Json.t) -> 'cost provenance -> Obs.Json.t
 end

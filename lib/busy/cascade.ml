@@ -9,45 +9,31 @@
 module Q = Rational
 module B = Workload.Bjob
 
-type provenance = {
-  winner : string option;
-  attempts : Budget.Cascade.attempt list;
-  cost : Q.t option;  (* total busy time of the returned packing *)
-  lower_bound : Q.t;  (* Bounds.best: max of mass, span, demand profile *)
-}
+type provenance = Q.t Budget.Cascade.provenance
 
-let tiers ~g jobs =
+let tiers ~obs ~g jobs =
   [
     ( "exact",
       fun b ->
-        match Exact.budgeted ~budget:b ~g jobs with
+        match Exact.solve ~budget:b ~obs ~g jobs with
         | Budget.Complete p -> Some p
         | Budget.Exhausted _ -> raise Budget.Out_of_fuel );
-    ("greedy-tracking", fun _ -> Some (Greedy_tracking.solve ~g jobs));
-    ("first-fit", fun _ -> Some (First_fit.solve ~g jobs));
+    ("greedy-tracking", fun _ -> Some (Greedy_tracking.solve ~obs ~g jobs));
+    ("first-fit", fun _ -> Some (First_fit.solve ~obs ~g jobs));
   ]
 
-let solve ~limit ~g jobs =
+let solve ?(obs = Obs.null) ~limit ~g jobs =
   List.iter
     (fun (j : B.t) -> if not (B.is_interval j) then invalid_arg "Cascade.solve: flexible job")
     jobs;
-  let r = Budget.Cascade.run ~limit (tiers ~g jobs) in
+  let r = Budget.Cascade.run ~obs ~limit (tiers ~obs ~g jobs) in
   let prov =
-    {
-      winner = r.Budget.Cascade.winner;
-      attempts = r.Budget.Cascade.attempts;
-      cost = Option.map Bundle.total_busy r.Budget.Cascade.value;
-      lower_bound = Bounds.best ~g jobs;
-    }
+    Budget.Cascade.provenance ~cost_label:"busy" ~bound_label:"lower-bound" ~sub:Q.sub
+      ~bound:(Bounds.best ~g jobs)
+      ~cost:(Option.map Bundle.total_busy r.Budget.Cascade.value)
+      r
   in
   (r.Budget.Cascade.value, prov)
 
-let pp_provenance fmt p =
-  List.iter (fun a -> Format.fprintf fmt "cascade: %a@." Budget.Cascade.pp_attempt a) p.attempts;
-  let tier = Option.value p.winner ~default:"none" in
-  match p.cost with
-  | Some c ->
-      Format.fprintf fmt "provenance: tier=%s busy=%s lower-bound=%s gap=%s@." tier (Q.to_string c)
-        (Q.to_string p.lower_bound)
-        (Q.to_string (Q.sub c p.lower_bound))
-  | None -> Format.fprintf fmt "provenance: tier=%s no-answer@." tier
+let pp_cost fmt q = Format.pp_print_string fmt (Q.to_string q)
+let pp_provenance fmt p = Budget.Cascade.pp_provenance ~pp_cost fmt p

@@ -6,22 +6,25 @@
     flexible jobs with {!Placement} first); raises [Invalid_argument]
     otherwise. *)
 
-type provenance = {
-  winner : string option;  (** tier that produced the packing *)
-  attempts : Budget.Cascade.attempt list;  (** every tier tried, in order *)
-  cost : Rational.t option;  (** total busy time of the returned packing *)
-  lower_bound : Rational.t;
-      (** best Section-4.1 lower bound on OPT (mass / span / demand
-          profile); [cost - lower_bound] bounds the regret of a degraded
-          answer *)
-}
+(** Provenance with rational busy-time cost, ["busy"] / ["lower-bound"]
+    labels, and [bound] = the best Section-4.1 lower bound on OPT (mass /
+    span / demand profile); [gap] bounds the regret of a degraded answer.
+    See {!Budget.Cascade.provenance} for the fields. *)
+type provenance = Rational.t Budget.Cascade.provenance
 
 (** [solve ~limit ~g jobs] runs the cascade with [limit] ticks per tier.
     The packing is always [Some] (FirstFit accepts any interval-job
-    list, including the empty one). *)
+    list, including the empty one). [?obs] is threaded through the
+    runner (cascade.* counters and per-tier spans) and every tier's
+    solver. *)
 val solve :
-  limit:int -> g:int -> Workload.Bjob.t list -> Bundle.packing option * provenance
+  ?obs:Obs.t ->
+  limit:int ->
+  g:int ->
+  Workload.Bjob.t list ->
+  Bundle.packing option * provenance
 
 (** One line per attempt plus a final
-    [provenance: tier=... busy=... lower-bound=... gap=...] line. *)
+    [provenance: tier=... busy=... lower-bound=... gap=...] line
+    ({!Budget.Cascade.pp_provenance} with the rational cost printer). *)
 val pp_provenance : Format.formatter -> provenance -> unit

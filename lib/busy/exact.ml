@@ -6,27 +6,35 @@
 
    Used by the tests and benches to measure true approximation ratios; the
    busy time problem is NP-hard for interval jobs even at g = 2 [14], so
-   this is inherently exponential. [budgeted] meters the search (one tick
-   per node) and has no job cap: the fuel, not the instance size, bounds
-   the work, and the incumbent it returns on exhaustion is at worst the
-   FirstFit/GreedyTracking seed. *)
+   this is inherently exponential. With a budget the search is metered
+   (one tick per node) and has no job cap: the fuel, not the instance
+   size, bounds the work, and the incumbent returned on exhaustion is at
+   worst the FirstFit/GreedyTracking seed. Without a budget a 14-job cap
+   guards against accidental unbounded searches. *)
 
 module Q = Rational
 module B = Workload.Bjob
 
-let budgeted ~budget ~g jobs =
-  if g < 1 then invalid_arg "Exact.budgeted: g < 1";
+let solve ?budget ?(obs = Obs.null) ~g jobs =
+  if g < 1 then invalid_arg "Exact.solve: g < 1";
+  (match budget with
+  | None when List.length jobs > 14 ->
+      invalid_arg "Exact.solve: too many jobs for exhaustive search"
+  | _ -> ());
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   List.iter
-    (fun (j : B.t) -> if not (B.is_interval j) then invalid_arg "Exact.budgeted: flexible job")
+    (fun (j : B.t) -> if not (B.is_interval j) then invalid_arg "Exact.solve: flexible job")
     jobs;
+  Obs.span obs "busy.exact" @@ fun () ->
   (* sort by release: inserting left to right keeps partial spans stable *)
   let sorted = List.sort (fun (a : B.t) (b : B.t) -> Q.compare a.B.release b.B.release) jobs in
   let seed =
-    let a = First_fit.solve ~g jobs and b = Greedy_tracking.solve ~g jobs in
+    let a = First_fit.solve ~obs ~g jobs and b = Greedy_tracking.solve ~obs ~g jobs in
     if Q.compare (Bundle.total_busy a) (Bundle.total_busy b) <= 0 then a else b
   in
   let best = ref (Bundle.total_busy seed) in
   let best_packing = ref seed in
+  let nodes = ref 0 in
   let rec dfs bundles cost = function
     | [] ->
         if Q.compare cost !best < 0 then begin
@@ -35,6 +43,7 @@ let budgeted ~budget ~g jobs =
         end
     | (j : B.t) :: rest ->
         Budget.tick budget;
+        incr nodes;
         (* try each existing bundle *)
         List.iteri
           (fun i bundle ->
@@ -50,16 +59,21 @@ let budgeted ~budget ~g jobs =
         let cost' = Q.add cost j.B.length in
         if Q.compare cost' !best < 0 then dfs ([ j ] :: bundles) cost' rest
   in
+  (* also records the node count on the exhausted path *)
+  let finish () = Obs.add obs "busy.exact.nodes" !nodes in
   try
     dfs [] Q.zero sorted;
+    finish ();
     Budget.Complete !best_packing
   with Budget.Out_of_fuel ->
+    finish ();
     Budget.Exhausted { spent = Budget.spent budget; incumbent = !best_packing }
 
-let solve ~g jobs =
-  if List.length jobs > 14 then invalid_arg "Exact.solve: too many jobs for exhaustive search";
-  match budgeted ~budget:(Budget.unlimited ()) ~g jobs with
+let budgeted ~budget ~g jobs = solve ~budget ~g jobs
+
+let exact ~g jobs =
+  match solve ~g jobs with
   | Budget.Complete p -> p
   | Budget.Exhausted _ -> assert false (* unlimited fuel never exhausts *)
 
-let optimum ~g jobs = Bundle.total_busy (solve ~g jobs)
+let optimum ~g jobs = Bundle.total_busy (exact ~g jobs)

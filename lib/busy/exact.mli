@@ -2,17 +2,32 @@
     partitions (insert jobs left-to-right into an existing or a fresh
     bundle), pruned by partial cost against an incumbent seeded by
     FirstFit/GreedyTracking. The problem is NP-hard even for [g = 2], so
-    this is exponential; [solve] raises [Invalid_argument] beyond 14
-    jobs, while [budgeted] takes any size and lets the fuel bound the
-    work instead. *)
-
-val solve : g:int -> Workload.Bjob.t list -> Bundle.packing
-val optimum : g:int -> Workload.Bjob.t list -> Rational.t
+    this is exponential; without a budget, [solve] raises
+    [Invalid_argument] beyond 14 jobs, while with one it takes any size
+    and lets the fuel bound the work instead. *)
 
 (** Budgeted set-partition search, one tick per node (job insertion
-    point). No job cap: exhaustion returns the best packing found so
-    far, which is always valid — at worst the FirstFit/GreedyTracking
-    seed, so the incumbent is never more than 3x optimal. Raises
-    [Invalid_argument] on [g < 1] or flexible jobs. *)
+    point). With a budget there is no job cap: exhaustion returns the
+    best packing found so far, which is always valid — at worst the
+    FirstFit/GreedyTracking seed, so the incumbent is never more than 3x
+    optimal. Raises [Invalid_argument] on [g < 1], flexible jobs, or
+    more than 14 jobs without a budget.
+
+    With [?obs], runs inside a [busy.exact] span and records
+    [busy.exact.nodes] (on the exhausted path too) plus the seeds'
+    [busy.first_fit.*] / [busy.greedy_tracking.*] counters. *)
+val solve :
+  ?budget:Budget.t ->
+  ?obs:Obs.t ->
+  g:int ->
+  Workload.Bjob.t list ->
+  Bundle.packing Budget.outcome
+
 val budgeted :
   budget:Budget.t -> g:int -> Workload.Bjob.t list -> Bundle.packing Budget.outcome
+[@@ocaml.deprecated "use [solve ?budget] instead"]
+
+(** [solve] with unlimited fuel (so the 14-job cap applies). *)
+val exact : g:int -> Workload.Bjob.t list -> Bundle.packing
+
+val optimum : g:int -> Workload.Bjob.t list -> Rational.t

@@ -1,6 +1,7 @@
 (** FIRSTFIT (Flammini et al.): the 4-approximate interval-job baseline.
     Jobs in non-increasing length order, each into the first bundle whose
     capacity it does not violate. Raises [Invalid_argument] on flexible
-    jobs or [g < 1]. *)
+    jobs or [g < 1]. With [?obs], runs inside a [busy.first_fit] span and
+    records [busy.first_fit.fit_probes] / [busy.first_fit.bundles_opened]. *)
 
-val solve : g:int -> Workload.Bjob.t list -> Bundle.packing
+val solve : ?obs:Obs.t -> g:int -> Workload.Bjob.t list -> Bundle.packing

@@ -19,18 +19,20 @@ module I = Intervals.Interval
 let max_track jobs =
   Intervals.Track.max_weight_disjoint ~interval:B.interval_of ~weight:(fun (j : B.t) -> j.B.length) jobs
 
-let solve ~g jobs =
+let solve ?(obs = Obs.null) ~g jobs =
   if g < 1 then invalid_arg "Greedy_tracking.solve: g < 1";
   List.iter
     (fun (j : B.t) ->
       if not (B.is_interval j) then invalid_arg "Greedy_tracking.solve: flexible job (convert first)")
     jobs;
   Bundle.ensure_unique_ids "Greedy_tracking.solve" jobs;
+  Obs.span obs "busy.greedy_tracking" @@ fun () ->
   let rec go remaining tracks =
     if remaining = [] then List.rev tracks
     else begin
       let track, _ = max_track remaining in
       assert (track <> []);
+      Obs.incr obs "busy.greedy_tracking.tracks";
       let chosen = List.map (fun (j : B.t) -> j.B.id) track in
       let remaining = List.filter (fun (j : B.t) -> not (List.mem j.B.id chosen)) remaining in
       go remaining (track :: tracks)

@@ -10,8 +10,10 @@
 (** A maximum-length track of the given interval jobs, with its length. *)
 val max_track : Workload.Bjob.t list -> Workload.Bjob.t list * Rational.t
 
-(** Raises [Invalid_argument] on flexible jobs or [g < 1]. *)
-val solve : g:int -> Workload.Bjob.t list -> Bundle.packing
+(** Raises [Invalid_argument] on flexible jobs or [g < 1]. With [?obs],
+    runs inside a [busy.greedy_tracking] span and records
+    [busy.greedy_tracking.tracks] (tracks extracted). *)
+val solve : ?obs:Obs.t -> g:int -> Workload.Bjob.t list -> Bundle.packing
 
 (** The certificate subset Q_i of a bundle from the proof of Theorem 5:
     same span as the bundle, at most two jobs live at any time. Exposed

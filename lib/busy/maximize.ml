@@ -16,22 +16,27 @@ module B = Workload.Bjob
 let min_busy ~g jobs =
   if jobs = [] then (Q.zero, [])
   else begin
-    let packing = if List.length jobs <= 9 then Exact.solve ~g jobs else Greedy_tracking.solve ~g jobs in
+    let packing = if List.length jobs <= 9 then Exact.exact ~g jobs else Greedy_tracking.solve ~g jobs in
     (Bundle.total_busy packing, packing)
   end
 
 (* [budget] is the problem's busy-time allowance (a rational); [fuel] is
    the deterministic tick budget bounding the subset enumeration. *)
-let exact_budgeted ~fuel ~g ~budget jobs =
-  if g < 1 then invalid_arg "Maximize.exact_budgeted: g < 1";
+let solve ?fuel ?(obs = Obs.null) ~g ~budget jobs =
+  if g < 1 then invalid_arg "Maximize.solve: g < 1";
   let n = List.length jobs in
-  if n > 30 then invalid_arg "Maximize.exact_budgeted: too many jobs for subset search";
+  if n > 30 then invalid_arg "Maximize.solve: too many jobs for subset search";
+  let fuel = match fuel with Some f -> f | None -> Budget.unlimited () in
+  Obs.span obs "busy.maximize" @@ fun () ->
   let arr = Array.of_list jobs in
   let best = ref ([], Q.zero, []) in
   let best_count = ref (-1) in
+  let masks = ref 0 in
+  let finish () = Obs.add obs "busy.maximize.masks" !masks in
   try
     for mask = 0 to (1 lsl n) - 1 do
       Budget.tick fuel;
+      incr masks;
       let subset = List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list arr) in
       let count = List.length subset in
       if count >= !best_count then begin
@@ -45,12 +50,17 @@ let exact_budgeted ~fuel ~g ~budget jobs =
         end
       end
     done;
+    finish ();
     Budget.Complete !best
-  with Budget.Out_of_fuel -> Budget.Exhausted { spent = Budget.spent fuel; incumbent = !best }
+  with Budget.Out_of_fuel ->
+    finish ();
+    Budget.Exhausted { spent = Budget.spent fuel; incumbent = !best }
+
+let exact_budgeted ~fuel ~g ~budget jobs = solve ~fuel ~g ~budget jobs
 
 let exact ~g ~budget jobs =
   if List.length jobs > 12 then invalid_arg "Maximize.exact: too many jobs for exhaustive search";
-  match exact_budgeted ~fuel:(Budget.unlimited ()) ~g ~budget jobs with
+  match solve ~g ~budget jobs with
   | Budget.Complete r -> r
   | Budget.Exhausted _ -> assert false (* unlimited fuel never exhausts *)
 

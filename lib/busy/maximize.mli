@@ -12,13 +12,24 @@ val exact :
   Workload.Bjob.t list * Rational.t * Bundle.packing
 
 (** Fuel-metered subset search: [budget] stays the problem's busy-time
-    allowance while [fuel] bounds the enumeration, one tick per subset
-    mask. The exhausted incumbent is the best accepted subset among the
-    masks enumerated so far (possibly empty). Raises [Invalid_argument]
-    beyond 30 jobs (mask overflow) or [g < 1]. *)
+    allowance while [fuel] (default: unlimited) bounds the enumeration,
+    one tick per subset mask — the fuel parameter is named [?fuel], not
+    [?budget], precisely because [budget] already means the busy-time
+    allowance here. The exhausted incumbent is the best accepted subset
+    among the masks enumerated so far (possibly empty). Raises
+    [Invalid_argument] beyond 30 jobs (mask overflow) or [g < 1].
+
+    With [?obs], runs inside a [busy.maximize] span and records
+    [busy.maximize.masks] (subsets enumerated, exhausted path
+    included). *)
+val solve :
+  ?fuel:Budget.t -> ?obs:Obs.t -> g:int -> budget:Rational.t -> Workload.Bjob.t list ->
+  (Workload.Bjob.t list * Rational.t * Bundle.packing) Budget.outcome
+
 val exact_budgeted :
   fuel:Budget.t -> g:int -> budget:Rational.t -> Workload.Bjob.t list ->
   (Workload.Bjob.t list * Rational.t * Bundle.packing) Budget.outcome
+[@@ocaml.deprecated "use [solve ?fuel] instead"]
 
 (** Cheapest-first greedy acceptance. *)
 val greedy :

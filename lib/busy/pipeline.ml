@@ -27,12 +27,12 @@ let place mode jobs =
       if not (List.for_all B.is_interval placed) then invalid_arg "Pipeline.place: pinned jobs must be interval";
       placed
 
-let run ~g ~placement ~algorithm jobs =
+let run ?(obs = Obs.null) ~g ~placement ~algorithm jobs =
   let pinned = place placement jobs in
   let packing =
     match algorithm with
-    | First_fit -> First_fit.solve ~g pinned
-    | Greedy_tracking -> Greedy_tracking.solve ~g pinned
-    | Two_approx -> Two_approx.solve ~g pinned
+    | First_fit -> First_fit.solve ~obs ~g pinned
+    | Greedy_tracking -> Greedy_tracking.solve ~obs ~g pinned
+    | Two_approx -> Two_approx.solve ~obs ~g pinned
   in
   (pinned, packing)

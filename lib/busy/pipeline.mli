@@ -19,6 +19,7 @@ val place : placement_mode -> Workload.Bjob.t list -> Workload.Bjob.t list
 
 (** Returns the pinned jobs and the packing of them. *)
 val run :
+  ?obs:Obs.t ->
   g:int ->
   placement:placement_mode ->
   algorithm:interval_algorithm ->

@@ -28,7 +28,7 @@ module B = Workload.Bjob
 module I = Intervals.Interval
 
 (* Two tracks of [jobs] that jointly cover the support of [jobs]. *)
-let covering_track_pair jobs =
+let covering_track_pair ?(obs = Obs.null) jobs =
   let ivs = List.map B.interval_of jobs in
   let support = Intervals.Union.of_list ivs in
   let components = Intervals.Union.components support in
@@ -72,7 +72,7 @@ let covering_track_pair jobs =
         link (Some c.I.hi) rest
   in
   link None components;
-  let v = Flow.max_flow graph ~source ~sink in
+  let v = Flow.max_flow ~obs graph ~source ~sink in
   if v <> 2 then failwith (Printf.sprintf "covering_track_pair: flow %d, expected 2" v);
   let paths = Flow.decompose_paths graph ~source ~sink in
   (* Map each path's hops back to saturated job edges. Parallel edges
@@ -109,7 +109,7 @@ let covering_track_pair jobs =
    charging argument needs g (each pair then strips a full level of the
    demand profile). Smaller depths are exposed only for the ablation
    experiment - they waste machines and lose the guarantee. *)
-let solve_with_depth ~pair_depth ~g jobs =
+let solve_with_depth ?(obs = Obs.null) ~pair_depth ~g jobs =
   if g < 1 then invalid_arg "Two_approx.solve: g < 1";
   let pair_depth = max 1 pair_depth in
   List.iter
@@ -117,6 +117,7 @@ let solve_with_depth ~pair_depth ~g jobs =
       if not (B.is_interval j) then invalid_arg "Two_approx.solve: flexible job (convert first)")
     jobs;
   Bundle.ensure_unique_ids "Two_approx.solve" jobs;
+  Obs.span obs "busy.two_approx" @@ fun () ->
   let remaining = ref jobs in
   let bundles = ref [] in
   while !remaining <> [] do
@@ -125,7 +126,8 @@ let solve_with_depth ~pair_depth ~g jobs =
     let iter = ref 0 in
     while !iter < pair_depth && !remaining <> [] do
       incr iter;
-      let t1, t2 = covering_track_pair !remaining in
+      Obs.incr obs "busy.two_approx.track_pairs";
+      let t1, t2 = covering_track_pair ~obs !remaining in
       let taken = t1 @ t2 in
       assert (taken <> []);
       b1 := t1 @ !b1;
@@ -138,4 +140,4 @@ let solve_with_depth ~pair_depth ~g jobs =
   done;
   List.rev !bundles
 
-let solve ~g jobs = solve_with_depth ~pair_depth:g ~g jobs
+let solve ?obs ~g jobs = solve_with_depth ?obs ~pair_depth:g ~g jobs

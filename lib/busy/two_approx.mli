@@ -14,13 +14,17 @@
 
 (** [covering_track_pair jobs] is two tracks whose union covers the
     support of [jobs] (all interval). Exposed for tests. *)
-val covering_track_pair : Workload.Bjob.t list -> Workload.Bjob.t list * Workload.Bjob.t list
+val covering_track_pair :
+  ?obs:Obs.t -> Workload.Bjob.t list -> Workload.Bjob.t list * Workload.Bjob.t list
 
 (** Raises [Invalid_argument] on flexible jobs or [g < 1]. Property-tested
-    to cost at most [2 * demand profile]. *)
-val solve : g:int -> Workload.Bjob.t list -> Bundle.packing
+    to cost at most [2 * demand profile]. With [?obs], runs inside a
+    [busy.two_approx] span and records [busy.two_approx.track_pairs] plus
+    the [flow.*] counters of each extraction. *)
+val solve : ?obs:Obs.t -> g:int -> Workload.Bjob.t list -> Bundle.packing
 
 (** Ablation-only variant: a bundle pair absorbs [pair_depth] track pairs
     instead of the [g] the charging argument requires. Valid packings,
     weaker costs. *)
-val solve_with_depth : pair_depth:int -> g:int -> Workload.Bjob.t list -> Bundle.packing
+val solve_with_depth :
+  ?obs:Obs.t -> pair_depth:int -> g:int -> Workload.Bjob.t list -> Bundle.packing

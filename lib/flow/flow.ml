@@ -82,11 +82,13 @@ let bfs t ~source ~sink level =
   done;
   !found
 
-let max_flow t ~source ~sink =
+let max_flow ?(obs = Obs.null) t ~source ~sink =
   if source = sink then invalid_arg "Flow.max_flow: source = sink";
   let level = Array.make t.n (-1) in
   let iter = Array.make t.n [] in
   let total = ref 0 in
+  let bfs_rounds = ref 0 in
+  let augmentations = ref 0 in
   (* DFS for a blocking flow along level-increasing residual edges. *)
   let rec dfs v limit =
     if v = sink then limit
@@ -114,14 +116,19 @@ let max_flow t ~source ~sink =
     end
   in
   while bfs t ~source ~sink level do
+    incr bfs_rounds;
     Array.blit t.adj 0 iter 0 t.n;
     let d = ref (dfs source max_int) in
     while !d > 0 do
+      incr augmentations;
       total := !total + !d;
       d := dfs source max_int
     done
   done;
   if !total > 0 then t.pushed <- true;
+  Obs.incr obs "flow.max_flow_calls";
+  Obs.add obs "flow.bfs_rounds" !bfs_rounds;
+  Obs.add obs "flow.augmentations" !augmentations;
   !total
 
 let min_cut t ~source =

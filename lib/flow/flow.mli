@@ -34,8 +34,10 @@ val add_edge : t -> src:int -> dst:int -> cap:int -> edge
 val set_cap : t -> edge -> int -> unit
 
 (** [max_flow t ~source ~sink] pushes a maximum flow and returns its value
-    (on a second call: the additional value pushed). *)
-val max_flow : t -> source:int -> sink:int -> int
+    (on a second call: the additional value pushed). With [?obs], records
+    [flow.max_flow_calls], [flow.bfs_rounds] (Dinic phases) and
+    [flow.augmentations] (blocking-flow paths) counters. *)
+val max_flow : ?obs:Obs.t -> t -> source:int -> sink:int -> int
 
 (** Flow currently routed through an edge (never negative). *)
 val flow : t -> edge -> int

@@ -50,7 +50,7 @@ let check_slotted ~fuel (inst : S.t) =
         | Some msg -> fail "verifier" "%s solution rejected: %s" name msg)
   in
   let minimal = Active.Minimal.solve inst Active.Minimal.Right_to_left in
-  let exact = Active.Exact.budgeted ~budget:(Budget.limited fuel) inst in
+  let exact = Active.Exact.solve ~budget:(Budget.limited fuel) inst in
   let rounding =
     try `Done (Active.Rounding.solve ~budget:(Budget.limited fuel) inst)
     with Budget.Out_of_fuel -> `Fuel
@@ -155,7 +155,7 @@ let check_slotted ~fuel (inst : S.t) =
                 (fun () ->
                   (* differential: flow-pruned vs LP-based branch and bound *)
                   if List.length (S.relevant_slots inst) <= 12 && S.num_jobs inst <= 8 then
-                    match Active.Ilp.budgeted ~budget:(Budget.limited fuel) inst with
+                    match Active.Ilp.solve ~budget:(Budget.limited fuel) inst with
                     | Budget.Complete (Some (sol, _)) when Solution.cost sol <> o ->
                         fail "ilp-differential" "LP-based B&B %d vs flow B&B %d" (Solution.cost sol) o
                     | Budget.Complete None -> fail "ilp-differential" "LP-based B&B says infeasible, optimum is %d" o
@@ -221,7 +221,7 @@ let check_busy ?(planted_bug = false) ~fuel ~g jobs =
                 else None)
           None algs);
       (fun () ->
-        match Busy.Exact.budgeted ~budget:(Budget.limited fuel) ~g jobs with
+        match Busy.Exact.solve ~budget:(Budget.limited fuel) ~g jobs with
         | Budget.Exhausted { incumbent; _ } -> (
             (* the incumbent is still a packing and must verify *)
             match Busy.Bundle.check ~g jobs incumbent with

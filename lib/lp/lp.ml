@@ -155,7 +155,7 @@ let leaving tab ~pcol =
 
 type simplex_outcome = S_optimal | S_unbounded
 
-let run_simplex ?(rule = Dantzig_with_fallback) ~budget tab =
+let run_simplex ?(rule = Dantzig_with_fallback) ~budget ~obs tab =
   let bland = ref (rule = Pure_bland) in
   let stalled = ref 0 in
   let outcome = ref None in
@@ -170,17 +170,20 @@ let run_simplex ?(rule = Dantzig_with_fallback) ~budget tab =
             let before = tab.obj_val in
             pivot tab ~prow ~pcol;
             incr last_pivots;
+            Obs.incr obs "lp.pivots";
             if Q.equal before tab.obj_val then begin
               incr stalled;
+              Obs.incr obs "lp.degenerate_pivots";
               if !stalled > degenerate_pivot_threshold then bland := true
             end
             else stalled := 0)
   done;
   Option.get !outcome
 
-let solve ?(rule = Dantzig_with_fallback) ?budget m =
+let solve ?(rule = Dantzig_with_fallback) ?budget ?(obs = Obs.null) m =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   last_pivots := 0;
+  Obs.incr obs "lp.solves";
   (* Shift variables by their lower bounds: work with z = x - l >= 0. *)
   let lower = Array.of_list (List.rev m.lower) in
   let upper = Array.of_list (List.rev m.upper) in
@@ -244,7 +247,7 @@ let solve ?(rule = Dantzig_with_fallback) ?budget m =
     rhs_sum := Q.add !rhs_sum a.(i).(ncols)
   done;
   let tab = { a; obj_row; obj_val = !rhs_sum; basis; ncols; allowed } in
-  match run_simplex ~rule ~budget tab with
+  match Obs.span obs "lp.phase1" (fun () -> run_simplex ~rule ~budget ~obs tab) with
   | S_unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
   | S_optimal ->
       if Q.compare tab.obj_val Q.zero > 0 then Infeasible
@@ -284,7 +287,7 @@ let solve ?(rule = Dantzig_with_fallback) ?budget m =
           if not (Q.is_zero cb) then v := Q.add !v (Q.mul cb tab.a.(i).(ncols))
         done;
         tab.obj_val <- !v;
-        match run_simplex ~rule ~budget tab with
+        match Obs.span obs "lp.phase2" (fun () -> run_simplex ~rule ~budget ~obs tab) with
         | S_unbounded -> Unbounded
         | S_optimal ->
             let z = Array.make m.nvars Q.zero in

@@ -67,8 +67,13 @@ val last_pivots : int ref
     {!Budget.Out_of_fuel}. A half-pivoted tableau has no meaningful
     incumbent, so unlike the combinatorial solvers there is no
     [Exhausted] result here — callers that want degradation catch the
-    exception (see [Active.Cascade]). *)
-val solve : ?rule:pivot_rule -> ?budget:Budget.t -> model -> result
+    exception (see [Active.Cascade]).
+
+    With [obs], records [lp.solves], [lp.pivots] and
+    [lp.degenerate_pivots] counters plus [lp.phase1] / [lp.phase2] spans
+    whose tick cost is the pivot count of each phase; counters recorded
+    so far survive an {!Budget.Out_of_fuel} abort. *)
+val solve : ?rule:pivot_rule -> ?budget:Budget.t -> ?obs:Obs.t -> model -> result
 
 (** Objective value at the returned vertex. *)
 val objective_value : solution -> Rational.t

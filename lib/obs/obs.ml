@@ -1,0 +1,218 @@
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape_into buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    escape_into buf s;
+    Buffer.contents buf
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float f -> Buffer.add_string buf (Printf.sprintf "%.12g" f)
+    | String s ->
+        Buffer.add_char buf '"';
+        escape_into buf s;
+        Buffer.add_char buf '"'
+    | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            emit buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            escape_into buf k;
+            Buffer.add_string buf "\":";
+            emit buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 256 in
+    emit buf v;
+    Buffer.contents buf
+
+  let pp fmt v = Format.pp_print_string fmt (to_string v)
+end
+
+(* FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms.
+   Collision resistance is irrelevant here — the digest only fingerprints
+   instances in telemetry documents. *)
+let digest s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Printf.sprintf "fnv1a64:%016Lx" !h
+
+type event =
+  | Enter of string
+  | Exit of { name : string; ticks : int }
+  | Counter of { name : string; total : int }
+
+module Sink = struct
+  type t = event -> unit
+
+  let null = fun (_ : event) -> ()
+  let of_fn f = f
+
+  let memory () =
+    let events = ref [] in
+    ((fun e -> events := e :: !events), fun () -> List.rev !events)
+
+  let event_to_json = function
+    | Enter name -> Json.Obj [ ("event", Json.String "enter"); ("span", Json.String name) ]
+    | Exit { name; ticks } ->
+        Json.Obj
+          [ ("event", Json.String "exit");
+            ("span", Json.String name);
+            ("ticks", Json.Int ticks) ]
+    | Counter { name; total } ->
+        Json.Obj
+          [ ("event", Json.String "counter");
+            ("name", Json.String name);
+            ("total", Json.Int total) ]
+
+  let line_json write = fun e -> write (Json.to_string (event_to_json e))
+end
+
+type span = { name : string; ticks : int; children : span list }
+
+type frame = {
+  frame_name : string;
+  ticks_at_enter : int;
+  mutable children_rev : span list;
+}
+
+type recorder = {
+  counters : (string, int ref) Hashtbl.t;
+  mutable total : int;
+  mutable stack : frame list;
+  mutable roots_rev : span list;
+  sink : Sink.t;
+}
+
+type t = Null | Rec of recorder
+
+let null = Null
+let is_null = function Null -> true | Rec _ -> false
+
+let create ?(sink = Sink.null) () =
+  Rec
+    {
+      counters = Hashtbl.create 32;
+      total = 0;
+      stack = [];
+      roots_rev = [];
+      sink;
+    }
+
+let add t name n =
+  match t with
+  | Null -> ()
+  | Rec r ->
+      if n < 0 then invalid_arg "Obs.add: counters are monotonic";
+      if n > 0 then begin
+        (match Hashtbl.find_opt r.counters name with
+        | Some c -> c := !c + n
+        | None -> Hashtbl.add r.counters name (ref n));
+        r.total <- r.total + n
+      end
+
+let incr t name = add t name 1
+
+let counters t =
+  match t with
+  | Null -> []
+  | Rec r ->
+      Hashtbl.fold (fun name c acc -> (name, !c) :: acc) r.counters []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let total_ticks = function Null -> 0 | Rec r -> r.total
+
+let enter t name =
+  match t with
+  | Null -> ()
+  | Rec r ->
+      r.stack <-
+        { frame_name = name; ticks_at_enter = r.total; children_rev = [] }
+        :: r.stack;
+      r.sink (Enter name)
+
+let exit t =
+  match t with
+  | Null -> ()
+  | Rec r -> (
+      match r.stack with
+      | [] -> invalid_arg "Obs.exit: no open span"
+      | f :: rest ->
+          let node =
+            {
+              name = f.frame_name;
+              ticks = r.total - f.ticks_at_enter;
+              children = List.rev f.children_rev;
+            }
+          in
+          (match rest with
+          | [] -> r.roots_rev <- node :: r.roots_rev
+          | parent :: _ -> parent.children_rev <- node :: parent.children_rev);
+          r.stack <- rest;
+          r.sink (Exit { name = node.name; ticks = node.ticks }))
+
+let span t name f =
+  match t with
+  | Null -> f ()
+  | Rec _ ->
+      enter t name;
+      Fun.protect ~finally:(fun () -> exit t) f
+
+let span_tree = function Null -> [] | Rec r -> List.rev r.roots_rev
+
+let flush t =
+  match t with
+  | Null -> ()
+  | Rec r ->
+      List.iter (fun (name, total) -> r.sink (Counter { name; total })) (counters t)
+
+let counters_to_json t =
+  Json.Obj (List.map (fun (name, total) -> (name, Json.Int total)) (counters t))
+
+let spans_to_json t =
+  let rec node s =
+    Json.Obj
+      [ ("name", Json.String s.name);
+        ("ticks", Json.Int s.ticks);
+        ("children", Json.List (List.map node s.children)) ]
+  in
+  Json.List (List.map node (span_tree t))

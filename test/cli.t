@@ -1,0 +1,51 @@
+The CLI emits human text by default and one machine-readable telemetry
+document with --format json. Both are exercised on a seeded instance so
+the outputs below are fully deterministic.
+
+  $ atbt generate --kind slotted -n 6 --seed 3 -o inst.txt
+  wrote inst.txt
+
+Text output is the historical format, byte for byte:
+
+  $ atbt active inst.txt --algorithm minimal
+  active time 8, open slots: 8,9,10,11,16,18,19,20
+    job 0 -> 16,18,19,20
+    job 1 -> 18,19,20
+    job 2 -> 19,20
+    job 3 -> 10,11
+    job 4 -> 8,9,10,11
+    job 5 -> 10
+  energy 8, power-ons 3, utilization 2/3
+
+JSON output is a single schema-1 document on stdout:
+
+  $ atbt active inst.txt --algorithm minimal --format json
+  {"schema":1,"tool":"atbt","version":"1.2.0","command":"active","algorithm":"minimal","instance":{"digest":"fnv1a64:aee88f7930ef203d","kind":"slotted","jobs":6,"horizon":22,"g":3},"status":"ok","exit":0,"message":null,"cost":8,"bounds":{"mass":6},"provenance":null,"counters":{"active.minimal.closures":8,"active.minimal.feasibility_checks":17,"flow.augmentations":264,"flow.bfs_rounds":17,"flow.max_flow_calls":17},"spans":[{"name":"active.minimal","ticks":323,"children":[]}]}
+
+Two runs of the same seeded instance produce byte-identical telemetry:
+
+  $ atbt active inst.txt --cascade --format json > run1.json
+  $ atbt active inst.txt --cascade --format json > run2.json
+  $ cmp run1.json run2.json
+
+The busy pipeline speaks the same schema:
+
+  $ atbt generate --kind interval -n 5 --seed 9 -o jobs.txt
+  wrote jobs.txt
+  $ atbt busy jobs.txt -g 2 --format json
+  {"schema":1,"tool":"atbt","version":"1.2.0","command":"busy","algorithm":"greedy-tracking","instance":{"digest":"fnv1a64:d79faffbc9104bcb","kind":"busy","jobs":5,"g":2},"status":"ok","exit":0,"message":null,"cost":"15","bounds":{"mass":"19/2","span":"12","demand_profile":"15"},"provenance":null,"counters":{"busy.greedy_tracking.tracks":3},"spans":[{"name":"busy.greedy_tracking","ticks":3,"children":[]}]}
+
+Usage errors still produce a document (status/exit mirror the code):
+
+  $ atbt active jobs.txt --format json
+  {"schema":1,"tool":"atbt","version":"1.2.0","command":"active","algorithm":"rounding","instance":null,"status":"usage-error","exit":1,"message":"active expects a slotted instance","cost":null,"bounds":null,"provenance":null,"counters":{},"spans":[]}
+  [1]
+
+An unwritable output file is a usage error (exit 1), not a crash:
+
+  $ atbt active inst.txt --algorithm minimal --svg /nonexistent-dir/out.svg > /dev/null
+  atbt: /nonexistent-dir/out.svg: No such file or directory
+  [1]
+  $ atbt generate --kind interval -n 4 --seed 1 -o /nonexistent-dir/jobs.txt
+  atbt: /nonexistent-dir/jobs.txt: No such file or directory
+  [1]

@@ -247,7 +247,7 @@ let prop_ilp_matches_bnb =
       let inst = Gen.slotted ~params:tiny_params ~seed () in
       Active.Ilp.optimum inst = Active.Exact.optimum inst
       &&
-      match Active.Ilp.solve inst with
+      match Active.Ilp.exact inst with
       | None -> Active.Exact.optimum inst = None
       | Some (sol, _) -> Active.Solution.verify inst sol = None)
 

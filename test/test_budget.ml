@@ -56,7 +56,7 @@ let test_active_exact_unlimited_agrees () =
     (fun seed ->
       let inst = slotted_instance seed in
       let unbounded = Active.Exact.branch_and_bound inst in
-      match (Active.Exact.budgeted ~budget:(Budget.unlimited ()) inst, unbounded) with
+      match (Active.Exact.solve ~budget:(Budget.unlimited ()) inst, unbounded) with
       | Budget.Complete (Some a), Some b ->
           Alcotest.(check int) "same cost" (Active.Solution.cost b) (Active.Solution.cost a)
       | Budget.Complete None, None -> ()
@@ -67,8 +67,8 @@ let test_busy_exact_unlimited_agrees () =
   List.iter
     (fun seed ->
       let jobs = Gen.interval_jobs ~n:8 ~horizon:12 ~max_length:4 ~seed () in
-      let unbounded = Busy.Exact.solve ~g:2 jobs in
-      match Busy.Exact.budgeted ~budget:(Budget.unlimited ()) ~g:2 jobs with
+      let unbounded = Busy.Exact.exact ~g:2 jobs in
+      match Busy.Exact.solve ~budget:(Budget.unlimited ()) ~g:2 jobs with
       | Budget.Complete packing ->
           Alcotest.(check string) "same busy time"
             (Q.to_string (Busy.Bundle.total_busy unbounded))
@@ -80,7 +80,7 @@ let test_busy_exact_unlimited_agrees () =
 
 let test_active_exact_exhausts_with_incumbent () =
   let inst = Gad.bb_hard ~g:2 ~groups:3 ~width:5 in
-  match Active.Exact.budgeted ~budget:(Budget.limited 50) inst with
+  match Active.Exact.solve ~budget:(Budget.limited 50) inst with
   | Budget.Complete _ -> Alcotest.fail "50 ticks should not complete bb_hard"
   | Budget.Exhausted { spent; incumbent } -> (
       Alcotest.(check int) "spent equals limit" 50 spent;
@@ -91,7 +91,7 @@ let test_active_exact_exhausts_with_incumbent () =
 
 let test_busy_exact_exhausts_with_incumbent () =
   let jobs = Gen.interval_jobs ~n:16 ~horizon:20 ~max_length:5 ~seed:1 () in
-  match Busy.Exact.budgeted ~budget:(Budget.limited 10) ~g:2 jobs with
+  match Busy.Exact.solve ~budget:(Budget.limited 10) ~g:2 jobs with
   | Budget.Complete _ -> Alcotest.fail "10 ticks should not complete n=16"
   | Budget.Exhausted { spent; incumbent } ->
       Alcotest.(check int) "spent equals limit" 10 spent;
@@ -100,14 +100,14 @@ let test_busy_exact_exhausts_with_incumbent () =
 
 let test_ilp_exhausts () =
   let inst = Gad.bb_hard ~g:2 ~groups:3 ~width:5 in
-  match Active.Ilp.budgeted ~budget:(Budget.limited 30) inst with
+  match Active.Ilp.solve ~budget:(Budget.limited 30) inst with
   | Budget.Complete _ -> Alcotest.fail "30 ticks should not complete the ILP"
   | Budget.Exhausted { spent; _ } -> Alcotest.(check int) "spent equals limit" 30 spent
 
 let test_maximize_exhausts () =
   let jobs = Gen.interval_jobs ~n:10 ~horizon:12 ~max_length:3 ~seed:0 () in
   match
-    Busy.Maximize.exact_budgeted ~fuel:(Budget.limited 40) ~g:2 ~budget:(Q.of_int 6) jobs
+    Busy.Maximize.solve ~fuel:(Budget.limited 40) ~g:2 ~budget:(Q.of_int 6) jobs
   with
   | Budget.Complete _ -> Alcotest.fail "40 of 1024 masks should not complete"
   | Budget.Exhausted { spent; incumbent = accepted, busy, packing } ->
@@ -176,7 +176,7 @@ let test_active_cascade_small_instance_exact () =
   let inst = slotted_instance 0 in
   let sol, prov = Active.Cascade.solve ~limit:1_000_000 inst in
   Alcotest.(check (option string)) "exact wins on small instances" (Some "exact")
-    prov.Active.Cascade.winner;
+    prov.Budget.Cascade.winner;
   match sol with
   | Some s -> Alcotest.(check (option string)) "verifies" None (Active.Solution.verify inst s)
   | None -> Alcotest.fail "feasible instance"
@@ -185,12 +185,12 @@ let test_busy_cascade_degrades () =
   let jobs = Gen.interval_jobs ~n:16 ~horizon:20 ~max_length:5 ~seed:1 () in
   let packing, prov = Busy.Cascade.solve ~limit:20 ~g:2 jobs in
   Alcotest.(check (option string)) "greedy-tracking after exact exhausts" (Some "greedy-tracking")
-    prov.Busy.Cascade.winner;
+    prov.Budget.Cascade.winner;
   match packing with
   | Some p ->
       Alcotest.(check (option string)) "valid packing" None (Busy.Bundle.check ~g:2 jobs p);
       Alcotest.(check bool) "cost above lower bound" true
-        (Q.compare (Busy.Bundle.total_busy p) prov.Busy.Cascade.lower_bound >= 0)
+        (Q.compare (Busy.Bundle.total_busy p) prov.Budget.Cascade.bound >= 0)
   | None -> Alcotest.fail "cascade must produce a packing"
 
 let test_busy_cascade_rejects_flexible () =
@@ -208,15 +208,15 @@ let test_busy_cascade_rejects_flexible () =
    provenance naming the tier. *)
 let test_acceptance_bb_hard () =
   let inst = Gad.bb_hard ~g:2 ~groups:6 ~width:6 in
-  (match Active.Exact.budgeted ~budget:(Budget.limited 100_000) inst with
+  (match Active.Exact.solve ~budget:(Budget.limited 100_000) inst with
   | Budget.Complete _ -> Alcotest.fail "bb_hard groups=6 completed under 10^5 ticks"
   | Budget.Exhausted { spent; incumbent } ->
       Alcotest.(check int) "all fuel spent" 100_000 spent;
       Alcotest.(check bool) "incumbent exists" true (incumbent <> None));
   let sol, prov = Active.Cascade.solve ~limit:100_000 inst in
   Alcotest.(check (option string)) "lp-rounding answers" (Some "lp-rounding")
-    prov.Active.Cascade.winner;
-  (match prov.Active.Cascade.attempts with
+    prov.Budget.Cascade.winner;
+  (match prov.Budget.Cascade.attempts with
   | exact_attempt :: _ ->
       Alcotest.(check bool) "exact tier recorded as exhausted" true
         (exact_attempt.Budget.Cascade.status = Budget.Cascade.Tier_exhausted)

@@ -288,7 +288,7 @@ let prop_packings_valid =
         (fun g ->
           List.for_all
             (fun solve -> Busy.Bundle.check ~g jobs (solve ~g jobs) = None)
-            [ Busy.First_fit.solve; Busy.Greedy_tracking.solve; Busy.Two_approx.solve ])
+            [ (fun ~g jobs -> Busy.First_fit.solve ~g jobs); (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs); (fun ~g jobs -> Busy.Two_approx.solve ~g jobs) ])
         [ 1; 2; 3 ])
 
 let prop_two_approx_profile_bound =
@@ -306,9 +306,9 @@ let prop_ratios_vs_exact =
       let g = 2 in
       let opt = Busy.Exact.optimum ~g jobs in
       let cost solve = Busy.Bundle.total_busy (solve ~g jobs) in
-      Q.compare (cost Busy.Greedy_tracking.solve) (Q.mul (Q.of_int 3) opt) <= 0
-      && Q.compare (cost Busy.Two_approx.solve) (Q.mul Q.two opt) <= 0
-      && Q.compare (cost Busy.First_fit.solve) (Q.mul (Q.of_int 4) opt) <= 0)
+      Q.compare (cost (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs)) (Q.mul (Q.of_int 3) opt) <= 0
+      && Q.compare (cost (fun ~g jobs -> Busy.Two_approx.solve ~g jobs)) (Q.mul Q.two opt) <= 0
+      && Q.compare (cost (fun ~g jobs -> Busy.First_fit.solve ~g jobs)) (Q.mul (Q.of_int 4) opt) <= 0)
 
 let prop_exact_below_heuristics =
   QCheck.Test.make ~name:"exact <= all heuristics and >= best lower bound" ~count:25 seed_arb

@@ -183,7 +183,7 @@ let test_ilp_on_integrality_gadget () =
      the integer optimum 2g *)
   let g = 3 in
   let inst = Workload.Gadgets.integrality_gap g in
-  (match Active.Ilp.solve inst with
+  (match Active.Ilp.exact inst with
   | None -> Alcotest.fail "feasible"
   | Some (sol, stats) ->
       Alcotest.(check int) "optimum 2g" (2 * g) (Active.Solution.cost sol);
@@ -194,7 +194,7 @@ let test_ilp_on_integrality_gadget () =
       [ Workload.Slotted.job ~id:0 ~release:0 ~deadline:1 ~length:1;
         Workload.Slotted.job ~id:1 ~release:0 ~deadline:1 ~length:1 ]
   in
-  Alcotest.(check bool) "infeasible" true (Active.Ilp.solve bad = None)
+  Alcotest.(check bool) "infeasible" true (Active.Ilp.exact bad = None)
 
 let test_machines_count_guard () =
   let inst = Workload.Slotted.make ~g:1 [ Workload.Slotted.job ~id:0 ~release:0 ~deadline:1 ~length:1 ] in

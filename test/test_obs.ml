@@ -1,0 +1,192 @@
+(* Tests for the observability layer: counter and span semantics of the
+   recorder, the deterministic JSON serializer, the streaming sinks, the
+   FNV-1a instance digest — and the two properties the layer exists for:
+   telemetry replay (running the same seeded instance twice yields
+   byte-identical counter documents) and golden counter snapshots for the
+   bb_hard branch-and-bound gadget (counters count solver events, never
+   wall-clock, so a diff means the search itself changed). *)
+
+module J = Obs.Json
+module Gen = Workload.Generate
+module Gad = Workload.Gadgets
+
+(* ------------------------------------------------------------ counters -- *)
+
+let test_counters () =
+  let obs = Obs.create () in
+  Alcotest.(check (list (pair string int))) "fresh" [] (Obs.counters obs);
+  Obs.incr obs "b";
+  Obs.add obs "a" 3;
+  Obs.incr obs "b";
+  Obs.add obs "a" 0;
+  Alcotest.(check (list (pair string int)))
+    "sorted totals"
+    [ ("a", 3); ("b", 2) ]
+    (Obs.counters obs);
+  Alcotest.(check int) "total ticks" 5 (Obs.total_ticks obs)
+
+let test_negative_add () =
+  let obs = Obs.create () in
+  Alcotest.check_raises "monotonic" (Invalid_argument "Obs.add: counters are monotonic")
+    (fun () -> Obs.add obs "a" (-1))
+
+let test_null_noop () =
+  (* the null recorder swallows everything, including span bookkeeping *)
+  Obs.add Obs.null "a" 5;
+  Obs.exit Obs.null;
+  Alcotest.(check bool) "is_null" true (Obs.is_null Obs.null);
+  Alcotest.(check bool) "create not null" false (Obs.is_null (Obs.create ()));
+  Alcotest.(check int) "span runs f" 7 (Obs.span Obs.null "s" (fun () -> 7))
+
+(* -------------------------------------------------------------- spans -- *)
+
+let test_span_tree () =
+  let obs = Obs.create () in
+  Obs.span obs "outer" (fun () ->
+      Obs.incr obs "x";
+      Obs.span obs "inner" (fun () -> Obs.add obs "x" 2));
+  Obs.incr obs "x";
+  (* the trailing incr is outside every span *)
+  match Obs.span_tree obs with
+  | [ { Obs.name = "outer"; ticks = 3; children = [ { Obs.name = "inner"; ticks = 2; children = [] } ] } ] ->
+      ()
+  | other ->
+      Alcotest.failf "unexpected span tree: %s"
+        (J.to_string (Obs.spans_to_json obs) ^ Printf.sprintf " (%d roots)" (List.length other))
+
+let test_span_exception () =
+  let obs = Obs.create () in
+  (try Obs.span obs "boom" (fun () -> failwith "payload") with Failure _ -> ());
+  Alcotest.(check int) "span closed on raise" 1 (List.length (Obs.span_tree obs));
+  (* recorder still usable: no dangling open frame *)
+  Obs.span obs "after" (fun () -> ());
+  Alcotest.(check int) "two roots" 2 (List.length (Obs.span_tree obs))
+
+let test_exit_without_enter () =
+  let obs = Obs.create () in
+  Alcotest.check_raises "unbalanced" (Invalid_argument "Obs.exit: no open span")
+    (fun () -> Obs.exit obs)
+
+(* -------------------------------------------------------------- sinks -- *)
+
+let test_memory_sink () =
+  let sink, events = Obs.Sink.memory () in
+  let obs = Obs.create ~sink () in
+  Obs.span obs "s" (fun () -> Obs.incr obs "c");
+  Obs.flush obs;
+  match events () with
+  | [ Obs.Enter "s"; Obs.Exit { name = "s"; ticks = 1 }; Obs.Counter { name = "c"; total = 1 } ] -> ()
+  | evs -> Alcotest.failf "unexpected event stream (%d events)" (List.length evs)
+
+let test_line_json_sink () =
+  let buf = Buffer.create 64 in
+  let obs = Obs.create ~sink:(Obs.Sink.line_json (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n')) () in
+  Obs.span obs "s" (fun () -> Obs.incr obs "c");
+  Obs.flush obs;
+  Alcotest.(check string) "framed event lines"
+    "{\"event\":\"enter\",\"span\":\"s\"}\n\
+     {\"event\":\"exit\",\"span\":\"s\",\"ticks\":1}\n\
+     {\"event\":\"counter\",\"name\":\"c\",\"total\":1}\n"
+    (Buffer.contents buf)
+
+(* --------------------------------------------------------------- json -- *)
+
+let test_json_rendering () =
+  let doc =
+    J.Obj
+      [ ("b", J.Bool true); ("n", J.Null); ("i", J.Int (-3)); ("s", J.String "a\"b\\c\n\t\x01é");
+        ("l", J.List [ J.Int 1; J.Float 0.5 ]) ]
+  in
+  Alcotest.(check string) "compact deterministic"
+    "{\"b\":true,\"n\":null,\"i\":-3,\"s\":\"a\\\"b\\\\c\\n\\t\\u0001é\",\"l\":[1,0.5]}"
+    (J.to_string doc)
+
+let test_digest () =
+  Alcotest.(check string) "empty" "fnv1a64:cbf29ce484222325" (Obs.digest "");
+  Alcotest.(check string) "abc" "fnv1a64:e71fa2190541574b" (Obs.digest "abc");
+  Alcotest.(check string) "phrase" "fnv1a64:2476b891391cd2b1" (Obs.digest "active busy time")
+
+(* ----------------------------------------------------------- replay -- *)
+
+(* Two runs of the same seeded instance must produce byte-identical
+   telemetry documents: every counter counts solver events, never time. *)
+let telemetry_document () =
+  let params : Gen.slotted_params = { n = 10; horizon = 16; max_length = 4; slack = 4; g = 2 } in
+  let inst = Gen.slotted ~params ~seed:42 () in
+  let obs = Obs.create () in
+  let _sol, _prov = Active.Cascade.solve ~obs ~limit:2_000 inst in
+  J.to_string (J.Obj [ ("counters", Obs.counters_to_json obs); ("spans", Obs.spans_to_json obs) ])
+
+let test_replay_active () =
+  Alcotest.(check string) "byte-identical telemetry" (telemetry_document ()) (telemetry_document ())
+
+let busy_telemetry_document () =
+  let jobs = Gen.interval_jobs ~n:14 ~horizon:20 ~max_length:5 ~seed:11 () in
+  let obs = Obs.create () in
+  let _packing, _prov = Busy.Cascade.solve ~obs ~limit:500 ~g:3 jobs in
+  J.to_string (J.Obj [ ("counters", Obs.counters_to_json obs); ("spans", Obs.spans_to_json obs) ])
+
+let test_replay_busy () =
+  Alcotest.(check string) "byte-identical telemetry" (busy_telemetry_document ())
+    (busy_telemetry_document ())
+
+(* ------------------------------------------------------------- golden -- *)
+
+(* Golden counter snapshot for the bb_hard acceptance gadget (also
+   printed by bench experiment E19). These numbers are part of the
+   observable contract: a change means the branch-and-bound search or
+   the flow feasibility oracle explores differently, which must be a
+   conscious decision, not an accident. *)
+let test_golden_bb_hard () =
+  let inst = Gad.bb_hard ~g:2 ~groups:3 ~width:6 in
+  let obs = Obs.create () in
+  (match Active.Exact.solve ~budget:(Budget.limited 1_000_000) ~obs inst with
+  | Budget.Complete (Some sol) -> Alcotest.(check int) "cost" 6 (Active.Solution.cost sol)
+  | Budget.Complete None -> Alcotest.fail "bb_hard is feasible"
+  | Budget.Exhausted _ -> Alcotest.fail "1M ticks suffice for groups=3");
+  Alcotest.(check (list (pair string int)))
+    "golden counters"
+    [ ("active.exact.flow_checks", 9518);
+      ("active.exact.nodes", 16773);
+      ("active.minimal.closures", 12);
+      ("active.minimal.feasibility_checks", 19);
+      ("flow.augmentations", 83565);
+      ("flow.bfs_rounds", 9537);
+      ("flow.max_flow_calls", 9537) ]
+    (Obs.counters obs)
+
+(* -------------------------------------------------------------- suite -- *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "totals and order" `Quick test_counters;
+          Alcotest.test_case "negative add rejected" `Quick test_negative_add;
+          Alcotest.test_case "null recorder" `Quick test_null_noop;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and ticks" `Quick test_span_tree;
+          Alcotest.test_case "closed on exception" `Quick test_span_exception;
+          Alcotest.test_case "exit without enter" `Quick test_exit_without_enter;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "memory" `Quick test_memory_sink;
+          Alcotest.test_case "line json" `Quick test_line_json_sink;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "rendering" `Quick test_json_rendering;
+          Alcotest.test_case "digest" `Quick test_digest;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "active cascade" `Quick test_replay_active;
+          Alcotest.test_case "busy cascade" `Quick test_replay_busy;
+        ] );
+      ( "golden",
+        [ Alcotest.test_case "bb_hard counters" `Slow test_golden_bb_hard ] );
+    ]

@@ -70,7 +70,7 @@ let test_real_workload_agrees () =
   let work seed =
     let jobs = Workload.Generate.interval_jobs ~n:14 ~horizon:28 ~max_length:5 ~seed () in
     let cost solve = Q.to_string (Busy.Bundle.total_busy (solve ~g:3 jobs)) in
-    (cost Busy.First_fit.solve, cost Busy.Greedy_tracking.solve, cost Busy.Two_approx.solve)
+    (cost (fun ~g jobs -> Busy.First_fit.solve ~g jobs), cost (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs), cost (fun ~g jobs -> Busy.Two_approx.solve ~g jobs))
   in
   let sequential = List.map work seeds in
   let parallel = Parallel.Pool.map ~domains:4 work seeds in

@@ -142,7 +142,7 @@ let prop_sim_matches_analytic =
               && Q.equal report.Sim.total_energy (Busy.Bundle.total_busy packing)
               && report.Sim.peak_parallelism <= g
               && Q.compare report.Sim.utilization Q.one <= 0)
-            [ Busy.First_fit.solve; Busy.Greedy_tracking.solve; Busy.Two_approx.solve ])
+            [ (fun ~g jobs -> Busy.First_fit.solve ~g jobs); (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs); (fun ~g jobs -> Busy.Two_approx.solve ~g jobs) ])
         [ 1; 2; 3 ])
 
 let prop_sim_active =
@@ -154,7 +154,27 @@ let prop_sim_active =
       | Some sol ->
           let report = Sim.run_active inst sol in
           report.Sim.violations = []
-          && Q.equal report.Sim.total_energy (Q.of_int (Active.Solution.cost sol)))
+          && Q.equal report.Sim.total_energy (Q.of_int (Active.Solution.cost sol))
+          && Q.compare report.Sim.utilization Q.zero >= 0
+          && Q.compare report.Sim.utilization Q.one <= 0)
+
+let prop_slotted_svg_shape =
+  QCheck.Test.make ~name:"slotted SVG is well-formed with one rect per unit" ~count:30 seed_arb
+    (fun seed ->
+      let params : Gen.slotted_params = { n = 6; horizon = 10; max_length = 3; slack = 3; g = 2 } in
+      let inst = Gen.slotted ~params ~seed () in
+      match Active.Minimal.solve inst Active.Minimal.Right_to_left with
+      | None -> true
+      | Some sol ->
+          let svg = Render.slotted_svg inst sol in
+          let units =
+            List.fold_left (fun acc (_, slots) -> acc + List.length slots) 0
+              sol.Active.Solution.schedule
+          in
+          String.length svg > 4
+          && String.sub svg 0 4 = "<svg"
+          && count_substring "</svg>" svg = 1
+          && count_substring "<rect" svg = List.length sol.Active.Solution.open_slots + units)
 
 let prop_render_total =
   QCheck.Test.make ~name:"renderer never raises and is line-structured" ~count:30 seed_arb (fun seed ->
@@ -165,7 +185,7 @@ let prop_render_total =
       && List.length (String.split_on_char '\n' s) = List.length packing + 1)
 
 let props =
-  List.map QCheck_alcotest.to_alcotest [ prop_sim_matches_analytic; prop_sim_active; prop_render_total ]
+  List.map QCheck_alcotest.to_alcotest [ prop_sim_matches_analytic; prop_sim_active; prop_slotted_svg_shape; prop_render_total ]
 
 let () =
   Alcotest.run "sim"

@@ -19,8 +19,8 @@ let interval_families =
     ("laminar", fun seed -> Gen.laminar_interval_jobs ~depth:3 ~span:24 ~seed ()) ]
 
 let algorithms =
-  [ ("first fit", Busy.First_fit.solve); ("greedy tracking", Busy.Greedy_tracking.solve);
-    ("two approx", Busy.Two_approx.solve); ("online ff", Busy.Online.first_fit);
+  [ ("first fit", (fun ~g jobs -> Busy.First_fit.solve ~g jobs)); ("greedy tracking", (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs));
+    ("two approx", (fun ~g jobs -> Busy.Two_approx.solve ~g jobs)); ("online ff", Busy.Online.first_fit);
     ("online bucketed", Busy.Online.bucketed_first_fit) ]
 
 let test_every_family_every_algorithm () =
