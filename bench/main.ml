@@ -917,15 +917,103 @@ let e19 () =
         (Obs.counters obs))
     [ 2; 3; 4 ]
 
+(* ---------------------------------------------------------------- e20 -- *)
+
+(* set by the --quick flag: trims e20 to the CI perf-smoke configuration *)
+let quick = ref false
+
+let e20 () =
+  header "E20: incremental feasibility oracle vs per-probe rebuild";
+  pr "The exact active-time search probes feasibility once per candidate\n";
+  pr "slot closure. The incremental oracle keeps ONE warm flow network per\n";
+  pr "solve (close = drain + zero the slot arc; probe = re-augment), the\n";
+  pr "rebuild baseline reconstructs the network and recomputes the max\n";
+  pr "flow from scratch per probe. Both are exact, so the searches are\n";
+  pr "observationally identical: same optimum, same nodes, same probe\n";
+  pr "count. The golden columns below are pinned; drift fails the run.\n\n";
+  table_row
+    (List.map col
+       [ "groups"; "cost"; "nodes"; "flow_checks"; "rebuild s"; "incremental"; "speedup" ]);
+  (* golden search-effort counters for bb_hard ~g:2 ~width:6 under a 1M
+     tick budget (also pinned for groups=3 by test/test_obs.ml) *)
+  let golden = [ (2, (795, 456)); (3, (16773, 9518)); (4, (346217, 195573)) ] in
+  let groups_list = if !quick then [ 2; 3 ] else [ 2; 3; 4 ] in
+  let drift = ref [] in
+  let complain fmt = Printf.ksprintf (fun s -> drift := s :: !drift) fmt in
+  List.iter
+    (fun groups ->
+      let inst = Gad.bb_hard ~g:2 ~groups ~width:6 in
+      let run oracle =
+        let obs = Obs.create () in
+        let t0 = Unix.gettimeofday () in
+        let r = Active.Exact.solve ~budget:(Budget.limited 1_000_000) ~oracle ~obs inst in
+        let t = Unix.gettimeofday () -. t0 in
+        (r, obs, t)
+      in
+      (* incremental second: any cache warmup penalizes, not favors, it *)
+      let r_reb, obs_reb, t_reb = run Active.Feasibility.Rebuild in
+      let r_inc, obs_inc, t_inc = run Active.Feasibility.Incremental in
+      let cost = function
+        | Budget.Complete (Some sol) -> string_of_int (Active.Solution.cost sol)
+        | Budget.Complete None -> "infeasible"
+        | Budget.Exhausted _ -> "exhausted"
+      in
+      let opens = function
+        | Budget.Complete (Some sol) -> sol.Active.Solution.open_slots
+        | _ -> []
+      in
+      let counter obs name = Option.value (List.assoc_opt name (Obs.counters obs)) ~default:0 in
+      let nodes = counter obs_inc "active.exact.nodes" in
+      let checks = counter obs_inc "active.exact.flow_checks" in
+      if cost r_inc <> cost r_reb || opens r_inc <> opens r_reb then
+        complain "groups=%d: optima differ between probe modes" groups;
+      if nodes <> counter obs_reb "active.exact.nodes"
+         || checks <> counter obs_reb "active.exact.flow_checks"
+      then
+        complain "groups=%d: search effort differs between probe modes (%d/%d vs %d/%d)" groups
+          nodes checks
+          (counter obs_reb "active.exact.nodes")
+          (counter obs_reb "active.exact.flow_checks");
+      (match List.assoc_opt groups golden with
+      | Some (g_nodes, g_checks) when (g_nodes, g_checks) <> (nodes, checks) ->
+          complain "groups=%d: golden drift: nodes %d (want %d), flow_checks %d (want %d)" groups
+            nodes g_nodes checks g_checks
+      | _ -> ());
+      let speedup = t_reb /. t_inc in
+      table_row
+        (List.map col
+           [ string_of_int groups; cost r_inc; string_of_int nodes; string_of_int checks;
+             Printf.sprintf "%.3f" t_reb; Printf.sprintf "%.3f" t_inc;
+             Printf.sprintf "%.1fx" speedup ]);
+      Obs.add !bench_obs (Printf.sprintf "e20.groups%d.nodes" groups) nodes;
+      Obs.add !bench_obs (Printf.sprintf "e20.groups%d.flow_checks" groups) checks;
+      Obs.add !bench_obs
+        (Printf.sprintf "e20.groups%d.rebuild_us" groups)
+        (int_of_float (t_reb *. 1e6));
+      Obs.add !bench_obs
+        (Printf.sprintf "e20.groups%d.incremental_us" groups)
+        (int_of_float (t_inc *. 1e6));
+      Obs.add !bench_obs
+        (Printf.sprintf "e20.groups%d.speedup_x100" groups)
+        (int_of_float (speedup *. 100.0)))
+    groups_list;
+  if !drift <> [] then begin
+    pr "\nE20 FAILED:\n";
+    List.iter (fun s -> pr "  %s\n" s) (List.rev !drift);
+    exit 1
+  end
+
 (* -------------------------------------------------------------- main -- *)
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8);
     ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
-    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("abl", abl); ("par", par); ("scaling", scaling); ("timing", timing) ]
+    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("abl", abl); ("par", par); ("scaling", scaling); ("timing", timing) ]
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  quick := List.mem "--quick" args;
+  let requested = List.filter (fun a -> a <> "--quick") args in
   let to_run =
     if requested = [] then experiments
     else

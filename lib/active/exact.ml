@@ -9,6 +9,16 @@
      - cost pruning against the incumbent, seeded with a minimal feasible
        solution, with the mass bound ceil(P/g) as a global floor.
 
+   The chosen-open set lives in an immutable Bitset over relevant-slot
+   indices, so branching costs a few word operations instead of the list
+   rebuilds of the original kernel. Feasibility probes go through a
+   selectable [Feasibility.probe_mode]: the default drives ONE persistent
+   incremental oracle for the whole search (close slot / re-augment /
+   reopen on backtrack), the Rebuild mode reconstructs the flow network
+   per probe. Both modes compute exact max flows, hence take identical
+   branching decisions and report identical node / flow-check counters —
+   the bench harness exploits that to measure the pure oracle speedup.
+
    [brute_force] cross-checks the B&B on tiny instances in the tests. *)
 
 module S = Workload.Slotted
@@ -22,9 +32,7 @@ type bb_stats = { nodes : int; flow_checks : int }
 
 let last_stats = ref { nodes = 0; flow_checks = 0 }
 
-let popcount =
-  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
-  go 0
+let popcount = Bitset.popcount_word
 
 (* Exhaustive search over all subsets of relevant slots. Only sensible for
    a dozen slots or so; raises [Invalid_argument] beyond 20. *)
@@ -48,22 +56,53 @@ let brute_force (inst : S.t) =
   done;
   Option.bind !best (fun open_slots -> Solution.of_open_slots inst ~open_slots)
 
-let solve ?budget ?(obs = Obs.null) (inst : S.t) =
+let solve ?budget ?(oracle = Feasibility.Incremental) ?(obs = Obs.null) (inst : S.t) =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   Obs.span obs "active.exact" @@ fun () ->
   let slots = Array.of_list (S.relevant_slots inst) in
   let k = Array.length slots in
   let mass_lb = S.mass_lower_bound inst in
   (* incumbent from a minimal feasible solution *)
-  match Minimal.solve ~obs inst Minimal.Right_to_left with
+  match Minimal.solve ~oracle ~obs inst Minimal.Right_to_left with
   | None -> Budget.Complete None (* infeasible instance *)
   | Some seed ->
+      let slot_idx = Hashtbl.create (2 * k) in
+      Array.iteri (fun i s -> Hashtbl.replace slot_idx s i) slots;
+      let to_bits l =
+        List.fold_left (fun b s -> Bitset.add b (Hashtbl.find slot_idx s)) (Bitset.create ~width:k) l
+      in
+      let to_slots b = List.map (fun i -> slots.(i)) (Bitset.to_list b) in
       let best = ref (Solution.cost seed) in
-      let best_set = ref seed.Solution.open_slots in
+      let best_set = ref (to_bits seed.Solution.open_slots) in
       let nodes = ref 0 and flow_checks = ref 0 in
-      (* DFS: i = next slot index, opened = chosen-open slots (reversed),
-         n_open = |opened|. Undecided slots are i..k-1. Invariant: opened
-         plus all undecided is feasible. *)
+      let ora =
+        match oracle with
+        | Feasibility.Incremental -> Some (Feasibility.Oracle.create ~obs inst)
+        | Feasibility.Rebuild -> None
+      in
+      (* Probe "slot i closed, the rest of the current state unchanged".
+         Incremental mode leaves the slot closed in the oracle (the caller
+         reopens on backtrack); Rebuild mode reconstructs the open set as
+         chosen-open + undecided suffix. *)
+      let probe_close i opened =
+        incr flow_checks;
+        match ora with
+        | Some o ->
+            Feasibility.Oracle.set_slot ~obs o ~slot:slots.(i) ~open_:false;
+            Feasibility.Oracle.check ~obs o
+        | None ->
+            let candidate = Bitset.union opened (Bitset.suffix ~width:k (i + 1)) in
+            Feasibility.feasible ~obs inst ~open_slots:(to_slots candidate)
+      in
+      let reopen i =
+        match ora with
+        | Some o -> Feasibility.Oracle.set_slot ~obs o ~slot:slots.(i) ~open_:true
+        | None -> ()
+      in
+      (* DFS: i = next slot index, opened = chosen-open slot indices,
+         n_open = |opened|. Undecided slots are i..k-1 and are open in the
+         oracle whenever the DFS sits at index i. Invariant: opened plus
+         all undecided is feasible. *)
       let rec dfs i opened n_open =
         Budget.tick budget;
         incr nodes;
@@ -71,16 +110,14 @@ let solve ?budget ?(obs = Obs.null) (inst : S.t) =
           if i = k then begin
             (* all decided; invariant says [opened] is feasible *)
             best := n_open;
-            best_set := List.rev opened
+            best_set := opened
           end
           else if max n_open mass_lb < !best then begin
             (* try closing slot i: keep going only if still feasible *)
-            let rest = Array.to_list (Array.sub slots (i + 1) (k - i - 1)) in
-            let candidate = List.rev_append opened rest in
-            incr flow_checks;
-            if Feasibility.feasible ~obs inst ~open_slots:candidate then dfs (i + 1) opened n_open;
+            if probe_close i opened then dfs (i + 1) opened n_open;
+            reopen i;
             (* then try opening slot i *)
-            dfs (i + 1) (slots.(i) :: opened) (n_open + 1)
+            dfs (i + 1) (Bitset.add opened i) (n_open + 1)
           end
         end
       in
@@ -90,11 +127,16 @@ let solve ?budget ?(obs = Obs.null) (inst : S.t) =
         last_stats := { nodes = !nodes; flow_checks = !flow_checks };
         Obs.add obs "active.exact.nodes" !nodes;
         Obs.add obs "active.exact.flow_checks" !flow_checks;
-        Solution.of_open_slots inst ~open_slots:!best_set
+        Solution.of_open_slots inst ~open_slots:(to_slots !best_set)
       in
-      incr flow_checks;
+      let root_feasible () =
+        incr flow_checks;
+        match ora with
+        | Some o -> Feasibility.Oracle.check ~obs o
+        | None -> Feasibility.feasible ~obs inst ~open_slots:(Array.to_list slots)
+      in
       (try
-         if Feasibility.feasible ~obs inst ~open_slots:(Array.to_list slots) then dfs 0 [] 0;
+         if root_feasible () then dfs 0 (Bitset.create ~width:k) 0;
          Log.info (fun m ->
              m "branch and bound: %d slots, %d nodes, %d flow checks, optimum %d" k !nodes !flow_checks !best);
          Budget.Complete (finish ())

@@ -21,12 +21,23 @@ val branch_and_bound : Workload.Slotted.t -> Solution.t option
     seed) — [None] inside the outcome still means the instance is
     infeasible, which is always detected before any node is expanded.
 
+    [?oracle] selects the feasibility probe (default
+    {!Feasibility.Incremental}): the incremental mode drives one
+    persistent warm {!Feasibility.Oracle} through the whole search
+    (close slot, re-augment, reopen on backtrack), the [Rebuild] mode
+    reconstructs the flow network per probe. Both modes compute exact
+    max flows, so they return byte-identical optima and record identical
+    [active.exact.nodes] / [active.exact.flow_checks] counters; only the
+    flow-level telemetry (and the wall clock) differs.
+
     With [?obs], runs inside an [active.exact] span and records
     [active.exact.nodes] / [active.exact.flow_checks] (on the exhausted
     path too) plus the nested seed ([active.minimal]) and flow
     counters. *)
 val solve :
-  ?budget:Budget.t -> ?obs:Obs.t -> Workload.Slotted.t -> Solution.t option Budget.outcome
+  ?budget:Budget.t ->
+  ?oracle:Feasibility.probe_mode ->
+  ?obs:Obs.t -> Workload.Slotted.t -> Solution.t option Budget.outcome
 
 val budgeted : budget:Budget.t -> Workload.Slotted.t -> Solution.t option Budget.outcome
 [@@ocaml.deprecated "use [solve ?budget] instead"]

@@ -69,6 +69,147 @@ let feasible ?only_jobs ?(obs = Obs.null) (t : S.t) ~open_slots =
   let net = build t' ~open_slots in
   Flow.max_flow ~obs net.graph ~source:net.source ~sink:net.sink = net.total
 
+type probe_mode = Incremental | Rebuild
+
+(* Persistent incremental oracle over the same Fig. 2 network: built ONCE
+   per instance with every relevant slot and every job wired in, then
+   retargeted between probes by toggling arc capacities on the warm
+   residual graph. Closing a slot zeroes its slot->sink arc after draining
+   the <= g displaced units back to the source; reopening restores the
+   capacity; activating a job raises its source->job arc from 0 to p_j.
+   A probe then re-augments from the current residual state instead of
+   recomputing the max flow from scratch: consecutive B&B probes differ
+   by one slot, so the amortized work per probe is one drain (<= g short
+   walks) plus the augmentation of the recovered units, not a full Dinic
+   run on a freshly allocated graph. *)
+module Oracle = struct
+  type t = {
+    graph : Flow.t;
+    source : int;
+    sink : int;
+    g : int;
+    slot_ids : int array; (* slot index -> slot *)
+    slot_arc : Flow.edge array; (* slot index -> slot->sink arc *)
+    slot_open : bool array;
+    slot_index : (int, int) Hashtbl.t; (* slot -> slot index *)
+    job_arc : Flow.edge array; (* job array index -> source->job arc *)
+    job_active : bool array;
+    job_len : int array;
+    jobs_of_id : (int, int list) Hashtbl.t; (* job id -> array indices *)
+    mutable active_total : int; (* sum of active job lengths *)
+    mutable flow_value : int; (* flow currently routed *)
+  }
+
+  let create ?(obs = Obs.null) ?(open_all = true) ?(activate_all = true) (inst : S.t) =
+    let slots = Array.of_list (S.relevant_slots inst) in
+    let m = Array.length slots in
+    let n = S.num_jobs inst in
+    let slot_index = Hashtbl.create (2 * m) in
+    Array.iteri (fun i s -> Hashtbl.replace slot_index s i) slots;
+    (* nodes: 0 = source, 1..n jobs, n+1..n+m slots, n+m+1 sink *)
+    let source = 0 and sink = n + m + 1 in
+    let g = Flow.create (n + m + 2) in
+    let job_len = Array.map (fun (j : S.job) -> j.S.length) inst.S.jobs in
+    let job_arc =
+      Array.mapi
+        (fun idx (j : S.job) ->
+          Flow.add_edge g ~src:source ~dst:(idx + 1) ~cap:(if activate_all then j.S.length else 0))
+        inst.S.jobs
+    in
+    Array.iteri
+      (fun idx (j : S.job) ->
+        List.iter
+          (fun s ->
+            match Hashtbl.find_opt slot_index s with
+            | Some si -> ignore (Flow.add_edge g ~src:(idx + 1) ~dst:(n + 1 + si) ~cap:1)
+            | None -> ())
+          (S.window_slots j))
+      inst.S.jobs;
+    let slot_arc =
+      Array.init m (fun si ->
+          Flow.add_edge g ~src:(n + 1 + si) ~dst:sink ~cap:(if open_all then inst.S.g else 0))
+    in
+    let jobs_of_id = Hashtbl.create (2 * n) in
+    Array.iteri
+      (fun idx (j : S.job) ->
+        Hashtbl.replace jobs_of_id j.S.id (idx :: Option.value (Hashtbl.find_opt jobs_of_id j.S.id) ~default:[]))
+      inst.S.jobs;
+    Obs.incr obs "active.oracle.builds";
+    {
+      graph = g;
+      source;
+      sink;
+      g = inst.S.g;
+      slot_ids = slots;
+      slot_arc;
+      slot_open = Array.make m open_all;
+      slot_index;
+      job_arc;
+      job_active = Array.make n activate_all;
+      job_len;
+      jobs_of_id;
+      active_total = (if activate_all then S.total_length inst else 0);
+      flow_value = 0;
+    }
+
+  let target t = t.active_total
+  let flow_value t = t.flow_value
+
+  let slot_is_open t ~slot =
+    match Hashtbl.find_opt t.slot_index slot with
+    | None -> false
+    | Some si -> t.slot_open.(si)
+
+  (* toggling an irrelevant slot is a no-op either way: no job can use it,
+     so it exists in no window and carries no flow (mirrors [build], which
+     drops such slots from the network entirely) *)
+  let set_slot ?(obs = Obs.null) t ~slot ~open_ =
+    match Hashtbl.find_opt t.slot_index slot with
+    | None -> ()
+    | Some si ->
+        if t.slot_open.(si) <> open_ then begin
+          let e = t.slot_arc.(si) in
+          if open_ then Flow.set_cap t.graph e t.g
+          else begin
+            let drained = Flow.drain_edge ~obs t.graph e ~source:t.source ~sink:t.sink in
+            t.flow_value <- t.flow_value - drained;
+            Flow.set_cap t.graph e 0
+          end;
+          t.slot_open.(si) <- open_;
+          Obs.incr obs "active.oracle.slot_toggles"
+        end
+
+  let set_job_idx ?(obs = Obs.null) t idx ~active =
+    if t.job_active.(idx) <> active then begin
+      let e = t.job_arc.(idx) in
+      if active then begin
+        Flow.set_cap t.graph e t.job_len.(idx);
+        t.active_total <- t.active_total + t.job_len.(idx)
+      end
+      else begin
+        let drained = Flow.drain_edge ~obs t.graph e ~source:t.source ~sink:t.sink in
+        t.flow_value <- t.flow_value - drained;
+        Flow.set_cap t.graph e 0;
+        t.active_total <- t.active_total - t.job_len.(idx)
+      end;
+      t.job_active.(idx) <- active;
+      Obs.incr obs "active.oracle.job_toggles"
+    end
+
+  let set_job ?obs t ~id ~active =
+    match Hashtbl.find_opt t.jobs_of_id id with
+    | None -> invalid_arg "Feasibility.Oracle.set_job: unknown job id"
+    | Some idxs -> List.iter (fun idx -> set_job_idx ?obs t idx ~active) idxs
+
+  let check ?(obs = Obs.null) t =
+    t.flow_value <- t.flow_value + Flow.augment ~obs t.graph ~source:t.source ~sink:t.sink;
+    Obs.incr obs "active.oracle.checks";
+    t.flow_value = t.active_total
+
+  let open_slots t =
+    List.filteri (fun si _ -> t.slot_open.(si)) (Array.to_list t.slot_ids)
+end
+
 (* [schedule t ~open_slots] is an integral schedule on the open slots, or
    [None] when infeasible. *)
 let schedule (t : S.t) ~open_slots =

@@ -16,3 +16,68 @@ val feasible :
 
 (** An integral schedule on the open slots, or [None] when infeasible. *)
 val schedule : Workload.Slotted.t -> open_slots:int list -> Workload.Slotted.schedule option
+
+(** How a search kernel probes feasibility: [Incremental] retargets one
+    persistent warm {!Oracle} per solve, [Rebuild] reconstructs the flow
+    network per probe (the pre-oracle baseline, kept selectable so the
+    bench harness can measure the speedup and the fuzz oracle can
+    cross-check observational equivalence). *)
+type probe_mode = Incremental | Rebuild
+
+(** Persistent incremental feasibility oracle.
+
+    The Fig. 2 network is built once per instance with every relevant slot
+    and every job wired in; probes then toggle arc capacities on the warm
+    residual graph instead of rebuilding:
+
+    - closing a slot drains the [<= g] displaced flow units back through
+      the residual graph ({!Flow.drain_edge}) and zeroes its slot->sink
+      arc; reopening restores capacity [g];
+    - activating a job raises its source->job arc from [0] to [p_j]
+      (deactivating drains it);
+    - {!Oracle.check} re-augments from the current residual state
+      ({!Flow.augment}) and reports whether the flow saturates every
+      active job arc.
+
+    Amortized work per consecutive-probe toggle is one drain plus the
+    re-augmentation of the recovered units — not a fresh network build
+    plus a from-scratch Dinic run. Answers are observationally equivalent
+    to {!feasible} on the same open set / active jobs (max flow is exact
+    either way); the fuzz oracle and qcheck suites pin this. *)
+module Oracle : sig
+  type t
+
+  (** [create inst] wires the full network. [open_all] (default [true])
+      starts with every relevant slot open; [activate_all] (default
+      [true]) with every job active. With [?obs], records
+      [active.oracle.builds]. *)
+  val create : ?obs:Obs.t -> ?open_all:bool -> ?activate_all:bool -> Workload.Slotted.t -> t
+
+  (** Sum of active job lengths — the flow value [check] must reach. *)
+  val target : t -> int
+
+  (** Flow currently routed (maintained across toggles and drains). *)
+  val flow_value : t -> int
+
+  val slot_is_open : t -> slot:int -> bool
+
+  (** Toggle a slot. Closing drains its routed flow; opening an already
+      open slot (or closing a closed one) is a no-op. Toggling a slot no
+      job can use is a no-op either way (such slots exist in no window
+      and never carry flow, matching [feasible], which ignores them). *)
+  val set_slot : ?obs:Obs.t -> t -> slot:int -> open_:bool -> unit
+
+  (** Toggle every job with the given id (ids are expected unique, but
+      duplicates are all toggled, matching [feasible ?only_jobs]). Raises
+      [Invalid_argument] on an unknown id. *)
+  val set_job : ?obs:Obs.t -> t -> id:int -> active:bool -> unit
+
+  (** Re-augment on the warm residual graph and decide feasibility of the
+      current open set for the currently active jobs. With [?obs],
+      records [active.oracle.checks] plus the {!Flow.augment}
+      counters. *)
+  val check : ?obs:Obs.t -> t -> bool
+
+  (** Currently open slots, sorted. *)
+  val open_slots : t -> int list
+end

@@ -35,28 +35,57 @@ let order_slots order slots =
       List.filter (fun s -> List.mem s slots) explicit @ rest
 
 (* [minimalize inst ~start order] closes slots of [start] greedily in the
-   given order. Returns [None] when [start] itself is infeasible. *)
-let minimalize ?(obs = Obs.null) (inst : S.t) ~start order =
+   given order. Returns [None] when [start] itself is infeasible.
+
+   Both probe modes walk the same closing order and take the same
+   close/keep decisions (feasibility is exact either way), so the
+   [active.minimal.*] counters agree mode to mode; only the flow-level
+   telemetry differs (warm re-augmentations vs cold max-flow runs). *)
+let minimalize ?(oracle = Feasibility.Incremental) ?(obs = Obs.null) (inst : S.t) ~start order =
   Obs.span obs "active.minimal" @@ fun () ->
-  Obs.incr obs "active.minimal.feasibility_checks";
-  if not (Feasibility.feasible ~obs inst ~open_slots:start) then None
-  else begin
-    let current = ref (List.sort_uniq compare start) in
-    List.iter
-      (fun s ->
-        let without = List.filter (fun s' -> s' <> s) !current in
-        Obs.incr obs "active.minimal.feasibility_checks";
-        if Feasibility.feasible ~obs inst ~open_slots:without then begin
-          Obs.incr obs "active.minimal.closures";
-          current := without
-        end)
-      (order_slots order !current);
-    Solution.of_open_slots inst ~open_slots:!current
-  end
+  let start = List.sort_uniq compare start in
+  match oracle with
+  | Feasibility.Rebuild ->
+      Obs.incr obs "active.minimal.feasibility_checks";
+      if not (Feasibility.feasible ~obs inst ~open_slots:start) then None
+      else begin
+        let current = ref start in
+        List.iter
+          (fun s ->
+            let without = List.filter (fun s' -> s' <> s) !current in
+            Obs.incr obs "active.minimal.feasibility_checks";
+            if Feasibility.feasible ~obs inst ~open_slots:without then begin
+              Obs.incr obs "active.minimal.closures";
+              current := without
+            end)
+          (order_slots order !current);
+        Solution.of_open_slots inst ~open_slots:!current
+      end
+  | Feasibility.Incremental ->
+      let o = Feasibility.Oracle.create ~obs inst in
+      let in_start = Hashtbl.create 32 in
+      List.iter (fun s -> Hashtbl.replace in_start s ()) start;
+      List.iter
+        (fun s ->
+          if not (Hashtbl.mem in_start s) then Feasibility.Oracle.set_slot ~obs o ~slot:s ~open_:false)
+        (S.relevant_slots inst);
+      Obs.incr obs "active.minimal.feasibility_checks";
+      if not (Feasibility.Oracle.check ~obs o) then None
+      else begin
+        List.iter
+          (fun s ->
+            Feasibility.Oracle.set_slot ~obs o ~slot:s ~open_:false;
+            Obs.incr obs "active.minimal.feasibility_checks";
+            if Feasibility.Oracle.check ~obs o then Obs.incr obs "active.minimal.closures"
+            else Feasibility.Oracle.set_slot ~obs o ~slot:s ~open_:true)
+          (order_slots order start);
+        Solution.of_open_slots inst ~open_slots:(Feasibility.Oracle.open_slots o)
+      end
 
 (* [solve inst order] starts from all relevant slots open. [None] iff the
    instance is infeasible. *)
-let solve ?obs (inst : S.t) order = minimalize ?obs inst ~start:(S.relevant_slots inst) order
+let solve ?oracle ?obs (inst : S.t) order =
+  minimalize ?oracle ?obs inst ~start:(S.relevant_slots inst) order
 
 (* [is_minimal inst ~open_slots] checks Definition 4: the set is feasible
    and closing any single slot breaks feasibility. *)

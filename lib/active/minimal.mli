@@ -16,15 +16,21 @@ type order =
   | Given of int list  (** close in this order; remaining slots appended *)
 
 (** [minimalize inst ~start order] closes slots of [start] greedily.
-    [None] when [start] itself is infeasible. With [?obs], runs inside an
+    [None] when [start] itself is infeasible. [?oracle] selects the
+    feasibility probe (default {!Feasibility.Incremental}: one warm
+    {!Feasibility.Oracle} drives the whole closing pass); both modes take
+    identical close/keep decisions and record identical
+    [active.minimal.*] counters. With [?obs], runs inside an
     [active.minimal] span and records
     [active.minimal.feasibility_checks] / [active.minimal.closures]. *)
 val minimalize :
+  ?oracle:Feasibility.probe_mode ->
   ?obs:Obs.t -> Workload.Slotted.t -> start:int list -> order -> Solution.t option
 
 (** [solve inst order] minimalizes from all relevant slots open. [None]
     iff the instance is infeasible. *)
-val solve : ?obs:Obs.t -> Workload.Slotted.t -> order -> Solution.t option
+val solve :
+  ?oracle:Feasibility.probe_mode -> ?obs:Obs.t -> Workload.Slotted.t -> order -> Solution.t option
 
 (** Definition 4: feasible, and closing any single slot breaks
     feasibility. *)

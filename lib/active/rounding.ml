@@ -77,10 +77,15 @@ let solve ?budget ?(obs = Obs.null) (inst : S.t) =
         let last = List.nth boundaries (List.length boundaries - 1) in
         assert (
           List.for_all (fun s -> s <= last || Q.is_zero (Lp_model.y_at lp s)) slots);
+        (* One warm oracle for the whole sweep. The sweep only ever opens
+           slots and activates jobs (both monotone capacity increases), so
+           every feasibility test is a pure re-augmentation — no drains. *)
+        let ora = Feasibility.Oracle.create ~obs ~open_all:false ~activate_all:false inst in
         let opened = ref [] in
         let open_slot s =
           assert (not (List.mem s !opened));
           Obs.incr obs "active.rounding.opened";
+          Feasibility.Oracle.set_slot ~obs ora ~slot:s ~open_:true;
           opened := s :: !opened
         in
         let proxy = ref None in
@@ -122,7 +127,13 @@ let solve ?budget ?(obs = Obs.null) (inst : S.t) =
                   end
             in
             proxy := None;
-            Array.iter (fun (j : S.job) -> if j.S.deadline = b then processed := j.S.id :: !processed) inst.S.jobs;
+            Array.iter
+              (fun (j : S.job) ->
+                if j.S.deadline = b then begin
+                  Feasibility.Oracle.set_job ~obs ora ~id:j.S.id ~active:true;
+                  processed := j.S.id :: !processed
+                end)
+              inst.S.jobs;
             Log.debug (fun m ->
                 m "deadline %d: Y=%s base=%d frac_mass=%s pointer=%d" b (Q.to_string yi) base
                   (Q.to_string frac_mass) pointer);
@@ -133,7 +144,7 @@ let solve ?budget ?(obs = Obs.null) (inst : S.t) =
               end
               else if
                 (Obs.incr obs "active.rounding.flow_tests";
-                 Feasibility.feasible ~obs inst ~only_jobs:!processed ~open_slots:!opened)
+                 Feasibility.Oracle.check ~obs ora)
               then begin
                 Log.debug (fun m -> m "  barely open: carrying proxy (%s at %d)" (Q.to_string frac_mass) pointer);
                 Obs.incr obs "active.rounding.proxy_carries";
@@ -145,10 +156,12 @@ let solve ?budget ?(obs = Obs.null) (inst : S.t) =
               end
             end;
             (* Lemma 5/6 invariants *)
-            (if not (Feasibility.feasible ~obs inst ~only_jobs:!processed ~open_slots:!opened) then begin
+            (if not (Feasibility.Oracle.check ~obs ora) then begin
                let pool = List.rev (List.filter (fun s -> not (List.mem s !opened)) slots) in
                let opened', _ = force_feasible inst ~only_jobs:!processed ~opened:!opened ~closed_pool:pool in
                opened := opened';
+               (* resync the oracle with the defensively opened slots *)
+               List.iter (fun s -> Feasibility.Oracle.set_slot ~obs ora ~slot:s ~open_:true) opened';
                fallback := true
              end);
             assert (Q.compare (Q.of_int (List.length !opened)) (Q.mul Q.two !cum_mass) <= 0 || !fallback))

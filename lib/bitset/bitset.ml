@@ -1,0 +1,96 @@
+(* Immutable fixed-width bitsets backed by an int array, 62 bits per word
+   (bit 62 stays clear so every word is a non-negative OCaml int). *)
+
+let bits_per_word = 62
+
+type t = { width : int; words : int array }
+
+(* SWAR popcount on a non-negative OCaml int (63-bit, our words use 62).
+   The usual 64-bit constants, with the first mask truncated to the odd
+   positions reachable by [x lsr 1] (0x5555... does not fit an OCaml
+   int literal; bits of [x lsr 1] stop at 60, so 0x1555... covers them). *)
+let popcount_word x =
+  let x = x - ((x lsr 1) land 0x1555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (x * 0x0101010101010101) lsr 56 land 0x7F
+
+let nwords width = (width + bits_per_word - 1) / bits_per_word
+
+let create ~width =
+  if width < 0 then invalid_arg "Bitset.create: negative width";
+  { width; words = Array.make (nwords width) 0 }
+
+let full ~width =
+  if width < 0 then invalid_arg "Bitset.full: negative width";
+  let words = Array.make (nwords width) 0 in
+  for i = 0 to Array.length words - 1 do
+    let lo = i * bits_per_word in
+    let bits = Stdlib.min bits_per_word (width - lo) in
+    words.(i) <- (1 lsl bits) - 1
+  done;
+  { width; words }
+
+let width t = t.width
+
+let check t i name =
+  if i < 0 || i >= t.width then invalid_arg ("Bitset." ^ name ^ ": element out of range")
+
+let mem t i =
+  check t i "mem";
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let with_word t w f =
+  let words = Array.copy t.words in
+  words.(w) <- f words.(w);
+  { t with words }
+
+let add t i =
+  check t i "add";
+  if mem t i then t else with_word t (i / bits_per_word) (fun x -> x lor (1 lsl (i mod bits_per_word)))
+
+let remove t i =
+  check t i "remove";
+  if not (mem t i) then t
+  else with_word t (i / bits_per_word) (fun x -> x land lnot (1 lsl (i mod bits_per_word)))
+
+let zip name f a b =
+  if a.width <> b.width then invalid_arg ("Bitset." ^ name ^ ": width mismatch");
+  { a with words = Array.init (Array.length a.words) (fun i -> f a.words.(i) b.words.(i)) }
+
+let union a b = zip "union" ( lor ) a b
+let inter a b = zip "inter" ( land ) a b
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+let suffix ~width i =
+  if width < 0 then invalid_arg "Bitset.suffix: negative width";
+  let i = Stdlib.max 0 i in
+  let base = full ~width in
+  for w = 0 to Array.length base.words - 1 do
+    let lo = w * bits_per_word in
+    if i > lo then
+      base.words.(w) <-
+        base.words.(w) land lnot ((1 lsl Stdlib.min bits_per_word (i - lo)) - 1)
+  done;
+  base
+
+let fold f acc t =
+  let acc = ref acc in
+  for w = 0 to Array.length t.words - 1 do
+    let word = ref t.words.(w) in
+    while !word <> 0 do
+      (* lowest set bit *)
+      let b = !word land - !word in
+      let rec log2 b i = if b = 1 then i else log2 (b lsr 1) (i + 1) in
+      acc := f !acc ((w * bits_per_word) + log2 b 0);
+      word := !word land lnot b
+    done
+  done;
+  !acc
+
+let iter f t = fold (fun () i -> f i) () t
+let to_list t = List.rev (fold (fun acc i -> i :: acc) [] t)
+let equal a b = a.width = b.width && a.words = b.words
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}" (String.concat "," (List.map string_of_int (to_list t)))

@@ -1,0 +1,60 @@
+(** Immutable fixed-width bitsets over [0 .. width-1].
+
+    Substrate for the exact active-time search: the branch and bound keeps
+    its chosen-open slot set as a bitset over relevant-slot indices instead
+    of rebuilding [int list]s per node, so the per-node bookkeeping is a
+    handful of word operations and one small array copy.
+
+    Values are immutable: [add]/[remove] return a fresh set, so a DFS can
+    keep the set of the current path on the stack with no undo logic.
+    Widths beyond one machine word are supported (backed by an [int]
+    array, 62 bits per word). *)
+
+type t
+
+(** [create ~width] is the empty set over [0 .. width-1]. Raises
+    [Invalid_argument] on a negative width. *)
+val create : width:int -> t
+
+(** [full ~width] contains every element of [0 .. width-1]. *)
+val full : width:int -> t
+
+val width : t -> int
+
+(** Raise [Invalid_argument] when the element is outside
+    [0 .. width-1]. *)
+
+val mem : t -> int -> bool
+
+val add : t -> int -> t
+val remove : t -> int -> t
+
+(** Set union; the widths must agree (raises [Invalid_argument]
+    otherwise). *)
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+(** Number of elements, via the word-parallel (SWAR) {!popcount_word}. *)
+val cardinal : t -> int
+
+(** [suffix ~width i] is [{i, i+1, ..., width-1}] (empty when
+    [i >= width]); clamps [i < 0] to 0. *)
+val suffix : width:int -> int -> t
+
+(** Members in increasing order. *)
+val to_list : t -> int list
+
+(** [fold f acc t] folds [f] over the members in increasing order. *)
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+val iter : (int -> unit) -> t -> unit
+val equal : t -> t -> bool
+
+(** Word-parallel (SWAR) population count of a native [int], treating it
+    as a 63-bit value; O(log word) operations, no loop over bits. Exposed
+    so other hot paths (e.g. the brute-force subset enumerator) share the
+    implementation. *)
+val popcount_word : int -> int
+
+val pp : Format.formatter -> t -> unit

@@ -7,17 +7,31 @@
     and lets the fuel bound the work instead. *)
 
 (** Budgeted set-partition search, one tick per node (job insertion
-    point). With a budget there is no job cap: exhaustion returns the
-    best packing found so far, which is always valid — at worst the
-    FirstFit/GreedyTracking seed, so the incumbent is never more than 3x
-    optimal. Raises [Invalid_argument] on [g < 1], flexible jobs, or
-    more than 14 jobs without a budget.
+    point, leaves included). With a budget there is no job cap:
+    exhaustion returns the best packing found so far, which is always
+    valid — at worst the FirstFit/GreedyTracking seed, so the incumbent
+    is never more than 3x optimal. Raises [Invalid_argument] on [g < 1],
+    flexible jobs, or more than 14 jobs without a budget.
+
+    The kernel mutates one bundle vector in place with O(1) undo, breaks
+    bundle symmetries (only the first bundle of each clipped-signature
+    class is tried; a fresh bundle is never opened while a dead one
+    exists) and prunes with a suffix lower bound (the uncovered measure
+    of the remaining jobs' intervals must still be paid).
+
+    [~parallel:true] (default false; only without a budget, otherwise
+    [Invalid_argument]) splits the search at the root into a frontier of
+    partial packings searched on separate domains with a shared atomic
+    incumbent. The returned optimum cost is deterministic (winner chosen
+    after the join: minimum cost, lowest frontier index on ties); the
+    representative packing and the node counter may vary run to run.
 
     With [?obs], runs inside a [busy.exact] span and records
     [busy.exact.nodes] (on the exhausted path too) plus the seeds'
     [busy.first_fit.*] / [busy.greedy_tracking.*] counters. *)
 val solve :
   ?budget:Budget.t ->
+  ?parallel:bool ->
   ?obs:Obs.t ->
   g:int ->
   Workload.Bjob.t list ->
@@ -28,6 +42,6 @@ val budgeted :
 [@@ocaml.deprecated "use [solve ?budget] instead"]
 
 (** [solve] with unlimited fuel (so the 14-job cap applies). *)
-val exact : g:int -> Workload.Bjob.t list -> Bundle.packing
+val exact : ?parallel:bool -> g:int -> Workload.Bjob.t list -> Bundle.packing
 
-val optimum : g:int -> Workload.Bjob.t list -> Rational.t
+val optimum : ?parallel:bool -> g:int -> Workload.Bjob.t list -> Rational.t

@@ -10,7 +10,6 @@ type t = {
   mutable edge_count : int;
   adj : int list array; (* per-vertex edge indices, reversed order *)
   n : int;
-  mutable pushed : bool; (* some flow has been pushed since reset *)
 }
 
 and _adj = int list array
@@ -19,7 +18,7 @@ type edge = int
 
 let create n =
   { dst = Array.make 16 0; cap = Array.make 16 0; orig = Array.make 16 0; edge_count = 0;
-    adj = Array.make (Stdlib.max n 1) []; n; pushed = false }
+    adj = Array.make (Stdlib.max n 1) []; n }
 
 let vertex_count t = t.n
 
@@ -48,18 +47,110 @@ let add_edge t ~src ~dst ~cap =
   t.adj.(dst) <- (e + 1) :: t.adj.(dst);
   e
 
-let set_cap t e cap =
-  if t.pushed then invalid_arg "Flow.set_cap: flow present; reset first";
-  if cap < 0 then invalid_arg "Flow.set_cap: negative capacity";
-  t.cap.(e) <- cap;
-  t.orig.(e) <- cap
-
 let flow t e = t.orig.(e) - t.cap.(e)
 let cap t e = t.orig.(e)
 
-let reset t =
-  Array.blit t.orig 0 t.cap 0 t.edge_count;
-  t.pushed <- false
+(* Reset-free capacity update: the flow already routed through the edge is
+   preserved (only the residual headroom changes), so a warm graph can be
+   retargeted between probes without rebuilding. Lowering the capacity
+   below the current flow would leave an infeasible pseudo-flow; callers
+   drain first. *)
+let set_cap t e cap =
+  if cap < 0 then invalid_arg "Flow.set_cap: negative capacity";
+  let f = t.orig.(e) - t.cap.(e) in
+  if cap < f then invalid_arg "Flow.set_cap: capacity below current flow; drain_edge first";
+  t.orig.(e) <- cap;
+  t.cap.(e) <- cap - f
+
+let reset t = Array.blit t.orig 0 t.cap 0 t.edge_count
+
+(* Cancel up to [total] units of flow along flow-carrying walks from
+   [start] to [stop]. [backward] walks against the flow (selecting
+   residual reverse arcs, i.e. arcs whose paired forward edge carries flow
+   INTO the current vertex); forward walks select forward arcs carrying
+   flow OUT of it. Cycles of flow met along a walk are cancelled in place
+   (flow strictly decreases, so this terminates), exactly as in
+   [decompose_paths]. *)
+let cancel_flow t ~start ~stop ~backward total =
+  let want s = if backward then t.orig.(s) = 0 else t.orig.(s) > 0 in
+  let avail s = if t.orig.(s) = 0 then t.cap.(s) else t.orig.(s) - t.cap.(s) in
+  let reduce s amt =
+    if t.orig.(s) = 0 then begin
+      t.cap.(s) <- t.cap.(s) - amt;
+      t.cap.(s lxor 1) <- t.cap.(s lxor 1) + amt
+    end
+    else begin
+      t.cap.(s) <- t.cap.(s) + amt;
+      t.cap.(s lxor 1) <- t.cap.(s lxor 1) - amt
+    end
+  in
+  let remaining = ref total in
+  let pos = Array.make t.n (-1) in
+  let stack_v = Array.make (t.n + 1) 0 in
+  let stack_e = Array.make (t.n + 1) 0 in
+  let exception Restart in
+  while !remaining > 0 && start <> stop do
+    try
+      Array.fill pos 0 t.n (-1);
+      stack_v.(0) <- start;
+      pos.(start) <- 0;
+      let depth = ref 0 in
+      while stack_v.(!depth) <> stop do
+        let v = stack_v.(!depth) in
+        match List.find_opt (fun s -> want s && avail s > 0) t.adj.(v) with
+        | None -> invalid_arg "Flow.drain_edge: flow not traceable to the endpoint"
+        | Some s ->
+            let w = t.dst.(s) in
+            if w <> stop && pos.(w) >= 0 then begin
+              (* cycle w .. v -> w: cancel its flow, restart the walk *)
+              let lo = pos.(w) in
+              let amt = ref (avail s) in
+              for i = lo + 1 to !depth do
+                amt := Stdlib.min !amt (avail stack_e.(i))
+              done;
+              reduce s !amt;
+              for i = lo + 1 to !depth do
+                reduce stack_e.(i) !amt
+              done;
+              raise Restart
+            end
+            else begin
+              incr depth;
+              stack_v.(!depth) <- w;
+              stack_e.(!depth) <- s;
+              pos.(w) <- !depth
+            end
+      done;
+      let amt = ref !remaining in
+      for i = 1 to !depth do
+        amt := Stdlib.min !amt (avail stack_e.(i))
+      done;
+      for i = 1 to !depth do
+        reduce stack_e.(i) !amt
+      done;
+      remaining := !remaining - !amt
+    with Restart -> ()
+  done
+
+let drain_edge ?(obs = Obs.null) t e ~source ~sink =
+  if t.orig.(e) = 0 && t.cap.(e) = 0 then 0
+  else begin
+    let total = flow t e in
+    if total <= 0 then 0
+    else begin
+      let a = t.dst.(e lxor 1) and b = t.dst.(e) in
+      (* zero the edge's own flow, then cancel the displaced units on the
+         source side (backward from the tail) and sink side (forward from
+         the head); total flow value drops by [total] *)
+      t.cap.(e) <- t.cap.(e) + total;
+      t.cap.(e lxor 1) <- t.cap.(e lxor 1) - total;
+      cancel_flow t ~start:a ~stop:source ~backward:true total;
+      cancel_flow t ~start:b ~stop:sink ~backward:false total;
+      Obs.incr obs "flow.drains";
+      Obs.add obs "flow.drained_units" total;
+      total
+    end
+  end
 
 (* BFS levels on the residual graph; level.(v) = -1 when unreachable. *)
 let bfs t ~source ~sink level =
@@ -82,7 +173,10 @@ let bfs t ~source ~sink level =
   done;
   !found
 
-let max_flow ?(obs = Obs.null) t ~source ~sink =
+(* One Dinic run on the current residual graph; returns the ADDITIONAL
+   flow pushed. [call_counter] distinguishes cold calls ([max_flow]) from
+   warm re-augmentations ([augment]) in the telemetry. *)
+let dinic ?(obs = Obs.null) ~call_counter t ~source ~sink =
   if source = sink then invalid_arg "Flow.max_flow: source = sink";
   let level = Array.make t.n (-1) in
   let iter = Array.make t.n [] in
@@ -125,11 +219,14 @@ let max_flow ?(obs = Obs.null) t ~source ~sink =
       d := dfs source max_int
     done
   done;
-  if !total > 0 then t.pushed <- true;
-  Obs.incr obs "flow.max_flow_calls";
+  Obs.incr obs call_counter;
   Obs.add obs "flow.bfs_rounds" !bfs_rounds;
   Obs.add obs "flow.augmentations" !augmentations;
   !total
+
+let max_flow ?obs t ~source ~sink = dinic ?obs ~call_counter:"flow.max_flow_calls" t ~source ~sink
+
+let augment ?obs t ~source ~sink = dinic ?obs ~call_counter:"flow.augment_calls" t ~source ~sink
 
 let min_cut t ~source =
   let side = Array.make t.n false in

@@ -27,17 +27,36 @@ val vertex_count : t -> int
     negative capacity or an out-of-range vertex. *)
 val add_edge : t -> src:int -> dst:int -> cap:int -> edge
 
-(** [set_cap t e cap] replaces the capacity of [e]. Only valid when no flow
-    has been pushed since the last [reset] (raises [Invalid_argument]
-    otherwise); used to toggle slot edges open/closed between feasibility
-    probes without rebuilding the network. *)
+(** [set_cap t e cap] replaces the capacity of [e] {e without} touching
+    the flow already routed through it — the reset-free reuse path that
+    lets a warm network be retargeted between feasibility probes. Raises
+    [Invalid_argument] on a negative capacity or one below the edge's
+    current flow (use {!drain_edge} first to displace it). *)
 val set_cap : t -> edge -> int -> unit
+
+(** [drain_edge t e ~source ~sink] cancels all flow currently routed
+    through [e], walking the displaced units back to [source] on the tail
+    side and forward to [sink] on the head side along flow-carrying arcs
+    (cycles of flow met on the way are cancelled in place). Returns the
+    number of units drained — the total flow value drops by exactly that
+    much, leaving a consistent smaller flow ready for [set_cap] +
+    {!augment}. With [?obs], records [flow.drains] /
+    [flow.drained_units]. *)
+val drain_edge : ?obs:Obs.t -> t -> edge -> source:int -> sink:int -> int
 
 (** [max_flow t ~source ~sink] pushes a maximum flow and returns its value
     (on a second call: the additional value pushed). With [?obs], records
     [flow.max_flow_calls], [flow.bfs_rounds] (Dinic phases) and
     [flow.augmentations] (blocking-flow paths) counters. *)
 val max_flow : ?obs:Obs.t -> t -> source:int -> sink:int -> int
+
+(** [augment t ~source ~sink] re-runs the blocking-flow search on the warm
+    residual graph and returns the {e additional} flow pushed.
+    Operationally identical to {!max_flow} (Dinic is residual-driven), but
+    counted separately ([flow.augment_calls]) so telemetry distinguishes
+    cold solves from incremental re-augmentations after
+    [set_cap]/[drain_edge]. *)
+val augment : ?obs:Obs.t -> t -> source:int -> sink:int -> int
 
 (** Flow currently routed through an edge (never negative). *)
 val flow : t -> edge -> int

@@ -40,6 +40,115 @@ let guard name f =
 (* Active-time (slotted) model                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Deterministic differential walk for the incremental feasibility
+   oracle: toggle slots (and job subsets) in an index-derived pattern and
+   compare every [Oracle.check] against a from-scratch
+   [Feasibility.feasible] on the same open set / job subset. The pattern
+   mixes closes, reopens-after-infeasible and job deactivations — the
+   transitions the warm residual graph must survive. *)
+let check_oracle_differential (inst : S.t) =
+  guard "oracle-differential" @@ fun () ->
+  let slots = Array.of_list (S.relevant_slots inst) in
+  let k = Array.length slots in
+  let idxs = List.init k (fun i -> i) in
+  let o = Active.Feasibility.Oracle.create inst in
+  let open_ = Array.make (Stdlib.max k 1) true in
+  let slot_steps =
+    List.concat
+      [
+        List.filter_map (fun i -> if i mod 2 = 0 then Some (i, false) else None) idxs;
+        List.filter_map (fun i -> if i mod 4 = 0 then Some (i, true) else None) idxs;
+        List.filter_map (fun i -> if i mod 3 = 0 then Some (i, false) else None) idxs;
+        List.map (fun i -> (i, true)) idxs;
+      ]
+  in
+  let mismatch = ref None in
+  List.iter
+    (fun (i, op) ->
+      if !mismatch = None then begin
+        Active.Feasibility.Oracle.set_slot o ~slot:slots.(i) ~open_:op;
+        open_.(i) <- op;
+        let open_slots = List.filteri (fun i _ -> open_.(i)) (Array.to_list slots) in
+        let want = Active.Feasibility.feasible inst ~open_slots in
+        let got = Active.Feasibility.Oracle.check o in
+        if want <> got then
+          mismatch :=
+            fail "oracle-differential"
+              "slot %d %s: oracle says %b, rebuild says %b" slots.(i)
+              (if op then "reopened" else "closed")
+              got want
+      end)
+    slot_steps;
+  (match !mismatch with
+  | None ->
+      (* job phase: deactivate every third id, then reactivate *)
+      let ids = List.sort_uniq compare (Array.to_list (Array.map (fun j -> j.S.id) inst.S.jobs)) in
+      let dropped = List.filteri (fun i _ -> i mod 3 = 0) ids in
+      List.iter (fun id -> Active.Feasibility.Oracle.set_job o ~id ~active:false) dropped;
+      let kept = List.filter (fun id -> not (List.mem id dropped)) ids in
+      let open_slots = List.filteri (fun i _ -> open_.(i)) (Array.to_list slots) in
+      let want = Active.Feasibility.feasible ~only_jobs:kept inst ~open_slots in
+      let got = Active.Feasibility.Oracle.check o in
+      if want <> got then
+        mismatch :=
+          fail "oracle-differential" "with %d/%d jobs: oracle says %b, rebuild says %b"
+            (List.length kept) (List.length ids) got want
+      else begin
+        List.iter (fun id -> Active.Feasibility.Oracle.set_job o ~id ~active:true) dropped;
+        let want = Active.Feasibility.feasible inst ~open_slots in
+        let got = Active.Feasibility.Oracle.check o in
+        if want <> got then
+          mismatch :=
+            fail "oracle-differential" "after reactivation: oracle says %b, rebuild says %b" got
+              want
+      end
+  | Some _ -> ());
+  !mismatch
+
+(* The two probe modes must take the same branching decisions: identical
+   outcome shape, cost and search-effort counters. Counters come from
+   per-call recorders, never [Exact.last_stats] (the harness fans checks
+   out across domains). *)
+let check_probe_modes ~fuel (inst : S.t) =
+  guard "probe-mode-differential" @@ fun () ->
+  let run oracle =
+    let obs = Obs.create () in
+    let r = Active.Exact.solve ~budget:(Budget.limited fuel) ~oracle ~obs inst in
+    let counter name = Option.value (List.assoc_opt name (Obs.counters obs)) ~default:0 in
+    (r, counter "active.exact.nodes", counter "active.exact.flow_checks")
+  in
+  let r_inc, nodes_inc, checks_inc = run Active.Feasibility.Incremental in
+  let r_reb, nodes_reb, checks_reb = run Active.Feasibility.Rebuild in
+  let cost = function
+    | Budget.Complete (Some sol) -> Printf.sprintf "cost %d" (Solution.cost sol)
+    | Budget.Complete None -> "infeasible"
+    | Budget.Exhausted { incumbent = Some sol; _ } ->
+        Printf.sprintf "exhausted, incumbent %d" (Solution.cost sol)
+    | Budget.Exhausted { incumbent = None; _ } -> "exhausted, no incumbent"
+  in
+  let open_set = function
+    | Budget.Complete (Some sol) | Budget.Exhausted { incumbent = Some sol; _ } ->
+        sol.Solution.open_slots
+    | _ -> []
+  in
+  first
+    [
+      (fun () ->
+        if cost r_inc <> cost r_reb then
+          fail "probe-mode-differential" "incremental %s vs rebuild %s" (cost r_inc) (cost r_reb)
+        else None);
+      (fun () ->
+        if open_set r_inc <> open_set r_reb then
+          fail "probe-mode-differential" "optimal open sets differ between probe modes"
+        else None);
+      (fun () ->
+        if nodes_inc <> nodes_reb || checks_inc <> checks_reb then
+          fail "probe-mode-differential"
+            "search effort differs: incremental %d nodes/%d checks, rebuild %d/%d" nodes_inc
+            checks_inc nodes_reb checks_reb
+        else None);
+    ]
+
 let check_slotted ~fuel (inst : S.t) =
   guard "slotted-oracle" @@ fun () ->
   let verify name = function
@@ -162,6 +271,13 @@ let check_slotted ~fuel (inst : S.t) =
                     | _ -> None
                   else None);
               ]);
+      (fun () ->
+        (* differential: warm incremental oracle vs from-scratch rebuilds *)
+        if List.length (S.relevant_slots inst) <= 24 then check_oracle_differential inst else None);
+      (fun () ->
+        if List.length (S.relevant_slots inst) <= 12 && S.num_jobs inst <= 8 then
+          check_probe_modes ~fuel inst
+        else None);
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -20,7 +20,7 @@ Text output is the historical format, byte for byte:
 JSON output is a single schema-1 document on stdout:
 
   $ atbt active inst.txt --algorithm minimal --format json
-  {"schema":1,"tool":"atbt","version":"1.2.0","command":"active","algorithm":"minimal","instance":{"digest":"fnv1a64:aee88f7930ef203d","kind":"slotted","jobs":6,"horizon":22,"g":3},"status":"ok","exit":0,"message":null,"cost":8,"bounds":{"mass":6},"provenance":null,"counters":{"active.minimal.closures":8,"active.minimal.feasibility_checks":17,"flow.augmentations":264,"flow.bfs_rounds":17,"flow.max_flow_calls":17},"spans":[{"name":"active.minimal","ticks":323,"children":[]}]}
+  {"schema":1,"tool":"atbt","version":"1.2.0","command":"active","algorithm":"minimal","instance":{"digest":"fnv1a64:aee88f7930ef203d","kind":"slotted","jobs":6,"horizon":22,"g":3},"status":"ok","exit":0,"message":null,"cost":8,"bounds":{"mass":6},"provenance":null,"counters":{"active.minimal.closures":8,"active.minimal.feasibility_checks":17,"active.oracle.builds":1,"active.oracle.checks":17,"active.oracle.slot_toggles":24,"flow.augment_calls":17,"flow.augmentations":43,"flow.bfs_rounds":15,"flow.drained_units":27,"flow.drains":14},"spans":[{"name":"active.minimal","ticks":183,"children":[]}]}
 
 Two runs of the same seeded instance produce byte-identical telemetry:
 

@@ -329,10 +329,30 @@ let prop_lp_below_opt =
           Q.compare lpc (Q.of_int opt) <= 0 && Q.compare (Q.mul Q.two lpc) (Q.of_int opt) >= 0
       | _ -> false)
 
+(* The incremental oracle must be observationally equivalent to the
+   per-probe rebuild: both compute exact max flows, so the search visits
+   the same tree and reports the same node/probe counters. *)
+let prop_probe_modes_agree =
+  QCheck.Test.make ~name:"incremental oracle = rebuild: optimum and search tree" ~count:30 seed_arb
+    (fun seed ->
+      let inst = Gen.slotted ~params:tiny_params ~seed () in
+      let run oracle =
+        let obs = Obs.create () in
+        let result =
+          match Active.Exact.solve ~oracle ~obs inst with
+          | Budget.Complete sol -> Option.map Active.Solution.cost sol
+          | _ -> None
+        in
+        let counter name = Option.value ~default:0 (List.assoc_opt name (Obs.counters obs)) in
+        (result, counter "active.exact.nodes", counter "active.exact.flow_checks")
+      in
+      run Active.Feasibility.Incremental = run Active.Feasibility.Rebuild)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [ prop_bnb_matches_bruteforce; prop_ilp_matches_bnb; prop_minimal_within_3opt; prop_lp_sandwich;
-      prop_unit_minimal_optimal; prop_right_shift_feasible; prop_lp_below_opt ]
+      prop_unit_minimal_optimal; prop_right_shift_feasible; prop_lp_below_opt;
+      prop_probe_modes_agree ]
 
 let () =
   Alcotest.run "active"

@@ -1,0 +1,111 @@
+(* Bitset: the exact search's slot-set substrate. Unit tests pin the
+   word-boundary behavior (62-bit words), the qcheck properties check the
+   whole API against a reference implementation over sorted int lists. *)
+
+let test_basics () =
+  let b = Bitset.create ~width:10 in
+  Alcotest.(check int) "empty cardinal" 0 (Bitset.cardinal b);
+  let b = Bitset.add (Bitset.add b 3) 7 in
+  Alcotest.(check bool) "mem 3" true (Bitset.mem b 3);
+  Alcotest.(check bool) "mem 4" false (Bitset.mem b 4);
+  Alcotest.(check (list int)) "to_list" [ 3; 7 ] (Bitset.to_list b);
+  let b' = Bitset.remove b 3 in
+  Alcotest.(check (list int)) "after remove" [ 7 ] (Bitset.to_list b');
+  Alcotest.(check (list int)) "original untouched" [ 3; 7 ] (Bitset.to_list b);
+  Alcotest.(check bool) "add is idempotent" true (Bitset.equal b (Bitset.add b 3))
+
+let test_word_boundaries () =
+  (* widths straddling the 62-bit word size *)
+  List.iter
+    (fun width ->
+      let full = Bitset.full ~width in
+      Alcotest.(check int) (Printf.sprintf "full cardinal width %d" width) width
+        (Bitset.cardinal full);
+      Alcotest.(check (list int))
+        (Printf.sprintf "full to_list width %d" width)
+        (List.init width (fun i -> i))
+        (Bitset.to_list full);
+      Alcotest.(check bool)
+        (Printf.sprintf "suffix 0 = full width %d" width)
+        true
+        (Bitset.equal full (Bitset.suffix ~width 0)))
+    [ 1; 61; 62; 63; 124; 125 ]
+
+let test_suffix () =
+  let s = Bitset.suffix ~width:70 65 in
+  Alcotest.(check (list int)) "suffix crosses words" [ 65; 66; 67; 68; 69 ] (Bitset.to_list s);
+  Alcotest.(check int) "empty suffix" 0 (Bitset.cardinal (Bitset.suffix ~width:70 70));
+  Alcotest.(check int) "clamped negative" 70 (Bitset.cardinal (Bitset.suffix ~width:70 (-3)))
+
+let test_popcount_word () =
+  Alcotest.(check int) "zero" 0 (Bitset.popcount_word 0);
+  Alcotest.(check int) "one" 1 (Bitset.popcount_word 1);
+  Alcotest.(check int) "max_int" 62 (Bitset.popcount_word max_int);
+  Alcotest.(check int) "alternating" 31 (Bitset.popcount_word 0x1555555555555555);
+  (* agree with the bit-at-a-time reference *)
+  let reference =
+    let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
+    go 0
+  in
+  List.iter
+    (fun x ->
+      Alcotest.(check int) (Printf.sprintf "popcount %x" x) (reference x) (Bitset.popcount_word x))
+    [ 0xdeadbeef; 0x0F0F0F0F0F0F0F0F; 0x3333333333333333; (1 lsl 62) - 1; 1 lsl 61 ]
+
+(* ----------------------------------------------------------- qcheck -- *)
+
+(* reference model: sorted deduplicated int lists *)
+let elems_gen =
+  QCheck.Gen.(
+    let* width = int_range 1 130 in
+    let* xs = small_list (int_range 0 (width - 1)) in
+    return (width, List.sort_uniq compare xs))
+
+let elems_arb =
+  QCheck.make elems_gen ~print:(fun (w, xs) ->
+      Printf.sprintf "width=%d {%s}" w (String.concat "," (List.map string_of_int xs)))
+
+let of_model width xs = List.fold_left Bitset.add (Bitset.create ~width) xs
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"to_list (of_list)" ~count:500 elems_arb (fun (w, xs) ->
+      Bitset.to_list (of_model w xs) = xs)
+
+let prop_cardinal =
+  QCheck.Test.make ~name:"cardinal = length" ~count:500 elems_arb (fun (w, xs) ->
+      Bitset.cardinal (of_model w xs) = List.length xs)
+
+let prop_union_inter =
+  QCheck.Test.make ~name:"union/inter vs list model" ~count:500
+    QCheck.(pair elems_arb elems_arb)
+    (fun ((w1, xs), (w2, ys)) ->
+      let w = max w1 w2 in
+      let a = of_model w xs and b = of_model w ys in
+      Bitset.to_list (Bitset.union a b) = List.sort_uniq compare (xs @ ys)
+      && Bitset.to_list (Bitset.inter a b) = List.filter (fun x -> List.mem x ys) xs)
+
+let prop_suffix =
+  QCheck.Test.make ~name:"suffix vs list model" ~count:500
+    QCheck.(pair (int_range 1 130) (int_range (-5) 135))
+    (fun (w, i) ->
+      Bitset.to_list (Bitset.suffix ~width:w i)
+      = List.filter (fun x -> x >= i) (List.init w (fun x -> x)))
+
+let prop_fold_order =
+  QCheck.Test.make ~name:"fold ascending = to_list" ~count:500 elems_arb (fun (w, xs) ->
+      List.rev (Bitset.fold (fun acc i -> i :: acc) [] (of_model w xs)) = xs)
+
+let () =
+  Alcotest.run "bitset"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "word boundaries" `Quick test_word_boundaries;
+          Alcotest.test_case "suffix" `Quick test_suffix;
+          Alcotest.test_case "popcount word" `Quick test_popcount_word;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_cardinal; prop_union_inter; prop_suffix; prop_fold_order ] );
+    ]

@@ -66,12 +66,39 @@ let test_reset_and_set_cap () =
   let g = Flow.create 2 in
   let e = Flow.add_edge g ~src:0 ~dst:1 ~cap:5 in
   Alcotest.(check int) "first" 5 (Flow.max_flow g ~source:0 ~sink:1);
-  Alcotest.check_raises "set_cap with flow" (Invalid_argument "Flow.set_cap: flow present; reset first") (fun () ->
-      Flow.set_cap g e 3);
+  (* reset-free: raising the cap keeps the 5 routed units in place *)
+  Flow.set_cap g e 8;
+  Alcotest.(check int) "flow preserved" 5 (Flow.flow g e);
+  Alcotest.(check int) "headroom augments" 3 (Flow.augment g ~source:0 ~sink:1);
+  Alcotest.check_raises "cap below flow" (Invalid_argument "Flow.set_cap: capacity below current flow; drain_edge first")
+    (fun () -> Flow.set_cap g e 3);
   Flow.reset g;
   Alcotest.(check int) "flow zeroed" 0 (Flow.flow g e);
   Flow.set_cap g e 3;
   Alcotest.(check int) "after set_cap" 3 (Flow.max_flow g ~source:0 ~sink:1)
+
+let test_drain_edge () =
+  (* diamond: 0 -> {1,2} -> 3, middle edge carries half the flow *)
+  let g = Flow.create 4 in
+  let a = Flow.add_edge g ~src:0 ~dst:1 ~cap:2 in
+  let b = Flow.add_edge g ~src:0 ~dst:2 ~cap:1 in
+  let c = Flow.add_edge g ~src:1 ~dst:3 ~cap:2 in
+  let d = Flow.add_edge g ~src:2 ~dst:3 ~cap:1 in
+  Alcotest.(check int) "max flow" 3 (Flow.max_flow g ~source:0 ~sink:3);
+  Alcotest.(check int) "drained" 2 (Flow.drain_edge g c ~source:0 ~sink:3);
+  Alcotest.(check int) "edge emptied" 0 (Flow.flow g c);
+  Alcotest.(check int) "tail side cancelled" 0 (Flow.flow g a);
+  Alcotest.(check int) "untouched branch" 1 (Flow.flow g b);
+  Alcotest.(check int) "untouched branch out" 1 (Flow.flow g d);
+  (* close the edge, reopen with a smaller cap, re-augment to the new max *)
+  Flow.set_cap g c 0;
+  Alcotest.(check int) "closed: nothing to push" 0 (Flow.augment g ~source:0 ~sink:3);
+  Flow.set_cap g c 1;
+  Alcotest.(check int) "reopened: one unit back" 1 (Flow.augment g ~source:0 ~sink:3);
+  (* draining an edge with no routed flow is a free no-op *)
+  let g2 = Flow.create 2 in
+  let e2 = Flow.add_edge g2 ~src:0 ~dst:1 ~cap:4 in
+  Alcotest.(check int) "drain flowless edge" 0 (Flow.drain_edge g2 e2 ~source:0 ~sink:1)
 
 let test_incremental_max_flow () =
   let g = Flow.create 2 in
@@ -176,8 +203,39 @@ let prop_decompose_total =
              && List.length (List.sort_uniq compare vs) = List.length vs)
            paths)
 
+(* The incremental-oracle contract at the flow layer: after ANY sequence
+   of capacity retargets on a warm graph (draining first when the new cap
+   sits below the routed flow), re-augmenting reaches exactly the max
+   flow of a freshly built graph with the same capacities. *)
+let prop_warm_reuse =
+  QCheck.Test.make ~name:"warm set_cap/drain/augment = fresh rebuild" ~count:500
+    QCheck.(pair graph_arb (small_list (pair small_nat small_nat)))
+    (fun (g, toggles) ->
+      QCheck.assume (g.n >= 2 && g.edges <> []);
+      let source = 0 and sink = g.n - 1 in
+      let fg, handles = build g in
+      let handles = Array.of_list handles in
+      let caps = Array.map (fun ((_, _, c), _) -> c) handles in
+      let value = ref (Flow.max_flow fg ~source ~sink) in
+      List.for_all
+        (fun (ei, c) ->
+          let ei = ei mod Array.length handles in
+          let c = c mod 9 in
+          let e = snd handles.(ei) in
+          if c < Flow.flow fg e then value := !value - Flow.drain_edge fg e ~source ~sink;
+          Flow.set_cap fg e c;
+          caps.(ei) <- c;
+          value := !value + Flow.augment fg ~source ~sink;
+          let fresh = Flow.create g.n in
+          Array.iteri
+            (fun i ((a, b, _), _) -> ignore (Flow.add_edge fresh ~src:a ~dst:b ~cap:caps.(i)))
+            handles;
+          !value = Flow.max_flow fresh ~source ~sink)
+        toggles)
+
 let props =
-  List.map QCheck_alcotest.to_alcotest [ prop_maxflow_mincut; prop_conservation; prop_decompose_total ]
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_maxflow_mincut; prop_conservation; prop_decompose_total; prop_warm_reuse ]
 
 let () =
   Alcotest.run "flow"
@@ -190,6 +248,7 @@ let () =
           Alcotest.test_case "bipartite matching" `Quick test_bipartite_matching;
           Alcotest.test_case "min cut" `Quick test_min_cut;
           Alcotest.test_case "reset and set_cap" `Quick test_reset_and_set_cap;
+          Alcotest.test_case "drain edge" `Quick test_drain_edge;
           Alcotest.test_case "incremental max flow" `Quick test_incremental_max_flow;
           Alcotest.test_case "decompose paths" `Quick test_decompose_paths;
           Alcotest.test_case "invalid args" `Quick test_invalid_args ] );
