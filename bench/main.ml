@@ -50,6 +50,36 @@ let fixed w s =
 
 let col = fixed 12
 
+(* Survey tables are registry queries, not hand-kept lists: every
+   registered unrestricted busy-interval approximation, worst declared
+   ratio first (FF, GT, 2A, KR). A newly registered solver joins the
+   survey automatically. *)
+let survey_algs () =
+  Core.Registry.approx Core.Instance.Busy_interval
+  |> List.filter (fun (s : Core.Solver.t) -> s.Core.Solver.restriction = None)
+
+let online_algs () =
+  Core.Registry.of_kind Core.Instance.Busy_interval
+  |> List.filter (fun (s : Core.Solver.t) -> s.Core.Solver.online)
+  |> List.sort (fun (a : Core.Solver.t) (b : Core.Solver.t) ->
+         compare a.Core.Solver.rank b.Core.Solver.rank)
+
+let pipeline_algs () = Core.Registry.approx Core.Instance.Busy_flexible
+
+let registry_packing (s : Core.Solver.t) inst =
+  match (s.Core.Solver.solve inst).Core.Result.witness with
+  | Some (Core.Result.Packing p) -> p
+  | _ -> failwith (s.Core.Solver.name ^ ": no packing")
+
+let interval_packing s ~g jobs = registry_packing s (Core.Instance.Interval { g; jobs })
+let flexible_packing s ~g jobs = registry_packing s (Core.Instance.Flexible { g; jobs })
+
+(* short column label: hyphen initials, e.g. greedy-tracking -> GT *)
+let abbrev (s : Core.Solver.t) =
+  String.split_on_char '-' s.Core.Solver.name
+  |> List.map (fun w -> String.make 1 (Char.uppercase_ascii w.[0]))
+  |> String.concat ""
+
 (* One recorder per experiment run; the driver swaps in a fresh one and
    serializes it to BENCH_<exp>.json afterwards (same Json/Obs schema as
    `atbt --format json`, so CI can archive both kinds of document). *)
@@ -366,7 +396,8 @@ let e10 () =
   pr "Mean cost ratios vs the demand-profile lower bound (interval jobs)\n";
   pr "and vs the exact optimum (small instances). Lower is better; the\n";
   pr "guarantees are FF <= 4, GT <= 3, 2A <= 2.\n\n";
-  table_row (List.map col [ "n"; "g"; "FF/LB"; "GT/LB"; "2A/LB"; "KR/LB" ]);
+  let algs = survey_algs () in
+  table_row (List.map col ("n" :: "g" :: List.map (fun s -> abbrev s ^ "/LB") algs));
   List.iter
     (fun (n, g) ->
       let per_seed seed =
@@ -375,43 +406,42 @@ let e10 () =
         if lb <= 0.0 then None
         else
           Some
-            (List.map
-               (fun alg -> f (Busy.Bundle.total_busy (alg ~g jobs)) /. lb)
-               [ (fun ~g jobs -> Busy.First_fit.solve ~g jobs); (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs); (fun ~g jobs -> Busy.Two_approx.solve ~g jobs);
-                 Busy.Kumar_rudra.solve ])
+            (List.map (fun s -> f (Busy.Bundle.total_busy (interval_packing s ~g jobs)) /. lb) algs)
       in
       let rows = List.filter_map (fun x -> x) (Parallel.Pool.init 10 per_seed) in
-      let acc = Array.make 4 0.0 in
+      let acc = Array.make (List.length algs) 0.0 in
       List.iter (fun ratios -> List.iteri (fun i r -> acc.(i) <- acc.(i) +. r) ratios) rows;
       let c = float_of_int (List.length rows) in
       table_row
         (List.map col
-           [ string_of_int n; string_of_int g; Printf.sprintf "%.3f" (acc.(0) /. c);
-             Printf.sprintf "%.3f" (acc.(1) /. c); Printf.sprintf "%.3f" (acc.(2) /. c);
-             Printf.sprintf "%.3f" (acc.(3) /. c) ]))
+           (string_of_int n :: string_of_int g
+           :: List.map (fun v -> Printf.sprintf "%.3f" (v /. c)) (Array.to_list acc))))
     [ (12, 2); (12, 4); (30, 2); (30, 4); (30, 8); (60, 4) ];
   pr "\nSmall instances vs exact optimum (n = 7, g = 2, 10 seeds):\n\n";
   table_row (List.map col [ "algorithm"; "mean ratio"; "max ratio" ]);
-  let ratios = Array.make 3 [] in
+  let ratios = Array.make (List.length algs) [] in
   for seed = 0 to 9 do
     let jobs = Gen.interval_jobs ~n:7 ~horizon:12 ~max_length:4 ~seed () in
     let opt = f (Busy.Exact.optimum ~g:2 jobs) in
     List.iteri
-      (fun i alg -> ratios.(i) <- (f (Busy.Bundle.total_busy (alg ~g:2 jobs)) /. opt) :: ratios.(i))
-      [ (fun ~g jobs -> Busy.First_fit.solve ~g jobs); (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs); (fun ~g jobs -> Busy.Two_approx.solve ~g jobs) ]
+      (fun i s ->
+        ratios.(i) <- (f (Busy.Bundle.total_busy (interval_packing s ~g:2 jobs)) /. opt) :: ratios.(i))
+      algs
   done;
   List.iteri
-    (fun i name ->
+    (fun i (s : Core.Solver.t) ->
       let l = ratios.(i) in
       let mean = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
       let mx = List.fold_left max 0.0 l in
-      table_row (List.map col [ name; Printf.sprintf "%.3f" mean; Printf.sprintf "%.3f" mx ]))
-    [ "FirstFit"; "GreedyTracking"; "TwoApprox" ];
+      table_row
+        (List.map col [ s.Core.Solver.name; Printf.sprintf "%.3f" mean; Printf.sprintf "%.3f" mx ]))
+    algs;
   pr "\nFlexible jobs through the greedy-placement pipeline (vs mass/span LB):\n\n";
-  table_row (List.map col [ "n"; "g"; "FF pipe"; "GT pipe"; "2A pipe" ]);
+  let pipes = pipeline_algs () in
+  table_row (List.map col ("n" :: "g" :: List.map (fun (s : Core.Solver.t) -> s.Core.Solver.name) pipes));
   List.iter
     (fun (n, g) ->
-      let acc = Array.make 3 0.0 in
+      let acc = Array.make (List.length pipes) 0.0 in
       let count = ref 0 in
       for seed = 0 to 4 do
         let jobs = Gen.flexible_jobs ~n ~horizon:(3 * n) ~max_length:5 ~seed () in
@@ -422,15 +452,15 @@ let e10 () =
         if lb > 0.0 then begin
           incr count;
           List.iteri
-            (fun i alg -> acc.(i) <- acc.(i) +. (f (Busy.Bundle.total_busy (alg ~g pinned)) /. lb))
-            [ (fun ~g jobs -> Busy.First_fit.solve ~g jobs); (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs); (fun ~g jobs -> Busy.Two_approx.solve ~g jobs) ]
+            (fun i s -> acc.(i) <- acc.(i) +. (f (Busy.Bundle.total_busy (flexible_packing s ~g jobs)) /. lb))
+            pipes
         end
       done;
       let c = float_of_int !count in
       table_row
         (List.map col
-           [ string_of_int n; string_of_int g; Printf.sprintf "%.3f" (acc.(0) /. c);
-             Printf.sprintf "%.3f" (acc.(1) /. c); Printf.sprintf "%.3f" (acc.(2) /. c) ]))
+           (string_of_int n :: string_of_int g
+           :: List.map (fun v -> Printf.sprintf "%.3f" (v /. c)) (Array.to_list acc))))
     [ (15, 2); (15, 4); (25, 4) ]
 
 (* --------------------------------------------------------------- e11 -- *)
@@ -474,20 +504,22 @@ let e12 () =
   pr "Online algorithms place each job on arrival, irrevocably; the\n";
   pr "deterministic lower bound is g. Empirical competitive ratios vs the\n";
   pr "offline 2-approximation (random streams, 10 seeds):\n\n";
-  table_row (List.map col [ "n"; "g"; "onlineFF/2A"; "bucketed/2A" ]);
+  let online = online_algs () in
+  table_row (List.map col ("n" :: "g" :: List.map (fun s -> abbrev s ^ "/2A") online));
   List.iter
     (fun (n, g) ->
-      let a = ref 0.0 and b = ref 0.0 in
+      let acc = Array.make (List.length online) 0.0 in
       for seed = 0 to 9 do
         let jobs = Gen.interval_jobs ~n ~horizon:(3 * n) ~max_length:8 ~seed () in
         let off = f (Busy.Bundle.total_busy (Busy.Two_approx.solve ~g jobs)) in
-        a := !a +. (f (Busy.Bundle.total_busy (Busy.Online.first_fit ~g jobs)) /. off);
-        b := !b +. (f (Busy.Bundle.total_busy (Busy.Online.bucketed_first_fit ~g jobs)) /. off)
+        List.iteri
+          (fun i s -> acc.(i) <- acc.(i) +. (f (Busy.Bundle.total_busy (interval_packing s ~g jobs)) /. off))
+          online
       done;
       table_row
         (List.map col
-           [ string_of_int n; string_of_int g; Printf.sprintf "%.3f" (!a /. 10.0);
-             Printf.sprintf "%.3f" (!b /. 10.0) ]))
+           (string_of_int n :: string_of_int g
+           :: List.map (fun v -> Printf.sprintf "%.3f" (v /. 10.0)) (Array.to_list acc))))
     [ (20, 2); (20, 4); (50, 4); (50, 8) ];
   pr "\nSingle-machine online maximization (Faigle et al.): fraction of\n";
   pr "the offline optimum completed (10 seeds):\n\n";
@@ -824,21 +856,18 @@ let par () =
 let scaling () =
   header "SCALING: busy-time algorithms vs instance size";
   pr "Wall time for one solve (exact rational arithmetic throughout).\n\n";
-  table_row (List.map col [ "n"; "FF (ms)"; "GT (ms)"; "2A (ms)"; "KR (ms)" ]);
+  let algs = survey_algs () in
+  table_row (List.map col ("n" :: List.map (fun s -> abbrev s ^ " (ms)") algs));
   List.iter
     (fun n ->
       let jobs = Gen.interval_jobs ~n ~horizon:(3 * n) ~max_length:8 ~seed:5 () in
-      let ms alg =
+      let ms s =
         let t0 = Unix.gettimeofday () in
-        ignore (alg ~g:4 jobs);
+        ignore (interval_packing s ~g:4 jobs);
         (Unix.gettimeofday () -. t0) *. 1000.0
       in
       table_row
-        (List.map col
-           [ string_of_int n; Printf.sprintf "%.1f" (ms (fun ~g jobs -> Busy.First_fit.solve ~g jobs));
-             Printf.sprintf "%.1f" (ms (fun ~g jobs -> Busy.Greedy_tracking.solve ~g jobs));
-             Printf.sprintf "%.1f" (ms (fun ~g jobs -> Busy.Two_approx.solve ~g jobs));
-             Printf.sprintf "%.1f" (ms Busy.Kumar_rudra.solve) ]))
+        (List.map col (string_of_int n :: List.map (fun s -> Printf.sprintf "%.1f" (ms s)) algs)))
     [ 50; 100; 200; 400 ]
 
 (* ------------------------------------------------------------- timing -- *)

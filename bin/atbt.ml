@@ -5,13 +5,18 @@
      atbt active jobs.txt --budget 100000 --cascade --format json
      atbt busy jobs.txt -g 4 --algorithm greedy-tracking
      atbt bounds jobs.txt -g 4
+     atbt --list-solvers
 
    Instance files are the plain-text format of {!Workload.Io}.
 
+   Every [--algorithm <name>] resolves through {!Core.Registry} — the
+   CLI carries no per-solver dispatch. [--list-solvers] prints the full
+   registry (kind, name, quality, capability flags, paper artifact).
+
    Failures are structured values, not mid-function exits, so the exit
-   codes are meaningful: 0 success, 1 usage/parse error, 2 internal error
-   (a solver produced an invalid answer), 3 fuel budget exhausted without
-   an answer.
+   codes are meaningful: 0 success, 1 usage/parse error, 2 internal
+   error (a solver produced an invalid answer) or an algorithm name the
+   registry does not know, 3 fuel budget exhausted without an answer.
 
    [--format text] (the default) keeps the historical human-readable
    output. [--format json] emits exactly one machine-readable document on
@@ -26,6 +31,9 @@ module S = Workload.Slotted
 module B = Workload.Bjob
 module Io = Workload.Io
 module J = Obs.Json
+module CI = Core.Instance
+module CR = Core.Result
+module CS = Core.Solver
 
 open Cmdliner
 
@@ -34,9 +42,10 @@ let version = "1.2.0"
 type failure =
   | Usage of string  (* bad flags or unparseable input: exit 1 *)
   | Internal of string  (* a solver broke its own contract: exit 2 *)
+  | Unknown_solver of string  (* --algorithm not in the registry: exit 2 *)
   | Fuel_exhausted of string  (* budget ran out without an answer: exit 3 *)
 
-let ( let* ) = Result.bind
+let ( let* ) = Stdlib.Result.bind
 
 let finish = function
   | Ok () -> 0
@@ -45,6 +54,9 @@ let finish = function
       1
   | Error (Internal msg) ->
       prerr_endline ("atbt: internal error: " ^ msg);
+      2
+  | Error (Unknown_solver msg) ->
+      prerr_endline ("atbt: " ^ msg);
       2
   | Error (Fuel_exhausted msg) ->
       prerr_endline ("atbt: " ^ msg);
@@ -68,6 +80,62 @@ let write_text_file path contents =
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+(* ----------------------------------------------------- registry access -- *)
+
+let resolve kind name =
+  match Core.Registry.find kind name with
+  | Some s -> Ok s
+  | None ->
+      Error
+        (Unknown_solver
+           (Printf.sprintf "unknown algorithm %s (valid for %s: %s; see atbt --list-solvers)"
+              name (CI.kind_name kind)
+              (String.concat "|" (Core.Registry.names kind))))
+
+(* Run a registered solver, mapping its structured exceptions onto the
+   CLI failure space. *)
+let run_solver (s : CS.t) ?budget ?obs ?params inst =
+  match s.CS.solve ?budget ?obs ?params inst with
+  | r -> Ok r
+  | exception CS.Unsupported msg -> Error (Usage msg)
+  | exception CS.Bad_result msg -> Error (Internal msg)
+
+let limited_budget budget = Option.map Budget.limited budget
+
+(* the model-specific spellings of an objective / an exhausted incumbent *)
+let objective_string = function
+  | CR.Slots n -> string_of_int n
+  | CR.Busy q | CR.Value q -> Q.to_string q
+
+let incumbent_string = function
+  | CR.Slots n -> Printf.sprintf "cost %d" n
+  | CR.Busy q | CR.Value q -> Q.to_string q
+
+let objective_json = function
+  | CR.Slots n -> J.Int n
+  | CR.Busy q | CR.Value q -> J.String (Q.to_string q)
+
+let pp_objective fmt = function
+  | CR.Slots n -> Format.pp_print_int fmt n
+  | CR.Busy q | CR.Value q -> Format.pp_print_string fmt (Q.to_string q)
+
+let provenance_json = function
+  | None -> J.Null
+  | Some p -> Budget.Cascade.provenance_to_json ~cost_to_json:objective_json p
+
+let print_provenance = function
+  | None -> ()
+  | Some p -> Format.printf "%a" (Budget.Cascade.pp_provenance ~pp_cost:pp_objective) p
+
+(* The message when a budget ran out without a definitive answer; the
+   solver provides the stem, the incumbent (when any) the detail. *)
+let exhausted_message (s : CS.t) ~spent objective =
+  match objective with
+  | Some obj ->
+      Printf.sprintf "%s after %d ticks; best incumbent %s, not proven optimal; try --cascade"
+        s.CS.exhausted_hint spent (incumbent_string obj)
+  | None -> s.CS.exhausted_hint ^ "; try --cascade"
 
 (* ---------------------------------------------------------- telemetry -- *)
 
@@ -106,6 +174,7 @@ let finish_json ~command ~algorithm ~instance ~message obs result =
         match f with
         | Usage m -> ("usage-error", 1, m)
         | Internal m -> ("internal-error", 2, m)
+        | Unknown_solver m -> ("usage-error", 2, m)
         | Fuel_exhausted m -> ("budget-exhausted", 3, m)
       in
       emit_json ~command ~algorithm ~instance:(instance ()) ~status ~code ~message:(Some msg)
@@ -199,60 +268,60 @@ let check_budget = function
   | Some n when n < 0 -> Error (Usage "--budget must be nonnegative")
   | _ -> Ok ()
 
-let active_fuel budget () =
-  match budget with Some n -> Budget.limited n | None -> Budget.unlimited ()
+let check_order = function
+  | "l2r" | "r2l" -> Ok ()
+  | o -> Error (Usage ("unknown order " ^ o ^ " (l2r|r2l)"))
+
+let active_solution_of = function
+  | Some (CR.Opened { open_slots; schedule }) -> Some { Active.Solution.open_slots; schedule }
+  | _ -> None
+
+(* Common active prelude: validate flags, load, resolve the solver, run.
+   [--cascade] is sugar for the registered composite solver. *)
+let active_run ?obs path algorithm order budget cascade =
+  let* () = check_budget budget in
+  let* instance = load path in
+  let* inst =
+    match instance with
+    | Io.Busy_instance _ -> Error (Usage "active expects a slotted instance")
+    | Io.Slotted_instance inst -> Ok inst
+  in
+  let* () = check_order order in
+  let algorithm = if cascade then "cascade" else algorithm in
+  let* solver = resolve CI.Active_slotted algorithm in
+  let* result =
+    run_solver solver
+      ?budget:(limited_budget budget)
+      ?obs
+      ~params:[ ("order", order) ]
+      (CI.Slotted inst)
+  in
+  Ok (inst, solver, result)
 
 let active_text path algorithm order budget cascade render svg =
   finish
-    (let* () = check_budget budget in
-     let* instance = load path in
-     let* inst =
-       match instance with
-       | Io.Busy_instance _ -> Error (Usage "active expects a slotted instance")
-       | Io.Slotted_instance inst -> Ok inst
-     in
-     let* order =
-       match order with
-       | "l2r" -> Ok Active.Minimal.Left_to_right
-       | "r2l" -> Ok Active.Minimal.Right_to_left
-       | o -> Error (Usage ("unknown order " ^ o ^ " (l2r|r2l)"))
-     in
-     if cascade then begin
-       let limit = Option.value budget ~default:100_000 in
-       let solution, prov = Active.Cascade.solve ~limit inst in
-       Format.printf "%a" Active.Cascade.pp_provenance prov;
-       match solution with
-       | None -> Ok (print_endline "infeasible")
-       | Some sol -> print_active_solution inst sol render svg
-     end
-     else
-       let fuel = active_fuel budget in
-       let* solution =
-         match algorithm with
-         | "minimal" -> Ok (Active.Minimal.solve inst order)
-         | "rounding" -> (
-             try Ok (Option.map fst (Active.Rounding.solve ~budget:(fuel ()) inst))
-             with Budget.Out_of_fuel ->
-               Error (Fuel_exhausted "budget exhausted inside the LP; try --cascade"))
-         | "exact" -> (
-             match Active.Exact.solve ~budget:(fuel ()) inst with
-             | Budget.Complete r -> Ok r
-             | Budget.Exhausted { spent; incumbent } ->
-                 (match incumbent with
-                 | Some sol ->
-                     Printf.printf "budget exhausted after %d ticks; best incumbent (cost %d, not proven optimal):\n"
-                       spent (Active.Solution.cost sol);
-                     Format.printf "%a" Active.Solution.pp sol
-                 | None -> ());
-                 Error (Fuel_exhausted "exact search ran out of budget; try --cascade"))
-         | "unit" ->
-             if Active.Unit_jobs.is_unit inst then Ok (Active.Unit_jobs.solve inst)
-             else Error (Usage "unit algorithm requires unit-length jobs")
-         | other -> Error (Usage ("unknown algorithm " ^ other ^ " (minimal|rounding|exact|unit)"))
-       in
-       match solution with
-       | None -> Ok (print_endline "infeasible")
-       | Some sol -> print_active_solution inst sol render svg)
+    (let* inst, solver, r = active_run path algorithm order budget cascade in
+     print_provenance r.CR.provenance;
+     (match r.CR.note with Some n -> print_endline n | None -> ());
+     match r.CR.status with
+     | CR.Exhausted { spent } ->
+         (match (r.CR.objective, active_solution_of r.CR.witness) with
+         | Some (CR.Slots c), Some sol ->
+             Printf.printf
+               "budget exhausted after %d ticks; best incumbent (cost %d, not proven optimal):\n"
+               spent c;
+             Format.printf "%a" Active.Solution.pp sol
+         | _ -> ());
+         Error (Fuel_exhausted (solver.CS.exhausted_hint ^ "; try --cascade"))
+     | CR.Infeasible -> Ok (print_endline "infeasible")
+     | CR.Solved -> (
+         match active_solution_of r.CR.witness with
+         | Some sol -> print_active_solution inst sol render svg
+         | None -> (
+             (* bound-quality solvers witness no schedule *)
+             match r.CR.objective with
+             | Some obj -> Ok (Printf.printf "objective %s\n" (objective_string obj))
+             | None -> Ok ())))
 
 (* JSON twin of [active_text]: same control flow, machine-readable
    output, solvers run with a live recorder. [--render] is a no-op here
@@ -260,6 +329,7 @@ let active_text path algorithm order budget cascade render svg =
 let active_json path algorithm order budget cascade svg =
   let obs = Obs.create () in
   let instance_json = ref J.Null in
+  let note = ref None in
   let verified inst sol =
     match Active.Solution.verify inst sol with
     | None -> (
@@ -277,62 +347,35 @@ let active_json path algorithm order budget cascade svg =
       | Io.Slotted_instance inst -> Ok inst
     in
     instance_json := slotted_instance_json inst;
-    let* order =
-      match order with
-      | "l2r" -> Ok Active.Minimal.Left_to_right
-      | "r2l" -> Ok Active.Minimal.Right_to_left
-      | o -> Error (Usage ("unknown order " ^ o ^ " (l2r|r2l)"))
-    in
+    let* () = check_order order in
     let bounds = J.Obj [ ("mass", J.Int (S.mass_lower_bound inst)) ] in
-    if cascade then begin
-      let limit = Option.value budget ~default:100_000 in
-      let solution, prov = Active.Cascade.solve ~obs ~limit inst in
-      let prov_json = Budget.Cascade.provenance_to_json ~cost_to_json:(fun c -> J.Int c) prov in
-      match solution with
-      | None -> Ok ("infeasible", J.Null, bounds, prov_json)
-      | Some sol ->
-          let* () = verified inst sol in
-          Ok ("ok", J.Int (Active.Solution.cost sol), bounds, prov_json)
-    end
-    else
-      let fuel = active_fuel budget in
-      let* solution =
-        match algorithm with
-        | "minimal" -> Ok (Active.Minimal.solve ~obs inst order)
-        | "rounding" -> (
-            try Ok (Option.map fst (Active.Rounding.solve ~budget:(fuel ()) ~obs inst))
-            with Budget.Out_of_fuel ->
-              Error (Fuel_exhausted "budget exhausted inside the LP; try --cascade"))
-        | "exact" -> (
-            match Active.Exact.solve ~budget:(fuel ()) ~obs inst with
-            | Budget.Complete r -> Ok r
-            | Budget.Exhausted { spent; incumbent } ->
-                let detail =
-                  match incumbent with
-                  | Some sol ->
-                      Printf.sprintf "; best incumbent cost %d, not proven optimal"
-                        (Active.Solution.cost sol)
-                  | None -> "; no incumbent"
-                in
-                Error
-                  (Fuel_exhausted
-                     (Printf.sprintf "exact search ran out of budget after %d ticks%s; try --cascade"
-                        spent detail)))
-        | "unit" ->
-            if Active.Unit_jobs.is_unit inst then Ok (Active.Unit_jobs.solve inst)
-            else Error (Usage "unit algorithm requires unit-length jobs")
-        | other -> Error (Usage ("unknown algorithm " ^ other ^ " (minimal|rounding|exact|unit)"))
-      in
-      match solution with
-      | None -> Ok ("infeasible", J.Null, bounds, J.Null)
-      | Some sol ->
-          let* () = verified inst sol in
-          Ok ("ok", J.Int (Active.Solution.cost sol), bounds, J.Null)
+    let algorithm = if cascade then "cascade" else algorithm in
+    let* solver = resolve CI.Active_slotted algorithm in
+    let* r =
+      run_solver solver
+        ?budget:(limited_budget budget)
+        ~obs
+        ~params:[ ("order", order) ]
+        (CI.Slotted inst)
+    in
+    note := r.CR.note;
+    let prov = provenance_json r.CR.provenance in
+    match r.CR.status with
+    | CR.Exhausted { spent } ->
+        Error (Fuel_exhausted (exhausted_message solver ~spent r.CR.objective))
+    | CR.Infeasible -> Ok ("infeasible", J.Null, bounds, prov)
+    | CR.Solved -> (
+        match (active_solution_of r.CR.witness, r.CR.objective) with
+        | Some sol, _ ->
+            let* () = verified inst sol in
+            Ok ("ok", J.Int (Active.Solution.cost sol), bounds, prov)
+        | None, Some obj -> Ok ("ok", objective_json obj, bounds, prov)
+        | None, None -> Ok ("ok", J.Null, bounds, prov))
   in
   let algorithm = if cascade then "cascade" else algorithm in
   finish_json ~command:"active" ~algorithm:(Some algorithm)
     ~instance:(fun () -> !instance_json)
-    ~message:(fun () -> None)
+    ~message:(fun () -> !note)
     obs result
 
 let active_solve path algorithm order budget cascade render svg format verbose =
@@ -354,7 +397,7 @@ let format_arg =
 let active_cmd =
   let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let algorithm =
-    Arg.(value & opt string "rounding" & info [ "algorithm"; "a" ] ~docv:"ALG" ~doc:"minimal, rounding, exact or unit")
+    Arg.(value & opt string "rounding" & info [ "algorithm"; "a" ] ~docv:"ALG" ~doc:"a registered active-slotted solver (see --list-solvers)")
   in
   let order = Arg.(value & opt string "r2l" & info [ "order" ] ~docv:"ORDER" ~doc:"closing order for minimal: l2r or r2l") in
   let render = Arg.(value & flag & info [ "render" ] ~doc:"print an ASCII Gantt chart") in
@@ -396,6 +439,28 @@ let parse_placement = function
   | "exact" -> Ok Busy.Pipeline.Exact_placement
   | o -> Error (Usage ("unknown placement " ^ o ^ " (greedy|exact)"))
 
+let busy_packing_of = function Some (CR.Packing p) -> Some p | _ -> None
+
+(* Objective of a preemptive-model solver run on [jobs]. *)
+let preemptive_objective ?obs name ~g jobs =
+  let* solver = resolve CI.Busy_preemptive name in
+  let* r = run_solver solver ?obs (CI.Preemptive { g; jobs }) in
+  match r.CR.objective with
+  | Some (CR.Busy q) -> Ok q
+  | _ -> Error (Internal (name ^ " returned no objective"))
+
+(* Common busy prelude for the non-preemptive, non-empty path: place the
+   (possibly flexible) jobs, then resolve and run the interval solver on
+   the pinned instance. [--cascade] is sugar for the composite solver. *)
+let busy_run ?obs ~g algorithm placement_mode budget cascade jobs =
+  let pinned = Busy.Pipeline.place placement_mode jobs in
+  let algorithm = if cascade then "cascade" else algorithm in
+  let* solver = resolve CI.Busy_interval algorithm in
+  let* result =
+    run_solver solver ?budget:(limited_budget budget) ?obs (CI.Interval { g; jobs = pinned })
+  in
+  Ok (pinned, solver, result)
+
 let busy_text path g algorithm placement preemptive budget cascade render svg =
   finish
     (let* () = check_budget budget in
@@ -406,75 +471,31 @@ let busy_text path g algorithm placement preemptive budget cascade render svg =
        | Io.Busy_instance jobs -> Ok jobs
      in
      if jobs = [] then Ok (print_endline "empty instance: busy time 0")
-     else if preemptive then begin
-       let sol = Busy.Preemptive.unbounded jobs in
-       let* () =
-         match Busy.Preemptive.check jobs sol with
-         | None -> Ok ()
-         | Some problem -> Error (Internal problem)
-       in
-       let cost, _, _ = Busy.Preemptive.bounded ~g jobs in
-       Printf.printf "preemptive busy time: unbounded capacity %s, capacity %d: %s\n"
-         (Q.to_string sol.Busy.Preemptive.cost) g (Q.to_string cost);
-       Ok ()
-     end
+     else if preemptive then
+       let* unbounded = preemptive_objective "preemptive-unbounded" ~g jobs in
+       let* bounded = preemptive_objective "preemptive" ~g jobs in
+       Ok
+         (Printf.printf "preemptive busy time: unbounded capacity %s, capacity %d: %s\n"
+            (Q.to_string unbounded) g (Q.to_string bounded))
      else
        let* placement_mode = parse_placement placement in
-       if cascade then begin
-         let limit = Option.value budget ~default:100_000 in
-         let pinned = Busy.Pipeline.place placement_mode jobs in
-         let packing, prov = Busy.Cascade.solve ~limit ~g pinned in
-         Format.printf "%a" Busy.Cascade.pp_provenance prov;
-         match packing with
-         | None -> Error (Internal "cascade returned no packing")
-         | Some packing -> print_packing ~g pinned packing render svg
-       end
-       else
-         let* pinned, packing =
-           match algorithm with
-           | "first-fit" ->
-               Ok (Busy.Pipeline.run ~g ~placement:placement_mode ~algorithm:Busy.Pipeline.First_fit jobs)
-           | "greedy-tracking" ->
-               Ok (Busy.Pipeline.run ~g ~placement:placement_mode ~algorithm:Busy.Pipeline.Greedy_tracking jobs)
-           | "two-approx" ->
-               Ok (Busy.Pipeline.run ~g ~placement:placement_mode ~algorithm:Busy.Pipeline.Two_approx jobs)
-           | "exact" -> (
-               let pinned = Busy.Pipeline.place placement_mode jobs in
-               let fuel = match budget with Some n -> Budget.limited n | None -> Budget.unlimited () in
-               let* () =
-                 if budget = None && List.length pinned > 14 then
-                   Error (Usage "exact without --budget is capped at 14 jobs")
-                 else Ok ()
-               in
-               match Busy.Exact.solve ~budget:fuel ~g pinned with
-               | Budget.Complete packing -> Ok (pinned, packing)
-               | Budget.Exhausted { spent; incumbent } ->
-                   Printf.printf
-                     "budget exhausted after %d ticks; best incumbent %s (not proven optimal)\n" spent
-                     (Q.to_string (Busy.Bundle.total_busy incumbent));
-                   Error (Fuel_exhausted "exact search ran out of budget; try --cascade"))
-           | "auto" ->
-               (* structure-aware dispatch: exact where a special case
-                  applies, 2-approximation otherwise *)
-               let pinned = Busy.Pipeline.place placement_mode jobs in
-               let pick () =
-                 if Busy.Laminar.is_laminar pinned then ("laminar (exact DP)", Busy.Laminar.exact ~g pinned)
-                 else if Busy.Special.is_proper pinned && Busy.Special.is_clique pinned then
-                   ("proper clique (exact DP)", Busy.Special.proper_clique_exact ~g pinned)
-                 else if Busy.Special.is_proper pinned then
-                   ("proper (2-approx greedy)", Busy.Special.proper_greedy ~g pinned)
-                 else if Busy.Special.is_clique pinned then
-                   ("clique (2-approx greedy)", Busy.Special.clique_greedy ~g pinned)
-                 else ("general (flow 2-approx)", Busy.Two_approx.solve ~g pinned)
-               in
-               let structure, packing = pick () in
-               Printf.printf "detected structure: %s\n" structure;
-               Ok (pinned, packing)
-           | o ->
-               Error
-                 (Usage ("unknown algorithm " ^ o ^ " (first-fit|greedy-tracking|two-approx|exact|auto)"))
-         in
-         print_packing ~g pinned packing render svg)
+       let* pinned, solver, r = busy_run ~g algorithm placement_mode budget cascade jobs in
+       print_provenance r.CR.provenance;
+       (match r.CR.note with Some n -> print_endline n | None -> ());
+       match r.CR.status with
+       | CR.Exhausted { spent } ->
+           (match r.CR.objective with
+           | Some obj ->
+               Printf.printf
+                 "budget exhausted after %d ticks; best incumbent %s (not proven optimal)\n" spent
+                 (objective_string obj)
+           | None -> ());
+           Error (Fuel_exhausted (solver.CS.exhausted_hint ^ "; try --cascade"))
+       | CR.Infeasible -> Error (Internal "cascade returned no packing")
+       | CR.Solved -> (
+           match busy_packing_of r.CR.witness with
+           | Some packing -> print_packing ~g pinned packing render svg
+           | None -> Error (Internal (solver.CS.name ^ " returned no packing"))))
 
 (* JSON twin of [busy_text]. Bounds are the Section-4.1 lower bounds on
    the pinned instance; [cost] is the packing's total busy time as an
@@ -511,81 +532,28 @@ let busy_json path g algorithm placement preemptive budget cascade svg =
     in
     instance_json := busy_instance_json ~g jobs;
     if jobs = [] then Ok ("ok", q Q.zero, bounds_json [], J.Null)
-    else if preemptive then begin
-      let sol = Busy.Preemptive.unbounded jobs in
-      let* () =
-        match Busy.Preemptive.check jobs sol with
-        | None -> Ok ()
-        | Some problem -> Error (Internal problem)
-      in
-      let cost, _, _ = Busy.Preemptive.bounded ~g jobs in
+    else if preemptive then
+      let* unbounded = preemptive_objective ~obs "preemptive-unbounded" ~g jobs in
+      let* bounded = preemptive_objective ~obs "preemptive" ~g jobs in
       let bounds =
-        J.Obj
-          [ ("mass", q (Busy.Bounds.mass ~g jobs));
-            ("preemptive_unbounded", q sol.Busy.Preemptive.cost) ]
+        J.Obj [ ("mass", q (Busy.Bounds.mass ~g jobs)); ("preemptive_unbounded", q unbounded) ]
       in
-      Ok ("ok", q cost, bounds, J.Null)
-    end
+      Ok ("ok", q bounded, bounds, J.Null)
     else
       let* placement_mode = parse_placement placement in
-      if cascade then begin
-        let limit = Option.value budget ~default:100_000 in
-        let pinned = Busy.Pipeline.place placement_mode jobs in
-        let packing, prov = Busy.Cascade.solve ~obs ~limit ~g pinned in
-        let prov_json = Budget.Cascade.provenance_to_json ~cost_to_json:q prov in
-        match packing with
-        | None -> Error (Internal "cascade returned no packing")
-        | Some packing ->
-            let* () = checked pinned packing in
-            Ok ("ok", q (Busy.Bundle.total_busy packing), bounds_json pinned, prov_json)
-      end
-      else
-        let* pinned, packing =
-          match algorithm with
-          | "first-fit" ->
-              Ok (Busy.Pipeline.run ~obs ~g ~placement:placement_mode ~algorithm:Busy.Pipeline.First_fit jobs)
-          | "greedy-tracking" ->
-              Ok (Busy.Pipeline.run ~obs ~g ~placement:placement_mode ~algorithm:Busy.Pipeline.Greedy_tracking jobs)
-          | "two-approx" ->
-              Ok (Busy.Pipeline.run ~obs ~g ~placement:placement_mode ~algorithm:Busy.Pipeline.Two_approx jobs)
-          | "exact" -> (
-              let pinned = Busy.Pipeline.place placement_mode jobs in
-              let fuel = match budget with Some n -> Budget.limited n | None -> Budget.unlimited () in
-              let* () =
-                if budget = None && List.length pinned > 14 then
-                  Error (Usage "exact without --budget is capped at 14 jobs")
-                else Ok ()
-              in
-              match Busy.Exact.solve ~budget:fuel ~obs ~g pinned with
-              | Budget.Complete packing -> Ok (pinned, packing)
-              | Budget.Exhausted { spent; incumbent } ->
-                  Error
-                    (Fuel_exhausted
-                       (Printf.sprintf
-                          "exact search ran out of budget after %d ticks; best incumbent %s, not proven optimal; try --cascade"
-                          spent
-                          (Q.to_string (Busy.Bundle.total_busy incumbent)))))
-          | "auto" ->
-              let pinned = Busy.Pipeline.place placement_mode jobs in
-              let pick () =
-                if Busy.Laminar.is_laminar pinned then ("laminar (exact DP)", Busy.Laminar.exact ~g pinned)
-                else if Busy.Special.is_proper pinned && Busy.Special.is_clique pinned then
-                  ("proper clique (exact DP)", Busy.Special.proper_clique_exact ~g pinned)
-                else if Busy.Special.is_proper pinned then
-                  ("proper (2-approx greedy)", Busy.Special.proper_greedy ~g pinned)
-                else if Busy.Special.is_clique pinned then
-                  ("clique (2-approx greedy)", Busy.Special.clique_greedy ~g pinned)
-                else ("general (flow 2-approx)", Busy.Two_approx.solve ~obs ~g pinned)
-              in
-              let structure, packing = pick () in
-              note := Some ("detected structure: " ^ structure);
-              Ok (pinned, packing)
-          | o ->
-              Error
-                (Usage ("unknown algorithm " ^ o ^ " (first-fit|greedy-tracking|two-approx|exact|auto)"))
-        in
-        let* () = checked pinned packing in
-        Ok ("ok", q (Busy.Bundle.total_busy packing), bounds_json pinned, J.Null)
+      let* pinned, solver, r = busy_run ~obs ~g algorithm placement_mode budget cascade jobs in
+      note := r.CR.note;
+      let prov = provenance_json r.CR.provenance in
+      match r.CR.status with
+      | CR.Exhausted { spent } ->
+          Error (Fuel_exhausted (exhausted_message solver ~spent r.CR.objective))
+      | CR.Infeasible -> Error (Internal "cascade returned no packing")
+      | CR.Solved -> (
+          match busy_packing_of r.CR.witness with
+          | Some packing ->
+              let* () = checked pinned packing in
+              Ok ("ok", q (Busy.Bundle.total_busy packing), bounds_json pinned, prov)
+          | None -> Error (Internal (solver.CS.name ^ " returned no packing")))
   in
   let algorithm =
     if preemptive then "preemptive" else if cascade then "cascade" else algorithm
@@ -605,7 +573,7 @@ let busy_cmd =
   let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let g = Arg.(value & opt int 2 & info [ "g" ] ~docv:"G" ~doc:"machine capacity") in
   let algorithm =
-    Arg.(value & opt string "greedy-tracking" & info [ "algorithm"; "a" ] ~docv:"ALG" ~doc:"first-fit, greedy-tracking, two-approx, exact or auto")
+    Arg.(value & opt string "greedy-tracking" & info [ "algorithm"; "a" ] ~docv:"ALG" ~doc:"a registered busy-interval solver (see --list-solvers)")
   in
   let placement =
     Arg.(value & opt string "greedy" & info [ "placement" ] ~docv:"P" ~doc:"flexible-job placement: greedy or exact")
@@ -649,9 +617,28 @@ let bounds_cmd =
   let g = Arg.(value & opt int 2 & info [ "g" ] ~docv:"G" ~doc:"machine capacity") in
   Cmd.v (Cmd.info "bounds" ~doc:"Print lower bounds for an instance") Term.(const bounds $ path $ g)
 
+(* -------------------------------------------------------- list-solvers -- *)
+
+(* One line per registered solver, deterministically ordered by
+   (kind, name); CI diffs this against test/list_solvers.golden. *)
+let list_solvers () =
+  Printf.printf "%-16s %-20s %-11s %-24s %s\n" "KIND" "NAME" "QUALITY" "FLAGS" "PAPER";
+  List.iter
+    (fun (s : CS.t) ->
+      Printf.printf "%-16s %-20s %-11s %-24s %s\n" (CI.kind_name s.CS.kind) s.CS.name
+        (CS.quality_to_string s.CS.quality)
+        (CS.flags_to_string s) s.CS.paper)
+    (Core.Registry.all ())
+
 (* ---------------------------------------------------------------- main -- *)
 
 let () =
+  (* intercepted before Cmdliner: a top-level flag on a subcommand group
+     would otherwise change the bare `atbt` behaviour *)
+  if Array.exists (fun a -> a = "--list-solvers") Sys.argv then begin
+    list_solvers ();
+    exit 0
+  end;
   let info =
     Cmd.info "atbt" ~version
       ~doc:"Minimizing active and busy time (Chang, Khuller, Mukherjee; SPAA 2014)"

@@ -1,24 +1,32 @@
-(* Graceful degradation for the active-time model: run the solver tiers
-   in quality order, each under a fresh fuel budget, and return the first
-   answer together with a provenance record. The last tier
-   (minimal-feasible greedy, a 3-approximation) is polynomial and ignores
-   its budget, so the cascade always terminates with an answer on
-   feasible instances. *)
+(* Graceful degradation for the active-time model: run the registered
+   solver tiers in capability order, each under a fresh fuel budget, and
+   return the first answer together with a provenance record. The ladder
+   comes from the registry ({!Core.Registry.cascade_ladder}): every
+   active-slotted solver carrying a [cascade_tier] — exact branch and
+   bound, then LP rounding, then the minimal-feasible greedy — under its
+   historical tier label. The last tier is polynomial and ignores its
+   budget, so the cascade always terminates with an answer on feasible
+   instances. *)
 
 module S = Workload.Slotted
 
 type provenance = int Budget.Cascade.provenance
 
+(* Adapt a registered solver to a Budget.Cascade tier: a definitive
+   Result answers (or settles infeasibility), exhaustion passes the
+   baton to the next tier. *)
 let tiers ~obs (inst : S.t) =
-  [
-    ( "exact",
-      fun b ->
-        match Exact.solve ~budget:b ~obs inst with
-        | Budget.Complete r -> r
-        | Budget.Exhausted _ -> raise Budget.Out_of_fuel );
-    ("lp-rounding", fun b -> Option.map fst (Rounding.solve ~budget:b ~obs inst));
-    ("minimal", fun _ -> Minimal.solve ~obs inst Minimal.Right_to_left);
-  ]
+  Core.Registry.cascade_ladder Core.Instance.Active_slotted
+  |> List.map (fun (label, (s : Core.Solver.t)) ->
+         ( label,
+           fun b ->
+             match s.Core.Solver.solve ~budget:b ~obs (Core.Instance.Slotted inst) with
+             | { Core.Result.status = Core.Result.Exhausted _; _ } -> raise Budget.Out_of_fuel
+             | { Core.Result.status = Core.Result.Infeasible; _ } -> None
+             | { Core.Result.witness = Some (Core.Result.Opened { open_slots; schedule }); _ }
+               ->
+                 Some { Solution.open_slots; schedule }
+             | _ -> invalid_arg ("Cascade.solve: tier " ^ label ^ " returned no schedule") ))
 
 let solve ?(obs = Obs.null) ~limit (inst : S.t) =
   let r = Budget.Cascade.run ~obs ~limit (tiers ~obs inst) in

@@ -145,7 +145,6 @@ let solve ?budget ?(oracle = Feasibility.Incremental) ?(obs = Obs.null) (inst : 
              m "branch and bound: out of fuel after %d nodes, incumbent %d" !nodes !best);
          Budget.Exhausted { spent = Budget.spent budget; incumbent = finish () })
 
-let budgeted ~budget inst = solve ~budget inst
 
 let branch_and_bound (inst : S.t) =
   match solve ~budget:(Budget.unlimited ()) inst with

@@ -39,9 +39,6 @@ val solve :
   ?oracle:Feasibility.probe_mode ->
   ?obs:Obs.t -> Workload.Slotted.t -> Solution.t option Budget.outcome
 
-val budgeted : budget:Budget.t -> Workload.Slotted.t -> Solution.t option Budget.outcome
-[@@ocaml.deprecated "use [solve ?budget] instead"]
-
 (** Optimal active time ([None] iff infeasible). *)
 val optimum : Workload.Slotted.t -> int option
 

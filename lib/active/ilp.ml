@@ -123,7 +123,6 @@ let solve ?budget ?(obs = Obs.null) (inst : S.t) =
          Log.info (fun m -> m "ILP: out of fuel after %d nodes, incumbent %d" !nodes !best);
          Budget.Exhausted { spent = Budget.spent budget; incumbent = finish () })
 
-let budgeted ~budget inst = solve ~budget inst
 
 let exact (inst : S.t) =
   match solve ~budget:(Budget.unlimited ()) inst with

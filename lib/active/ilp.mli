@@ -34,10 +34,6 @@ val solve :
   Workload.Slotted.t ->
   (Solution.t * stats) option Budget.outcome
 
-val budgeted :
-  budget:Budget.t -> Workload.Slotted.t -> (Solution.t * stats) option Budget.outcome
-[@@ocaml.deprecated "use [solve ?budget] instead"]
-
 (** [None] iff the instance is infeasible; otherwise the exact optimum
     with search statistics ([solve] with unlimited fuel). *)
 val exact : Workload.Slotted.t -> (Solution.t * stats) option

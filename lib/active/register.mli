@@ -1,0 +1,7 @@
+(** Registers every active-time solver with {!Core.Registry}. The
+    registrations run from this module's top-level initializer, which
+    [-linkall] keeps in every executable linking the library; [force]
+    exists for call sites that want an explicit dependency (e.g. tests
+    asserting registry completeness). *)
+
+val force : unit -> unit

@@ -97,6 +97,17 @@ module Cascade = struct
       bound_label;
     }
 
+  let map_provenance f p =
+    {
+      winner = p.winner;
+      attempts = p.attempts;
+      cost = Option.map f p.cost;
+      bound = f p.bound;
+      gap = Option.map f p.gap;
+      cost_label = p.cost_label;
+      bound_label = p.bound_label;
+    }
+
   let pp_provenance ~pp_cost fmt p =
     List.iter (fun a -> Format.fprintf fmt "cascade: %a@." pp_attempt a) p.attempts;
     let tier = Option.value p.winner ~default:"none" in

@@ -110,6 +110,11 @@ module Cascade : sig
     'a result ->
     'cost provenance
 
+  (** Map the cost type of a provenance (labels and attempts unchanged):
+      how the registry lifts a model-specific provenance ([int] slots or
+      rational busy time) into the shared objective type. *)
+  val map_provenance : ('a -> 'b) -> 'a provenance -> 'b provenance
+
   (** One [cascade: tier ...] line per attempt, then a final
       [provenance: tier=<w> <cost_label>=<c> <bound_label>=<b> gap=<g>]
       line (or [... no-answer <bound_label>=<b>] without an answer). *)

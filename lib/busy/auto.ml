@@ -1,0 +1,7 @@
+let solve ?obs ~g jobs =
+  if Laminar.is_laminar jobs then ("laminar (exact DP)", Laminar.exact ~g jobs)
+  else if Special.is_proper jobs && Special.is_clique jobs then
+    ("proper clique (exact DP)", Special.proper_clique_exact ~g jobs)
+  else if Special.is_proper jobs then ("proper (2-approx greedy)", Special.proper_greedy ~g jobs)
+  else if Special.is_clique jobs then ("clique (2-approx greedy)", Special.clique_greedy ~g jobs)
+  else ("general (flow 2-approx)", Two_approx.solve ?obs ~g jobs)

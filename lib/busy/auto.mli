@@ -1,0 +1,11 @@
+(** Structure-aware dispatch (the CLI's historical [--algorithm auto]):
+    run the exact DP where a special case applies — laminar windows, or
+    proper clique instances — the 2-approximate greedy on proper or
+    clique instances, and the flow-based 2-approximation otherwise.
+    Interval jobs only. *)
+
+(** Returns the detected structure (human-readable, e.g.
+    ["laminar (exact DP)"]) and the packing. [?obs] reaches only the
+    general-case {!Two_approx} solver — the special-case DPs and greedies
+    are unmetered, matching the historical CLI behaviour. *)
+val solve : ?obs:Obs.t -> g:int -> Workload.Bjob.t list -> string * Bundle.packing

@@ -297,7 +297,6 @@ let solve ?budget ?(parallel = false) ?(obs = Obs.null) ~g jobs =
     Budget.Complete !best_packing
   end
 
-let budgeted ~budget ~g jobs = solve ~budget ~g jobs
 
 let exact ?parallel ~g jobs =
   match solve ?parallel ~g jobs with

@@ -37,10 +37,6 @@ val solve :
   Workload.Bjob.t list ->
   Bundle.packing Budget.outcome
 
-val budgeted :
-  budget:Budget.t -> g:int -> Workload.Bjob.t list -> Bundle.packing Budget.outcome
-[@@ocaml.deprecated "use [solve ?budget] instead"]
-
 (** [solve] with unlimited fuel (so the 14-job cap applies). *)
 val exact : ?parallel:bool -> g:int -> Workload.Bjob.t list -> Bundle.packing
 

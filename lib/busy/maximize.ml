@@ -56,7 +56,6 @@ let solve ?fuel ?(obs = Obs.null) ~g ~budget jobs =
     finish ();
     Budget.Exhausted { spent = Budget.spent fuel; incumbent = !best }
 
-let exact_budgeted ~fuel ~g ~budget jobs = solve ~fuel ~g ~budget jobs
 
 let exact ~g ~budget jobs =
   if List.length jobs > 12 then invalid_arg "Maximize.exact: too many jobs for exhaustive search";

@@ -26,11 +26,6 @@ val solve :
   ?fuel:Budget.t -> ?obs:Obs.t -> g:int -> budget:Rational.t -> Workload.Bjob.t list ->
   (Workload.Bjob.t list * Rational.t * Bundle.packing) Budget.outcome
 
-val exact_budgeted :
-  fuel:Budget.t -> g:int -> budget:Rational.t -> Workload.Bjob.t list ->
-  (Workload.Bjob.t list * Rational.t * Bundle.packing) Budget.outcome
-[@@ocaml.deprecated "use [solve ?fuel] instead"]
-
 (** Cheapest-first greedy acceptance. *)
 val greedy :
   g:int -> budget:Rational.t -> Workload.Bjob.t list ->

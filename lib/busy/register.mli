@@ -1,0 +1,6 @@
+(** Registers every busy-time solver (interval, flexible-pipeline and
+    preemptive) with {!Core.Registry}. The registrations run from this
+    module's top-level initializer, kept alive by [-linkall]; [force]
+    exists for explicit call sites. *)
+
+val force : unit -> unit

@@ -1,0 +1,39 @@
+(** The central solver registry. Solver modules self-register at
+    link time (the [Register] modules of [lib/active] / [lib/busy], kept
+    alive by [-linkall]); the CLI, bench, fuzz oracle and cascades
+    resolve solvers from here instead of hand-rolled dispatch.
+
+    All query results are deterministically ordered — by kind (model
+    order), then name — regardless of registration (link) order, so
+    golden outputs built on the registry are stable. *)
+
+(** Raises [Invalid_argument] when a solver with the same (kind, name)
+    is already registered. *)
+val register : Solver.t -> unit
+
+(** Every registered solver, sorted by (kind, name). *)
+val all : unit -> Solver.t list
+
+val find : Instance.kind -> string -> Solver.t option
+
+(** Raises {!Solver.Unsupported} with the valid-name list when absent. *)
+val find_exn : Instance.kind -> string -> Solver.t
+
+(** Registered names for a kind, sorted. *)
+val names : Instance.kind -> string list
+
+(** Solvers of a kind, sorted by name. *)
+val of_kind : Instance.kind -> Solver.t list
+
+(** Exact solvers of a kind (non-composite), sorted by (rank, name). *)
+val exact : Instance.kind -> Solver.t list
+
+(** Approximation solvers of a kind (non-composite, offline), sorted
+    worst ratio first, then (rank, name) — the order the differential
+    oracle and the bench survey tables iterate. *)
+val approx : Instance.kind -> Solver.t list
+
+(** The kind's degradation ladder: every solver carrying a
+    [cascade_tier], sorted by tier position, as (tier label, solver)
+    pairs. *)
+val cascade_ladder : Instance.kind -> (string * Solver.t) list

@@ -20,6 +20,30 @@ module S = Workload.Slotted
 module B = Workload.Bjob
 module Io = Workload.Io
 module Solution = Active.Solution
+module CI = Core.Instance
+module CR = Core.Result
+module CS = Core.Solver
+
+(* The algorithm pairings below are registry queries, not hand-kept
+   lists: every registered offline approximation whose guard accepts the
+   instance is sandwiched against the optimum with its own declared
+   ratio, and every applicable exact solver must agree with the primary
+   search. A newly registered solver is differentially tested with no
+   oracle change. *)
+
+let ratio_of (s : CS.t) = match s.CS.quality with CS.Approx r -> r | _ -> Q.one
+
+(* a Solved result without the model's witness is itself a finding;
+   [guard] turns the exception into a failure report *)
+let packing_exn (s : CS.t) (r : CR.t) =
+  match r.CR.witness with
+  | Some (CR.Packing p) -> p
+  | _ -> failwith (s.CS.name ^ " returned no packing")
+
+let solution_exn (s : CS.t) (r : CR.t) =
+  match r.CR.witness with
+  | Some (CR.Opened { open_slots; schedule }) -> { Solution.open_slots; schedule }
+  | _ -> failwith (s.CS.name ^ " returned no schedule")
 
 type failure = { check : string; detail : string }
 
@@ -239,37 +263,65 @@ let check_slotted ~fuel (inst : S.t) =
                     fail "mass-bound" "mass bound %d exceeds optimum %d" (S.mass_lower_bound inst) o
                   else None);
                 (fun () ->
-                  match minimal with
-                  | Some sol when Solution.cost sol < o ->
-                      fail "opt-le-approx" "minimal %d below optimum %d" (Solution.cost sol) o
-                  | Some sol when Solution.cost sol > 3 * o ->
-                      fail "minimal-ratio" "minimal %d > 3 * optimum %d" (Solution.cost sol) o
-                  | _ -> None);
+                  (* every registered approximation whose guard accepts the
+                     instance: verified witness, cost sandwiched between the
+                     optimum and its declared ratio times the optimum *)
+                  Core.Registry.approx CI.Active_slotted
+                  |> List.filter (fun (s : CS.t) -> s.CS.guard (CI.Slotted inst) = None)
+                  |> List.fold_left
+                       (fun acc (s : CS.t) ->
+                         match acc with
+                         | Some _ -> acc
+                         | None -> (
+                             match s.CS.solve ~budget:(Budget.limited fuel) (CI.Slotted inst) with
+                             | { CR.status = CR.Exhausted _; _ } -> None
+                             | { CR.status = CR.Infeasible; _ } ->
+                                 fail "feasibility" "%s says infeasible, optimum is %d" s.CS.name o
+                             | { CR.status = CR.Solved; _ } as r -> (
+                                 let sol = solution_exn s r in
+                                 let c = Solution.cost sol in
+                                 match Solution.verify inst sol with
+                                 | Some msg ->
+                                     fail "verifier" "%s solution rejected: %s" s.CS.name msg
+                                 | None ->
+                                     if c < o then
+                                       fail "opt-le-approx" "%s %d below optimum %d" s.CS.name c o
+                                     else if
+                                       Q.compare (Q.of_int c) (Q.mul (ratio_of s) (Q.of_int o)) > 0
+                                     then
+                                       fail "approx-ratio" "%s %d > %s * optimum %d" s.CS.name c
+                                         (Q.to_string (ratio_of s)) o
+                                     else None)))
+                       None);
                 (fun () ->
-                  match rounding with
-                  | `Done (Some (sol, _)) when Solution.cost sol < o ->
-                      fail "opt-le-approx" "lp-rounding %d below optimum %d" (Solution.cost sol) o
-                  | `Done (Some (sol, _)) when Solution.cost sol > 2 * o ->
-                      fail "rounding-ratio" "lp-rounding %d > 2 * optimum %d" (Solution.cost sol) o
-                  | _ -> None);
-                (fun () ->
-                  (* unit-job special case must match the branch and bound *)
-                  if Active.Unit_jobs.is_unit inst then
-                    match Active.Unit_jobs.solve inst with
-                    | Some sol when Solution.cost sol <> o ->
-                        fail "unit-exact" "unit-jobs greedy %d vs optimum %d" (Solution.cost sol) o
-                    | None -> fail "unit-exact" "unit-jobs greedy says infeasible, optimum is %d" o
-                    | Some _ -> None
-                  else None);
-                (fun () ->
-                  (* differential: flow-pruned vs LP-based branch and bound *)
-                  if List.length (S.relevant_slots inst) <= 12 && S.num_jobs inst <= 8 then
-                    match Active.Ilp.solve ~budget:(Budget.limited fuel) inst with
-                    | Budget.Complete (Some (sol, _)) when Solution.cost sol <> o ->
-                        fail "ilp-differential" "LP-based B&B %d vs flow B&B %d" (Solution.cost sol) o
-                    | Budget.Complete None -> fail "ilp-differential" "LP-based B&B says infeasible, optimum is %d" o
-                    | _ -> None
-                  else None);
+                  (* every other registered exact solver agrees with the
+                     flow-pruned branch and bound; budget-hungry ones only
+                     on small instances *)
+                  let small =
+                    List.length (S.relevant_slots inst) <= 12 && S.num_jobs inst <= 8
+                  in
+                  Core.Registry.exact CI.Active_slotted
+                  |> List.filter (fun (s : CS.t) ->
+                         s.CS.name <> "exact"
+                         && s.CS.guard (CI.Slotted inst) = None
+                         && ((not s.CS.supports_budget) || small))
+                  |> List.fold_left
+                       (fun acc (s : CS.t) ->
+                         match acc with
+                         | Some _ -> acc
+                         | None -> (
+                             match s.CS.solve ~budget:(Budget.limited fuel) (CI.Slotted inst) with
+                             | { CR.status = CR.Exhausted _; _ } -> None
+                             | { CR.status = CR.Infeasible; _ } ->
+                                 fail "exact-agreement" "%s says infeasible, optimum is %d"
+                                   s.CS.name o
+                             | { CR.status = CR.Solved; _ } as r ->
+                                 let c = Solution.cost (solution_exn s r) in
+                                 if c <> o then
+                                   fail "exact-agreement" "%s found %d, flow B&B found %d"
+                                     s.CS.name c o
+                                 else None))
+                       None);
               ]);
       (fun () ->
         (* differential: warm incremental oracle vs from-scratch rebuilds *)
@@ -301,13 +353,13 @@ let busy_roundtrip jobs () =
 
 let check_busy ?(planted_bug = false) ~fuel ~g jobs =
   guard "busy-oracle" @@ fun () ->
+  let inst = CI.Interval { g; jobs } in
+  (* on general instances the four general approximations; structured
+     instances also pull in the guard-matched restricted greedys *)
   let algs =
-    [
-      ("first-fit", Busy.First_fit.solve ~g jobs, Q.of_int 4);
-      ("greedy-tracking", Busy.Greedy_tracking.solve ~g jobs, Q.of_int 3);
-      ("two-approx", Busy.Two_approx.solve ~g jobs, Q.two);
-      ("kumar-rudra", Busy.Kumar_rudra.solve ~g jobs, Q.two);
-    ]
+    Core.Registry.approx CI.Busy_interval
+    |> List.filter (fun (s : CS.t) -> s.CS.guard inst = None)
+    |> List.map (fun (s : CS.t) -> (s.CS.name, packing_exn s (s.CS.solve inst), ratio_of s))
   in
   let lb = Busy.Bounds.best ~g jobs in
   first
@@ -337,13 +389,18 @@ let check_busy ?(planted_bug = false) ~fuel ~g jobs =
                 else None)
           None algs);
       (fun () ->
-        match Busy.Exact.solve ~budget:(Budget.limited fuel) ~g jobs with
-        | Budget.Exhausted { incumbent; _ } -> (
+        let exact = Core.Registry.find_exn CI.Busy_interval "exact" in
+        match exact.CS.solve ~budget:(Budget.limited fuel) inst with
+        | { CR.status = CR.Exhausted _; CR.witness = Some (CR.Packing incumbent); _ } -> (
             (* the incumbent is still a packing and must verify *)
             match Busy.Bundle.check ~g jobs incumbent with
             | Some msg -> fail "verifier" "exact incumbent invalid: %s" msg
             | None -> None)
-        | Budget.Complete p -> (
+        | { CR.status = CR.Exhausted _; _ } ->
+            fail "verifier" "exact exhausted without an incumbent packing"
+        | { CR.status = CR.Infeasible; _ } -> fail "busy-oracle" "exact reported infeasible"
+        | { CR.status = CR.Solved; _ } as r -> (
+            let p = packing_exn exact r in
             match Busy.Bundle.check ~g jobs p with
             | Some msg -> fail "verifier" "exact packing invalid: %s" msg
             | None ->
@@ -370,6 +427,23 @@ let check_busy ?(planted_bug = false) ~fuel ~g jobs =
                                   (Q.to_string c) (Q.to_string ratio) (Q.to_string opt)
                               else None)
                         None algs);
+                    (fun () ->
+                      (* restricted exact solvers (laminar DP, proper-clique
+                         DP) agree with the search on their domains *)
+                      Core.Registry.exact CI.Busy_interval
+                      |> List.filter (fun (s : CS.t) ->
+                             s.CS.name <> "exact" && s.CS.guard inst = None)
+                      |> List.fold_left
+                           (fun acc (s : CS.t) ->
+                             match acc with
+                             | Some _ -> acc
+                             | None ->
+                                 let c = Busy.Bundle.total_busy (packing_exn s (s.CS.solve inst)) in
+                                 if not (Q.equal c opt) then
+                                   fail "exact-agreement" "%s found %s, exact search found %s"
+                                     s.CS.name (Q.to_string c) (Q.to_string opt)
+                                 else None)
+                           None);
                   ]));
       (fun () ->
         if planted_bug then begin

@@ -49,3 +49,17 @@ An unwritable output file is a usage error (exit 1), not a crash:
   $ atbt generate --kind interval -n 4 --seed 1 -o /nonexistent-dir/jobs.txt
   atbt: /nonexistent-dir/jobs.txt: No such file or directory
   [1]
+
+The solver inventory is a registry query; the golden doubles as the CI
+registry-smoke reference:
+
+  $ atbt --list-solvers | diff list_solvers.golden -
+
+An unknown algorithm is a usage error (exit 2) listing the registered names:
+
+  $ atbt active inst.txt --algorithm bogus
+  atbt: unknown algorithm bogus (valid for active-slotted: cascade|exact|ilp|lp-bound|minimal|rounding|unit; see atbt --list-solvers)
+  [2]
+  $ atbt busy jobs.txt -g 2 --algorithm bogus --format json
+  {"schema":1,"tool":"atbt","version":"1.2.0","command":"busy","algorithm":"bogus","instance":{"digest":"fnv1a64:d79faffbc9104bcb","kind":"busy","jobs":5,"g":2},"status":"usage-error","exit":2,"message":"unknown algorithm bogus (valid for busy-interval: auto|cascade|clique-greedy|exact|first-fit|greedy-tracking|kumar-rudra|laminar|online-bucketed|online-first-fit|proper-clique|proper-greedy|two-approx; see atbt --list-solvers)","cost":null,"bounds":null,"provenance":null,"counters":{},"spans":[]}
+  [2]
