@@ -795,9 +795,10 @@ let abl () =
       let t0 = Unix.gettimeofday () in
       for seed = 0 to 9 do
         let inst = Gen.slotted ~params:lp_params ~seed () in
-        (match Active.Ilp.solve_lp inst ~fixing:(fun _ -> None) ~rule with
+        let obs = Obs.create () in
+        (match Active.Ilp.solve_lp inst ~fixing:(fun _ -> None) ~rule ~obs with
         | Some _ | None -> ());
-        pivots := !pivots + !Lp.last_pivots
+        pivots := !pivots + (try List.assoc "lp.pivots" (Obs.counters obs) with Not_found -> 0)
       done;
       let t = Unix.gettimeofday () -. t0 in
       table_row (List.map col [ name; Printf.sprintf "%.1f" (float_of_int !pivots /. 10.0); Printf.sprintf "%.2f" t ]))
@@ -1032,12 +1033,153 @@ let e20 () =
     exit 1
   end
 
+(* ---------------------------------------------------------------- e21 -- *)
+
+let e21 () =
+  header "E21: LP engines - dense tableau vs bounded-variable revised simplex";
+  pr "Cold solves of the repo's two LP families under both engines: the\n";
+  pr "active-time LP1 relaxation of E10-style slotted workloads and the\n";
+  pr "preemptive busy-time event-grid LP of E12-style interval streams.\n";
+  pr "Work = pivots x tableau cells: the dense tableau carries one row\n";
+  pr "per upper-bounded variable plus artificial columns, the revised\n";
+  pr "engine exactly one row per constraint. Pivot counts and the\n";
+  pr "warm-probe work ratio are golden; drift fails the run.\n\n";
+  let drift = ref [] in
+  let complain fmt = Printf.ksprintf (fun s -> drift := s :: !drift) fmt in
+  let describe = function
+    | Lp.Optimal s -> Printf.sprintf "opt %s" (Q.to_string (Lp.objective_value s))
+    | Lp.Infeasible -> "infeasible"
+    | Lp.Unbounded -> "unbounded"
+  in
+  (* golden (dense pivots, revised pivots) per cold row *)
+  let golden_cold =
+    [ ("lp1/s3", (130, 64)); ("lp1/s8", (118, 55)); ("lp1/s9", (119, 53));
+      ("busy/s0", (117, 62)); ("busy/s1", (116, 58)); ("busy/s2", (123, 64)) ]
+  in
+  let lp1_seeds = if !quick then [ 3 ] else [ 3; 8; 9 ] in
+  let busy_seeds = if !quick then [ 0 ] else [ 0; 1; 2 ] in
+  let params : Gen.slotted_params = { n = 10; horizon = 16; max_length = 4; slack = 4; g = 2 } in
+  let families =
+    List.map
+      (fun s ->
+        ( Printf.sprintf "lp1/s%d" s,
+          fun () -> fst (Active.Ilp.build_lp1 (Gen.slotted ~params ~seed:s ())) ))
+      lp1_seeds
+    @ List.map
+        (fun s ->
+          ( Printf.sprintf "busy/s%d" s,
+            fun () ->
+              Busy.Preemptive.lp_model (Gen.interval_jobs ~n:20 ~horizon:60 ~max_length:8 ~seed:s ())
+          ))
+        busy_seeds
+  in
+  table_row
+    (List.map col [ "model"; "outcome"; "dense piv"; "dense cells"; "rev piv"; "rev cells"; "work ratio" ]);
+  List.iter
+    (fun (name, build) ->
+      let m = build () in
+      let rd = Lp.solve ~engine:Lp.Dense m in
+      let rr = Lp.solve ~engine:Lp.Revised m in
+      if describe rd <> describe rr then
+        complain "%s: engines disagree (dense %s, revised %s)" name (describe rd) (describe rr);
+      match (rd, rr) with
+      | Lp.Optimal sd, Lp.Optimal sr ->
+          let pd = Lp.pivots sd and pr_ = Lp.pivots sr in
+          let cd = Lp.tableau_cells sd and cr = Lp.tableau_cells sr in
+          (match List.assoc_opt name golden_cold with
+          | Some (gd, gr) when (gd, gr) <> (pd, pr_) ->
+              complain "%s: golden drift: dense pivots %d (want %d), revised %d (want %d)" name pd
+                gd pr_ gr
+          | _ -> ());
+          let ratio = float_of_int (pd * cd) /. float_of_int (max 1 (pr_ * cr)) in
+          table_row
+            (List.map col
+               [ name; describe rr; string_of_int pd; string_of_int cd; string_of_int pr_;
+                 string_of_int cr; Printf.sprintf "%.1fx" ratio ]);
+          let key k v = Obs.add !bench_obs (Printf.sprintf "e21.%s.%s" name k) v in
+          key "dense_pivots" pd;
+          key "dense_work" (pd * cd);
+          key "revised_pivots" pr_;
+          key "revised_work" (pr_ * cr)
+      | _ -> table_row (List.map col [ name; describe rr; "-"; "-"; "-"; "-"; "-" ]))
+    families;
+  (* Warm-started probes: ONE LP1 model, rounds of bound tightening and
+     restoration (the ILP search's access pattern), re-solved three ways
+     per round - dense cold, revised cold, revised warm from the
+     previous round's basis. The acceptance gate is the headline of this
+     PR: warm revised probes do >= 3x less pivot-work than the dense
+     engine they replace. *)
+  pr "\nWarm-started probes (one LP1 model, %d bound-rewrite rounds):\n\n"
+    (if !quick then 8 else 16);
+  let rounds = if !quick then 8 else 16 in
+  let inst = Gen.slotted ~params ~seed:3 () in
+  let m, y_vars = Active.Ilp.build_lp1 inst in
+  let ny = List.length y_vars in
+  let work_d = ref 0 and work_r = ref 0 and work_w = ref 0 in
+  let piv_d = ref 0 and piv_r = ref 0 and piv_w = ref 0 in
+  let warm = ref None in
+  (match Lp.solve m with
+  | Lp.Optimal s -> warm := Lp.basis s
+  | _ -> complain "warm probes: seed-3 LP1 unexpectedly not optimal");
+  (* branch-up probes: round i toggles y_{i mod ny} between fixed-open
+     (lower = 1, the ILP's branch-up rewrite) and free. Opening more
+     slots never loses feasibility, so every round re-solves to optimal
+     and all three variants accumulate comparable work. *)
+  let fixed_open = Array.make ny false in
+  for round = 0 to rounds - 1 do
+    let i = round mod ny in
+    let _, yv = List.nth y_vars i in
+    fixed_open.(i) <- not fixed_open.(i);
+    Lp.set_bounds m yv ~lower:(if fixed_open.(i) then Q.one else Q.zero) ~upper:(Some Q.one);
+    let rd = Lp.solve ~engine:Lp.Dense m in
+    let rr = Lp.solve ~engine:Lp.Revised m in
+    let rw = Lp.solve ~engine:Lp.Revised ?warm:!warm m in
+    if describe rd <> describe rr || describe rr <> describe rw then
+      complain "warm probes round %d: results differ (dense %s, cold %s, warm %s)" round
+        (describe rd) (describe rr) (describe rw);
+    let acc work piv = function
+      | Lp.Optimal s ->
+          work := !work + (Lp.pivots s * Lp.tableau_cells s);
+          piv := !piv + Lp.pivots s
+      | _ -> ()
+    in
+    acc work_d piv_d rd;
+    acc work_r piv_r rr;
+    acc work_w piv_w rw;
+    match rw with Lp.Optimal s -> warm := Lp.basis s | _ -> warm := None
+  done;
+  let ratio_dw = float_of_int !work_d /. float_of_int (max 1 !work_w) in
+  let ratio_rw = float_of_int !work_r /. float_of_int (max 1 !work_w) in
+  table_row (List.map col [ "variant"; "pivots"; "work"; "vs warm" ]);
+  table_row
+    (List.map col
+       [ "dense"; string_of_int !piv_d; string_of_int !work_d; Printf.sprintf "%.1fx" ratio_dw ]);
+  table_row
+    (List.map col
+       [ "revised"; string_of_int !piv_r; string_of_int !work_r; Printf.sprintf "%.1fx" ratio_rw ]);
+  table_row (List.map col [ "rev+warm"; string_of_int !piv_w; string_of_int !work_w; "1.0x" ]);
+  if ratio_dw < 3.0 then
+    complain "warm probes: dense/warm work ratio %.2f below the 3x acceptance floor" ratio_dw;
+  Obs.add !bench_obs "e21.warm.dense_work" !work_d;
+  Obs.add !bench_obs "e21.warm.revised_work" !work_r;
+  Obs.add !bench_obs "e21.warm.warm_work" !work_w;
+  Obs.add !bench_obs "e21.warm.dense_pivots" !piv_d;
+  Obs.add !bench_obs "e21.warm.revised_pivots" !piv_r;
+  Obs.add !bench_obs "e21.warm.warm_pivots" !piv_w;
+  Obs.add !bench_obs "e21.warm.ratio_dense_x100" (int_of_float (ratio_dw *. 100.0));
+  Obs.add !bench_obs "e21.warm.ratio_cold_x100" (int_of_float (ratio_rw *. 100.0));
+  if !drift <> [] then begin
+    pr "\nE21 FAILED:\n";
+    List.iter (fun s -> pr "  %s\n" s) (List.rev !drift);
+    exit 1
+  end
+
 (* -------------------------------------------------------------- main -- *)
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8);
     ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
-    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("abl", abl); ("par", par); ("scaling", scaling); ("timing", timing) ]
+    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21); ("abl", abl); ("par", par); ("scaling", scaling); ("timing", timing) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -21,21 +21,13 @@ let src = Logs.Src.create "abt.ilp" ~doc:"LP-based branch and bound"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-(* Solve LP1 with per-slot fixings: [fixing slot = Some true/false] pins
-   y to 1/0. Returns the objective and the y values, or None when
-   infeasible. [rule] selects the simplex pricing rule (ablation). *)
-let solve_lp ?(rule = Lp.Dantzig_with_fallback) ?budget ?obs (inst : S.t) ~fixing =
+(* Build LP1 once: y vars with relaxed [0,1] bounds (branching fixings
+   are applied afterwards via [Lp.set_bounds], so one model serves every
+   node of the search tree and the solve can be warm-started). *)
+let build_lp1 (inst : S.t) =
   let slots = S.relevant_slots inst in
   let m = Lp.create () in
-  let y_vars =
-    List.map
-      (fun s ->
-        let lower, upper =
-          match fixing s with Some true -> (Q.one, Q.one) | Some false -> (Q.zero, Q.zero) | None -> (Q.zero, Q.one)
-        in
-        (s, Lp.add_var ~lower ~upper m (Printf.sprintf "y_%d" s)))
-      slots
-  in
+  let y_vars = List.map (fun s -> (s, Lp.add_var ~upper:Q.one m (Printf.sprintf "y_%d" s))) slots in
   let y_var s = List.assoc s y_vars in
   let x_vars =
     Array.to_list inst.S.jobs
@@ -56,12 +48,30 @@ let solve_lp ?(rule = Lp.Dantzig_with_fallback) ?budget ?obs (inst : S.t) ~fixin
       Lp.add_constraint m terms Lp.Ge (Q.of_int j.S.length))
     inst.S.jobs;
   Lp.set_objective m Lp.Minimize (List.map (fun (_, yv) -> (Q.one, yv)) y_vars);
-  match Lp.solve ~rule ?budget ?obs m with
+  (m, y_vars)
+
+let apply_fixings m y_vars ~fixing =
+  List.iter
+    (fun (s, yv) ->
+      match fixing s with
+      | Some true -> Lp.set_bounds m yv ~lower:Q.one ~upper:(Some Q.one)
+      | Some false -> Lp.set_bounds m yv ~lower:Q.zero ~upper:(Some Q.zero)
+      | None -> Lp.set_bounds m yv ~lower:Q.zero ~upper:(Some Q.one))
+    y_vars
+
+(* Solve LP1 with per-slot fixings: [fixing slot = Some true/false] pins
+   y to 1/0. Returns the objective and the y values, or None when
+   infeasible. [rule] selects the simplex pricing rule (ablation),
+   [engine] the simplex implementation. *)
+let solve_lp ?(rule = Lp.Dantzig_with_fallback) ?(engine = Lp.Revised) ?budget ?obs (inst : S.t) ~fixing =
+  let m, y_vars = build_lp1 inst in
+  apply_fixings m y_vars ~fixing;
+  match Lp.solve ~rule ~engine ?budget ?obs m with
   | Lp.Infeasible -> None
   | Lp.Unbounded -> assert false
   | Lp.Optimal sol -> Some (Lp.objective_value sol, List.map (fun (s, yv) -> (s, Lp.value sol yv)) y_vars)
 
-let solve ?budget ?(obs = Obs.null) (inst : S.t) =
+let solve ?(engine = Lp.Revised) ?budget ?(obs = Obs.null) (inst : S.t) =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   Obs.span obs "active.ilp" @@ fun () ->
   match Minimal.solve ~obs inst Minimal.Right_to_left with
@@ -70,15 +80,25 @@ let solve ?budget ?(obs = Obs.null) (inst : S.t) =
       let best = ref (Solution.cost seed) in
       let best_slots = ref seed.Solution.open_slots in
       let nodes = ref 0 and lp_solves = ref 0 in
+      (* One LP1 model for the whole tree: each node rewrites the y
+         bounds and re-solves warm from its parent's optimal basis, so
+         the simplex re-enters phase 2 (or a short dual repair) instead
+         of re-running phase 1 from the start. *)
+      let lp1, y_vars = build_lp1 inst in
       (* fixings as an assoc list slot -> bool *)
-      let rec branch fixed =
+      let rec branch fixed warm =
         Budget.tick budget;
         incr nodes;
         let fixing s = List.assoc_opt s fixed in
         incr lp_solves;
-        match solve_lp ~budget ~obs inst ~fixing with
-        | None -> ()
-        | Some (value, ys) ->
+        apply_fixings lp1 y_vars ~fixing;
+        match Lp.solve ~engine ?warm ~budget ~obs lp1 with
+        | Lp.Unbounded -> assert false
+        | Lp.Infeasible -> ()
+        | Lp.Optimal sol ->
+            let value = Lp.objective_value sol in
+            let ys = List.map (fun (s, yv) -> (s, Lp.value sol yv)) y_vars in
+            let warm' = Lp.basis sol in
             let lb = Q.ceil_int value in
             if lb < !best then begin
               (* most fractional undecided slot *)
@@ -104,8 +124,8 @@ let solve ?budget ?(obs = Obs.null) (inst : S.t) =
                     List.fold_left (fun (bs, bd) (s, d) -> if Q.compare d bd < 0 then (s, d) else (bs, bd))
                       (List.hd fractional) fractional
                   in
-                  branch ((s, true) :: fixed);
-                  branch ((s, false) :: fixed)
+                  branch ((s, true) :: fixed) warm';
+                  branch ((s, false) :: fixed) warm'
             end
       in
       let finish () =
@@ -116,7 +136,7 @@ let solve ?budget ?(obs = Obs.null) (inst : S.t) =
           (Solution.of_open_slots inst ~open_slots:!best_slots)
       in
       (try
-         branch [];
+         branch [] None;
          Log.info (fun m -> m "ILP: %d nodes, %d LP solves, optimum %d" !nodes !lp_solves !best);
          Budget.Complete (finish ())
        with Budget.Out_of_fuel ->

@@ -7,11 +7,18 @@
 
 type stats = { nodes : int; lp_solves : int }
 
+(** The LP1 model with every [y] free in [0,1], plus the y variables by
+    slot. One model serves repeated probes: rewrite bounds with
+    {!Lp.set_bounds} and re-solve, warm or cold ([solve]'s search tree
+    and bench experiment E21's warm-start probes both do). *)
+val build_lp1 : Workload.Slotted.t -> Lp.model * (int * Lp.var) list
+
 (** LP1 with per-slot fixings ([Some true/false] pins y to 1/0); returns
     the objective and y values, or [None] when infeasible. Exposed for
-    the pricing-rule ablation. *)
+    the pricing-rule ablation; [engine] selects the simplex engine. *)
 val solve_lp :
   ?rule:Lp.pivot_rule ->
+  ?engine:Lp.engine ->
   ?budget:Budget.t ->
   ?obs:Obs.t ->
   Workload.Slotted.t ->
@@ -25,10 +32,17 @@ val solve_lp :
     minimal-solution seed); [None] inside the outcome iff the instance is
     infeasible.
 
+    One LP1 model serves the whole search tree: each node rewrites the
+    branching bounds with {!Lp.set_bounds} and re-solves warm from its
+    parent's optimal basis ([engine] defaults to {!Lp.Revised}; with
+    [Dense] there is no basis to reuse and every node solves cold).
+
     With [?obs], runs inside an [active.ilp] span and records
     [active.ilp.nodes] / [active.ilp.lp_solves] plus the nested [lp.*]
-    counters of every re-solve. *)
+    counters of every re-solve ([lp.warm_starts] counts the nodes that
+    reused their parent's basis). *)
 val solve :
+  ?engine:Lp.engine ->
   ?budget:Budget.t ->
   ?obs:Obs.t ->
   Workload.Slotted.t ->

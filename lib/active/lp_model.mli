@@ -23,8 +23,10 @@ val y_at : t -> int -> Rational.t
 
 (** [None] iff the instance is infeasible. With [budget], each simplex
     pivot costs one tick and exhaustion raises {!Budget.Out_of_fuel}.
-    [?obs] is forwarded to {!Lp.solve}. *)
-val solve : ?budget:Budget.t -> ?obs:Obs.t -> Workload.Slotted.t -> t option
+    [?obs] and [?engine] (default {!Lp.Revised}) are forwarded to
+    {!Lp.solve}. *)
+val solve :
+  ?engine:Lp.engine -> ?budget:Budget.t -> ?obs:Obs.t -> Workload.Slotted.t -> t option
 
 (** LP2 of Section 3.1: with the slot openings fixed to the given y
     vector, does a feasible fractional assignment exist? *)

@@ -33,4 +33,8 @@ exception Infeasible_instance
     [active.rounding.proxy_carries], plus the nested [lp.*] and [flow.*]
     counters. *)
 val solve :
-  ?budget:Budget.t -> ?obs:Obs.t -> Workload.Slotted.t -> (Solution.t * stats) option
+  ?engine:Lp.engine ->
+  ?budget:Budget.t ->
+  ?obs:Obs.t ->
+  Workload.Slotted.t ->
+  (Solution.t * stats) option

@@ -322,6 +322,31 @@ let of_string s =
   flush ();
   if sign < 0 then neg !acc else !acc
 
+(* Overflow-checked native arithmetic. These live here (rather than in
+   Rational) because this module owns the "does it fit a native int"
+   boundary; Rational's small-value fast path uses them to decide when a
+   computation must fall back to the bignum representation. *)
+
+let checked_add a b =
+  let s = Stdlib.( + ) a b in
+  (* overflow iff the operands agree in sign and the sum does not *)
+  if Stdlib.( = ) (Stdlib.( >= ) a 0) (Stdlib.( >= ) b 0)
+     && Stdlib.( <> ) (Stdlib.( >= ) s 0) (Stdlib.( >= ) a 0)
+  then None
+  else Some s
+
+let checked_mul a b =
+  if Stdlib.( = ) a 0 || Stdlib.( = ) b 0 then Some 0
+    (* [p / b = a] detects overflow except when the division itself wraps
+       (min_int / -1), so peel the -1 factors off first *)
+  else if Stdlib.( = ) a (-1) then
+    if Stdlib.( = ) b Stdlib.min_int then None else Some (Stdlib.( ~- ) b)
+  else if Stdlib.( = ) b (-1) then
+    if Stdlib.( = ) a Stdlib.min_int then None else Some (Stdlib.( ~- ) a)
+  else
+    let p = Stdlib.( * ) a b in
+    if Stdlib.( = ) (Stdlib.( / ) p b) a then Some p else None
+
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 
 let ( + ) = add

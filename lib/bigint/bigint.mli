@@ -79,6 +79,18 @@ val gcd : t -> t -> t
 (** [pow b n] for [n >= 0]. Raises [Invalid_argument] on negative [n]. *)
 val pow : t -> int -> t
 
+(** {1 Overflow-checked native arithmetic}
+
+    Helpers for {!Rational}'s small-value fast path: exact native [int]
+    operations that report overflow instead of wrapping, so callers can
+    fall back to the bignum representation precisely when needed. *)
+
+(** [checked_add a b] is [Some (a + b)] unless the sum overflows. *)
+val checked_add : int -> int -> int option
+
+(** [checked_mul a b] is [Some (a * b)] unless the product overflows. *)
+val checked_mul : int -> int -> int option
+
 (** {1 Convenience operators} *)
 
 val ( + ) : t -> t -> t

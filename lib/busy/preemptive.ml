@@ -114,10 +114,8 @@ let check jobs sol =
    is realizable because time is continuous: any (y, x) solution can
    schedule inside each cell with everything left-packed. The tests check
    [unbounded] against this LP on random instances. *)
-let lp_optimum jobs =
-  if jobs = [] then Q.zero
-  else begin
-    let events =
+let lp_model jobs =
+  let events =
       List.sort_uniq Q.compare (List.concat_map (fun (j : B.t) -> [ j.B.release; j.B.deadline ]) jobs)
     in
     let rec cells = function
@@ -151,10 +149,14 @@ let lp_optimum jobs =
         Lp.add_constraint m terms Lp.Ge j.B.length)
       jobs;
     Lp.set_objective m Lp.Minimize (List.map (fun (_, yv) -> (Q.one, yv)) y_vars);
-    match Lp.solve m with
+    m
+
+let lp_optimum ?(engine = Lp.Revised) jobs =
+  if jobs = [] then Q.zero
+  else
+    match Lp.solve ~engine (lp_model jobs) with
     | Lp.Optimal sol -> Lp.objective_value sol
     | Lp.Infeasible | Lp.Unbounded -> assert false (* window >= length per job *)
-  end
 
 (* Per-cell machine counts for the bounded-g schedule derived from the
    unbounded solution (Theorem 7). Returns (total cost, per-cell list of

@@ -28,8 +28,15 @@ val check : Workload.Bjob.t list -> solution -> string option
 
 (** Independent exactness oracle: the unbounded preemptive optimum as an
     LP over the event grid (open [y_c <= |c|] inside each cell, serve
-    [x_{j,c} <= y_c]). The tests check [unbounded] matches it. *)
-val lp_optimum : Workload.Bjob.t list -> Rational.t
+    [x_{j,c} <= y_c]). The tests check [unbounded] matches it.
+    [engine] selects the simplex engine (default {!Lp.Revised}). *)
+val lp_optimum : ?engine:Lp.engine -> Workload.Bjob.t list -> Rational.t
+
+(** The event-grid LP behind {!lp_optimum}, as a bare model (objective
+    [min sum y_c]); exposed so the engine bench (experiment E21) can
+    solve one model under both engines and read the pivot/tableau
+    telemetry. *)
+val lp_model : Workload.Bjob.t list -> Lp.model
 
 (** Theorem 7: (total cost, the underlying unbounded solution, per-cell
     detail [(cell, active jobs, machines)]). Raises [Invalid_argument]

@@ -173,6 +173,31 @@ let check_probe_modes ~fuel (inst : S.t) =
         else None);
     ]
 
+(* LP-engine differential: the bounded-variable revised simplex and the
+   dense reference tableau must give every LP the same status and
+   objective. Checked on the instance's LP1 relaxation (shared by every
+   LP-backed solver); a fuel exhaustion under either engine skips the
+   comparison rather than reporting it. *)
+let check_lp_engines ~fuel (inst : S.t) =
+  guard "lp-engine-differential" @@ fun () ->
+  let run engine =
+    try `Done (Active.Lp_model.solve ~engine ~budget:(Budget.limited fuel) inst)
+    with Budget.Out_of_fuel -> `Fuel
+  in
+  match (run Lp.Revised, run Lp.Dense) with
+  | `Fuel, _ | _, `Fuel -> None
+  | `Done (Some a), `Done (Some b) ->
+      if Q.equal a.Active.Lp_model.cost b.Active.Lp_model.cost then None
+      else
+        fail "lp-engine-differential" "LP1 objective differs: revised %s, dense %s"
+          (Q.to_string a.Active.Lp_model.cost)
+          (Q.to_string b.Active.Lp_model.cost)
+  | `Done None, `Done None -> None
+  | `Done (Some _), `Done None ->
+      fail "lp-engine-differential" "revised says feasible, dense says infeasible"
+  | `Done None, `Done (Some _) ->
+      fail "lp-engine-differential" "dense says feasible, revised says infeasible"
+
 let check_slotted ~fuel (inst : S.t) =
   guard "slotted-oracle" @@ fun () ->
   let verify name = function
@@ -326,6 +351,7 @@ let check_slotted ~fuel (inst : S.t) =
       (fun () ->
         (* differential: warm incremental oracle vs from-scratch rebuilds *)
         if List.length (S.relevant_slots inst) <= 24 then check_oracle_differential inst else None);
+      (fun () -> check_lp_engines ~fuel inst);
       (fun () ->
         if List.length (S.relevant_slots inst) <= 12 && S.num_jobs inst <= 8 then
           check_probe_modes ~fuel inst

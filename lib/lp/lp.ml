@@ -6,38 +6,94 @@ type var = int
 
 type row = { terms : (Q.t * var) list; sense : sense; rhs : Q.t }
 
+(* Model columns live in growable arrays (doubling push) built once at
+   add_var / add_constraint time, so solving never has to reverse or
+   re-materialize them and var_name is O(1). *)
 type model = {
-  mutable names : string list; (* reversed *)
+  mutable names : string array;
+  mutable lower : Q.t array;
+  mutable upper : Q.t option array;
   mutable nvars : int;
-  mutable lower : Q.t list; (* reversed *)
-  mutable upper : Q.t option list; (* reversed *)
-  mutable rows : row list; (* reversed *)
+  mutable rows : row array;
   mutable nrows : int;
   mutable obj_dir : objective_direction;
   mutable obj : (Q.t * var) list;
 }
 
-type solution = { objective : Q.t; var_values : Q.t array; sol_names : string array }
+module Basis = struct
+  type status = Lower | Upper | Basic
+
+  type t = {
+    b_nvars : int;
+    b_nrows : int;
+    vstat : status array; (* structural columns *)
+    sstat : status array; (* slack of each row; [Lower] for Eq rows *)
+  }
+end
+
+type engine = Revised | Dense
+
+type solution = {
+  objective : Q.t;
+  var_values : Q.t array;
+  sol_names : string array;
+  sol_pivots : int;
+  sol_cells : int; (* working-tableau area, rows * columns *)
+  sol_basis : Basis.t option;
+}
 
 type result = Optimal of solution | Infeasible | Unbounded
 
+let dummy_row = { terms = []; sense = Eq; rhs = Q.zero }
+
 let create () =
-  { names = []; nvars = 0; lower = []; upper = []; rows = []; nrows = 0; obj_dir = Minimize; obj = [] }
+  {
+    names = [||];
+    lower = [||];
+    upper = [||];
+    nvars = 0;
+    rows = [||];
+    nrows = 0;
+    obj_dir = Minimize;
+    obj = [];
+  }
+
+let grow arr len dummy =
+  if len < Array.length arr then arr
+  else begin
+    let arr' = Array.make (max 8 (2 * Array.length arr)) dummy in
+    Array.blit arr 0 arr' 0 len;
+    arr'
+  end
 
 let add_var ?(lower = Q.zero) ?upper m name =
   (match upper with
   | Some u when Q.compare u lower < 0 -> invalid_arg "Lp.add_var: upper < lower"
   | _ -> ());
   let v = m.nvars in
-  m.names <- name :: m.names;
-  m.lower <- lower :: m.lower;
-  m.upper <- upper :: m.upper;
+  m.names <- grow m.names v "";
+  m.lower <- grow m.lower v Q.zero;
+  m.upper <- grow m.upper v None;
+  m.names.(v) <- name;
+  m.lower.(v) <- lower;
+  m.upper.(v) <- upper;
   m.nvars <- v + 1;
   v
 
-let var_name m v = List.nth m.names (m.nvars - 1 - v)
+let var_name m v =
+  if v < 0 || v >= m.nvars then invalid_arg "Lp.var_name: unknown variable";
+  m.names.(v)
+
 let num_vars m = m.nvars
 let num_constraints m = m.nrows
+
+let set_bounds m v ~lower ~upper =
+  if v < 0 || v >= m.nvars then invalid_arg "Lp.set_bounds: unknown variable";
+  (match upper with
+  | Some u when Q.compare u lower < 0 -> invalid_arg "Lp.set_bounds: upper < lower"
+  | _ -> ());
+  m.lower.(v) <- lower;
+  m.upper.(v) <- upper
 
 (* Sum duplicate variables so the tableau sees each column once per row. *)
 let combine_terms terms =
@@ -53,8 +109,10 @@ let add_constraint m terms sense rhs =
   List.iter
     (fun (_, v) -> if v < 0 || v >= m.nvars then invalid_arg "Lp.add_constraint: unknown variable")
     terms;
-  m.rows <- { terms = combine_terms terms; sense; rhs } :: m.rows;
-  m.nrows <- m.nrows + 1
+  let r = m.nrows in
+  m.rows <- grow m.rows r dummy_row;
+  m.rows.(r) <- { terms = combine_terms terms; sense; rhs };
+  m.nrows <- r + 1
 
 let set_objective m dir terms =
   List.iter
@@ -62,10 +120,6 @@ let set_objective m dir terms =
     terms;
   m.obj_dir <- dir;
   m.obj <- combine_terms terms
-
-(* ---------------------------------------------------------------------- *)
-(* Simplex on a dense rational tableau.                                    *)
-(* ---------------------------------------------------------------------- *)
 
 (* After the pivot count without strict objective improvement exceeds this
    threshold we switch from Dantzig to Bland's rule, which cannot cycle. *)
@@ -75,8 +129,18 @@ let degenerate_pivot_threshold = 64
    fallback above, or pure Bland. Exposed for the pivot-rule ablation. *)
 type pivot_rule = Dantzig_with_fallback | Pure_bland
 
-(* pivots performed by the most recent [solve] (both phases) *)
-let last_pivots = ref 0
+(* Minimization form shared by both engines. *)
+let minimize_objective m =
+  match m.obj_dir with Minimize -> m.obj | Maximize -> List.map (fun (c, v) -> (Q.neg c, v)) m.obj
+
+let finish_objective m raw = match m.obj_dir with Minimize -> raw | Maximize -> Q.neg raw
+
+(* ====================================================================== *)
+(* Dense engine: two-phase primal simplex on a dense rational tableau     *)
+(* with every upper bound expanded into an explicit Le row. Kept as the   *)
+(* reference implementation for the Revised engine's observational-       *)
+(* equivalence battery (prop_engines_agree, fuzz differential, e21).      *)
+(* ====================================================================== *)
 
 type tableau = {
   a : Q.t array array; (* nrows x (ncols + 1); last column = rhs *)
@@ -155,7 +219,7 @@ let leaving tab ~pcol =
 
 type simplex_outcome = S_optimal | S_unbounded
 
-let run_simplex ?(rule = Dantzig_with_fallback) ~budget ~obs tab =
+let run_simplex ~rule ~phase1 ~budget ~obs ~pivots tab =
   let bland = ref (rule = Pure_bland) in
   let stalled = ref 0 in
   let outcome = ref None in
@@ -169,8 +233,9 @@ let run_simplex ?(rule = Dantzig_with_fallback) ~budget ~obs tab =
             Budget.tick budget;
             let before = tab.obj_val in
             pivot tab ~prow ~pcol;
-            incr last_pivots;
+            incr pivots;
             Obs.incr obs "lp.pivots";
+            if phase1 then Obs.incr obs "lp.phase1_pivots";
             if Q.equal before tab.obj_val then begin
               incr stalled;
               Obs.incr obs "lp.degenerate_pivots";
@@ -180,15 +245,10 @@ let run_simplex ?(rule = Dantzig_with_fallback) ~budget ~obs tab =
   done;
   Option.get !outcome
 
-let solve ?(rule = Dantzig_with_fallback) ?budget ?(obs = Obs.null) m =
-  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
-  last_pivots := 0;
-  Obs.incr obs "lp.solves";
+let solve_dense ~rule ~budget ~obs ~pivots m =
   (* Shift variables by their lower bounds: work with z = x - l >= 0. *)
-  let lower = Array.of_list (List.rev m.lower) in
-  let upper = Array.of_list (List.rev m.upper) in
-  let names = Array.of_list (List.rev m.names) in
-  let rows0 = List.rev m.rows in
+  let lower = m.lower and upper = m.upper in
+  let rows0 = Array.to_list (Array.sub m.rows 0 m.nrows) in
   (* upper bounds become rows over z *)
   let upper_rows =
     List.concat
@@ -204,7 +264,7 @@ let solve ?(rule = Dantzig_with_fallback) ?budget ?(obs = Obs.null) m =
   let rows = List.map shift_row rows0 @ upper_rows in
   let nrows = List.length rows in
   (* objective over z, with constant offset for the lower-bound shift *)
-  let minimize_obj = match m.obj_dir with Minimize -> m.obj | Maximize -> List.map (fun (c, v) -> (Q.neg c, v)) m.obj in
+  let minimize_obj = minimize_objective m in
   let obj_offset = List.fold_left (fun acc (c, v) -> Q.add acc (Q.mul c lower.(v))) Q.zero minimize_obj in
   (* columns: structural z (nvars) | slacks (one per Le/Ge row) | artificials (one per row) *)
   let nslack = List.fold_left (fun acc r -> match r.sense with Eq -> acc | Le | Ge -> acc + 1) 0 rows in
@@ -247,7 +307,7 @@ let solve ?(rule = Dantzig_with_fallback) ?budget ?(obs = Obs.null) m =
     rhs_sum := Q.add !rhs_sum a.(i).(ncols)
   done;
   let tab = { a; obj_row; obj_val = !rhs_sum; basis; ncols; allowed } in
-  match Obs.span obs "lp.phase1" (fun () -> run_simplex ~rule ~budget ~obs tab) with
+  match Obs.span obs "lp.phase1" (fun () -> run_simplex ~rule ~phase1:true ~budget ~obs ~pivots tab) with
   | S_unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
   | S_optimal ->
       if Q.compare tab.obj_val Q.zero > 0 then Infeasible
@@ -287,22 +347,668 @@ let solve ?(rule = Dantzig_with_fallback) ?budget ?(obs = Obs.null) m =
           if not (Q.is_zero cb) then v := Q.add !v (Q.mul cb tab.a.(i).(ncols))
         done;
         tab.obj_val <- !v;
-        match Obs.span obs "lp.phase2" (fun () -> run_simplex ~rule ~budget ~obs tab) with
+        match Obs.span obs "lp.phase2" (fun () -> run_simplex ~rule ~phase1:false ~budget ~obs ~pivots tab) with
         | S_unbounded -> Unbounded
         | S_optimal ->
             let z = Array.make m.nvars Q.zero in
             Array.iteri (fun i bv -> if bv < m.nvars then z.(bv) <- tab.a.(i).(ncols)) tab.basis;
             let x = Array.init m.nvars (fun i -> Q.add z.(i) lower.(i)) in
-            let objective =
-              let raw = Q.add tab.obj_val obj_offset in
-              match m.obj_dir with Minimize -> raw | Maximize -> Q.neg raw
-            in
-            Optimal { objective; var_values = x; sol_names = names }
+            let objective = finish_objective m (Q.add tab.obj_val obj_offset) in
+            Optimal
+              {
+                objective;
+                var_values = x;
+                sol_names = Array.sub m.names 0 m.nvars;
+                sol_pivots = !pivots;
+                sol_cells = nrows * (ncols + 1);
+                sol_basis = None;
+              }
       end
+
+(* ====================================================================== *)
+(* Revised engine: bounded-variable primal simplex. Upper bounds are      *)
+(* handled implicitly by nonbasic-at-lower / nonbasic-at-upper statuses   *)
+(* and bound flips, so the tableau has one row per constraint (no         *)
+(* upper-bound rows, artificials only for rows whose slack cannot start   *)
+(* basic). The rhs column stores the current value of each row's basic    *)
+(* variable; coefficient columns hold B^-1 N as usual.                    *)
+(* ====================================================================== *)
+
+type rtab = {
+  rm : int; (* rows *)
+  rn : int; (* columns: structural | slack | artificial *)
+  ra : Q.t array array; (* rm x rn, basis columns = identity *)
+  xb : Q.t array; (* current value of each row's basic variable *)
+  rbasis : int array; (* basic column of each row *)
+  stat : Basis.status array; (* per column *)
+  rlo : Q.t array;
+  rhi : Q.t option array;
+  rd : Q.t array; (* reduced costs of the current phase *)
+  mutable rz : Q.t; (* objective value of the current phase *)
+  enterable : bool array; (* false: artificials post-phase-1, fixed columns *)
+}
+
+let nb_value t j =
+  match t.stat.(j) with
+  | Basis.Lower -> t.rlo.(j)
+  | Basis.Upper -> ( match t.rhi.(j) with Some u -> u | None -> assert false)
+  | Basis.Basic -> assert false
+
+(* Eliminate column [q] using row [r] (coefficient columns and reduced
+   costs only; xb is updated separately by the caller from the step
+   length, because it tracks values, not B^-1 b). *)
+let eliminate t ~r ~q =
+  let prow = t.ra.(r) in
+  let piv = prow.(q) in
+  if not (Q.equal piv Q.one) then
+    for j = 0 to t.rn - 1 do
+      if not (Q.is_zero prow.(j)) then prow.(j) <- Q.div prow.(j) piv
+    done;
+  for i = 0 to t.rm - 1 do
+    if i <> r then begin
+      let f = t.ra.(i).(q) in
+      if not (Q.is_zero f) then begin
+        let row = t.ra.(i) in
+        for j = 0 to t.rn - 1 do
+          if not (Q.is_zero prow.(j)) then row.(j) <- Q.sub row.(j) (Q.mul f prow.(j))
+        done
+      end
+    end
+  done;
+  let f = t.rd.(q) in
+  if not (Q.is_zero f) then
+    for j = 0 to t.rn - 1 do
+      if not (Q.is_zero prow.(j)) then t.rd.(j) <- Q.sub t.rd.(j) (Q.mul f prow.(j))
+    done
+
+(* Entering column for the primal: nonbasic, enterable, and profitable in
+   its feasible direction (at lower: d < 0; at upper: d > 0). Dantzig
+   picks the largest |d|, Bland the smallest index. *)
+let r_entering t ~bland =
+  let best = ref None in
+  (try
+     for j = 0 to t.rn - 1 do
+       if t.enterable.(j) then begin
+         let d = t.rd.(j) in
+         let eligible =
+           match t.stat.(j) with
+           | Basis.Lower -> Q.compare d Q.zero < 0
+           | Basis.Upper -> Q.compare d Q.zero > 0
+           | Basis.Basic -> false
+         in
+         if eligible then
+           if bland then begin
+             best := Some (j, Q.abs d);
+             raise Exit
+           end
+           else
+             let score = Q.abs d in
+             match !best with
+             | Some (_, s) when Q.compare s score >= 0 -> ()
+             | _ -> best := Some (j, score)
+       end
+     done
+   with Exit -> ());
+  Option.map fst !best
+
+type r_outcome = R_optimal | R_unbounded
+
+(* One phase of the bounded-variable primal simplex. *)
+let run_bounded ~rule ~phase1 ~budget ~obs ~pivots t =
+  let bland = ref (rule = Pure_bland) in
+  let stalled = ref 0 in
+  let outcome = ref None in
+  while !outcome = None do
+    match r_entering t ~bland:!bland with
+    | None -> outcome := Some R_optimal
+    | Some q ->
+        let sigma = match t.stat.(q) with Basis.Lower -> 1 | _ -> -1 in
+        (* own-bound step: from one bound of q to the other *)
+        let span = Option.map (fun u -> Q.sub u t.rlo.(q)) t.rhi.(q) in
+        (* ratio test over the basic variables *)
+        let best = ref None in
+        for i = 0 to t.rm - 1 do
+          let coef = t.ra.(i).(q) in
+          if not (Q.is_zero coef) then begin
+            let e = if sigma > 0 then coef else Q.neg coef in
+            let k = t.rbasis.(i) in
+            let limit =
+              if Q.compare e Q.zero > 0 then Some (Q.div (Q.sub t.xb.(i) t.rlo.(k)) e, Basis.Lower)
+              else
+                match t.rhi.(k) with
+                | Some u -> Some (Q.div (Q.sub u t.xb.(i)) (Q.neg e), Basis.Upper)
+                | None -> None
+            in
+            match limit with
+            | None -> ()
+            | Some (ti, side) -> (
+                match !best with
+                | None -> best := Some (i, ti, side)
+                | Some (bi, bt, _) ->
+                    let c = Q.compare ti bt in
+                    if c < 0 || (c = 0 && t.rbasis.(i) < t.rbasis.(bi)) then best := Some (i, ti, side))
+          end
+        done;
+        let flip =
+          match (span, !best) with
+          | None, None -> None (* unbounded *)
+          | Some s, None -> Some s
+          | Some s, Some (_, bt, _) -> if Q.compare s bt <= 0 then Some s else None
+          | None, Some _ -> None
+        in
+        (match (flip, !best) with
+        | Some s, _ ->
+            (* bound flip: q jumps to its opposite bound, no basis change *)
+            Budget.tick budget;
+            Obs.incr obs "lp.bound_flips";
+            for i = 0 to t.rm - 1 do
+              let coef = t.ra.(i).(q) in
+              if not (Q.is_zero coef) then
+                t.xb.(i) <-
+                  (if sigma > 0 then Q.sub t.xb.(i) (Q.mul coef s) else Q.add t.xb.(i) (Q.mul coef s))
+            done;
+            t.rz <- Q.add t.rz (Q.mul t.rd.(q) (if sigma > 0 then s else Q.neg s));
+            t.stat.(q) <- (match t.stat.(q) with Basis.Lower -> Basis.Upper | _ -> Basis.Lower)
+        | None, None -> outcome := Some R_unbounded
+        | None, Some (r, tstep, side) ->
+            Budget.tick budget;
+            let k = t.rbasis.(r) in
+            let signed = if sigma > 0 then tstep else Q.neg tstep in
+            let vq = Q.add (nb_value t q) signed in
+            for i = 0 to t.rm - 1 do
+              if i <> r then begin
+                let coef = t.ra.(i).(q) in
+                if not (Q.is_zero coef) then t.xb.(i) <- Q.sub t.xb.(i) (Q.mul coef signed)
+              end
+            done;
+            t.rz <- Q.add t.rz (Q.mul t.rd.(q) signed);
+            t.xb.(r) <- vq;
+            t.stat.(k) <- side;
+            t.stat.(q) <- Basis.Basic;
+            t.rbasis.(r) <- q;
+            eliminate t ~r ~q;
+            incr pivots;
+            Obs.incr obs "lp.pivots";
+            if phase1 then Obs.incr obs "lp.phase1_pivots";
+            if Q.is_zero tstep then begin
+              incr stalled;
+              Obs.incr obs "lp.degenerate_pivots";
+              if !stalled > degenerate_pivot_threshold then bland := true
+            end
+            else stalled := 0)
+  done;
+  Option.get !outcome
+
+(* Build the phase-2 reduced costs and objective value for the current
+   basis and statuses from the minimization objective. *)
+let install_phase2 t minimize_obj =
+  let c = Array.make t.rn Q.zero in
+  List.iter (fun (coef, v) -> c.(v) <- Q.add c.(v) coef) minimize_obj;
+  for j = 0 to t.rn - 1 do
+    let s = ref c.(j) in
+    for i = 0 to t.rm - 1 do
+      let cb = c.(t.rbasis.(i)) in
+      if not (Q.is_zero cb) then s := Q.sub !s (Q.mul cb t.ra.(i).(j))
+    done;
+    t.rd.(j) <- !s
+  done;
+  let z = ref Q.zero in
+  for i = 0 to t.rm - 1 do
+    let cb = c.(t.rbasis.(i)) in
+    if not (Q.is_zero cb) then z := Q.add !z (Q.mul cb t.xb.(i))
+  done;
+  for j = 0 to t.rn - 1 do
+    if t.stat.(j) <> Basis.Basic && not (Q.is_zero c.(j)) then
+      z := Q.add !z (Q.mul c.(j) (nb_value t j))
+  done;
+  t.rz <- !z
+
+let extract_revised ~m ~pivots t =
+  let x = Array.make m.nvars Q.zero in
+  for j = 0 to m.nvars - 1 do
+    if t.stat.(j) <> Basis.Basic then x.(j) <- nb_value t j
+  done;
+  for i = 0 to t.rm - 1 do
+    if t.rbasis.(i) < m.nvars then x.(t.rbasis.(i)) <- t.xb.(i)
+  done;
+  let nslack_of_row = Array.make m.nrows (-1) in
+  let sidx = ref m.nvars in
+  for i = 0 to m.nrows - 1 do
+    match m.rows.(i).sense with
+    | Le | Ge ->
+        nslack_of_row.(i) <- !sidx;
+        incr sidx
+    | Eq -> ()
+  done;
+  let basis =
+    {
+      Basis.b_nvars = m.nvars;
+      b_nrows = m.nrows;
+      vstat = Array.sub t.stat 0 m.nvars;
+      sstat =
+        Array.init m.nrows (fun i ->
+            if nslack_of_row.(i) < 0 then Basis.Lower else t.stat.(nslack_of_row.(i)));
+    }
+  in
+  Optimal
+    {
+      objective = finish_objective m t.rz;
+      var_values = x;
+      sol_names = Array.sub m.names 0 m.nvars;
+      sol_pivots = !pivots;
+      sol_cells = t.rm * (t.rn + 1);
+      sol_basis = Some basis;
+    }
+
+(* Residual of row [i] with every structural variable at its initial
+   status value. *)
+let row_residual values r =
+  List.fold_left (fun acc (c, v) -> Q.sub acc (Q.mul c values.(v))) r.rhs r.terms
+
+(* Cold start: slack-basic rows need no artificial; phase 1 (minimizing
+   the sum of the artificials actually allocated) is skipped entirely
+   when every row starts slack-feasible. *)
+let solve_revised_cold ~rule ~budget ~obs ~pivots m =
+  let nv = m.nvars in
+  let nslack = ref 0 in
+  for i = 0 to m.nrows - 1 do
+    match m.rows.(i).sense with Le | Ge -> incr nslack | Eq -> ()
+  done;
+  let nslack = !nslack in
+  (* initial structural statuses: everything at its lower bound *)
+  let init_val = Array.init nv (fun v -> m.lower.(v)) in
+  (* which rows need an artificial, and the residuals *)
+  let residual = Array.init m.nrows (fun i -> row_residual init_val m.rows.(i)) in
+  let needs_art = Array.make m.nrows false in
+  let nart = ref 0 in
+  for i = 0 to m.nrows - 1 do
+    let need =
+      match m.rows.(i).sense with
+      | Le -> Q.compare residual.(i) Q.zero < 0
+      | Ge -> Q.compare residual.(i) Q.zero > 0
+      | Eq -> true
+    in
+    if need then begin
+      needs_art.(i) <- true;
+      incr nart
+    end
+  done;
+  let nart = !nart in
+  let n = nv + nslack + nart in
+  let t =
+    {
+      rm = m.nrows;
+      rn = n;
+      ra = Array.init m.nrows (fun _ -> Array.make n Q.zero);
+      xb = Array.make m.nrows Q.zero;
+      rbasis = Array.make m.nrows 0;
+      stat = Array.make n Basis.Lower;
+      rlo = Array.make n Q.zero;
+      rhi = Array.make n None;
+      rd = Array.make n Q.zero;
+      rz = Q.zero;
+      enterable = Array.make n true;
+    }
+  in
+  for v = 0 to nv - 1 do
+    t.rlo.(v) <- m.lower.(v);
+    t.rhi.(v) <- m.upper.(v);
+    (match m.upper.(v) with
+    | Some u when Q.equal u m.lower.(v) -> t.enterable.(v) <- false (* fixed *)
+    | _ -> ())
+  done;
+  let sidx = ref nv and aidx = ref (nv + nslack) in
+  for i = 0 to m.nrows - 1 do
+    let r = m.rows.(i) in
+    (* sign flip so the initial basic column has coefficient +1 *)
+    let flip =
+      match r.sense with
+      | Le -> needs_art.(i) (* artificial coeff -1 when residual < 0 *)
+      | Ge -> not needs_art.(i) (* slack coeff -1 when it starts basic *)
+      | Eq -> Q.compare residual.(i) Q.zero < 0
+    in
+    let put c v = t.ra.(i).(v) <- Q.add t.ra.(i).(v) (if flip then Q.neg c else c) in
+    List.iter (fun (c, v) -> put c v) r.terms;
+    (match r.sense with
+    | Le ->
+        put Q.one !sidx;
+        if not needs_art.(i) then begin
+          t.rbasis.(i) <- !sidx;
+          t.stat.(!sidx) <- Basis.Basic;
+          t.xb.(i) <- residual.(i)
+        end;
+        incr sidx
+    | Ge ->
+        put Q.minus_one !sidx;
+        if not needs_art.(i) then begin
+          t.rbasis.(i) <- !sidx;
+          t.stat.(!sidx) <- Basis.Basic;
+          t.xb.(i) <- Q.neg residual.(i)
+        end;
+        incr sidx
+    | Eq -> ());
+    if needs_art.(i) then begin
+      t.ra.(i).(!aidx) <- Q.one;
+      t.rbasis.(i) <- !aidx;
+      t.stat.(!aidx) <- Basis.Basic;
+      t.xb.(i) <- Q.abs residual.(i);
+      incr aidx
+    end
+  done;
+  let minimize_obj = minimize_objective m in
+  let art_start = nv + nslack in
+  let phase1_failed = ref false in
+  if nart > 0 then begin
+    (* phase 1: minimize the sum of the artificials; with the artificial
+       rows' basis the reduced cost of column j is -sum over those rows *)
+    for j = 0 to n - 1 do
+      if t.stat.(j) <> Basis.Basic then begin
+        let s = ref Q.zero in
+        for i = 0 to m.nrows - 1 do
+          if t.rbasis.(i) >= art_start && not (Q.is_zero t.ra.(i).(j)) then s := Q.add !s t.ra.(i).(j)
+        done;
+        t.rd.(j) <- Q.neg !s
+      end
+    done;
+    let z1 = ref Q.zero in
+    for i = 0 to m.nrows - 1 do
+      if t.rbasis.(i) >= art_start then z1 := Q.add !z1 t.xb.(i)
+    done;
+    t.rz <- !z1;
+    (match Obs.span obs "lp.phase1" (fun () -> run_bounded ~rule ~phase1:true ~budget ~obs ~pivots t) with
+    | R_unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+    | R_optimal -> if Q.compare t.rz Q.zero > 0 then phase1_failed := true);
+    if not !phase1_failed then begin
+      (* pin artificials to zero and forbid them from re-entering *)
+      for j = art_start to n - 1 do
+        t.enterable.(j) <- false;
+        t.rhi.(j) <- Some Q.zero
+      done;
+      (* drive remaining (zero-valued) basic artificials out where possible *)
+      for i = 0 to m.nrows - 1 do
+        if t.rbasis.(i) >= art_start then begin
+          let found = ref None in
+          for j = 0 to art_start - 1 do
+            if !found = None && t.stat.(j) <> Basis.Basic && not (Q.is_zero t.ra.(i).(j)) then
+              found := Some j
+          done;
+          match !found with
+          | Some j ->
+              let k = t.rbasis.(i) in
+              t.xb.(i) <- nb_value t j;
+              t.stat.(k) <- Basis.Lower;
+              t.stat.(j) <- Basis.Basic;
+              t.rbasis.(i) <- j;
+              eliminate t ~r:i ~q:j
+          | None -> () (* redundant row: artificial stays basic at 0, pinned *)
+        end
+      done
+    end
+  end;
+  if !phase1_failed then Infeasible
+  else begin
+    install_phase2 t minimize_obj;
+    match Obs.span obs "lp.phase2" (fun () -> run_bounded ~rule ~phase1:false ~budget ~obs ~pivots t) with
+    | R_unbounded -> Unbounded
+    | R_optimal -> extract_revised ~m ~pivots t
+  end
+
+(* Cap on dual-repair pivots before giving up and falling back to a cold
+   start; guarantees termination without a dual anti-cycling proof. *)
+let dual_pivot_cap t = (4 * (t.rm + t.rn)) + degenerate_pivot_threshold
+
+exception Warm_failed
+
+(* Dual simplex repairing primal feasibility after a bound change, from a
+   dual-feasible basis. Raises [Warm_failed] to request a cold start when
+   the pivot cap is hit. Returns [false] when the LP is infeasible. *)
+let dual_repair ~budget ~obs ~pivots t =
+  let cap = dual_pivot_cap t in
+  let steps = ref 0 in
+  let feasible = ref true in
+  let continue_ = ref true in
+  while !continue_ && !feasible do
+    (* leaving row: most violated basic value, ties to smallest basic index *)
+    let worst = ref None in
+    for i = 0 to t.rm - 1 do
+      let k = t.rbasis.(i) in
+      let viol =
+        if Q.compare t.xb.(i) t.rlo.(k) < 0 then Some (Q.sub t.rlo.(k) t.xb.(i), true)
+        else
+          match t.rhi.(k) with
+          | Some u when Q.compare t.xb.(i) u > 0 -> Some (Q.sub t.xb.(i) u, false)
+          | _ -> None
+      in
+      match viol with
+      | None -> ()
+      | Some (v, below) -> (
+          match !worst with
+          | Some (bi, _, bv) when Q.compare bv v > 0 || (Q.equal bv v && t.rbasis.(bi) <= k) -> ()
+          | _ -> worst := Some (i, below, v))
+    done;
+    match !worst with
+    | None -> continue_ := false (* primal feasible again *)
+    | Some (r, below, _) -> (
+        if !steps >= cap then raise Warm_failed;
+        (* entering column: keeps the dual feasible, min |d_j / a_rj| *)
+        let best = ref None in
+        for j = 0 to t.rn - 1 do
+          if t.enterable.(j) && t.stat.(j) <> Basis.Basic then begin
+            let arj = t.ra.(r).(j) in
+            if not (Q.is_zero arj) then begin
+              let eligible =
+                match (t.stat.(j), below) with
+                | Basis.Lower, true -> Q.compare arj Q.zero < 0
+                | Basis.Upper, true -> Q.compare arj Q.zero > 0
+                | Basis.Lower, false -> Q.compare arj Q.zero > 0
+                | Basis.Upper, false -> Q.compare arj Q.zero < 0
+                | Basis.Basic, _ -> false
+              in
+              if eligible then begin
+                let ratio = Q.div (Q.abs t.rd.(j)) (Q.abs arj) in
+                match !best with
+                | Some (_, br) when Q.compare br ratio <= 0 -> ()
+                | _ -> best := Some (j, ratio)
+              end
+            end
+          end
+        done;
+        match !best with
+        | None -> feasible := false (* dual unbounded: primal infeasible *)
+        | Some (q, _) ->
+            Budget.tick budget;
+            incr steps;
+            let k = t.rbasis.(r) in
+            let beta = if below then t.rlo.(k) else Option.get t.rhi.(k) in
+            let arq = t.ra.(r).(q) in
+            let delta = Q.div (Q.sub t.xb.(r) beta) arq in
+            let vq = Q.add (nb_value t q) delta in
+            for i = 0 to t.rm - 1 do
+              if i <> r then begin
+                let coef = t.ra.(i).(q) in
+                if not (Q.is_zero coef) then t.xb.(i) <- Q.sub t.xb.(i) (Q.mul coef delta)
+              end
+            done;
+            t.rz <- Q.add t.rz (Q.mul t.rd.(q) delta);
+            t.xb.(r) <- vq;
+            t.stat.(k) <- (if below then Basis.Lower else Basis.Upper);
+            t.stat.(q) <- Basis.Basic;
+            t.rbasis.(r) <- q;
+            eliminate t ~r ~q;
+            incr pivots;
+            Obs.incr obs "lp.pivots")
+  done;
+  !feasible
+
+(* Warm start: rebuild the tableau for the snapshot basis (Gaussian
+   elimination with free row choice; exact arithmetic needs no pivoting
+   strategy), re-enter phase 2 directly when still primal feasible, and
+   run the dual simplex when only primal feasibility was lost (the usual
+   case after a bound change, which leaves reduced costs intact). Raises
+   [Warm_failed] whenever the snapshot cannot be reused. *)
+let solve_revised_warm ~rule ~budget ~obs ~pivots m (w : Basis.t) =
+  if w.Basis.b_nvars <> m.nvars || w.Basis.b_nrows <> m.nrows then raise Warm_failed;
+  let nv = m.nvars in
+  let slack_of_row = Array.make m.nrows (-1) in
+  let nslack = ref 0 in
+  for i = 0 to m.nrows - 1 do
+    match m.rows.(i).sense with
+    | Le | Ge ->
+        slack_of_row.(i) <- nv + !nslack;
+        incr nslack
+    | Eq -> ()
+  done;
+  let nslack = !nslack in
+  let n = nv + nslack in
+  let t =
+    {
+      rm = m.nrows;
+      rn = n;
+      ra = Array.init m.nrows (fun _ -> Array.make n Q.zero);
+      xb = Array.make m.nrows Q.zero;
+      rbasis = Array.make m.nrows (-1);
+      stat = Array.make n Basis.Lower;
+      rlo = Array.make n Q.zero;
+      rhi = Array.make n None;
+      rd = Array.make n Q.zero;
+      rz = Q.zero;
+      enterable = Array.make n true;
+    }
+  in
+  for v = 0 to nv - 1 do
+    t.rlo.(v) <- m.lower.(v);
+    t.rhi.(v) <- m.upper.(v);
+    (* sanitize the snapshot against the current bounds *)
+    t.stat.(v) <-
+      (match w.Basis.vstat.(v) with
+      | Basis.Upper when m.upper.(v) = None -> Basis.Lower
+      | s -> s);
+    (match m.upper.(v) with
+    | Some u when Q.equal u m.lower.(v) -> t.enterable.(v) <- false
+    | _ -> ())
+  done;
+  for i = 0 to m.nrows - 1 do
+    if slack_of_row.(i) >= 0 then
+      t.stat.(slack_of_row.(i)) <-
+        (match w.Basis.sstat.(i) with Basis.Upper -> Basis.Lower | s -> s)
+  done;
+  (* raw rows [A | slack], augmented with the raw rhs *)
+  let rhs = Array.make m.nrows Q.zero in
+  for i = 0 to m.nrows - 1 do
+    let r = m.rows.(i) in
+    List.iter (fun (c, v) -> t.ra.(i).(v) <- Q.add t.ra.(i).(v) c) r.terms;
+    (match r.sense with
+    | Le -> t.ra.(i).(slack_of_row.(i)) <- Q.one
+    | Ge -> t.ra.(i).(slack_of_row.(i)) <- Q.minus_one
+    | Eq -> ());
+    rhs.(i) <- r.rhs
+  done;
+  (* Gauss-Jordan: make the snapshot's basic columns an identity *)
+  let assigned = Array.make m.nrows false in
+  let nbasic = ref 0 in
+  for q = 0 to n - 1 do
+    if t.stat.(q) = Basis.Basic then begin
+      incr nbasic;
+      if !nbasic > m.nrows then raise Warm_failed;
+      let r = ref (-1) in
+      for i = 0 to m.nrows - 1 do
+        if !r < 0 && (not assigned.(i)) && not (Q.is_zero t.ra.(i).(q)) then r := i
+      done;
+      if !r < 0 then raise Warm_failed (* singular basis *);
+      let r = !r in
+      assigned.(r) <- true;
+      t.rbasis.(r) <- q;
+      let prow = t.ra.(r) in
+      let piv = prow.(q) in
+      if not (Q.equal piv Q.one) then begin
+        for j = 0 to n - 1 do
+          if not (Q.is_zero prow.(j)) then prow.(j) <- Q.div prow.(j) piv
+        done;
+        rhs.(r) <- Q.div rhs.(r) piv
+      end;
+      for i = 0 to m.nrows - 1 do
+        if i <> r then begin
+          let f = t.ra.(i).(q) in
+          if not (Q.is_zero f) then begin
+            let row = t.ra.(i) in
+            for j = 0 to n - 1 do
+              if not (Q.is_zero prow.(j)) then row.(j) <- Q.sub row.(j) (Q.mul f prow.(j))
+            done;
+            rhs.(i) <- Q.sub rhs.(i) (Q.mul f rhs.(r))
+          end
+        end
+      done
+    end
+  done;
+  if !nbasic <> m.nrows then raise Warm_failed;
+  (* basic values: x_B = B^-1 b - sum over nonbasic of B^-1 A_j x_j *)
+  for i = 0 to m.nrows - 1 do
+    t.xb.(i) <- rhs.(i)
+  done;
+  for j = 0 to n - 1 do
+    if t.stat.(j) <> Basis.Basic then begin
+      let v = nb_value t j in
+      if not (Q.is_zero v) then
+        for i = 0 to m.nrows - 1 do
+          if not (Q.is_zero t.ra.(i).(j)) then t.xb.(i) <- Q.sub t.xb.(i) (Q.mul t.ra.(i).(j) v)
+        done
+    end
+  done;
+  let minimize_obj = minimize_objective m in
+  install_phase2 t minimize_obj;
+  let primal_feasible =
+    let ok = ref true in
+    for i = 0 to m.nrows - 1 do
+      let k = t.rbasis.(i) in
+      if Q.compare t.xb.(i) t.rlo.(k) < 0 then ok := false
+      else match t.rhi.(k) with Some u when Q.compare t.xb.(i) u > 0 -> ok := false | _ -> ()
+    done;
+    !ok
+  in
+  let proceed =
+    if primal_feasible then true
+    else begin
+      (* dual feasible? (always, when only bounds changed since the
+         snapshot: bounds do not enter the reduced costs) *)
+      let dual_ok = ref true in
+      for j = 0 to n - 1 do
+        if t.enterable.(j) then
+          match t.stat.(j) with
+          | Basis.Lower -> if Q.compare t.rd.(j) Q.zero < 0 then dual_ok := false
+          | Basis.Upper -> if Q.compare t.rd.(j) Q.zero > 0 then dual_ok := false
+          | Basis.Basic -> ()
+      done;
+      if not !dual_ok then raise Warm_failed;
+      dual_repair ~budget ~obs ~pivots t
+    end
+  in
+  if not proceed then Infeasible
+  else begin
+    Obs.incr obs "lp.warm_starts";
+    match Obs.span obs "lp.phase2" (fun () -> run_bounded ~rule ~phase1:false ~budget ~obs ~pivots t) with
+    | R_unbounded -> Unbounded
+    | R_optimal -> extract_revised ~m ~pivots t
+  end
+
+let solve ?(rule = Dantzig_with_fallback) ?(engine = Revised) ?warm ?budget ?(obs = Obs.null) m =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  Obs.incr obs "lp.solves";
+  let pivots = ref 0 in
+  match engine with
+  | Dense -> solve_dense ~rule ~budget ~obs ~pivots m
+  | Revised -> (
+      match warm with
+      | None -> solve_revised_cold ~rule ~budget ~obs ~pivots m
+      | Some w -> (
+          try solve_revised_warm ~rule ~budget ~obs ~pivots m w
+          with Warm_failed -> solve_revised_cold ~rule ~budget ~obs ~pivots m))
 
 let objective_value s = s.objective
 let value s v = s.var_values.(v)
 let values s = Array.to_list (Array.mapi (fun i n -> (n, s.var_values.(i))) s.sol_names)
+let pivots s = s.sol_pivots
+let tableau_cells s = s.sol_cells
+let basis s = s.sol_basis
 
 let pp_solution fmt s =
   Format.fprintf fmt "objective = %a@." Q.pp s.objective;

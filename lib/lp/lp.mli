@@ -1,15 +1,24 @@
 (** Linear programming with exact rational arithmetic.
 
     A small modelling layer (named variables with bounds, linear
-    constraints, a linear objective) over a dense two-phase primal simplex
-    solver working in {!Rational} arithmetic. Exactness matters here: the
-    paper's LP-rounding algorithm (Theorem 2) branches on exact thresholds
-    of the optimal solution ([y_t = 1], [y_t >= 1/2], [y_t > 0]), which are
-    ill-defined under floating point.
+    constraints, a linear objective) over two exact simplex engines.
+    Exactness matters here: the paper's LP-rounding algorithm (Theorem 2)
+    branches on exact thresholds of the optimal solution ([y_t = 1],
+    [y_t >= 1/2], [y_t > 0]), which are ill-defined under floating point.
 
-    Anti-cycling: the solver uses Dantzig pricing while the objective
-    strictly improves and falls back to Bland's rule after a bounded number
-    of degenerate pivots, which guarantees termination.
+    The default {!Revised} engine is a bounded-variable primal simplex:
+    variable upper bounds are handled implicitly by
+    nonbasic-at-lower/nonbasic-at-upper statuses and bound flips, so the
+    tableau has one row per constraint and artificial variables exist
+    only for rows whose slack cannot start basic. The {!Dense} engine is
+    the original two-phase tableau simplex with every upper bound
+    expanded into an explicit row, kept as the reference implementation;
+    the two must agree on status and objective value on every model (see
+    [prop_engines_agree] and the fuzz differential).
+
+    Anti-cycling: both engines use Dantzig pricing while the objective
+    strictly improves and fall back to Bland's rule after a bounded
+    number of degenerate pivots, which guarantees termination.
 
     Scale: intended for the LP1/LP2 programs of the active-time model at
     laptop instance sizes (hundreds of variables/constraints), not for
@@ -36,6 +45,13 @@ val var_name : model -> var -> string
 val num_vars : model -> int
 val num_constraints : model -> int
 
+(** [set_bounds m v ~lower ~upper] replaces the bounds of an existing
+    variable ([upper = None] removes the upper bound). The intended use
+    is repeated re-solves of one model under changing bounds (branch and
+    bound fixings), typically warm-started from the previous basis.
+    Raises [Invalid_argument] on an unknown variable or [upper < lower]. *)
+val set_bounds : model -> var -> lower:Rational.t -> upper:Rational.t option -> unit
+
 (** [add_constraint m terms sense rhs] adds [sum(c_i * x_i) sense rhs].
     Duplicate variables in [terms] are summed. *)
 val add_constraint : model -> (Rational.t * var) list -> sense -> Rational.t -> unit
@@ -50,30 +66,68 @@ type solution
 type result = Optimal of solution | Infeasible | Unbounded
 
 (** Pricing rule. [Dantzig_with_fallback] (the default) picks the most
-    negative reduced cost and switches to Bland's rule after a bounded
+    attractive reduced cost and switches to Bland's rule after a bounded
     number of degenerate pivots; [Pure_bland] always takes the first
-    negative column (fewer comparisons per pivot, usually many more
+    eligible column (fewer comparisons per pivot, usually many more
     pivots — see the ablation experiment). Both terminate. *)
 type pivot_rule = Dantzig_with_fallback | Pure_bland
 
-(** Pivots performed by the most recent [solve] call (both phases). *)
-val last_pivots : int ref
+(** Simplex engine. [Revised] (the default) is the bounded-variable
+    simplex; [Dense] is the reference two-phase tableau solver. Both
+    return the same status and objective value on every model; the
+    optimal vertex may differ when the optimum is not unique. *)
+type engine = Revised | Dense
+
+(** A basis snapshot for warm-started re-solves: the nonbasic-at-bound /
+    basic status of every structural variable and row slack at the
+    optimum that produced it. *)
+module Basis : sig
+  type status = Lower | Upper | Basic
+
+  type t = private {
+    b_nvars : int;
+    b_nrows : int;
+    vstat : status array;
+    sstat : status array;
+  }
+end
 
 (** Solves the model. The model may be re-solved after adding constraints
-    or changing the objective.
+    or changing the objective or bounds.
 
-    When [budget] is given, every simplex pivot (both phases) consumes
+    [engine] selects the simplex implementation (default {!Revised}).
+
+    [warm] (Revised engine only; ignored by [Dense]) restores a basis
+    snapshot from a previous solution of this model: the tableau is
+    refactorized for that basis and the solve re-enters phase 2 directly
+    when the basis is still primal feasible, or repairs feasibility with
+    a bounded-variable dual simplex when only the bounds changed (which
+    leaves the reduced costs, hence dual feasibility, intact). When the
+    snapshot cannot be reused — dimensions changed, the basis went
+    singular, dual infeasible, or the repair exceeds its pivot cap — the
+    solve silently falls back to a cold start, so [?warm] never changes
+    results, only work.
+
+    When [budget] is given, every simplex pivot and bound flip consumes
     one tick of it; on exhaustion the solve aborts by raising
     {!Budget.Out_of_fuel}. A half-pivoted tableau has no meaningful
     incumbent, so unlike the combinatorial solvers there is no
     [Exhausted] result here — callers that want degradation catch the
     exception (see [Active.Cascade]).
 
-    With [obs], records [lp.solves], [lp.pivots] and
-    [lp.degenerate_pivots] counters plus [lp.phase1] / [lp.phase2] spans
-    whose tick cost is the pivot count of each phase; counters recorded
-    so far survive an {!Budget.Out_of_fuel} abort. *)
-val solve : ?rule:pivot_rule -> ?budget:Budget.t -> ?obs:Obs.t -> model -> result
+    With [obs], records [lp.solves], [lp.pivots], [lp.phase1_pivots],
+    [lp.degenerate_pivots], [lp.bound_flips] (Revised only) and
+    [lp.warm_starts] (warm snapshot successfully reused) counters plus
+    [lp.phase1] / [lp.phase2] spans; counters recorded so far survive a
+    {!Budget.Out_of_fuel} abort. *)
+val solve :
+  ?rule:pivot_rule ->
+  ?engine:engine ->
+  ?warm:Basis.t ->
+  ?budget:Budget.t ->
+  ?obs:Obs.t ->
+  model ->
+  result
 
 (** Objective value at the returned vertex. *)
 val objective_value : solution -> Rational.t
@@ -83,6 +137,22 @@ val value : solution -> var -> Rational.t
 
 (** All values, in declaration order. *)
 val values : solution -> (string * Rational.t) list
+
+(** Simplex pivots performed by the solve that produced this solution
+    (all phases, including any warm-start dual repair; bound flips are
+    not pivots). *)
+val pivots : solution -> int
+
+(** Area (rows x columns) of the working tableau the engine pivoted on:
+    the [Dense] engine's tableau carries one extra row per upper-bounded
+    variable plus artificial columns, the [Revised] engine's exactly one
+    row per constraint. [pivots * tableau_cells] is the bench's
+    engine-comparable measure of simplex work (experiment E21). *)
+val tableau_cells : solution -> int
+
+(** Basis snapshot for {!solve}'s [?warm] — [None] when the solution was
+    produced by the [Dense] engine. *)
+val basis : solution -> Basis.t option
 
 (** {1 Debugging} *)
 

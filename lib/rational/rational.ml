@@ -1,29 +1,66 @@
-type t = { num : Bigint.t; den : Bigint.t }
+(* Two-tier representation. [Small (n, d)] keeps the numerator and
+   denominator in native ints so the common pivot arithmetic of the
+   simplex allocates no bignums; [Big] is the arbitrary-precision
+   fallback. Shared invariants: den > 0, gcd(num, den) = 1 (den = 1 when
+   num = 0). Canonical form: a value is [Big] only when its normalized
+   numerator or denominator does not fit a native int (min_int is
+   excluded from [Small] so negation and [abs] never overflow), hence
+   structural equality of the representation coincides with numeric
+   equality. *)
 
-(* Invariant: den > 0 and gcd(num, den) = 1 (den = 1 when num = 0). *)
+type t = Small of int * int | Big of Bigint.t * Bigint.t
 
-let make num den =
-  if Bigint.is_zero den then raise Division_by_zero;
-  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+(* both arguments >= 0 *)
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+(* Demote a normalized bignum pair to [Small] when it fits. *)
+let of_big_parts num den =
+  match (Bigint.to_int num, Bigint.to_int den) with
+  | Some n, Some d when n <> min_int && d <> min_int -> Small (n, d)
+  | _ -> Big (num, den)
+
+(* Normalize a bignum pair (den <> 0) and demote. *)
+let make_big num den =
+  if Bigint.is_zero num then Small (0, 1)
   else begin
     let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
     let g = Bigint.gcd num den in
-    if Bigint.is_one g then { num; den } else { num = Bigint.div num g; den = Bigint.div den g }
+    let num, den = if Bigint.is_one g then (num, den) else (Bigint.div num g, Bigint.div den g) in
+    of_big_parts num den
   end
 
-let of_bigint n = { num = n; den = Bigint.one }
-let of_int n = of_bigint (Bigint.of_int n)
-let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
-let zero = of_int 0
-let one = of_int 1
-let two = of_int 2
-let half = of_ints 1 2
-let minus_one = of_int (-1)
-let num t = t.num
-let den t = t.den
-let sign t = Bigint.sign t.num
-let is_zero t = Bigint.is_zero t.num
-let is_integer t = Bigint.is_one t.den
+(* Normalize a native pair (d <> 0); min_int operands take the big
+   route because their negation/abs overflows. *)
+let small n d =
+  if n = min_int || d = min_int then make_big (Bigint.of_int n) (Bigint.of_int d)
+  else if n = 0 then Small (0, 1)
+  else begin
+    let n, d = if d < 0 then (-n, -d) else (n, d) in
+    let g = gcd_int (abs n) d in
+    Small (n / g, d / g)
+  end
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  make_big num den
+
+let of_bigint n = of_big_parts n Bigint.one
+let of_int n = if n = min_int then Big (Bigint.of_int n, Bigint.one) else Small (n, 1)
+
+let of_ints n d =
+  if d = 0 then raise Division_by_zero;
+  small n d
+
+let zero = Small (0, 1)
+let one = Small (1, 1)
+let two = Small (2, 1)
+let half = Small (1, 2)
+let minus_one = Small (-1, 1)
+let num = function Small (n, _) -> Bigint.of_int n | Big (n, _) -> n
+let den = function Small (_, d) -> Bigint.of_int d | Big (_, d) -> d
+let sign = function Small (n, _) -> Stdlib.compare n 0 | Big (n, _) -> Bigint.sign n
+let is_zero = function Small (0, _) -> true | _ -> false
+let is_integer = function Small (_, d) -> d = 1 | Big (_, d) -> Bigint.is_one d
 
 let of_string s =
   match String.index_opt s '/' with
@@ -45,49 +82,106 @@ let of_string s =
           let magnitude = Bigint.add (Bigint.mul (Bigint.abs int_value) scale) frac_value in
           make (if negative then Bigint.neg magnitude else magnitude) scale)
 
-let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+(* Canonical representation: numeric equality is representation equality. *)
+let equal a b =
+  match (a, b) with
+  | Small (an, ad), Small (bn, bd) -> an = bn && ad = bd
+  | Big (an, ad), Big (bn, bd) -> Bigint.equal an bn && Bigint.equal ad bd
+  | Small _, Big _ | Big _, Small _ -> false
+
+let compare_big a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den (dens > 0) *)
+  Bigint.compare (Bigint.mul (num a) (den b)) (Bigint.mul (num b) (den a))
 
 let compare a b =
-  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den (dens > 0) *)
-  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+  match (a, b) with
+  | Small (an, ad), Small (bn, bd) -> (
+      match (Bigint.checked_mul an bd, Bigint.checked_mul bn ad) with
+      | Some x, Some y -> Stdlib.compare x y
+      | _ -> compare_big a b)
+  | _ -> compare_big a b
 
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
-let neg t = { t with num = Bigint.neg t.num }
-let abs t = if sign t < 0 then neg t else t
-let add a b = make (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)) (Bigint.mul a.den b.den)
-let sub a b = add a (neg b)
-let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
 
-let inv t =
-  if is_zero t then raise Division_by_zero;
-  make t.den t.num
+let neg = function
+  | Small (n, d) -> Small (-n, d) (* n <> min_int by invariant *)
+  | Big (n, d) -> of_big_parts (Bigint.neg n) d
+
+let abs t = if sign t < 0 then neg t else t
+
+let add_big a b =
+  make_big
+    (Bigint.add (Bigint.mul (num a) (den b)) (Bigint.mul (num b) (den a)))
+    (Bigint.mul (den a) (den b))
+
+let add a b =
+  match (a, b) with
+  | Small (an, ad), Small (bn, bd) -> (
+      match (Bigint.checked_mul an bd, Bigint.checked_mul bn ad, Bigint.checked_mul ad bd) with
+      | Some x, Some y, Some d -> (
+          match Bigint.checked_add x y with Some n -> small n d | None -> add_big a b)
+      | _ -> add_big a b)
+  | _ -> add_big a b
+
+let sub a b = add a (neg b)
+
+let mul_big a b = make_big (Bigint.mul (num a) (num b)) (Bigint.mul (den a) (den b))
+
+let mul a b =
+  match (a, b) with
+  | Small (an, ad), Small (bn, bd) -> (
+      (* cross-reduce first: keeps intermediates (and overflow falls) small *)
+      let g1 = gcd_int (Stdlib.abs an) bd and g2 = gcd_int (Stdlib.abs bn) ad in
+      let an = an / g1 and bd = bd / g1 and bn = bn / g2 and ad = ad / g2 in
+      match (Bigint.checked_mul an bn, Bigint.checked_mul ad bd) with
+      | Some n, Some d -> small n d
+      | _ -> mul_big a b)
+  | _ -> mul_big a b
+
+let inv = function
+  | Small (0, _) -> raise Division_by_zero
+  | Small (n, d) -> if n < 0 then Small (-d, -n) else Small (d, n)
+  | Big (n, d) -> make d n
 
 let div a b = mul a (inv b)
 
-let floor t =
-  let q, r = Bigint.divmod t.num t.den in
-  if Bigint.is_zero r || Bigint.sign t.num >= 0 then of_bigint q else of_bigint (Bigint.sub q Bigint.one)
+let floor = function
+  | Small (n, d) ->
+      if d = 1 then Small (n, 1)
+      else if n >= 0 then Small (n / d, 1)
+      else Small ((n / d) - (if n mod d = 0 then 0 else 1), 1)
+  | Big (n, d) as t ->
+      if Bigint.is_one d then t
+      else
+        let q, r = Bigint.divmod n d in
+        if Bigint.is_zero r || Bigint.sign n >= 0 then of_bigint q
+        else of_bigint (Bigint.sub q Bigint.one)
 
 let ceil t = neg (floor (neg t))
 
-let to_int t = if is_integer t then Bigint.to_int t.num else None
+let to_int = function Small (n, 1) -> Some n | _ -> None
 
 let floor_int t =
-  match Bigint.to_int (num (floor t)) with
-  | Some n -> n
-  | None -> failwith "Rational.floor_int: out of native range"
+  match floor t with
+  | Small (n, _) -> n
+  | Big _ -> failwith "Rational.floor_int: out of native range"
 
 let ceil_int t =
-  match Bigint.to_int (num (ceil t)) with
-  | Some n -> n
-  | None -> failwith "Rational.ceil_int: out of native range"
+  match ceil t with
+  | Small (n, _) -> n
+  | Big _ -> failwith "Rational.ceil_int: out of native range"
 
-let to_float t = Bigint.to_float t.num /. Bigint.to_float t.den
+let to_float = function
+  | Small (n, d) -> float_of_int n /. float_of_int d
+  | Big (n, d) -> Bigint.to_float n /. Bigint.to_float d
 
-let to_string t =
-  if is_integer t then Bigint.to_string t.num
-  else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den
+let to_string = function
+  | Small (n, 1) -> string_of_int n
+  | Small (n, d) -> string_of_int n ^ "/" ^ string_of_int d
+  | Big (n, d) ->
+      if Bigint.is_one d then Bigint.to_string n
+      else Bigint.to_string n ^ "/" ^ Bigint.to_string d
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 

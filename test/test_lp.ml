@@ -318,9 +318,168 @@ let prop_strong_duality =
       | Lp.Optimal p, Lp.Optimal d -> Q.equal (Lp.objective_value p) (Lp.objective_value d)
       | _ -> false)
 
+(* -- engine agreement and warm starts ------------------------------------ *)
+
+(* Unrestricted generator: mixed senses, negative lower bounds, optional
+   upper bounds and signed rhs, so all three statuses (and degenerate
+   vertices) occur. Used to check the Revised and Dense engines against
+   each other and warm against cold re-solves. *)
+type any_lp = {
+  g_nv : int;
+  g_lo : int array;
+  g_hi : int option array; (* lower + span, so upper >= lower *)
+  g_rows : (int array * int * int) list; (* coeffs, sense 0/1/2, rhs *)
+  g_costs : int array;
+  g_max : bool;
+}
+
+let any_gen =
+  let open QCheck.Gen in
+  let* nv = int_range 1 5 in
+  let* nr = int_range 0 6 in
+  let* lo = array_size (return nv) (int_range (-3) 3) in
+  let* span = array_size (return nv) (opt (int_range 0 6)) in
+  let row = triple (array_size (return nv) (int_range (-4) 6)) (int_range 0 2) (int_range (-8) 12) in
+  let* rows = list_size (return nr) row in
+  let* costs = array_size (return nv) (int_range (-5) 5) in
+  let* maxi = bool in
+  return
+    {
+      g_nv = nv;
+      g_lo = lo;
+      g_hi = Array.map2 (fun l s -> Option.map (fun s -> l + s) s) lo span;
+      g_rows = rows;
+      g_costs = costs;
+      g_max = maxi;
+    }
+
+let any_arb =
+  QCheck.make any_gen ~print:(fun l ->
+      Printf.sprintf "nv=%d lo=[%s] hi=[%s] costs=[%s] %s rows=[%s]" l.g_nv
+        (String.concat ";" (Array.to_list (Array.map string_of_int l.g_lo)))
+        (String.concat ";"
+           (Array.to_list (Array.map (function None -> "inf" | Some u -> string_of_int u) l.g_hi)))
+        (String.concat ";" (Array.to_list (Array.map string_of_int l.g_costs)))
+        (if l.g_max then "max" else "min")
+        (String.concat " | "
+           (List.map
+              (fun (r, s, b) ->
+                Printf.sprintf "%s %s %d"
+                  (String.concat "+" (Array.to_list (Array.map string_of_int r)))
+                  (match s with 0 -> "<=" | 1 -> ">=" | _ -> "=")
+                  b)
+              l.g_rows)))
+
+let build_any l =
+  let m = Lp.create () in
+  let vars =
+    Array.init l.g_nv (fun i ->
+        Lp.add_var ~lower:(qi l.g_lo.(i)) ?upper:(Option.map qi l.g_hi.(i)) m (Printf.sprintf "x%d" i))
+  in
+  List.iter
+    (fun (r, s, b) ->
+      let sense = match s with 0 -> Lp.Le | 1 -> Lp.Ge | _ -> Lp.Eq in
+      Lp.add_constraint m (Array.to_list (Array.mapi (fun i c -> (qi c, vars.(i))) r)) sense (qi b))
+    l.g_rows;
+  Lp.set_objective m
+    (if l.g_max then Lp.Maximize else Lp.Minimize)
+    (Array.to_list (Array.mapi (fun i c -> (qi c, vars.(i))) l.g_costs));
+  (m, vars)
+
+let any_feasible l (point : Q.t array) =
+  let ok_box = ref true in
+  Array.iteri
+    (fun i x ->
+      if Q.compare x (qi l.g_lo.(i)) < 0 then ok_box := false;
+      match l.g_hi.(i) with
+      | Some u when Q.compare x (qi u) > 0 -> ok_box := false
+      | _ -> ())
+    point;
+  !ok_box
+  && List.for_all
+       (fun (r, s, b) ->
+         let lhs = ref Q.zero in
+         Array.iteri (fun i c -> lhs := Q.add !lhs (Q.mul (qi c) point.(i))) r;
+         match s with
+         | 0 -> Q.compare !lhs (qi b) <= 0
+         | 1 -> Q.compare !lhs (qi b) >= 0
+         | _ -> Q.equal !lhs (qi b))
+       l.g_rows
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"Revised and Dense engines agree (status + objective)" ~count:600 any_arb
+    (fun l ->
+      let m, vars = build_any l in
+      match (Lp.solve ~engine:Lp.Revised m, Lp.solve ~engine:Lp.Dense m) with
+      | Lp.Optimal a, Lp.Optimal b ->
+          Q.equal (Lp.objective_value a) (Lp.objective_value b)
+          && any_feasible l (Array.map (Lp.value a) vars)
+          && any_feasible l (Array.map (Lp.value b) vars)
+      | Lp.Infeasible, Lp.Infeasible -> true
+      | Lp.Unbounded, Lp.Unbounded -> true
+      | _ -> false)
+
+(* After arbitrary bound rewrites, a warm re-solve from the previous
+   basis must return exactly what a cold solve of the same model does. *)
+let prop_warm_matches_cold =
+  QCheck.Test.make ~name:"warm-started re-solve = cold re-solve" ~count:400
+    (QCheck.pair any_arb
+       (QCheck.make QCheck.Gen.(list_size (return 3) (triple (int_range 0 4) (int_range (-3) 3) (int_range 0 5)))))
+    (fun (l, tweaks) ->
+      let m, vars = build_any l in
+      match Lp.solve m with
+      | Lp.Infeasible | Lp.Unbounded -> true (* nothing to warm-start from *)
+      | Lp.Optimal s0 -> (
+          let warm = Option.get (Lp.basis s0) in
+          List.iter
+            (fun (vi, lo, span) ->
+              if vi < l.g_nv then
+                Lp.set_bounds m vars.(vi) ~lower:(qi lo) ~upper:(Some (qi (lo + span))))
+            tweaks;
+          match (Lp.solve ~warm m, Lp.solve m) with
+          | Lp.Optimal a, Lp.Optimal b -> Q.equal (Lp.objective_value a) (Lp.objective_value b)
+          | Lp.Infeasible, Lp.Infeasible -> true
+          | Lp.Unbounded, Lp.Unbounded -> true
+          | _ -> false))
+
+let test_warm_start_counters () =
+  (* tightening a bound of an optimal basis: the warm re-solve reuses it
+     (lp.warm_starts = 1) and costs at most a short dual repair, never a
+     phase-1 restart (lp.phase1_pivots = 0) *)
+  let m = Lp.create () in
+  let x = Lp.add_var ~upper:(qi 4) m "x" and y = Lp.add_var ~upper:(qi 6) m "y" in
+  Lp.add_constraint m [ (qi 1, x); (qi 1, y) ] Lp.Le (qi 8);
+  Lp.add_constraint m [ (qi 1, x); (qi (-1), y) ] Lp.Ge (qi (-4));
+  Lp.set_objective m Lp.Maximize [ (qi 2, x); (qi 3, y) ];
+  let s0 = get_solution (Lp.solve m) in
+  Alcotest.(check string) "cold objective" "22" (Q.to_string (Lp.objective_value s0));
+  let warm = Option.get (Lp.basis s0) in
+  Lp.set_bounds m y ~lower:Q.zero ~upper:(Some (qi 3));
+  let obs = Obs.create () in
+  let s1 = get_solution (Lp.solve ~warm ~obs m) in
+  Alcotest.(check string) "warm objective" "17" (Q.to_string (Lp.objective_value s1));
+  let counter name = try List.assoc name (Obs.counters obs) with Not_found -> 0 in
+  Alcotest.(check int) "warm start taken" 1 (counter "lp.warm_starts");
+  Alcotest.(check int) "no phase-1 work" 0 (counter "lp.phase1_pivots");
+  (* and the warm result agrees with a cold solve of the same model *)
+  let s2 = get_solution (Lp.solve m) in
+  Alcotest.(check string) "cold re-solve agrees" "17" (Q.to_string (Lp.objective_value s2))
+
+let test_engine_introspection () =
+  let m = Lp.create () in
+  let x = Lp.add_var ~upper:(qi 5) m "x" in
+  Lp.add_constraint m [ (qi 1, x) ] Lp.Le (qi 3);
+  Lp.set_objective m Lp.Maximize [ (qi 1, x) ];
+  let r = get_solution (Lp.solve ~engine:Lp.Revised m) in
+  let d = get_solution (Lp.solve ~engine:Lp.Dense m) in
+  Alcotest.(check bool) "revised carries a basis" true (Lp.basis r <> None);
+  Alcotest.(check bool) "dense has no basis" true (Lp.basis d = None);
+  Alcotest.(check bool) "pivot counts are non-negative" true (Lp.pivots r >= 0 && Lp.pivots d >= 0)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_solution_feasible; prop_no_sample_beats_optimum; prop_strong_duality ]
+    [ prop_solution_feasible; prop_no_sample_beats_optimum; prop_strong_duality;
+      prop_engines_agree; prop_warm_matches_cold ]
 
 let () =
   Alcotest.run "lp"
@@ -343,5 +502,7 @@ let () =
           Alcotest.test_case "mixed senses" `Quick test_mixed_senses;
           Alcotest.test_case "infeasible by bounds" `Quick test_infeasible_by_bounds;
           Alcotest.test_case "unknown variable rejected" `Quick test_unknown_variable_rejected;
-          Alcotest.test_case "values accessor" `Quick test_values_accessor ] );
+          Alcotest.test_case "values accessor" `Quick test_values_accessor;
+          Alcotest.test_case "warm start counters" `Quick test_warm_start_counters;
+          Alcotest.test_case "engine introspection" `Quick test_engine_introspection ] );
       ("properties", props) ]

@@ -180,6 +180,32 @@ let test_golden_bb_hard_rebuild () =
       ("flow.max_flow_calls", 9537) ]
     (golden_bb_hard_run Active.Feasibility.Rebuild)
 
+(* Golden LP counters for the warm-started ILP branch-and-bound on the
+   Section 3.5 integrality-gap gadget (LP1 is fractional there, so the
+   search must branch). Pins the simplex work profile of the revised
+   engine: total/phase-1/degenerate pivot counts, bound flips (upper
+   bounds handled without pivoting) and warm starts (solves that re-entered
+   phase 2 from the parent basis; the remainder fell back to a cold
+   start). A diff means the LP engine's pivot sequence changed, which
+   must be a conscious decision, not an accident. *)
+let test_golden_lp_counters () =
+  let inst = Gad.integrality_gap 3 in
+  let obs = Obs.create () in
+  (match Active.Ilp.solve ~budget:(Budget.limited 2_000_000) ~obs inst with
+  | Budget.Complete (Some (sol, _)) -> Alcotest.(check int) "cost" 6 (Active.Solution.cost sol)
+  | Budget.Complete None -> Alcotest.fail "integrality_gap 3 is feasible"
+  | Budget.Exhausted _ -> Alcotest.fail "2M ticks suffice for g=3");
+  let lp_only = List.filter (fun (k, _) -> String.length k > 3 && String.sub k 0 3 = "lp.") (Obs.counters obs) in
+  Alcotest.(check (list (pair string int)))
+    "golden LP counters"
+    [ ("lp.bound_flips", 3);
+      ("lp.degenerate_pivots", 30);
+      ("lp.phase1_pivots", 39);
+      ("lp.pivots", 47);
+      ("lp.solves", 9);
+      ("lp.warm_starts", 4) ]
+    lp_only
+
 (* -------------------------------------------------------------- suite -- *)
 
 let () =
@@ -214,5 +240,6 @@ let () =
         ] );
       ( "golden",
         [ Alcotest.test_case "bb_hard counters" `Slow test_golden_bb_hard;
-          Alcotest.test_case "bb_hard counters (rebuild)" `Slow test_golden_bb_hard_rebuild ] );
+          Alcotest.test_case "bb_hard counters (rebuild)" `Slow test_golden_bb_hard_rebuild;
+          Alcotest.test_case "lp counters (warm-started ilp)" `Quick test_golden_lp_counters ] );
     ]
