@@ -1174,12 +1174,100 @@ let e21 () =
     exit 1
   end
 
+(* ---------------------------------------------------------------- e22 -- *)
+
+let e22 () =
+  header "E22: serve daemon - request throughput, cold vs memoized";
+  pr "A single-worker daemon (no --timing nondeterminism in goldens: the\n";
+  pr "latency fields come from the config's timing switch) fed N distinct\n";
+  pr "cascade requests and then the same N twice more. The repeats must\n";
+  pr "replay from the memo cache: the hit counter is golden-pinned and\n";
+  pr "the memoized latency must beat the cold latency.\n\n";
+  let n = if !quick then 12 else 40 in
+  let request seed =
+    let params : Gen.slotted_params = { n = 9; horizon = 14; max_length = 4; slack = 3; g = 2 } in
+    let inst = Gen.slotted ~params ~seed () in
+    Obs.Json.to_string
+      (Obs.Json.Obj
+         [ ("instance", Obs.Json.String (Workload.Io.to_string (Workload.Io.Slotted_instance inst)));
+           ("algorithm", Obs.Json.String "cascade");
+           ("budget", Obs.Json.Int 200_000) ])
+  in
+  let cold = List.init n request in
+  let stream = cold @ cold @ cold in
+  let obs = Obs.create () in
+  (* queue must hold the whole stream: run_lines feeds lines faster than
+     the single worker drains them, and a shed request is never cached *)
+  let config =
+    { (Serve.default_config ()) with
+      Serve.domains = 1;
+      timing = true;
+      queue_capacity = List.length stream }
+  in
+  let t0 = Unix.gettimeofday () in
+  let responses = Serve.run_lines ~obs ~config stream in
+  let wall = Unix.gettimeofday () -. t0 in
+  let field name line =
+    match Obs.Json.parse line with
+    | Ok doc -> Obs.Json.member name doc
+    | Error _ -> None
+  in
+  let latencies disposition =
+    List.filter_map
+      (fun line ->
+        match (field "cache" line, field "elapsed_us" line) with
+        | Some (Obs.Json.String d), Some (Obs.Json.Int us) when d = disposition -> Some us
+        | _ -> None)
+      responses
+    |> List.sort compare
+  in
+  let percentile sorted p =
+    match sorted with
+    | [] -> 0
+    | _ ->
+        let k = List.length sorted in
+        List.nth sorted (min (k - 1) (p * k / 100))
+  in
+  let cold_lat = latencies "miss" and memo_lat = latencies "hit" in
+  let hits =
+    match List.assoc_opt "serve.cache_hits" (Obs.counters obs) with Some h -> h | None -> 0
+  in
+  let cold_p50 = percentile cold_lat 50 and cold_p99 = percentile cold_lat 99 in
+  let memo_p50 = percentile memo_lat 50 and memo_p99 = percentile memo_lat 99 in
+  let rps = float_of_int (List.length stream) /. wall in
+  table_row (List.map col [ "phase"; "requests"; "p50 us"; "p99 us" ]);
+  table_row (List.map col [ "cold"; string_of_int (List.length cold_lat); string_of_int cold_p50; string_of_int cold_p99 ]);
+  table_row (List.map col [ "memoized"; string_of_int (List.length memo_lat); string_of_int memo_p50; string_of_int memo_p99 ]);
+  pr "\n%d responses in %.3fs (%.0f requests/sec), %d cache hits\n"
+    (List.length responses) wall rps hits;
+  Obs.add !bench_obs "e22.requests" (List.length stream);
+  Obs.add !bench_obs "e22.cache_hits" hits;
+  Obs.add !bench_obs "e22.cold.p50_us" cold_p50;
+  Obs.add !bench_obs "e22.cold.p99_us" cold_p99;
+  Obs.add !bench_obs "e22.memo.p50_us" memo_p50;
+  Obs.add !bench_obs "e22.memo.p99_us" memo_p99;
+  Obs.add !bench_obs "e22.requests_per_sec" (int_of_float rps);
+  (* gates: the repeats must all hit (golden hit count) and replaying a
+     cached answer must be measurably faster than solving it *)
+  if hits <> 2 * n then begin
+    pr "\nE22 FAILED: expected %d cache hits, measured %d\n" (2 * n) hits;
+    exit 1
+  end;
+  if List.length responses <> List.length stream then begin
+    pr "\nE22 FAILED: %d requests, %d responses\n" (List.length stream) (List.length responses);
+    exit 1
+  end;
+  if memo_p50 >= cold_p50 then begin
+    pr "\nE22 FAILED: memoized p50 %dus not faster than cold p50 %dus\n" memo_p50 cold_p50;
+    exit 1
+  end
+
 (* -------------------------------------------------------------- main -- *)
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8);
     ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
-    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21); ("abl", abl); ("par", par); ("scaling", scaling); ("timing", timing) ]
+    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22); ("abl", abl); ("par", par); ("scaling", scaling); ("timing", timing) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

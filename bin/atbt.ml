@@ -37,7 +37,8 @@ module CS = Core.Solver
 
 open Cmdliner
 
-let version = "1.2.0"
+(* single source of truth, shared with the serve protocol *)
+let version = Serve.Protocol.version
 
 type failure =
   | Usage of string  (* bad flags or unparseable input: exit 1 *)
@@ -66,6 +67,16 @@ let load path =
   try Ok (Io.parse_file path) with
   | Io.Parse_error (line, msg) -> Error (Usage (Printf.sprintf "%s:%d: %s" path line msg))
   | Sys_error msg -> Error (Usage msg)
+
+(* Lenient twin for the JSON paths: a malformed job line becomes a
+   structured per-line warning in the document instead of aborting the
+   whole run; only whole-file problems (bad header, missing file) stay
+   fatal. *)
+let load_lenient path =
+  match Io.parse_file_lenient path with
+  | Ok (instance, warnings) -> Ok (instance, warnings)
+  | Error (line, msg) -> Error (Usage (Printf.sprintf "%s:%d: %s" path line msg))
+  | exception Sys_error msg -> Error (Usage msg)
 
 (* Every file the CLI creates goes through here so that an unwritable
    path surfaces as a Usage error (exit 1) instead of an uncaught
@@ -141,34 +152,47 @@ let exhausted_message (s : CS.t) ~spent objective =
 
 (* One JSON document per invocation; [status] and [exit] mirror the
    process exit code so a consumer never needs the exit code separately. *)
-let emit_json ~command ~algorithm ~instance ~status ~code ~message ~cost ~bounds ~provenance obs =
+let emit_json ?(warnings = []) ~command ~algorithm ~instance ~status ~code ~message ~cost
+    ~bounds ~provenance obs =
+  let warnings_json =
+    (* present only when non-empty, so warning-free documents are
+       byte-identical to the previous schema *)
+    if warnings = [] then []
+    else
+      [ ( "warnings",
+          J.List
+            (List.map
+               (fun (line, msg) -> J.Obj [ ("line", J.Int line); ("message", J.String msg) ])
+               warnings) ) ]
+  in
   let doc =
     J.Obj
-      [ ("schema", J.Int 1);
-        ("tool", J.String "atbt");
-        ("version", J.String version);
-        ("command", J.String command);
-        ("algorithm", match algorithm with Some a -> J.String a | None -> J.Null);
-        ("instance", instance);
-        ("status", J.String status);
-        ("exit", J.Int code);
-        ("message", match message with Some m -> J.String m | None -> J.Null);
-        ("cost", cost);
-        ("bounds", bounds);
-        ("provenance", provenance);
-        ("counters", Obs.counters_to_json obs);
-        ("spans", Obs.spans_to_json obs) ]
+      ([ ("schema", J.Int 1);
+         ("tool", J.String "atbt");
+         ("version", J.String version);
+         ("command", J.String command);
+         ("algorithm", match algorithm with Some a -> J.String a | None -> J.Null);
+         ("instance", instance);
+         ("status", J.String status);
+         ("exit", J.Int code);
+         ("message", match message with Some m -> J.String m | None -> J.Null) ]
+      @ warnings_json
+      @ [ ("cost", cost);
+          ("bounds", bounds);
+          ("provenance", provenance);
+          ("counters", Obs.counters_to_json obs);
+          ("spans", Obs.spans_to_json obs) ])
   in
   print_endline (J.to_string doc);
   code
 
 (* JSON-mode driver: the body computes (status, cost, bounds, provenance)
    or a structured failure; either way exactly one document is printed. *)
-let finish_json ~command ~algorithm ~instance ~message obs result =
+let finish_json ?(warnings = fun () -> []) ~command ~algorithm ~instance ~message obs result =
   match result with
   | Ok (status, cost, bounds, provenance) ->
-      emit_json ~command ~algorithm ~instance:(instance ()) ~status ~code:0 ~message:(message ())
-        ~cost ~bounds ~provenance obs
+      emit_json ~warnings:(warnings ()) ~command ~algorithm ~instance:(instance ()) ~status
+        ~code:0 ~message:(message ()) ~cost ~bounds ~provenance obs
   | Error f ->
       let status, code, msg =
         match f with
@@ -177,8 +201,8 @@ let finish_json ~command ~algorithm ~instance ~message obs result =
         | Unknown_solver m -> ("usage-error", 2, m)
         | Fuel_exhausted m -> ("budget-exhausted", 3, m)
       in
-      emit_json ~command ~algorithm ~instance:(instance ()) ~status ~code ~message:(Some msg)
-        ~cost:J.Null ~bounds:J.Null ~provenance:J.Null obs
+      emit_json ~warnings:(warnings ()) ~command ~algorithm ~instance:(instance ()) ~status
+        ~code ~message:(Some msg) ~cost:J.Null ~bounds:J.Null ~provenance:J.Null obs
 
 let slotted_instance_json inst =
   J.Obj
@@ -338,9 +362,11 @@ let active_json path algorithm order budget cascade svg =
         | None -> Ok ())
     | Some problem -> Error (Internal ("invalid solution: " ^ problem))
   in
+  let warnings = ref [] in
   let result =
     let* () = check_budget budget in
-    let* instance = load path in
+    let* instance, warns = load_lenient path in
+    warnings := warns;
     let* inst =
       match instance with
       | Io.Busy_instance _ -> Error (Usage "active expects a slotted instance")
@@ -374,6 +400,7 @@ let active_json path algorithm order budget cascade svg =
   in
   let algorithm = if cascade then "cascade" else algorithm in
   finish_json ~command:"active" ~algorithm:(Some algorithm)
+    ~warnings:(fun () -> !warnings)
     ~instance:(fun () -> !instance_json)
     ~message:(fun () -> !note)
     obs result
@@ -522,9 +549,11 @@ let busy_json path g algorithm placement preemptive budget cascade svg =
         | None -> Ok ())
     | Some problem -> Error (Internal ("invalid packing: " ^ problem))
   in
+  let warnings = ref [] in
   let result =
     let* () = check_budget budget in
-    let* instance = load path in
+    let* instance, warns = load_lenient path in
+    warnings := warns;
     let* jobs =
       match instance with
       | Io.Slotted_instance _ -> Error (Usage "busy expects a busy-time instance")
@@ -559,6 +588,7 @@ let busy_json path g algorithm placement preemptive budget cascade svg =
     if preemptive then "preemptive" else if cascade then "cascade" else algorithm
   in
   finish_json ~command:"busy" ~algorithm:(Some algorithm)
+    ~warnings:(fun () -> !warnings)
     ~instance:(fun () -> !instance_json)
     ~message:(fun () -> !note)
     obs result
@@ -617,6 +647,59 @@ let bounds_cmd =
   let g = Arg.(value & opt int 2 & info [ "g" ] ~docv:"G" ~doc:"machine capacity") in
   Cmd.v (Cmd.info "bounds" ~doc:"Print lower bounds for an instance") Term.(const bounds $ path $ g)
 
+(* --------------------------------------------------------------- serve -- *)
+
+(* Long-running batched solve daemon: line-delimited JSON requests on
+   stdin, one schema-1 response line per request on stdout. Request
+   faults (malformed lines, solver crashes, expired deadlines, shed
+   requests) are structured responses, never daemon exits — serve
+   returns non-zero only for unusable flags. *)
+let serve domains queue budget cache inject timing =
+  finish
+    (let* () = check_budget budget in
+     let* () = if domains >= 1 then Ok () else Error (Usage "--domains must be at least 1") in
+     let* () = if queue >= 1 then Ok () else Error (Usage "--queue must be at least 1") in
+     let* () = if cache >= 0 then Ok () else Error (Usage "--cache must be nonnegative") in
+     let* inject =
+       match
+         match inject with Some spec -> Serve.Inject.parse spec | None -> Serve.Inject.of_env ()
+       with
+       | Ok t -> Ok t
+       | Error msg -> Error (Usage msg)
+     in
+     let defaults = Serve.default_config () in
+     let config =
+       {
+         defaults with
+         Serve.domains;
+         queue_capacity = queue;
+         default_budget = (match budget with Some _ -> budget | None -> defaults.Serve.default_budget);
+         cache_capacity = cache;
+         inject;
+         timing;
+       }
+     in
+     let (_ : int) = Serve.run ~config stdin stdout in
+     Ok ())
+
+let serve_cmd =
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"worker domains solving in parallel (default 1: deterministic single-worker order)")
+  in
+  let queue =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc:"bounded request queue capacity; requests beyond it are shed with status overloaded")
+  in
+  let cache =
+    Arg.(value & opt int 1024 & info [ "cache" ] ~docv:"N" ~doc:"memoized answers kept (FIFO); 0 disables the cache")
+  in
+  let inject =
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SPEC" ~doc:"fault injection spec crash=P,delay=MS@P,corrupt=P,seed=N (default: $(b,ATBT_INJECT))")
+  in
+  let timing = Arg.(value & flag & info [ "timing" ] ~doc:"add elapsed_us to every response") in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Serve solve requests from stdin (line-delimited JSON)")
+    Term.(const serve $ domains $ queue $ budget_arg $ cache $ inject $ timing)
+
 (* -------------------------------------------------------- list-solvers -- *)
 
 (* One line per registered solver, deterministically ordered by
@@ -643,4 +726,4 @@ let () =
     Cmd.info "atbt" ~version
       ~doc:"Minimizing active and busy time (Chang, Khuller, Mukherjee; SPAA 2014)"
   in
-  exit (Cmd.eval' (Cmd.group info [ generate_cmd; active_cmd; busy_cmd; bounds_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ generate_cmd; active_cmd; busy_cmd; bounds_cmd; serve_cmd ]))

@@ -11,6 +11,7 @@
 
 let () =
   let seeds = ref 200 in
+  let parser_seeds = ref 200 in
   let fuel = ref 200_000 in
   let plant = ref false in
   let corpus = ref "fuzz/corpus" in
@@ -19,6 +20,9 @@ let () =
   let spec =
     [
       ("--seeds", Arg.Set_int seeds, "N number of seeds to sweep (default 200)");
+      ( "--parser-seeds",
+        Arg.Set_int parser_seeds,
+        "N seeds for the serve request-parser totality target (default 200; 0 disables)" );
       ("--budget", Arg.Set_int fuel, "N fuel ticks for each exact tier (default 200000)");
       ("--plant-bug", Arg.Set plant, " arm the deliberately false oracle (shrinker self-test)");
       ("--corpus", Arg.Set_string corpus, "DIR where failures are written (default fuzz/corpus)");
@@ -35,12 +39,17 @@ let () =
         (fun (file, f) ->
           Printf.printf "FAIL %s: [%s] %s\n" file f.Fuzz.Oracle.check f.Fuzz.Oracle.detail)
         still_failing;
-      if still_failing = [] then begin
+      let parser_failing = Fuzz.Parser_fuzz.replay ~dir () in
+      List.iter
+        (fun (file, detail) -> Printf.printf "FAIL %s: [parser-total] %s\n" file detail)
+        parser_failing;
+      let failing = List.length still_failing + List.length parser_failing in
+      if failing = 0 then begin
         Printf.printf "replay: corpus %s clean\n" dir;
         exit 0
       end
       else begin
-        Printf.printf "replay: %d counterexample(s) still failing\n" (List.length still_failing);
+        Printf.printf "replay: %d counterexample(s) still failing\n" failing;
         exit 1
       end
   | None ->
@@ -50,16 +59,28 @@ let () =
           Printf.printf "FAIL %s: [%s] %s\n" cx.case cx.failure.Fuzz.Oracle.check
             cx.failure.Fuzz.Oracle.detail)
         report.Fuzz.Harness.failures;
-      if report.Fuzz.Harness.failures = [] then begin
+      let parser_failures =
+        if !parser_seeds > 0 then Fuzz.Parser_fuzz.run ?domains:!domains ~seeds:!parser_seeds ()
+        else []
+      in
+      List.iter
+        (fun (f : Fuzz.Parser_fuzz.failure) ->
+          Printf.printf "FAIL %s: [parser-total] %s\n" f.Fuzz.Parser_fuzz.case
+            f.Fuzz.Parser_fuzz.detail)
+        parser_failures;
+      if report.Fuzz.Harness.failures = [] && parser_failures = [] then begin
         Printf.printf "fuzz: %d seeds, %d cases, no disagreements\n" report.Fuzz.Harness.seeds
           report.Fuzz.Harness.cases;
+        Printf.printf "fuzz: %d parser seeds, %d lines, all total\n" !parser_seeds
+          (4 * !parser_seeds);
         exit 0
       end
       else begin
         let paths = Fuzz.Harness.write_corpus ~dir:!corpus report.Fuzz.Harness.failures in
+        let paths = paths @ Fuzz.Parser_fuzz.write_corpus ~dir:!corpus parser_failures in
         List.iter (fun p -> Printf.printf "wrote %s\n" p) paths;
         Printf.printf "fuzz: %d seeds, %d cases, %d disagreement(s)\n" report.Fuzz.Harness.seeds
           report.Fuzz.Harness.cases
-          (List.length report.Fuzz.Harness.failures);
+          (List.length report.Fuzz.Harness.failures + List.length parser_failures);
         exit 1
       end

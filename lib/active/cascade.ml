@@ -28,8 +28,8 @@ let tiers ~obs (inst : S.t) =
                  Some { Solution.open_slots; schedule }
              | _ -> invalid_arg ("Cascade.solve: tier " ^ label ^ " returned no schedule") ))
 
-let solve ?(obs = Obs.null) ~limit (inst : S.t) =
-  let r = Budget.Cascade.run ~obs ~limit (tiers ~obs inst) in
+let solve ?(obs = Obs.null) ?deadline ~limit (inst : S.t) =
+  let r = Budget.Cascade.run ~obs ?deadline ~limit (tiers ~obs inst) in
   let prov =
     Budget.Cascade.provenance ~cost_label:"cost" ~bound_label:"mass-bound" ~sub:( - )
       ~bound:(S.mass_lower_bound inst)

@@ -14,11 +14,18 @@ type provenance = int Budget.Cascade.provenance
 
 (** [solve ~limit inst] runs the cascade with [limit] ticks per tier.
     [None] in the first component iff the instance is infeasible (always
-    detected — infeasibility is decided before any search). [?obs] is
+    detected — infeasibility is decided before any search) {e or} the
+    [?deadline] probe fired (the provenance then ends in a
+    {!Budget.Cascade.Deadline} attempt and has no winner). [?obs] is
     threaded through the runner (cascade.* counters and per-tier spans)
-    and every tier's solver. *)
+    and every tier's solver; [?deadline] is re-armed on each per-tier
+    budget ({!Budget.Cascade.run}). *)
 val solve :
-  ?obs:Obs.t -> limit:int -> Workload.Slotted.t -> Solution.t option * provenance
+  ?obs:Obs.t ->
+  ?deadline:(unit -> bool) ->
+  limit:int ->
+  Workload.Slotted.t ->
+  Solution.t option * provenance
 
 (** Multi-line human-readable provenance: one line per attempt plus a
     final [provenance: tier=... cost=... mass-bound=... gap=...] line

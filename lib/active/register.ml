@@ -113,7 +113,8 @@ let solvers =
       ~supports_budget:true ~composite:true ~paper:"DESIGN §5a" ~impl:"Active.Cascade"
       ~solve:(fun ?budget ?obs ?params:_ inst ->
         let inst = slotted "cascade" inst in
-        let sol, prov = Cascade.solve ?obs ~limit:(cascade_limit budget) inst in
+        let deadline = Option.bind budget Budget.probe in
+        let sol, prov = Cascade.solve ?obs ?deadline ~limit:(cascade_limit budget) inst in
         let provenance = Budget.Cascade.map_provenance (fun c -> R.Slots c) prov in
         match sol with
         | Some s -> R.solved ~provenance ~witness:(opened s) (R.Slots (Solution.cost s))

@@ -1,20 +1,53 @@
 (* Deterministic fuel budgets: a mutable tick counter against a fixed
    limit. Ticks count solver events (search nodes, simplex pivots), never
-   wall-clock time, so budgeted runs are bit-for-bit reproducible. *)
+   wall-clock time, so budgeted runs are bit-for-bit reproducible.
 
-type t = { limit : int; mutable used : int }
+   A budget may additionally carry a deadline probe — an arbitrary
+   [unit -> bool] the budget polls every [interval] ticks from inside
+   {!tick}. The probe is how wall-clock deadlines compose with fuel:
+   the clock stays outside this library (the caller closes over
+   [Unix.gettimeofday], or a fake clock in tests), every existing
+   [tick] call site becomes a deadline check site for free, and a
+   budget without a probe behaves exactly as before. *)
+
+type t = {
+  limit : int;
+  mutable used : int;
+  mutable probe : (unit -> bool) option;
+  mutable probe_interval : int;
+  mutable next_probe : int;
+}
 
 exception Out_of_fuel
+exception Deadline_exceeded
 
-let unlimited () = { limit = max_int; used = 0 }
+let unlimited () =
+  { limit = max_int; used = 0; probe = None; probe_interval = 0; next_probe = 0 }
 
 let limited n =
   if n < 0 then invalid_arg "Budget.limited: negative limit";
-  { limit = n; used = 0 }
+  { limit = n; used = 0; probe = None; probe_interval = 0; next_probe = 0 }
+
+let set_deadline ?(interval = 256) b probe =
+  if interval < 1 then invalid_arg "Budget.set_deadline: interval must be positive";
+  b.probe <- Some probe;
+  b.probe_interval <- interval;
+  (* first probe on the very next tick, so an already-expired deadline
+     aborts as soon as the solver does any metered work at all *)
+  b.next_probe <- b.used
+
+let probe b = b.probe
+
+let expired b = match b.probe with None -> false | Some p -> p ()
 
 let tick b =
   if b.used >= b.limit then raise Out_of_fuel;
-  b.used <- b.used + 1
+  b.used <- b.used + 1;
+  match b.probe with
+  | Some p when b.used > b.next_probe ->
+      b.next_probe <- b.used + b.probe_interval;
+      if p () then raise Deadline_exceeded
+  | _ -> ()
 
 let spent b = b.used
 let remaining b = if b.limit = max_int then max_int else b.limit - b.used
@@ -28,7 +61,7 @@ let map f = function
   | Exhausted { spent; incumbent } -> Exhausted { spent; incumbent = f incumbent }
 
 module Cascade = struct
-  type status = Answered | No_answer | Tier_exhausted
+  type status = Answered | No_answer | Tier_exhausted | Deadline
 
   type attempt = { tier : string; ticks : int; status : status }
 
@@ -38,7 +71,7 @@ module Cascade = struct
     attempts : attempt list;
   }
 
-  let run ?(obs = Obs.null) ~limit tiers =
+  let run ?(obs = Obs.null) ?deadline ~limit tiers =
     let attempts = ref [] in
     let record tier ticks status =
       Obs.incr obs "cascade.attempts";
@@ -49,6 +82,7 @@ module Cascade = struct
       | [] -> { value = None; winner = None; attempts = List.rev !attempts }
       | (name, solve) :: rest -> (
           let b = limited limit in
+          (match deadline with Some p -> set_deadline b p | None -> ());
           match Obs.span obs ("cascade." ^ name) (fun () -> solve b) with
           | Some v ->
               record name (spent b) Answered;
@@ -59,7 +93,13 @@ module Cascade = struct
           | exception Out_of_fuel ->
               record name (spent b) Tier_exhausted;
               Obs.incr obs "cascade.tiers_exhausted";
-              go rest)
+              go rest
+          | exception Deadline_exceeded ->
+              (* the wall clock is gone for every tier, not just this
+                 one: record the aborted attempt and stop the ladder *)
+              record name (spent b) Deadline;
+              Obs.incr obs "cascade.deadline_hits";
+              { value = None; winner = None; attempts = List.rev !attempts })
     in
     go tiers
 
@@ -69,6 +109,7 @@ module Cascade = struct
       | Answered -> "answered"
       | No_answer -> "no answer (definitive)"
       | Tier_exhausted -> "exhausted"
+      | Deadline -> "deadline expired"
     in
     Format.fprintf fmt "tier %s: %s after %d ticks" a.tier verdict a.ticks
 
@@ -129,7 +170,8 @@ module Cascade = struct
               (match a.status with
               | Answered -> "answered"
               | No_answer -> "no-answer"
-              | Tier_exhausted -> "exhausted") ) ]
+              | Tier_exhausted -> "exhausted"
+              | Deadline -> "deadline") ) ]
     in
     let opt f = function None -> Obs.Json.Null | Some v -> f v in
     Obs.Json.Obj

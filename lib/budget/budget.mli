@@ -22,6 +22,14 @@ type t
     and the functions documented to re-raise it. *)
 exception Out_of_fuel
 
+(** Raised by {!tick} when the budget's deadline probe (see
+    {!set_deadline}) reports expiry. Unlike {!Out_of_fuel}, solvers do
+    {e not} catch this — it unwinds the whole solve, because a missed
+    wall-clock deadline invalidates incumbents and further tiers alike.
+    Callers that set a deadline (the [atbt serve] workers) catch it and
+    answer with a structured timeout. *)
+exception Deadline_exceeded
+
 (** A budget that never exhausts (for the thin unbounded wrappers). *)
 val unlimited : unit -> t
 
@@ -42,6 +50,28 @@ val remaining : t -> int
 val is_limited : t -> bool
 val exhausted : t -> bool
 
+(** [set_deadline ?interval b probe] arms a wall-clock deadline on [b]:
+    {!tick} calls [probe ()] on its next invocation and then once every
+    [interval] ticks (default 256, amortizing the clock read), raising
+    {!Deadline_exceeded} when it returns [true]. The clock stays outside
+    this library — pass a closure over [Unix.gettimeofday] (or a fake
+    clock in tests), so fuel accounting remains deterministic and a
+    budget without a probe behaves exactly as before. Because the check
+    rides the existing [tick] sites, every budgeted solver honours
+    deadlines with zero new instrumentation; solvers that ignore their
+    budget also ignore deadlines (documented per solver by the
+    [supports_budget] registry flag). *)
+val set_deadline : ?interval:int -> t -> (unit -> bool) -> unit
+
+(** The deadline probe armed on this budget, if any — used by composite
+    solvers (the cascades) to re-arm the probe on the fresh per-tier
+    budgets they create. *)
+val probe : t -> (unit -> bool) option
+
+(** [expired b] polls the probe immediately (no tick consumed); [false]
+    when no deadline is armed. *)
+val expired : t -> bool
+
 (** Result of a budgeted search: either it ran to completion, or the fuel
     ran out and [incumbent] is the best (feasible but possibly
     suboptimal) answer found within [spent] ticks. *)
@@ -56,6 +86,9 @@ module Cascade : sig
     | Answered  (** tier completed with an answer *)
     | No_answer  (** tier completed and proved there is none (infeasible) *)
     | Tier_exhausted  (** tier ran out of fuel; the next tier was tried *)
+    | Deadline
+        (** the wall-clock deadline expired inside this tier; the
+            cascade stopped — no further tier was tried *)
 
   type attempt = { tier : string; ticks : int; status : status }
 
@@ -76,8 +109,18 @@ module Cascade : sig
       cascade always terminates with an answer. With [?obs], each tier
       runs inside a [cascade.<tier>] span and the runner records
       [cascade.attempts], [cascade.ticks] and [cascade.tiers_exhausted]
-      counters. *)
-  val run : ?obs:Obs.t -> limit:int -> (string * (t -> 'a option)) list -> 'a result
+      counters. With [?deadline], the probe is armed (via
+      {!set_deadline}) on every per-tier budget; when it fires the
+      aborted attempt is recorded with status {!Deadline}, a
+      [cascade.deadline_hits] counter bumps, and the remaining tiers are
+      skipped — the result has [value = None] and [winner = None], with
+      the partial attempt list as provenance. *)
+  val run :
+    ?obs:Obs.t ->
+    ?deadline:(unit -> bool) ->
+    limit:int ->
+    (string * (t -> 'a option)) list ->
+    'a result
 
   val pp_attempt : Format.formatter -> attempt -> unit
 

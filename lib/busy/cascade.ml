@@ -24,11 +24,11 @@ let tiers ~obs ~g jobs =
              | { Core.Result.witness = Some (Core.Result.Packing p); _ } -> Some p
              | _ -> invalid_arg ("Cascade.solve: tier " ^ label ^ " returned no packing") ))
 
-let solve ?(obs = Obs.null) ~limit ~g jobs =
+let solve ?(obs = Obs.null) ?deadline ~limit ~g jobs =
   List.iter
     (fun (j : B.t) -> if not (B.is_interval j) then invalid_arg "Cascade.solve: flexible job")
     jobs;
-  let r = Budget.Cascade.run ~obs ~limit (tiers ~obs ~g jobs) in
+  let r = Budget.Cascade.run ~obs ?deadline ~limit (tiers ~obs ~g jobs) in
   let prov =
     Budget.Cascade.provenance ~cost_label:"busy" ~bound_label:"lower-bound" ~sub:Q.sub
       ~bound:(Bounds.best ~g jobs)

@@ -14,11 +14,14 @@ type provenance = Rational.t Budget.Cascade.provenance
 
 (** [solve ~limit ~g jobs] runs the cascade with [limit] ticks per tier.
     The packing is always [Some] (FirstFit accepts any interval-job
-    list, including the empty one). [?obs] is threaded through the
-    runner (cascade.* counters and per-tier spans) and every tier's
-    solver. *)
+    list, including the empty one) unless the [?deadline] probe fired —
+    the provenance then ends in a {!Budget.Cascade.Deadline} attempt and
+    has no winner. [?obs] is threaded through the runner (cascade.*
+    counters and per-tier spans) and every tier's solver; [?deadline] is
+    re-armed on each per-tier budget ({!Budget.Cascade.run}). *)
 val solve :
   ?obs:Obs.t ->
+  ?deadline:(unit -> bool) ->
   limit:int ->
   g:int ->
   Workload.Bjob.t list ->

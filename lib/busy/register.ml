@@ -169,7 +169,8 @@ let interval_solvers =
         let limit =
           match budget with Some b when Budget.is_limited b -> Budget.remaining b | _ -> 100_000
         in
-        let p, prov = Cascade.solve ?obs ~limit ~g jobs in
+        let deadline = Option.bind budget Budget.probe in
+        let p, prov = Cascade.solve ?obs ?deadline ~limit ~g jobs in
         let provenance = Budget.Cascade.map_provenance (fun c -> R.Busy c) prov in
         match p with
         | Some p ->

@@ -170,7 +170,10 @@ let replay ?(planted_bug = false) ~fuel ~dir () =
   if not (Sys.file_exists dir && Sys.is_directory dir) then []
   else
     Sys.readdir dir |> Array.to_list
-    |> List.filter (fun f -> Filename.check_suffix f ".txt")
+    (* parser-* counterexamples are raw request lines, not instances;
+       Parser_fuzz.replay owns them *)
+    |> List.filter (fun f ->
+           Filename.check_suffix f ".txt" && not (Parser_fuzz.is_parser_file f))
     |> List.sort compare
     |> List.filter_map (fun f ->
            let path = Filename.concat dir f in

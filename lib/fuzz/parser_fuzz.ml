@@ -1,0 +1,152 @@
+(* Fuzz target for the serve request parser: the totality contract.
+
+   [Obs.Json.parse] and [Serve.Protocol.decode_line] promise to never
+   raise — any input, however hostile, yields [Ok] or [Error]. The serve
+   daemon leans on that promise (a raising parser would kill the reader
+   loop, the one place the daemon has no isolation), so this target
+   throws deterministic garbage at it: raw byte soup, byte-mutated
+   well-formed requests, pathological nesting, and broken escape
+   sequences. Same seed, same lines — a CI failure replays locally.
+
+   Failures join the existing counterexample corpus as [parser-*.txt]
+   files (the offending line, verbatim) with their own replay path. *)
+
+type failure = { case : string; line : string; detail : string }
+
+(* splitmix64, same generator family as the sweep harness *)
+let mix state =
+  let z = Int64.add !state 0x9e3779b97f4a7c15L in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits state n = Int64.to_int (Int64.logand (mix state) 0x3fffffffL) mod n
+
+(* a well-formed request to mutate *)
+let template =
+  "{\"id\": 7, \"instance\": \"slotted\\ng 2\\njob 0 0 4 2\\njob 1 1 5 3\\n\", "
+  ^ "\"algorithm\": \"cascade\", \"g\": 2, \"budget\": 1000, \"params\": {\"order\": \"l2r\"}}"
+
+let byte_soup state =
+  let len = bits state 120 in
+  String.init len (fun _ ->
+      (* any byte but the line terminators — requests are lines *)
+      let rec draw () =
+        let c = Char.chr (bits state 256) in
+        if c = '\n' || c = '\r' then draw () else c
+      in
+      draw ())
+
+let mutated state =
+  let b = Bytes.of_string template in
+  let edits = 1 + bits state 6 in
+  let s = ref (Bytes.to_string b) in
+  for _ = 1 to edits do
+    let cur = !s in
+    let len = String.length cur in
+    match bits state 3 with
+    | 0 when len > 0 ->
+        let i = bits state len in
+        let c = Char.chr (33 + bits state 94) in
+        s := String.mapi (fun j x -> if j = i then c else x) cur
+    | 1 ->
+        let i = if len = 0 then 0 else bits state (len + 1) in
+        let c = Char.chr (33 + bits state 94) in
+        s := String.sub cur 0 i ^ String.make 1 c ^ String.sub cur i (len - i)
+    | _ when len > 0 -> s := String.sub cur 0 (bits state len)
+    | _ -> ()
+  done;
+  !s
+
+let nesting state =
+  let depth = 1 + bits state 600 in
+  let opener, closer = if bits state 2 = 0 then ("[", "]") else ("{\"k\":", "}") in
+  let b = Buffer.create (depth * 6) in
+  for _ = 1 to depth do Buffer.add_string b opener done;
+  Buffer.add_string b "0";
+  (* half the time leave the brackets unbalanced *)
+  if bits state 2 = 0 then
+    for _ = 1 to depth do Buffer.add_string b closer done;
+  Buffer.contents b
+
+let broken_escapes state =
+  let fragments =
+    [| "\"\\u"; "\"\\ud834"; "\"\\ud834\\udd1e\""; "\"\\udc00\""; "\"\\x41\"";
+       "\"\\"; "\"\\u00\""; "{\"instance\": \"\\ud800\"}"; "\"\\uzzzz\"";
+       "{\"instance\": \"busy\\njob 0 0 99999999999999999999 1\\n\"}";
+       "{\"instance\": \"slotted\\ng 99999999999999999999\\n\"}";
+       "1e999"; "-"; "0x10"; "[1,]"; "{\"a\" 1}"; "nulll"; "\"" |]
+  in
+  fragments.(bits state (Array.length fragments))
+
+let lines_for_seed seed =
+  let state = ref (Int64.add (Int64.of_int seed) 0x9e3779b97f4a7c15L) in
+  [ ("bytes", byte_soup state);
+    ("mutated", mutated state);
+    ("nesting", nesting state);
+    ("escapes", broken_escapes state) ]
+
+(* The contract under test: both layers are total. A raise here is a
+   finding; Ok/Error are both fine. *)
+let check_line line =
+  match Obs.Json.parse line with
+  | exception e -> Some ("Obs.Json.parse raised " ^ Printexc.to_string e)
+  | Ok _ | Error _ -> (
+      match Serve.Protocol.decode_line ~seq:0 line with
+      | exception e -> Some ("Serve.Protocol.decode_line raised " ^ Printexc.to_string e)
+      | Ok _ | Error _ -> None)
+
+let run ?domains ~seeds () =
+  let per_seed seed =
+    List.filter_map
+      (fun (family, line) ->
+        Option.map
+          (fun detail ->
+            { case = Printf.sprintf "parser-%s-seed%04d" family seed; line; detail })
+          (check_line line))
+      (lines_for_seed seed)
+  in
+  List.concat (Parallel.Pool.init ?domains seeds per_seed)
+
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let one_line s = String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+
+(* Corpus layout: two comment lines, then the offending request line
+   verbatim. The [parser-] filename prefix routes replay here instead of
+   through the instance oracle. *)
+let write_corpus ~dir failures =
+  ensure_dir dir;
+  List.map
+    (fun f ->
+      let path = Filename.concat dir (f.case ^ ".txt") in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc
+            (Printf.sprintf "# parser fuzz counterexample\n# detail: %s\n%s\n"
+               (one_line f.detail) f.line));
+      path)
+    failures
+
+let is_parser_file name = String.length name >= 7 && String.sub name 0 7 = "parser-"
+
+let replay ~dir () =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".txt" && is_parser_file f)
+    |> List.sort compare
+    |> List.filter_map (fun f ->
+           let path = Filename.concat dir f in
+           let text = In_channel.with_open_text path In_channel.input_all in
+           let line =
+             (* first non-comment line is the request under test *)
+             String.split_on_char '\n' text
+             |> List.find_opt (fun l -> l <> "" && l.[0] <> '#')
+             |> Option.value ~default:""
+           in
+           Option.map (fun detail -> (f, detail)) (check_line line))

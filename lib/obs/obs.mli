@@ -43,6 +43,18 @@ module Json : sig
 
   (** JSON string-body escaping (no surrounding quotes). *)
   val escape : string -> string
+
+  (** [member k (Obj fields)] is the value under key [k] (first match);
+      [None] on a missing key or any non-object. *)
+  val member : string -> t -> t option
+
+  (** Parse one JSON document (the inverse of {!to_string}): RFC-8259
+      values with [\uXXXX] escapes decoded to UTF-8 (surrogate pairs
+      combined), integers outside [int] range falling back to [Float],
+      and a nesting-depth cap. Total — any byte string returns [Ok] or
+      [Error "at offset N: ..."], never raises; the serve request path
+      and the parser fuzz target rely on that. *)
+  val parse : string -> (t, string) Stdlib.result
 end
 
 (** [digest s] is a stable content digest of [s] (64-bit FNV-1a,

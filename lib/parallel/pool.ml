@@ -33,6 +33,14 @@ let map ?domains f xs =
 
 let init ?domains n f = map ?domains f (List.init n (fun i -> i))
 
+(* Exception firewall for supervised workers: a raising task becomes an
+   [Error] value instead of unwinding the calling domain. [map]/[init]
+   use the same per-task capture internally (every task still runs, all
+   domains join, then the first failure in input order re-raises); this
+   exposes the captured form directly for callers — the serve daemon's
+   workers — that must outlive any single task's failure. *)
+let run_isolated f = try Ok (f ()) with e -> Error e
+
 (* Shared monotonically-decreasing cell: a CAS loop keeps the minimum of
    everything offered. Backs the shared incumbent of parallel
    branch-and-bound searches — workers publish improvements and read the

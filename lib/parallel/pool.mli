@@ -8,8 +8,13 @@
     simplex tableaux) per call, so tasks must not share mutable state and
     none of ours do.
 
-    Exceptions raised by tasks are caught per task and re-raised in the
-    caller after all domains join (the first one in input order wins). *)
+    Error semantics of [map]/[init] when a task raises: the exception is
+    caught {e per task}, every remaining task still runs, every spawned
+    domain is joined (no domain leak, no stranded queue), and only then
+    is the exception re-raised on the {e caller's} domain — the first
+    failing task in input order when several raise. A worker domain
+    never dies of a task exception. [test/test_parallel.ml] pins all of
+    this. *)
 
 (** [map ?domains f xs]. [domains] defaults to
     [Domain.recommended_domain_count () - 1], at least 1; the calling
@@ -21,6 +26,16 @@ val init : ?domains:int -> int -> (int -> 'b) -> 'b list
 
 (** Number of worker domains [map] would use by default. *)
 val default_domains : unit -> int
+
+(** [run_isolated f] runs [f ()] and captures any exception as an
+    [Error] instead of letting it unwind the calling domain — the
+    exception firewall for supervised long-lived workers (the [atbt
+    serve] daemon runs every request through this, so a solver crash
+    becomes a structured error response and the worker survives). Does
+    not catch asynchronous OCaml runtime failures ([Out_of_memory],
+    [Stack_overflow] are caught like any exception; a segfault is not
+    recoverable in-process). *)
+val run_isolated : (unit -> 'a) -> ('a, exn) result
 
 (** Shared monotonically-decreasing cell (atomic CAS minimum), for the
     shared incumbent of parallel branch-and-bound: workers publish

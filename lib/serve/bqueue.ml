@@ -1,0 +1,42 @@
+(* Bounded blocking MPMC queue: the daemon's backpressure valve. The
+   producer (the request reader) uses the non-blocking [try_push] and
+   sheds with a structured "overloaded" response when it returns false,
+   so a slow solver can never grow the queue without bound; consumers
+   (the worker domains) block in [pop] until an item or [close]. *)
+
+type 'a t = {
+  buf : 'a Queue.t;
+  capacity : int;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity must be positive";
+  { buf = Queue.create (); capacity; m = Mutex.create (); nonempty = Condition.create (); closed = false }
+
+let try_push q x =
+  Mutex.protect q.m (fun () ->
+      if q.closed || Queue.length q.buf >= q.capacity then false
+      else begin
+        Queue.push x q.buf;
+        Condition.signal q.nonempty;
+        true
+      end)
+
+let pop q =
+  Mutex.protect q.m (fun () ->
+      while Queue.is_empty q.buf && not q.closed do
+        Condition.wait q.nonempty q.m
+      done;
+      (* drain everything enqueued before close: every accepted request
+         still gets its response *)
+      if Queue.is_empty q.buf then None else Some (Queue.pop q.buf))
+
+let close q =
+  Mutex.protect q.m (fun () ->
+      q.closed <- true;
+      Condition.broadcast q.nonempty)
+
+let length q = Mutex.protect q.m (fun () -> Queue.length q.buf)

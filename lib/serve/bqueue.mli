@@ -1,0 +1,24 @@
+(** Bounded blocking MPMC queue — the serve daemon's backpressure valve.
+
+    The producer offers with the non-blocking {!try_push} and must shed
+    (answer ["overloaded"]) when it returns [false]; consumers block in
+    {!pop}. After {!close}, already-queued items are still drained —
+    every accepted request gets exactly one response — and [pop] then
+    returns [None] so workers exit cleanly. *)
+
+type 'a t
+
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+val create : capacity:int -> 'a t
+
+(** [false] when the queue is full (shed now) or closed. Never blocks. *)
+val try_push : 'a t -> 'a -> bool
+
+(** Blocks until an item is available; [None] once the queue is closed
+    {e and} drained. *)
+val pop : 'a t -> 'a option
+
+(** Idempotent; wakes every blocked consumer. *)
+val close : 'a t -> unit
+
+val length : 'a t -> int

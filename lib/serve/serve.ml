@@ -1,0 +1,437 @@
+(* The batched solve daemon. One reader (the calling domain) decodes
+   request lines and feeds a bounded queue; [config.domains] worker
+   domains drain it, solve under [Pool.run_isolated], and submit their
+   responses to an ordered emitter so output order always matches input
+   order regardless of which worker finishes first.
+
+   The invariant everything here serves: one request line in, exactly
+   one well-formed response line out, and no fault — malformed line,
+   solver exception, exhausted budget, expired deadline, injected crash,
+   shed request — ever takes the daemon down with it. *)
+
+module Bqueue = Bqueue
+module Inject = Inject
+module Protocol = Protocol
+module J = Obs.Json
+module CI = Core.Instance
+module CR = Core.Result
+module CS = Core.Solver
+module Io = Workload.Io
+module Q = Rational
+module B = Workload.Bjob
+
+type config = {
+  domains : int;
+  queue_capacity : int;
+  default_budget : int option;
+  cache_capacity : int;
+  inject : Inject.t;
+  timing : bool;
+  now : unit -> float;
+  sleep : float -> unit;
+}
+
+let default_config () =
+  {
+    domains = Parallel.Pool.default_domains ();
+    queue_capacity = 64;
+    default_budget = Some 500_000;
+    cache_capacity = 1024;
+    inject = Inject.none;
+    timing = false;
+    now = Unix.gettimeofday;
+    sleep = Unix.sleepf;
+  }
+
+(* ------------------------------------------------------------- stats -- *)
+
+(* Counters shared across domains. Obs recorders are single-domain, so
+   the daemon keeps its own atomics and merges them into the caller's
+   [?obs] once the workers have joined. *)
+module Stats = struct
+  let names =
+    [ "requests"; "responses"; "parse_errors"; "shed";
+      "cache_hits"; "cache_misses";
+      "injected_crashes"; "injected_delays"; "injected_corruptions";
+      "status.ok"; "status.degraded"; "status.infeasible";
+      "status.timeout"; "status.error"; "status.overloaded" ]
+
+  type t = (string * int Atomic.t) list
+
+  let create () : t = List.map (fun n -> (n, Atomic.make 0)) names
+
+  let incr (t : t) name =
+    match List.assoc_opt name t with
+    | Some a -> Atomic.incr a
+    | None -> invalid_arg ("Serve.Stats.incr: unknown counter " ^ name)
+
+  let merge (t : t) obs =
+    List.iter (fun (n, a) -> Obs.add obs ("serve." ^ n) (Atomic.get a)) t
+end
+
+(* ---------------------------------------------------------- memo cache -- *)
+
+(* Bounded FIFO memo of [Protocol.core] answers keyed on the request
+   digest. FIFO (not LRU) keeps eviction O(1) and deterministic. *)
+module Cache = struct
+  type t = {
+    m : Mutex.t;
+    tbl : (string, Protocol.core) Hashtbl.t;
+    order : string Queue.t;
+    capacity : int;
+  }
+
+  let create capacity =
+    { m = Mutex.create (); tbl = Hashtbl.create 64; order = Queue.create (); capacity }
+
+  let find t key =
+    if t.capacity <= 0 then None
+    else Mutex.protect t.m (fun () -> Hashtbl.find_opt t.tbl key)
+
+  let store t key core =
+    if t.capacity > 0 then
+      Mutex.protect t.m (fun () ->
+          if not (Hashtbl.mem t.tbl key) then begin
+            if Hashtbl.length t.tbl >= t.capacity then begin
+              let oldest = Queue.pop t.order in
+              Hashtbl.remove t.tbl oldest
+            end;
+            Hashtbl.replace t.tbl key core;
+            Queue.push key t.order
+          end)
+end
+
+(* ------------------------------------------------------ ordered output -- *)
+
+(* Reorder buffer: workers finish in any order, responses leave in
+   sequence order. Every line number is submitted exactly once (by the
+   reader for parse errors and shed requests, by a worker otherwise),
+   so the buffer always drains. *)
+module Emitter = struct
+  type t = {
+    m : Mutex.t;
+    mutable next : int;
+    pending : (int, string) Hashtbl.t;
+    emit : string -> unit;
+  }
+
+  let create emit = { m = Mutex.create (); next = 0; pending = Hashtbl.create 16; emit }
+
+  let submit t seq line =
+    Mutex.protect t.m (fun () ->
+        Hashtbl.replace t.pending seq line;
+        let rec flush () =
+          match Hashtbl.find_opt t.pending t.next with
+          | Some l ->
+              Hashtbl.remove t.pending t.next;
+              t.emit l;
+              t.next <- t.next + 1;
+              flush ()
+          | None -> ()
+        in
+        flush ())
+end
+
+(* ------------------------------------------------------------ solving -- *)
+
+let objective_json = function
+  | CR.Slots n -> J.Int n
+  | CR.Busy q | CR.Value q -> J.String (Q.to_string q)
+
+let provenance_json = function
+  | None -> J.Null
+  | Some p -> Budget.Cascade.provenance_to_json ~cost_to_json:objective_json p
+
+let degraded_provenance = function
+  | None -> false
+  | Some (p : CR.objective Budget.Cascade.provenance) ->
+      List.exists
+        (fun (a : Budget.Cascade.attempt) -> a.Budget.Cascade.status = Budget.Cascade.Tier_exhausted)
+        p.Budget.Cascade.attempts
+
+(* Run the registered solver for [req], verifying any witness it
+   returns. Raises (Unsupported, Bad_result, Deadline_exceeded,
+   Injected_fault, or a genuine solver bug) — the caller isolates. *)
+let solve_request cfg (req : Protocol.request) budget =
+  if Inject.should_crash cfg.inject then
+    raise (Inject.Injected_fault "injected worker crash");
+  match req.Protocol.command with
+  | Protocol.Active ->
+      let inst =
+        match req.Protocol.instance with
+        | Io.Slotted_instance inst -> inst
+        | Io.Busy_instance _ -> assert false (* decode inferred the command *)
+      in
+      let solver = Core.Registry.find_exn CI.Active_slotted req.Protocol.algorithm in
+      let r = solver.CS.solve ~budget ~params:req.Protocol.params (CI.Slotted inst) in
+      (match (r.CR.status, r.CR.witness) with
+      | CR.Solved, Some (CR.Opened { open_slots; schedule }) -> (
+          match Active.Solution.verify inst { Active.Solution.open_slots; schedule } with
+          | None -> ()
+          | Some problem -> raise (CS.Bad_result ("invalid solution: " ^ problem)))
+      | _ -> ());
+      (solver, r)
+  | Protocol.Busy ->
+      let jobs =
+        match req.Protocol.instance with
+        | Io.Busy_instance jobs -> jobs
+        | Io.Slotted_instance _ -> assert false
+      in
+      let pinned = Busy.Pipeline.place Busy.Pipeline.Greedy_placement jobs in
+      let solver = Core.Registry.find_exn CI.Busy_interval req.Protocol.algorithm in
+      let r =
+        solver.CS.solve ~budget ~params:req.Protocol.params
+          (CI.Interval { g = req.Protocol.g; jobs = pinned })
+      in
+      (match (r.CR.status, r.CR.witness) with
+      | CR.Solved, Some (CR.Packing packing) -> (
+          match Busy.Bundle.check ~g:req.Protocol.g pinned packing with
+          | None -> ()
+          | Some problem -> raise (CS.Bad_result ("invalid packing: " ^ problem)))
+      | _ -> ());
+      (solver, r)
+
+(* Map a finished solve onto a response core. [deadline_hit] is the
+   probe's flag: when it fired, the answer (whatever shape the unwinding
+   left — an infeasible cascade result carrying the partial attempt
+   list, usually) is reported as a timeout, with that provenance. *)
+let core_of_result (req : Protocol.request) budget ~deadline_hit (solver : CS.t) (r : CR.t) =
+  let instance_json = Protocol.instance_json req in
+  let algorithm_used = Some req.Protocol.algorithm in
+  let ticks =
+    (* composite solvers burn fresh per-tier budgets, not the request
+       budget — their spend lives in the provenance attempts *)
+    match r.CR.provenance with
+    | Some p when p.Budget.Cascade.attempts <> [] ->
+        List.fold_left
+          (fun acc (a : Budget.Cascade.attempt) -> acc + a.Budget.Cascade.ticks)
+          0 p.Budget.Cascade.attempts
+    | _ -> Budget.spent budget
+  in
+  let prov = provenance_json r.CR.provenance in
+  let mk status cost message =
+    { Protocol.status; algorithm_used; instance_json; cost; message; provenance = prov; ticks }
+  in
+  if deadline_hit then
+    mk "timeout" J.Null
+      (Some
+         (match req.Protocol.deadline_ms with
+         | Some ms -> Printf.sprintf "deadline of %dms expired after %d ticks" ms ticks
+         | None -> Printf.sprintf "deadline expired after %d ticks" ticks))
+  else
+    match r.CR.status with
+    | CR.Solved ->
+        let cost = match r.CR.objective with Some o -> objective_json o | None -> J.Null in
+        let status = if degraded_provenance r.CR.provenance then "degraded" else "ok" in
+        mk status cost r.CR.note
+    | CR.Infeasible -> mk "infeasible" J.Null r.CR.note
+    | CR.Exhausted { spent } -> (
+        match r.CR.objective with
+        | Some obj ->
+            mk "degraded" (objective_json obj)
+              (Some
+                 (Printf.sprintf "%s after %d ticks; best incumbent kept"
+                    solver.CS.exhausted_hint spent))
+        | None ->
+            mk "error" J.Null
+              (Some (Printf.sprintf "%s after %d ticks" solver.CS.exhausted_hint spent)))
+
+let timeout_core (req : Protocol.request) budget =
+  let ticks = Budget.spent budget in
+  {
+    Protocol.status = "timeout";
+    algorithm_used = Some req.Protocol.algorithm;
+    instance_json = Protocol.instance_json req;
+    cost = J.Null;
+    message =
+      Some
+        (match req.Protocol.deadline_ms with
+        | Some ms -> Printf.sprintf "deadline of %dms expired after %d ticks" ms ticks
+        | None -> Printf.sprintf "deadline expired after %d ticks" ticks);
+    provenance = J.Null;
+    ticks;
+  }
+
+let fault_core (req : Protocol.request) budget exn =
+  let message =
+    match exn with
+    | Inject.Injected_fault m -> "worker fault: " ^ m
+    | CS.Unsupported m -> m
+    | CS.Bad_result m -> "internal: " ^ m
+    | e -> "worker fault: " ^ Printexc.to_string e
+  in
+  {
+    Protocol.status = "error";
+    algorithm_used = Some req.Protocol.algorithm;
+    instance_json = Protocol.instance_json req;
+    cost = J.Null;
+    message = Some message;
+    provenance = J.Null;
+    ticks = Budget.spent budget;
+  }
+
+(* The empty busy instance has busy time 0 and needs no solver (several
+   interval solvers reject empty job lists) — same special case the CLI
+   makes. *)
+let empty_busy_core (req : Protocol.request) =
+  {
+    Protocol.status = "ok";
+    algorithm_used = Some req.Protocol.algorithm;
+    instance_json = Protocol.instance_json req;
+    cost = J.String (Q.to_string Q.zero);
+    message = None;
+    provenance = J.Null;
+    ticks = 0;
+  }
+
+let cacheable (core : Protocol.core) =
+  match core.Protocol.status with "ok" | "degraded" | "infeasible" -> true | _ -> false
+
+(* Handle one accepted request on a worker domain. Returns the response
+   core plus its cache disposition. Never raises: the solve itself runs
+   under [Pool.run_isolated], and everything around it is total. *)
+let handle cfg stats cache ~arrival (req : Protocol.request) =
+  let key = Protocol.cache_key req in
+  match Cache.find cache key with
+  | Some core ->
+      Stats.incr stats "cache_hits";
+      (core, Some "hit")
+  | None ->
+      Stats.incr stats "cache_misses";
+      (match Inject.delay_ms cfg.inject with
+      | Some ms ->
+          Stats.incr stats "injected_delays";
+          cfg.sleep (float_of_int ms /. 1000.0)
+      | None -> ());
+      let budget =
+        match (req.Protocol.budget, cfg.default_budget) with
+        | Some n, _ -> Budget.limited n
+        | None, Some n -> Budget.limited n
+        | None, None -> Budget.unlimited ()
+      in
+      let deadline_hit = ref false in
+      (match req.Protocol.deadline_ms with
+      | Some ms ->
+          let expiry = arrival +. (float_of_int ms /. 1000.0) in
+          Budget.set_deadline budget (fun () ->
+              let expired = cfg.now () >= expiry in
+              if expired then deadline_hit := true;
+              expired)
+      | None -> ());
+      let is_empty_busy =
+        match (req.Protocol.command, req.Protocol.instance) with
+        | Protocol.Busy, Io.Busy_instance [] -> true
+        | _ -> false
+      in
+      let core =
+        if is_empty_busy then empty_busy_core req
+        else
+          match Parallel.Pool.run_isolated (fun () -> solve_request cfg req budget) with
+          | Ok (solver, r) -> core_of_result req budget ~deadline_hit:!deadline_hit solver r
+          | Error Budget.Deadline_exceeded -> timeout_core req budget
+          | Error exn ->
+              (match exn with
+              | Inject.Injected_fault _ -> Stats.incr stats "injected_crashes"
+              | _ -> ());
+              fault_core req budget exn
+      in
+      if cacheable core then Cache.store cache key core;
+      (core, Some "miss")
+
+(* -------------------------------------------------------------- daemon -- *)
+
+type job = { seq : int; arrival : float; request : Protocol.request }
+
+(* [started] is when processing began (dequeue on a worker, read time on
+   the reader's own error paths): elapsed_us is service time, excluding
+   queue wait, so cold-vs-memoized comparisons measure the solve. *)
+let respond cfg stats (emitter : Emitter.t) ~seq ~started ~id ~cache (core : Protocol.core) =
+  Stats.incr stats "responses";
+  Stats.incr stats ("status." ^ core.Protocol.status);
+  let elapsed_us =
+    if cfg.timing then Some (int_of_float ((cfg.now () -. started) *. 1e6)) else None
+  in
+  Emitter.submit emitter seq (Protocol.to_line ?elapsed_us ~id ~cache core)
+
+let run_stream ?(obs = Obs.null) ?config ~next_line ~emit () =
+  let cfg = match config with Some c -> c | None -> default_config () in
+  let stats = Stats.create () in
+  let cache = Cache.create cfg.cache_capacity in
+  let emitter = Emitter.create emit in
+  let queue : job Bqueue.t = Bqueue.create ~capacity:(max 1 cfg.queue_capacity) in
+  let worker () =
+    let rec loop () =
+      match Bqueue.pop queue with
+      | None -> ()
+      | Some { seq; arrival; request } ->
+          let started = cfg.now () in
+          let core, cache_disposition =
+            (* [handle] is total, but a bug in the response path itself
+               must not kill the worker either: belt and braces. *)
+            match Parallel.Pool.run_isolated (fun () -> handle cfg stats cache ~arrival request) with
+            | Ok v -> v
+            | Error exn ->
+                (Protocol.error_core ("worker fault: " ^ Printexc.to_string exn), None)
+          in
+          respond cfg stats emitter ~seq ~started ~id:request.Protocol.id
+            ~cache:cache_disposition core;
+          loop ()
+    in
+    loop ()
+  in
+  let workers = List.init (max 1 cfg.domains) (fun _ -> Domain.spawn worker) in
+  let rec read seq =
+    match next_line () with
+    | None -> ()
+    | Some line ->
+        Stats.incr stats "requests";
+        let arrival = cfg.now () in
+        let line =
+          match Inject.corrupt_line cfg.inject line with
+          | Some mutated ->
+              Stats.incr stats "injected_corruptions";
+              mutated
+          | None -> line
+        in
+        (match Protocol.decode_line ~seq line with
+        | Error msg ->
+            Stats.incr stats "parse_errors";
+            respond cfg stats emitter ~seq ~started:arrival ~id:(J.Int seq) ~cache:None
+              (Protocol.error_core msg)
+        | Ok request ->
+            if not (Bqueue.try_push queue { seq; arrival; request }) then begin
+              Stats.incr stats "shed";
+              respond cfg stats emitter ~seq ~started:arrival ~id:request.Protocol.id ~cache:None
+                Protocol.overloaded_core
+            end);
+        read (seq + 1)
+  in
+  read 0;
+  Bqueue.close queue;
+  List.iter Domain.join workers;
+  Stats.merge stats obs
+
+let run ?obs ?config ic oc =
+  let next_line () = match input_line ic with line -> Some line | exception End_of_file -> None in
+  let emit line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  run_stream ?obs ?config ~next_line ~emit ();
+  0
+
+let run_lines ?obs ?config lines =
+  let remaining = ref lines in
+  let collected = ref [] in
+  let m = Mutex.create () in
+  let next_line () =
+    match !remaining with
+    | [] -> None
+    | line :: rest ->
+        remaining := rest;
+        Some line
+  in
+  let emit line = Mutex.protect m (fun () -> collected := line :: !collected) in
+  run_stream ?obs ?config ~next_line ~emit ();
+  List.rev !collected

@@ -42,15 +42,16 @@ exception Parse_error of int * string
 
 let parse_error lineno fmt = Printf.ksprintf (fun msg -> raise (Parse_error (lineno, msg))) fmt
 
-let parse_lines lines =
-  let kind = ref None in
-  let g = ref None in
-  let slotted_jobs = ref [] in
-  let busy_jobs = ref [] in
-  List.iteri
-    (fun i line ->
-      let lineno = i + 1 in
-      match tokens_of_line line with
+(* Shared line-by-line parser. [on_error] decides the failure policy:
+   the strict entry points re-raise (first bad line aborts), the lenient
+   ones record the error and keep going — the same per-item error
+   discipline the serve daemon applies to its request stream, so one
+   typo in a large instance file degrades to a warning instead of
+   aborting the whole run. Whole-file problems (missing header, missing
+   capacity) stay fatal in both modes: there is nothing to continue
+   with. *)
+let parse_line ~kind ~g ~slotted_jobs ~busy_jobs ~lineno line =
+  match tokens_of_line line with
       | [] -> ()
       | [ "slotted" ] -> kind := Some `Slotted
       | [ "busy" ] -> kind := Some `Busy
@@ -77,7 +78,18 @@ let parse_lines lines =
                       :: !busy_jobs
                   with Invalid_argument msg | Failure msg -> parse_error lineno "%s" msg))
           | Some _, _ -> parse_error lineno "jobs need four fields: id release deadline length")
-      | tok :: _ -> parse_error lineno "unknown directive %S" tok)
+      | tok :: _ -> parse_error lineno "unknown directive %S" tok
+
+let parse_lines_gen ~on_error lines =
+  let kind = ref None in
+  let g = ref None in
+  let slotted_jobs = ref [] in
+  let busy_jobs = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      try parse_line ~kind ~g ~slotted_jobs ~busy_jobs ~lineno line
+      with Parse_error (l, msg) -> on_error l msg)
     lines;
   match !kind with
   | None -> raise (Parse_error (0, "missing header ('slotted' or 'busy')"))
@@ -86,9 +98,19 @@ let parse_lines lines =
       Slotted_instance (Slotted.make ~g (List.rev !slotted_jobs))
   | Some `Busy -> Busy_instance (List.rev !busy_jobs)
 
-let parse_string s = parse_lines (String.split_on_char '\n' s)
+let parse_lines lines =
+  parse_lines_gen ~on_error:(fun l msg -> raise (Parse_error (l, msg))) lines
 
-let parse_file path =
+let parse_lines_lenient lines =
+  let errors = ref [] in
+  match parse_lines_gen ~on_error:(fun l msg -> errors := (l, msg) :: !errors) lines with
+  | instance -> Ok (instance, List.rev !errors)
+  | exception Parse_error (l, msg) -> Error (l, msg)
+
+let parse_string s = parse_lines (String.split_on_char '\n' s)
+let parse_string_lenient s = parse_lines_lenient (String.split_on_char '\n' s)
+
+let read_lines path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -99,7 +121,10 @@ let parse_file path =
            lines := input_line ic :: !lines
          done
        with End_of_file -> ());
-      parse_lines (List.rev !lines))
+      List.rev !lines)
+
+let parse_file path = parse_lines (read_lines path)
+let parse_file_lenient path = parse_lines_lenient (read_lines path)
 
 let to_string = function
   | Slotted_instance inst ->

@@ -26,5 +26,16 @@ val parse_string : string -> instance
 (** Raises {!Parse_error} or [Sys_error]. *)
 val parse_file : string -> instance
 
+(** Lenient variants: a malformed {e line} is recorded as a
+    [(lineno, message)] warning and skipped instead of aborting the
+    parse — the per-item error discipline of the serve daemon, applied
+    to files. Whole-file problems (missing header, missing slotted
+    capacity) are still fatal and returned as [Error (lineno, message)]
+    ([lineno] 0 for end-of-file checks). [Sys_error] still escapes
+    [parse_file_lenient]. *)
+val parse_string_lenient : string -> (instance * (int * string) list, int * string) result
+
+val parse_file_lenient : string -> (instance * (int * string) list, int * string) result
+
 val to_string : instance -> string
 val write_file : string -> instance -> unit

@@ -1,0 +1,39 @@
+The serve daemon reads line-delimited JSON requests on stdin and emits
+exactly one schema-1 response line per request, in order — including for
+garbage lines, which become structured errors instead of killing the
+stream. The defaults (one worker domain, no --timing) make the output
+byte-deterministic.
+
+  $ cat > req.jsonl <<'EOF'
+  > {"instance": "slotted\ng 2\njob 0 0 4 2\njob 1 0 4 2\n"}
+  > this is not json
+  > {"id": "busy-1", "instance": "busy\njob 0 0 10 10\njob 1 0 10 10\n", "g": 2, "algorithm": "first-fit"}
+  > {"instance": "slotted\ng 2\njob 0 0 4 2\njob 1 0 4 2\n"}
+  > {"instance": 42}
+  > EOF
+  $ atbt serve < req.jsonl
+  {"schema":1,"tool":"atbt","version":"1.6.0","command":"serve","id":0,"status":"ok","algorithm":"cascade","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":2,"message":null,"provenance":{"winner":"exact","attempts":[{"tier":"exact","ticks":1,"status":"answered"}],"cost":2,"mass-bound":2,"gap":0},"cache":"miss","ticks":1}
+  {"schema":1,"tool":"atbt","version":"1.6.0","command":"serve","id":1,"status":"error","algorithm":null,"instance":null,"cost":null,"message":"request is not valid JSON: at offset 0: expected true","provenance":null,"cache":null,"ticks":0}
+  {"schema":1,"tool":"atbt","version":"1.6.0","command":"serve","id":"busy-1","status":"ok","algorithm":"first-fit","instance":{"digest":"fnv1a64:d7b988d9f78c9e0f","kind":"busy","jobs":2,"g":2},"cost":"10","message":null,"provenance":null,"cache":"miss","ticks":0}
+  {"schema":1,"tool":"atbt","version":"1.6.0","command":"serve","id":3,"status":"ok","algorithm":"cascade","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":2,"message":null,"provenance":{"winner":"exact","attempts":[{"tier":"exact","ticks":1,"status":"answered"}],"cost":2,"mass-bound":2,"gap":0},"cache":"hit","ticks":1}
+  {"schema":1,"tool":"atbt","version":"1.6.0","command":"serve","id":4,"status":"error","algorithm":null,"instance":null,"cost":null,"message":"field \"instance\" must be a string","provenance":null,"cache":null,"ticks":0}
+
+Note line 4 replays line 1's answer from the memo cache ("cache":"hit")
+and the explicit "id" on line 3 is echoed verbatim.
+
+Under full fault injection every worker crashes, yet every request is
+still answered (structured errors) and the daemon exits 0 — faults are
+responses, not daemon deaths. The seed makes the run reproducible:
+
+  $ atbt serve --inject crash=1.0,seed=3 --cache 0 < req.jsonl
+  {"schema":1,"tool":"atbt","version":"1.6.0","command":"serve","id":0,"status":"error","algorithm":"cascade","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":null,"message":"worker fault: injected worker crash","provenance":null,"cache":"miss","ticks":0}
+  {"schema":1,"tool":"atbt","version":"1.6.0","command":"serve","id":1,"status":"error","algorithm":null,"instance":null,"cost":null,"message":"request is not valid JSON: at offset 0: expected true","provenance":null,"cache":null,"ticks":0}
+  {"schema":1,"tool":"atbt","version":"1.6.0","command":"serve","id":"busy-1","status":"error","algorithm":"first-fit","instance":{"digest":"fnv1a64:d7b988d9f78c9e0f","kind":"busy","jobs":2,"g":2},"cost":null,"message":"worker fault: injected worker crash","provenance":null,"cache":"miss","ticks":0}
+  {"schema":1,"tool":"atbt","version":"1.6.0","command":"serve","id":3,"status":"error","algorithm":"cascade","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":null,"message":"worker fault: injected worker crash","provenance":null,"cache":"miss","ticks":0}
+  {"schema":1,"tool":"atbt","version":"1.6.0","command":"serve","id":4,"status":"error","algorithm":null,"instance":null,"cost":null,"message":"field \"instance\" must be a string","provenance":null,"cache":null,"ticks":0}
+
+An unparseable inject spec is a usage error, before any request is read:
+
+  $ atbt serve --inject bogus < /dev/null
+  atbt: invalid inject field "bogus" (want key=value)
+  [1]

@@ -45,6 +45,68 @@ let test_outcome_map () =
     (Budget.map succ (Budget.Exhausted { spent = 5; incumbent = 1 })
     = Budget.Exhausted { spent = 5; incumbent = 2 })
 
+(* ----------------------------------------------------------- deadlines -- *)
+
+let test_deadline_probe_interval () =
+  (* the probe is polled on the first tick after arming and then once
+     every [interval] ticks, never in between *)
+  let calls = ref 0 in
+  let b = Budget.limited 1000 in
+  Budget.set_deadline ~interval:10 b (fun () -> incr calls; false);
+  for _ = 1 to 35 do
+    Budget.tick b
+  done;
+  (* polls at used = 1, 12, 23, 34 *)
+  Alcotest.(check int) "amortized polls" 4 !calls
+
+let test_deadline_raises () =
+  let calls = ref 0 in
+  let b = Budget.limited 1000 in
+  Budget.set_deadline ~interval:1 b (fun () -> incr calls; !calls >= 2);
+  Budget.tick b;
+  (* second poll reports expiry and tick raises *)
+  Alcotest.check_raises "deadline raises" Budget.Deadline_exceeded (fun () ->
+      Budget.tick b;
+      Budget.tick b);
+  Alcotest.(check bool) "expired polls directly" true (Budget.expired b)
+
+let test_deadline_unarmed () =
+  let b = Budget.limited 10 in
+  Alcotest.(check bool) "no probe" true (Budget.probe b = None);
+  Alcotest.(check bool) "not expired" false (Budget.expired b)
+
+let test_deadline_escapes_solver () =
+  (* solvers do not catch Deadline_exceeded: an expired deadline unwinds
+     the whole solve with no incumbent *)
+  let params : Gen.slotted_params = { n = 6; horizon = 10; max_length = 3; slack = 2; g = 2 } in
+  let inst = Gen.slotted ~params ~seed:0 () in
+  let b = Budget.limited 100_000 in
+  Budget.set_deadline ~interval:1 b (fun () -> true);
+  Alcotest.check_raises "deadline escapes" Budget.Deadline_exceeded (fun () ->
+      ignore (Active.Exact.solve ~budget:b inst))
+
+let test_deadline_stops_cascade () =
+  (* a mid-tier deadline records the aborted attempt and skips the rest *)
+  let ticks = ref 0 in
+  let deadline () = !ticks >= 256 in
+  let tier name b =
+    Some
+      (let rec spin n = if n = 0 then name else (Budget.tick b; incr ticks; spin (n - 1)) in
+       spin 10_000)
+  in
+  let r =
+    Budget.Cascade.run ~deadline ~limit:100_000
+      [ ("first", tier "first"); ("second", tier "second") ]
+  in
+  Alcotest.(check bool) "no value" true (r.Budget.Cascade.value = None);
+  Alcotest.(check bool) "no winner" true (r.Budget.Cascade.winner = None);
+  match r.Budget.Cascade.attempts with
+  | [ a ] ->
+      Alcotest.(check string) "aborted tier" "first" a.Budget.Cascade.tier;
+      Alcotest.(check bool) "deadline status" true
+        (a.Budget.Cascade.status = Budget.Cascade.Deadline)
+  | l -> Alcotest.fail (Printf.sprintf "expected one attempt, got %d" (List.length l))
+
 (* ------------------------------------------------- budgeted == unbounded -- *)
 
 let slotted_instance seed =
@@ -237,6 +299,12 @@ let () =
           Alcotest.test_case "unlimited" `Quick test_unlimited;
           Alcotest.test_case "invalid limit" `Quick test_invalid_limit;
           Alcotest.test_case "outcome map" `Quick test_outcome_map ] );
+      ( "deadlines",
+        [ Alcotest.test_case "probe interval" `Quick test_deadline_probe_interval;
+          Alcotest.test_case "probe raises" `Quick test_deadline_raises;
+          Alcotest.test_case "unarmed budget" `Quick test_deadline_unarmed;
+          Alcotest.test_case "escapes solvers" `Quick test_deadline_escapes_solver;
+          Alcotest.test_case "stops the cascade" `Quick test_deadline_stops_cascade ] );
       ( "budgeted solvers",
         [ Alcotest.test_case "active exact: unlimited agrees" `Quick test_active_exact_unlimited_agrees;
           Alcotest.test_case "busy exact: unlimited agrees" `Quick test_busy_exact_unlimited_agrees;

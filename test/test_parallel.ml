@@ -89,6 +89,17 @@ let test_lp_workload_agrees () =
   Alcotest.(check bool) "identical results" true
     (List.map work seeds = Parallel.Pool.map ~domains:3 work seeds)
 
+let test_run_isolated () =
+  Alcotest.(check bool) "ok passes through" true (Parallel.Pool.run_isolated (fun () -> 41 + 1) = Ok 42);
+  (match Parallel.Pool.run_isolated (fun () -> failwith "boom") with
+  | Error (Failure msg) when msg = "boom" -> ()
+  | _ -> Alcotest.fail "expected Error (Failure boom)");
+  (* the firewall is total: even exceptions that usually mean control
+     flow (Exit, Not_found) are captured, not propagated *)
+  match Parallel.Pool.run_isolated (fun () -> raise Exit) with
+  | Error Exit -> ()
+  | _ -> Alcotest.fail "expected Error Exit"
+
 let () =
   Alcotest.run "parallel"
     [ ( "pool",
@@ -100,5 +111,6 @@ let () =
           Alcotest.test_case "failure drains the queue" `Quick test_failure_does_not_abort_queue;
           Alcotest.test_case "zero domains clamped" `Quick test_domains_zero_clamped;
           Alcotest.test_case "default domains" `Quick test_default_domains_positive;
+          Alcotest.test_case "run_isolated firewall" `Quick test_run_isolated;
           Alcotest.test_case "busy-time stack under domains" `Quick test_real_workload_agrees;
           Alcotest.test_case "simplex under domains" `Quick test_lp_workload_agrees ] ) ]
