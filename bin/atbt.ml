@@ -653,34 +653,37 @@ let bounds_cmd =
    stdin, one schema-1 response line per request on stdout. Request
    faults (malformed lines, solver crashes, expired deadlines, shed
    requests) are structured responses, never daemon exits — serve
-   returns non-zero only for unusable flags. *)
+   returns non-zero only for unusable flags (1) or a response stream
+   that died under it (1, reported on stderr: the one fault that
+   cannot be answered with a response). *)
 let serve domains queue budget cache inject timing =
-  finish
-    (let* () = check_budget budget in
-     let* () = if domains >= 1 then Ok () else Error (Usage "--domains must be at least 1") in
-     let* () = if queue >= 1 then Ok () else Error (Usage "--queue must be at least 1") in
-     let* () = if cache >= 0 then Ok () else Error (Usage "--cache must be nonnegative") in
-     let* inject =
-       match
-         match inject with Some spec -> Serve.Inject.parse spec | None -> Serve.Inject.of_env ()
-       with
-       | Ok t -> Ok t
-       | Error msg -> Error (Usage msg)
-     in
-     let defaults = Serve.default_config () in
-     let config =
-       {
-         defaults with
-         Serve.domains;
-         queue_capacity = queue;
-         default_budget = (match budget with Some _ -> budget | None -> defaults.Serve.default_budget);
-         cache_capacity = cache;
-         inject;
-         timing;
-       }
-     in
-     let (_ : int) = Serve.run ~config stdin stdout in
-     Ok ())
+  let config =
+    let* () = check_budget budget in
+    let* () = if domains >= 1 then Ok () else Error (Usage "--domains must be at least 1") in
+    let* () = if queue >= 1 then Ok () else Error (Usage "--queue must be at least 1") in
+    let* () = if cache >= 0 then Ok () else Error (Usage "--cache must be nonnegative") in
+    let* inject =
+      match
+        match inject with Some spec -> Serve.Inject.parse spec | None -> Serve.Inject.of_env ()
+      with
+      | Ok t -> Ok t
+      | Error msg -> Error (Usage msg)
+    in
+    let defaults = Serve.default_config () in
+    Ok
+      {
+        defaults with
+        Serve.domains;
+        queue_capacity = queue;
+        default_budget = (match budget with Some _ -> budget | None -> defaults.Serve.default_budget);
+        cache_capacity = cache;
+        inject;
+        timing;
+      }
+  in
+  match config with
+  | Error e -> finish (Error e)
+  | Ok config -> Serve.run ~config stdin stdout
 
 let serve_cmd =
   let domains =

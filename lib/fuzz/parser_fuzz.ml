@@ -75,6 +75,8 @@ let broken_escapes state =
     [| "\"\\u"; "\"\\ud834"; "\"\\ud834\\udd1e\""; "\"\\udc00\""; "\"\\x41\"";
        "\"\\"; "\"\\u00\""; "{\"instance\": \"\\ud800\"}"; "\"\\uzzzz\"";
        "{\"instance\": \"busy\\njob 0 0 99999999999999999999 1\\n\"}";
+       "{\"instance\": \"busy\\njob 0 0 1/0 1\\n\"}";
+       "{\"instance\": \"busy\\njob 0 0/0 1 1\\n\"}";
        "{\"instance\": \"slotted\\ng 99999999999999999999\\n\"}";
        "1e999"; "-"; "0x10"; "[1,]"; "{\"a\" 1}"; "nulll"; "\"" |]
   in

@@ -67,6 +67,9 @@ let of_string s =
   | Some i ->
       let n = Bigint.of_string (String.sub s 0 i) in
       let d = Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      (* "1/0" is malformed input, not a division: parse errors must stay
+         in the Invalid_argument family callers already catch *)
+      if Bigint.is_zero d then invalid_arg "Rational.of_string: zero denominator";
       make n d
   | None -> (
       match String.index_opt s '.' with

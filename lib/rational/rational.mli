@@ -27,7 +27,10 @@ val of_ints : int -> int -> t
 val of_int : int -> t
 val of_bigint : Bigint.t -> t
 
-(** [of_string s] accepts ["n"], ["n/d"] and decimal ["i.f"] forms. *)
+(** [of_string s] accepts ["n"], ["n/d"] and decimal ["i.f"] forms.
+    Raises [Invalid_argument] or [Failure] on malformed input — including
+    a zero denominator, which is a parse error here, never
+    [Division_by_zero]. *)
 val of_string : string -> t
 
 (** {1 Deconstruction} *)

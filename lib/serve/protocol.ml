@@ -89,6 +89,18 @@ let opt_field name conv doc =
   | None | Some J.Null -> Ok None
   | Some v -> Result.map Option.some (conv name v)
 
+(* Canonical params: drop duplicate keys (first occurrence wins, matching
+   what List.assoc gives the solvers), then sort by key. Requests whose
+   params differ only in JSON field order decode identically, so they
+   share a memo-cache key. *)
+let canonical_params kvs =
+  let rec dedupe seen = function
+    | [] -> []
+    | (k, _) :: rest when List.mem k seen -> dedupe seen rest
+    | (k, v) :: rest -> (k, v) :: dedupe (k :: seen) rest
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) (dedupe [] kvs)
+
 let decode ~seq doc =
   match doc with
   | J.Obj _ ->
@@ -144,7 +156,7 @@ let decode ~seq doc =
                 let* v = field_string ("params." ^ k) v in
                 Ok ((k, v) :: acc))
               (Ok []) kvs
-            |> Result.map List.rev
+            |> Result.map List.rev |> Result.map canonical_params
         | Some _ -> Error "field \"params\" must be an object of strings"
       in
       Ok
@@ -185,7 +197,9 @@ let instance_json (req : request) =
           ("g", J.Int req.g) ]
 
 (* the memo key: everything that determines the answer, nothing that
-   doesn't (id and deadline are delivery concerns, not answer inputs) *)
+   doesn't (id and deadline are delivery concerns, not answer inputs).
+   [req.params] is already canonical — deduped and key-sorted at decode
+   — so field order on the wire cannot split the key. *)
 let cache_key (req : request) =
   let b = Buffer.create 128 in
   Buffer.add_string b (match req.command with Active -> "active\x00" | Busy -> "busy\x00");

@@ -359,67 +359,106 @@ let run_stream ?(obs = Obs.null) ?config ~next_line ~emit () =
   let cache = Cache.create cfg.cache_capacity in
   let emitter = Emitter.create emit in
   let queue : job Bqueue.t = Bqueue.create ~capacity:(max 1 cfg.queue_capacity) in
+  (* The response channel is the one dependency no structured response
+     can route around: if [emit] raises (closed stdout, broken pipe),
+     the client can no longer hear any answer. That fault shuts the
+     daemon down in an orderly way instead of escaping a worker domain
+     and re-raising from Domain.join: the first failure is recorded,
+     the queue closes so every worker drains and exits, the reader
+     stops, and the caller gets the exception back after the join. *)
+  let output_failure = Atomic.make None in
+  let output_dead () = Atomic.get output_failure <> None in
+  let respond_or_fail ~seq ~started ~id ~cache:dispo core =
+    if not (output_dead ()) then
+      try respond cfg stats emitter ~seq ~started ~id ~cache:dispo core
+      with exn ->
+        if Atomic.compare_and_set output_failure None (Some exn) then Bqueue.close queue
+  in
   let worker () =
     let rec loop () =
       match Bqueue.pop queue with
       | None -> ()
       | Some { seq; arrival; request } ->
-          let started = cfg.now () in
-          let core, cache_disposition =
-            (* [handle] is total, but a bug in the response path itself
-               must not kill the worker either: belt and braces. *)
-            match Parallel.Pool.run_isolated (fun () -> handle cfg stats cache ~arrival request) with
-            | Ok v -> v
-            | Error exn ->
-                (Protocol.error_core ("worker fault: " ^ Printexc.to_string exn), None)
-          in
-          respond cfg stats emitter ~seq ~started ~id:request.Protocol.id
-            ~cache:cache_disposition core;
-          loop ()
+          if output_dead () then loop () (* just drain: nobody can hear answers *)
+          else begin
+            let started = cfg.now () in
+            let core, cache_disposition =
+              (* [handle] is total, but a bug in the response path itself
+                 must not kill the worker either: belt and braces. *)
+              match Parallel.Pool.run_isolated (fun () -> handle cfg stats cache ~arrival request) with
+              | Ok v -> v
+              | Error exn ->
+                  (Protocol.error_core ("worker fault: " ^ Printexc.to_string exn), None)
+            in
+            respond_or_fail ~seq ~started ~id:request.Protocol.id
+              ~cache:cache_disposition core;
+            loop ()
+          end
     in
     loop ()
   in
   let workers = List.init (max 1 cfg.domains) (fun _ -> Domain.spawn worker) in
   let rec read seq =
-    match next_line () with
-    | None -> ()
-    | Some line ->
-        Stats.incr stats "requests";
-        let arrival = cfg.now () in
-        let line =
-          match Inject.corrupt_line cfg.inject line with
-          | Some mutated ->
-              Stats.incr stats "injected_corruptions";
-              mutated
-          | None -> line
-        in
-        (match Protocol.decode_line ~seq line with
-        | Error msg ->
-            Stats.incr stats "parse_errors";
-            respond cfg stats emitter ~seq ~started:arrival ~id:(J.Int seq) ~cache:None
-              (Protocol.error_core msg)
-        | Ok request ->
-            if not (Bqueue.try_push queue { seq; arrival; request }) then begin
-              Stats.incr stats "shed";
-              respond cfg stats emitter ~seq ~started:arrival ~id:request.Protocol.id ~cache:None
-                Protocol.overloaded_core
-            end);
-        read (seq + 1)
+    if output_dead () then ()
+    else
+      match next_line () with
+      | None -> ()
+      | Some line ->
+          Stats.incr stats "requests";
+          let arrival = cfg.now () in
+          let line =
+            match Inject.corrupt_line cfg.inject line with
+            | Some mutated ->
+                Stats.incr stats "injected_corruptions";
+                mutated
+            | None -> line
+          in
+          let decoded =
+            (* decode_line promises totality (the parser-fuzz target is
+               the gate); this is the reader's belt and braces — a
+               decoder bug must answer "error", not kill the daemon *)
+            try Protocol.decode_line ~seq line
+            with exn -> Error ("request decode raised: " ^ Printexc.to_string exn)
+          in
+          (match decoded with
+          | Error msg ->
+              Stats.incr stats "parse_errors";
+              respond_or_fail ~seq ~started:arrival ~id:(J.Int seq) ~cache:None
+                (Protocol.error_core msg)
+          | Ok request ->
+              if not (Bqueue.try_push queue { seq; arrival; request }) then begin
+                Stats.incr stats "shed";
+                respond_or_fail ~seq ~started:arrival ~id:request.Protocol.id ~cache:None
+                  Protocol.overloaded_core
+              end);
+          read (seq + 1)
   in
   read 0;
   Bqueue.close queue;
   List.iter Domain.join workers;
-  Stats.merge stats obs
+  Stats.merge stats obs;
+  Atomic.get output_failure
 
 let run ?obs ?config ic oc =
+  (* a client that hangs up must surface as Sys_error (EPIPE) on the
+     next write — the orderly-shutdown path above — not kill the whole
+     process with SIGPIPE before the guard can see it *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let next_line () = match input_line ic with line -> Some line | exception End_of_file -> None in
   let emit line =
     output_string oc line;
     output_char oc '\n';
     flush oc
   in
-  run_stream ?obs ?config ~next_line ~emit ();
-  0
+  match run_stream ?obs ?config ~next_line ~emit () with
+  | None -> 0
+  | Some exn ->
+      Printf.eprintf "atbt serve: response stream failed: %s\n%!" (Printexc.to_string exn);
+      (* the channel is dead; drop its buffered residue now so the
+         runtime's at-exit flush cannot re-raise out of the process
+         (flush on a closed channel is a documented no-op) *)
+      close_out_noerr oc;
+      1
 
 let run_lines ?obs ?config lines =
   let remaining = ref lines in
@@ -433,5 +472,7 @@ let run_lines ?obs ?config lines =
         Some line
   in
   let emit line = Mutex.protect m (fun () -> collected := line :: !collected) in
-  run_stream ?obs ?config ~next_line ~emit ();
+  (match run_stream ?obs ?config ~next_line ~emit () with
+  | None -> ()
+  | Some exn -> raise exn (* a list push cannot fail; surface the bug *));
   List.rev !collected

@@ -28,7 +28,12 @@
       {!Parallel.Pool.run_isolated} on a worker domain; any exception —
       a solver bug or an {!Inject.Injected_fault} — becomes a
       [status "error"] response and the worker survives to take the
-      next request. *)
+      next request.
+    - {e output failure}: when the response channel itself dies there
+      is no one left to answer, so the daemon shuts down in order —
+      queue closed, workers drained and joined — and reports the fault
+      to its caller ({!run} returns 1) instead of crashing out of a
+      worker domain. *)
 
 module Bqueue = Bqueue
 module Inject = Inject
@@ -54,11 +59,31 @@ type config = {
     [Some 500_000], cache 1024, no injection, no timing, real clock. *)
 val default_config : unit -> config
 
-(** [run ic oc] serves until EOF on [ic]; always returns 0 (individual
-    request failures are responses, not daemon failures). With [?obs],
-    [serve.*] counters (requests, responses, per-status counts, cache
-    hits/misses, injected faults) merge into the recorder at exit. *)
+(** [run ic oc] serves until EOF on [ic]; returns 0 (individual request
+    failures are responses, not daemon failures). The single exception:
+    when writing to [oc] itself fails (closed stdout, broken pipe), no
+    response can reach the client at all — the daemon shuts down in
+    order (queue closed, workers drained and joined), reports the fault
+    on stderr, and returns 1. To make that path reachable on POSIX,
+    [run] sets [SIGPIPE] to ignore for the process, so a hung-up client
+    surfaces as [Sys_error] instead of a fatal signal. With [?obs],
+    [serve.*] counters (requests,
+    responses, per-status counts, cache hits/misses, injected faults)
+    merge into the recorder at exit. *)
 val run : ?obs:Obs.t -> ?config:config -> in_channel -> out_channel -> int
+
+(** Transport-agnostic core behind {!run} and {!run_lines}: pull request
+    lines with [next_line], write response lines with [emit]. Returns
+    [None] on clean stream end; [Some exn] when [emit] raised — the one
+    fault a structured response cannot route around, handled as an
+    orderly shutdown rather than an escaping exception. *)
+val run_stream :
+  ?obs:Obs.t ->
+  ?config:config ->
+  next_line:(unit -> string option) ->
+  emit:(string -> unit) ->
+  unit ->
+  exn option
 
 (** Pure-list harness for tests and bench: feed request lines, collect
     response lines (same order guarantees as {!run}). *)

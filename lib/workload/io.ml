@@ -76,7 +76,13 @@ let parse_line ~kind ~g ~slotted_jobs ~busy_jobs ~lineno line =
                     busy_jobs :=
                       Bjob.make ~id ~release:(Q.of_string r) ~deadline:(Q.of_string d) ~length:(Q.of_string p)
                       :: !busy_jobs
-                  with Invalid_argument msg | Failure msg -> parse_error lineno "%s" msg))
+                  with
+                  | Invalid_argument msg | Failure msg -> parse_error lineno "%s" msg
+                  | Division_by_zero ->
+                      (* Rational.of_string rejects "1/0" as Invalid_argument,
+                         but keep the arithmetic escape hatch covered too: a
+                         bad coordinate must never abort the caller *)
+                      parse_error lineno "zero denominator in job coordinates"))
           | Some _, _ -> parse_error lineno "jobs need four fields: id release deadline length")
       | tok :: _ -> parse_error lineno "unknown directive %S" tok
 

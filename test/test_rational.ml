@@ -22,7 +22,16 @@ let test_parse () =
   check_q "decimal" "1/4" (Q.of_string "0.25");
   check_q "negative decimal" "-5/2" (Q.of_string "-2.5");
   check_q "decimal no int part" "1/2" (Q.of_string ".5");
-  check_q "big decimal" "123456789123456789/100" (Q.of_string "1234567891234567.89")
+  check_q "big decimal" "123456789123456789/100" (Q.of_string "1234567891234567.89");
+  (* a zero denominator is a parse error, not an arithmetic one: callers
+     (the instance parser, behind the serve daemon) catch the
+     Invalid_argument family but must never see Division_by_zero *)
+  Alcotest.check_raises "1/0 is a parse error"
+    (Invalid_argument "Rational.of_string: zero denominator") (fun () ->
+      ignore (Q.of_string "1/0"));
+  Alcotest.check_raises "0/0 is a parse error"
+    (Invalid_argument "Rational.of_string: zero denominator") (fun () ->
+      ignore (Q.of_string "0/0"))
 
 let test_arith () =
   check_q "add" "5/6" (Q.add (q 1 2) (q 1 3));

@@ -142,6 +142,9 @@ let test_decode_rejects () =
   bad "{\"instance\": 42}";
   bad "{\"instance\": \"slotted\\ng 2\\njob 0 0 4 2\\n\", \"command\": \"busy\"}";
   bad "{\"instance\": \"slotted\\ng 2\\njob zero\\n\"}";
+  (* the Division_by_zero regression: a zero-denominator coordinate must
+     be an Error, never an escaping exception (REVIEW: killed the daemon) *)
+  bad "{\"instance\": \"busy\\njob 0 0 1/0 1\\n\"}";
   bad (J.to_string (J.Obj [ ("instance", J.String slotted_text); ("g", J.Int 0) ]))
 
 let test_cache_key_ignores_delivery_fields () =
@@ -158,6 +161,28 @@ let test_cache_key_ignores_delivery_fields () =
   Alcotest.(check bool) "algorithm included" true
     (base <> Serve.Protocol.cache_key (decode [ ("algorithm", J.String "greedy") ]))
 
+let test_cache_key_params_order () =
+  (* params are canonicalized at decode: the same params in a different
+     JSON field order must share a memo-cache key *)
+  let decode params =
+    match
+      Serve.Protocol.decode_line ~seq:0 (request ~extra:[ ("params", J.Obj params) ] slotted_text)
+    with
+    | Ok req -> req
+    | Error m -> Alcotest.fail m
+  in
+  let ab = decode [ ("a", J.String "1"); ("b", J.String "2") ] in
+  let ba = decode [ ("b", J.String "2"); ("a", J.String "1") ] in
+  Alcotest.(check string) "order-independent key" (Serve.Protocol.cache_key ab)
+    (Serve.Protocol.cache_key ba);
+  Alcotest.(check bool) "values still included" true
+    (Serve.Protocol.cache_key ab
+    <> Serve.Protocol.cache_key (decode [ ("a", J.String "1"); ("b", J.String "3") ]));
+  (* duplicate keys: first occurrence wins, matching List.assoc *)
+  let dup = decode [ ("a", J.String "1"); ("a", J.String "2") ] in
+  Alcotest.(check (list (pair string string))) "first duplicate wins" [ ("a", "1") ]
+    dup.Serve.Protocol.params
+
 (* ----------------------------------------------------- lenient parsing -- *)
 
 let test_io_lenient_collects () =
@@ -167,6 +192,16 @@ let test_io_lenient_collects () =
       Alcotest.(check int) "good jobs kept" 2 (List.length jobs)
   | Ok (_, warnings) ->
       Alcotest.fail (Printf.sprintf "expected one line-3 warning, got %d" (List.length warnings))
+  | Error (l, m) -> Alcotest.fail (Printf.sprintf "fatal at %d: %s" l m)
+
+let test_io_lenient_zero_denominator () =
+  (* "1/0" coordinates degrade to a per-line warning like any other
+     malformed field — the Division_by_zero regression's lenient half *)
+  match Io.parse_string_lenient "busy\njob 0 0 1/0 1\njob 1 0 2 1\n" with
+  | Ok (Io.Busy_instance jobs, [ (2, _) ]) ->
+      Alcotest.(check int) "good job kept" 1 (List.length jobs)
+  | Ok (_, warnings) ->
+      Alcotest.fail (Printf.sprintf "expected one line-2 warning, got %d" (List.length warnings))
   | Error (l, m) -> Alcotest.fail (Printf.sprintf "fatal at %d: %s" l m)
 
 let test_io_lenient_fatal_header () =
@@ -198,10 +233,40 @@ let test_serve_crash_isolation () =
   List.iter (fun line -> Alcotest.(check string) "status" "error" (status_of line)) out
 
 let test_serve_malformed_lines_continue () =
-  let lines = [ "garbage"; request slotted_text; "{\"instance\": 42}" ] in
+  let lines =
+    [ "garbage";
+      request slotted_text;
+      "{\"instance\": 42}";
+      (* the Division_by_zero regression line that used to kill the daemon *)
+      request "busy\njob 0 0 1/0 1\n";
+      request slotted_text ]
+  in
   let out = Serve.run_lines ~config:(config ()) lines in
-  Alcotest.(check (list string)) "error, ok, error" [ "error"; "ok"; "error" ]
+  Alcotest.(check (list string)) "errors never stop the stream"
+    [ "error"; "ok"; "error"; "error"; "ok" ]
     (List.map status_of out)
+
+let test_serve_output_failure_orderly () =
+  (* a dead response channel is the one unanswerable fault: run_stream
+     must report it and wind down (queue closed, workers joined) instead
+     of letting the exception escape a worker domain *)
+  let remaining = ref (List.init 6 (fun _ -> request slotted_text)) in
+  let next_line () =
+    match !remaining with
+    | [] -> None
+    | l :: rest ->
+        remaining := rest;
+        Some l
+  in
+  let emitted = Atomic.make 0 in
+  let emit _ =
+    if Atomic.fetch_and_add emitted 1 >= 1 then raise (Sys_error "stdout: closed")
+  in
+  match Serve.run_stream ~config:(config ~domains:2 ()) ~next_line ~emit () with
+  | Some (Sys_error _) ->
+      Alcotest.(check bool) "first response went out" true (Atomic.get emitted >= 2)
+  | Some e -> Alcotest.fail ("wrong failure surfaced: " ^ Printexc.to_string e)
+  | None -> Alcotest.fail "output failure not reported"
 
 let test_serve_deadline_timeout () =
   (* fake clock: every read advances 10ms, so a 1ms deadline has expired
@@ -332,14 +397,19 @@ let () =
         [ Alcotest.test_case "json parser" `Quick test_json_parse;
           Alcotest.test_case "decode defaults" `Quick test_decode_defaults;
           Alcotest.test_case "decode rejects" `Quick test_decode_rejects;
-          Alcotest.test_case "cache key scope" `Quick test_cache_key_ignores_delivery_fields ] );
+          Alcotest.test_case "cache key scope" `Quick test_cache_key_ignores_delivery_fields;
+          Alcotest.test_case "cache key params order" `Quick test_cache_key_params_order ] );
       ( "lenient io",
         [ Alcotest.test_case "bad line becomes warning" `Quick test_io_lenient_collects;
+          Alcotest.test_case "zero denominator becomes warning" `Quick
+            test_io_lenient_zero_denominator;
           Alcotest.test_case "bad header stays fatal" `Quick test_io_lenient_fatal_header ] );
       ( "daemon",
         [ Alcotest.test_case "basic ok, ordered" `Quick test_serve_basic_ok;
           Alcotest.test_case "crash isolation" `Quick test_serve_crash_isolation;
           Alcotest.test_case "malformed lines continue" `Quick test_serve_malformed_lines_continue;
+          Alcotest.test_case "output failure shuts down orderly" `Quick
+            test_serve_output_failure_orderly;
           Alcotest.test_case "deadline timeout with provenance" `Quick test_serve_deadline_timeout;
           Alcotest.test_case "overload sheds, answers all" `Quick test_serve_overload_sheds;
           Alcotest.test_case "memoized repeat" `Quick test_serve_memoization ] );
