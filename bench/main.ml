@@ -1262,12 +1262,164 @@ let e22 () =
     exit 1
   end
 
+(* ---------------------------------------------------------------- e23 -- *)
+
+let e23 () =
+  header "E23: LP engines - exact revised vs float-certified simplex";
+  pr "The e21 LP families re-solved under the float engine: a double\n";
+  pr "precision simplex picks the final basis, one exact rational\n";
+  pr "refactorization certifies it (or the exact engine re-solves on\n";
+  pr "certification failure), so objectives stay bit-identical to the\n";
+  pr "revised engine. Work is engine-comparable rational operations:\n";
+  pr "pivots x tableau cells for exact, certification mul/divs (plus any\n";
+  pr "fallback re-solve) for float-certified. The certify rate is golden\n";
+  pr "and total float work must undercut exact work by >= 5x; the\n";
+  pr "certify-fail fallback is exercised by the pinned float_trap gadget.\n\n";
+  let drift = ref [] in
+  let complain fmt = Printf.ksprintf (fun s -> drift := s :: !drift) fmt in
+  let lp1_seeds = if !quick then [ 3 ] else [ 3; 8; 9 ] in
+  let busy_seeds = if !quick then [ 0 ] else [ 0; 1; 2 ] in
+  let params : Gen.slotted_params = { n = 10; horizon = 16; max_length = 4; slack = 4; g = 2 } in
+  let families =
+    List.map
+      (fun s ->
+        ( Printf.sprintf "lp1/s%d" s,
+          fun () -> fst (Active.Ilp.build_lp1 (Gen.slotted ~params ~seed:s ())) ))
+      lp1_seeds
+    @ List.map
+        (fun s ->
+          ( Printf.sprintf "busy/s%d" s,
+            fun () ->
+              Busy.Preemptive.lp_model (Gen.interval_jobs ~n:20 ~horizon:60 ~max_length:8 ~seed:s ())
+          ))
+        busy_seeds
+  in
+  let repeats = if !quick then 5 else 15 in
+  let timed_solve ?obs ~engine m =
+    (* wall per solve over [repeats] runs, microseconds, plus the last result *)
+    let times = ref [] in
+    let result = ref Lp.Infeasible in
+    for _ = 1 to repeats do
+      let t0 = Unix.gettimeofday () in
+      result := Lp.solve ?obs ~engine m;
+      times := int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) :: !times
+    done;
+    (!result, !times)
+  in
+  let percentile sorted p =
+    match sorted with
+    | [] -> 0
+    | _ ->
+        let k = List.length sorted in
+        List.nth sorted (min (k - 1) (p * k / 100))
+  in
+  let exact_total = ref 0 and float_total = ref 0 and certified = ref 0 in
+  let exact_times = ref [] and float_times = ref [] in
+  table_row
+    (List.map col
+       [ "model"; "objective"; "exact work"; "float work"; "ratio"; "certified" ]);
+  List.iter
+    (fun (name, build) ->
+      let m = build () in
+      let rr, tr = timed_solve ~engine:Lp.Revised m in
+      let obs = Obs.create () in
+      let rf, tf = timed_solve ~obs ~engine:Lp.Float_certified m in
+      exact_times := tr @ !exact_times;
+      float_times := tf @ !float_times;
+      match (rr, rf) with
+      | Lp.Optimal sr, Lp.Optimal sf ->
+          if not (Q.equal (Lp.objective_value sr) (Lp.objective_value sf)) then
+            complain "%s: objectives differ: revised %s, float %s" name
+              (Q.to_string (Lp.objective_value sr))
+              (Q.to_string (Lp.objective_value sf));
+          let counter n = match List.assoc_opt n (Obs.counters obs) with Some v -> v | None -> 0 in
+          let exact_work = Lp.pivots sr * Lp.tableau_cells sr in
+          (* per-solve certification cost: the obs accumulated [repeats] runs *)
+          let certify_ops = counter "lp.certify_ops" / repeats in
+          let is_certified = counter "lp.certify_fail" = 0 in
+          let fallback_work =
+            if is_certified then 0 else Lp.pivots sf * Lp.tableau_cells sf
+          in
+          let float_work = certify_ops + fallback_work in
+          if is_certified then incr certified;
+          exact_total := !exact_total + exact_work;
+          float_total := !float_total + float_work;
+          table_row
+            (List.map col
+               [ name; Q.to_string (Lp.objective_value sr); string_of_int exact_work;
+                 string_of_int float_work;
+                 Printf.sprintf "%.0fx" (float_of_int exact_work /. float_of_int (max 1 float_work));
+                 (if is_certified then "yes" else "no (fell back)") ]);
+          let key k v = Obs.add !bench_obs (Printf.sprintf "e23.%s.%s" name k) v in
+          key "exact_work" exact_work;
+          key "float_work" float_work;
+          key "certify_ops" certify_ops;
+          key "certified" (if is_certified then 1 else 0)
+      | _ -> complain "%s: expected Optimal under both engines" name)
+    families;
+  let exact_sorted = List.sort compare !exact_times in
+  let float_sorted = List.sort compare !float_times in
+  pr "\nwall per solve (%d runs/model):  exact p50 %dus p99 %dus,  float-certified p50 %dus p99 %dus\n"
+    repeats (percentile exact_sorted 50) (percentile exact_sorted 99)
+    (percentile float_sorted 50) (percentile float_sorted 99);
+  let ratio = float_of_int !exact_total /. float_of_int (max 1 !float_total) in
+  pr "total simplex work: exact %d, float-certified %d (%.0fx less)\n" !exact_total !float_total
+    ratio;
+  pr "certified %d/%d models\n" !certified (List.length families);
+  Obs.add !bench_obs "e23.exact.p50_us" (percentile exact_sorted 50);
+  Obs.add !bench_obs "e23.exact.p99_us" (percentile exact_sorted 99);
+  Obs.add !bench_obs "e23.float.p50_us" (percentile float_sorted 50);
+  Obs.add !bench_obs "e23.float.p99_us" (percentile float_sorted 99);
+  Obs.add !bench_obs "e23.exact_work_total" !exact_total;
+  Obs.add !bench_obs "e23.float_work_total" !float_total;
+  Obs.add !bench_obs "e23.certified_models" !certified;
+  Obs.add !bench_obs "e23.work_ratio_x10" (int_of_float (ratio *. 10.0));
+  (* the certify-fail fallback path, exercised and pinned: the float_trap
+     gadget's optimal column wins by less than one ulp of double, so the
+     float basis must fail certification and the exact fallback must
+     return the gadget's known optimum *)
+  let trap = Gad.float_trap ~pairs:4 ~ulp_exp:54 in
+  let tm = Lp.create () in
+  let tvars = List.map (Lp.add_var tm) trap.Gad.ft_vars in
+  List.iter
+    (fun (coeffs, rhs) -> Lp.add_constraint tm (List.combine coeffs tvars) Lp.Le rhs)
+    trap.Gad.ft_rows;
+  Lp.set_objective tm Lp.Maximize (List.combine trap.Gad.ft_obj tvars);
+  let tobs = Obs.create () in
+  (match Lp.solve ~engine:Lp.Float_certified ~obs:tobs tm with
+  | Lp.Optimal s ->
+      let counter n = match List.assoc_opt n (Obs.counters tobs) with Some v -> v | None -> 0 in
+      pr "float_trap (pairs=4, ulp_exp=54): certify_fail=%d fallbacks=%d, objective %s\n"
+        (counter "lp.certify_fail") (counter "lp.fallbacks")
+        (Q.to_string (Lp.objective_value s));
+      if counter "lp.certify_fail" <> 1 || counter "lp.fallbacks" <> 1 then
+        complain "float_trap: expected exactly one certify_fail + fallback, got %d + %d"
+          (counter "lp.certify_fail") (counter "lp.fallbacks");
+      if not (Q.equal (Lp.objective_value s) trap.Gad.ft_opt) then
+        complain "float_trap: fallback objective %s, want %s"
+          (Q.to_string (Lp.objective_value s))
+          (Q.to_string trap.Gad.ft_opt);
+      Obs.add !bench_obs "e23.trap.certify_fail" (counter "lp.certify_fail");
+      Obs.add !bench_obs "e23.trap.fallbacks" (counter "lp.fallbacks")
+  | _ -> complain "float_trap: expected Optimal");
+  (* gates: every family model certifies (golden rate), and certified
+     float work undercuts exact work by at least the headline factor *)
+  if !certified <> List.length families then
+    complain "certify rate drift: %d/%d models certified" !certified (List.length families);
+  if ratio < 5.0 then
+    complain "float-certified work only %.1fx below exact (gate: >= 5x)" ratio;
+  if !drift <> [] then begin
+    pr "\nE23 FAILED:\n";
+    List.iter (pr "  %s\n") (List.rev !drift);
+    exit 1
+  end
+
 (* -------------------------------------------------------------- main -- *)
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8);
     ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
-    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22); ("abl", abl); ("par", par); ("scaling", scaling); ("timing", timing) ]
+    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22); ("e23", e23); ("abl", abl); ("par", par); ("scaling", scaling); ("timing", timing) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -63,7 +63,7 @@ let apply_fixings m y_vars ~fixing =
    y to 1/0. Returns the objective and the y values, or None when
    infeasible. [rule] selects the simplex pricing rule (ablation),
    [engine] the simplex implementation. *)
-let solve_lp ?(rule = Lp.Dantzig_with_fallback) ?(engine = Lp.Revised) ?budget ?obs (inst : S.t) ~fixing =
+let solve_lp ?(rule = Lp.Dantzig_with_fallback) ?(engine = Lp.default_engine) ?budget ?obs (inst : S.t) ~fixing =
   let m, y_vars = build_lp1 inst in
   apply_fixings m y_vars ~fixing;
   match Lp.solve ~rule ~engine ?budget ?obs m with
@@ -71,7 +71,7 @@ let solve_lp ?(rule = Lp.Dantzig_with_fallback) ?(engine = Lp.Revised) ?budget ?
   | Lp.Unbounded -> assert false
   | Lp.Optimal sol -> Some (Lp.objective_value sol, List.map (fun (s, yv) -> (s, Lp.value sol yv)) y_vars)
 
-let solve ?(engine = Lp.Revised) ?budget ?(obs = Obs.null) (inst : S.t) =
+let solve ?(engine = Lp.default_engine) ?budget ?(obs = Obs.null) (inst : S.t) =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   Obs.span obs "active.ilp" @@ fun () ->
   match Minimal.solve ~obs inst Minimal.Right_to_left with

@@ -34,7 +34,7 @@ val solve_lp :
 
     One LP1 model serves the whole search tree: each node rewrites the
     branching bounds with {!Lp.set_bounds} and re-solves warm from its
-    parent's optimal basis ([engine] defaults to {!Lp.Revised}; with
+    parent's optimal basis ([engine] defaults to {!Lp.default_engine}; with
     [Dense] there is no basis to reuse and every node solves cold).
 
     With [?obs], runs inside an [active.ilp] span and records

@@ -84,7 +84,7 @@ let right_shift (inst : S.t) t =
     boundaries;
   List.map (fun s -> (s, try Hashtbl.find shifted s with Not_found -> Q.zero)) slots
 
-let solve ?(engine = Lp.Revised) ?budget ?obs (inst : S.t) =
+let solve ?(engine = Lp.default_engine) ?budget ?obs (inst : S.t) =
   let slots = S.relevant_slots inst in
   let m = Lp.create () in
   let y_vars = List.map (fun s -> (s, Lp.add_var ~upper:Q.one m (Printf.sprintf "y_%d" s))) slots in

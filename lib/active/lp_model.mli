@@ -23,7 +23,7 @@ val y_at : t -> int -> Rational.t
 
 (** [None] iff the instance is infeasible. With [budget], each simplex
     pivot costs one tick and exhaustion raises {!Budget.Out_of_fuel}.
-    [?obs] and [?engine] (default {!Lp.Revised}) are forwarded to
+    [?obs] and [?engine] (default {!Lp.default_engine}) are forwarded to
     {!Lp.solve}. *)
 val solve :
   ?engine:Lp.engine -> ?budget:Budget.t -> ?obs:Obs.t -> Workload.Slotted.t -> t option

@@ -75,7 +75,7 @@ let minimal (inst : S.t) ~machines =
   end
 
 (* LP lower bound: the natural relaxation with y_t in [0, m]. *)
-let lp_lower_bound ?(engine = Lp.Revised) (inst : S.t) ~machines =
+let lp_lower_bound ?(engine = Lp.default_engine) (inst : S.t) ~machines =
   let slots = S.relevant_slots inst in
   let m = Lp.create () in
   let y_vars =

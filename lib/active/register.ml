@@ -39,12 +39,18 @@ let order_of_params params =
   | Some o -> raise (Sv.Unsupported ("unknown order " ^ o ^ " (l2r|r2l)"))
 
 (* LP-backed solvers take an [engine] param selecting the simplex engine
-   (the fuzz differential runs every LP tier under both). *)
+   from Lp's registry (the fuzz differential runs every LP tier under
+   every registered engine). *)
 let engine_of_params params =
   match Option.bind params (List.assoc_opt "engine") with
-  | None | Some "revised" -> Lp.Revised
-  | Some "dense" -> Lp.Dense
-  | Some e -> raise (Sv.Unsupported ("unknown engine " ^ e ^ " (revised|dense)"))
+  | None -> Lp.default_engine
+  | Some e -> (
+      match Lp.engine_of_name e with
+      | Some engine -> engine
+      | None ->
+          raise
+            (Sv.Unsupported
+               ("unknown engine " ^ e ^ " (" ^ String.concat "|" (Lp.engine_names ()) ^ ")")))
 
 let spent_of = function Some b -> Budget.spent b | None -> 0
 

@@ -151,7 +151,7 @@ let lp_model jobs =
     Lp.set_objective m Lp.Minimize (List.map (fun (_, yv) -> (Q.one, yv)) y_vars);
     m
 
-let lp_optimum ?(engine = Lp.Revised) jobs =
+let lp_optimum ?(engine = Lp.default_engine) jobs =
   if jobs = [] then Q.zero
   else
     match Lp.solve ~engine (lp_model jobs) with

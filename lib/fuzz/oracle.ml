@@ -173,30 +173,47 @@ let check_probe_modes ~fuel (inst : S.t) =
         else None);
     ]
 
-(* LP-engine differential: the bounded-variable revised simplex and the
-   dense reference tableau must give every LP the same status and
-   objective. Checked on the instance's LP1 relaxation (shared by every
-   LP-backed solver); a fuel exhaustion under either engine skips the
-   comparison rather than reporting it. *)
+(* LP-engine differential: every engine registered with Lp — the
+   bounded-variable revised simplex, the dense reference tableau, the
+   certified float engine — must give every LP the same status and
+   objective (for the float engine this exercises certification and its
+   exact fallback). Checked on the instance's LP1 relaxation (shared by
+   every LP-backed solver); a fuel exhaustion under any engine skips
+   that comparison rather than reporting it. *)
 let check_lp_engines ~fuel (inst : S.t) =
   guard "lp-engine-differential" @@ fun () ->
   let run engine =
     try `Done (Active.Lp_model.solve ~engine ~budget:(Budget.limited fuel) inst)
     with Budget.Out_of_fuel -> `Fuel
   in
-  match (run Lp.Revised, run Lp.Dense) with
-  | `Fuel, _ | _, `Fuel -> None
-  | `Done (Some a), `Done (Some b) ->
-      if Q.equal a.Active.Lp_model.cost b.Active.Lp_model.cost then None
-      else
-        fail "lp-engine-differential" "LP1 objective differs: revised %s, dense %s"
-          (Q.to_string a.Active.Lp_model.cost)
-          (Q.to_string b.Active.Lp_model.cost)
-  | `Done None, `Done None -> None
-  | `Done (Some _), `Done None ->
-      fail "lp-engine-differential" "revised says feasible, dense says infeasible"
-  | `Done None, `Done (Some _) ->
-      fail "lp-engine-differential" "dense says feasible, revised says infeasible"
+  let baseline_name = Lp.engine_name Lp.default_engine in
+  match run Lp.default_engine with
+  | `Fuel -> None
+  | `Done baseline ->
+      List.fold_left
+        (fun acc name ->
+          if acc <> None || String.equal name baseline_name then acc
+          else
+            match run (Option.get (Lp.engine_of_name name)) with
+            | `Fuel -> None
+            | `Done other -> (
+                match (baseline, other) with
+                | Some a, Some b ->
+                    if Q.equal a.Active.Lp_model.cost b.Active.Lp_model.cost then None
+                    else
+                      fail "lp-engine-differential" "LP1 objective differs: %s %s, %s %s"
+                        baseline_name
+                        (Q.to_string a.Active.Lp_model.cost)
+                        name
+                        (Q.to_string b.Active.Lp_model.cost)
+                | None, None -> None
+                | Some _, None ->
+                    fail "lp-engine-differential" "%s says feasible, %s says infeasible"
+                      baseline_name name
+                | None, Some _ ->
+                    fail "lp-engine-differential" "%s says feasible, %s says infeasible" name
+                      baseline_name))
+        None (Lp.engine_names ())
 
 let check_slotted ~fuel (inst : S.t) =
   guard "slotted-oracle" @@ fun () ->

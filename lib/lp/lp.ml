@@ -31,7 +31,18 @@ module Basis = struct
   }
 end
 
-type engine = Revised | Dense
+(* The engine selector is an open type: each registered engine owns one
+   or more constructors (config-carrying engines own a configured
+   variant too). [Revised] and [Dense] are the 1.6 spellings of the old
+   closed variant, kept as registered aliases for one release. *)
+type engine = ..
+type engine += Revised | Dense
+
+(* How the returned objective was established: [Exact] — every pivot ran
+   in rational arithmetic; [Certified] — a float simplex found the basis
+   and one exact refactorization proved it optimal; [Fallback] — float
+   certification failed and the exact Revised engine re-solved cold. *)
+type certification = Exact | Certified | Fallback
 
 type solution = {
   objective : Q.t;
@@ -40,6 +51,7 @@ type solution = {
   sol_pivots : int;
   sol_cells : int; (* working-tableau area, rows * columns *)
   sol_basis : Basis.t option;
+  sol_certification : certification;
 }
 
 type result = Optimal of solution | Infeasible | Unbounded
@@ -362,6 +374,7 @@ let solve_dense ~rule ~budget ~obs ~pivots m =
                 sol_pivots = !pivots;
                 sol_cells = nrows * (ncols + 1);
                 sol_basis = None;
+                sol_certification = Exact;
               }
       end
 
@@ -598,6 +611,7 @@ let extract_revised ~m ~pivots t =
       sol_pivots = !pivots;
       sol_cells = t.rm * (t.rn + 1);
       sol_basis = Some basis;
+      sol_certification = Exact;
     }
 
 (* Residual of row [i] with every structural variable at its initial
@@ -990,18 +1004,678 @@ let solve_revised_warm ~rule ~budget ~obs ~pivots m (w : Basis.t) =
     | R_optimal -> extract_revised ~m ~pivots t
   end
 
-let solve ?(rule = Dantzig_with_fallback) ?(engine = Revised) ?warm ?budget ?(obs = Obs.null) m =
+(* ====================================================================== *)
+(* Float engine: double-precision bounded-variable simplex that finds a  *)
+(* candidate basis fast, then one exact rational refactorization of that *)
+(* basis proves (or refutes) primal feasibility, dual feasibility and    *)
+(* the objective. Certification succeeding, the solution extracted from  *)
+(* the exact refactorization is bit-identical to what the exact engines  *)
+(* return; certification failing — wrong vertex, singular basis, pivot   *)
+(* cap, or a float infeasible/unbounded claim we do not certify — the    *)
+(* solve falls back to the exact Revised engine, so results never depend *)
+(* on floating point. *)
+(* ====================================================================== *)
+
+type float_config = {
+  float_eps : float;  (* reduced-cost / degeneracy tolerance *)
+  float_pivot_cap : int option;  (* give up after this many pivots+flips; None: 64*(m+n)+1024 *)
+}
+
+let default_float_config = { float_eps = 1e-9; float_pivot_cap = None }
+
+type engine += Float_certified | Float_with of float_config
+
+(* pivot elements smaller than this are numerically untrustworthy *)
+let fpivot_tol = 1e-7
+
+(* the float phase aborts (pivot cap, unusable tableau) and requests the
+   exact fallback without attempting certification *)
+exception Float_gave_up
+
+type ftab = {
+  fm : int;
+  fn : int;
+  fa : float array array;
+  fxb : float array;
+  fbasis : int array;
+  fstat : Basis.status array;
+  flo : float array;
+  fhi : float array; (* [infinity] encodes "no upper bound" *)
+  fd : float array;
+  mutable fz : float;
+  fenter : bool array;
+}
+
+let fnb_value t j =
+  match t.fstat.(j) with
+  | Basis.Lower -> t.flo.(j)
+  | Basis.Upper -> t.fhi.(j)
+  | Basis.Basic -> assert false
+
+let f_eliminate t ~r ~q =
+  let prow = t.fa.(r) in
+  let piv = prow.(q) in
+  if piv <> 1.0 then
+    for j = 0 to t.fn - 1 do
+      if prow.(j) <> 0.0 then prow.(j) <- prow.(j) /. piv
+    done;
+  for i = 0 to t.fm - 1 do
+    if i <> r then begin
+      let f = t.fa.(i).(q) in
+      if f <> 0.0 then begin
+        let row = t.fa.(i) in
+        for j = 0 to t.fn - 1 do
+          if prow.(j) <> 0.0 then row.(j) <- row.(j) -. (f *. prow.(j))
+        done
+      end
+    end
+  done;
+  let f = t.fd.(q) in
+  if f <> 0.0 then
+    for j = 0 to t.fn - 1 do
+      if prow.(j) <> 0.0 then t.fd.(j) <- t.fd.(j) -. (f *. prow.(j))
+    done
+
+let f_entering t ~eps ~bland =
+  let best = ref None in
+  (try
+     for j = 0 to t.fn - 1 do
+       if t.fenter.(j) then begin
+         let d = t.fd.(j) in
+         let eligible =
+           match t.fstat.(j) with
+           | Basis.Lower -> d < -.eps
+           | Basis.Upper -> d > eps
+           | Basis.Basic -> false
+         in
+         if eligible then
+           if bland then begin
+             best := Some (j, Float.abs d);
+             raise Exit
+           end
+           else
+             let score = Float.abs d in
+             match !best with
+             | Some (_, s) when s >= score -> ()
+             | _ -> best := Some (j, score)
+       end
+     done
+   with Exit -> ());
+  Option.map fst !best
+
+type f_outcome = F_optimal | F_unbounded
+
+(* Float mirror of [run_bounded]. [steps] counts pivots and bound flips
+   toward the give-up cap; [fpivots] counts pivots for telemetry. *)
+let run_fbounded ~rule ~eps ~cap ~steps ~budget ~obs ~fpivots t =
+  let bland = ref (rule = Pure_bland) in
+  let stalled = ref 0 in
+  let outcome = ref None in
+  while !outcome = None do
+    match f_entering t ~eps ~bland:!bland with
+    | None -> outcome := Some F_optimal
+    | Some q ->
+        let sigma = match t.fstat.(q) with Basis.Lower -> 1.0 | _ -> -1.0 in
+        let span = if t.fhi.(q) = infinity then infinity else t.fhi.(q) -. t.flo.(q) in
+        let best = ref None in
+        for i = 0 to t.fm - 1 do
+          let coef = t.fa.(i).(q) in
+          if Float.abs coef > fpivot_tol then begin
+            let e = sigma *. coef in
+            let k = t.fbasis.(i) in
+            let limit =
+              if e > 0.0 then Some (Float.max 0.0 ((t.fxb.(i) -. t.flo.(k)) /. e), Basis.Lower)
+              else if t.fhi.(k) < infinity then
+                Some (Float.max 0.0 ((t.fhi.(k) -. t.fxb.(i)) /. -.e), Basis.Upper)
+              else None
+            in
+            match limit with
+            | None -> ()
+            | Some (ti, side) -> (
+                match !best with
+                | None -> best := Some (i, ti, side)
+                | Some (bi, bt, _) ->
+                    if ti < bt || (ti = bt && t.fbasis.(i) < t.fbasis.(bi)) then
+                      best := Some (i, ti, side))
+          end
+        done;
+        let flip =
+          match !best with
+          | None -> if span < infinity then Some span else None
+          | Some (_, bt, _) -> if span <= bt then Some span else None
+        in
+        incr steps;
+        if !steps > cap then raise Float_gave_up;
+        (match (flip, !best) with
+        | Some s, _ ->
+            Budget.tick budget;
+            for i = 0 to t.fm - 1 do
+              let coef = t.fa.(i).(q) in
+              if coef <> 0.0 then t.fxb.(i) <- t.fxb.(i) -. (sigma *. coef *. s)
+            done;
+            t.fz <- t.fz +. (t.fd.(q) *. sigma *. s);
+            t.fstat.(q) <- (match t.fstat.(q) with Basis.Lower -> Basis.Upper | _ -> Basis.Lower)
+        | None, None -> outcome := Some F_unbounded
+        | None, Some (r, tstep, side) ->
+            Budget.tick budget;
+            let k = t.fbasis.(r) in
+            let signed = sigma *. tstep in
+            let vq = fnb_value t q +. signed in
+            for i = 0 to t.fm - 1 do
+              if i <> r then begin
+                let coef = t.fa.(i).(q) in
+                if coef <> 0.0 then t.fxb.(i) <- t.fxb.(i) -. (coef *. signed)
+              end
+            done;
+            t.fz <- t.fz +. (t.fd.(q) *. signed);
+            t.fxb.(r) <- vq;
+            t.fstat.(k) <- side;
+            t.fstat.(q) <- Basis.Basic;
+            t.fbasis.(r) <- q;
+            f_eliminate t ~r ~q;
+            incr fpivots;
+            Obs.incr obs "lp.float_pivots";
+            if tstep <= eps then begin
+              incr stalled;
+              if !stalled > degenerate_pivot_threshold then bland := true
+            end
+            else stalled := 0)
+  done;
+  Option.get !outcome
+
+(* What the float phase claims about the model. Only [F_opt] carries
+   enough structure (the final statuses) to be certified; the other two
+   claims always take the exact fallback. *)
+type float_claim =
+  | F_opt of Basis.status array * Basis.status array (* vstat, sstat *)
+  | F_infeas
+  | F_unbd
+
+let solve_float ~cfg ~rule ~budget ~obs ~fpivots m =
+  let nv = m.nvars in
+  let nslack = ref 0 in
+  for i = 0 to m.nrows - 1 do
+    match m.rows.(i).sense with Le | Ge -> incr nslack | Eq -> ()
+  done;
+  let nslack = !nslack in
+  (* exact residuals decide the artificial-variable structure, so the
+     float tableau has the same shape the Revised cold start would *)
+  let init_val = Array.init nv (fun v -> m.lower.(v)) in
+  let residual = Array.init m.nrows (fun i -> row_residual init_val m.rows.(i)) in
+  let needs_art = Array.make m.nrows false in
+  let nart = ref 0 in
+  for i = 0 to m.nrows - 1 do
+    let need =
+      match m.rows.(i).sense with
+      | Le -> Q.compare residual.(i) Q.zero < 0
+      | Ge -> Q.compare residual.(i) Q.zero > 0
+      | Eq -> true
+    in
+    if need then begin
+      needs_art.(i) <- true;
+      incr nart
+    end
+  done;
+  let nart = !nart in
+  let n = nv + nslack + nart in
+  let t =
+    {
+      fm = m.nrows;
+      fn = n;
+      fa = Array.init m.nrows (fun _ -> Array.make n 0.0);
+      fxb = Array.make m.nrows 0.0;
+      fbasis = Array.make m.nrows 0;
+      fstat = Array.make n Basis.Lower;
+      flo = Array.make n 0.0;
+      fhi = Array.make n infinity;
+      fd = Array.make n 0.0;
+      fz = 0.0;
+      fenter = Array.make n true;
+    }
+  in
+  for v = 0 to nv - 1 do
+    t.flo.(v) <- Q.to_float m.lower.(v);
+    (match m.upper.(v) with
+    | Some u ->
+        t.fhi.(v) <- Q.to_float u;
+        if Q.equal u m.lower.(v) then t.fenter.(v) <- false (* fixed *)
+    | None -> ())
+  done;
+  let sidx = ref nv and aidx = ref (nv + nslack) in
+  for i = 0 to m.nrows - 1 do
+    let r = m.rows.(i) in
+    let flip =
+      match r.sense with
+      | Le -> needs_art.(i)
+      | Ge -> not needs_art.(i)
+      | Eq -> Q.compare residual.(i) Q.zero < 0
+    in
+    let put c v =
+      let c = Q.to_float c in
+      t.fa.(i).(v) <- (t.fa.(i).(v) +. if flip then -.c else c)
+    in
+    List.iter (fun (c, v) -> put c v) r.terms;
+    (match r.sense with
+    | Le ->
+        put Q.one !sidx;
+        if not needs_art.(i) then begin
+          t.fbasis.(i) <- !sidx;
+          t.fstat.(!sidx) <- Basis.Basic;
+          t.fxb.(i) <- Q.to_float residual.(i)
+        end;
+        incr sidx
+    | Ge ->
+        put Q.minus_one !sidx;
+        if not needs_art.(i) then begin
+          t.fbasis.(i) <- !sidx;
+          t.fstat.(!sidx) <- Basis.Basic;
+          t.fxb.(i) <- -.Q.to_float residual.(i)
+        end;
+        incr sidx
+    | Eq -> ());
+    if needs_art.(i) then begin
+      t.fa.(i).(!aidx) <- 1.0;
+      t.fbasis.(i) <- !aidx;
+      t.fstat.(!aidx) <- Basis.Basic;
+      t.fxb.(i) <- Float.abs (Q.to_float residual.(i));
+      incr aidx
+    end
+  done;
+  let eps = cfg.float_eps in
+  let cap =
+    match cfg.float_pivot_cap with Some c -> c | None -> (64 * (t.fm + t.fn)) + 1024
+  in
+  let steps = ref 0 in
+  let minimize_obj = minimize_objective m in
+  let art_start = nv + nslack in
+  let phase1_failed = ref false in
+  if nart > 0 then begin
+    for j = 0 to n - 1 do
+      if t.fstat.(j) <> Basis.Basic then begin
+        let s = ref 0.0 in
+        for i = 0 to m.nrows - 1 do
+          if t.fbasis.(i) >= art_start && t.fa.(i).(j) <> 0.0 then s := !s +. t.fa.(i).(j)
+        done;
+        t.fd.(j) <- -. !s
+      end
+    done;
+    let z1 = ref 0.0 in
+    for i = 0 to m.nrows - 1 do
+      if t.fbasis.(i) >= art_start then z1 := !z1 +. t.fxb.(i)
+    done;
+    t.fz <- !z1;
+    (match run_fbounded ~rule ~eps ~cap ~steps ~budget ~obs ~fpivots t with
+    | F_unbounded -> raise Float_gave_up (* numerically lost: phase 1 is bounded *)
+    | F_optimal -> if t.fz > fpivot_tol then phase1_failed := true);
+    if not !phase1_failed then begin
+      for j = art_start to n - 1 do
+        t.fenter.(j) <- false;
+        t.fhi.(j) <- 0.0
+      done;
+      for i = 0 to m.nrows - 1 do
+        if t.fbasis.(i) >= art_start then begin
+          let found = ref None in
+          for j = 0 to art_start - 1 do
+            if
+              !found = None
+              && t.fstat.(j) <> Basis.Basic
+              && Float.abs t.fa.(i).(j) > fpivot_tol
+            then found := Some j
+          done;
+          match !found with
+          | Some j ->
+              let k = t.fbasis.(i) in
+              t.fxb.(i) <- fnb_value t j;
+              t.fstat.(k) <- Basis.Lower;
+              t.fstat.(j) <- Basis.Basic;
+              t.fbasis.(i) <- j;
+              f_eliminate t ~r:i ~q:j
+          | None -> () (* redundant row: the basis snapshot will be short; certification fails *)
+        end
+      done
+    end
+  end;
+  if !phase1_failed then F_infeas
+  else begin
+    let c = Array.make n 0.0 in
+    List.iter (fun (coef, v) -> c.(v) <- c.(v) +. Q.to_float coef) minimize_obj;
+    for j = 0 to n - 1 do
+      let s = ref c.(j) in
+      for i = 0 to m.nrows - 1 do
+        let cb = c.(t.fbasis.(i)) in
+        if cb <> 0.0 then s := !s -. (cb *. t.fa.(i).(j))
+      done;
+      t.fd.(j) <- !s
+    done;
+    match run_fbounded ~rule ~eps ~cap ~steps ~budget ~obs ~fpivots t with
+    | F_unbounded -> F_unbd
+    | F_optimal ->
+        let nslack_of_row = Array.make m.nrows (-1) in
+        let si = ref nv in
+        for i = 0 to m.nrows - 1 do
+          match m.rows.(i).sense with
+          | Le | Ge ->
+              nslack_of_row.(i) <- !si;
+              incr si
+          | Eq -> ()
+        done;
+        let vstat = Array.sub t.fstat 0 nv in
+        let sstat =
+          Array.init m.nrows (fun i ->
+              if nslack_of_row.(i) < 0 then Basis.Lower else t.fstat.(nslack_of_row.(i)))
+        in
+        F_opt (vstat, sstat)
+  end
+
+(* ------------------------------------------------- exact certification -- *)
+
+exception Certify_failed
+
+(* Certify the float engine's final statuses exactly: refactorize the
+   claimed basis B in rational arithmetic (two sparse-guarded dense
+   eliminations: B x_B = b - N x_N for the primal values, B^T y = c_B for
+   the duals), check every basic value against its bounds and every
+   nonbasic reduced cost against its status, and recompute the objective
+   from the certified vertex. Cost is counted in [ops] (rational
+   multiplications/divisions actually performed — the e23 work metric);
+   raises [Certify_failed] on any violation. *)
+let certify ~ops m ~vstat ~sstat =
+  let nv = m.nvars and nr = m.nrows in
+  let mul a b =
+    incr ops;
+    Q.mul a b
+  in
+  let div a b =
+    incr ops;
+    Q.div a b
+  in
+  (* basic columns, structural first then row slacks, both in index order *)
+  let cols =
+    let acc = ref [] in
+    for i = nr - 1 downto 0 do
+      if sstat.(i) = Basis.Basic then acc := `Slack i :: !acc
+    done;
+    for v = nv - 1 downto 0 do
+      if vstat.(v) = Basis.Basic then acc := `Var v :: !acc
+    done;
+    Array.of_list !acc
+  in
+  if Array.length cols <> nr then raise Certify_failed;
+  let xn v =
+    match vstat.(v) with
+    | Basis.Lower -> m.lower.(v)
+    | Basis.Upper -> ( match m.upper.(v) with Some u -> u | None -> raise Certify_failed)
+    | Basis.Basic -> assert false
+  in
+  let vcol = Array.make nv (-1) and scol = Array.make nr (-1) in
+  Array.iteri
+    (fun k -> function `Var v -> vcol.(v) <- k | `Slack i -> scol.(i) <- k)
+    cols;
+  let slack_coeff i =
+    match m.rows.(i).sense with Le -> Q.one | Ge -> Q.minus_one | Eq -> raise Certify_failed
+  in
+  let build_b () =
+    let b = Array.init nr (fun _ -> Array.make nr Q.zero) in
+    for i = 0 to nr - 1 do
+      List.iter
+        (fun (c, v) -> if vcol.(v) >= 0 then b.(i).(vcol.(v)) <- Q.add b.(i).(vcol.(v)) c)
+        m.rows.(i).terms;
+      if scol.(i) >= 0 then b.(i).(scol.(i)) <- slack_coeff i
+    done;
+    b
+  in
+  (* Gauss-Jordan solve of a n x n system, destructive on both arguments;
+     zero guards keep the op count proportional to the fill actually
+     touched (slack-heavy bases are near-triangular). *)
+  let gauss_solve a rhs =
+    let n = Array.length rhs in
+    let piv_of_col = Array.make n (-1) in
+    let used = Array.make n false in
+    for k = 0 to n - 1 do
+      let r = ref (-1) in
+      for i = 0 to n - 1 do
+        if !r < 0 && (not used.(i)) && not (Q.is_zero a.(i).(k)) then r := i
+      done;
+      if !r < 0 then raise Certify_failed (* singular basis *);
+      let r = !r in
+      used.(r) <- true;
+      piv_of_col.(k) <- r;
+      let prow = a.(r) in
+      let piv = prow.(k) in
+      if not (Q.equal piv Q.one) then begin
+        for j = 0 to n - 1 do
+          if not (Q.is_zero prow.(j)) then prow.(j) <- div prow.(j) piv
+        done;
+        if not (Q.is_zero rhs.(r)) then rhs.(r) <- div rhs.(r) piv
+      end;
+      for i = 0 to n - 1 do
+        if i <> r then begin
+          let f = a.(i).(k) in
+          if not (Q.is_zero f) then begin
+            let row = a.(i) in
+            for j = 0 to n - 1 do
+              if not (Q.is_zero prow.(j)) then row.(j) <- Q.sub row.(j) (mul f prow.(j))
+            done;
+            if not (Q.is_zero rhs.(r)) then rhs.(i) <- Q.sub rhs.(i) (mul f rhs.(r))
+          end
+        end
+      done
+    done;
+    Array.init n (fun k -> rhs.(piv_of_col.(k)))
+  in
+  (* primal: B x_B = b - N x_N *)
+  let rhs =
+    Array.init nr (fun i ->
+        List.fold_left
+          (fun acc (c, v) ->
+            if vstat.(v) = Basis.Basic then acc
+            else
+              let xv = xn v in
+              if Q.is_zero xv then acc else Q.sub acc (mul c xv))
+          m.rows.(i).rhs m.rows.(i).terms)
+  in
+  let xb = gauss_solve (build_b ()) rhs in
+  Array.iteri
+    (fun k col ->
+      let x = xb.(k) in
+      match col with
+      | `Var v ->
+          if Q.compare x m.lower.(v) < 0 then raise Certify_failed;
+          (match m.upper.(v) with
+          | Some u when Q.compare x u > 0 -> raise Certify_failed
+          | _ -> ())
+      | `Slack _ -> if Q.compare x Q.zero < 0 then raise Certify_failed)
+    cols;
+  (* dual: B^T y = c_B, then d_j = c_j - y . A_j for every nonbasic j *)
+  let minimize_obj = minimize_objective m in
+  let c = Array.make nv Q.zero in
+  List.iter (fun (coef, v) -> c.(v) <- Q.add c.(v) coef) minimize_obj;
+  let bt =
+    let b = build_b () in
+    Array.init nr (fun i -> Array.init nr (fun j -> b.(j).(i)))
+  in
+  let cb =
+    Array.map (function `Var v -> c.(v) | `Slack _ -> Q.zero) cols
+  in
+  let y = gauss_solve bt cb in
+  let u = Array.make nv Q.zero in
+  for i = 0 to nr - 1 do
+    if not (Q.is_zero y.(i)) then
+      List.iter
+        (fun (coef, v) ->
+          if not (Q.is_zero coef) then u.(v) <- Q.add u.(v) (mul coef y.(i)))
+        m.rows.(i).terms
+  done;
+  for v = 0 to nv - 1 do
+    if vstat.(v) <> Basis.Basic then begin
+      let fixed = match m.upper.(v) with Some up -> Q.equal up m.lower.(v) | None -> false in
+      if not fixed then begin
+        let d = Q.sub c.(v) u.(v) in
+        match vstat.(v) with
+        | Basis.Lower -> if Q.compare d Q.zero < 0 then raise Certify_failed
+        | Basis.Upper -> if Q.compare d Q.zero > 0 then raise Certify_failed
+        | Basis.Basic -> ()
+      end
+    end
+  done;
+  for i = 0 to nr - 1 do
+    match m.rows.(i).sense with
+    | Eq -> ()
+    | Le | Ge ->
+        if sstat.(i) <> Basis.Basic then begin
+          (* slack cost 0, column +/- e_i: d = -/+ y_i must be >= 0 at Lower *)
+          if sstat.(i) <> Basis.Lower then raise Certify_failed;
+          let sgn = match m.rows.(i).sense with Le -> -1 | _ -> 1 in
+          if sgn * Q.compare y.(i) Q.zero < 0 then raise Certify_failed
+        end
+  done;
+  (* certified vertex and its exact objective *)
+  let x = Array.init nv (fun v -> if vstat.(v) = Basis.Basic then Q.zero else xn v) in
+  Array.iteri (fun k col -> match col with `Var v -> x.(v) <- xb.(k) | `Slack _ -> ()) cols;
+  let z =
+    List.fold_left
+      (fun acc (coef, v) -> if Q.is_zero x.(v) then acc else Q.add acc (mul coef x.(v)))
+      Q.zero minimize_obj
+  in
+  let basis =
+    { Basis.b_nvars = nv; b_nrows = nr; vstat = Array.copy vstat; sstat = Array.copy sstat }
+  in
+  (finish_objective m z, x, basis)
+
+let solve_float_certified ~cfg ~rule ~budget ~obs m =
+  let fallback () =
+    Obs.incr obs "lp.fallbacks";
+    let pivots = ref 0 in
+    match solve_revised_cold ~rule ~budget ~obs ~pivots m with
+    | Optimal s -> Optimal { s with sol_certification = Fallback }
+    | r -> r
+  in
+  let fpivots = ref 0 in
+  match solve_float ~cfg ~rule ~budget ~obs ~fpivots m with
+  | exception Float_gave_up -> fallback ()
+  | F_infeas | F_unbd -> fallback () (* claims we do not certify: re-solve exactly *)
+  | F_opt (vstat, sstat) -> (
+      let ops = ref 0 in
+      match certify ~ops m ~vstat ~sstat with
+      | objective, x, basis ->
+          Obs.add obs "lp.certify_ops" !ops;
+          Obs.incr obs "lp.certify_ok";
+          Optimal
+            {
+              objective;
+              var_values = x;
+              sol_names = Array.sub m.names 0 m.nvars;
+              sol_pivots = !fpivots;
+              sol_cells = m.nrows * (m.nvars + 1);
+              sol_basis = Some basis;
+              sol_certification = Certified;
+            }
+      | exception Certify_failed ->
+          Obs.add obs "lp.certify_ops" !ops;
+          Obs.incr obs "lp.certify_fail";
+          fallback ())
+
+(* ====================================================================== *)
+(* Engine interface and registration table (mirrors Core.Registry).      *)
+(* ====================================================================== *)
+
+module type ENGINE = sig
+  val name : string
+  val description : string
+  val selector : engine
+
+  val handles : engine -> bool
+  (** recognizes every selector value this engine owns, including
+      config-carrying constructors *)
+
+  val solve :
+    engine:engine ->
+    rule:pivot_rule ->
+    warm:Basis.t option ->
+    budget:Budget.t ->
+    obs:Obs.t ->
+    model ->
+    result
+end
+
+let engine_table : (string * (module ENGINE)) list ref = ref []
+
+let register_engine (module E : ENGINE) =
+  if List.mem_assoc E.name !engine_table then
+    invalid_arg ("Lp.register_engine: duplicate engine " ^ E.name);
+  engine_table := !engine_table @ [ (E.name, (module E : ENGINE)) ]
+
+let engine_names () = List.sort String.compare (List.map fst !engine_table)
+
+let engine_inventory () =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (List.map (fun (n, (module E : ENGINE)) -> (n, E.description)) !engine_table)
+
+let engine_of_name name =
+  match List.assoc_opt name !engine_table with
+  | Some (module E : ENGINE) -> Some E.selector
+  | None -> None
+
+let resolve_engine e =
+  List.find_opt (fun (_, (module E : ENGINE)) -> E.handles e) !engine_table
+
+let engine_name e =
+  match resolve_engine e with
+  | Some (name, _) -> name
+  | None -> invalid_arg "Lp.engine_name: engine not registered"
+
+module Revised_engine : ENGINE = struct
+  let name = "revised"
+  let description = "bounded-variable revised simplex, exact rational pivots (default)"
+  let selector = Revised
+  let handles = function Revised -> true | _ -> false
+
+  let solve ~engine:_ ~rule ~warm ~budget ~obs m =
+    let pivots = ref 0 in
+    match warm with
+    | None -> solve_revised_cold ~rule ~budget ~obs ~pivots m
+    | Some w -> (
+        try solve_revised_warm ~rule ~budget ~obs ~pivots m w
+        with Warm_failed -> solve_revised_cold ~rule ~budget ~obs ~pivots m)
+end
+
+module Dense_engine : ENGINE = struct
+  let name = "dense"
+  let description = "two-phase dense tableau, exact rational pivots (reference)"
+  let selector = Dense
+  let handles = function Dense -> true | _ -> false
+
+  let solve ~engine:_ ~rule ~warm:_ ~budget ~obs m =
+    let pivots = ref 0 in
+    solve_dense ~rule ~budget ~obs ~pivots m
+end
+
+module Float_engine : ENGINE = struct
+  let name = "float"
+  let description = "double-precision simplex + exact basis certification, falls back to revised"
+  let selector = Float_certified
+  let handles = function Float_certified | Float_with _ -> true | _ -> false
+
+  let solve ~engine ~rule ~warm:_ ~budget ~obs m =
+    let cfg = match engine with Float_with c -> c | _ -> default_float_config in
+    solve_float_certified ~cfg ~rule ~budget ~obs m
+end
+
+let () =
+  register_engine (module Revised_engine);
+  register_engine (module Dense_engine);
+  register_engine (module Float_engine)
+
+let default_engine = Revised
+
+let solve ?(rule = Dantzig_with_fallback) ?engine ?warm ?budget ?(obs = Obs.null) m =
+  let engine = Option.value engine ~default:default_engine in
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   Obs.incr obs "lp.solves";
-  let pivots = ref 0 in
-  match engine with
-  | Dense -> solve_dense ~rule ~budget ~obs ~pivots m
-  | Revised -> (
-      match warm with
-      | None -> solve_revised_cold ~rule ~budget ~obs ~pivots m
-      | Some w -> (
-          try solve_revised_warm ~rule ~budget ~obs ~pivots m w
-          with Warm_failed -> solve_revised_cold ~rule ~budget ~obs ~pivots m))
+  match resolve_engine engine with
+  | None -> invalid_arg "Lp.solve: engine not registered (see Lp.engine_names)"
+  | Some (_, (module E : ENGINE)) -> E.solve ~engine ~rule ~warm ~budget ~obs m
 
 let objective_value s = s.objective
 let value s v = s.var_values.(v)
@@ -1009,6 +1683,7 @@ let values s = Array.to_list (Array.mapi (fun i n -> (n, s.var_values.(i))) s.so
 let pivots s = s.sol_pivots
 let tableau_cells s = s.sol_cells
 let basis s = s.sol_basis
+let certification s = s.sol_certification
 
 let pp_solution fmt s =
   Format.fprintf fmt "objective = %a@." Q.pp s.objective;

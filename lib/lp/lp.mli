@@ -1,23 +1,36 @@
-(** Linear programming with exact rational arithmetic.
+(** Linear programming with exact rational results.
 
     A small modelling layer (named variables with bounds, linear
-    constraints, a linear objective) over two exact simplex engines.
-    Exactness matters here: the paper's LP-rounding algorithm (Theorem 2)
-    branches on exact thresholds of the optimal solution ([y_t = 1],
-    [y_t >= 1/2], [y_t > 0]), which are ill-defined under floating point.
+    constraints, a linear objective) over a registry of pluggable simplex
+    engines. Exactness matters here: the paper's LP-rounding algorithm
+    (Theorem 2) branches on exact thresholds of the optimal solution
+    ([y_t = 1], [y_t >= 1/2], [y_t > 0]), which are ill-defined under
+    floating point — so every registered engine must return exact
+    rational objectives and vertices, whatever arithmetic it pivots in.
 
-    The default {!Revised} engine is a bounded-variable primal simplex:
-    variable upper bounds are handled implicitly by
-    nonbasic-at-lower/nonbasic-at-upper statuses and bound flips, so the
-    tableau has one row per constraint and artificial variables exist
-    only for rows whose slack cannot start basic. The {!Dense} engine is
-    the original two-phase tableau simplex with every upper bound
-    expanded into an explicit row, kept as the reference implementation;
-    the two must agree on status and objective value on every model (see
-    [prop_engines_agree] and the fuzz differential).
+    Three engines ship registered ({!engine_names}):
+    - ["revised"] ({!Revised}, the default) — a bounded-variable primal
+      simplex with exact rational pivots: variable upper bounds are
+      handled implicitly by nonbasic-at-lower/nonbasic-at-upper statuses
+      and bound flips, so the tableau has one row per constraint and
+      artificial variables exist only for rows whose slack cannot start
+      basic.
+    - ["dense"] ({!Dense}) — the original two-phase tableau simplex with
+      every upper bound expanded into an explicit row, kept as the
+      reference implementation.
+    - ["float"] ({!Float_certified}) — a double-precision simplex that
+      finds a candidate optimal basis fast, then proves it exactly with
+      one rational basis refactorization (primal feasibility, dual
+      feasibility, objective); on any certification failure it falls
+      back to the exact revised engine, so its results never depend on
+      floating point.
 
-    Anti-cycling: both engines use Dantzig pricing while the objective
-    strictly improves and fall back to Bland's rule after a bounded
+    All engines return the same status and objective value on every
+    model (see [prop_engines_agree] and the fuzz differential); the
+    optimal vertex may differ when the optimum is not unique.
+
+    Anti-cycling: every engine uses Dantzig pricing while the objective
+    strictly improves and falls back to Bland's rule after a bounded
     number of degenerate pivots, which guarantees termination.
 
     Scale: intended for the LP1/LP2 programs of the active-time model at
@@ -72,11 +85,48 @@ type result = Optimal of solution | Infeasible | Unbounded
     pivots — see the ablation experiment). Both terminate. *)
 type pivot_rule = Dantzig_with_fallback | Pure_bland
 
-(** Simplex engine. [Revised] (the default) is the bounded-variable
-    simplex; [Dense] is the reference two-phase tableau solver. Both
-    return the same status and objective value on every model; the
-    optimal vertex may differ when the optimum is not unique. *)
-type engine = Revised | Dense
+(** Engine selector. The type is open so registered engines
+    ({!register_engine}) can own their selector constructors, including
+    config-carrying ones ({!Float_with}); resolve a CLI/protocol name to
+    a selector with {!engine_of_name}. *)
+type engine = ..
+
+(** The 1.6 engine spellings, kept as registered selectors: [Revised]
+    (the default) is the exact bounded-variable simplex, [Dense] the
+    reference two-phase tableau solver.
+
+    @deprecated
+      since 1.7.0 these are ordinary registered engines, not the whole
+      universe — match on engine names via {!engine_name} instead of on
+      these constructors, which will move into their engine modules in a
+      future release. *)
+type engine += Revised | Dense
+
+(** Tuning knobs for the float-certified engine. *)
+type float_config = {
+  float_eps : float;  (** reduced-cost / degeneracy tolerance *)
+  float_pivot_cap : int option;
+      (** give up (and fall back to exact) after this many pivots and
+          bound flips; [None] means [64 * (rows + columns) + 1024] *)
+}
+
+(** [{ float_eps = 1e-9; float_pivot_cap = None }] *)
+val default_float_config : float_config
+
+(** Selectors for the ["float"] engine: double-precision simplex whose
+    final basis is certified exactly, with fallback to the exact revised
+    engine on certification failure. [Float_certified] uses
+    {!default_float_config}; [Float_with] overrides it. *)
+type engine += Float_certified | Float_with of float_config
+
+(** How the returned objective was established. [Exact]: every pivot ran
+    in rational arithmetic. [Certified]: a float simplex chose the final
+    basis and one exact refactorization proved it optimal — the reported
+    objective and vertex come from the exact refactorization, so they
+    are bit-identical to what an exact engine returns. [Fallback]: float
+    certification failed (or the float phase gave up) and the exact
+    revised engine re-solved from scratch. *)
+type certification = Exact | Certified | Fallback
 
 (** A basis snapshot for warm-started re-solves: the nonbasic-at-bound /
     basic status of every structural variable and row slack at the
@@ -92,12 +142,68 @@ module Basis : sig
   }
 end
 
+(** {1 Engine registry}
+
+    Mirrors [Core.Registry]: engines are first-class modules registered
+    under a unique name; {!solve} dispatches on the selector value via
+    each engine's [handles] predicate. *)
+
+(** What an engine implements. [solve] receives the selector value the
+    caller passed (so config-carrying selectors like {!Float_with} can
+    read their payload) and must return exact rational results. *)
+module type ENGINE = sig
+  val name : string
+
+  val description : string
+  (** one line, shown in [atbt --list-solvers] *)
+
+  val selector : engine
+  (** canonical selector, returned by {!engine_of_name} *)
+
+  val handles : engine -> bool
+  (** recognizes every selector constructor this engine owns *)
+
+  val solve :
+    engine:engine ->
+    rule:pivot_rule ->
+    warm:Basis.t option ->
+    budget:Budget.t ->
+    obs:Obs.t ->
+    model ->
+    result
+end
+
+(** Registers an engine. Raises [Invalid_argument] on a duplicate name.
+    ["revised"], ["dense"] and ["float"] are registered at load. *)
+val register_engine : (module ENGINE) -> unit
+
+(** Registered engine names, sorted. *)
+val engine_names : unit -> string list
+
+(** [(name, description)] pairs for every registered engine, sorted by
+    name — the [--list-solvers]-style inventory. *)
+val engine_inventory : unit -> (string * string) list
+
+(** Canonical selector for a registered engine name, [None] when
+    unknown. This is how the CLI [--lp-engine] flag, the registry
+    [engine] param and the serve-protocol [lp_engine] field resolve. *)
+val engine_of_name : string -> engine option
+
+(** Name of the engine that handles a selector value. Raises
+    [Invalid_argument] when no registered engine does. *)
+val engine_name : engine -> string
+
+(** {!Revised} — the engine {!solve} uses when [?engine] is omitted. *)
+val default_engine : engine
+
 (** Solves the model. The model may be re-solved after adding constraints
     or changing the objective or bounds.
 
-    [engine] selects the simplex implementation (default {!Revised}).
+    [engine] selects the simplex implementation (default
+    {!default_engine}); raises [Invalid_argument] when no registered
+    engine handles the selector.
 
-    [warm] (Revised engine only; ignored by [Dense]) restores a basis
+    [warm] (revised engine only; ignored by the others) restores a basis
     snapshot from a previous solution of this model: the tableau is
     refactorized for that basis and the solve re-enters phase 2 directly
     when the basis is still primal feasible, or repairs feasibility with
@@ -116,10 +222,15 @@ end
     exception (see [Active.Cascade]).
 
     With [obs], records [lp.solves], [lp.pivots], [lp.phase1_pivots],
-    [lp.degenerate_pivots], [lp.bound_flips] (Revised only) and
+    [lp.degenerate_pivots], [lp.bound_flips] (revised only) and
     [lp.warm_starts] (warm snapshot successfully reused) counters plus
-    [lp.phase1] / [lp.phase2] spans; counters recorded so far survive a
-    {!Budget.Out_of_fuel} abort. *)
+    [lp.phase1] / [lp.phase2] spans. The float engine additionally
+    records [lp.float_pivots] (double-precision pivots),
+    [lp.certify_ops] (rational multiplications/divisions spent in
+    certification — the engine-comparable work measure of experiment
+    E23), [lp.certify_ok], [lp.certify_fail] and [lp.fallbacks] (exact
+    re-solves, whether after a failed certification or a float give-up).
+    Counters recorded so far survive a {!Budget.Out_of_fuel} abort. *)
 val solve :
   ?rule:pivot_rule ->
   ?engine:engine ->
@@ -151,8 +262,14 @@ val pivots : solution -> int
 val tableau_cells : solution -> int
 
 (** Basis snapshot for {!solve}'s [?warm] — [None] when the solution was
-    produced by the [Dense] engine. *)
+    produced by the dense engine. *)
 val basis : solution -> Basis.t option
+
+(** Provenance of the returned objective (see {!certification}). Exact
+    engines return [Exact]; the float engine returns [Certified] when
+    its basis certified, [Fallback] when the exact re-solve produced the
+    answer. All three carry exact rational results. *)
+val certification : solution -> certification
 
 (** {1 Debugging} *)
 

@@ -51,6 +51,19 @@ let of_ints n d =
   if d = 0 then raise Division_by_zero;
   small n d
 
+let of_float f =
+  if not (Float.is_finite f) then
+    invalid_arg (Printf.sprintf "Rational.of_float: %h is not finite" f);
+  if Float.is_integer f && Float.abs f <= 4503599627370496.0 (* 2^52 *) then
+    of_int (int_of_float f)
+  else
+    (* every finite float is m * 2^e with integer m, |m| < 2^53 *)
+    let frac, e = Float.frexp f in
+    let m = Bigint.of_int (int_of_float (Float.ldexp frac 53)) in
+    let e = e - 53 in
+    if e >= 0 then of_bigint (Bigint.mul m (Bigint.pow (Bigint.of_int 2) e))
+    else make m (Bigint.pow (Bigint.of_int 2) (-e))
+
 let zero = Small (0, 1)
 let one = Small (1, 1)
 let two = Small (2, 1)

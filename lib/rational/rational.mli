@@ -27,6 +27,13 @@ val of_ints : int -> int -> t
 val of_int : int -> t
 val of_bigint : Bigint.t -> t
 
+(** [of_float f] is the exact value of [f]: every finite float is the
+    dyadic rational [m * 2^e] for an integer mantissa [m], so the
+    conversion is lossless ([to_float (of_float f) = f]) and e.g.
+    [of_float 0.1] is [3602879701896397/36028797018963968], not [1/10].
+    Raises [Invalid_argument] on nan and infinities. *)
+val of_float : float -> t
+
 (** [of_string s] accepts ["n"], ["n/d"] and decimal ["i.f"] forms.
     Raises [Invalid_argument] or [Failure] on malformed input — including
     a zero denominator, which is a parse error here, never

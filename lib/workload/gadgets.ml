@@ -357,3 +357,37 @@ let four_approx_tight ~g ~eps ~eps' =
     fa_g = g;
     fa_opt_cost_approx;
     fa_bad_packing }
+
+(* -- ill-conditioned LP family (methodology, not from the paper) --------- *)
+
+type float_trap_gadget = {
+  ft_pairs : int;
+  ft_ulp_exp : int;
+  ft_vars : string list;
+  ft_obj : Q.t list;
+  ft_rows : (Q.t list * Q.t) list;
+  ft_opt : Q.t;
+}
+
+let float_trap ~pairs ~ulp_exp =
+  if pairs < 1 then invalid_arg "Gadgets.float_trap: needs pairs >= 1";
+  if ulp_exp < 1 || ulp_exp > 60 then invalid_arg "Gadgets.float_trap: needs 1 <= ulp_exp <= 60";
+  let bonus = Q.add Q.one (Q.of_ints 1 (1 lsl ulp_exp)) in
+  let nv = 2 * pairs in
+  let vars =
+    List.concat (List.init pairs (fun k -> [ Printf.sprintf "y%d" k; Printf.sprintf "x%d" k ]))
+  in
+  (* y before x in every pair: a first-index tie-break must pick y *)
+  let obj = List.concat (List.init pairs (fun _ -> [ Q.one; bonus ])) in
+  let rows =
+    List.init pairs (fun k ->
+        (List.init nv (fun j -> if j = 2 * k || j = (2 * k) + 1 then Q.one else Q.zero), Q.one))
+  in
+  {
+    ft_pairs = pairs;
+    ft_ulp_exp = ulp_exp;
+    ft_vars = vars;
+    ft_obj = obj;
+    ft_rows = rows;
+    ft_opt = Q.mul (Q.of_int pairs) bonus;
+  }

@@ -107,3 +107,32 @@ type four_approx_gadget = {
     of raw demand 2g), [g-1] spanning unit flexible jobs. Raises
     [Invalid_argument] unless [g >= 2] and [0 < eps' < eps <= 1/2]. *)
 val four_approx_tight : g:int -> eps:Rational.t -> eps':Rational.t -> four_approx_gadget
+
+(** {1 Ill-conditioned LP family (methodology, not from the paper)} *)
+
+(** A linear program, as pure data, whose optimum is invisible to double
+    precision: [pairs] independent blocks [y_k + x_k <= 1], objective
+    maximize [sum (y_k + (1 + 2^-ulp_exp) x_k)]. Exactly, [x_k] is
+    strictly better than [y_k] and the optimum is
+    [pairs * (1 + 2^-ulp_exp)]; but for [ulp_exp >= 53] the coefficient
+    [1 + 2^-ulp_exp] rounds to [1.0] in double, the two columns tie, and
+    a float simplex that breaks ties by first index terminates at the
+    all-[y] vertex — a basis whose exact certification must fail. Built
+    to pin the float engine's certify-fail fallback path. *)
+type float_trap_gadget = {
+  ft_pairs : int;
+  ft_ulp_exp : int;
+  ft_vars : string list;  (** [y0; x0; y1; x1; ...] *)
+  ft_obj : Rational.t list;  (** maximize; aligned with [ft_vars] *)
+  ft_rows : (Rational.t list * Rational.t) list;
+      (** [(coeffs, rhs)], all rows [<=], coeffs aligned with [ft_vars];
+          variables are nonnegative with no upper bound *)
+  ft_opt : Rational.t;  (** the exact optimum [pairs * (1 + 2^-ulp_exp)] *)
+}
+
+(** Raises [Invalid_argument] unless [pairs >= 1] and
+    [1 <= ulp_exp <= 60] (the bonus [2^-ulp_exp] must fit a native-int
+    denominator). [ulp_exp <= 52] keeps the bonus representable in
+    double — the same family then certifies cleanly, which tests use as
+    the control. *)
+val float_trap : pairs:int -> ulp_exp:int -> float_trap_gadget

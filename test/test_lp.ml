@@ -407,17 +407,22 @@ let any_feasible l (point : Q.t array) =
        l.g_rows
 
 let prop_engines_agree =
-  QCheck.Test.make ~name:"Revised and Dense engines agree (status + objective)" ~count:600 any_arb
+  QCheck.Test.make ~name:"all registered engines agree (status + objective)" ~count:600 any_arb
     (fun l ->
       let m, vars = build_any l in
-      match (Lp.solve ~engine:Lp.Revised m, Lp.solve ~engine:Lp.Dense m) with
-      | Lp.Optimal a, Lp.Optimal b ->
-          Q.equal (Lp.objective_value a) (Lp.objective_value b)
-          && any_feasible l (Array.map (Lp.value a) vars)
-          && any_feasible l (Array.map (Lp.value b) vars)
-      | Lp.Infeasible, Lp.Infeasible -> true
-      | Lp.Unbounded, Lp.Unbounded -> true
-      | _ -> false)
+      let baseline = Lp.solve ~engine:Lp.default_engine m in
+      List.for_all
+        (fun name ->
+          let engine = Option.get (Lp.engine_of_name name) in
+          match (baseline, Lp.solve ~engine m) with
+          | Lp.Optimal a, Lp.Optimal b ->
+              Q.equal (Lp.objective_value a) (Lp.objective_value b)
+              && any_feasible l (Array.map (Lp.value a) vars)
+              && any_feasible l (Array.map (Lp.value b) vars)
+          | Lp.Infeasible, Lp.Infeasible -> true
+          | Lp.Unbounded, Lp.Unbounded -> true
+          | _ -> false)
+        (Lp.engine_names ()))
 
 (* After arbitrary bound rewrites, a warm re-solve from the previous
    basis must return exactly what a cold solve of the same model does. *)
@@ -476,6 +481,121 @@ let test_engine_introspection () =
   Alcotest.(check bool) "dense has no basis" true (Lp.basis d = None);
   Alcotest.(check bool) "pivot counts are non-negative" true (Lp.pivots r >= 0 && Lp.pivots d >= 0)
 
+let test_engine_registry () =
+  Alcotest.(check (list string))
+    "registered engines" [ "dense"; "float"; "revised" ] (Lp.engine_names ());
+  Alcotest.(check bool) "unknown name" true (Lp.engine_of_name "bogus" = None);
+  Alcotest.(check string) "default is revised" "revised" (Lp.engine_name Lp.default_engine);
+  Alcotest.(check string) "float selector resolves" "float" (Lp.engine_name Lp.Float_certified);
+  Alcotest.(check string)
+    "configured float selector resolves" "float"
+    (Lp.engine_name (Lp.Float_with Lp.default_float_config));
+  Alcotest.(check (list string))
+    "inventory names match" (Lp.engine_names ())
+    (List.map fst (Lp.engine_inventory ()));
+  Alcotest.(check bool)
+    "duplicate registration rejected" true
+    (match
+       Lp.register_engine
+         (module struct
+           let name = "revised"
+           let description = "dup"
+           let selector = Lp.Revised
+           let handles _ = false
+           let solve ~engine:_ ~rule:_ ~warm:_ ~budget:_ ~obs:_ _ = Lp.Infeasible
+         end)
+     with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let cert_to_string = function
+  | Lp.Exact -> "Exact"
+  | Lp.Certified -> "Certified"
+  | Lp.Fallback -> "Fallback"
+
+let check_cert msg want s = Alcotest.(check string) msg want (cert_to_string (Lp.certification s))
+
+let test_certification_provenance () =
+  let build () =
+    let m = Lp.create () in
+    let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
+    Lp.add_constraint m [ (qi 2, x); (qi 1, y) ] Lp.Le (qi 10);
+    Lp.add_constraint m [ (qi 1, x); (qi 3, y) ] Lp.Le (qi 15);
+    Lp.set_objective m Lp.Maximize [ (qi 3, x); (qi 4, y) ];
+    m
+  in
+  let r = get_solution (Lp.solve ~engine:Lp.Revised (build ())) in
+  let d = get_solution (Lp.solve ~engine:Lp.Dense (build ())) in
+  check_cert "revised is exact" "Exact" r;
+  check_cert "dense is exact" "Exact" d;
+  let obs = Obs.create () in
+  let f = get_solution (Lp.solve ~engine:Lp.Float_certified ~obs (build ())) in
+  check_cert "well-conditioned model certifies" "Certified" f;
+  Alcotest.(check string)
+    "certified objective is bit-identical" (Q.to_string (Lp.objective_value r))
+    (Q.to_string (Lp.objective_value f));
+  let counter name = try List.assoc name (Obs.counters obs) with Not_found -> 0 in
+  Alcotest.(check int) "certify_ok" 1 (counter "lp.certify_ok");
+  Alcotest.(check int) "no certify_fail" 0 (counter "lp.certify_fail");
+  Alcotest.(check int) "no fallback" 0 (counter "lp.fallbacks");
+  Alcotest.(check bool) "float pivots recorded" true (counter "lp.float_pivots" > 0);
+  Alcotest.(check bool) "certify ops recorded" true (counter "lp.certify_ops" > 0);
+  (* the float engine hands back a certified basis usable as ?warm *)
+  Alcotest.(check bool) "certified solution carries a basis" true (Lp.basis f <> None)
+
+let build_trap (t : Workload.Gadgets.float_trap_gadget) =
+  let m = Lp.create () in
+  let vars = List.map (Lp.add_var m) t.ft_vars in
+  List.iter
+    (fun (coeffs, rhs) -> Lp.add_constraint m (List.combine coeffs vars) Lp.Le rhs)
+    t.ft_rows;
+  Lp.set_objective m Lp.Maximize (List.combine t.ft_obj vars);
+  m
+
+(* The float_trap gadget: the optimal column's advantage is below one ulp
+   of double, so the float simplex terminates on the wrong vertex and
+   exact certification must catch it — pinning the fallback path and its
+   counters. The identical family at a representable ulp_exp is the
+   control: it must certify. *)
+let test_certify_fail_fallback () =
+  let trap = Workload.Gadgets.float_trap ~pairs:4 ~ulp_exp:54 in
+  let obs = Obs.create () in
+  let s = get_solution (Lp.solve ~engine:Lp.Float_certified ~obs (build_trap trap)) in
+  check_cert "trapped model falls back" "Fallback" s;
+  let counter name = try List.assoc name (Obs.counters obs) with Not_found -> 0 in
+  Alcotest.(check int) "certify_fail pinned" 1 (counter "lp.certify_fail");
+  Alcotest.(check int) "fallbacks pinned" 1 (counter "lp.fallbacks");
+  Alcotest.(check int) "no certify_ok" 0 (counter "lp.certify_ok");
+  (* the fallback answer is the exact optimum, bit-identical to revised *)
+  let r = get_solution (Lp.solve ~engine:Lp.Revised (build_trap trap)) in
+  Alcotest.(check string)
+    "fallback matches exact" (Q.to_string trap.ft_opt)
+    (Q.to_string (Lp.objective_value s));
+  Alcotest.(check string)
+    "revised agrees" (Q.to_string trap.ft_opt)
+    (Q.to_string (Lp.objective_value r));
+  (* control: one ulp_exp inside double's mantissa, same family certifies *)
+  let ctrl = Workload.Gadgets.float_trap ~pairs:4 ~ulp_exp:20 in
+  let obs2 = Obs.create () in
+  let s2 = get_solution (Lp.solve ~engine:Lp.Float_certified ~obs:obs2 (build_trap ctrl)) in
+  check_cert "control certifies" "Certified" s2;
+  Alcotest.(check string)
+    "control objective exact" (Q.to_string ctrl.ft_opt)
+    (Q.to_string (Lp.objective_value s2))
+
+let test_float_ignores_warm () =
+  (* ?warm is a revised-engine feature; the float engine must accept and
+     ignore it rather than misuse a stale basis *)
+  let m = Lp.create () in
+  let x = Lp.add_var ~upper:(qi 6) m "x" in
+  Lp.add_constraint m [ (qi 1, x) ] Lp.Le (qi 5);
+  Lp.set_objective m Lp.Maximize [ (qi 2, x) ];
+  let s0 = get_solution (Lp.solve m) in
+  let warm = Option.get (Lp.basis s0) in
+  Lp.set_bounds m x ~lower:Q.zero ~upper:(Some (qi 3));
+  let s1 = get_solution (Lp.solve ~engine:Lp.Float_certified ~warm m) in
+  Alcotest.(check string) "objective" "6" (Q.to_string (Lp.objective_value s1))
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [ prop_solution_feasible; prop_no_sample_beats_optimum; prop_strong_duality;
@@ -504,5 +624,9 @@ let () =
           Alcotest.test_case "unknown variable rejected" `Quick test_unknown_variable_rejected;
           Alcotest.test_case "values accessor" `Quick test_values_accessor;
           Alcotest.test_case "warm start counters" `Quick test_warm_start_counters;
-          Alcotest.test_case "engine introspection" `Quick test_engine_introspection ] );
+          Alcotest.test_case "engine introspection" `Quick test_engine_introspection;
+          Alcotest.test_case "engine registry" `Quick test_engine_registry;
+          Alcotest.test_case "certification provenance" `Quick test_certification_provenance;
+          Alcotest.test_case "certify-fail fallback" `Quick test_certify_fail_fallback;
+          Alcotest.test_case "float ignores warm" `Quick test_float_ignores_warm ] );
       ("properties", props) ]

@@ -73,6 +73,32 @@ let test_to_float () =
   Alcotest.(check (float 1e-12)) "1/2" 0.5 (Q.to_float (q 1 2));
   Alcotest.(check (float 1e-12)) "-1/4" (-0.25) (Q.to_float (q (-1) 4))
 
+let test_of_float () =
+  check_q "dyadic" "1/2" (Q.of_float 0.5);
+  check_q "negative" "-13/4" (Q.of_float (-3.25));
+  check_q "zero" "0" (Q.of_float 0.0);
+  check_q "integer" "42" (Q.of_float 42.0);
+  (* 0.1 is NOT 1/10: the conversion is exact, not nearest-decimal *)
+  check_q "0.1 exactly" "3602879701896397/36028797018963968" (Q.of_float 0.1);
+  List.iter
+    (fun f ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "roundtrip %h" f)
+        f
+        (Q.to_float (Q.of_float f)))
+    (* tiny magnitudes (1e-300 etc.) are converted exactly too, but the
+       roundtrip check would hit to_float's denominator overflow *)
+    [ 0.1; -1e300; 3.14159; 12345.6789; Float.max_float ];
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%h rejected" f)
+        true
+        (match Q.of_float f with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
 (* -- properties ---------------------------------------------------------- *)
 
 let rat_gen =
@@ -147,5 +173,6 @@ let () =
           Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
           Alcotest.test_case "compare" `Quick test_compare;
           Alcotest.test_case "to_int" `Quick test_to_int;
-          Alcotest.test_case "to_float" `Quick test_to_float ] );
+          Alcotest.test_case "to_float" `Quick test_to_float;
+          Alcotest.test_case "of_float" `Quick test_of_float ] );
       ("properties", props) ]
