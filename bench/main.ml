@@ -1040,9 +1040,11 @@ let e21 () =
   pr "Cold solves of the repo's two LP families under both engines: the\n";
   pr "active-time LP1 relaxation of E10-style slotted workloads and the\n";
   pr "preemptive busy-time event-grid LP of E12-style interval streams.\n";
-  pr "Work = pivots x tableau cells: the dense tableau carries one row\n";
+  pr "Work = tableau_cells, the scalar cell operations each engine\n";
+  pr "actually performed (since 1.8.0 a touched-cell count, not a static\n";
+  pr "area x pivots estimate): the dense tableau eliminates over one row\n";
   pr "per upper-bounded variable plus artificial columns, the revised\n";
-  pr "engine exactly one row per constraint. Pivot counts and the\n";
+  pr "engine over one row per constraint. Pivot counts and the\n";
   pr "warm-probe work ratio are golden; drift fails the run.\n\n";
   let drift = ref [] in
   let complain fmt = Printf.ksprintf (fun s -> drift := s :: !drift) fmt in
@@ -1091,16 +1093,16 @@ let e21 () =
               complain "%s: golden drift: dense pivots %d (want %d), revised %d (want %d)" name pd
                 gd pr_ gr
           | _ -> ());
-          let ratio = float_of_int (pd * cd) /. float_of_int (max 1 (pr_ * cr)) in
+          let ratio = float_of_int cd /. float_of_int (max 1 cr) in
           table_row
             (List.map col
                [ name; describe rr; string_of_int pd; string_of_int cd; string_of_int pr_;
                  string_of_int cr; Printf.sprintf "%.1fx" ratio ]);
           let key k v = Obs.add !bench_obs (Printf.sprintf "e21.%s.%s" name k) v in
           key "dense_pivots" pd;
-          key "dense_work" (pd * cd);
+          key "dense_work" cd;
           key "revised_pivots" pr_;
-          key "revised_work" (pr_ * cr)
+          key "revised_work" cr
       | _ -> table_row (List.map col [ name; describe rr; "-"; "-"; "-"; "-"; "-" ]))
     families;
   (* Warm-started probes: ONE LP1 model, rounds of bound tightening and
@@ -1139,7 +1141,7 @@ let e21 () =
         (describe rd) (describe rr) (describe rw);
     let acc work piv = function
       | Lp.Optimal s ->
-          work := !work + (Lp.pivots s * Lp.tableau_cells s);
+          work := !work + Lp.tableau_cells s;
           piv := !piv + Lp.pivots s
       | _ -> ()
     in
@@ -1271,8 +1273,9 @@ let e23 () =
   pr "refactorization certifies it (or the exact engine re-solves on\n";
   pr "certification failure), so objectives stay bit-identical to the\n";
   pr "revised engine. Work is engine-comparable rational operations:\n";
-  pr "pivots x tableau cells for exact, certification mul/divs (plus any\n";
-  pr "fallback re-solve) for float-certified. The certify rate is golden\n";
+  pr "exact tableau cells touched for the revised engine, and the exact\n";
+  pr "cells counter (certification mul/divs plus any fallback re-solve)\n";
+  pr "for float-certified. The certify rate is golden\n";
   pr "and total float work must undercut exact work by >= 5x; the\n";
   pr "certify-fail fallback is exercised by the pinned float_trap gadget.\n\n";
   let drift = ref [] in
@@ -1333,14 +1336,12 @@ let e23 () =
               (Q.to_string (Lp.objective_value sr))
               (Q.to_string (Lp.objective_value sf));
           let counter n = match List.assoc_opt n (Obs.counters obs) with Some v -> v | None -> 0 in
-          let exact_work = Lp.pivots sr * Lp.tableau_cells sr in
-          (* per-solve certification cost: the obs accumulated [repeats] runs *)
+          let exact_work = Lp.tableau_cells sr in
+          (* per-solve rational cost: the obs accumulated [repeats] runs;
+             lp.exact_cells covers certification and any fallback re-solve *)
           let certify_ops = counter "lp.certify_ops" / repeats in
           let is_certified = counter "lp.certify_fail" = 0 in
-          let fallback_work =
-            if is_certified then 0 else Lp.pivots sf * Lp.tableau_cells sf
-          in
-          let float_work = certify_ops + fallback_work in
+          let float_work = counter "lp.exact_cells" / repeats in
           if is_certified then incr certified;
           exact_total := !exact_total + exact_work;
           float_total := !float_total + float_work;
@@ -1414,12 +1415,179 @@ let e23 () =
     exit 1
   end
 
+(* ---------------------------------------------------------------- e24 -- *)
+
+let e24 () =
+  header "E24: LP engines - sparse LU basis algebra, eta updates, warm floats";
+  pr "The e21 LP families plus the block-diagonal sparse_wide gadget,\n";
+  pr "solved four ways: dense tableau, dense-algebra revised simplex,\n";
+  pr "the sparse engine (CSC matrix, sparse LU with fill-minimizing\n";
+  pr "ordering, product-form eta updates), and the sparse engine warm\n";
+  pr "from its own optimal basis. Work = tableau_cells, the scalar cell\n";
+  pr "operations actually touched. Objectives are golden (engines agree;\n";
+  pr "sparse_wide matches its closed-form LP1 optimum blocks*(g+1)/g) and\n";
+  pr "sparse pivots must equal revised pivots. Gates: sparse work >= 3x\n";
+  pr "below revised on sparse_wide, and float ?warm re-solves must beat\n";
+  pr "float cold on the e21 warm-probe rounds.\n\n";
+  let drift = ref [] in
+  let complain fmt = Printf.ksprintf (fun s -> drift := s :: !drift) fmt in
+  let lp1_seeds = if !quick then [ 3 ] else [ 3; 8; 9 ] in
+  let busy_seeds = if !quick then [ 0 ] else [ 0; 1; 2 ] in
+  let wide_blocks = if !quick then [ 2 ] else [ 2; 4; 8 ] in
+  let wide_g = 16 and wide_width = 24 in
+  let params : Gen.slotted_params = { n = 10; horizon = 16; max_length = 4; slack = 4; g = 2 } in
+  let families =
+    List.map
+      (fun s ->
+        ( Printf.sprintf "lp1/s%d" s,
+          (fun () -> fst (Active.Ilp.build_lp1 (Gen.slotted ~params ~seed:s ()))),
+          None ))
+      lp1_seeds
+    @ List.map
+        (fun s ->
+          ( Printf.sprintf "busy/s%d" s,
+            (fun () ->
+              Busy.Preemptive.lp_model (Gen.interval_jobs ~n:20 ~horizon:60 ~max_length:8 ~seed:s ())),
+            None ))
+        busy_seeds
+    @ List.map
+        (fun b ->
+          ( Printf.sprintf "wide/b%d" b,
+            (fun () ->
+              fst (Active.Ilp.build_lp1 (Gad.sparse_wide ~g:wide_g ~blocks:b ~width:wide_width))),
+            Some (Gad.sparse_wide_lp_opt ~g:wide_g ~blocks:b) ))
+        wide_blocks
+  in
+  let wide_revised = ref 0 and wide_sparse = ref 0 in
+  table_row
+    (List.map col
+       [ "model"; "objective"; "dense"; "revised"; "sparse"; "sp+warm"; "rev/sparse"; "etas"; "refac" ]);
+  List.iter
+    (fun (name, build, golden) ->
+      let m = build () in
+      let rd = Lp.solve ~engine:Lp.Dense m in
+      let rr = Lp.solve ~engine:Lp.Revised m in
+      let obs = Obs.create () in
+      let rs = Lp.solve ~obs ~engine:Lp.Sparse m in
+      match (rd, rr, rs) with
+      | Lp.Optimal sd, Lp.Optimal sr, Lp.Optimal ss ->
+          let obj = Lp.objective_value ss in
+          if not (Q.equal (Lp.objective_value sd) obj && Q.equal (Lp.objective_value sr) obj)
+          then complain "%s: engines disagree on the objective" name;
+          (match golden with
+          | Some want when not (Q.equal obj want) ->
+              complain "%s: objective %s, closed form wants %s" name (Q.to_string obj)
+                (Q.to_string want)
+          | _ -> ());
+          if Lp.pivots sr <> Lp.pivots ss then
+            complain "%s: sparse pivots %d differ from revised %d" name (Lp.pivots ss)
+              (Lp.pivots sr);
+          (* warm re-solve from the sparse engine's own optimal basis:
+             the factorization rebuilds, the simplex confirms in 0 pivots *)
+          let warm_work =
+            match Lp.solve ~engine:Lp.Sparse ?warm:(Lp.basis ss) m with
+            | Lp.Optimal sw ->
+                if not (Q.equal (Lp.objective_value sw) obj) then
+                  complain "%s: sparse warm objective drifted" name;
+                Lp.tableau_cells sw
+            | _ ->
+                complain "%s: sparse warm re-solve not optimal" name;
+                0
+          in
+          let counter n = match List.assoc_opt n (Obs.counters obs) with Some v -> v | None -> 0 in
+          let cd = Lp.tableau_cells sd
+          and cr = Lp.tableau_cells sr
+          and cs = Lp.tableau_cells ss in
+          let ratio = float_of_int cr /. float_of_int (max 1 cs) in
+          if String.length name >= 4 && String.sub name 0 4 = "wide" then begin
+            wide_revised := !wide_revised + cr;
+            wide_sparse := !wide_sparse + cs
+          end;
+          table_row
+            (List.map col
+               [ name; Q.to_string obj; string_of_int cd; string_of_int cr; string_of_int cs;
+                 string_of_int warm_work; Printf.sprintf "%.1fx" ratio;
+                 string_of_int (counter "lp.eta_updates");
+                 string_of_int (counter "lp.refactorizations") ]);
+          let key k v = Obs.add !bench_obs (Printf.sprintf "e24.%s.%s" name k) v in
+          key "dense_work" cd;
+          key "revised_work" cr;
+          key "sparse_work" cs;
+          key "warm_work" warm_work;
+          key "pivots" (Lp.pivots ss);
+          key "eta_updates" (counter "lp.eta_updates");
+          key "refactorizations" (counter "lp.refactorizations");
+          key "fill_nonzeros" (counter "lp.fill_nonzeros")
+      | _ -> complain "%s: expected Optimal under all engines" name)
+    families;
+  let wide_ratio = float_of_int !wide_revised /. float_of_int (max 1 !wide_sparse) in
+  pr "\nsparse_wide work: revised %d, sparse %d (%.1fx less)\n" !wide_revised !wide_sparse
+    wide_ratio;
+  Obs.add !bench_obs "e24.wide.revised_total" !wide_revised;
+  Obs.add !bench_obs "e24.wide.sparse_total" !wide_sparse;
+  Obs.add !bench_obs "e24.wide.ratio_x100" (int_of_float (wide_ratio *. 100.0));
+  if wide_ratio < 3.0 then
+    complain "sparse_wide: sparse work only %.2fx below revised (gate: >= 3x)" wide_ratio;
+  (* Float warm probes: the e21 warm-probe rounds re-run under the float
+     engine - cold every round vs warm from the previous round's basis.
+     The warm path restores the basis, refactorizes sparsely, re-enters
+     phase 2, and still certifies; it must beat the cold float solves. *)
+  let rounds = if !quick then 8 else 16 in
+  pr "\nFloat warm probes (one LP1 model, %d bound-rewrite rounds):\n\n" rounds;
+  let inst = Gen.slotted ~params ~seed:3 () in
+  let m, y_vars = Active.Ilp.build_lp1 inst in
+  let ny = List.length y_vars in
+  let work_c = ref 0 and work_w = ref 0 in
+  let piv_c = ref 0 and piv_w = ref 0 in
+  let warm = ref None in
+  (match Lp.solve ~engine:Lp.Float_certified m with
+  | Lp.Optimal s -> warm := Lp.basis s
+  | _ -> complain "float warm probes: seed-3 LP1 unexpectedly not optimal");
+  let fixed_open = Array.make ny false in
+  for round = 0 to rounds - 1 do
+    let i = round mod ny in
+    let _, yv = List.nth y_vars i in
+    fixed_open.(i) <- not fixed_open.(i);
+    Lp.set_bounds m yv ~lower:(if fixed_open.(i) then Q.one else Q.zero) ~upper:(Some Q.one);
+    let rc = Lp.solve ~engine:Lp.Float_certified m in
+    let rw = Lp.solve ~engine:Lp.Float_certified ?warm:!warm m in
+    (match (rc, rw) with
+    | Lp.Optimal sc, Lp.Optimal sw ->
+        if not (Q.equal (Lp.objective_value sc) (Lp.objective_value sw)) then
+          complain "float warm probes round %d: cold and warm objectives differ" round;
+        work_c := !work_c + Lp.tableau_cells sc;
+        piv_c := !piv_c + Lp.pivots sc;
+        work_w := !work_w + Lp.tableau_cells sw;
+        piv_w := !piv_w + Lp.pivots sw
+    | _ -> complain "float warm probes round %d: expected Optimal" round);
+    match rw with Lp.Optimal s -> warm := Lp.basis s | _ -> warm := None
+  done;
+  let fratio = float_of_int !work_c /. float_of_int (max 1 !work_w) in
+  table_row (List.map col [ "variant"; "pivots"; "work"; "vs warm" ]);
+  table_row
+    (List.map col
+       [ "float cold"; string_of_int !piv_c; string_of_int !work_c;
+         Printf.sprintf "%.1fx" fratio ]);
+  table_row (List.map col [ "float+warm"; string_of_int !piv_w; string_of_int !work_w; "1.0x" ]);
+  if !work_w >= !work_c then
+    complain "float warm probes: warm work %d does not beat cold %d" !work_w !work_c;
+  Obs.add !bench_obs "e24.fwarm.cold_work" !work_c;
+  Obs.add !bench_obs "e24.fwarm.warm_work" !work_w;
+  Obs.add !bench_obs "e24.fwarm.cold_pivots" !piv_c;
+  Obs.add !bench_obs "e24.fwarm.warm_pivots" !piv_w;
+  Obs.add !bench_obs "e24.fwarm.ratio_x100" (int_of_float (fratio *. 100.0));
+  if !drift <> [] then begin
+    pr "\nE24 FAILED:\n";
+    List.iter (pr "  %s\n") (List.rev !drift);
+    exit 1
+  end
+
 (* -------------------------------------------------------------- main -- *)
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8);
     ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
-    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22); ("e23", e23); ("abl", abl); ("par", par); ("scaling", scaling); ("timing", timing) ]
+    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22); ("e23", e23); ("e24", e24); ("abl", abl); ("par", par); ("scaling", scaling); ("timing", timing) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -347,6 +347,16 @@ let checked_mul a b =
     let p = Stdlib.( * ) a b in
     if Stdlib.( = ) (Stdlib.( / ) p b) a then Some p else None
 
+let checked_sub a b =
+  let d = Stdlib.( - ) a b in
+  (* overflow iff the operands differ in sign and the difference does not
+     agree with the minuend's sign *)
+  if
+    Stdlib.( <> ) (Stdlib.( >= ) a 0) (Stdlib.( >= ) b 0)
+    && Stdlib.( <> ) (Stdlib.( >= ) d 0) (Stdlib.( >= ) a 0)
+  then None
+  else Some d
+
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 
 let ( + ) = add

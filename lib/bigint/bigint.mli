@@ -91,6 +91,9 @@ val checked_add : int -> int -> int option
 (** [checked_mul a b] is [Some (a * b)] unless the product overflows. *)
 val checked_mul : int -> int -> int option
 
+(** [checked_sub a b] is [Some (a - b)] unless the difference overflows. *)
+val checked_sub : int -> int -> int option
+
 (** {1 Convenience operators} *)
 
 val ( + ) : t -> t -> t

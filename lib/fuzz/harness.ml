@@ -42,6 +42,18 @@ let cases_for_seed seed =
         Io.Slotted_instance (G.slotted_unit ~horizon:(6 + (seed mod 5)) ~g ~n:(6 + (seed mod 5)) ~seed ());
     }
   in
+  let sparse_wide =
+    (* block-diagonal LP1 family: keeps the lp-engine differential honest
+       on the sparse engine's home turf *)
+    let g = 2 + (seed mod 2) in
+    {
+      name = "slotted-sparse-wide";
+      g;
+      instance =
+        Io.Slotted_instance
+          (Workload.Gadgets.sparse_wide ~g ~blocks:(1 + (seed mod 3)) ~width:(2 + (seed mod 4)));
+    }
+  in
   let interval =
     let g = 2 + (seed mod 3) in
     {
@@ -70,7 +82,7 @@ let cases_for_seed seed =
           (G.flexible_jobs ~n:(4 + (seed mod 3)) ~horizon:12 ~max_length:3 ~slack_factor:2 ~seed ());
     }
   in
-  [ slotted; slotted_unit; interval; structured; flexible ]
+  [ slotted; slotted_unit; sparse_wide; interval; structured; flexible ]
 
 let check ?(planted_bug = false) ~fuel (case : case) =
   match case.instance with

@@ -15,7 +15,7 @@ type counterexample = {
 
 type report = { seeds : int; cases : int; failures : counterexample list }
 
-(** The five families checked for one seed. *)
+(** The six families checked for one seed. *)
 val cases_for_seed : int -> case list
 
 (** Run the oracle matching the case's shape (slotted / interval /

@@ -161,34 +161,46 @@ type tableau = {
   basis : int array; (* basic column of each row *)
   ncols : int;
   allowed : bool array; (* columns allowed to enter (artificials excluded in phase 2) *)
+  mutable dcells : int; (* tableau cells actually updated by pivoting *)
 }
 
 let pivot tab ~prow ~pcol =
   let arr = tab.a in
   let n = tab.ncols in
+  let cells = ref tab.dcells in
   let prow_arr = arr.(prow) in
   let pelem = prow_arr.(pcol) in
   if not (Q.equal pelem Q.one) then
     for j = 0 to n do
-      if not (Q.is_zero prow_arr.(j)) then prow_arr.(j) <- Q.div prow_arr.(j) pelem
+      if not (Q.is_zero prow_arr.(j)) then begin
+        incr cells;
+        prow_arr.(j) <- Q.div prow_arr.(j) pelem
+      end
     done;
   Array.iteri
     (fun i row ->
       if i <> prow && not (Q.is_zero row.(pcol)) then begin
         let f = row.(pcol) in
         for j = 0 to n do
-          if not (Q.is_zero prow_arr.(j)) then row.(j) <- Q.sub row.(j) (Q.mul f prow_arr.(j))
+          if not (Q.is_zero prow_arr.(j)) then begin
+            incr cells;
+            row.(j) <- Q.sub row.(j) (Q.mul f prow_arr.(j))
+          end
         done
       end)
     arr;
   let f = tab.obj_row.(pcol) in
   if not (Q.is_zero f) then begin
     for j = 0 to n - 1 do
-      if not (Q.is_zero prow_arr.(j)) then tab.obj_row.(j) <- Q.sub tab.obj_row.(j) (Q.mul f prow_arr.(j))
+      if not (Q.is_zero prow_arr.(j)) then begin
+        incr cells;
+        tab.obj_row.(j) <- Q.sub tab.obj_row.(j) (Q.mul f prow_arr.(j))
+      end
     done;
     (* v' = v + r_q * theta, theta = normalized pivot-row rhs *)
     tab.obj_val <- Q.add tab.obj_val (Q.mul f prow_arr.(n))
   end;
+  tab.dcells <- !cells;
   tab.basis.(prow) <- pcol
 
 (* Entering column: Dantzig (most negative reduced cost) or Bland (first
@@ -318,11 +330,14 @@ let solve_dense ~rule ~budget ~obs ~pivots m =
   for i = 0 to nrows - 1 do
     rhs_sum := Q.add !rhs_sum a.(i).(ncols)
   done;
-  let tab = { a; obj_row; obj_val = !rhs_sum; basis; ncols; allowed } in
+  let tab = { a; obj_row; obj_val = !rhs_sum; basis; ncols; allowed; dcells = 0 } in
   match Obs.span obs "lp.phase1" (fun () -> run_simplex ~rule ~phase1:true ~budget ~obs ~pivots tab) with
   | S_unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
   | S_optimal ->
-      if Q.compare tab.obj_val Q.zero > 0 then Infeasible
+      if Q.compare tab.obj_val Q.zero > 0 then begin
+        Obs.add obs "lp.exact_cells" tab.dcells;
+        Infeasible
+      end
       else begin
         (* Drive remaining artificials out of the basis where possible. *)
         let art_start = m.nvars + nslack in
@@ -360,8 +375,11 @@ let solve_dense ~rule ~budget ~obs ~pivots m =
         done;
         tab.obj_val <- !v;
         match Obs.span obs "lp.phase2" (fun () -> run_simplex ~rule ~phase1:false ~budget ~obs ~pivots tab) with
-        | S_unbounded -> Unbounded
+        | S_unbounded ->
+            Obs.add obs "lp.exact_cells" tab.dcells;
+            Unbounded
         | S_optimal ->
+            Obs.add obs "lp.exact_cells" tab.dcells;
             let z = Array.make m.nvars Q.zero in
             Array.iteri (fun i bv -> if bv < m.nvars then z.(bv) <- tab.a.(i).(ncols)) tab.basis;
             let x = Array.init m.nvars (fun i -> Q.add z.(i) lower.(i)) in
@@ -372,7 +390,7 @@ let solve_dense ~rule ~budget ~obs ~pivots m =
                 var_values = x;
                 sol_names = Array.sub m.names 0 m.nvars;
                 sol_pivots = !pivots;
-                sol_cells = nrows * (ncols + 1);
+                sol_cells = tab.dcells;
                 sol_basis = None;
                 sol_certification = Exact;
               }
@@ -399,6 +417,7 @@ type rtab = {
   rd : Q.t array; (* reduced costs of the current phase *)
   mutable rz : Q.t; (* objective value of the current phase *)
   enterable : bool array; (* false: artificials post-phase-1, fixed columns *)
+  mutable rcells : int; (* tableau cells actually updated by eliminations *)
 }
 
 let nb_value t j =
@@ -413,9 +432,13 @@ let nb_value t j =
 let eliminate t ~r ~q =
   let prow = t.ra.(r) in
   let piv = prow.(q) in
+  let cells = ref t.rcells in
   if not (Q.equal piv Q.one) then
     for j = 0 to t.rn - 1 do
-      if not (Q.is_zero prow.(j)) then prow.(j) <- Q.div prow.(j) piv
+      if not (Q.is_zero prow.(j)) then begin
+        incr cells;
+        prow.(j) <- Q.div prow.(j) piv
+      end
     done;
   for i = 0 to t.rm - 1 do
     if i <> r then begin
@@ -423,7 +446,10 @@ let eliminate t ~r ~q =
       if not (Q.is_zero f) then begin
         let row = t.ra.(i) in
         for j = 0 to t.rn - 1 do
-          if not (Q.is_zero prow.(j)) then row.(j) <- Q.sub row.(j) (Q.mul f prow.(j))
+          if not (Q.is_zero prow.(j)) then begin
+            incr cells;
+            row.(j) <- Q.sub row.(j) (Q.mul f prow.(j))
+          end
         done
       end
     end
@@ -431,8 +457,12 @@ let eliminate t ~r ~q =
   let f = t.rd.(q) in
   if not (Q.is_zero f) then
     for j = 0 to t.rn - 1 do
-      if not (Q.is_zero prow.(j)) then t.rd.(j) <- Q.sub t.rd.(j) (Q.mul f prow.(j))
-    done
+      if not (Q.is_zero prow.(j)) then begin
+        incr cells;
+        t.rd.(j) <- Q.sub t.rd.(j) (Q.mul f prow.(j))
+      end
+    done;
+  t.rcells <- !cells
 
 (* Entering column for the primal: nonbasic, enterable, and profitable in
    its feasible direction (at lower: d < 0; at upper: d > 0). Dantzig
@@ -609,7 +639,7 @@ let extract_revised ~m ~pivots t =
       var_values = x;
       sol_names = Array.sub m.names 0 m.nvars;
       sol_pivots = !pivots;
-      sol_cells = t.rm * (t.rn + 1);
+      sol_cells = t.rcells;
       sol_basis = Some basis;
       sol_certification = Exact;
     }
@@ -662,6 +692,7 @@ let solve_revised_cold ~rule ~budget ~obs ~pivots m =
       rd = Array.make n Q.zero;
       rz = Q.zero;
       enterable = Array.make n true;
+      rcells = 0;
     }
   in
   for v = 0 to nv - 1 do
@@ -759,12 +790,19 @@ let solve_revised_cold ~rule ~budget ~obs ~pivots m =
       done
     end
   end;
-  if !phase1_failed then Infeasible
+  if !phase1_failed then begin
+    Obs.add obs "lp.exact_cells" t.rcells;
+    Infeasible
+  end
   else begin
     install_phase2 t minimize_obj;
     match Obs.span obs "lp.phase2" (fun () -> run_bounded ~rule ~phase1:false ~budget ~obs ~pivots t) with
-    | R_unbounded -> Unbounded
-    | R_optimal -> extract_revised ~m ~pivots t
+    | R_unbounded ->
+        Obs.add obs "lp.exact_cells" t.rcells;
+        Unbounded
+    | R_optimal ->
+        Obs.add obs "lp.exact_cells" t.rcells;
+        extract_revised ~m ~pivots t
   end
 
 (* Cap on dual-repair pivots before giving up and falling back to a cold
@@ -887,6 +925,7 @@ let solve_revised_warm ~rule ~budget ~obs ~pivots m (w : Basis.t) =
       rd = Array.make n Q.zero;
       rz = Q.zero;
       enterable = Array.make n true;
+      rcells = 0;
     }
   in
   for v = 0 to nv - 1 do
@@ -934,9 +973,13 @@ let solve_revised_warm ~rule ~budget ~obs ~pivots m (w : Basis.t) =
       t.rbasis.(r) <- q;
       let prow = t.ra.(r) in
       let piv = prow.(q) in
+      let cells = ref t.rcells in
       if not (Q.equal piv Q.one) then begin
         for j = 0 to n - 1 do
-          if not (Q.is_zero prow.(j)) then prow.(j) <- Q.div prow.(j) piv
+          if not (Q.is_zero prow.(j)) then begin
+            incr cells;
+            prow.(j) <- Q.div prow.(j) piv
+          end
         done;
         rhs.(r) <- Q.div rhs.(r) piv
       end;
@@ -946,12 +989,16 @@ let solve_revised_warm ~rule ~budget ~obs ~pivots m (w : Basis.t) =
           if not (Q.is_zero f) then begin
             let row = t.ra.(i) in
             for j = 0 to n - 1 do
-              if not (Q.is_zero prow.(j)) then row.(j) <- Q.sub row.(j) (Q.mul f prow.(j))
+              if not (Q.is_zero prow.(j)) then begin
+                incr cells;
+                row.(j) <- Q.sub row.(j) (Q.mul f prow.(j))
+              end
             done;
             rhs.(i) <- Q.sub rhs.(i) (Q.mul f rhs.(r))
           end
         end
-      done
+      done;
+      t.rcells <- !cells
     end
   done;
   if !nbasic <> m.nrows then raise Warm_failed;
@@ -996,13 +1043,250 @@ let solve_revised_warm ~rule ~budget ~obs ~pivots m (w : Basis.t) =
       dual_repair ~budget ~obs ~pivots t
     end
   in
-  if not proceed then Infeasible
+  if not proceed then begin
+    Obs.add obs "lp.exact_cells" t.rcells;
+    Infeasible
+  end
   else begin
     Obs.incr obs "lp.warm_starts";
     match Obs.span obs "lp.phase2" (fun () -> run_bounded ~rule ~phase1:false ~budget ~obs ~pivots t) with
-    | R_unbounded -> Unbounded
-    | R_optimal -> extract_revised ~m ~pivots t
+    | R_unbounded ->
+        Obs.add obs "lp.exact_cells" t.rcells;
+        Unbounded
+    | R_optimal ->
+        Obs.add obs "lp.exact_cells" t.rcells;
+        extract_revised ~m ~pivots t
   end
+
+(* ====================================================================== *)
+(* Sparse basis algebra: the exact "sparse" engine and the float         *)
+(* engine's pivoting both run on the shared sparse LU + eta-file driver  *)
+(* (Sparse_simplex over the Slu kernels), instantiated at Rational and   *)
+(* at float. The constraint matrix is held once as sparse columns; each  *)
+(* (re)factorization is a sparse LU with a fill-minimizing static        *)
+(* ordering, and each pivot appends a product-form eta, refactorizing    *)
+(* when the eta file outgrows the factors.                               *)
+(* ====================================================================== *)
+
+module RS = Sparse_simplex.Make (Scalar.Rat)
+module FS = Sparse_simplex.Make (Scalar.Flt)
+
+type sparse_config = {
+  sparse_eta_cap : int;  (* refactorize after this many eta updates *)
+}
+
+let default_sparse_config = { sparse_eta_cap = 64 }
+
+type engine += Sparse | Sparse_with of sparse_config
+
+let vstat_of_status = function
+  | Basis.Lower -> Sparse_simplex.Vlo
+  | Basis.Upper -> Sparse_simplex.Vhi
+  | Basis.Basic -> Sparse_simplex.Vbas
+
+let status_of_vstat = function
+  | Sparse_simplex.Vlo -> Basis.Lower
+  | Sparse_simplex.Vhi -> Basis.Upper
+  | Sparse_simplex.Vbas -> Basis.Basic
+
+(* Build the sparse instance description shared by both scalar
+   instantiations: structural columns, then one slack per Le/Ge row in
+   row order, then (cold starts only) one artificial per
+   infeasible-start row. Artificial columns are [sign(residual) * e_i],
+   so the initial basic value is |residual| and no row needs the sign
+   flip the dense revised build performs. Returns the spec and the slack
+   column of each row (-1 for Eq rows). *)
+let sparse_spec ~with_art m =
+  let nv = m.nvars in
+  let slack_of_row = Array.make m.nrows (-1) in
+  let nslack = ref 0 in
+  for i = 0 to m.nrows - 1 do
+    match m.rows.(i).sense with
+    | Le | Ge ->
+        slack_of_row.(i) <- nv + !nslack;
+        incr nslack
+    | Eq -> ()
+  done;
+  let nslack = !nslack in
+  let init_val = Array.init nv (fun v -> m.lower.(v)) in
+  let residual = Array.init m.nrows (fun i -> row_residual init_val m.rows.(i)) in
+  let needs_art = Array.make m.nrows false in
+  let art_of_row = Array.make m.nrows (-1) in
+  let nart = ref 0 in
+  if with_art then
+    for i = 0 to m.nrows - 1 do
+      let need =
+        match m.rows.(i).sense with
+        | Le -> Q.compare residual.(i) Q.zero < 0
+        | Ge -> Q.compare residual.(i) Q.zero > 0
+        | Eq -> true
+      in
+      if need then begin
+        needs_art.(i) <- true;
+        art_of_row.(i) <- nv + nslack + !nart;
+        incr nart
+      end
+    done;
+  let n = nv + nslack + !nart in
+  let cols = Array.make n [] in
+  let lo = Array.make n Q.zero in
+  let hi = Array.make n None in
+  let obj = Array.make n Q.zero in
+  let fixed = Array.make n false in
+  let stat0 = Array.make n Sparse_simplex.Vlo in
+  let basis0 = Array.make m.nrows (-1) in
+  let xb0 = Array.make m.nrows Q.zero in
+  let rhs = Array.make m.nrows Q.zero in
+  for v = 0 to nv - 1 do
+    lo.(v) <- m.lower.(v);
+    hi.(v) <- m.upper.(v);
+    match m.upper.(v) with
+    | Some u when Q.equal u m.lower.(v) -> fixed.(v) <- true
+    | _ -> ()
+  done;
+  for i = 0 to m.nrows - 1 do
+    let r = m.rows.(i) in
+    rhs.(i) <- r.rhs;
+    List.iter (fun (c, v) -> cols.(v) <- (i, c) :: cols.(v)) r.terms;
+    (match r.sense with
+    | Le -> cols.(slack_of_row.(i)) <- [ (i, Q.one) ]
+    | Ge -> cols.(slack_of_row.(i)) <- [ (i, Q.minus_one) ]
+    | Eq -> ());
+    if needs_art.(i) then begin
+      let aj = art_of_row.(i) in
+      let sgn = if Q.compare residual.(i) Q.zero < 0 then Q.minus_one else Q.one in
+      cols.(aj) <- [ (i, sgn) ];
+      basis0.(i) <- aj;
+      stat0.(aj) <- Sparse_simplex.Vbas;
+      xb0.(i) <- Q.abs residual.(i)
+    end
+    else
+      match r.sense with
+      | Le ->
+          basis0.(i) <- slack_of_row.(i);
+          stat0.(slack_of_row.(i)) <- Sparse_simplex.Vbas;
+          xb0.(i) <- residual.(i)
+      | Ge ->
+          basis0.(i) <- slack_of_row.(i);
+          stat0.(slack_of_row.(i)) <- Sparse_simplex.Vbas;
+          xb0.(i) <- Q.neg residual.(i)
+      | Eq -> () (* only reachable without artificials: warm specs ignore basis0 *)
+  done;
+  List.iter (fun (c, v) -> obj.(v) <- Q.add obj.(v) c) (minimize_objective m);
+  ( {
+      Sparse_simplex.sp_nrows = m.nrows;
+      sp_ncols = n;
+      sp_cols = cols;
+      sp_lo = lo;
+      sp_hi = hi;
+      sp_obj = obj;
+      sp_fixed = fixed;
+      sp_art = nv + nslack;
+      sp_stat0 = stat0;
+      sp_basis0 = basis0;
+      sp_xb0 = xb0;
+      sp_rhs = rhs;
+    },
+    slack_of_row )
+
+let sparse_counters =
+  {
+    Sparse_simplex.c_pivots = "lp.pivots";
+    c_phase1 = true;
+    c_flips = true;
+    c_degen = true;
+    c_warm = true;
+  }
+
+let sparse_scfg ~cfg ~rule =
+  {
+    Sparse_simplex.dtol = Q.zero;
+    ptol = Q.zero;
+    ztol = Q.zero;
+    eta_cap = cfg.sparse_eta_cap;
+    step_cap = None;
+    bland_always = (rule = Pure_bland);
+    counters = sparse_counters;
+  }
+
+(* Map a sparse driver outcome back to the solver result; [x] comes from
+   the statuses (nonbasic at a bound) and the final basic values. *)
+let extract_sparse ~m ~slack_of_row ~pivots ~ops outcome =
+  match outcome with
+  | RS.Infeas -> Infeasible
+  | RS.Unbd -> Unbounded
+  | RS.Opt { o_z; o_stat; o_basis; o_xb } ->
+      let nv = m.nvars in
+      let x = Array.make nv Q.zero in
+      for v = 0 to nv - 1 do
+        if o_stat.(v) <> Sparse_simplex.Vbas then
+          x.(v) <-
+            (match o_stat.(v) with
+            | Sparse_simplex.Vhi -> (
+                match m.upper.(v) with Some u -> u | None -> m.lower.(v))
+            | _ -> m.lower.(v))
+      done;
+      for p = 0 to m.nrows - 1 do
+        if o_basis.(p) < nv then x.(o_basis.(p)) <- o_xb.(p)
+      done;
+      let basis =
+        {
+          Basis.b_nvars = nv;
+          b_nrows = m.nrows;
+          vstat = Array.init nv (fun v -> status_of_vstat o_stat.(v));
+          sstat =
+            Array.init m.nrows (fun i ->
+                if slack_of_row.(i) < 0 then Basis.Lower
+                else status_of_vstat o_stat.(slack_of_row.(i)));
+        }
+      in
+      Optimal
+        {
+          objective = finish_objective m o_z;
+          var_values = x;
+          sol_names = Array.sub m.names 0 nv;
+          sol_pivots = !pivots;
+          sol_cells = !ops;
+          sol_basis = Some basis;
+          sol_certification = Exact;
+        }
+
+let solve_sparse_cold ~cfg ~rule ~budget ~obs ~pivots m =
+  let spec, slack_of_row = sparse_spec ~with_art:true m in
+  let pb = RS.of_spec spec in
+  let ops = ref 0 in
+  let outcome = RS.solve_cold (sparse_scfg ~cfg ~rule) pb ~budget ~obs ~pivots ~ops in
+  Obs.add obs "lp.exact_cells" !ops;
+  extract_sparse ~m ~slack_of_row ~pivots ~ops outcome
+
+(* Per-column warm statuses from a basis snapshot, sanitized against the
+   current bounds exactly as the revised warm start does. *)
+let sparse_warm_stat m ~slack_of_row ~ncols (w : Basis.t) =
+  let stat = Array.make ncols Sparse_simplex.Vlo in
+  for v = 0 to m.nvars - 1 do
+    stat.(v) <-
+      (match w.Basis.vstat.(v) with
+      | Basis.Upper when m.upper.(v) = None -> Sparse_simplex.Vlo
+      | s -> vstat_of_status s)
+  done;
+  for i = 0 to m.nrows - 1 do
+    if slack_of_row.(i) >= 0 then
+      stat.(slack_of_row.(i)) <-
+        (match w.Basis.sstat.(i) with
+        | Basis.Upper -> Sparse_simplex.Vlo (* slacks have no upper bound *)
+        | s -> vstat_of_status s)
+  done;
+  stat
+
+let solve_sparse_warm ~cfg ~rule ~budget ~obs ~pivots m (w : Basis.t) =
+  if w.Basis.b_nvars <> m.nvars || w.Basis.b_nrows <> m.nrows then raise RS.Warm_failed;
+  let spec, slack_of_row = sparse_spec ~with_art:false m in
+  let pb = RS.of_spec spec in
+  let stat = sparse_warm_stat m ~slack_of_row ~ncols:spec.Sparse_simplex.sp_ncols w in
+  let ops = ref 0 in
+  let outcome = RS.solve_warm (sparse_scfg ~cfg ~rule) pb ~stat ~budget ~obs ~pivots ~ops in
+  Obs.add obs "lp.exact_cells" !ops;
+  extract_sparse ~m ~slack_of_row ~pivots ~ops outcome
 
 (* ====================================================================== *)
 (* Float engine: double-precision bounded-variable simplex that finds a  *)
@@ -1032,157 +1316,6 @@ let fpivot_tol = 1e-7
    exact fallback without attempting certification *)
 exception Float_gave_up
 
-type ftab = {
-  fm : int;
-  fn : int;
-  fa : float array array;
-  fxb : float array;
-  fbasis : int array;
-  fstat : Basis.status array;
-  flo : float array;
-  fhi : float array; (* [infinity] encodes "no upper bound" *)
-  fd : float array;
-  mutable fz : float;
-  fenter : bool array;
-}
-
-let fnb_value t j =
-  match t.fstat.(j) with
-  | Basis.Lower -> t.flo.(j)
-  | Basis.Upper -> t.fhi.(j)
-  | Basis.Basic -> assert false
-
-let f_eliminate t ~r ~q =
-  let prow = t.fa.(r) in
-  let piv = prow.(q) in
-  if piv <> 1.0 then
-    for j = 0 to t.fn - 1 do
-      if prow.(j) <> 0.0 then prow.(j) <- prow.(j) /. piv
-    done;
-  for i = 0 to t.fm - 1 do
-    if i <> r then begin
-      let f = t.fa.(i).(q) in
-      if f <> 0.0 then begin
-        let row = t.fa.(i) in
-        for j = 0 to t.fn - 1 do
-          if prow.(j) <> 0.0 then row.(j) <- row.(j) -. (f *. prow.(j))
-        done
-      end
-    end
-  done;
-  let f = t.fd.(q) in
-  if f <> 0.0 then
-    for j = 0 to t.fn - 1 do
-      if prow.(j) <> 0.0 then t.fd.(j) <- t.fd.(j) -. (f *. prow.(j))
-    done
-
-let f_entering t ~eps ~bland =
-  let best = ref None in
-  (try
-     for j = 0 to t.fn - 1 do
-       if t.fenter.(j) then begin
-         let d = t.fd.(j) in
-         let eligible =
-           match t.fstat.(j) with
-           | Basis.Lower -> d < -.eps
-           | Basis.Upper -> d > eps
-           | Basis.Basic -> false
-         in
-         if eligible then
-           if bland then begin
-             best := Some (j, Float.abs d);
-             raise Exit
-           end
-           else
-             let score = Float.abs d in
-             match !best with
-             | Some (_, s) when s >= score -> ()
-             | _ -> best := Some (j, score)
-       end
-     done
-   with Exit -> ());
-  Option.map fst !best
-
-type f_outcome = F_optimal | F_unbounded
-
-(* Float mirror of [run_bounded]. [steps] counts pivots and bound flips
-   toward the give-up cap; [fpivots] counts pivots for telemetry. *)
-let run_fbounded ~rule ~eps ~cap ~steps ~budget ~obs ~fpivots t =
-  let bland = ref (rule = Pure_bland) in
-  let stalled = ref 0 in
-  let outcome = ref None in
-  while !outcome = None do
-    match f_entering t ~eps ~bland:!bland with
-    | None -> outcome := Some F_optimal
-    | Some q ->
-        let sigma = match t.fstat.(q) with Basis.Lower -> 1.0 | _ -> -1.0 in
-        let span = if t.fhi.(q) = infinity then infinity else t.fhi.(q) -. t.flo.(q) in
-        let best = ref None in
-        for i = 0 to t.fm - 1 do
-          let coef = t.fa.(i).(q) in
-          if Float.abs coef > fpivot_tol then begin
-            let e = sigma *. coef in
-            let k = t.fbasis.(i) in
-            let limit =
-              if e > 0.0 then Some (Float.max 0.0 ((t.fxb.(i) -. t.flo.(k)) /. e), Basis.Lower)
-              else if t.fhi.(k) < infinity then
-                Some (Float.max 0.0 ((t.fhi.(k) -. t.fxb.(i)) /. -.e), Basis.Upper)
-              else None
-            in
-            match limit with
-            | None -> ()
-            | Some (ti, side) -> (
-                match !best with
-                | None -> best := Some (i, ti, side)
-                | Some (bi, bt, _) ->
-                    if ti < bt || (ti = bt && t.fbasis.(i) < t.fbasis.(bi)) then
-                      best := Some (i, ti, side))
-          end
-        done;
-        let flip =
-          match !best with
-          | None -> if span < infinity then Some span else None
-          | Some (_, bt, _) -> if span <= bt then Some span else None
-        in
-        incr steps;
-        if !steps > cap then raise Float_gave_up;
-        (match (flip, !best) with
-        | Some s, _ ->
-            Budget.tick budget;
-            for i = 0 to t.fm - 1 do
-              let coef = t.fa.(i).(q) in
-              if coef <> 0.0 then t.fxb.(i) <- t.fxb.(i) -. (sigma *. coef *. s)
-            done;
-            t.fz <- t.fz +. (t.fd.(q) *. sigma *. s);
-            t.fstat.(q) <- (match t.fstat.(q) with Basis.Lower -> Basis.Upper | _ -> Basis.Lower)
-        | None, None -> outcome := Some F_unbounded
-        | None, Some (r, tstep, side) ->
-            Budget.tick budget;
-            let k = t.fbasis.(r) in
-            let signed = sigma *. tstep in
-            let vq = fnb_value t q +. signed in
-            for i = 0 to t.fm - 1 do
-              if i <> r then begin
-                let coef = t.fa.(i).(q) in
-                if coef <> 0.0 then t.fxb.(i) <- t.fxb.(i) -. (coef *. signed)
-              end
-            done;
-            t.fz <- t.fz +. (t.fd.(q) *. signed);
-            t.fxb.(r) <- vq;
-            t.fstat.(k) <- side;
-            t.fstat.(q) <- Basis.Basic;
-            t.fbasis.(r) <- q;
-            f_eliminate t ~r ~q;
-            incr fpivots;
-            Obs.incr obs "lp.float_pivots";
-            if tstep <= eps then begin
-              incr stalled;
-              if !stalled > degenerate_pivot_threshold then bland := true
-            end
-            else stalled := 0)
-  done;
-  Option.get !outcome
-
 (* What the float phase claims about the model. Only [F_opt] carries
    enough structure (the final statuses) to be certified; the other two
    claims always take the exact fallback. *)
@@ -1191,192 +1324,82 @@ type float_claim =
   | F_infeas
   | F_unbd
 
-let solve_float ~cfg ~rule ~budget ~obs ~fpivots m =
-  let nv = m.nvars in
-  let nslack = ref 0 in
-  for i = 0 to m.nrows - 1 do
-    match m.rows.(i).sense with Le | Ge -> incr nslack | Eq -> ()
-  done;
-  let nslack = !nslack in
-  (* exact residuals decide the artificial-variable structure, so the
-     float tableau has the same shape the Revised cold start would *)
-  let init_val = Array.init nv (fun v -> m.lower.(v)) in
-  let residual = Array.init m.nrows (fun i -> row_residual init_val m.rows.(i)) in
-  let needs_art = Array.make m.nrows false in
-  let nart = ref 0 in
-  for i = 0 to m.nrows - 1 do
-    let need =
-      match m.rows.(i).sense with
-      | Le -> Q.compare residual.(i) Q.zero < 0
-      | Ge -> Q.compare residual.(i) Q.zero > 0
-      | Eq -> true
-    in
-    if need then begin
-      needs_art.(i) <- true;
-      incr nart
-    end
-  done;
-  let nart = !nart in
-  let n = nv + nslack + nart in
-  let t =
-    {
-      fm = m.nrows;
-      fn = n;
-      fa = Array.init m.nrows (fun _ -> Array.make n 0.0);
-      fxb = Array.make m.nrows 0.0;
-      fbasis = Array.make m.nrows 0;
-      fstat = Array.make n Basis.Lower;
-      flo = Array.make n 0.0;
-      fhi = Array.make n infinity;
-      fd = Array.make n 0.0;
-      fz = 0.0;
-      fenter = Array.make n true;
-    }
-  in
-  for v = 0 to nv - 1 do
-    t.flo.(v) <- Q.to_float m.lower.(v);
-    (match m.upper.(v) with
-    | Some u ->
-        t.fhi.(v) <- Q.to_float u;
-        if Q.equal u m.lower.(v) then t.fenter.(v) <- false (* fixed *)
-    | None -> ())
-  done;
-  let sidx = ref nv and aidx = ref (nv + nslack) in
-  for i = 0 to m.nrows - 1 do
-    let r = m.rows.(i) in
-    let flip =
-      match r.sense with
-      | Le -> needs_art.(i)
-      | Ge -> not needs_art.(i)
-      | Eq -> Q.compare residual.(i) Q.zero < 0
-    in
-    let put c v =
-      let c = Q.to_float c in
-      t.fa.(i).(v) <- (t.fa.(i).(v) +. if flip then -.c else c)
-    in
-    List.iter (fun (c, v) -> put c v) r.terms;
-    (match r.sense with
-    | Le ->
-        put Q.one !sidx;
-        if not needs_art.(i) then begin
-          t.fbasis.(i) <- !sidx;
-          t.fstat.(!sidx) <- Basis.Basic;
-          t.fxb.(i) <- Q.to_float residual.(i)
-        end;
-        incr sidx
-    | Ge ->
-        put Q.minus_one !sidx;
-        if not needs_art.(i) then begin
-          t.fbasis.(i) <- !sidx;
-          t.fstat.(!sidx) <- Basis.Basic;
-          t.fxb.(i) <- -.Q.to_float residual.(i)
-        end;
-        incr sidx
-    | Eq -> ());
-    if needs_art.(i) then begin
-      t.fa.(i).(!aidx) <- 1.0;
-      t.fbasis.(i) <- !aidx;
-      t.fstat.(!aidx) <- Basis.Basic;
-      t.fxb.(i) <- Float.abs (Q.to_float residual.(i));
-      incr aidx
-    end
-  done;
-  let eps = cfg.float_eps in
-  let cap =
-    match cfg.float_pivot_cap with Some c -> c | None -> (64 * (t.fm + t.fn)) + 1024
-  in
-  let steps = ref 0 in
-  let minimize_obj = minimize_objective m in
-  let art_start = nv + nslack in
-  let phase1_failed = ref false in
-  if nart > 0 then begin
-    for j = 0 to n - 1 do
-      if t.fstat.(j) <> Basis.Basic then begin
-        let s = ref 0.0 in
-        for i = 0 to m.nrows - 1 do
-          if t.fbasis.(i) >= art_start && t.fa.(i).(j) <> 0.0 then s := !s +. t.fa.(i).(j)
-        done;
-        t.fd.(j) <- -. !s
-      end
-    done;
-    let z1 = ref 0.0 in
-    for i = 0 to m.nrows - 1 do
-      if t.fbasis.(i) >= art_start then z1 := !z1 +. t.fxb.(i)
-    done;
-    t.fz <- !z1;
-    (match run_fbounded ~rule ~eps ~cap ~steps ~budget ~obs ~fpivots t with
-    | F_unbounded -> raise Float_gave_up (* numerically lost: phase 1 is bounded *)
-    | F_optimal -> if t.fz > fpivot_tol then phase1_failed := true);
-    if not !phase1_failed then begin
-      for j = art_start to n - 1 do
-        t.fenter.(j) <- false;
-        t.fhi.(j) <- 0.0
-      done;
-      for i = 0 to m.nrows - 1 do
-        if t.fbasis.(i) >= art_start then begin
-          let found = ref None in
-          for j = 0 to art_start - 1 do
-            if
-              !found = None
-              && t.fstat.(j) <> Basis.Basic
-              && Float.abs t.fa.(i).(j) > fpivot_tol
-            then found := Some j
-          done;
-          match !found with
-          | Some j ->
-              let k = t.fbasis.(i) in
-              t.fxb.(i) <- fnb_value t j;
-              t.fstat.(k) <- Basis.Lower;
-              t.fstat.(j) <- Basis.Basic;
-              t.fbasis.(i) <- j;
-              f_eliminate t ~r:i ~q:j
-          | None -> () (* redundant row: the basis snapshot will be short; certification fails *)
-        end
-      done
-    end
-  end;
-  if !phase1_failed then F_infeas
-  else begin
-    let c = Array.make n 0.0 in
-    List.iter (fun (coef, v) -> c.(v) <- c.(v) +. Q.to_float coef) minimize_obj;
-    for j = 0 to n - 1 do
-      let s = ref c.(j) in
-      for i = 0 to m.nrows - 1 do
-        let cb = c.(t.fbasis.(i)) in
-        if cb <> 0.0 then s := !s -. (cb *. t.fa.(i).(j))
-      done;
-      t.fd.(j) <- !s
-    done;
-    match run_fbounded ~rule ~eps ~cap ~steps ~budget ~obs ~fpivots t with
-    | F_unbounded -> F_unbd
-    | F_optimal ->
-        let nslack_of_row = Array.make m.nrows (-1) in
-        let si = ref nv in
-        for i = 0 to m.nrows - 1 do
-          match m.rows.(i).sense with
-          | Le | Ge ->
-              nslack_of_row.(i) <- !si;
-              incr si
-          | Eq -> ()
-        done;
-        let vstat = Array.sub t.fstat 0 nv in
+let float_counters =
+  {
+    Sparse_simplex.c_pivots = "lp.float_pivots";
+    c_phase1 = false;
+    c_flips = false;
+    c_degen = false;
+    c_warm = true;
+  }
+
+let float_scfg ~cfg ~rule ~m ~n =
+  {
+    Sparse_simplex.dtol = cfg.float_eps;
+    ptol = fpivot_tol;
+    ztol = fpivot_tol;
+    eta_cap = default_sparse_config.sparse_eta_cap;
+    step_cap =
+      Some (match cfg.float_pivot_cap with Some c -> c | None -> (64 * (m + n)) + 1024);
+    bland_always = (rule = Pure_bland);
+    counters = float_counters;
+  }
+
+(* Float phase on the sparse driver: runs at double precision over the
+   same column layout the exact engines use. [warm] restores a basis
+   snapshot (sparse refactorization, then dual repair or phase 2); any
+   warm-start trouble retries cold — only the final claim matters, since
+   certification decides what it is worth. *)
+let solve_float ~cfg ~rule ~warm ~budget ~obs ~fpivots ~fops m =
+  let claim_of_outcome slack_of_row = function
+    | FS.Infeas -> F_infeas
+    | FS.Unbd -> F_unbd
+    | FS.Opt { o_stat; _ } ->
+        let vstat = Array.init m.nvars (fun v -> status_of_vstat o_stat.(v)) in
         let sstat =
           Array.init m.nrows (fun i ->
-              if nslack_of_row.(i) < 0 then Basis.Lower else t.fstat.(nslack_of_row.(i)))
+              if slack_of_row.(i) < 0 then Basis.Lower
+              else status_of_vstat o_stat.(slack_of_row.(i)))
         in
         F_opt (vstat, sstat)
-  end
+  in
+  let cold () =
+    let spec, slack_of_row = sparse_spec ~with_art:true m in
+    let pb = FS.of_spec spec in
+    let scfg = float_scfg ~cfg ~rule ~m:m.nrows ~n:spec.Sparse_simplex.sp_ncols in
+    match FS.solve_cold scfg pb ~budget ~obs ~pivots:fpivots ~ops:fops with
+    | outcome -> claim_of_outcome slack_of_row outcome
+    | exception FS.Gave_up -> raise Float_gave_up
+  in
+  match warm with
+  | None -> cold ()
+  | Some (w : Basis.t) ->
+      if w.Basis.b_nvars <> m.nvars || w.Basis.b_nrows <> m.nrows then cold ()
+      else begin
+        let spec, slack_of_row = sparse_spec ~with_art:false m in
+        let pb = FS.of_spec spec in
+        let n = spec.Sparse_simplex.sp_ncols in
+        let stat = sparse_warm_stat m ~slack_of_row ~ncols:n w in
+        let scfg = float_scfg ~cfg ~rule ~m:m.nrows ~n in
+        match FS.solve_warm scfg pb ~stat ~budget ~obs ~pivots:fpivots ~ops:fops with
+        | FS.Opt _ as o -> claim_of_outcome slack_of_row o
+        (* infeasible/unbounded claims out of a warm start are not worth
+           certifying against: retry from scratch before deciding *)
+        | FS.Infeas | FS.Unbd -> cold ()
+        | exception FS.Warm_failed -> cold ()
+        | exception FS.Gave_up -> cold ()
+      end
 
 (* ------------------------------------------------- exact certification -- *)
 
 exception Certify_failed
 
-(* Certify the float engine's final statuses exactly: refactorize the
-   claimed basis B in rational arithmetic (two sparse-guarded dense
-   eliminations: B x_B = b - N x_N for the primal values, B^T y = c_B for
-   the duals), check every basic value against its bounds and every
-   nonbasic reduced cost against its status, and recompute the objective
-   from the certified vertex. Cost is counted in [ops] (rational
+(* Certify the float engine's final statuses exactly: one sparse
+   rational LU of the claimed basis B (shared by the primal solve
+   B x_B = b - N x_N, via FTRAN, and the dual solve B^T y = c_B, via
+   BTRAN), check every basic value against its bounds and every nonbasic
+   reduced cost against its status, and recompute the objective from the
+   certified vertex. Cost is counted in [ops] (rational
    multiplications/divisions actually performed — the e23 work metric);
    raises [Certify_failed] on any violation. *)
 let certify ~ops m ~vstat ~sstat =
@@ -1384,10 +1407,6 @@ let certify ~ops m ~vstat ~sstat =
   let mul a b =
     incr ops;
     Q.mul a b
-  in
-  let div a b =
-    incr ops;
-    Q.div a b
   in
   (* basic columns, structural first then row slacks, both in index order *)
   let cols =
@@ -1414,54 +1433,19 @@ let certify ~ops m ~vstat ~sstat =
   let slack_coeff i =
     match m.rows.(i).sense with Le -> Q.one | Ge -> Q.minus_one | Eq -> raise Certify_failed
   in
-  let build_b () =
-    let b = Array.init nr (fun _ -> Array.make nr Q.zero) in
-    for i = 0 to nr - 1 do
+  (* one sparse LU of the claimed basis, position k = basic column k *)
+  let fact =
+    let entries = Array.make nr [] in
+    for i = nr - 1 downto 0 do
       List.iter
-        (fun (c, v) -> if vcol.(v) >= 0 then b.(i).(vcol.(v)) <- Q.add b.(i).(vcol.(v)) c)
+        (fun (c, v) ->
+          if vcol.(v) >= 0 then entries.(vcol.(v)) <- (i, c) :: entries.(vcol.(v)))
         m.rows.(i).terms;
-      if scol.(i) >= 0 then b.(i).(scol.(i)) <- slack_coeff i
+      if scol.(i) >= 0 then entries.(scol.(i)) <- (i, slack_coeff i) :: entries.(scol.(i))
     done;
-    b
-  in
-  (* Gauss-Jordan solve of a n x n system, destructive on both arguments;
-     zero guards keep the op count proportional to the fill actually
-     touched (slack-heavy bases are near-triangular). *)
-  let gauss_solve a rhs =
-    let n = Array.length rhs in
-    let piv_of_col = Array.make n (-1) in
-    let used = Array.make n false in
-    for k = 0 to n - 1 do
-      let r = ref (-1) in
-      for i = 0 to n - 1 do
-        if !r < 0 && (not used.(i)) && not (Q.is_zero a.(i).(k)) then r := i
-      done;
-      if !r < 0 then raise Certify_failed (* singular basis *);
-      let r = !r in
-      used.(r) <- true;
-      piv_of_col.(k) <- r;
-      let prow = a.(r) in
-      let piv = prow.(k) in
-      if not (Q.equal piv Q.one) then begin
-        for j = 0 to n - 1 do
-          if not (Q.is_zero prow.(j)) then prow.(j) <- div prow.(j) piv
-        done;
-        if not (Q.is_zero rhs.(r)) then rhs.(r) <- div rhs.(r) piv
-      end;
-      for i = 0 to n - 1 do
-        if i <> r then begin
-          let f = a.(i).(k) in
-          if not (Q.is_zero f) then begin
-            let row = a.(i) in
-            for j = 0 to n - 1 do
-              if not (Q.is_zero prow.(j)) then row.(j) <- Q.sub row.(j) (mul f prow.(j))
-            done;
-            if not (Q.is_zero rhs.(r)) then rhs.(i) <- Q.sub rhs.(i) (mul f rhs.(r))
-          end
-        end
-      done
-    done;
-    Array.init n (fun k -> rhs.(piv_of_col.(k)))
+    let bcols = Array.map RS.F.col_of_list entries in
+    try RS.F.factor ~ops ~nrows:nr ~cols:bcols ~basis:(Array.init nr (fun k -> k))
+    with RS.F.Singular -> raise Certify_failed
   in
   (* primal: B x_B = b - N x_N *)
   let rhs =
@@ -1474,7 +1458,7 @@ let certify ~ops m ~vstat ~sstat =
               if Q.is_zero xv then acc else Q.sub acc (mul c xv))
           m.rows.(i).rhs m.rows.(i).terms)
   in
-  let xb = gauss_solve (build_b ()) rhs in
+  let xb = RS.F.ftran fact rhs in
   Array.iteri
     (fun k col ->
       let x = xb.(k) in
@@ -1490,14 +1474,10 @@ let certify ~ops m ~vstat ~sstat =
   let minimize_obj = minimize_objective m in
   let c = Array.make nv Q.zero in
   List.iter (fun (coef, v) -> c.(v) <- Q.add c.(v) coef) minimize_obj;
-  let bt =
-    let b = build_b () in
-    Array.init nr (fun i -> Array.init nr (fun j -> b.(j).(i)))
-  in
   let cb =
     Array.map (function `Var v -> c.(v) | `Slack _ -> Q.zero) cols
   in
-  let y = gauss_solve bt cb in
+  let y = RS.F.btran fact cb in
   let u = Array.make nv Q.zero in
   for i = 0 to nr - 1 do
     if not (Q.is_zero y.(i)) then
@@ -1542,7 +1522,7 @@ let certify ~ops m ~vstat ~sstat =
   in
   (finish_objective m z, x, basis)
 
-let solve_float_certified ~cfg ~rule ~budget ~obs m =
+let solve_float_certified ~cfg ~rule ~warm ~budget ~obs m =
   let fallback () =
     Obs.incr obs "lp.fallbacks";
     let pivots = ref 0 in
@@ -1551,7 +1531,8 @@ let solve_float_certified ~cfg ~rule ~budget ~obs m =
     | r -> r
   in
   let fpivots = ref 0 in
-  match solve_float ~cfg ~rule ~budget ~obs ~fpivots m with
+  let fops = ref 0 in
+  match solve_float ~cfg ~rule ~warm ~budget ~obs ~fpivots ~fops m with
   | exception Float_gave_up -> fallback ()
   | F_infeas | F_unbd -> fallback () (* claims we do not certify: re-solve exactly *)
   | F_opt (vstat, sstat) -> (
@@ -1559,6 +1540,7 @@ let solve_float_certified ~cfg ~rule ~budget ~obs m =
       match certify ~ops m ~vstat ~sstat with
       | objective, x, basis ->
           Obs.add obs "lp.certify_ops" !ops;
+          Obs.add obs "lp.exact_cells" !ops;
           Obs.incr obs "lp.certify_ok";
           Optimal
             {
@@ -1566,12 +1548,13 @@ let solve_float_certified ~cfg ~rule ~budget ~obs m =
               var_values = x;
               sol_names = Array.sub m.names 0 m.nvars;
               sol_pivots = !fpivots;
-              sol_cells = m.nrows * (m.nvars + 1);
+              sol_cells = !fops + !ops;
               sol_basis = Some basis;
               sol_certification = Certified;
             }
       | exception Certify_failed ->
           Obs.add obs "lp.certify_ops" !ops;
+          Obs.add obs "lp.exact_cells" !ops;
           Obs.incr obs "lp.certify_fail";
           fallback ())
 
@@ -1657,25 +1640,148 @@ module Float_engine : ENGINE = struct
   let selector = Float_certified
   let handles = function Float_certified | Float_with _ -> true | _ -> false
 
-  let solve ~engine ~rule ~warm:_ ~budget ~obs m =
+  let solve ~engine ~rule ~warm ~budget ~obs m =
     let cfg = match engine with Float_with c -> c | _ -> default_float_config in
-    solve_float_certified ~cfg ~rule ~budget ~obs m
+    solve_float_certified ~cfg ~rule ~warm ~budget ~obs m
+end
+
+module Sparse_engine : ENGINE = struct
+  let name = "sparse"
+  let description = "sparse LU revised simplex with eta updates, exact rational pivots"
+  let selector = Sparse
+  let handles = function Sparse | Sparse_with _ -> true | _ -> false
+
+  let solve ~engine ~rule ~warm ~budget ~obs m =
+    let cfg = match engine with Sparse_with c -> c | _ -> default_sparse_config in
+    let pivots = ref 0 in
+    match warm with
+    | None -> solve_sparse_cold ~cfg ~rule ~budget ~obs ~pivots m
+    | Some w -> (
+        try solve_sparse_warm ~cfg ~rule ~budget ~obs ~pivots m w
+        with RS.Warm_failed -> solve_sparse_cold ~cfg ~rule ~budget ~obs ~pivots m)
 end
 
 let () =
   register_engine (module Revised_engine);
   register_engine (module Dense_engine);
-  register_engine (module Float_engine)
+  register_engine (module Float_engine);
+  register_engine (module Sparse_engine)
 
 let default_engine = Revised
+
+(* ---------------------------------------------------------------------- *)
+(* Warm-basis cache: optimal [Basis.t] snapshots keyed on the model's     *)
+(* SHAPE (row/column counts, senses, nonzero pattern — not coefficients   *)
+(* or bounds), so structurally identical models re-solve warm across      *)
+(* independent [solve] calls. Correctness is free: a warm start           *)
+(* refactorizes the actual model and every engine falls back cold on any  *)
+(* reuse failure. Opt-in via [install_basis_cache]; consulted only when   *)
+(* the caller did not pass its own [?warm] snapshot.                      *)
+(* ---------------------------------------------------------------------- *)
+
+let shape_digest m =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (string_of_int m.nvars);
+  Buffer.add_char buf '|';
+  Buffer.add_string buf (string_of_int m.nrows);
+  for i = 0 to m.nrows - 1 do
+    let r = m.rows.(i) in
+    Buffer.add_char buf (match r.sense with Le -> 'l' | Ge -> 'g' | Eq -> 'e');
+    List.iter
+      (fun v ->
+        Buffer.add_char buf ',';
+        Buffer.add_string buf (string_of_int v))
+      (List.sort compare (List.map snd r.terms));
+    Buffer.add_char buf ';'
+  done;
+  Obs.digest (Buffer.contents buf)
+
+module Basis_cache = struct
+  type t = {
+    cap : int;
+    tbl : (string, Basis.t) Hashtbl.t;
+    order : string Queue.t; (* insertion order, for FIFO eviction *)
+    lock : Mutex.t;
+    mutable h : int;
+    mutable m : int;
+  }
+
+  let create ~capacity =
+    {
+      cap = max 0 capacity;
+      tbl = Hashtbl.create 64;
+      order = Queue.create ();
+      lock = Mutex.create ();
+      h = 0;
+      m = 0;
+    }
+
+  let capacity c = c.cap
+
+  let find c key =
+    Mutex.lock c.lock;
+    let r = Hashtbl.find_opt c.tbl key in
+    (match r with Some _ -> c.h <- c.h + 1 | None -> c.m <- c.m + 1);
+    Mutex.unlock c.lock;
+    r
+
+  let store c key b =
+    if c.cap > 0 then begin
+      Mutex.lock c.lock;
+      if Hashtbl.mem c.tbl key then Hashtbl.replace c.tbl key b
+      else begin
+        Hashtbl.replace c.tbl key b;
+        Queue.push key c.order;
+        if Hashtbl.length c.tbl > c.cap then begin
+          let victim = Queue.pop c.order in
+          Hashtbl.remove c.tbl victim
+        end
+      end;
+      Mutex.unlock c.lock
+    end
+
+  let size c =
+    Mutex.lock c.lock;
+    let v = Hashtbl.length c.tbl in
+    Mutex.unlock c.lock;
+    v
+
+  let hits c =
+    Mutex.lock c.lock;
+    let v = c.h in
+    Mutex.unlock c.lock;
+    v
+
+  let misses c =
+    Mutex.lock c.lock;
+    let v = c.m in
+    Mutex.unlock c.lock;
+    v
+end
+
+let basis_cache : Basis_cache.t option Atomic.t = Atomic.make None
+let install_basis_cache c = Atomic.set basis_cache c
+let installed_basis_cache () = Atomic.get basis_cache
 
 let solve ?(rule = Dantzig_with_fallback) ?engine ?warm ?budget ?(obs = Obs.null) m =
   let engine = Option.value engine ~default:default_engine in
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   Obs.incr obs "lp.solves";
+  let cache = Atomic.get basis_cache in
+  let key =
+    match (cache, warm) with Some _, None -> Some (shape_digest m) | _ -> None
+  in
+  let warm =
+    match (cache, key) with Some c, Some k -> Basis_cache.find c k | _ -> warm
+  in
   match resolve_engine engine with
   | None -> invalid_arg "Lp.solve: engine not registered (see Lp.engine_names)"
-  | Some (_, (module E : ENGINE)) -> E.solve ~engine ~rule ~warm ~budget ~obs m
+  | Some (_, (module E : ENGINE)) ->
+      let r = E.solve ~engine ~rule ~warm ~budget ~obs m in
+      (match (cache, key, r) with
+      | Some c, Some k, Optimal { sol_basis = Some b; _ } -> Basis_cache.store c k b
+      | _ -> ());
+      r
 
 let objective_value s = s.objective
 let value s v = s.var_values.(v)

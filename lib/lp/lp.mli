@@ -8,7 +8,7 @@
     floating point — so every registered engine must return exact
     rational objectives and vertices, whatever arithmetic it pivots in.
 
-    Three engines ship registered ({!engine_names}):
+    Four engines ship registered ({!engine_names}):
     - ["revised"] ({!Revised}, the default) — a bounded-variable primal
       simplex with exact rational pivots: variable upper bounds are
       handled implicitly by nonbasic-at-lower/nonbasic-at-upper statuses
@@ -18,12 +18,21 @@
     - ["dense"] ({!Dense}) — the original two-phase tableau simplex with
       every upper bound expanded into an explicit row, kept as the
       reference implementation.
-    - ["float"] ({!Float_certified}) — a double-precision simplex that
-      finds a candidate optimal basis fast, then proves it exactly with
-      one rational basis refactorization (primal feasibility, dual
-      feasibility, objective); on any certification failure it falls
-      back to the exact revised engine, so its results never depend on
-      floating point.
+    - ["sparse"] ({!Sparse}) — the same bounded-variable simplex as
+      ["revised"] but over sparse basis algebra: the constraint matrix
+      is stored as sparse columns, the basis is refactorized as a sparse
+      LU with a fill-minimizing ordering, each pivot appends a
+      product-form eta (refactorizing when the eta file outgrows the
+      factors), and pricing is one BTRAN plus sparse dot products per
+      iteration — O(nnz) work per pivot instead of the dense O(rows x
+      columns) elimination. Exact rational arithmetic throughout;
+      identical pivot sequence to ["revised"], so identical answers.
+    - ["float"] ({!Float_certified}) — the sparse driver running in
+      double precision to find a candidate optimal basis fast, then one
+      exact rational LU of that basis proves it (primal feasibility,
+      dual feasibility, objective); on any certification failure it
+      falls back to the exact revised engine, so its results never
+      depend on floating point.
 
     All engines return the same status and objective value on every
     model (see [prop_engines_agree] and the fuzz differential); the
@@ -119,6 +128,22 @@ val default_float_config : float_config
     {!default_float_config}; [Float_with] overrides it. *)
 type engine += Float_certified | Float_with of float_config
 
+(** Tuning knobs for the sparse engine. *)
+type sparse_config = {
+  sparse_eta_cap : int;
+      (** refactorize after this many product-form eta updates (the
+          factorization also refactorizes early when the eta file's
+          nonzeros outgrow the LU factors) *)
+}
+
+(** [{ sparse_eta_cap = 64 }] *)
+val default_sparse_config : sparse_config
+
+(** Selectors for the ["sparse"] engine: exact rational simplex over
+    sparse LU basis algebra with incremental eta updates. [Sparse] uses
+    {!default_sparse_config}; [Sparse_with] overrides it. *)
+type engine += Sparse | Sparse_with of sparse_config
+
 (** How the returned objective was established. [Exact]: every pivot ran
     in rational arithmetic. [Certified]: a float simplex chose the final
     basis and one exact refactorization proved it optimal — the reported
@@ -174,7 +199,8 @@ module type ENGINE = sig
 end
 
 (** Registers an engine. Raises [Invalid_argument] on a duplicate name.
-    ["revised"], ["dense"] and ["float"] are registered at load. *)
+    ["revised"], ["dense"], ["float"] and ["sparse"] are registered at
+    load. *)
 val register_engine : (module ENGINE) -> unit
 
 (** Registered engine names, sorted. *)
@@ -203,16 +229,22 @@ val default_engine : engine
     {!default_engine}); raises [Invalid_argument] when no registered
     engine handles the selector.
 
-    [warm] (revised engine only; ignored by the others) restores a basis
-    snapshot from a previous solution of this model: the tableau is
-    refactorized for that basis and the solve re-enters phase 2 directly
-    when the basis is still primal feasible, or repairs feasibility with
-    a bounded-variable dual simplex when only the bounds changed (which
-    leaves the reduced costs, hence dual feasibility, intact). When the
-    snapshot cannot be reused — dimensions changed, the basis went
-    singular, dual infeasible, or the repair exceeds its pivot cap — the
-    solve silently falls back to a cold start, so [?warm] never changes
-    results, only work.
+    [warm] (every engine except ["dense"], which ignores it) restores a
+    basis snapshot from a previous solution of this model: the basis is
+    refactorized and the solve re-enters phase 2 directly when it is
+    still primal feasible, or repairs feasibility with a
+    bounded-variable dual simplex when only the bounds changed (which
+    leaves the reduced costs, hence dual feasibility, intact). The
+    ["float"] engine restores the snapshot in double precision and
+    certifies whatever basis the warm re-solve ends on, exactly as for a
+    cold float solve. When the snapshot cannot be reused — dimensions
+    changed, the basis went singular, dual infeasible, or the repair
+    exceeds its pivot cap — the solve silently falls back to a cold
+    start, so [?warm] never changes results, only work.
+
+    When a {!Basis_cache} is installed and [?warm] is omitted, the cache
+    is consulted (and refreshed) automatically, keyed on the model's
+    shape digest.
 
     When [budget] is given, every simplex pivot and bound flip consumes
     one tick of it; on exhaustion the solve aborts by raising
@@ -222,13 +254,19 @@ val default_engine : engine
     exception (see [Active.Cascade]).
 
     With [obs], records [lp.solves], [lp.pivots], [lp.phase1_pivots],
-    [lp.degenerate_pivots], [lp.bound_flips] (revised only) and
-    [lp.warm_starts] (warm snapshot successfully reused) counters plus
-    [lp.phase1] / [lp.phase2] spans. The float engine additionally
-    records [lp.float_pivots] (double-precision pivots),
-    [lp.certify_ops] (rational multiplications/divisions spent in
-    certification — the engine-comparable work measure of experiment
-    E23), [lp.certify_ok], [lp.certify_fail] and [lp.fallbacks] (exact
+    [lp.degenerate_pivots], [lp.bound_flips] (revised/sparse only),
+    [lp.warm_starts] (warm snapshot successfully reused) and
+    [lp.exact_cells] (rational cell operations actually performed by the
+    exact engines and by certification — the engine-comparable work
+    measure) counters plus [lp.phase1] / [lp.phase2] spans. Engines on
+    the sparse basis algebra (sparse, float) additionally record
+    [lp.refactorizations] (sparse LU basis factorizations),
+    [lp.eta_updates] (product-form eta pivots applied in place of a
+    refactorization) and [lp.fill_nonzeros] (total LU nonzeros produced,
+    fill included). The float engine additionally records
+    [lp.float_pivots] (double-precision pivots), [lp.certify_ops]
+    (rational multiplications/divisions spent in certification),
+    [lp.certify_ok], [lp.certify_fail] and [lp.fallbacks] (exact
     re-solves, whether after a failed certification or a float give-up).
     Counters recorded so far survive a {!Budget.Out_of_fuel} abort. *)
 val solve :
@@ -254,11 +292,13 @@ val values : solution -> (string * Rational.t) list
     not pivots). *)
 val pivots : solution -> int
 
-(** Area (rows x columns) of the working tableau the engine pivoted on:
-    the [Dense] engine's tableau carries one extra row per upper-bounded
-    variable plus artificial columns, the [Revised] engine's exactly one
-    row per constraint. [pivots * tableau_cells] is the bench's
-    engine-comparable measure of simplex work (experiment E21). *)
+(** Scalar cell operations the solve actually performed: tableau cells
+    updated by eliminations for the dense and revised engines, LU /
+    triangular-solve / eta / pricing multiplications for the sparse
+    engine, and float cells plus exact certification operations for the
+    float engine. This is the bench's engine-comparable measure of
+    simplex work (experiments E21/E23/E24); before 1.8.0 it reported the
+    static tableau area instead. *)
 val tableau_cells : solution -> int
 
 (** Basis snapshot for {!solve}'s [?warm] — [None] when the solution was
@@ -270,6 +310,49 @@ val basis : solution -> Basis.t option
     its basis certified, [Fallback] when the exact re-solve produced the
     answer. All three carry exact rational results. *)
 val certification : solution -> certification
+
+(** {1 Warm-basis cache}
+
+    Optimal basis snapshots keyed on the model's {e shape} — variable
+    and row counts, row senses, and the sorted nonzero variable pattern
+    of each row, but not coefficients, bounds or objective — so
+    structurally identical models (the common case for per-node ILP
+    re-solves and repeated serve requests) re-solve warm across
+    independent {!solve} calls. Reuse is always safe: a warm start
+    refactorizes the actual model and falls back to a cold solve
+    whenever the snapshot does not fit. *)
+
+(** Stable shape digest of a model (64-bit FNV-1a, hex) — the cache
+    key. *)
+val shape_digest : model -> string
+
+module Basis_cache : sig
+  type t
+
+  (** [create ~capacity] holds at most [capacity] snapshots, evicting
+      the oldest inserted key first. [capacity <= 0] caches nothing (but
+      still counts lookups). Thread-safe. *)
+  val create : capacity:int -> t
+
+  val capacity : t -> int
+
+  (** Number of snapshots currently held. *)
+  val size : t -> int
+
+  (** Lookups that returned a snapshot / came back empty. *)
+  val hits : t -> int
+
+  val misses : t -> int
+end
+
+(** [install_basis_cache (Some c)] makes every subsequent {!solve} call
+    without an explicit [?warm] consult (and refresh) [c];
+    [install_basis_cache None] uninstalls. The cache is process-global
+    (atomic swap), matching the registry's global engine table. *)
+val install_basis_cache : Basis_cache.t option -> unit
+
+(** Currently installed cache, if any. *)
+val installed_basis_cache : unit -> Basis_cache.t option
 
 (** {1 Debugging} *)
 

@@ -1,0 +1,627 @@
+(* Bounded-variable primal/dual simplex over the sparse LU basis algebra
+   (Slu), generic in the scalar (Scalar.S). Instantiated twice by Lp: at
+   Rational with zero tolerances it is the exact "sparse" engine; at
+   float with epsilon tolerances it is the float engine's pivoting hot
+   path (whose proposed basis Lp certifies exactly afterwards).
+
+   Unlike the dense revised engine there is no maintained tableau, only
+   a maintained reduced-cost row: it is priced once per phase by one
+   BTRAN (y = B^-T c_B) plus one sparse dot product per column, then
+   updated after each pivot from the post-pivot tableau row
+   (rho = B^-T e_r, alpha_rj = rho . A_j, d_j -= d_q alpha_rj) — work
+   proportional to the row's sparse support, not O(m·n). The pivot
+   column is one FTRAN (w = B^-1 a_q). Basis changes are product-form
+   eta updates with periodic refactorization (Slu.should_refactor).
+
+   The pivot rules mirror the revised engine: Dantzig pricing switching
+   to Bland's rule after [degen_threshold] consecutive degenerate
+   pivots, ratio-test ties to the smallest basic column index, bound
+   flips preferred on equal step length. *)
+
+type vstat = Vlo | Vhi | Vbas
+
+(* Instance description at the Q level, shared by both scalar
+   instantiations (each converts via Scalar.S.of_q). Column layout:
+   structurals, then one slack per Le/Ge row in row order, then one
+   artificial per infeasible-start row in row order. *)
+type spec = {
+  sp_nrows : int;
+  sp_ncols : int;
+  sp_cols : (int * Rational.t) list array;
+  sp_lo : Rational.t array;
+  sp_hi : Rational.t option array;
+  sp_obj : Rational.t array; (* minimization costs; zero beyond structurals *)
+  sp_fixed : bool array; (* lower = upper: never enters *)
+  sp_art : int; (* first artificial column; sp_ncols when none *)
+  sp_stat0 : vstat array;
+  sp_basis0 : int array; (* initial basic column per row *)
+  sp_xb0 : Rational.t array; (* initial basic values per row *)
+  sp_rhs : Rational.t array; (* raw row rhs, for warm restores *)
+}
+
+(* Which obs counters an instantiation reports. The exact engine uses
+   the lp.pivots family; the float engine counts lp.float_pivots only
+   (its pivots are disposable — certification decides what they are
+   worth). *)
+type counters = {
+  c_pivots : string;
+  c_phase1 : bool;
+  c_flips : bool;
+  c_degen : bool;
+  c_warm : bool;
+}
+
+type 'a config = {
+  dtol : 'a; (* reduced-cost / degeneracy tolerance (exact: 0) *)
+  ptol : 'a; (* minimum acceptable |pivot| in ratio tests (exact: 0) *)
+  ztol : 'a; (* phase-1 objective above this => infeasible (exact: 0) *)
+  eta_cap : int; (* refactorize after this many eta updates *)
+  step_cap : int option; (* pivots+flips before giving up (float cap) *)
+  bland_always : bool;
+  counters : counters;
+}
+
+(* matches Lp.degenerate_pivot_threshold *)
+let degen_threshold = 64
+
+module Make (S : Scalar.S) = struct
+  module F = Slu.Make (S)
+
+  type problem = {
+    pm : int;
+    pn : int;
+    pcols : F.col array;
+    plo : S.t array;
+    phi : S.t option array;
+    pobj : S.t array;
+    pfixed : bool array;
+    part : int;
+    pstat0 : vstat array;
+    pbasis0 : int array;
+    pxb0 : S.t array;
+    prhs : S.t array;
+  }
+
+  let of_spec (sp : spec) : problem =
+    {
+      pm = sp.sp_nrows;
+      pn = sp.sp_ncols;
+      pcols =
+        Array.map
+          (fun l -> F.col_of_list (List.map (fun (r, q) -> (r, S.of_q q)) l))
+          sp.sp_cols;
+      plo = Array.map S.of_q sp.sp_lo;
+      phi = Array.map (Option.map S.of_q) sp.sp_hi;
+      pobj = Array.map S.of_q sp.sp_obj;
+      pfixed = Array.copy sp.sp_fixed;
+      part = sp.sp_art;
+      pstat0 = Array.copy sp.sp_stat0;
+      pbasis0 = Array.copy sp.sp_basis0;
+      pxb0 = Array.map S.of_q sp.sp_xb0;
+      prhs = Array.map S.of_q sp.sp_rhs;
+    }
+
+  type outcome =
+    | Opt of { o_z : S.t; o_stat : vstat array; o_basis : int array; o_xb : S.t array }
+    | Infeas
+    | Unbd
+
+  exception Gave_up
+  exception Warm_failed
+
+  type state = {
+    pb : problem;
+    cfg : S.t config;
+    budget : Budget.t;
+    obs : Obs.t;
+    pivots : int ref;
+    ops : int ref;
+    stat : vstat array;
+    basis : int array;
+    xb : S.t array;
+    hi : S.t option array; (* copy: artificials get pinned to [0,0] *)
+    enterable : bool array;
+    cost : S.t array; (* current phase costs *)
+    d : S.t array; (* maintained reduced costs (zero on basics) *)
+    mutable fact : F.fact;
+    mutable z : S.t;
+    mutable steps : int;
+  }
+
+  let factor_basis ~ops ~obs pb basis =
+    let fact = F.factor ~ops ~nrows:pb.pm ~cols:pb.pcols ~basis in
+    Obs.incr obs "lp.refactorizations";
+    Obs.add obs "lp.fill_nonzeros" (F.lu_nnz fact);
+    fact
+
+  let refactor st = st.fact <- factor_basis ~ops:st.ops ~obs:st.obs st.pb st.basis
+
+  let nb_value st j =
+    match st.stat.(j) with
+    | Vhi -> ( match st.hi.(j) with Some u -> u | None -> st.pb.plo.(j))
+    | _ -> st.pb.plo.(j)
+
+  (* y . A_j over the sparse column *)
+  let dot_col st (y : S.t array) j =
+    let c = st.pb.pcols.(j) in
+    let acc = ref S.zero in
+    for idx = 0 to Array.length c.F.rows - 1 do
+      let yi = y.(c.F.rows.(idx)) in
+      if not (S.is_zero yi) then begin
+        incr st.ops;
+        acc := S.add !acc (S.mul yi c.F.vals.(idx))
+      end
+    done;
+    !acc
+
+  (* w = B^-1 a_j *)
+  let ftran_col st j =
+    let b = Array.make st.pb.pm S.zero in
+    let c = st.pb.pcols.(j) in
+    for idx = 0 to Array.length c.F.rows - 1 do
+      b.(c.F.rows.(idx)) <- c.F.vals.(idx)
+    done;
+    F.ftran st.fact b
+
+  (* y = B^-T c_B *)
+  let dual st =
+    let cb = Array.init st.pb.pm (fun p -> st.cost.(st.basis.(p))) in
+    F.btran st.fact cb
+
+  (* rho = B^-T e_r: row r of B^-1 *)
+  let btran_unit st r =
+    let e = Array.make st.pb.pm S.zero in
+    e.(r) <- S.one;
+    F.btran st.fact e
+
+  (* price every column once per phase: d_j = c_j - y . A_j; kept
+     current across pivots by the post-pivot row update in run_primal *)
+  let compute_reduced st =
+    let y = dual st in
+    for j = 0 to st.pb.pn - 1 do
+      st.d.(j) <-
+        (if st.stat.(j) = Vbas then S.zero else S.sub st.cost.(j) (dot_col st y j))
+    done
+
+  (* entering column: nonbasic, enterable, profitable in its feasible
+     direction; Dantzig largest |d| (first on ties) or Bland first *)
+  let price st ~bland =
+    let neg_dtol = S.neg st.cfg.dtol in
+    let best = ref None in
+    (try
+       for j = 0 to st.pb.pn - 1 do
+         if st.enterable.(j) && st.stat.(j) <> Vbas then begin
+           let d = st.d.(j) in
+           let eligible =
+             match st.stat.(j) with
+             | Vlo -> S.compare d neg_dtol < 0
+             | Vhi -> S.compare d st.cfg.dtol > 0
+             | Vbas -> false
+           in
+           if eligible then
+             if bland then begin
+               best := Some (j, d, S.abs d);
+               raise Exit
+             end
+             else
+               let score = S.abs d in
+               match !best with
+               | Some (_, _, s) when S.compare s score >= 0 -> ()
+               | _ -> best := Some (j, d, score)
+         end
+       done
+     with Exit -> ());
+    Option.map (fun (j, d, _) -> (j, d)) !best
+
+  (* append the eta for the basis change at [pos]; refactorize when the
+     eta pivot is unusable or the eta file has grown past the policy *)
+  let post_pivot st ~pos ~w =
+    if F.update st.fact ~pos ~w then begin
+      Obs.incr st.obs "lp.eta_updates";
+      if F.should_refactor st.fact ~eta_cap:st.cfg.eta_cap then refactor st
+    end
+    else refactor st
+
+  let step_tick st =
+    st.steps <- st.steps + 1;
+    (match st.cfg.step_cap with
+    | Some cap when st.steps > cap -> raise Gave_up
+    | _ -> ());
+    Budget.tick st.budget
+
+  type r_outcome = O_opt | O_unbd
+
+  let run_primal st ~phase1 =
+    let bland = ref st.cfg.bland_always in
+    let stalled = ref 0 in
+    let outcome = ref None in
+    while !outcome = None do
+      match price st ~bland:!bland with
+      | None -> outcome := Some O_opt
+      | Some (q, d) ->
+          let sigma = match st.stat.(q) with Vlo -> 1 | _ -> -1 in
+          let span = Option.map (fun u -> S.sub u st.pb.plo.(q)) st.hi.(q) in
+          let w = ftran_col st q in
+          let best = ref None in
+          for p = 0 to st.pb.pm - 1 do
+            let coef = w.(p) in
+            if S.compare (S.abs coef) st.cfg.ptol > 0 then begin
+              let e = if sigma > 0 then coef else S.neg coef in
+              let k = st.basis.(p) in
+              let limit =
+                if S.compare e S.zero > 0 then
+                  Some (S.div (S.sub st.xb.(p) st.pb.plo.(k)) e, false)
+                else
+                  match st.hi.(k) with
+                  | Some u -> Some (S.div (S.sub u st.xb.(p)) (S.neg e), true)
+                  | None -> None
+              in
+              match limit with
+              | None -> ()
+              | Some (ti, to_upper) -> (
+                  match !best with
+                  | None -> best := Some (p, ti, to_upper)
+                  | Some (bp, bt, _) ->
+                      let c = S.compare ti bt in
+                      if c < 0 || (c = 0 && st.basis.(p) < st.basis.(bp)) then
+                        best := Some (p, ti, to_upper))
+            end
+          done;
+          let flip =
+            match (span, !best) with
+            | None, None -> None (* unbounded *)
+            | Some s, None -> Some s
+            | Some s, Some (_, bt, _) -> if S.compare s bt <= 0 then Some s else None
+            | None, Some _ -> None
+          in
+          (match (flip, !best) with
+          | Some s, _ ->
+              step_tick st;
+              if st.cfg.counters.c_flips then Obs.incr st.obs "lp.bound_flips";
+              let signed = if sigma > 0 then s else S.neg s in
+              for p = 0 to st.pb.pm - 1 do
+                if not (S.is_zero w.(p)) then begin
+                  incr st.ops;
+                  st.xb.(p) <- S.submul st.xb.(p) w.(p) signed
+                end
+              done;
+              st.z <- S.add st.z (S.mul d signed);
+              st.stat.(q) <- (match st.stat.(q) with Vlo -> Vhi | _ -> Vlo)
+          | None, None -> outcome := Some O_unbd
+          | None, Some (r, tstep, to_upper) ->
+              step_tick st;
+              let k = st.basis.(r) in
+              let signed = if sigma > 0 then tstep else S.neg tstep in
+              let vq = S.add (nb_value st q) signed in
+              for p = 0 to st.pb.pm - 1 do
+                if p <> r && not (S.is_zero w.(p)) then begin
+                  incr st.ops;
+                  st.xb.(p) <- S.submul st.xb.(p) w.(p) signed
+                end
+              done;
+              st.z <- S.add st.z (S.mul d signed);
+              st.xb.(r) <- vq;
+              st.stat.(k) <- (if to_upper then Vhi else Vlo);
+              st.stat.(q) <- Vbas;
+              st.basis.(r) <- q;
+              post_pivot st ~pos:r ~w;
+              (* maintain the reduced-cost row from the post-pivot
+                 tableau row r: alpha_rj = rho . A_j, d_j -= d_q alpha_rj
+                 (covers the leaving column: its old d was zero) *)
+              let rho = btran_unit st r in
+              for j = 0 to st.pb.pn - 1 do
+                if st.stat.(j) <> Vbas then begin
+                  let a = dot_col st rho j in
+                  if not (S.is_zero a) then begin
+                    incr st.ops;
+                    st.d.(j) <- S.submul st.d.(j) d a
+                  end
+                end
+              done;
+              st.d.(q) <- S.zero;
+              incr st.pivots;
+              Obs.incr st.obs st.cfg.counters.c_pivots;
+              if phase1 && st.cfg.counters.c_phase1 then
+                Obs.incr st.obs "lp.phase1_pivots";
+              if S.compare tstep st.cfg.dtol <= 0 then begin
+                incr stalled;
+                if st.cfg.counters.c_degen then Obs.incr st.obs "lp.degenerate_pivots";
+                if !stalled > degen_threshold then bland := true
+              end
+              else stalled := 0)
+    done;
+    Option.get !outcome
+
+  (* objective value at the current point for the current costs *)
+  let recompute_z st =
+    let z = ref S.zero in
+    for p = 0 to st.pb.pm - 1 do
+      let c = st.cost.(st.basis.(p)) in
+      if not (S.is_zero c) then z := S.add !z (S.mul c st.xb.(p))
+    done;
+    for j = 0 to st.pb.pn - 1 do
+      if st.stat.(j) <> Vbas && not (S.is_zero st.cost.(j)) then
+        z := S.add !z (S.mul st.cost.(j) (nb_value st j))
+    done;
+    st.z <- !z
+
+  let extract st =
+    Opt { o_z = st.z; o_stat = st.stat; o_basis = st.basis; o_xb = st.xb }
+
+  (* Dual simplex repairing primal feasibility from a dual-feasible
+     basis after a bound change. Mirrors Lp.dual_repair; raises
+     Warm_failed at the pivot cap, returns false when the LP is primal
+     infeasible. *)
+  let dual_repair st =
+    let cfg = st.cfg and pb = st.pb in
+    let m = pb.pm and n = pb.pn in
+    let cap = (4 * (m + n)) + degen_threshold in
+    let steps = ref 0 in
+    let feasible = ref true in
+    let continue_ = ref true in
+    while !continue_ && !feasible do
+      (* leaving row: most violated basic value, ties to smallest index *)
+      let worst = ref None in
+      for p = 0 to m - 1 do
+        let k = st.basis.(p) in
+        let viol =
+          let below = S.sub pb.plo.(k) st.xb.(p) in
+          if S.compare below cfg.dtol > 0 then Some (below, true)
+          else
+            match st.hi.(k) with
+            | Some u when S.compare (S.sub st.xb.(p) u) cfg.dtol > 0 ->
+                Some (S.sub st.xb.(p) u, false)
+            | _ -> None
+        in
+        match viol with
+        | None -> ()
+        | Some (v, below) -> (
+            match !worst with
+            | Some (bp, _, bv)
+              when S.compare bv v > 0 || (S.compare bv v = 0 && st.basis.(bp) <= k) ->
+                ()
+            | _ -> worst := Some (p, below, v))
+      done;
+      match !worst with
+      | None -> continue_ := false (* primal feasible again *)
+      | Some (r, below, _) -> (
+          if !steps >= cap then raise Warm_failed;
+          let rho = btran_unit st r in
+          let y = dual st in
+          let best = ref None in
+          for j = 0 to n - 1 do
+            if st.enterable.(j) && st.stat.(j) <> Vbas then begin
+              let arj = dot_col st rho j in
+              if S.compare (S.abs arj) cfg.ptol > 0 then begin
+                let eligible =
+                  match (st.stat.(j), below) with
+                  | Vlo, true -> S.compare arj S.zero < 0
+                  | Vhi, true -> S.compare arj S.zero > 0
+                  | Vlo, false -> S.compare arj S.zero > 0
+                  | Vhi, false -> S.compare arj S.zero < 0
+                  | Vbas, _ -> false
+                in
+                if eligible then begin
+                  let d = S.sub st.cost.(j) (dot_col st y j) in
+                  let ratio = S.div (S.abs d) (S.abs arj) in
+                  match !best with
+                  | Some (_, _, br) when S.compare br ratio <= 0 -> ()
+                  | _ -> best := Some (j, d, ratio)
+                end
+              end
+            end
+          done;
+          match !best with
+          | None -> feasible := false (* dual unbounded: primal infeasible *)
+          | Some (q, dq, _) ->
+              Budget.tick st.budget;
+              incr steps;
+              let k = st.basis.(r) in
+              let beta = if below then pb.plo.(k) else Option.get st.hi.(k) in
+              let w = ftran_col st q in
+              let delta = S.div (S.sub st.xb.(r) beta) w.(r) in
+              let vq = S.add (nb_value st q) delta in
+              for p = 0 to m - 1 do
+                if p <> r && not (S.is_zero w.(p)) then begin
+                  incr st.ops;
+                  st.xb.(p) <- S.submul st.xb.(p) w.(p) delta
+                end
+              done;
+              st.z <- S.add st.z (S.mul dq delta);
+              st.xb.(r) <- vq;
+              st.stat.(k) <- (if below then Vlo else Vhi);
+              st.stat.(q) <- Vbas;
+              st.basis.(r) <- q;
+              post_pivot st ~pos:r ~w;
+              incr st.pivots;
+              Obs.incr st.obs st.cfg.counters.c_pivots)
+    done;
+    !feasible
+
+  let solve_cold (cfg : S.t config) (pb : problem) ~budget ~obs ~pivots ~ops =
+    let m = pb.pm and n = pb.pn in
+    let basis = Array.copy pb.pbasis0 in
+    let fact = factor_basis ~ops ~obs pb basis in
+    let st =
+      {
+        pb;
+        cfg;
+        budget;
+        obs;
+        pivots;
+        ops;
+        stat = Array.copy pb.pstat0;
+        basis;
+        xb = Array.copy pb.pxb0;
+        hi = Array.copy pb.phi;
+        enterable = Array.init n (fun j -> not pb.pfixed.(j));
+        cost = Array.make n S.zero;
+        d = Array.make n S.zero;
+        fact;
+        z = S.zero;
+        steps = 0;
+      }
+    in
+    let infeasible = ref false in
+    if pb.part < n then begin
+      (* phase 1: minimize the sum of the artificials *)
+      for j = pb.part to n - 1 do
+        st.cost.(j) <- S.one
+      done;
+      compute_reduced st;
+      let z1 = ref S.zero in
+      for p = 0 to m - 1 do
+        if st.basis.(p) >= pb.part then z1 := S.add !z1 st.xb.(p)
+      done;
+      st.z <- !z1;
+      (match Obs.span obs "lp.phase1" (fun () -> run_primal st ~phase1:true) with
+      | O_unbd -> raise Gave_up (* impossible exactly; float noise only *)
+      | O_opt -> if S.compare st.z cfg.ztol > 0 then infeasible := true);
+      if not !infeasible then begin
+        (* pin artificials to zero and forbid them from re-entering *)
+        for j = pb.part to n - 1 do
+          st.enterable.(j) <- false;
+          st.hi.(j) <- Some S.zero
+        done;
+        (* drive remaining (zero-valued) basic artificials out *)
+        for p = 0 to m - 1 do
+          if st.basis.(p) >= pb.part then begin
+            let rho = btran_unit st p in
+            let found = ref (-1) in
+            (try
+               for j = 0 to pb.part - 1 do
+                 if st.stat.(j) <> Vbas then begin
+                   let a = dot_col st rho j in
+                   if S.compare (S.abs a) cfg.ptol > 0 then begin
+                     found := j;
+                     raise Exit
+                   end
+                 end
+               done
+             with Exit -> ());
+            if !found >= 0 then begin
+              (* zero-length pivot: the artificial leaves at 0 *)
+              let j = !found in
+              let w = ftran_col st j in
+              let art = st.basis.(p) in
+              st.xb.(p) <- nb_value st j;
+              st.stat.(art) <- Vlo;
+              st.stat.(j) <- Vbas;
+              st.basis.(p) <- j;
+              post_pivot st ~pos:p ~w
+            end
+            (* else: redundant row, artificial stays basic pinned at 0 *)
+          end
+        done
+      end
+    end;
+    if !infeasible then Infeas
+    else begin
+      Array.blit pb.pobj 0 st.cost 0 n;
+      compute_reduced st;
+      recompute_z st;
+      match Obs.span obs "lp.phase2" (fun () -> run_primal st ~phase1:false) with
+      | O_unbd -> Unbd
+      | O_opt -> extract st
+    end
+
+  (* Warm start from per-column statuses against an artificial-free
+     problem (part = pn): sparse refactorization of the snapshot basis,
+     straight to phase 2 when still primal feasible, dual repair when
+     only primal feasibility was lost. Raises Warm_failed whenever the
+     snapshot cannot be reused. *)
+  let solve_warm (cfg : S.t config) (pb : problem) ~(stat : vstat array) ~budget
+      ~obs ~pivots ~ops =
+    let m = pb.pm and n = pb.pn in
+    if Array.length stat <> n then raise Warm_failed;
+    let nb = ref 0 in
+    Array.iter (fun s -> if s = Vbas then incr nb) stat;
+    if !nb <> m then raise Warm_failed;
+    let basis = Array.make m 0 in
+    let bi = ref 0 in
+    for j = 0 to n - 1 do
+      if stat.(j) = Vbas then begin
+        basis.(!bi) <- j;
+        incr bi
+      end
+    done;
+    let fact =
+      try factor_basis ~ops ~obs pb basis with F.Singular -> raise Warm_failed
+    in
+    let st =
+      {
+        pb;
+        cfg;
+        budget;
+        obs;
+        pivots;
+        ops;
+        stat = Array.copy stat;
+        basis;
+        xb = Array.make m S.zero;
+        hi = Array.copy pb.phi;
+        enterable = Array.init n (fun j -> not pb.pfixed.(j));
+        cost = Array.copy pb.pobj;
+        d = Array.make n S.zero;
+        fact;
+        z = S.zero;
+        steps = 0;
+      }
+    in
+    (* x_B = B^-1 (b - sum over nonbasic of A_j x_j) *)
+    let rhs = Array.copy pb.prhs in
+    for j = 0 to n - 1 do
+      if st.stat.(j) <> Vbas then begin
+        let v = nb_value st j in
+        if not (S.is_zero v) then begin
+          let c = pb.pcols.(j) in
+          for idx = 0 to Array.length c.F.rows - 1 do
+            incr ops;
+            rhs.(c.F.rows.(idx)) <- S.submul rhs.(c.F.rows.(idx)) c.F.vals.(idx) v
+          done
+        end
+      end
+    done;
+    let xb = F.ftran st.fact rhs in
+    Array.blit xb 0 st.xb 0 m;
+    recompute_z st;
+    let primal_feasible =
+      let ok = ref true in
+      for p = 0 to m - 1 do
+        let k = st.basis.(p) in
+        if S.compare (S.sub pb.plo.(k) st.xb.(p)) cfg.dtol > 0 then ok := false
+        else
+          match st.hi.(k) with
+          | Some u when S.compare (S.sub st.xb.(p) u) cfg.dtol > 0 -> ok := false
+          | _ -> ()
+      done;
+      !ok
+    in
+    let proceed =
+      if primal_feasible then true
+      else begin
+        (* dual feasible? (the usual case: only bounds changed) *)
+        let y = dual st in
+        let dual_ok = ref true in
+        for j = 0 to n - 1 do
+          if st.enterable.(j) && st.stat.(j) <> Vbas then begin
+            let d = S.sub st.cost.(j) (dot_col st y j) in
+            match st.stat.(j) with
+            | Vlo -> if S.compare d (S.neg cfg.dtol) < 0 then dual_ok := false
+            | Vhi -> if S.compare d cfg.dtol > 0 then dual_ok := false
+            | Vbas -> ()
+          end
+        done;
+        if not !dual_ok then raise Warm_failed;
+        dual_repair st
+      end
+    in
+    if not proceed then Infeas
+    else begin
+      if cfg.counters.c_warm then Obs.incr obs "lp.warm_starts";
+      compute_reduced st;
+      match Obs.span obs "lp.phase2" (fun () -> run_primal st ~phase1:false) with
+      | O_unbd -> Unbd
+      | O_opt -> extract st
+    end
+end

@@ -162,6 +162,29 @@ let inv = function
 
 let div a b = mul a (inv b)
 
+(* a - b*c fused: cross-reduce the product as [mul] does, then combine
+   with [a] through one checked small-int pass; any overflow falls back
+   to the exact two-step form. One canonicalization instead of two on
+   the fast path — this is the sparse LU elimination kernel. *)
+let submul a b c =
+  match (a, b, c) with
+  | Small (an, ad), Small (bn, bd), Small (cn, cd) -> (
+      let g1 = gcd_int (Stdlib.abs bn) cd and g2 = gcd_int (Stdlib.abs cn) bd in
+      let bn = bn / g1 and cd = cd / g1 in
+      let cn = cn / g2 and bd = bd / g2 in
+      match (Bigint.checked_mul bn cn, Bigint.checked_mul bd cd) with
+      | Some pn, Some pd -> (
+          match
+            (Bigint.checked_mul an pd, Bigint.checked_mul pn ad, Bigint.checked_mul ad pd)
+          with
+          | Some x, Some y, Some d -> (
+              match Bigint.checked_sub x y with
+              | Some n -> small n d
+              | None -> sub a (mul b c))
+          | _ -> sub a (mul b c))
+      | _ -> sub a (mul b c))
+  | _ -> sub a (mul b c)
+
 let floor = function
   | Small (n, d) ->
       if d = 1 then Small (n, 1)

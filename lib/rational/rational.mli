@@ -73,6 +73,11 @@ val add : t -> t -> t
 val sub : t -> t -> t
 val mul : t -> t -> t
 
+(** [submul a b c] is [a - b * c] in a single normalization — the fused
+    elimination kernel of the sparse LU factorization, where it saves one
+    intermediate gcd pass per updated cell on the small-int fast path. *)
+val submul : t -> t -> t -> t
+
 (** Raises [Division_by_zero] when the divisor is zero. *)
 val div : t -> t -> t
 

@@ -25,6 +25,7 @@ type config = {
   queue_capacity : int;
   default_budget : int option;
   cache_capacity : int;
+  basis_cache_capacity : int;
   inject : Inject.t;
   timing : bool;
   now : unit -> float;
@@ -37,6 +38,7 @@ let default_config () =
     queue_capacity = 64;
     default_budget = Some 500_000;
     cache_capacity = 1024;
+    basis_cache_capacity = 64;
     inject = Inject.none;
     timing = false;
     now = Unix.gettimeofday;
@@ -357,6 +359,17 @@ let run_stream ?(obs = Obs.null) ?config ~next_line ~emit () =
   let cfg = match config with Some c -> c | None -> default_config () in
   let stats = Stats.create () in
   let cache = Cache.create cfg.cache_capacity in
+  (* LP warm-basis cache, shared across the worker domains (the Lp-side
+     cache is mutex-protected): repeated solves of same-shape models warm
+     start off the last optimal basis instead of running phase 1 cold.
+     The previous installation is restored on exit so runs compose. *)
+  let basis_cache =
+    if cfg.basis_cache_capacity > 0 then
+      Some (Lp.Basis_cache.create ~capacity:cfg.basis_cache_capacity)
+    else None
+  in
+  let previous_basis_cache = Lp.installed_basis_cache () in
+  (match basis_cache with Some _ -> Lp.install_basis_cache basis_cache | None -> ());
   let emitter = Emitter.create emit in
   let queue : job Bqueue.t = Bqueue.create ~capacity:(max 1 cfg.queue_capacity) in
   (* The response channel is the one dependency no structured response
@@ -437,6 +450,12 @@ let run_stream ?(obs = Obs.null) ?config ~next_line ~emit () =
   Bqueue.close queue;
   List.iter Domain.join workers;
   Stats.merge stats obs;
+  (match basis_cache with
+  | Some bc ->
+      Lp.install_basis_cache previous_basis_cache;
+      Obs.add obs "serve.basis_hits" (Lp.Basis_cache.hits bc);
+      Obs.add obs "serve.basis_misses" (Lp.Basis_cache.misses bc)
+  | None -> ());
   Atomic.get output_failure
 
 let run ?obs ?config ic oc =

@@ -80,6 +80,39 @@ let bb_hard ~g ~groups ~width =
   Slotted.make ~g (List.rev !jobs)
 
 (* ---------------------------------------------------------------------- *)
+(* Sparse-wide LP family (methodology, not from the paper): [blocks]       *)
+(* disjoint windows of [width] slots, block b carrying g+1 unit jobs with  *)
+(* nested windows (job i starts min(i, width-2) slots into the block).     *)
+(* LP1 over this instance is block diagonal — every nonzero stays inside   *)
+(* its block, and the only containments are the nestings within one block  *)
+(* — so a simplex over sparse LU basis factors does O(block nnz) work per  *)
+(* pivot where the dense tableau algebra pays O(rows * cols) over the      *)
+(* whole program. The LP1 optimum is exactly blocks * (g+1)/g: open the    *)
+(* last two slots of every block at y = (g+1)/2g (every nested window      *)
+(* contains both) and split every job evenly across them — the per-slot    *)
+(* load (g+1)/2 meets capacity g*y with equality, and the mass bound       *)
+(* (g+1)/g per block shows nothing cheaper exists.                         *)
+(* ---------------------------------------------------------------------- *)
+
+let sparse_wide ~g ~blocks ~width =
+  if g < 1 then invalid_arg "Gadgets.sparse_wide: needs g >= 1";
+  if blocks < 1 then invalid_arg "Gadgets.sparse_wide: needs blocks >= 1";
+  if width < 2 then invalid_arg "Gadgets.sparse_wide: needs width >= 2";
+  let jobs = ref [] in
+  let id = ref 0 in
+  for b = 0 to blocks - 1 do
+    let base = b * width in
+    for i = 0 to g do
+      let off = min i (width - 2) in
+      jobs := Slotted.job ~id:!id ~release:(base + off) ~deadline:(base + width) ~length:1 :: !jobs;
+      incr id
+    done
+  done;
+  Slotted.make ~g (List.rev !jobs)
+
+let sparse_wide_lp_opt ~g ~blocks = Q.of_ints (blocks * (g + 1)) g
+
+(* ---------------------------------------------------------------------- *)
 (* Fig. 1 — the paper's opening example: seven interval jobs that pack    *)
 (* optimally onto two machines with g = 3.                                 *)
 (* ---------------------------------------------------------------------- *)

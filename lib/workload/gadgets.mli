@@ -32,6 +32,25 @@ val minimal_feasible_tight_opt_slots : int -> int list
     fuel budgets and the degradation cascade. *)
 val bb_hard : g:int -> groups:int -> width:int -> Slotted.t
 
+(** {1 Sparse-wide LP family (methodology, not from the paper)} *)
+
+(** [sparse_wide ~g ~blocks ~width]: [blocks] disjoint windows of
+    [width] slots, block [b] carrying [g+1] unit jobs with nested
+    windows (job [i] of a block starts [min(i, width-2)] slots in).
+    LP1 over this instance is block diagonal — every nonzero stays
+    inside its block and the only containments are the nestings within
+    one block — so growing [blocks] or [width] grows the program without
+    growing any basis column. Built to make the dense-vs-sparse simplex
+    work asymptotics visible (bench E24). Raises [Invalid_argument]
+    unless [g >= 1], [blocks >= 1], [width >= 2]. *)
+val sparse_wide : g:int -> blocks:int -> width:int -> Slotted.t
+
+(** The exact LP1 optimum of [sparse_wide ~g ~blocks ~width], namely
+    [blocks * (g+1) / g]: open the last two slots of every block at
+    [y = (g+1)/2g] and split every job evenly across them; the mass
+    bound [(g+1)/g] per block shows nothing cheaper exists. *)
+val sparse_wide_lp_opt : g:int -> blocks:int -> Rational.t
+
 (** {1 Fig. 1 — the paper's opening example} *)
 
 (** Seven interval jobs that pack optimally onto two machines with

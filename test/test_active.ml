@@ -171,6 +171,20 @@ let test_lp_integrality_gap () =
   | Some lp -> Alcotest.(check string) "LP = g+1" "4" (Q.to_string lp.Active.Lp_model.cost));
   Alcotest.(check (option int)) "IP = 2g" (Some (2 * g)) (Active.Exact.optimum inst)
 
+let test_lp_sparse_wide () =
+  (* methodology gadget (bench E24): block-diagonal LP1 with the known
+     fractional optimum blocks * (g+1)/g — the witness documented in
+     Gadgets.sparse_wide *)
+  let g = 3 and blocks = 4 in
+  let inst = Gad.sparse_wide ~g ~blocks ~width:5 in
+  match Active.Lp_model.solve inst with
+  | None -> Alcotest.fail "feasible"
+  | Some lp ->
+      Alcotest.(check string)
+        "LP = blocks*(g+1)/g"
+        (Q.to_string (Gad.sparse_wide_lp_opt ~g ~blocks))
+        (Q.to_string lp.Active.Lp_model.cost)
+
 (* -- LP rounding ---------------------------------------------------------- *)
 
 let check_rounding inst =
@@ -373,7 +387,8 @@ let () =
         [ Alcotest.test_case "integral instance" `Quick test_lp_exact_on_integral;
           Alcotest.test_case "infeasible" `Quick test_lp_infeasible;
           Alcotest.test_case "assignment consistency" `Quick test_lp_assignment_consistency;
-          Alcotest.test_case "integrality gap gadget" `Quick test_lp_integrality_gap ] );
+          Alcotest.test_case "integrality gap gadget" `Quick test_lp_integrality_gap;
+          Alcotest.test_case "sparse-wide gadget" `Quick test_lp_sparse_wide ] );
       ( "rounding",
         [ Alcotest.test_case "simple" `Quick test_rounding_simple;
           Alcotest.test_case "integrality gadget" `Quick test_rounding_integrality_gadget;

@@ -14,7 +14,7 @@ let job_count = function
 
 let test_clean_sweep () =
   let report = Fuzz.Harness.run ~domains:2 ~seeds:10 ~fuel:200_000 () in
-  Alcotest.(check int) "five families per seed" 50 report.Fuzz.Harness.cases;
+  Alcotest.(check int) "six families per seed" 60 report.Fuzz.Harness.cases;
   Alcotest.(check int) "no disagreements" 0 (List.length report.Fuzz.Harness.failures)
 
 let test_planted_bug_found_and_shrunk () =

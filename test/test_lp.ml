@@ -447,6 +447,42 @@ let prop_warm_matches_cold =
           | Lp.Unbounded, Lp.Unbounded -> true
           | _ -> false))
 
+(* The sparse engine runs the same pivot rules over the same column
+   layout as the revised engine (the row sign flips of the revised cold
+   start cancel inside B^-1 A), so the two must agree bit-for-bit: same
+   status, same objective, same Exact provenance — and the very same
+   pivot count, because the pivot sequences coincide. *)
+let prop_sparse_matches_revised =
+  QCheck.Test.make ~name:"sparse = revised (objective, provenance, pivots)" ~count:600 any_arb
+    (fun l ->
+      let m, _ = build_any l in
+      match (Lp.solve ~engine:Lp.Revised m, Lp.solve ~engine:Lp.Sparse m) with
+      | Lp.Optimal a, Lp.Optimal b ->
+          Q.equal (Lp.objective_value a) (Lp.objective_value b)
+          && Lp.certification a = Lp.Exact
+          && Lp.certification b = Lp.Exact
+          && Lp.pivots a = Lp.pivots b
+      | Lp.Infeasible, Lp.Infeasible -> true
+      | Lp.Unbounded, Lp.Unbounded -> true
+      | _ -> false)
+
+(* Eta updates are pure representation: refactorizing after every pivot
+   (eta cap 1) must walk the same pivot sequence to the same answer as
+   the default eta file. *)
+let prop_eta_refactor_equiv =
+  QCheck.Test.make ~name:"eta cap 1 = eta cap 64 (same pivots, same answer)" ~count:300 any_arb
+    (fun l ->
+      let m, _ = build_any l in
+      let every = Lp.solve ~engine:(Lp.Sparse_with { Lp.sparse_eta_cap = 1 }) m in
+      let batched = Lp.solve ~engine:Lp.Sparse m in
+      match (every, batched) with
+      | Lp.Optimal a, Lp.Optimal b ->
+          Q.equal (Lp.objective_value a) (Lp.objective_value b)
+          && Lp.pivots a = Lp.pivots b
+      | Lp.Infeasible, Lp.Infeasible -> true
+      | Lp.Unbounded, Lp.Unbounded -> true
+      | _ -> false)
+
 let test_warm_start_counters () =
   (* tightening a bound of an optimal basis: the warm re-solve reuses it
      (lp.warm_starts = 1) and costs at most a short dual repair, never a
@@ -483,7 +519,11 @@ let test_engine_introspection () =
 
 let test_engine_registry () =
   Alcotest.(check (list string))
-    "registered engines" [ "dense"; "float"; "revised" ] (Lp.engine_names ());
+    "registered engines" [ "dense"; "float"; "revised"; "sparse" ] (Lp.engine_names ());
+  Alcotest.(check string) "sparse selector resolves" "sparse" (Lp.engine_name Lp.Sparse);
+  Alcotest.(check string)
+    "configured sparse selector resolves" "sparse"
+    (Lp.engine_name (Lp.Sparse_with Lp.default_sparse_config));
   Alcotest.(check bool) "unknown name" true (Lp.engine_of_name "bogus" = None);
   Alcotest.(check string) "default is revised" "revised" (Lp.engine_name Lp.default_engine);
   Alcotest.(check string) "float selector resolves" "float" (Lp.engine_name Lp.Float_certified);
@@ -583,9 +623,10 @@ let test_certify_fail_fallback () =
     "control objective exact" (Q.to_string ctrl.ft_opt)
     (Q.to_string (Lp.objective_value s2))
 
-let test_float_ignores_warm () =
-  (* ?warm is a revised-engine feature; the float engine must accept and
-     ignore it rather than misuse a stale basis *)
+let test_float_uses_warm () =
+  (* since 1.8.0 the float engine restores ?warm in double precision:
+     the re-solve repairs feasibility from the snapshot (counted as a
+     warm start) and the final basis is still certified exactly *)
   let m = Lp.create () in
   let x = Lp.add_var ~upper:(qi 6) m "x" in
   Lp.add_constraint m [ (qi 1, x) ] Lp.Le (qi 5);
@@ -593,13 +634,148 @@ let test_float_ignores_warm () =
   let s0 = get_solution (Lp.solve m) in
   let warm = Option.get (Lp.basis s0) in
   Lp.set_bounds m x ~lower:Q.zero ~upper:(Some (qi 3));
-  let s1 = get_solution (Lp.solve ~engine:Lp.Float_certified ~warm m) in
-  Alcotest.(check string) "objective" "6" (Q.to_string (Lp.objective_value s1))
+  let obs = Obs.create () in
+  let s1 = get_solution (Lp.solve ~engine:Lp.Float_certified ~warm ~obs m) in
+  Alcotest.(check string) "objective" "6" (Q.to_string (Lp.objective_value s1));
+  check_cert "warm float still certifies" "Certified" s1;
+  Alcotest.(check bool)
+    "warm snapshot was reused" true
+    (List.assoc_opt "lp.warm_starts" (Obs.counters obs) = Some 1)
+
+(* Golden work profile of the sparse engine on a small mixed-sense
+   model: pivot count bit-identical to revised, and the LU bookkeeping
+   counters (refactorizations, eta updates, fill) pinned. A diff means
+   the pivot rules or the refactorization policy changed, which must be
+   a conscious decision, not an accident. *)
+let test_sparse_golden_counters () =
+  let build () =
+    let m = Lp.create () in
+    let x = Lp.add_var ~upper:(qi 4) m "x" and y = Lp.add_var ~upper:(qi 6) m "y" in
+    let z = Lp.add_var m "z" in
+    Lp.add_constraint m [ (qi 1, x); (qi 1, y); (qi 1, z) ] Lp.Le (qi 8);
+    Lp.add_constraint m [ (qi 1, x); (qi (-1), y) ] Lp.Ge (qi (-4));
+    Lp.add_constraint m [ (qi 1, x); (qi 2, z) ] Lp.Eq (qi 5);
+    Lp.set_objective m Lp.Maximize [ (qi 2, x); (qi 3, y); (qi 1, z) ];
+    m
+  in
+  let obs = Obs.create () in
+  let s = get_solution (Lp.solve ~engine:Lp.Sparse ~obs (build ())) in
+  let r = get_solution (Lp.solve ~engine:Lp.Revised (build ())) in
+  Alcotest.(check string)
+    "objective matches revised" (Q.to_string (Lp.objective_value r))
+    (Q.to_string (Lp.objective_value s));
+  check_cert "sparse is exact" "Exact" s;
+  Alcotest.(check int) "pivot-for-pivot with revised" (Lp.pivots r) (Lp.pivots s);
+  let counter name = try List.assoc name (Obs.counters obs) with Not_found -> 0 in
+  Alcotest.(check int) "pivots" 3 (counter "lp.pivots");
+  Alcotest.(check int) "refactorizations" 1 (counter "lp.refactorizations");
+  Alcotest.(check int) "eta updates" 3 (counter "lp.eta_updates");
+  Alcotest.(check bool) "fill recorded" true (counter "lp.fill_nonzeros" > 0);
+  Alcotest.(check bool) "exact cells recorded" true (counter "lp.exact_cells" > 0);
+  (* eta cap 1: every pivot refactorizes, so the eta file stays empty *)
+  let obs1 = Obs.create () in
+  let s1 =
+    get_solution
+      (Lp.solve ~engine:(Lp.Sparse_with { Lp.sparse_eta_cap = 1 }) ~obs:obs1 (build ()))
+  in
+  Alcotest.(check int) "same pivots under eta cap 1" (Lp.pivots s) (Lp.pivots s1);
+  let counter1 name = try List.assoc name (Obs.counters obs1) with Not_found -> 0 in
+  Alcotest.(check int) "refactorization per pivot" 4 (counter1 "lp.refactorizations")
+
+let cache_model k =
+  (* same shape for every k — only the rhs moves — so all instances share
+     one shape digest and one cache slot *)
+  let m = Lp.create () in
+  let x = Lp.add_var ~upper:(qi 9) m "x" and y = Lp.add_var ~upper:(qi 9) m "y" in
+  Lp.add_constraint m [ (qi 1, x); (qi 1, y) ] Lp.Le (qi (6 + k));
+  Lp.add_constraint m [ (qi 2, x); (qi 1, y) ] Lp.Le (qi (8 + k));
+  Lp.set_objective m Lp.Maximize [ (qi 3, x); (qi 2, y) ];
+  m
+
+let test_shape_digest () =
+  (* keyed on shape (dimensions, senses, sparsity pattern), not data *)
+  Alcotest.(check string)
+    "same shape, different data" (Lp.shape_digest (cache_model 0))
+    (Lp.shape_digest (cache_model 5));
+  let other =
+    let m = Lp.create () in
+    let x = Lp.add_var ~upper:(qi 9) m "x" and y = Lp.add_var ~upper:(qi 9) m "y" in
+    Lp.add_constraint m [ (qi 1, x); (qi 1, y) ] Lp.Le (qi 6);
+    Lp.add_constraint m [ (qi 2, x); (qi 1, y) ] Lp.Le (qi 8);
+    Lp.add_constraint m [ (qi 1, x) ] Lp.Ge Q.zero;
+    Lp.set_objective m Lp.Maximize [ (qi 3, x); (qi 2, y) ];
+    m
+  in
+  Alcotest.(check bool)
+    "extra row changes the digest" true
+    (Lp.shape_digest (cache_model 0) <> Lp.shape_digest other)
+
+let test_basis_cache () =
+  let cache = Lp.Basis_cache.create ~capacity:2 in
+  Lp.install_basis_cache (Some cache);
+  Fun.protect
+    ~finally:(fun () -> Lp.install_basis_cache None)
+    (fun () ->
+      Alcotest.(check bool) "installed" true
+        (match Lp.installed_basis_cache () with Some c -> c == cache | None -> false);
+      let obs = Obs.create () in
+      let s0 = get_solution (Lp.solve ~obs (cache_model 0)) in
+      Alcotest.(check int) "first solve misses" 1 (Lp.Basis_cache.misses cache);
+      Alcotest.(check int) "no hit yet" 0 (Lp.Basis_cache.hits cache);
+      Alcotest.(check int) "basis stored" 1 (Lp.Basis_cache.size cache);
+      (* a same-shape model warm starts off the cached basis... *)
+      let s1 = get_solution (Lp.solve ~obs (cache_model 3)) in
+      Alcotest.(check int) "second solve hits" 1 (Lp.Basis_cache.hits cache);
+      let counter name = try List.assoc name (Obs.counters obs) with Not_found -> 0 in
+      Alcotest.(check int) "cache hit warm starts" 1 (counter "lp.warm_starts");
+      (* ...and both answers are the true optima *)
+      Alcotest.(check string) "cold objective" "14" (Q.to_string (Lp.objective_value s0));
+      Alcotest.(check string) "warm objective" "20" (Q.to_string (Lp.objective_value s1));
+      let cold = get_solution (Lp.solve (cache_model 3)) in
+      Alcotest.(check string)
+        "warm agrees with a cache-hit-free solve" (Q.to_string (Lp.objective_value cold))
+        (Q.to_string (Lp.objective_value s1));
+      (* explicit ?warm bypasses the cache entirely *)
+      let hits = Lp.Basis_cache.hits cache and misses = Lp.Basis_cache.misses cache in
+      let warm = Option.get (Lp.basis s1) in
+      let _ = get_solution (Lp.solve ~warm (cache_model 3)) in
+      Alcotest.(check int) "?warm skips lookup (hits)" hits (Lp.Basis_cache.hits cache);
+      Alcotest.(check int) "?warm skips lookup (misses)" misses (Lp.Basis_cache.misses cache))
+
+let test_basis_cache_eviction () =
+  let cache = Lp.Basis_cache.create ~capacity:1 in
+  Lp.install_basis_cache (Some cache);
+  Fun.protect
+    ~finally:(fun () -> Lp.install_basis_cache None)
+    (fun () ->
+      let other_shape () =
+        let m = Lp.create () in
+        let x = Lp.add_var ~upper:(qi 5) m "x" in
+        Lp.add_constraint m [ (qi 1, x) ] Lp.Le (qi 4);
+        Lp.set_objective m Lp.Maximize [ (qi 1, x) ];
+        m
+      in
+      ignore (get_solution (Lp.solve (cache_model 0)));
+      ignore (get_solution (Lp.solve (other_shape ())));
+      Alcotest.(check int) "capacity 1 holds one entry" 1 (Lp.Basis_cache.size cache);
+      (* the first shape was evicted: solving it again misses *)
+      let misses = Lp.Basis_cache.misses cache in
+      ignore (get_solution (Lp.solve (cache_model 1)));
+      Alcotest.(check int) "evicted shape misses" (misses + 1) (Lp.Basis_cache.misses cache);
+      (* capacity 0: lookups counted, nothing ever stored *)
+      let off = Lp.Basis_cache.create ~capacity:0 in
+      Lp.install_basis_cache (Some off);
+      ignore (get_solution (Lp.solve (cache_model 0)));
+      ignore (get_solution (Lp.solve (cache_model 0)));
+      Alcotest.(check int) "capacity 0 stores nothing" 0 (Lp.Basis_cache.size off);
+      Alcotest.(check int) "capacity 0 never hits" 0 (Lp.Basis_cache.hits off);
+      Alcotest.(check int) "capacity 0 counts misses" 2 (Lp.Basis_cache.misses off))
 
 let props =
   List.map QCheck_alcotest.to_alcotest
     [ prop_solution_feasible; prop_no_sample_beats_optimum; prop_strong_duality;
-      prop_engines_agree; prop_warm_matches_cold ]
+      prop_engines_agree; prop_warm_matches_cold; prop_sparse_matches_revised;
+      prop_eta_refactor_equiv ]
 
 let () =
   Alcotest.run "lp"
@@ -628,5 +804,9 @@ let () =
           Alcotest.test_case "engine registry" `Quick test_engine_registry;
           Alcotest.test_case "certification provenance" `Quick test_certification_provenance;
           Alcotest.test_case "certify-fail fallback" `Quick test_certify_fail_fallback;
-          Alcotest.test_case "float ignores warm" `Quick test_float_ignores_warm ] );
+          Alcotest.test_case "float uses warm" `Quick test_float_uses_warm;
+          Alcotest.test_case "sparse golden counters" `Quick test_sparse_golden_counters;
+          Alcotest.test_case "shape digest" `Quick test_shape_digest;
+          Alcotest.test_case "basis cache" `Quick test_basis_cache;
+          Alcotest.test_case "basis cache eviction" `Quick test_basis_cache_eviction ] );
       ("properties", props) ]

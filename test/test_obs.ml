@@ -200,6 +200,7 @@ let test_golden_lp_counters () =
     "golden LP counters"
     [ ("lp.bound_flips", 3);
       ("lp.degenerate_pivots", 30);
+      ("lp.exact_cells", 13825);
       ("lp.phase1_pivots", 39);
       ("lp.pivots", 47);
       ("lp.solves", 9);
