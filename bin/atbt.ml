@@ -666,6 +666,145 @@ let bounds_cmd =
     (Cmd.info "bounds" ~doc:"Print lower bounds for an instance")
     Term.(const bounds $ path $ g $ lp_engine_arg)
 
+(* ----------------------------------------------------------------- sim -- *)
+
+(* Rolling-horizon replay: the trace (slotted directly, busy converted
+   through [Sim.Rolling.of_busy]) is re-solved epoch by epoch on a warm
+   [Core.Session]; see lib/sim/rolling.mli for the loop semantics. *)
+
+let load_timed path =
+  try Ok (Io.parse_file_timed path) with
+  | Io.Parse_error (line, msg) -> Error (Usage (Printf.sprintf "%s:%d: %s" path line msg))
+  | Sys_error msg -> Error (Usage msg)
+
+let sim_config algorithm epoch_len lookahead epoch_budget deadline_ms cold =
+  let* () = if epoch_len >= 1 then Ok () else Error (Usage "--epoch-len must be at least 1") in
+  let* () =
+    match lookahead with
+    | Some la when la < epoch_len -> Error (Usage "--lookahead must be at least --epoch-len")
+    | _ -> Ok ()
+  in
+  let* () = check_budget epoch_budget in
+  let* epoch_deadline =
+    match deadline_ms with
+    | None -> Ok None
+    | Some 0 ->
+        (* deterministic: the probe fires on the first tick of every
+           epoch solve, exercising the degraded path reproducibly *)
+        Ok (Some (fun () () -> true))
+    | Some ms when ms > 0 ->
+        Ok
+          (Some
+             (fun () ->
+               let t0 = Unix.gettimeofday () in
+               fun () -> (Unix.gettimeofday () -. t0) *. 1000.0 > float_of_int ms))
+    | Some _ -> Error (Usage "--epoch-deadline-ms must be nonnegative")
+  in
+  Ok
+    {
+      Sim.Rolling.epoch_len;
+      lookahead;
+      algorithm;
+      epoch_budget = (match epoch_budget with Some _ -> epoch_budget | None -> Some 500_000);
+      epoch_deadline;
+      warm = not cold;
+    }
+
+let sim_run ?obs path g algorithm epoch_len lookahead epoch_budget deadline_ms cold =
+  let* config = sim_config algorithm epoch_len lookahead epoch_budget deadline_ms cold in
+  let* () = if g >= 1 then Ok () else Error (Usage "--g must be at least 1") in
+  let* instance, arrivals = load_timed path in
+  let* inst =
+    match instance with
+    | Io.Slotted_instance inst -> Ok inst
+    | Io.Busy_instance jobs -> (
+        try Ok (Sim.Rolling.of_busy ~g jobs) with Invalid_argument msg -> Error (Usage msg))
+  in
+  match Sim.Rolling.run ?obs ~config ~arrivals inst with
+  | r -> Ok (inst, r)
+  | exception CS.Unsupported msg -> Error (Unknown_solver msg)
+
+let write_epochs_svg svg r =
+  match svg with
+  | Some file ->
+      let* () = write_text_file file (Render.epochs_svg r) in
+      Ok (Some file)
+  | None -> Ok None
+
+let sim_text path g algorithm epoch_len lookahead epoch_budget deadline_ms cold svg =
+  finish
+    (let* _, r = sim_run path g algorithm epoch_len lookahead epoch_budget deadline_ms cold in
+     Format.printf "%a" Sim.Rolling.pp r;
+     let* written = write_epochs_svg svg r in
+     Option.iter (Printf.printf "wrote %s\n") written;
+     Ok ())
+
+let sim_json path g algorithm epoch_len lookahead epoch_budget deadline_ms cold svg =
+  let obs = Obs.create () in
+  let result =
+    let* inst, r = sim_run ~obs path g algorithm epoch_len lookahead epoch_budget deadline_ms cold in
+    let* _ = write_epochs_svg svg r in
+    Ok (inst, r)
+  in
+  match result with
+  | Ok (inst, r) ->
+      let body =
+        match Sim.Rolling.to_json r with
+        | J.Obj fields -> List.filter (fun (k, _) -> k <> "schema") fields
+        | other -> [ ("run", other) ]
+      in
+      let doc =
+        J.Obj
+          ([ ("schema", J.Int 1);
+             ("tool", J.String "atbt");
+             ("version", J.String version);
+             ("command", J.String "sim");
+             ("status", J.String "ok");
+             ("exit", J.Int 0);
+             ("instance", slotted_instance_json inst) ]
+          @ body
+          @ [ ("counters", Obs.counters_to_json obs) ])
+      in
+      print_endline (J.to_string doc);
+      0
+  | Error f ->
+      finish_json ~command:"sim" ~algorithm:(Some algorithm)
+        ~instance:(fun () -> J.Null)
+        ~message:(fun () -> None)
+        obs (Error f)
+
+let sim_solve path g algorithm epoch_len lookahead epoch_budget deadline_ms cold svg format =
+  match parse_format format with
+  | Error e -> finish (Error e)
+  | Ok `Text -> sim_text path g algorithm epoch_len lookahead epoch_budget deadline_ms cold svg
+  | Ok `Json -> sim_json path g algorithm epoch_len lookahead epoch_budget deadline_ms cold svg
+
+let sim_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let g =
+    Arg.(value & opt int 2 & info [ "g" ] ~docv:"G" ~doc:"capacity when converting a busy trace (slotted instances carry their own)")
+  in
+  let algorithm =
+    Arg.(value & opt string "cascade" & info [ "algorithm"; "a" ] ~docv:"ALG" ~doc:"registered active-slotted solver for the per-epoch window re-solve")
+  in
+  let epoch_len =
+    Arg.(value & opt int 4 & info [ "epoch-len" ] ~docv:"L" ~doc:"slots committed per epoch")
+  in
+  let lookahead =
+    Arg.(value & opt (some int) None & info [ "lookahead" ] ~docv:"W" ~doc:"window extent in slots beyond now (default: the full horizon)")
+  in
+  let epoch_budget =
+    Arg.(value & opt (some int) None & info [ "epoch-budget" ] ~docv:"N" ~doc:"fuel budget per epoch solve (default 500000)")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None & info [ "epoch-deadline-ms" ] ~docv:"MS" ~doc:"wall-clock deadline per epoch solve; 0 degrades every epoch deterministically")
+  in
+  let cold = Arg.(value & flag & info [ "cold" ] ~doc:"fresh session every epoch (no warm state; the bench baseline)") in
+  let svg = Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc:"write a per-epoch SVG strip") in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Replay a trace through rolling-horizon re-optimization")
+    Term.(const sim_solve $ path $ g $ algorithm $ epoch_len $ lookahead $ epoch_budget $ deadline_ms $ cold $ svg $ format_arg)
+
 (* --------------------------------------------------------------- serve -- *)
 
 (* Long-running batched solve daemon: line-delimited JSON requests on
@@ -761,4 +900,6 @@ let () =
     Cmd.info "atbt" ~version
       ~doc:"Minimizing active and busy time (Chang, Khuller, Mukherjee; SPAA 2014)"
   in
-  exit (Cmd.eval' (Cmd.group info [ generate_cmd; active_cmd; busy_cmd; bounds_cmd; serve_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ generate_cmd; active_cmd; busy_cmd; bounds_cmd; sim_cmd; serve_cmd ]))

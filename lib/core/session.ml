@@ -1,0 +1,132 @@
+(* Unified warm solver state. See session.mli for the design notes.
+
+   Slots use the extensible-exception universal type: each key carries
+   an inject/project pair built from a locally defined exception
+   constructor, so a slot table can hold values of distinct types and
+   lookups stay type-safe without magic. *)
+
+module Slot = struct
+  type 'a key = {
+    id : int;
+    key_name : string;
+    inject : 'a -> exn;
+    project : exn -> 'a option;
+  }
+
+  let next_id = Atomic.make 0
+
+  let key (type a) ~name () : a key =
+    let module M = struct
+      exception E of a
+    end in
+    {
+      id = Atomic.fetch_and_add next_id 1;
+      key_name = name;
+      inject = (fun v -> M.E v);
+      project = (function M.E v -> Some v | _ -> None);
+    }
+
+  let key_name k = k.key_name
+end
+
+type t = {
+  name : string;
+  slots : (int, exn) Hashtbl.t;
+  basis : Lp.Basis_cache.t option;
+}
+
+let create ?(name = "session") ?(basis_cache = 64) () =
+  {
+    name;
+    slots = Hashtbl.create 8;
+    basis = (if basis_cache > 0 then Some (Lp.Basis_cache.create ~capacity:basis_cache) else None);
+  }
+
+let name t = t.name
+
+let find t (k : 'a Slot.key) : 'a option =
+  match Hashtbl.find_opt t.slots k.Slot.id with
+  | None -> None
+  | Some packed -> k.Slot.project packed
+
+let set t (k : 'a Slot.key) (v : 'a) = Hashtbl.replace t.slots k.Slot.id (k.Slot.inject v)
+let remove t (k : 'a Slot.key) = Hashtbl.remove t.slots k.Slot.id
+let clear t = Hashtbl.reset t.slots
+
+let reuse ?(obs = Obs.null) t key ~validate ~build =
+  match find t key with
+  | Some v when validate v ->
+      Obs.incr obs "session.warm_hits";
+      v
+  | Some _ ->
+      Obs.incr obs "session.rebuilds";
+      let v = build () in
+      set t key v;
+      v
+  | None ->
+      Obs.incr obs "session.warm_misses";
+      let v = build () in
+      set t key v;
+      v
+
+module Memo = struct
+  type 'v t = {
+    m : Mutex.t;
+    tbl : (string, 'v) Hashtbl.t;
+    order : string Queue.t;
+    capacity : int;
+  }
+
+  let create ~capacity =
+    { m = Mutex.create (); tbl = Hashtbl.create 64; order = Queue.create (); capacity }
+
+  let find t key =
+    if t.capacity <= 0 then None
+    else Mutex.protect t.m (fun () -> Hashtbl.find_opt t.tbl key)
+
+  let store t key v =
+    if t.capacity > 0 then
+      Mutex.protect t.m (fun () ->
+          if not (Hashtbl.mem t.tbl key) then begin
+            if Hashtbl.length t.tbl >= t.capacity then begin
+              let oldest = Queue.pop t.order in
+              Hashtbl.remove t.tbl oldest
+            end;
+            Hashtbl.replace t.tbl key v;
+            Queue.push key t.order
+          end)
+
+  let length t = Mutex.protect t.m (fun () -> Hashtbl.length t.tbl)
+end
+
+let basis_cache t = t.basis
+let basis_hits t = match t.basis with Some bc -> Lp.Basis_cache.hits bc | None -> 0
+let basis_misses t = match t.basis with Some bc -> Lp.Basis_cache.misses bc | None -> 0
+
+let with_installed t f =
+  match t.basis with
+  | None -> f ()
+  | Some _ ->
+      let previous = Lp.installed_basis_cache () in
+      Lp.install_basis_cache t.basis;
+      Fun.protect ~finally:(fun () -> Lp.install_basis_cache previous) f
+
+let solve_next ?(algorithm = "cascade") ?params ?budget ?deadline ?(obs = Obs.null) t inst =
+  let solver = Registry.find_exn (Instance.kind inst) algorithm in
+  let budget =
+    match (budget, deadline) with
+    | Some b, _ -> Some b
+    | None, Some _ -> Some (Budget.unlimited ())
+    | None, None -> None
+  in
+  (match (budget, deadline) with
+  | Some b, Some probe -> Budget.set_deadline b probe
+  | _ -> ());
+  Obs.incr obs "session.solves";
+  let h0 = basis_hits t and m0 = basis_misses t in
+  let record () =
+    Obs.add obs "session.warm_hits" (basis_hits t - h0);
+    Obs.add obs "session.warm_misses" (basis_misses t - m0)
+  in
+  Fun.protect ~finally:record (fun () ->
+      with_installed t (fun () -> solver.Solver.solve ?budget ~obs ?params inst))

@@ -77,6 +77,8 @@ let broken_escapes state =
        "{\"instance\": \"busy\\njob 0 0 99999999999999999999 1\\n\"}";
        "{\"instance\": \"busy\\njob 0 0 1/0 1\\n\"}";
        "{\"instance\": \"busy\\njob 0 0/0 1 1\\n\"}";
+       "{\"instance\": \"slotted\\ng 2\\njob 0 0 4 2 arrival x\\n\"}";
+       "{\"instance\": \"slotted\\ng 2\\njob 0 0 4 2 arrival -3\\n\"}";
        "{\"instance\": \"slotted\\ng 99999999999999999999\\n\"}";
        "1e999"; "-"; "0x10"; "[1,]"; "{\"a\" 1}"; "nulll"; "\"" |]
   in

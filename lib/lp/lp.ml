@@ -396,671 +396,15 @@ let solve_dense ~rule ~budget ~obs ~pivots m =
               }
       end
 
-(* ====================================================================== *)
-(* Revised engine: bounded-variable primal simplex. Upper bounds are      *)
-(* handled implicitly by nonbasic-at-lower / nonbasic-at-upper statuses   *)
-(* and bound flips, so the tableau has one row per constraint (no         *)
-(* upper-bound rows, artificials only for rows whose slack cannot start   *)
-(* basic). The rhs column stores the current value of each row's basic    *)
-(* variable; coefficient columns hold B^-1 N as usual.                    *)
-(* ====================================================================== *)
-
-type rtab = {
-  rm : int; (* rows *)
-  rn : int; (* columns: structural | slack | artificial *)
-  ra : Q.t array array; (* rm x rn, basis columns = identity *)
-  xb : Q.t array; (* current value of each row's basic variable *)
-  rbasis : int array; (* basic column of each row *)
-  stat : Basis.status array; (* per column *)
-  rlo : Q.t array;
-  rhi : Q.t option array;
-  rd : Q.t array; (* reduced costs of the current phase *)
-  mutable rz : Q.t; (* objective value of the current phase *)
-  enterable : bool array; (* false: artificials post-phase-1, fixed columns *)
-  mutable rcells : int; (* tableau cells actually updated by eliminations *)
-}
-
-let nb_value t j =
-  match t.stat.(j) with
-  | Basis.Lower -> t.rlo.(j)
-  | Basis.Upper -> ( match t.rhi.(j) with Some u -> u | None -> assert false)
-  | Basis.Basic -> assert false
-
-(* Eliminate column [q] using row [r] (coefficient columns and reduced
-   costs only; xb is updated separately by the caller from the step
-   length, because it tracks values, not B^-1 b). *)
-let eliminate t ~r ~q =
-  let prow = t.ra.(r) in
-  let piv = prow.(q) in
-  let cells = ref t.rcells in
-  if not (Q.equal piv Q.one) then
-    for j = 0 to t.rn - 1 do
-      if not (Q.is_zero prow.(j)) then begin
-        incr cells;
-        prow.(j) <- Q.div prow.(j) piv
-      end
-    done;
-  for i = 0 to t.rm - 1 do
-    if i <> r then begin
-      let f = t.ra.(i).(q) in
-      if not (Q.is_zero f) then begin
-        let row = t.ra.(i) in
-        for j = 0 to t.rn - 1 do
-          if not (Q.is_zero prow.(j)) then begin
-            incr cells;
-            row.(j) <- Q.sub row.(j) (Q.mul f prow.(j))
-          end
-        done
-      end
-    end
-  done;
-  let f = t.rd.(q) in
-  if not (Q.is_zero f) then
-    for j = 0 to t.rn - 1 do
-      if not (Q.is_zero prow.(j)) then begin
-        incr cells;
-        t.rd.(j) <- Q.sub t.rd.(j) (Q.mul f prow.(j))
-      end
-    done;
-  t.rcells <- !cells
-
-(* Entering column for the primal: nonbasic, enterable, and profitable in
-   its feasible direction (at lower: d < 0; at upper: d > 0). Dantzig
-   picks the largest |d|, Bland the smallest index. *)
-let r_entering t ~bland =
-  let best = ref None in
-  (try
-     for j = 0 to t.rn - 1 do
-       if t.enterable.(j) then begin
-         let d = t.rd.(j) in
-         let eligible =
-           match t.stat.(j) with
-           | Basis.Lower -> Q.compare d Q.zero < 0
-           | Basis.Upper -> Q.compare d Q.zero > 0
-           | Basis.Basic -> false
-         in
-         if eligible then
-           if bland then begin
-             best := Some (j, Q.abs d);
-             raise Exit
-           end
-           else
-             let score = Q.abs d in
-             match !best with
-             | Some (_, s) when Q.compare s score >= 0 -> ()
-             | _ -> best := Some (j, score)
-       end
-     done
-   with Exit -> ());
-  Option.map fst !best
-
-type r_outcome = R_optimal | R_unbounded
-
-(* One phase of the bounded-variable primal simplex. *)
-let run_bounded ~rule ~phase1 ~budget ~obs ~pivots t =
-  let bland = ref (rule = Pure_bland) in
-  let stalled = ref 0 in
-  let outcome = ref None in
-  while !outcome = None do
-    match r_entering t ~bland:!bland with
-    | None -> outcome := Some R_optimal
-    | Some q ->
-        let sigma = match t.stat.(q) with Basis.Lower -> 1 | _ -> -1 in
-        (* own-bound step: from one bound of q to the other *)
-        let span = Option.map (fun u -> Q.sub u t.rlo.(q)) t.rhi.(q) in
-        (* ratio test over the basic variables *)
-        let best = ref None in
-        for i = 0 to t.rm - 1 do
-          let coef = t.ra.(i).(q) in
-          if not (Q.is_zero coef) then begin
-            let e = if sigma > 0 then coef else Q.neg coef in
-            let k = t.rbasis.(i) in
-            let limit =
-              if Q.compare e Q.zero > 0 then Some (Q.div (Q.sub t.xb.(i) t.rlo.(k)) e, Basis.Lower)
-              else
-                match t.rhi.(k) with
-                | Some u -> Some (Q.div (Q.sub u t.xb.(i)) (Q.neg e), Basis.Upper)
-                | None -> None
-            in
-            match limit with
-            | None -> ()
-            | Some (ti, side) -> (
-                match !best with
-                | None -> best := Some (i, ti, side)
-                | Some (bi, bt, _) ->
-                    let c = Q.compare ti bt in
-                    if c < 0 || (c = 0 && t.rbasis.(i) < t.rbasis.(bi)) then best := Some (i, ti, side))
-          end
-        done;
-        let flip =
-          match (span, !best) with
-          | None, None -> None (* unbounded *)
-          | Some s, None -> Some s
-          | Some s, Some (_, bt, _) -> if Q.compare s bt <= 0 then Some s else None
-          | None, Some _ -> None
-        in
-        (match (flip, !best) with
-        | Some s, _ ->
-            (* bound flip: q jumps to its opposite bound, no basis change *)
-            Budget.tick budget;
-            Obs.incr obs "lp.bound_flips";
-            for i = 0 to t.rm - 1 do
-              let coef = t.ra.(i).(q) in
-              if not (Q.is_zero coef) then
-                t.xb.(i) <-
-                  (if sigma > 0 then Q.sub t.xb.(i) (Q.mul coef s) else Q.add t.xb.(i) (Q.mul coef s))
-            done;
-            t.rz <- Q.add t.rz (Q.mul t.rd.(q) (if sigma > 0 then s else Q.neg s));
-            t.stat.(q) <- (match t.stat.(q) with Basis.Lower -> Basis.Upper | _ -> Basis.Lower)
-        | None, None -> outcome := Some R_unbounded
-        | None, Some (r, tstep, side) ->
-            Budget.tick budget;
-            let k = t.rbasis.(r) in
-            let signed = if sigma > 0 then tstep else Q.neg tstep in
-            let vq = Q.add (nb_value t q) signed in
-            for i = 0 to t.rm - 1 do
-              if i <> r then begin
-                let coef = t.ra.(i).(q) in
-                if not (Q.is_zero coef) then t.xb.(i) <- Q.sub t.xb.(i) (Q.mul coef signed)
-              end
-            done;
-            t.rz <- Q.add t.rz (Q.mul t.rd.(q) signed);
-            t.xb.(r) <- vq;
-            t.stat.(k) <- side;
-            t.stat.(q) <- Basis.Basic;
-            t.rbasis.(r) <- q;
-            eliminate t ~r ~q;
-            incr pivots;
-            Obs.incr obs "lp.pivots";
-            if phase1 then Obs.incr obs "lp.phase1_pivots";
-            if Q.is_zero tstep then begin
-              incr stalled;
-              Obs.incr obs "lp.degenerate_pivots";
-              if !stalled > degenerate_pivot_threshold then bland := true
-            end
-            else stalled := 0)
-  done;
-  Option.get !outcome
-
-(* Build the phase-2 reduced costs and objective value for the current
-   basis and statuses from the minimization objective. *)
-let install_phase2 t minimize_obj =
-  let c = Array.make t.rn Q.zero in
-  List.iter (fun (coef, v) -> c.(v) <- Q.add c.(v) coef) minimize_obj;
-  for j = 0 to t.rn - 1 do
-    let s = ref c.(j) in
-    for i = 0 to t.rm - 1 do
-      let cb = c.(t.rbasis.(i)) in
-      if not (Q.is_zero cb) then s := Q.sub !s (Q.mul cb t.ra.(i).(j))
-    done;
-    t.rd.(j) <- !s
-  done;
-  let z = ref Q.zero in
-  for i = 0 to t.rm - 1 do
-    let cb = c.(t.rbasis.(i)) in
-    if not (Q.is_zero cb) then z := Q.add !z (Q.mul cb t.xb.(i))
-  done;
-  for j = 0 to t.rn - 1 do
-    if t.stat.(j) <> Basis.Basic && not (Q.is_zero c.(j)) then
-      z := Q.add !z (Q.mul c.(j) (nb_value t j))
-  done;
-  t.rz <- !z
-
-let extract_revised ~m ~pivots t =
-  let x = Array.make m.nvars Q.zero in
-  for j = 0 to m.nvars - 1 do
-    if t.stat.(j) <> Basis.Basic then x.(j) <- nb_value t j
-  done;
-  for i = 0 to t.rm - 1 do
-    if t.rbasis.(i) < m.nvars then x.(t.rbasis.(i)) <- t.xb.(i)
-  done;
-  let nslack_of_row = Array.make m.nrows (-1) in
-  let sidx = ref m.nvars in
-  for i = 0 to m.nrows - 1 do
-    match m.rows.(i).sense with
-    | Le | Ge ->
-        nslack_of_row.(i) <- !sidx;
-        incr sidx
-    | Eq -> ()
-  done;
-  let basis =
-    {
-      Basis.b_nvars = m.nvars;
-      b_nrows = m.nrows;
-      vstat = Array.sub t.stat 0 m.nvars;
-      sstat =
-        Array.init m.nrows (fun i ->
-            if nslack_of_row.(i) < 0 then Basis.Lower else t.stat.(nslack_of_row.(i)));
-    }
-  in
-  Optimal
-    {
-      objective = finish_objective m t.rz;
-      var_values = x;
-      sol_names = Array.sub m.names 0 m.nvars;
-      sol_pivots = !pivots;
-      sol_cells = t.rcells;
-      sol_basis = Some basis;
-      sol_certification = Exact;
-    }
-
 (* Residual of row [i] with every structural variable at its initial
    status value. *)
 let row_residual values r =
   List.fold_left (fun acc (c, v) -> Q.sub acc (Q.mul c values.(v))) r.rhs r.terms
 
-(* Cold start: slack-basic rows need no artificial; phase 1 (minimizing
-   the sum of the artificials actually allocated) is skipped entirely
-   when every row starts slack-feasible. *)
-let solve_revised_cold ~rule ~budget ~obs ~pivots m =
-  let nv = m.nvars in
-  let nslack = ref 0 in
-  for i = 0 to m.nrows - 1 do
-    match m.rows.(i).sense with Le | Ge -> incr nslack | Eq -> ()
-  done;
-  let nslack = !nslack in
-  (* initial structural statuses: everything at its lower bound *)
-  let init_val = Array.init nv (fun v -> m.lower.(v)) in
-  (* which rows need an artificial, and the residuals *)
-  let residual = Array.init m.nrows (fun i -> row_residual init_val m.rows.(i)) in
-  let needs_art = Array.make m.nrows false in
-  let nart = ref 0 in
-  for i = 0 to m.nrows - 1 do
-    let need =
-      match m.rows.(i).sense with
-      | Le -> Q.compare residual.(i) Q.zero < 0
-      | Ge -> Q.compare residual.(i) Q.zero > 0
-      | Eq -> true
-    in
-    if need then begin
-      needs_art.(i) <- true;
-      incr nart
-    end
-  done;
-  let nart = !nart in
-  let n = nv + nslack + nart in
-  let t =
-    {
-      rm = m.nrows;
-      rn = n;
-      ra = Array.init m.nrows (fun _ -> Array.make n Q.zero);
-      xb = Array.make m.nrows Q.zero;
-      rbasis = Array.make m.nrows 0;
-      stat = Array.make n Basis.Lower;
-      rlo = Array.make n Q.zero;
-      rhi = Array.make n None;
-      rd = Array.make n Q.zero;
-      rz = Q.zero;
-      enterable = Array.make n true;
-      rcells = 0;
-    }
-  in
-  for v = 0 to nv - 1 do
-    t.rlo.(v) <- m.lower.(v);
-    t.rhi.(v) <- m.upper.(v);
-    (match m.upper.(v) with
-    | Some u when Q.equal u m.lower.(v) -> t.enterable.(v) <- false (* fixed *)
-    | _ -> ())
-  done;
-  let sidx = ref nv and aidx = ref (nv + nslack) in
-  for i = 0 to m.nrows - 1 do
-    let r = m.rows.(i) in
-    (* sign flip so the initial basic column has coefficient +1 *)
-    let flip =
-      match r.sense with
-      | Le -> needs_art.(i) (* artificial coeff -1 when residual < 0 *)
-      | Ge -> not needs_art.(i) (* slack coeff -1 when it starts basic *)
-      | Eq -> Q.compare residual.(i) Q.zero < 0
-    in
-    let put c v = t.ra.(i).(v) <- Q.add t.ra.(i).(v) (if flip then Q.neg c else c) in
-    List.iter (fun (c, v) -> put c v) r.terms;
-    (match r.sense with
-    | Le ->
-        put Q.one !sidx;
-        if not needs_art.(i) then begin
-          t.rbasis.(i) <- !sidx;
-          t.stat.(!sidx) <- Basis.Basic;
-          t.xb.(i) <- residual.(i)
-        end;
-        incr sidx
-    | Ge ->
-        put Q.minus_one !sidx;
-        if not needs_art.(i) then begin
-          t.rbasis.(i) <- !sidx;
-          t.stat.(!sidx) <- Basis.Basic;
-          t.xb.(i) <- Q.neg residual.(i)
-        end;
-        incr sidx
-    | Eq -> ());
-    if needs_art.(i) then begin
-      t.ra.(i).(!aidx) <- Q.one;
-      t.rbasis.(i) <- !aidx;
-      t.stat.(!aidx) <- Basis.Basic;
-      t.xb.(i) <- Q.abs residual.(i);
-      incr aidx
-    end
-  done;
-  let minimize_obj = minimize_objective m in
-  let art_start = nv + nslack in
-  let phase1_failed = ref false in
-  if nart > 0 then begin
-    (* phase 1: minimize the sum of the artificials; with the artificial
-       rows' basis the reduced cost of column j is -sum over those rows *)
-    for j = 0 to n - 1 do
-      if t.stat.(j) <> Basis.Basic then begin
-        let s = ref Q.zero in
-        for i = 0 to m.nrows - 1 do
-          if t.rbasis.(i) >= art_start && not (Q.is_zero t.ra.(i).(j)) then s := Q.add !s t.ra.(i).(j)
-        done;
-        t.rd.(j) <- Q.neg !s
-      end
-    done;
-    let z1 = ref Q.zero in
-    for i = 0 to m.nrows - 1 do
-      if t.rbasis.(i) >= art_start then z1 := Q.add !z1 t.xb.(i)
-    done;
-    t.rz <- !z1;
-    (match Obs.span obs "lp.phase1" (fun () -> run_bounded ~rule ~phase1:true ~budget ~obs ~pivots t) with
-    | R_unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
-    | R_optimal -> if Q.compare t.rz Q.zero > 0 then phase1_failed := true);
-    if not !phase1_failed then begin
-      (* pin artificials to zero and forbid them from re-entering *)
-      for j = art_start to n - 1 do
-        t.enterable.(j) <- false;
-        t.rhi.(j) <- Some Q.zero
-      done;
-      (* drive remaining (zero-valued) basic artificials out where possible *)
-      for i = 0 to m.nrows - 1 do
-        if t.rbasis.(i) >= art_start then begin
-          let found = ref None in
-          for j = 0 to art_start - 1 do
-            if !found = None && t.stat.(j) <> Basis.Basic && not (Q.is_zero t.ra.(i).(j)) then
-              found := Some j
-          done;
-          match !found with
-          | Some j ->
-              let k = t.rbasis.(i) in
-              t.xb.(i) <- nb_value t j;
-              t.stat.(k) <- Basis.Lower;
-              t.stat.(j) <- Basis.Basic;
-              t.rbasis.(i) <- j;
-              eliminate t ~r:i ~q:j
-          | None -> () (* redundant row: artificial stays basic at 0, pinned *)
-        end
-      done
-    end
-  end;
-  if !phase1_failed then begin
-    Obs.add obs "lp.exact_cells" t.rcells;
-    Infeasible
-  end
-  else begin
-    install_phase2 t minimize_obj;
-    match Obs.span obs "lp.phase2" (fun () -> run_bounded ~rule ~phase1:false ~budget ~obs ~pivots t) with
-    | R_unbounded ->
-        Obs.add obs "lp.exact_cells" t.rcells;
-        Unbounded
-    | R_optimal ->
-        Obs.add obs "lp.exact_cells" t.rcells;
-        extract_revised ~m ~pivots t
-  end
-
-(* Cap on dual-repair pivots before giving up and falling back to a cold
-   start; guarantees termination without a dual anti-cycling proof. *)
-let dual_pivot_cap t = (4 * (t.rm + t.rn)) + degenerate_pivot_threshold
-
-exception Warm_failed
-
-(* Dual simplex repairing primal feasibility after a bound change, from a
-   dual-feasible basis. Raises [Warm_failed] to request a cold start when
-   the pivot cap is hit. Returns [false] when the LP is infeasible. *)
-let dual_repair ~budget ~obs ~pivots t =
-  let cap = dual_pivot_cap t in
-  let steps = ref 0 in
-  let feasible = ref true in
-  let continue_ = ref true in
-  while !continue_ && !feasible do
-    (* leaving row: most violated basic value, ties to smallest basic index *)
-    let worst = ref None in
-    for i = 0 to t.rm - 1 do
-      let k = t.rbasis.(i) in
-      let viol =
-        if Q.compare t.xb.(i) t.rlo.(k) < 0 then Some (Q.sub t.rlo.(k) t.xb.(i), true)
-        else
-          match t.rhi.(k) with
-          | Some u when Q.compare t.xb.(i) u > 0 -> Some (Q.sub t.xb.(i) u, false)
-          | _ -> None
-      in
-      match viol with
-      | None -> ()
-      | Some (v, below) -> (
-          match !worst with
-          | Some (bi, _, bv) when Q.compare bv v > 0 || (Q.equal bv v && t.rbasis.(bi) <= k) -> ()
-          | _ -> worst := Some (i, below, v))
-    done;
-    match !worst with
-    | None -> continue_ := false (* primal feasible again *)
-    | Some (r, below, _) -> (
-        if !steps >= cap then raise Warm_failed;
-        (* entering column: keeps the dual feasible, min |d_j / a_rj| *)
-        let best = ref None in
-        for j = 0 to t.rn - 1 do
-          if t.enterable.(j) && t.stat.(j) <> Basis.Basic then begin
-            let arj = t.ra.(r).(j) in
-            if not (Q.is_zero arj) then begin
-              let eligible =
-                match (t.stat.(j), below) with
-                | Basis.Lower, true -> Q.compare arj Q.zero < 0
-                | Basis.Upper, true -> Q.compare arj Q.zero > 0
-                | Basis.Lower, false -> Q.compare arj Q.zero > 0
-                | Basis.Upper, false -> Q.compare arj Q.zero < 0
-                | Basis.Basic, _ -> false
-              in
-              if eligible then begin
-                let ratio = Q.div (Q.abs t.rd.(j)) (Q.abs arj) in
-                match !best with
-                | Some (_, br) when Q.compare br ratio <= 0 -> ()
-                | _ -> best := Some (j, ratio)
-              end
-            end
-          end
-        done;
-        match !best with
-        | None -> feasible := false (* dual unbounded: primal infeasible *)
-        | Some (q, _) ->
-            Budget.tick budget;
-            incr steps;
-            let k = t.rbasis.(r) in
-            let beta = if below then t.rlo.(k) else Option.get t.rhi.(k) in
-            let arq = t.ra.(r).(q) in
-            let delta = Q.div (Q.sub t.xb.(r) beta) arq in
-            let vq = Q.add (nb_value t q) delta in
-            for i = 0 to t.rm - 1 do
-              if i <> r then begin
-                let coef = t.ra.(i).(q) in
-                if not (Q.is_zero coef) then t.xb.(i) <- Q.sub t.xb.(i) (Q.mul coef delta)
-              end
-            done;
-            t.rz <- Q.add t.rz (Q.mul t.rd.(q) delta);
-            t.xb.(r) <- vq;
-            t.stat.(k) <- (if below then Basis.Lower else Basis.Upper);
-            t.stat.(q) <- Basis.Basic;
-            t.rbasis.(r) <- q;
-            eliminate t ~r ~q;
-            incr pivots;
-            Obs.incr obs "lp.pivots")
-  done;
-  !feasible
-
-(* Warm start: rebuild the tableau for the snapshot basis (Gaussian
-   elimination with free row choice; exact arithmetic needs no pivoting
-   strategy), re-enter phase 2 directly when still primal feasible, and
-   run the dual simplex when only primal feasibility was lost (the usual
-   case after a bound change, which leaves reduced costs intact). Raises
-   [Warm_failed] whenever the snapshot cannot be reused. *)
-let solve_revised_warm ~rule ~budget ~obs ~pivots m (w : Basis.t) =
-  if w.Basis.b_nvars <> m.nvars || w.Basis.b_nrows <> m.nrows then raise Warm_failed;
-  let nv = m.nvars in
-  let slack_of_row = Array.make m.nrows (-1) in
-  let nslack = ref 0 in
-  for i = 0 to m.nrows - 1 do
-    match m.rows.(i).sense with
-    | Le | Ge ->
-        slack_of_row.(i) <- nv + !nslack;
-        incr nslack
-    | Eq -> ()
-  done;
-  let nslack = !nslack in
-  let n = nv + nslack in
-  let t =
-    {
-      rm = m.nrows;
-      rn = n;
-      ra = Array.init m.nrows (fun _ -> Array.make n Q.zero);
-      xb = Array.make m.nrows Q.zero;
-      rbasis = Array.make m.nrows (-1);
-      stat = Array.make n Basis.Lower;
-      rlo = Array.make n Q.zero;
-      rhi = Array.make n None;
-      rd = Array.make n Q.zero;
-      rz = Q.zero;
-      enterable = Array.make n true;
-      rcells = 0;
-    }
-  in
-  for v = 0 to nv - 1 do
-    t.rlo.(v) <- m.lower.(v);
-    t.rhi.(v) <- m.upper.(v);
-    (* sanitize the snapshot against the current bounds *)
-    t.stat.(v) <-
-      (match w.Basis.vstat.(v) with
-      | Basis.Upper when m.upper.(v) = None -> Basis.Lower
-      | s -> s);
-    (match m.upper.(v) with
-    | Some u when Q.equal u m.lower.(v) -> t.enterable.(v) <- false
-    | _ -> ())
-  done;
-  for i = 0 to m.nrows - 1 do
-    if slack_of_row.(i) >= 0 then
-      t.stat.(slack_of_row.(i)) <-
-        (match w.Basis.sstat.(i) with Basis.Upper -> Basis.Lower | s -> s)
-  done;
-  (* raw rows [A | slack], augmented with the raw rhs *)
-  let rhs = Array.make m.nrows Q.zero in
-  for i = 0 to m.nrows - 1 do
-    let r = m.rows.(i) in
-    List.iter (fun (c, v) -> t.ra.(i).(v) <- Q.add t.ra.(i).(v) c) r.terms;
-    (match r.sense with
-    | Le -> t.ra.(i).(slack_of_row.(i)) <- Q.one
-    | Ge -> t.ra.(i).(slack_of_row.(i)) <- Q.minus_one
-    | Eq -> ());
-    rhs.(i) <- r.rhs
-  done;
-  (* Gauss-Jordan: make the snapshot's basic columns an identity *)
-  let assigned = Array.make m.nrows false in
-  let nbasic = ref 0 in
-  for q = 0 to n - 1 do
-    if t.stat.(q) = Basis.Basic then begin
-      incr nbasic;
-      if !nbasic > m.nrows then raise Warm_failed;
-      let r = ref (-1) in
-      for i = 0 to m.nrows - 1 do
-        if !r < 0 && (not assigned.(i)) && not (Q.is_zero t.ra.(i).(q)) then r := i
-      done;
-      if !r < 0 then raise Warm_failed (* singular basis *);
-      let r = !r in
-      assigned.(r) <- true;
-      t.rbasis.(r) <- q;
-      let prow = t.ra.(r) in
-      let piv = prow.(q) in
-      let cells = ref t.rcells in
-      if not (Q.equal piv Q.one) then begin
-        for j = 0 to n - 1 do
-          if not (Q.is_zero prow.(j)) then begin
-            incr cells;
-            prow.(j) <- Q.div prow.(j) piv
-          end
-        done;
-        rhs.(r) <- Q.div rhs.(r) piv
-      end;
-      for i = 0 to m.nrows - 1 do
-        if i <> r then begin
-          let f = t.ra.(i).(q) in
-          if not (Q.is_zero f) then begin
-            let row = t.ra.(i) in
-            for j = 0 to n - 1 do
-              if not (Q.is_zero prow.(j)) then begin
-                incr cells;
-                row.(j) <- Q.sub row.(j) (Q.mul f prow.(j))
-              end
-            done;
-            rhs.(i) <- Q.sub rhs.(i) (Q.mul f rhs.(r))
-          end
-        end
-      done;
-      t.rcells <- !cells
-    end
-  done;
-  if !nbasic <> m.nrows then raise Warm_failed;
-  (* basic values: x_B = B^-1 b - sum over nonbasic of B^-1 A_j x_j *)
-  for i = 0 to m.nrows - 1 do
-    t.xb.(i) <- rhs.(i)
-  done;
-  for j = 0 to n - 1 do
-    if t.stat.(j) <> Basis.Basic then begin
-      let v = nb_value t j in
-      if not (Q.is_zero v) then
-        for i = 0 to m.nrows - 1 do
-          if not (Q.is_zero t.ra.(i).(j)) then t.xb.(i) <- Q.sub t.xb.(i) (Q.mul t.ra.(i).(j) v)
-        done
-    end
-  done;
-  let minimize_obj = minimize_objective m in
-  install_phase2 t minimize_obj;
-  let primal_feasible =
-    let ok = ref true in
-    for i = 0 to m.nrows - 1 do
-      let k = t.rbasis.(i) in
-      if Q.compare t.xb.(i) t.rlo.(k) < 0 then ok := false
-      else match t.rhi.(k) with Some u when Q.compare t.xb.(i) u > 0 -> ok := false | _ -> ()
-    done;
-    !ok
-  in
-  let proceed =
-    if primal_feasible then true
-    else begin
-      (* dual feasible? (always, when only bounds changed since the
-         snapshot: bounds do not enter the reduced costs) *)
-      let dual_ok = ref true in
-      for j = 0 to n - 1 do
-        if t.enterable.(j) then
-          match t.stat.(j) with
-          | Basis.Lower -> if Q.compare t.rd.(j) Q.zero < 0 then dual_ok := false
-          | Basis.Upper -> if Q.compare t.rd.(j) Q.zero > 0 then dual_ok := false
-          | Basis.Basic -> ()
-      done;
-      if not !dual_ok then raise Warm_failed;
-      dual_repair ~budget ~obs ~pivots t
-    end
-  in
-  if not proceed then begin
-    Obs.add obs "lp.exact_cells" t.rcells;
-    Infeasible
-  end
-  else begin
-    Obs.incr obs "lp.warm_starts";
-    match Obs.span obs "lp.phase2" (fun () -> run_bounded ~rule ~phase1:false ~budget ~obs ~pivots t) with
-    | R_unbounded ->
-        Obs.add obs "lp.exact_cells" t.rcells;
-        Unbounded
-    | R_optimal ->
-        Obs.add obs "lp.exact_cells" t.rcells;
-        extract_revised ~m ~pivots t
-  end
-
 (* ====================================================================== *)
-(* Sparse basis algebra: the exact "sparse" engine and the float         *)
-(* engine's pivoting both run on the shared sparse LU + eta-file driver  *)
+(* Sparse basis algebra: the exact "revised" and "sparse" engines and    *)
+(* the float engine's pivoting all run on the shared sparse LU + eta     *)
+(* driver                                                                *)
 (* (Sparse_simplex over the Slu kernels), instantiated at Rational and   *)
 (* at float. The constraint matrix is held once as sparse columns; each  *)
 (* (re)factorization is a sparse LU with a fill-minimizing static        *)
@@ -1526,7 +870,7 @@ let solve_float_certified ~cfg ~rule ~warm ~budget ~obs m =
   let fallback () =
     Obs.incr obs "lp.fallbacks";
     let pivots = ref 0 in
-    match solve_revised_cold ~rule ~budget ~obs ~pivots m with
+    match solve_sparse_cold ~cfg:default_sparse_config ~rule ~budget ~obs ~pivots m with
     | Optimal s -> Optimal { s with sol_certification = Fallback }
     | r -> r
   in
@@ -1614,13 +958,18 @@ module Revised_engine : ENGINE = struct
   let selector = Revised
   let handles = function Revised -> true | _ -> false
 
+  (* Same sparse LU driver as the "sparse" engine (the pivot sequences
+     were already identical; the private dense tableau this engine
+     carried until 1.8 is gone). The name stays registered so CLI flags,
+     protocol requests and goldens keep resolving. *)
   let solve ~engine:_ ~rule ~warm ~budget ~obs m =
+    let cfg = default_sparse_config in
     let pivots = ref 0 in
     match warm with
-    | None -> solve_revised_cold ~rule ~budget ~obs ~pivots m
+    | None -> solve_sparse_cold ~cfg ~rule ~budget ~obs ~pivots m
     | Some w -> (
-        try solve_revised_warm ~rule ~budget ~obs ~pivots m w
-        with Warm_failed -> solve_revised_cold ~rule ~budget ~obs ~pivots m)
+        try solve_sparse_warm ~cfg ~rule ~budget ~obs ~pivots m w
+        with RS.Warm_failed -> solve_sparse_cold ~cfg ~rule ~budget ~obs ~pivots m)
 end
 
 module Dense_engine : ENGINE = struct

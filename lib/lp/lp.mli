@@ -12,21 +12,24 @@
     - ["revised"] ({!Revised}, the default) — a bounded-variable primal
       simplex with exact rational pivots: variable upper bounds are
       handled implicitly by nonbasic-at-lower/nonbasic-at-upper statuses
-      and bound flips, so the tableau has one row per constraint and
+      and bound flips, so the basis has one row per constraint and
       artificial variables exist only for rows whose slack cannot start
-      basic.
+      basic. Since 1.9 it runs on the same sparse LU driver as
+      ["sparse"] (the private dense-algebra tableau it carried through
+      1.8 is gone); the name stays registered for CLI flags, protocol
+      requests and goldens.
     - ["dense"] ({!Dense}) — the original two-phase tableau simplex with
       every upper bound expanded into an explicit row, kept as the
       reference implementation.
-    - ["sparse"] ({!Sparse}) — the same bounded-variable simplex as
-      ["revised"] but over sparse basis algebra: the constraint matrix
-      is stored as sparse columns, the basis is refactorized as a sparse
-      LU with a fill-minimizing ordering, each pivot appends a
-      product-form eta (refactorizing when the eta file outgrows the
-      factors), and pricing is one BTRAN plus sparse dot products per
-      iteration — O(nnz) work per pivot instead of the dense O(rows x
-      columns) elimination. Exact rational arithmetic throughout;
-      identical pivot sequence to ["revised"], so identical answers.
+    - ["sparse"] ({!Sparse}) — the bounded-variable simplex over sparse
+      basis algebra: the constraint matrix is stored as sparse columns,
+      the basis is refactorized as a sparse LU with a fill-minimizing
+      ordering, each pivot appends a product-form eta (refactorizing
+      when the eta file outgrows the factors), and pricing is one BTRAN
+      plus sparse dot products per iteration — O(nnz) work per pivot
+      instead of the dense O(rows x columns) elimination. Exact
+      rational arithmetic throughout. ["revised"] is an alias for this
+      driver, so the two are pivot-identical by construction.
     - ["float"] ({!Float_certified}) — the sparse driver running in
       double precision to find a candidate optimal basis fast, then one
       exact rational LU of that basis proves it (primal feasibility,
@@ -259,7 +262,7 @@ val default_engine : engine
     [lp.exact_cells] (rational cell operations actually performed by the
     exact engines and by certification — the engine-comparable work
     measure) counters plus [lp.phase1] / [lp.phase2] spans. Engines on
-    the sparse basis algebra (sparse, float) additionally record
+    the sparse basis algebra (revised, sparse, float) additionally record
     [lp.refactorizations] (sparse LU basis factorizations),
     [lp.eta_updates] (product-form eta pivots applied in place of a
     refactorization) and [lp.fill_nonzeros] (total LU nonzeros produced,
@@ -293,12 +296,12 @@ val values : solution -> (string * Rational.t) list
 val pivots : solution -> int
 
 (** Scalar cell operations the solve actually performed: tableau cells
-    updated by eliminations for the dense and revised engines, LU /
-    triangular-solve / eta / pricing multiplications for the sparse
-    engine, and float cells plus exact certification operations for the
-    float engine. This is the bench's engine-comparable measure of
-    simplex work (experiments E21/E23/E24); before 1.8.0 it reported the
-    static tableau area instead. *)
+    updated by eliminations for the dense engine, LU / triangular-solve
+    / eta / pricing multiplications for the revised and sparse engines,
+    and float cells plus exact certification operations for the float
+    engine. This is the bench's engine-comparable measure of simplex
+    work (experiments E21/E23/E24); before 1.8.0 it reported the static
+    tableau area instead. *)
 val tableau_cells : solution -> int
 
 (** Basis snapshot for {!solve}'s [?warm] — [None] when the solution was

@@ -172,3 +172,65 @@ let preemptive (sol : Busy.Preemptive.solution) ~width =
           Buffer.add_string buf (Printf.sprintf "job %-3d |%s|\n" a.Busy.Preemptive.job.B.id (Bytes.to_string row)))
         sol.Busy.Preemptive.assignments;
       Buffer.contents buf
+
+let epochs_svg ?(width = 720) (r : Sim.Rolling.run) =
+  let module R = Sim.Rolling in
+  let epochs = r.R.epochs in
+  let horizon =
+    List.fold_left (fun acc (e : R.epoch) -> max acc (e.R.now + r.R.epoch_len)) 1 epochs
+  in
+  let lane_h = 22 in
+  let rows = List.length epochs in
+  let h = ((rows + 1) * lane_h) + 50 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (svg_header ~w:width ~h);
+  let slot_w = float_of_int (width - 140) /. float_of_int (max 1 horizon) in
+  let x_of s = 60.0 +. (float_of_int (s - 1) *. slot_w) in
+  (* one lane per epoch: commit window in grey, committed opens filled;
+     degraded epochs in the warning color, misses flagged on the right *)
+  List.iteri
+    (fun row (e : R.epoch) ->
+      let y = 10 + (row * lane_h) in
+      Buffer.add_string buf (Printf.sprintf "<text x=\"8\" y=\"%d\">e%d</text>\n" (y + 14) e.R.index);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" fill=\"#eee\" stroke=\"#ccc\"/>\n"
+           (x_of (e.R.now + 1)) y
+           (slot_w *. float_of_int r.R.epoch_len)
+           (lane_h - 6));
+      let color = if e.R.degraded then "#e15759" else svg_palette.(e.R.index mod Array.length svg_palette) in
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" fill=\"%s\" fill-opacity=\"0.7\" stroke=\"%s\"/>\n"
+               (x_of s) y slot_w (lane_h - 6) color color))
+        e.R.opened;
+      Buffer.add_string buf
+        (Printf.sprintf "<text x=\"%d\" y=\"%d\">energy=%d%s%s</text>\n" (width - 76) (y + 14)
+           e.R.energy
+           (if e.R.sla_misses > 0 then Printf.sprintf " miss=%d" e.R.sla_misses else "")
+           (if e.R.degraded then " !" else "")))
+    epochs;
+  (* cumulative band: every committed open slot over the whole run *)
+  let y = 10 + (rows * lane_h) in
+  Buffer.add_string buf (Printf.sprintf "<text x=\"8\" y=\"%d\">all</text>\n" (y + 14));
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" fill=\"#bbb\" stroke=\"#888\"/>\n"
+           (x_of s) y slot_w (lane_h - 6)))
+    r.R.open_slots;
+  (* time axis along the bottom, one tick per epoch boundary *)
+  let axis_y = y + lane_h + 12 in
+  let rec ticks t =
+    if t <= horizon then begin
+      Buffer.add_string buf
+        (Printf.sprintf "<text x=\"%.1f\" y=\"%d\" fill=\"#666\">%d</text>\n" (x_of (t + 1)) axis_y t);
+      ticks (t + r.R.epoch_len)
+    end
+  in
+  ticks 0;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf

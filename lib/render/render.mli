@@ -21,3 +21,10 @@ val packing_svg : ?width:int -> Busy.Bundle.packing -> string
 (** SVG of an active-time solution: open-slot band plus one lane per
     job. *)
 val slotted_svg : ?width:int -> Workload.Slotted.t -> Active.Solution.t -> string
+
+(** SVG strip of a rolling-horizon run: one lane per epoch (commit
+    window in grey, committed open slots filled, degraded epochs in the
+    warning color, per-epoch energy and SLA misses annotated on the
+    right), a cumulative open-slot band, and an epoch-boundary time
+    axis. *)
+val epochs_svg : ?width:int -> Sim.Rolling.run -> string

@@ -23,7 +23,7 @@ module J = Obs.Json
 module Io = Workload.Io
 module CI = Core.Instance
 
-let version = "1.8.0"
+let version = "1.9.0"
 
 type command = Active | Busy
 

@@ -74,34 +74,9 @@ end
 (* ---------------------------------------------------------- memo cache -- *)
 
 (* Bounded FIFO memo of [Protocol.core] answers keyed on the request
-   digest. FIFO (not LRU) keeps eviction O(1) and deterministic. *)
-module Cache = struct
-  type t = {
-    m : Mutex.t;
-    tbl : (string, Protocol.core) Hashtbl.t;
-    order : string Queue.t;
-    capacity : int;
-  }
-
-  let create capacity =
-    { m = Mutex.create (); tbl = Hashtbl.create 64; order = Queue.create (); capacity }
-
-  let find t key =
-    if t.capacity <= 0 then None
-    else Mutex.protect t.m (fun () -> Hashtbl.find_opt t.tbl key)
-
-  let store t key core =
-    if t.capacity > 0 then
-      Mutex.protect t.m (fun () ->
-          if not (Hashtbl.mem t.tbl key) then begin
-            if Hashtbl.length t.tbl >= t.capacity then begin
-              let oldest = Queue.pop t.order in
-              Hashtbl.remove t.tbl oldest
-            end;
-            Hashtbl.replace t.tbl key core;
-            Queue.push key t.order
-          end)
-end
+   digest — [Core.Session.Memo], which this cache used to be before the
+   session layer absorbed it in 1.9. *)
+module Cache = Core.Session.Memo
 
 (* ------------------------------------------------------ ordered output -- *)
 
@@ -358,18 +333,14 @@ let respond cfg stats (emitter : Emitter.t) ~seq ~started ~id ~cache (core : Pro
 let run_stream ?(obs = Obs.null) ?config ~next_line ~emit () =
   let cfg = match config with Some c -> c | None -> default_config () in
   let stats = Stats.create () in
-  let cache = Cache.create cfg.cache_capacity in
-  (* LP warm-basis cache, shared across the worker domains (the Lp-side
-     cache is mutex-protected): repeated solves of same-shape models warm
+  let cache = Cache.create ~capacity:cfg.cache_capacity in
+  (* The daemon's warm state is one [Core.Session]: its LP warm-basis
+     cache (shared across the worker domains — the Lp-side cache is
+     mutex-protected) lets repeated solves of same-shape models warm
      start off the last optimal basis instead of running phase 1 cold.
-     The previous installation is restored on exit so runs compose. *)
-  let basis_cache =
-    if cfg.basis_cache_capacity > 0 then
-      Some (Lp.Basis_cache.create ~capacity:cfg.basis_cache_capacity)
-    else None
-  in
-  let previous_basis_cache = Lp.installed_basis_cache () in
-  (match basis_cache with Some _ -> Lp.install_basis_cache basis_cache | None -> ());
+     [with_installed] restores the previous installation on exit so
+     runs compose. *)
+  let session = Core.Session.create ~name:"serve" ~basis_cache:cfg.basis_cache_capacity () in
   let emitter = Emitter.create emit in
   let queue : job Bqueue.t = Bqueue.create ~capacity:(max 1 cfg.queue_capacity) in
   (* The response channel is the one dependency no structured response
@@ -410,6 +381,7 @@ let run_stream ?(obs = Obs.null) ?config ~next_line ~emit () =
     in
     loop ()
   in
+  Core.Session.with_installed session @@ fun () ->
   let workers = List.init (max 1 cfg.domains) (fun _ -> Domain.spawn worker) in
   let rec read seq =
     if output_dead () then ()
@@ -450,11 +422,10 @@ let run_stream ?(obs = Obs.null) ?config ~next_line ~emit () =
   Bqueue.close queue;
   List.iter Domain.join workers;
   Stats.merge stats obs;
-  (match basis_cache with
-  | Some bc ->
-      Lp.install_basis_cache previous_basis_cache;
-      Obs.add obs "serve.basis_hits" (Lp.Basis_cache.hits bc);
-      Obs.add obs "serve.basis_misses" (Lp.Basis_cache.misses bc)
+  (match Core.Session.basis_cache session with
+  | Some _ ->
+      Obs.add obs "serve.basis_hits" (Core.Session.basis_hits session);
+      Obs.add obs "serve.basis_misses" (Core.Session.basis_misses session)
   | None -> ());
   Atomic.get output_failure
 

@@ -1,0 +1,148 @@
+module Q = Rational
+module B = Workload.Bjob
+module Bundle = Busy.Bundle
+module I = Intervals.Interval
+module U = Intervals.Union
+module S = Workload.Slotted
+
+type machine_trace = {
+  machine : int;
+  on_periods : I.t list;
+  energy : Q.t;
+  switch_ons : int;
+  peak_jobs : int;
+}
+
+type report = {
+  traces : machine_trace list;
+  total_energy : Q.t;
+  total_switch_ons : int;
+  peak_parallelism : int;
+  utilization : Q.t;
+  violations : string list;
+}
+
+(* Sweep a list of (interval, weight) loads: returns the union of the
+   support and the peak total weight, via event ordering. *)
+let sweep loads =
+  let events =
+    List.concat_map (fun ((iv : I.t), w) -> [ (iv.I.lo, w); (iv.I.hi, -w) ]) loads
+  in
+  (* at equal coordinates process ends (+/-: ends first) so half-open
+     intervals touching at a point do not count as overlapping *)
+  let events = List.sort (fun (a, wa) (b, wb) -> let c = Q.compare a b in if c <> 0 then c else compare wa wb) events in
+  let peak = ref 0 in
+  let current = ref 0 in
+  List.iter
+    (fun (_, w) ->
+      current := !current + w;
+      if !current > !peak then peak := !current)
+    events;
+  (U.of_list (List.map fst loads), !peak)
+
+let trace_of_machine machine loads =
+  let support, peak = sweep loads in
+  let periods = U.components support in
+  { machine;
+    on_periods = periods;
+    energy = U.measure support;
+    switch_ons = List.length periods;
+    peak_jobs = peak }
+
+let finish ~g ~job_time ~violations traces =
+  let total_energy = List.fold_left (fun acc t -> Q.add acc t.energy) Q.zero traces in
+  let utilization =
+    if Q.is_zero total_energy then Q.zero else Q.div job_time (Q.mul (Q.of_int g) total_energy)
+  in
+  { traces;
+    total_energy;
+    total_switch_ons = List.fold_left (fun acc t -> acc + t.switch_ons) 0 traces;
+    peak_parallelism = List.fold_left (fun acc t -> max acc t.peak_jobs) 0 traces;
+    utilization;
+    violations = List.rev violations }
+
+let run_packing ~g packing =
+  if g < 1 then invalid_arg "Sim.run_packing: g < 1";
+  let violations = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  let traces =
+    List.mapi
+      (fun machine bundle ->
+        let loads =
+          List.filter_map
+            (fun (j : B.t) ->
+              if B.is_interval j then Some (B.interval_of j, 1)
+              else begin
+                fail "machine %d: job %d is flexible" machine j.B.id;
+                None
+              end)
+            bundle
+        in
+        let t = trace_of_machine machine loads in
+        if t.peak_jobs > g then
+          fail "machine %d: %d simultaneous jobs exceed capacity %d" machine t.peak_jobs g;
+        t)
+      packing
+  in
+  let job_time = B.total_length (List.concat packing) in
+  finish ~g ~job_time ~violations:!violations traces
+
+let run_active (inst : S.t) (sol : Active.Solution.t) =
+  let violations = ref [] in
+  (match Active.Solution.verify inst sol with
+  | Some problem -> violations := [ problem ]
+  | None -> ());
+  (* the machine is on exactly during the open slots *)
+  let slot_iv s = I.make (Q.of_int (s - 1)) (Q.of_int s) in
+  let loads_of_slots slots = List.map (fun s -> (slot_iv s, 0)) slots in
+  (* job units as weight-1 loads for peak counting *)
+  let unit_loads =
+    List.concat_map (fun (_, slots) -> List.map (fun s -> (slot_iv s, 1)) slots) sol.Active.Solution.schedule
+  in
+  let t = trace_of_machine 0 (loads_of_slots sol.Active.Solution.open_slots @ unit_loads) in
+  (* energy counts open slots even when idle: recompute support from the
+     open slots only *)
+  let power_support = U.of_list (List.map slot_iv sol.Active.Solution.open_slots) in
+  let t =
+    { t with
+      on_periods = U.components power_support;
+      energy = U.measure power_support;
+      switch_ons = List.length (U.components power_support) }
+  in
+  if t.peak_jobs > inst.S.g then
+    violations := Printf.sprintf "%d simultaneous units exceed capacity %d" t.peak_jobs inst.S.g :: !violations;
+  let job_time = Q.of_int (S.total_length inst) in
+  finish ~g:inst.S.g ~job_time ~violations:!violations [ t ]
+
+let run_preemptive ~g detail =
+  if g < 1 then invalid_arg "Sim.run_preemptive: g < 1";
+  let violations = ref [] in
+  (* Each interesting interval spreads its active jobs over ceil(n/g)
+     machines; model machine m of cell c as one powered interval. For the
+     energy account we lay machines out per cell. *)
+  let traces = ref [] in
+  let idx = ref 0 in
+  List.iter
+    (fun ((cell : I.t), active, machines) ->
+      let n = List.length active in
+      if machines < (n + g - 1) / g then
+        violations := Printf.sprintf "cell %s under-provisioned" (I.to_string cell) :: !violations;
+      for m = 0 to machines - 1 do
+        let jobs_here = min g (max 0 (n - (m * g))) in
+        traces :=
+          { machine = !idx;
+            on_periods = [ cell ];
+            energy = I.length cell;
+            switch_ons = 1;
+            peak_jobs = jobs_here }
+          :: !traces;
+        incr idx
+      done)
+    detail;
+  let job_time =
+    List.fold_left
+      (fun acc ((cell : I.t), active, _) ->
+        Q.add acc (Q.mul (Q.of_int (List.length active)) (I.length cell)))
+      Q.zero detail
+  in
+  finish ~g ~job_time ~violations:!violations (List.rev !traces)

@@ -144,6 +144,27 @@ let flexible_jobs ?(n = 10) ?(horizon = 40) ?(max_length = 5) ?(slack_factor = 2
       let release = Random.State.int st (max 1 (horizon - window + 1)) in
       Bjob.of_ints ~id ~release ~deadline:(release + window) ~length)
 
+(* Timed (online) slotted mix for the rolling-horizon simulator: the
+   diurnal two-peak release pattern on the slot grid, where each job
+   becomes known only [0..lead] slots before its release. Scales with
+   params.n/params.horizon to make the "scaled synthetic mix" traces. *)
+let timed_slotted ?(params = default_slotted) ?(lead = 4) ~seed () =
+  let st = Random.State.make [| seed |] in
+  let arrivals = ref [] in
+  let jobs =
+    List.init params.n (fun id ->
+        let peak = if Random.State.bool st then params.horizon / 4 else 3 * params.horizon / 4 in
+        let jitter = Random.State.int st (max 1 (params.horizon / 8)) - (params.horizon / 16) in
+        let length = 1 + Random.State.int st params.max_length in
+        let slack = Random.State.int st (params.slack + 1) in
+        let window = min params.horizon (length + slack) in
+        let release = max 0 (min (params.horizon - window) (peak + jitter)) in
+        let arrival = max 0 (release - Random.State.int st (lead + 1)) in
+        arrivals := (id, arrival) :: !arrivals;
+        Slotted.job ~id ~release ~deadline:(release + window) ~length)
+  in
+  (Slotted.make ~g:params.g jobs, List.rev !arrivals)
+
 (* Diurnal (data-center-like) flexible jobs: releases cluster around two
    daily peaks at 1/4 and 3/4 of the horizon, mimicking a morning and an
    evening batch wave. *)

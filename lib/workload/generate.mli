@@ -63,3 +63,11 @@ val flexible_jobs :
     peaks (morning and evening batch waves). *)
 val diurnal_flexible_jobs :
   ?n:int -> ?horizon:int -> ?max_length:int -> seed:int -> unit -> Bjob.t list
+
+(** Timed (online) slotted mix for the rolling-horizon simulator: the
+    diurnal two-peak release pattern on the slot grid, where each job
+    becomes known [0..lead] slots (default 4) before its release.
+    Returns the instance plus [(job id, arrival)] pairs in the
+    {!Io.parse_file_timed} convention. Scale with [params]. *)
+val timed_slotted :
+  ?params:slotted_params -> ?lead:int -> seed:int -> unit -> Slotted.t * (int * int) list

@@ -50,7 +50,7 @@ let parse_error lineno fmt = Printf.ksprintf (fun msg -> raise (Parse_error (lin
    aborting the whole run. Whole-file problems (missing header, missing
    capacity) stay fatal in both modes: there is nothing to continue
    with. *)
-let parse_line ~kind ~g ~slotted_jobs ~busy_jobs ~lineno line =
+let parse_line ~kind ~g ~slotted_jobs ~busy_jobs ~arrivals ~lineno line =
   match tokens_of_line line with
       | [] -> ()
       | [ "slotted" ] -> kind := Some `Slotted
@@ -60,12 +60,26 @@ let parse_line ~kind ~g ~slotted_jobs ~busy_jobs ~lineno line =
           | Some n when n >= 1 -> g := Some n
           | _ -> parse_error lineno "invalid capacity %S" v)
       | "job" :: rest -> (
+          (* Optional trailing [arrival <t>] pair: when the job appears in
+             the online stream (rolling-horizon replay) rather than being
+             known at time 0. Integer slots, like the epoch clock. *)
+          let rest, arrival =
+            match rest with
+            | [ id; r; d; p; "arrival"; t ] -> (
+                match int_of_string_opt t with
+                | Some a when a >= 0 -> ([ id; r; d; p ], Some a)
+                | _ -> parse_error lineno "invalid arrival %S (want a nonnegative integer)" t)
+            | _ -> (rest, None)
+          in
+          let record id = match arrival with Some a -> arrivals := (id, a) :: !arrivals | None -> () in
           match (!kind, rest) with
           | None, _ -> parse_error lineno "job before header ('slotted' or 'busy')"
           | Some `Slotted, [ id; r; d; p ] -> (
               match (int_of_string_opt id, int_of_string_opt r, int_of_string_opt d, int_of_string_opt p) with
               | Some id, Some release, Some deadline, Some length -> (
-                  try slotted_jobs := Slotted.job ~id ~release ~deadline ~length :: !slotted_jobs
+                  try
+                    slotted_jobs := Slotted.job ~id ~release ~deadline ~length :: !slotted_jobs;
+                    record id
                   with Invalid_argument msg -> parse_error lineno "%s" msg)
               | _ -> parse_error lineno "slotted jobs need four integers")
           | Some `Busy, [ id; r; d; p ] -> (
@@ -75,7 +89,8 @@ let parse_line ~kind ~g ~slotted_jobs ~busy_jobs ~lineno line =
                   try
                     busy_jobs :=
                       Bjob.make ~id ~release:(Q.of_string r) ~deadline:(Q.of_string d) ~length:(Q.of_string p)
-                      :: !busy_jobs
+                      :: !busy_jobs;
+                    record id
                   with
                   | Invalid_argument msg | Failure msg -> parse_error lineno "%s" msg
                   | Division_by_zero ->
@@ -91,29 +106,35 @@ let parse_lines_gen ~on_error lines =
   let g = ref None in
   let slotted_jobs = ref [] in
   let busy_jobs = ref [] in
+  let arrivals = ref [] in
   List.iteri
     (fun i line ->
       let lineno = i + 1 in
-      try parse_line ~kind ~g ~slotted_jobs ~busy_jobs ~lineno line
+      try parse_line ~kind ~g ~slotted_jobs ~busy_jobs ~arrivals ~lineno line
       with Parse_error (l, msg) -> on_error l msg)
     lines;
   match !kind with
   | None -> raise (Parse_error (0, "missing header ('slotted' or 'busy')"))
   | Some `Slotted ->
       let g = match !g with Some g -> g | None -> raise (Parse_error (0, "slotted instances need 'g <capacity>'")) in
-      Slotted_instance (Slotted.make ~g (List.rev !slotted_jobs))
-  | Some `Busy -> Busy_instance (List.rev !busy_jobs)
+      (Slotted_instance (Slotted.make ~g (List.rev !slotted_jobs)), List.rev !arrivals)
+  | Some `Busy -> (Busy_instance (List.rev !busy_jobs), List.rev !arrivals)
 
 let parse_lines lines =
+  fst (parse_lines_gen ~on_error:(fun l msg -> raise (Parse_error (l, msg))) lines)
+
+let parse_lines_timed lines =
   parse_lines_gen ~on_error:(fun l msg -> raise (Parse_error (l, msg))) lines
 
 let parse_lines_lenient lines =
   let errors = ref [] in
   match parse_lines_gen ~on_error:(fun l msg -> errors := (l, msg) :: !errors) lines with
-  | instance -> Ok (instance, List.rev !errors)
+  | instance, _ -> Ok (instance, List.rev !errors)
   | exception Parse_error (l, msg) -> Error (l, msg)
 
+let arrival arrivals id = match List.assoc_opt id arrivals with Some a -> a | None -> 0
 let parse_string s = parse_lines (String.split_on_char '\n' s)
+let parse_string_timed s = parse_lines_timed (String.split_on_char '\n' s)
 let parse_string_lenient s = parse_lines_lenient (String.split_on_char '\n' s)
 
 let read_lines path =
@@ -130,9 +151,15 @@ let read_lines path =
       List.rev !lines)
 
 let parse_file path = parse_lines (read_lines path)
+let parse_file_timed path = parse_lines_timed (read_lines path)
 let parse_file_lenient path = parse_lines_lenient (read_lines path)
 
-let to_string = function
+let to_string ?(arrivals = []) instance =
+  let suffix id = match List.assoc_opt id arrivals with
+    | Some a when a > 0 -> Printf.sprintf " arrival %d" a
+    | _ -> ""
+  in
+  match instance with
   | Slotted_instance inst ->
       let buf = Buffer.create 256 in
       Buffer.add_string buf "slotted\n";
@@ -140,8 +167,8 @@ let to_string = function
       Array.iter
         (fun (j : Slotted.job) ->
           Buffer.add_string buf
-            (Printf.sprintf "job %d %d %d %d\n" j.Slotted.id j.Slotted.release j.Slotted.deadline
-               j.Slotted.length))
+            (Printf.sprintf "job %d %d %d %d%s\n" j.Slotted.id j.Slotted.release j.Slotted.deadline
+               j.Slotted.length (suffix j.Slotted.id)))
         inst.Slotted.jobs;
       Buffer.contents buf
   | Busy_instance jobs ->
@@ -150,11 +177,11 @@ let to_string = function
       List.iter
         (fun (j : Bjob.t) ->
           Buffer.add_string buf
-            (Printf.sprintf "job %d %s %s %s\n" j.Bjob.id (Q.to_string j.Bjob.release)
-               (Q.to_string j.Bjob.deadline) (Q.to_string j.Bjob.length)))
+            (Printf.sprintf "job %d %s %s %s%s\n" j.Bjob.id (Q.to_string j.Bjob.release)
+               (Q.to_string j.Bjob.deadline) (Q.to_string j.Bjob.length) (suffix j.Bjob.id)))
         jobs;
       Buffer.contents buf
 
-let write_file path instance =
+let write_file ?arrivals path instance =
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string instance))
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string ?arrivals instance))

@@ -187,7 +187,14 @@ let test_golden_bb_hard_rebuild () =
    bounds handled without pivoting) and warm starts (solves that re-entered
    phase 2 from the parent basis; the remainder fell back to a cold
    start). A diff means the LP engine's pivot sequence changed, which
-   must be a conscious decision, not an accident. *)
+   must be a conscious decision, not an accident.
+
+   Refreshed for 1.9.0, when the revised engine retired its private dense
+   tableau onto the sparse LU driver: the pivot sequence is untouched
+   (pivots / phase-1 / degenerate / bound flips / warm starts all
+   unchanged) but the work counters now reflect sparse algebra —
+   exact_cells fell 13825 -> 3952 and the LU telemetry
+   (refactorizations / eta_updates / fill_nonzeros) appears. *)
 let test_golden_lp_counters () =
   let inst = Gad.integrality_gap 3 in
   let obs = Obs.create () in
@@ -200,9 +207,12 @@ let test_golden_lp_counters () =
     "golden LP counters"
     [ ("lp.bound_flips", 3);
       ("lp.degenerate_pivots", 30);
-      ("lp.exact_cells", 13825);
+      ("lp.eta_updates", 47);
+      ("lp.exact_cells", 3952);
+      ("lp.fill_nonzeros", 996);
       ("lp.phase1_pivots", 39);
       ("lp.pivots", 47);
+      ("lp.refactorizations", 10);
       ("lp.solves", 9);
       ("lp.warm_starts", 4) ]
     lp_only

@@ -124,6 +124,152 @@ let test_render_preemptive () =
   let s = Render.preemptive sol ~width:4 in
   Alcotest.(check bool) "contains job row" true (String.length s > 0 && String.sub s 0 4 = "job ")
 
+(* -- rolling horizon ----------------------------------------------------------- *)
+
+module Rolling = Sim.Rolling
+module S = Workload.Slotted
+
+let tiny_trace =
+  S.make ~g:2
+    [ S.job ~id:0 ~release:0 ~deadline:6 ~length:2;
+      S.job ~id:1 ~release:1 ~deadline:7 ~length:3;
+      S.job ~id:2 ~release:4 ~deadline:10 ~length:2 ]
+
+let tiny_arrivals = [ (1, 1); (2, 5) ]
+
+let test_rolling_basic () =
+  let r = Rolling.run ~arrivals:tiny_arrivals tiny_trace in
+  Alcotest.(check int) "all jobs complete" 3 r.Rolling.completed_jobs;
+  Alcotest.(check int) "no misses" 0 r.Rolling.total_misses;
+  Alcotest.(check int) "work = total length" (S.total_length tiny_trace) r.Rolling.total_work;
+  Alcotest.(check int) "energy = open slots" (List.length r.Rolling.open_slots) r.Rolling.total_energy;
+  Alcotest.(check (option string)) "committed schedule is valid" None
+    (S.check_schedule tiny_trace r.Rolling.schedule);
+  (match r.Rolling.replay with
+  | None -> Alcotest.fail "complete run must replay"
+  | Some rep ->
+      Alcotest.(check (list string)) "replay clean" [] rep.Sim.violations;
+      Alcotest.(check string) "replayed energy = committed energy"
+        (string_of_int r.Rolling.total_energy)
+        (Q.to_string rep.Sim.total_energy));
+  (* per-epoch bookkeeping sums to the totals *)
+  Alcotest.(check int) "epoch work sums" r.Rolling.total_work
+    (List.fold_left (fun acc e -> acc + e.Rolling.work) 0 r.Rolling.epochs);
+  Alcotest.(check int) "epoch energy sums" r.Rolling.total_energy
+    (List.fold_left (fun acc e -> acc + e.Rolling.energy) 0 r.Rolling.epochs);
+  (* a job not yet arrived is outside the window *)
+  let e0 = List.hd r.Rolling.epochs in
+  Alcotest.(check int) "only job 0 at epoch 0" 1 e0.Rolling.arrived;
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "every epoch stays feasible" true e.Rolling.feasible;
+      match e.Rolling.lower_bound with
+      | Some b ->
+          Alcotest.(check bool) "pinned LP bounds the final energy" true
+            (Q.compare b (Q.of_int r.Rolling.total_energy) <= 0)
+      | None -> Alcotest.fail "non-degraded epoch must carry a bound")
+    r.Rolling.epochs
+
+let test_rolling_miss () =
+  (* g = 1 and a late arrival whose window is already spent: the job is
+     dropped as an SLA miss, the rest completes, the replay is skipped *)
+  let inst =
+    S.make ~g:1
+      [ S.job ~id:0 ~release:0 ~deadline:4 ~length:2;
+        S.job ~id:1 ~release:0 ~deadline:4 ~length:2;
+        S.job ~id:2 ~release:0 ~deadline:8 ~length:2 ]
+  in
+  let config = { Rolling.default_config with Rolling.epoch_len = 2 } in
+  let r = Rolling.run ~config ~arrivals:[ (1, 3) ] inst in
+  Alcotest.(check int) "one miss" 1 r.Rolling.total_misses;
+  Alcotest.(check int) "others complete" 2 r.Rolling.completed_jobs;
+  Alcotest.(check bool) "replay skipped" true (r.Rolling.replay = None);
+  Alcotest.(check int) "misses accounted per epoch" 1
+    (List.fold_left (fun acc e -> acc + e.Rolling.sla_misses) 0 r.Rolling.epochs)
+
+let test_rolling_deadline () =
+  (* an always-expired probe degrades every epoch deterministically: the
+     cascade records the aborted tier, EDF still commits the work *)
+  let config =
+    { Rolling.default_config with Rolling.epoch_deadline = Some (fun () () -> true) }
+  in
+  let r = Rolling.run ~config ~arrivals:tiny_arrivals tiny_trace in
+  Alcotest.(check int) "still completes" 3 r.Rolling.completed_jobs;
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "degraded" true e.Rolling.degraded;
+      Alcotest.(check bool) "deadline bound skipped" true (e.Rolling.lower_bound = None);
+      match e.Rolling.provenance with
+      | Some p ->
+          Alcotest.(check bool) "aborted tier recorded" true
+            (List.exists
+               (fun (a : Budget.Cascade.attempt) -> a.status = Budget.Cascade.Deadline)
+               p.attempts)
+      | None -> Alcotest.fail "cascade provenance expected")
+    r.Rolling.epochs
+
+let test_rolling_of_busy () =
+  let jobs = [ ij 0 0 3; ij 1 1 3 ] in
+  let inst = Rolling.of_busy ~g:2 jobs in
+  Alcotest.(check int) "jobs" 2 (S.num_jobs inst);
+  Alcotest.(check int) "horizon" 4 (S.horizon inst);
+  let frac = B.make ~id:7 ~release:Q.zero ~deadline:(Q.div Q.one Q.two) ~length:(Q.div Q.one Q.two) in
+  Alcotest.check_raises "fractional coordinates rejected"
+    (Invalid_argument "Rolling.of_busy: job 7 has non-integral length 1/2") (fun () ->
+      ignore (Rolling.of_busy ~g:2 [ frac ]))
+
+let test_rolling_counters () =
+  let obs = Obs.create () in
+  let r = Rolling.run ~obs ~arrivals:tiny_arrivals tiny_trace in
+  let counter n = match List.assoc_opt n (Obs.counters obs) with Some v -> v | None -> 0 in
+  Alcotest.(check int) "sim.epochs" (List.length r.Rolling.epochs) (counter "sim.epochs");
+  Alcotest.(check int) "sim.energy" r.Rolling.total_energy (counter "sim.energy");
+  Alcotest.(check int) "sim.work" r.Rolling.total_work (counter "sim.work");
+  Alcotest.(check bool) "session warm hits recorded" true (counter "session.warm_hits" > 0);
+  (* the cold baseline reuses nothing across epochs *)
+  let cold = Obs.create () in
+  let config = { Rolling.default_config with Rolling.warm = false } in
+  let rc = Rolling.run ~obs:cold ~config ~arrivals:tiny_arrivals tiny_trace in
+  Alcotest.(check int) "cold energy agrees" r.Rolling.total_energy rc.Rolling.total_energy;
+  let cold_counter n = match List.assoc_opt n (Obs.counters cold) with Some v -> v | None -> 0 in
+  Alcotest.(check bool) "cold does more LP work" true
+    (cold_counter "lp.exact_cells" > counter "lp.exact_cells")
+
+let test_rolling_json_and_pp () =
+  let r = Rolling.run ~arrivals:tiny_arrivals tiny_trace in
+  (match Sim.Rolling.to_json r with
+  | Obs.Json.Obj fields ->
+      Alcotest.(check bool) "schema" true (List.assoc_opt "schema" fields = Some (Obs.Json.Int 1));
+      Alcotest.(check bool) "kind" true
+        (List.assoc_opt "kind" fields = Some (Obs.Json.String "rolling"));
+      (match List.assoc_opt "epochs" fields with
+      | Some (Obs.Json.List es) ->
+          Alcotest.(check int) "one object per epoch" (List.length r.Rolling.epochs) (List.length es)
+      | _ -> Alcotest.fail "epochs list expected");
+      (* byte-stable: same trace, same config, same document *)
+      let r2 = Rolling.run ~arrivals:tiny_arrivals tiny_trace in
+      Alcotest.(check string) "deterministic json"
+        (Obs.Json.to_string (Rolling.to_json r))
+        (Obs.Json.to_string (Rolling.to_json r2))
+  | _ -> Alcotest.fail "object expected");
+  let text = Format.asprintf "%a" Rolling.pp r in
+  Alcotest.(check bool) "pp has a totals line" true (count_substring "total: energy=" text = 1)
+
+let test_rolling_epochs_svg () =
+  let r = Rolling.run ~arrivals:tiny_arrivals tiny_trace in
+  let svg = Render.epochs_svg r in
+  Alcotest.(check bool) "starts with svg" true (String.sub svg 0 4 = "<svg");
+  Alcotest.(check int) "closes" 1 (count_substring "</svg>" svg);
+  (* one label per epoch lane plus the cumulative band *)
+  List.iter
+    (fun (e : Rolling.epoch) ->
+      Alcotest.(check int)
+        (Printf.sprintf "lane e%d" e.Rolling.index)
+        1
+        (count_substring (Printf.sprintf ">e%d</text>" e.Rolling.index) svg))
+    r.Rolling.epochs;
+  Alcotest.(check int) "cumulative band" 1 (count_substring ">all</text>" svg)
+
 (* -- properties ---------------------------------------------------------------- *)
 
 let seed_arb = QCheck.int_range 0 100_000
@@ -184,8 +330,95 @@ let prop_render_total =
       String.length s > 0
       && List.length (String.split_on_char '\n' s) = List.length packing + 1)
 
+(* report invariants: utilization is zero exactly when no energy was
+   spent, and the report totals are the fold of its per-machine traces *)
+let report_invariants (r : Sim.report) =
+  Q.is_zero r.Sim.utilization = Q.is_zero r.Sim.total_energy
+  && r.Sim.total_switch_ons
+     = List.fold_left (fun acc (t : Sim.machine_trace) -> acc + t.Sim.switch_ons) 0 r.Sim.traces
+  && Q.equal r.Sim.total_energy
+       (List.fold_left (fun acc (t : Sim.machine_trace) -> Q.add acc t.Sim.energy) Q.zero r.Sim.traces)
+
+let prop_report_invariants =
+  QCheck.Test.make ~name:"report invariants (utilization, switch-on and energy folds)" ~count:40
+    seed_arb (fun seed ->
+      let jobs = Gen.interval_jobs ~n:8 ~horizon:16 ~max_length:4 ~seed () in
+      List.for_all
+        (fun g -> report_invariants (Sim.run_packing ~g (Busy.First_fit.solve ~g jobs)))
+        [ 1; 2; 3 ]
+      && report_invariants (Sim.run_packing ~g:2 [])
+      &&
+      let params : Gen.slotted_params = { n = 6; horizon = 10; max_length = 3; slack = 3; g = 2 } in
+      let inst = Gen.slotted ~params ~seed () in
+      match Active.Minimal.solve inst Active.Minimal.Right_to_left with
+      | None -> true
+      | Some sol -> report_invariants (Sim.run_active inst sol))
+
+(* satellite oracle: for EVERY registered active-slotted solver that
+   returns a schedule witness, replaying the witness spends exactly the
+   analytic objective in energy *)
+let prop_registry_replay_energy =
+  QCheck.Test.make ~name:"replayed energy = analytic cost for every registry solver" ~count:25
+    seed_arb (fun seed ->
+      let params : Gen.slotted_params = { n = 6; horizon = 12; max_length = 3; slack = 3; g = 2 } in
+      let inst = Gen.slotted ~params ~seed () in
+      let ci = Core.Instance.Slotted inst in
+      Core.Registry.all ()
+      |> List.filter (fun (s : Core.Solver.t) ->
+             s.Core.Solver.kind = Core.Instance.Active_slotted && s.Core.Solver.guard ci = None)
+      |> List.for_all (fun (s : Core.Solver.t) ->
+             match s.Core.Solver.solve ~budget:(Budget.limited 300_000) ci with
+             | {
+                 Core.Result.status = Core.Result.Solved;
+                 objective = Some (Core.Result.Slots cost);
+                 witness = Some (Core.Result.Opened { open_slots; schedule });
+                 _;
+               } ->
+                 let report = Sim.run_active inst { Active.Solution.open_slots; schedule } in
+                 report.Sim.violations = []
+                 && Q.equal report.Sim.total_energy (Q.of_int cost)
+                 && report_invariants report
+             | _ -> true (* bound-only, infeasible or exhausted: nothing to replay *)))
+
+(* rolling runs that finish without misses commit a valid schedule whose
+   replay spends exactly the committed energy, warm or cold — and the
+   cold baseline answers identically *)
+let prop_rolling_replay =
+  QCheck.Test.make ~name:"rolling-horizon commits replay to the committed energy" ~count:15
+    seed_arb (fun seed ->
+      let params : Gen.slotted_params = { n = 8; horizon = 16; max_length = 3; slack = 4; g = 2 } in
+      let inst, arrivals = Gen.timed_slotted ~params ~seed () in
+      let r = Rolling.run ~arrivals inst in
+      let cold =
+        Rolling.run ~config:{ Rolling.default_config with Rolling.warm = false } ~arrivals inst
+      in
+      r.Rolling.total_energy = cold.Rolling.total_energy
+      && r.Rolling.total_misses = cold.Rolling.total_misses
+      && r.Rolling.schedule = cold.Rolling.schedule
+      && r.Rolling.total_work
+         = List.fold_left (fun acc e -> acc + e.Rolling.work) 0 r.Rolling.epochs
+      && List.for_all
+           (fun e ->
+             match e.Rolling.lower_bound with
+             | Some b ->
+                 r.Rolling.total_misses > 0
+                 || Q.compare b (Q.of_int r.Rolling.total_energy) <= 0
+             | None -> true)
+           r.Rolling.epochs
+      &&
+      match r.Rolling.replay with
+      | Some rep ->
+          r.Rolling.total_misses = 0
+          && rep.Sim.violations = []
+          && Q.equal rep.Sim.total_energy (Q.of_int r.Rolling.total_energy)
+          && S.check_schedule inst r.Rolling.schedule = None
+          && report_invariants rep
+      | None -> r.Rolling.total_misses > 0)
+
 let props =
-  List.map QCheck_alcotest.to_alcotest [ prop_sim_matches_analytic; prop_sim_active; prop_slotted_svg_shape; prop_render_total ]
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_sim_matches_analytic; prop_sim_active; prop_slotted_svg_shape; prop_render_total;
+      prop_report_invariants; prop_registry_replay_energy; prop_rolling_replay ]
 
 let () =
   Alcotest.run "sim"
@@ -197,6 +430,14 @@ let () =
           Alcotest.test_case "active energy" `Quick test_active_energy;
           Alcotest.test_case "active violation" `Quick test_active_violation;
           Alcotest.test_case "preemptive energy" `Quick test_preemptive_energy ] );
+      ( "rolling",
+        [ Alcotest.test_case "basic run" `Quick test_rolling_basic;
+          Alcotest.test_case "sla miss" `Quick test_rolling_miss;
+          Alcotest.test_case "deadline degradation" `Quick test_rolling_deadline;
+          Alcotest.test_case "of_busy" `Quick test_rolling_of_busy;
+          Alcotest.test_case "counters and cold baseline" `Quick test_rolling_counters;
+          Alcotest.test_case "json and pp" `Quick test_rolling_json_and_pp;
+          Alcotest.test_case "epochs svg" `Quick test_rolling_epochs_svg ] );
       ( "renderer",
         [ Alcotest.test_case "slotted" `Quick test_render_slotted;
           Alcotest.test_case "packing" `Quick test_render_packing;

@@ -214,6 +214,34 @@ let test_io_roundtrip () =
     (Workload.Io.parse_string (Workload.Io.to_string (Workload.Io.Busy_instance jobs))
     = Workload.Io.Busy_instance jobs)
 
+let test_io_arrivals () =
+  (* the optional trailing [arrival <t>] pair parses on both kinds,
+     defaults to 0, and roundtrips through to_string ~arrivals *)
+  let text = "slotted\ng 2\njob 0 0 4 2 arrival 3\njob 1 1 5 3\n" in
+  (match Workload.Io.parse_string_timed text with
+  | Workload.Io.Slotted_instance t, arrivals ->
+      Alcotest.(check int) "both jobs parsed" 2 (Array.length t.S.jobs);
+      Alcotest.(check int) "explicit arrival" 3 (Workload.Io.arrival arrivals 0);
+      Alcotest.(check int) "default arrival" 0 (Workload.Io.arrival arrivals 1);
+      Alcotest.(check string) "timed roundtrip" text
+        (Workload.Io.to_string ~arrivals (Workload.Io.Slotted_instance t))
+  | _ -> Alcotest.fail "expected a slotted instance");
+  (match Workload.Io.parse_string_timed "busy\njob 0 0 5/2 1 arrival 2\n" with
+  | Workload.Io.Busy_instance [ _ ], arrivals ->
+      Alcotest.(check int) "busy arrival" 2 (Workload.Io.arrival arrivals 0)
+  | _ -> Alcotest.fail "expected one busy job");
+  (* the untimed parse accepts and ignores the directive *)
+  (match Workload.Io.parse_string text with
+  | Workload.Io.Slotted_instance t -> Alcotest.(check int) "untimed accepts" 2 (Array.length t.S.jobs)
+  | _ -> Alcotest.fail "expected a slotted instance");
+  (* the timed generator's arrivals never exceed the release *)
+  let t, arrivals = Gen.timed_slotted ~seed:11 () in
+  Array.iter
+    (fun j ->
+      let a = Workload.Io.arrival arrivals j.S.id in
+      if a < 0 || a > j.S.release then Alcotest.fail "arrival outside [0, release]")
+    t.S.jobs
+
 let test_io_errors () =
   let expect_error input =
     match Workload.Io.parse_string input with
@@ -226,6 +254,9 @@ let test_io_errors () =
   expect_error "slotted\ng 0\n"; (* bad capacity *)
   expect_error "busy\njob 0 zero 3 1"; (* bad rational *)
   expect_error "busy\nfrob 1 2 3"; (* unknown directive *)
+  expect_error "slotted\ng 2\njob 0 0 4 2 arrival x"; (* non-integer arrival *)
+  expect_error "slotted\ng 2\njob 0 0 4 2 arrival -1"; (* negative arrival *)
+  expect_error "slotted\ng 2\njob 0 0 4 2 arrival"; (* missing arrival value *)
   (* comments and blank lines are fine *)
   match Workload.Io.parse_string "# hi\n\nbusy\njob 0 0 3 1 # trailing\n" with
   | Workload.Io.Busy_instance [ _ ] -> ()
@@ -277,6 +308,7 @@ let () =
       ("bjob", [ Alcotest.test_case "busy-time jobs" `Quick test_bjob ]);
       ( "io",
         [ Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "arrivals" `Quick test_io_arrivals;
           Alcotest.test_case "errors" `Quick test_io_errors;
           Alcotest.test_case "tabs and whitespace" `Quick test_io_whitespace ] );
       ( "generators",
