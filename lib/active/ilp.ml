@@ -63,15 +63,15 @@ let apply_fixings m y_vars ~fixing =
    y to 1/0. Returns the objective and the y values, or None when
    infeasible. [rule] selects the simplex pricing rule (ablation),
    [engine] the simplex implementation. *)
-let solve_lp ?(rule = Lp.Dantzig_with_fallback) ?(engine = Lp.default_engine) ?budget ?obs (inst : S.t) ~fixing =
+let solve_lp ?(rule = Lp.Dantzig_with_fallback) ?(engine = Lp.default_engine) ?pricing ?budget ?obs (inst : S.t) ~fixing =
   let m, y_vars = build_lp1 inst in
   apply_fixings m y_vars ~fixing;
-  match Lp.solve ~rule ~engine ?budget ?obs m with
+  match Lp.solve ~rule ~engine ?pricing ?budget ?obs m with
   | Lp.Infeasible -> None
   | Lp.Unbounded -> assert false
   | Lp.Optimal sol -> Some (Lp.objective_value sol, List.map (fun (s, yv) -> (s, Lp.value sol yv)) y_vars)
 
-let solve ?(engine = Lp.default_engine) ?budget ?(obs = Obs.null) (inst : S.t) =
+let solve ?(engine = Lp.default_engine) ?pricing ?budget ?(obs = Obs.null) (inst : S.t) =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   Obs.span obs "active.ilp" @@ fun () ->
   match Minimal.solve ~obs inst Minimal.Right_to_left with
@@ -92,7 +92,7 @@ let solve ?(engine = Lp.default_engine) ?budget ?(obs = Obs.null) (inst : S.t) =
         let fixing s = List.assoc_opt s fixed in
         incr lp_solves;
         apply_fixings lp1 y_vars ~fixing;
-        match Lp.solve ~engine ?warm ~budget ~obs lp1 with
+        match Lp.solve ~engine ?pricing ?warm ~budget ~obs lp1 with
         | Lp.Unbounded -> assert false
         | Lp.Infeasible -> ()
         | Lp.Optimal sol ->

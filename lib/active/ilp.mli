@@ -19,6 +19,7 @@ val build_lp1 : Workload.Slotted.t -> Lp.model * (int * Lp.var) list
 val solve_lp :
   ?rule:Lp.pivot_rule ->
   ?engine:Lp.engine ->
+  ?pricing:Lp.pricing ->
   ?budget:Budget.t ->
   ?obs:Obs.t ->
   Workload.Slotted.t ->
@@ -43,6 +44,7 @@ val solve_lp :
     reused their parent's basis). *)
 val solve :
   ?engine:Lp.engine ->
+  ?pricing:Lp.pricing ->
   ?budget:Budget.t ->
   ?obs:Obs.t ->
   Workload.Slotted.t ->

@@ -84,7 +84,7 @@ let right_shift (inst : S.t) t =
     boundaries;
   List.map (fun s -> (s, try Hashtbl.find shifted s with Not_found -> Q.zero)) slots
 
-let solve ?(engine = Lp.default_engine) ?budget ?obs (inst : S.t) =
+let solve ?(engine = Lp.default_engine) ?pricing ?budget ?obs (inst : S.t) =
   let slots = S.relevant_slots inst in
   let m = Lp.create () in
   let y_vars = List.map (fun s -> (s, Lp.add_var ~upper:Q.one m (Printf.sprintf "y_%d" s))) slots in
@@ -116,7 +116,7 @@ let solve ?(engine = Lp.default_engine) ?budget ?obs (inst : S.t) =
       Lp.add_constraint m terms Lp.Ge (Q.of_int j.S.length))
     inst.S.jobs;
   Lp.set_objective m Lp.Minimize (List.map (fun (_, yv) -> (Q.one, yv)) y_vars);
-  match Lp.solve ~engine ?budget ?obs m with
+  match Lp.solve ~engine ?pricing ?budget ?obs m with
   | Lp.Infeasible -> None
   | Lp.Unbounded -> assert false (* objective is bounded below by 0 *)
   | Lp.Optimal sol ->

@@ -23,10 +23,15 @@ val y_at : t -> int -> Rational.t
 
 (** [None] iff the instance is infeasible. With [budget], each simplex
     pivot costs one tick and exhaustion raises {!Budget.Out_of_fuel}.
-    [?obs] and [?engine] (default {!Lp.default_engine}) are forwarded to
-    {!Lp.solve}. *)
+    [?obs], [?engine] (default {!Lp.default_engine}) and [?pricing] are
+    forwarded to {!Lp.solve}. *)
 val solve :
-  ?engine:Lp.engine -> ?budget:Budget.t -> ?obs:Obs.t -> Workload.Slotted.t -> t option
+  ?engine:Lp.engine ->
+  ?pricing:Lp.pricing ->
+  ?budget:Budget.t ->
+  ?obs:Obs.t ->
+  Workload.Slotted.t ->
+  t option
 
 (** LP2 of Section 3.1: with the slot openings fixed to the given y
     vector, does a feasible fractional assignment exist? *)

@@ -34,6 +34,7 @@ exception Infeasible_instance
     counters. *)
 val solve :
   ?engine:Lp.engine ->
+  ?pricing:Lp.pricing ->
   ?budget:Budget.t ->
   ?obs:Obs.t ->
   Workload.Slotted.t ->

@@ -415,11 +415,35 @@ let row_residual values r =
 module RS = Sparse_simplex.Make (Scalar.Rat)
 module FS = Sparse_simplex.Make (Scalar.Flt)
 
+(* Pricing policy of the sparse driver, shared by the exact sparse /
+   revised engines and the float engine's pivot phase. The fixed
+   three-name registry mirrors the engine table's selector strings:
+   CLI --lp-pricing, the registry "pricing" param and serve's
+   lp_pricing field all resolve through [pricing_of_name]. *)
+type pricing = Sparse_simplex.pricing = Dantzig | Partial | Devex
+
+let default_pricing = Dantzig
+let pricing_name = function Dantzig -> "dantzig" | Partial -> "partial" | Devex -> "devex"
+
+let pricing_of_name = function
+  | "dantzig" -> Some Dantzig
+  | "partial" -> Some Partial
+  | "devex" -> Some Devex
+  | _ -> None
+
+let pricing_names () = [ "dantzig"; "devex"; "partial" ]
+
+let pricing_inventory () =
+  [ ("dantzig", "full reduced-cost scan, largest |d| (default; pivot-identical to 1.9)");
+    ("devex", "approximate steepest edge: d^2/w reference weights, cheap row updates");
+    ("partial", "candidate-list partial pricing: bounded queue, rotating refill sweeps") ]
+
 type sparse_config = {
   sparse_eta_cap : int;  (* refactorize after this many eta updates *)
+  sparse_pricing : pricing;
 }
 
-let default_sparse_config = { sparse_eta_cap = 64 }
+let default_sparse_config = { sparse_eta_cap = 64; sparse_pricing = Dantzig }
 
 type engine += Sparse | Sparse_with of sparse_config
 
@@ -540,6 +564,7 @@ let sparse_counters =
     c_flips = true;
     c_degen = true;
     c_warm = true;
+    c_price = true;
   }
 
 let sparse_scfg ~cfg ~rule =
@@ -550,6 +575,7 @@ let sparse_scfg ~cfg ~rule =
     eta_cap = cfg.sparse_eta_cap;
     step_cap = None;
     bland_always = (rule = Pure_bland);
+    pricing = cfg.sparse_pricing;
     counters = sparse_counters;
   }
 
@@ -647,9 +673,10 @@ let solve_sparse_warm ~cfg ~rule ~budget ~obs ~pivots m (w : Basis.t) =
 type float_config = {
   float_eps : float;  (* reduced-cost / degeneracy tolerance *)
   float_pivot_cap : int option;  (* give up after this many pivots+flips; None: 64*(m+n)+1024 *)
+  float_pricing : pricing;
 }
 
-let default_float_config = { float_eps = 1e-9; float_pivot_cap = None }
+let default_float_config = { float_eps = 1e-9; float_pivot_cap = None; float_pricing = Dantzig }
 
 type engine += Float_certified | Float_with of float_config
 
@@ -675,6 +702,7 @@ let float_counters =
     c_flips = false;
     c_degen = false;
     c_warm = true;
+    c_price = false;
   }
 
 let float_scfg ~cfg ~rule ~m ~n =
@@ -686,6 +714,7 @@ let float_scfg ~cfg ~rule ~m ~n =
     step_cap =
       Some (match cfg.float_pivot_cap with Some c -> c | None -> (64 * (m + n)) + 1024);
     bland_always = (rule = Pure_bland);
+    pricing = cfg.float_pricing;
     counters = float_counters;
   }
 
@@ -870,7 +899,8 @@ let solve_float_certified ~cfg ~rule ~warm ~budget ~obs m =
   let fallback () =
     Obs.incr obs "lp.fallbacks";
     let pivots = ref 0 in
-    match solve_sparse_cold ~cfg:default_sparse_config ~rule ~budget ~obs ~pivots m with
+    let scfg = { default_sparse_config with sparse_pricing = cfg.float_pricing } in
+    match solve_sparse_cold ~cfg:scfg ~rule ~budget ~obs ~pivots m with
     | Optimal s -> Optimal { s with sol_certification = Fallback }
     | r -> r
   in
@@ -918,11 +948,14 @@ module type ENGINE = sig
   val solve :
     engine:engine ->
     rule:pivot_rule ->
+    pricing:pricing ->
     warm:Basis.t option ->
     budget:Budget.t ->
     obs:Obs.t ->
     model ->
     result
+  (** [pricing] is the caller's default; a config-carrying selector
+      ([Sparse_with]/[Float_with]) overrides it with its own field. *)
 end
 
 let engine_table : (string * (module ENGINE)) list ref = ref []
@@ -962,8 +995,8 @@ module Revised_engine : ENGINE = struct
      were already identical; the private dense tableau this engine
      carried until 1.8 is gone). The name stays registered so CLI flags,
      protocol requests and goldens keep resolving. *)
-  let solve ~engine:_ ~rule ~warm ~budget ~obs m =
-    let cfg = default_sparse_config in
+  let solve ~engine:_ ~rule ~pricing ~warm ~budget ~obs m =
+    let cfg = { default_sparse_config with sparse_pricing = pricing } in
     let pivots = ref 0 in
     match warm with
     | None -> solve_sparse_cold ~cfg ~rule ~budget ~obs ~pivots m
@@ -978,7 +1011,9 @@ module Dense_engine : ENGINE = struct
   let selector = Dense
   let handles = function Dense -> true | _ -> false
 
-  let solve ~engine:_ ~rule ~warm:_ ~budget ~obs m =
+  (* The dense tableau prices every column by construction; the pricing
+     selector is accepted for interface uniformity and ignored. *)
+  let solve ~engine:_ ~rule ~pricing:_ ~warm:_ ~budget ~obs m =
     let pivots = ref 0 in
     solve_dense ~rule ~budget ~obs ~pivots m
 end
@@ -989,8 +1024,12 @@ module Float_engine : ENGINE = struct
   let selector = Float_certified
   let handles = function Float_certified | Float_with _ -> true | _ -> false
 
-  let solve ~engine ~rule ~warm ~budget ~obs m =
-    let cfg = match engine with Float_with c -> c | _ -> default_float_config in
+  let solve ~engine ~rule ~pricing ~warm ~budget ~obs m =
+    let cfg =
+      match engine with
+      | Float_with c -> c
+      | _ -> { default_float_config with float_pricing = pricing }
+    in
     solve_float_certified ~cfg ~rule ~warm ~budget ~obs m
 end
 
@@ -1000,8 +1039,12 @@ module Sparse_engine : ENGINE = struct
   let selector = Sparse
   let handles = function Sparse | Sparse_with _ -> true | _ -> false
 
-  let solve ~engine ~rule ~warm ~budget ~obs m =
-    let cfg = match engine with Sparse_with c -> c | _ -> default_sparse_config in
+  let solve ~engine ~rule ~pricing ~warm ~budget ~obs m =
+    let cfg =
+      match engine with
+      | Sparse_with c -> c
+      | _ -> { default_sparse_config with sparse_pricing = pricing }
+    in
     let pivots = ref 0 in
     match warm with
     | None -> solve_sparse_cold ~cfg ~rule ~budget ~obs ~pivots m
@@ -1068,11 +1111,16 @@ module Basis_cache = struct
   let capacity c = c.cap
 
   let find c key =
-    Mutex.lock c.lock;
-    let r = Hashtbl.find_opt c.tbl key in
-    (match r with Some _ -> c.h <- c.h + 1 | None -> c.m <- c.m + 1);
-    Mutex.unlock c.lock;
-    r
+    (* capacity 0 means *disabled*: nothing is ever stored, so lookups
+       are a no-op fast path — no lock, and no hit/miss accounting. *)
+    if c.cap <= 0 then None
+    else begin
+      Mutex.lock c.lock;
+      let r = Hashtbl.find_opt c.tbl key in
+      (match r with Some _ -> c.h <- c.h + 1 | None -> c.m <- c.m + 1);
+      Mutex.unlock c.lock;
+      r
+    end
 
   let store c key b =
     if c.cap > 0 then begin
@@ -1112,8 +1160,10 @@ let basis_cache : Basis_cache.t option Atomic.t = Atomic.make None
 let install_basis_cache c = Atomic.set basis_cache c
 let installed_basis_cache () = Atomic.get basis_cache
 
-let solve ?(rule = Dantzig_with_fallback) ?engine ?warm ?budget ?(obs = Obs.null) m =
+let solve ?(rule = Dantzig_with_fallback) ?engine ?pricing ?warm ?budget
+    ?(obs = Obs.null) m =
   let engine = Option.value engine ~default:default_engine in
+  let pricing = Option.value pricing ~default:default_pricing in
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   Obs.incr obs "lp.solves";
   let cache = Atomic.get basis_cache in
@@ -1126,7 +1176,7 @@ let solve ?(rule = Dantzig_with_fallback) ?engine ?warm ?budget ?(obs = Obs.null
   match resolve_engine engine with
   | None -> invalid_arg "Lp.solve: engine not registered (see Lp.engine_names)"
   | Some (_, (module E : ENGINE)) ->
-      let r = E.solve ~engine ~rule ~warm ~budget ~obs m in
+      let r = E.solve ~engine ~rule ~pricing ~warm ~budget ~obs m in
       (match (cache, key, r) with
       | Some c, Some k, Optimal { sol_basis = Some b; _ } -> Basis_cache.store c k b
       | _ -> ());

@@ -97,6 +97,51 @@ type result = Optimal of solution | Infeasible | Unbounded
     pivots — see the ablation experiment). Both terminate. *)
 type pivot_rule = Dantzig_with_fallback | Pure_bland
 
+(** Pricing policy for the engines on the sparse basis algebra
+    (["revised"], ["sparse"], ["float"]); the dense reference engine
+    ignores it. Orthogonal to {!pivot_rule}: the policy chooses {e how
+    candidate columns are scanned and scored} while the objective
+    improves, and every policy defers to Bland's first-index rule during
+    an anti-cycling episode.
+
+    - [Dantzig] (the default) maintains the full reduced-cost row and
+      scans every nonbasic column each pivot for the most attractive
+      reduced cost — pivot-for-pivot identical to releases before
+      1.10.0.
+    - [Partial] — candidate-list partial pricing: a bounded queue of
+      profitable columns is re-priced against fresh duals each
+      iteration; when it runs dry, a rotating sweep over the columns
+      refills it. Each pivot prices O(queue + refill) columns instead of
+      all of them; optimality is still certified by a sweep that wraps
+      the whole column range without finding an eligible candidate.
+    - [Devex] — reference-weight approximate steepest edge: columns are
+      scored by [d_j^2 / w_j] where the weights [w_j] are updated from
+      the pivot row at unit cost per column and the reference framework
+      resets when a weight overflows its cap. Usually fewer (never
+      guaranteed fewer) pivots than Dantzig on tall models.
+
+    All policies terminate and return identical objectives; the chosen
+    vertex and the pivot sequence may differ. *)
+type pricing = Sparse_simplex.pricing = Dantzig | Partial | Devex
+
+(** {!Dantzig} — what {!solve} uses when [?pricing] is omitted. *)
+val default_pricing : pricing
+
+(** Canonical names: ["dantzig"], ["partial"], ["devex"]. *)
+val pricing_name : pricing -> string
+
+(** Inverse of {!pricing_name}; [None] on an unknown name. This is how
+    the CLI [--lp-pricing] flag, the registry [pricing] param and the
+    serve-protocol [lp_pricing] field resolve. *)
+val pricing_of_name : string -> pricing option
+
+(** Valid pricing names, sorted. *)
+val pricing_names : unit -> string list
+
+(** [(name, description)] pairs, sorted by name — the
+    [--list-solvers]-style inventory. *)
+val pricing_inventory : unit -> (string * string) list
+
 (** Engine selector. The type is open so registered engines
     ({!register_engine}) can own their selector constructors, including
     config-carrying ones ({!Float_with}); resolve a CLI/protocol name to
@@ -120,9 +165,10 @@ type float_config = {
   float_pivot_cap : int option;
       (** give up (and fall back to exact) after this many pivots and
           bound flips; [None] means [64 * (rows + columns) + 1024] *)
+  float_pricing : pricing;  (** pricing policy for the float phase *)
 }
 
-(** [{ float_eps = 1e-9; float_pivot_cap = None }] *)
+(** [{ float_eps = 1e-9; float_pivot_cap = None; float_pricing = Dantzig }] *)
 val default_float_config : float_config
 
 (** Selectors for the ["float"] engine: double-precision simplex whose
@@ -137,9 +183,10 @@ type sparse_config = {
       (** refactorize after this many product-form eta updates (the
           factorization also refactorizes early when the eta file's
           nonzeros outgrow the LU factors) *)
+  sparse_pricing : pricing;  (** pricing policy (see {!pricing}) *)
 }
 
-(** [{ sparse_eta_cap = 64 }] *)
+(** [{ sparse_eta_cap = 64; sparse_pricing = Dantzig }] *)
 val default_sparse_config : sparse_config
 
 (** Selectors for the ["sparse"] engine: exact rational simplex over
@@ -194,11 +241,15 @@ module type ENGINE = sig
   val solve :
     engine:engine ->
     rule:pivot_rule ->
+    pricing:pricing ->
     warm:Basis.t option ->
     budget:Budget.t ->
     obs:Obs.t ->
     model ->
     result
+  (** [pricing] is the caller's policy default; a config-carrying
+      selector ([Sparse_with]/[Float_with]) overrides it with its own
+      field, and engines without a pricing seam (dense) ignore it. *)
 end
 
 (** Registers an engine. Raises [Invalid_argument] on a duplicate name.
@@ -231,6 +282,10 @@ val default_engine : engine
     [engine] selects the simplex implementation (default
     {!default_engine}); raises [Invalid_argument] when no registered
     engine handles the selector.
+
+    [pricing] selects the pricing policy (default {!default_pricing});
+    a config-carrying engine selector ([Sparse_with]/[Float_with]) wins
+    over this argument, and the dense engine ignores it.
 
     [warm] (every engine except ["dense"], which ignores it) restores a
     basis snapshot from a previous solution of this model: the basis is
@@ -266,7 +321,12 @@ val default_engine : engine
     [lp.refactorizations] (sparse LU basis factorizations),
     [lp.eta_updates] (product-form eta pivots applied in place of a
     refactorization) and [lp.fill_nonzeros] (total LU nonzeros produced,
-    fill included). The float engine additionally records
+    fill included). The exact sparse-algebra engines also record the
+    pricing-work counters [lp.priced_columns] (columns whose reduced
+    cost was computed or maintained — the measure the partial-pricing
+    gate in experiment E26 compares), [lp.candidate_refills] (partial
+    pricing refill sweeps) and [lp.devex_resets] (devex reference
+    framework resets). The float engine additionally records
     [lp.float_pivots] (double-precision pivots), [lp.certify_ops]
     (rational multiplications/divisions spent in certification),
     [lp.certify_ok], [lp.certify_fail] and [lp.fallbacks] (exact
@@ -275,6 +335,7 @@ val default_engine : engine
 val solve :
   ?rule:pivot_rule ->
   ?engine:engine ->
+  ?pricing:pricing ->
   ?warm:Basis.t ->
   ?budget:Budget.t ->
   ?obs:Obs.t ->
@@ -333,8 +394,10 @@ module Basis_cache : sig
   type t
 
   (** [create ~capacity] holds at most [capacity] snapshots, evicting
-      the oldest inserted key first. [capacity <= 0] caches nothing (but
-      still counts lookups). Thread-safe. *)
+      the oldest inserted key first. [capacity <= 0] means {e disabled}:
+      stores and lookups are no-op fast paths — nothing is ever held,
+      {!size}/{!hits}/{!misses} stay [0] and [find] takes no lock.
+      Thread-safe. *)
   val create : capacity:int -> t
 
   val capacity : t -> int

@@ -16,7 +16,21 @@
    The pivot rules mirror the revised engine: Dantzig pricing switching
    to Bland's rule after [degen_threshold] consecutive degenerate
    pivots, ratio-test ties to the smallest basic column index, bound
-   flips preferred on equal step length. *)
+   flips preferred on equal step length.
+
+   Pricing is a policy seam (the [pricing] config field). [Dantzig] is
+   the default above and stays pivot-identical to the revised engine.
+   [Partial] is candidate-list partial pricing: a bounded queue of
+   profitable columns priced fresh against the current duals each
+   iteration (one BTRAN), refilled by a rotating sweep only when it
+   runs dry — the maintained reduced-cost row and its per-pivot
+   full-width update are skipped entirely. [Devex] keeps the
+   maintained row but selects by approximate steepest edge
+   d_j^2 / w_j, with reference weights updated from the same
+   post-pivot row the maintenance loop already computes and a
+   framework reset when a weight outgrows the cap. *)
+
+type pricing = Dantzig | Partial | Devex
 
 type vstat = Vlo | Vhi | Vbas
 
@@ -42,13 +56,15 @@ type spec = {
 (* Which obs counters an instantiation reports. The exact engine uses
    the lp.pivots family; the float engine counts lp.float_pivots only
    (its pivots are disposable — certification decides what they are
-   worth). *)
+   worth). [c_price] gates the pricing-work family (lp.priced_columns,
+   lp.candidate_refills, lp.devex_resets) the same way. *)
 type counters = {
   c_pivots : string;
   c_phase1 : bool;
   c_flips : bool;
   c_degen : bool;
   c_warm : bool;
+  c_price : bool;
 }
 
 type 'a config = {
@@ -58,6 +74,7 @@ type 'a config = {
   eta_cap : int; (* refactorize after this many eta updates *)
   step_cap : int option; (* pivots+flips before giving up (float cap) *)
   bland_always : bool;
+  pricing : pricing;
   counters : counters;
 }
 
@@ -123,10 +140,34 @@ module Make (S : Scalar.S) = struct
     enterable : bool array;
     cost : S.t array; (* current phase costs *)
     d : S.t array; (* maintained reduced costs (zero on basics) *)
+    priced : int ref; (* columns whose reduced cost was (re)computed *)
+    refills : int ref; (* candidate-queue refill sweeps (Partial) *)
+    resets : int ref; (* reference-framework resets (Devex) *)
+    dw : S.t array; (* devex reference weights (>= 1 on nonbasics) *)
+    cand : int array; (* partial-pricing candidate queue *)
+    mutable cand_n : int;
+    mutable cursor : int; (* rotating refill position *)
     mutable fact : F.fact;
     mutable z : S.t;
     mutable steps : int;
   }
+
+  (* bounded queue: big enough to amortize refill sweeps, small enough
+     that re-pricing it each iteration stays far below a full scan *)
+  let candidate_capacity n = Stdlib.max 8 (Stdlib.min 64 (n / 8))
+
+  (* devex weights past this trigger a reference-framework reset *)
+  let devex_weight_cap = S.of_q (Rational.of_int 1_000_000)
+
+  let flush_pricing st =
+    if st.cfg.counters.c_price then begin
+      if !(st.priced) > 0 then Obs.add st.obs "lp.priced_columns" !(st.priced);
+      if !(st.refills) > 0 then Obs.add st.obs "lp.candidate_refills" !(st.refills);
+      if !(st.resets) > 0 then Obs.add st.obs "lp.devex_resets" !(st.resets);
+      st.priced := 0;
+      st.refills := 0;
+      st.resets := 0
+    end
 
   let factor_basis ~ops ~obs pb basis =
     let fact = F.factor ~ops ~nrows:pb.pm ~cols:pb.pcols ~basis in
@@ -179,9 +220,19 @@ module Make (S : Scalar.S) = struct
   let compute_reduced st =
     let y = dual st in
     for j = 0 to st.pb.pn - 1 do
-      st.d.(j) <-
-        (if st.stat.(j) = Vbas then S.zero else S.sub st.cost.(j) (dot_col st y j))
+      if st.stat.(j) = Vbas then st.d.(j) <- S.zero
+      else begin
+        incr st.priced;
+        st.d.(j) <- S.sub st.cost.(j) (dot_col st y j)
+      end
     done
+
+  (* profitable in the feasible direction of j's current bound status *)
+  let eligible_d st j d =
+    match st.stat.(j) with
+    | Vlo -> S.compare d (S.neg st.cfg.dtol) < 0
+    | Vhi -> S.compare d st.cfg.dtol > 0
+    | Vbas -> false
 
   (* entering column: nonbasic, enterable, profitable in its feasible
      direction; Dantzig largest |d| (first on ties) or Bland first *)
@@ -213,6 +264,107 @@ module Make (S : Scalar.S) = struct
      with Exit -> ());
     Option.map (fun (j, d, _) -> (j, d)) !best
 
+  (* devex: maximize d_j^2 / w_j over the maintained reduced costs,
+     compared by cross-multiplication (weights are >= 1 > 0); first
+     column wins ties, matching the Dantzig tie convention *)
+  let price_devex st =
+    let best = ref None in
+    for j = 0 to st.pb.pn - 1 do
+      if st.enterable.(j) && st.stat.(j) <> Vbas then begin
+        let d = st.d.(j) in
+        if eligible_d st j d then begin
+          let num = S.mul d d in
+          match !best with
+          | Some (_, _, bnum, bw) when S.compare (S.mul num bw) (S.mul bnum st.dw.(j)) <= 0 ->
+              ()
+          | _ -> best := Some (j, d, num, st.dw.(j))
+        end
+      end
+    done;
+    Option.map (fun (j, d, _, _) -> (j, d)) !best
+
+  (* Candidate-list partial pricing: one BTRAN per iteration prices the
+     bounded queue fresh; entries gone basic or no longer profitable
+     drop out. Only when the queue runs dry does a rotating sweep from
+     [cursor] refill it — and a full wrap that finds nothing profitable
+     is the optimality proof, the same certificate a full Dantzig scan
+     gives. Under Bland mode the queue is bypassed entirely: a full
+     fresh sweep taking the first eligible index preserves the
+     anti-cycling guarantee. *)
+  let price_partial st ~bland =
+    let n = st.pb.pn in
+    let y = dual st in
+    let reprice j =
+      incr st.priced;
+      let d = S.sub st.cost.(j) (dot_col st y j) in
+      st.d.(j) <- d;
+      d
+    in
+    if bland then begin
+      let r = ref None in
+      (try
+         for j = 0 to n - 1 do
+           if st.enterable.(j) && st.stat.(j) <> Vbas then begin
+             let d = reprice j in
+             if eligible_d st j d then begin
+               r := Some (j, d);
+               raise Exit
+             end
+           end
+         done
+       with Exit -> ());
+      !r
+    end
+    else begin
+      let keep = ref 0 in
+      let best = ref None in
+      let consider j d =
+        let score = S.abs d in
+        match !best with
+        | Some (_, _, s) when S.compare s score >= 0 -> ()
+        | _ -> best := Some (j, d, score)
+      in
+      for i = 0 to st.cand_n - 1 do
+        let j = st.cand.(i) in
+        if st.enterable.(j) && st.stat.(j) <> Vbas then begin
+          let d = reprice j in
+          if eligible_d st j d then begin
+            st.cand.(!keep) <- j;
+            incr keep;
+            consider j d
+          end
+        end
+      done;
+      st.cand_n <- !keep;
+      (* every surviving entry is profitable, so an empty [best] means
+         an empty queue: sweep at most one full wrap for new blood *)
+      if !best = None then begin
+        incr st.refills;
+        let cap = Array.length st.cand in
+        let scanned = ref 0 in
+        while st.cand_n < cap && !scanned < n do
+          let j = st.cursor in
+          st.cursor <- (st.cursor + 1) mod n;
+          incr scanned;
+          if st.enterable.(j) && st.stat.(j) <> Vbas then begin
+            let d = reprice j in
+            if eligible_d st j d then begin
+              st.cand.(st.cand_n) <- j;
+              st.cand_n <- st.cand_n + 1;
+              consider j d
+            end
+          end
+        done
+      end;
+      Option.map (fun (j, d, _) -> (j, d)) !best
+    end
+
+  let select_entering st ~bland =
+    match st.cfg.pricing with
+    | Dantzig -> price st ~bland
+    | Devex -> if bland then price st ~bland:true else price_devex st
+    | Partial -> price_partial st ~bland
+
   (* append the eta for the basis change at [pos]; refactorize when the
      eta pivot is unusable or the eta file has grown past the policy *)
   let post_pivot st ~pos ~w =
@@ -232,11 +384,19 @@ module Make (S : Scalar.S) = struct
   type r_outcome = O_opt | O_unbd
 
   let run_primal st ~phase1 =
+    (* per-phase pricing state: fresh candidate queue, fresh reference
+       framework (a phase boundary changes every reduced cost anyway) *)
+    (match st.cfg.pricing with
+    | Dantzig -> ()
+    | Partial ->
+        st.cand_n <- 0;
+        st.cursor <- 0
+    | Devex -> Array.fill st.dw 0 (Array.length st.dw) S.one);
     let bland = ref st.cfg.bland_always in
     let stalled = ref 0 in
     let outcome = ref None in
     while !outcome = None do
-      match price st ~bland:!bland with
+      match select_entering st ~bland:!bland with
       | None -> outcome := Some O_opt
       | Some (q, d) ->
           let sigma = match st.stat.(q) with Vlo -> 1 | _ -> -1 in
@@ -305,20 +465,45 @@ module Make (S : Scalar.S) = struct
               st.stat.(q) <- Vbas;
               st.basis.(r) <- q;
               post_pivot st ~pos:r ~w;
-              (* maintain the reduced-cost row from the post-pivot
-                 tableau row r: alpha_rj = rho . A_j, d_j -= d_q alpha_rj
-                 (covers the leaving column: its old d was zero) *)
-              let rho = btran_unit st r in
-              for j = 0 to st.pb.pn - 1 do
-                if st.stat.(j) <> Vbas then begin
-                  let a = dot_col st rho j in
-                  if not (S.is_zero a) then begin
-                    incr st.ops;
-                    st.d.(j) <- S.submul st.d.(j) d a
-                  end
-                end
-              done;
-              st.d.(q) <- S.zero;
+              (match st.cfg.pricing with
+              | Partial ->
+                  (* no maintained row: the next iteration prices its
+                     candidates fresh against the new duals *)
+                  st.d.(q) <- S.zero
+              | (Dantzig | Devex) as pricing ->
+                  (* maintain the reduced-cost row from the post-pivot
+                     tableau row r: alpha_rj = rho . A_j,
+                     d_j -= d_q alpha_rj (covers the leaving column:
+                     its old d was zero). Devex rides the same row:
+                     w_j := max(w_j, alpha_rj^2 w_q), with the leaving
+                     column re-seeded at the weight floor first. *)
+                  let devex = pricing = Devex in
+                  let wq = if devex then st.dw.(q) else S.one in
+                  if devex then st.dw.(k) <- S.one;
+                  let grown = ref false in
+                  let rho = btran_unit st r in
+                  for j = 0 to st.pb.pn - 1 do
+                    if st.stat.(j) <> Vbas then begin
+                      incr st.priced;
+                      let a = dot_col st rho j in
+                      if not (S.is_zero a) then begin
+                        incr st.ops;
+                        st.d.(j) <- S.submul st.d.(j) d a;
+                        if devex then begin
+                          let cand = S.mul (S.mul a a) wq in
+                          if S.compare cand st.dw.(j) > 0 then begin
+                            st.dw.(j) <- cand;
+                            if S.compare cand devex_weight_cap > 0 then grown := true
+                          end
+                        end
+                      end
+                    end
+                  done;
+                  st.d.(q) <- S.zero;
+                  if devex && !grown then begin
+                    Array.fill st.dw 0 (Array.length st.dw) S.one;
+                    incr st.resets
+                  end);
               incr st.pivots;
               Obs.incr st.obs st.cfg.counters.c_pivots;
               if phase1 && st.cfg.counters.c_phase1 then
@@ -438,10 +623,18 @@ module Make (S : Scalar.S) = struct
     done;
     !feasible
 
+  let fresh_pricing_state n =
+    ( ref 0,
+      ref 0,
+      ref 0,
+      Array.make n S.one,
+      Array.make (candidate_capacity n) 0 )
+
   let solve_cold (cfg : S.t config) (pb : problem) ~budget ~obs ~pivots ~ops =
     let m = pb.pm and n = pb.pn in
     let basis = Array.copy pb.pbasis0 in
     let fact = factor_basis ~ops ~obs pb basis in
+    let priced, refills, resets, dw, cand = fresh_pricing_state n in
     let st =
       {
         pb;
@@ -457,18 +650,26 @@ module Make (S : Scalar.S) = struct
         enterable = Array.init n (fun j -> not pb.pfixed.(j));
         cost = Array.make n S.zero;
         d = Array.make n S.zero;
+        priced;
+        refills;
+        resets;
+        dw;
+        cand;
+        cand_n = 0;
+        cursor = 0;
         fact;
         z = S.zero;
         steps = 0;
       }
     in
+    Fun.protect ~finally:(fun () -> flush_pricing st) @@ fun () ->
     let infeasible = ref false in
     if pb.part < n then begin
       (* phase 1: minimize the sum of the artificials *)
       for j = pb.part to n - 1 do
         st.cost.(j) <- S.one
       done;
-      compute_reduced st;
+      if cfg.pricing <> Partial then compute_reduced st;
       let z1 = ref S.zero in
       for p = 0 to m - 1 do
         if st.basis.(p) >= pb.part then z1 := S.add !z1 st.xb.(p)
@@ -518,7 +719,7 @@ module Make (S : Scalar.S) = struct
     if !infeasible then Infeas
     else begin
       Array.blit pb.pobj 0 st.cost 0 n;
-      compute_reduced st;
+      if cfg.pricing <> Partial then compute_reduced st;
       recompute_z st;
       match Obs.span obs "lp.phase2" (fun () -> run_primal st ~phase1:false) with
       | O_unbd -> Unbd
@@ -548,6 +749,7 @@ module Make (S : Scalar.S) = struct
     let fact =
       try factor_basis ~ops ~obs pb basis with F.Singular -> raise Warm_failed
     in
+    let priced, refills, resets, dw, cand = fresh_pricing_state n in
     let st =
       {
         pb;
@@ -563,11 +765,19 @@ module Make (S : Scalar.S) = struct
         enterable = Array.init n (fun j -> not pb.pfixed.(j));
         cost = Array.copy pb.pobj;
         d = Array.make n S.zero;
+        priced;
+        refills;
+        resets;
+        dw;
+        cand;
+        cand_n = 0;
+        cursor = 0;
         fact;
         z = S.zero;
         steps = 0;
       }
     in
+    Fun.protect ~finally:(fun () -> flush_pricing st) @@ fun () ->
     (* x_B = B^-1 (b - sum over nonbasic of A_j x_j) *)
     let rhs = Array.copy pb.prhs in
     for j = 0 to n - 1 do
@@ -619,7 +829,7 @@ module Make (S : Scalar.S) = struct
     if not proceed then Infeas
     else begin
       if cfg.counters.c_warm then Obs.incr obs "lp.warm_starts";
-      compute_reduced st;
+      if cfg.pricing <> Partial then compute_reduced st;
       match Obs.span obs "lp.phase2" (fun () -> run_primal st ~phase1:false) with
       | O_unbd -> Unbd
       | O_opt -> extract st

@@ -113,6 +113,31 @@ let sparse_wide ~g ~blocks ~width =
 let sparse_wide_lp_opt ~g ~blocks = Q.of_ints (blocks * (g + 1)) g
 
 (* ---------------------------------------------------------------------- *)
+(* Tall LP family (methodology, not from the paper): [jobs] identical     *)
+(* jobs of [length] slots all sharing the single window [0, T] with       *)
+(* T = ceil(jobs * length / g). One window means LP1 is tall and dense:   *)
+(* every job's demand row touches every slot, so each simplex iteration   *)
+(* chooses among many structurally similar columns — exactly where        *)
+(* pricing policy (not sparsity) decides the pivot count. The LP1 optimum *)
+(* is the mass bound jobs * length / g: spread uniformly with             *)
+(* y_t = jobs*length/(g*T) and x_jt = length/T — capacity is met with     *)
+(* equality, x_jt <= y_t needs jobs >= g, and y_t <= 1 by the choice of   *)
+(* T; nothing cheaper exists since sum y >= mass/g always.                *)
+(* ---------------------------------------------------------------------- *)
+
+let lp1_tall ~g ~jobs ~length =
+  if g < 1 then invalid_arg "Gadgets.lp1_tall: needs g >= 1";
+  if jobs < g then invalid_arg "Gadgets.lp1_tall: needs jobs >= g";
+  if length < 1 then invalid_arg "Gadgets.lp1_tall: needs length >= 1";
+  let horizon = ((jobs * length) + g - 1) / g in
+  let js =
+    List.init jobs (fun id -> Slotted.job ~id ~release:0 ~deadline:horizon ~length)
+  in
+  Slotted.make ~g js
+
+let lp1_tall_lp_opt ~g ~jobs ~length = Q.of_ints (jobs * length) g
+
+(* ---------------------------------------------------------------------- *)
 (* Fig. 1 — the paper's opening example: seven interval jobs that pack    *)
 (* optimally onto two machines with g = 3.                                 *)
 (* ---------------------------------------------------------------------- *)

@@ -51,6 +51,24 @@ val sparse_wide : g:int -> blocks:int -> width:int -> Slotted.t
     bound [(g+1)/g] per block shows nothing cheaper exists. *)
 val sparse_wide_lp_opt : g:int -> blocks:int -> Rational.t
 
+(** {1 Tall LP family (methodology, not from the paper)} *)
+
+(** [lp1_tall ~g ~jobs ~length]: [jobs] identical jobs of [length] slots
+    all sharing the single window [[0, T]] with
+    [T = ceil(jobs * length / g)]. LP1 over this instance is tall and
+    dense — every demand row touches every slot — so each simplex
+    iteration chooses among many structurally similar columns, which is
+    where the pricing policy (not sparsity) decides the pivot count
+    (bench E26). Raises [Invalid_argument] unless [g >= 1],
+    [jobs >= g], [length >= 1]. *)
+val lp1_tall : g:int -> jobs:int -> length:int -> Slotted.t
+
+(** The exact LP1 optimum of [lp1_tall ~g ~jobs ~length], namely the
+    mass bound [jobs * length / g]: spread every job uniformly over the
+    window ([y_t = jobs*length/(g*T)], [x_jt = length/T]) and capacity
+    is met with equality. *)
+val lp1_tall_lp_opt : g:int -> jobs:int -> length:int -> Rational.t
+
 (** {1 Fig. 1 — the paper's opening example} *)
 
 (** Seven interval jobs that pack optimally onto two machines with

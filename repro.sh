@@ -6,4 +6,18 @@ cd "$(dirname "$0")"
 dune build @all
 dune runtest --force --no-buffer 2>&1 | tee test_output.txt
 dune exec bench/main.exe 2>&1 | tee bench_output.txt
-echo "done: see test_output.txt, bench_output.txt, EXPERIMENTS.md"
+# Consolidate the per-experiment telemetry (each BENCH_<exp>.json is a
+# one-line schema-1 document) into a single BENCH_summary.json so one
+# artifact carries every counter the run produced.
+{
+  printf '{"schema":1,"tool":"bench","kind":"summary","experiments":['
+  first=1
+  for f in BENCH_*.json; do
+    [ "$f" = "BENCH_summary.json" ] && continue
+    [ $first -eq 1 ] || printf ','
+    first=0
+    tr -d '\n' < "$f"
+  done
+  printf ']}\n'
+} > BENCH_summary.json
+echo "done: see test_output.txt, bench_output.txt, BENCH_summary.json, EXPERIMENTS.md"

@@ -20,7 +20,7 @@ Text output is the historical format, byte for byte:
 JSON output is a single schema-1 document on stdout:
 
   $ atbt active inst.txt --algorithm minimal --format json
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"active","algorithm":"minimal","instance":{"digest":"fnv1a64:aee88f7930ef203d","kind":"slotted","jobs":6,"horizon":22,"g":3},"status":"ok","exit":0,"message":null,"cost":8,"bounds":{"mass":6},"provenance":null,"counters":{"active.minimal.closures":8,"active.minimal.feasibility_checks":17,"active.oracle.builds":1,"active.oracle.checks":17,"active.oracle.slot_toggles":24,"flow.augment_calls":17,"flow.augmentations":43,"flow.bfs_rounds":15,"flow.drained_units":27,"flow.drains":14},"spans":[{"name":"active.minimal","ticks":183,"children":[]}]}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"active","algorithm":"minimal","instance":{"digest":"fnv1a64:aee88f7930ef203d","kind":"slotted","jobs":6,"horizon":22,"g":3},"status":"ok","exit":0,"message":null,"cost":8,"bounds":{"mass":6},"provenance":null,"counters":{"active.minimal.closures":8,"active.minimal.feasibility_checks":17,"active.oracle.builds":1,"active.oracle.checks":17,"active.oracle.slot_toggles":24,"flow.augment_calls":17,"flow.augmentations":43,"flow.bfs_rounds":15,"flow.drained_units":27,"flow.drains":14},"spans":[{"name":"active.minimal","ticks":183,"children":[]}]}
 
 Two runs of the same seeded instance produce byte-identical telemetry:
 
@@ -33,12 +33,12 @@ The busy pipeline speaks the same schema:
   $ atbt generate --kind interval -n 5 --seed 9 -o jobs.txt
   wrote jobs.txt
   $ atbt busy jobs.txt -g 2 --format json
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"busy","algorithm":"greedy-tracking","instance":{"digest":"fnv1a64:d79faffbc9104bcb","kind":"busy","jobs":5,"g":2},"status":"ok","exit":0,"message":null,"cost":"15","bounds":{"mass":"19/2","span":"12","demand_profile":"15"},"provenance":null,"counters":{"busy.greedy_tracking.tracks":3},"spans":[{"name":"busy.greedy_tracking","ticks":3,"children":[]}]}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"busy","algorithm":"greedy-tracking","instance":{"digest":"fnv1a64:d79faffbc9104bcb","kind":"busy","jobs":5,"g":2},"status":"ok","exit":0,"message":null,"cost":"15","bounds":{"mass":"19/2","span":"12","demand_profile":"15"},"provenance":null,"counters":{"busy.greedy_tracking.tracks":3},"spans":[{"name":"busy.greedy_tracking","ticks":3,"children":[]}]}
 
 Usage errors still produce a document (status/exit mirror the code):
 
   $ atbt active jobs.txt --format json
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"active","algorithm":"rounding","instance":null,"status":"usage-error","exit":1,"message":"active expects a slotted instance","cost":null,"bounds":null,"provenance":null,"counters":{},"spans":[]}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"active","algorithm":"rounding","instance":null,"status":"usage-error","exit":1,"message":"active expects a slotted instance","cost":null,"bounds":null,"provenance":null,"counters":{},"spans":[]}
   [1]
 
 An unwritable output file is a usage error (exit 1), not a crash:
@@ -61,7 +61,7 @@ An unknown algorithm is a usage error (exit 2) listing the registered names:
   atbt: unknown algorithm bogus (valid for active-slotted: cascade|exact|ilp|lp-bound|minimal|rounding|unit; see atbt --list-solvers)
   [2]
   $ atbt busy jobs.txt -g 2 --algorithm bogus --format json
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"busy","algorithm":"bogus","instance":{"digest":"fnv1a64:d79faffbc9104bcb","kind":"busy","jobs":5,"g":2},"status":"usage-error","exit":2,"message":"unknown algorithm bogus (valid for busy-interval: auto|cascade|clique-greedy|exact|first-fit|greedy-tracking|kumar-rudra|laminar|online-bucketed|online-first-fit|proper-clique|proper-greedy|two-approx; see atbt --list-solvers)","cost":null,"bounds":null,"provenance":null,"counters":{},"spans":[]}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"busy","algorithm":"bogus","instance":{"digest":"fnv1a64:d79faffbc9104bcb","kind":"busy","jobs":5,"g":2},"status":"usage-error","exit":2,"message":"unknown algorithm bogus (valid for busy-interval: auto|cascade|clique-greedy|exact|first-fit|greedy-tracking|kumar-rudra|laminar|online-bucketed|online-first-fit|proper-clique|proper-greedy|two-approx; see atbt --list-solvers)","cost":null,"bounds":null,"provenance":null,"counters":{},"spans":[]}
   [2]
 
 LP-backed solvers take --lp-engine to pick a registered simplex engine;
@@ -95,4 +95,4 @@ that did parse:
   atbt: broken.txt:3: jobs need four fields: id release deadline length
   [1]
   $ atbt busy broken.txt -g 2 --format json
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"busy","algorithm":"greedy-tracking","instance":{"digest":"fnv1a64:d7b988d9f78c9e0f","kind":"busy","jobs":2,"g":2},"status":"ok","exit":0,"message":null,"warnings":[{"line":3,"message":"jobs need four fields: id release deadline length"}],"cost":"10","bounds":{"mass":"10","span":"10","demand_profile":"10"},"provenance":null,"counters":{"busy.greedy_tracking.tracks":2},"spans":[{"name":"busy.greedy_tracking","ticks":2,"children":[]}]}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"busy","algorithm":"greedy-tracking","instance":{"digest":"fnv1a64:d7b988d9f78c9e0f","kind":"busy","jobs":2,"g":2},"status":"ok","exit":0,"message":null,"warnings":[{"line":3,"message":"jobs need four fields: id release deadline length"}],"cost":"10","bounds":{"mass":"10","span":"10","demand_profile":"10"},"provenance":null,"counters":{"busy.greedy_tracking.tracks":2},"spans":[{"name":"busy.greedy_tracking","ticks":2,"children":[]}]}

@@ -12,11 +12,11 @@ byte-deterministic.
   > {"instance": 42}
   > EOF
   $ atbt serve < req.jsonl
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"serve","id":0,"status":"ok","algorithm":"cascade","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":2,"message":null,"provenance":{"winner":"exact","attempts":[{"tier":"exact","ticks":1,"status":"answered"}],"cost":2,"mass-bound":2,"gap":0},"cache":"miss","ticks":1}
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"serve","id":1,"status":"error","algorithm":null,"instance":null,"cost":null,"message":"request is not valid JSON: at offset 0: expected true","provenance":null,"cache":null,"ticks":0}
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"serve","id":"busy-1","status":"ok","algorithm":"first-fit","instance":{"digest":"fnv1a64:d7b988d9f78c9e0f","kind":"busy","jobs":2,"g":2},"cost":"10","message":null,"provenance":null,"cache":"miss","ticks":0}
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"serve","id":3,"status":"ok","algorithm":"cascade","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":2,"message":null,"provenance":{"winner":"exact","attempts":[{"tier":"exact","ticks":1,"status":"answered"}],"cost":2,"mass-bound":2,"gap":0},"cache":"hit","ticks":1}
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"serve","id":4,"status":"error","algorithm":null,"instance":null,"cost":null,"message":"field \"instance\" must be a string","provenance":null,"cache":null,"ticks":0}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"serve","id":0,"status":"ok","algorithm":"cascade","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":2,"message":null,"provenance":{"winner":"exact","attempts":[{"tier":"exact","ticks":1,"status":"answered"}],"cost":2,"mass-bound":2,"gap":0},"cache":"miss","ticks":1}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"serve","id":1,"status":"error","algorithm":null,"instance":null,"cost":null,"message":"request is not valid JSON: at offset 0: expected true","provenance":null,"cache":null,"ticks":0}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"serve","id":"busy-1","status":"ok","algorithm":"first-fit","instance":{"digest":"fnv1a64:d7b988d9f78c9e0f","kind":"busy","jobs":2,"g":2},"cost":"10","message":null,"provenance":null,"cache":"miss","ticks":0}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"serve","id":3,"status":"ok","algorithm":"cascade","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":2,"message":null,"provenance":{"winner":"exact","attempts":[{"tier":"exact","ticks":1,"status":"answered"}],"cost":2,"mass-bound":2,"gap":0},"cache":"hit","ticks":1}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"serve","id":4,"status":"error","algorithm":null,"instance":null,"cost":null,"message":"field \"instance\" must be a string","provenance":null,"cache":null,"ticks":0}
 
 Note line 4 replays line 1's answer from the memo cache ("cache":"hit")
 and the explicit "id" on line 3 is echoed verbatim.
@@ -26,11 +26,11 @@ still answered (structured errors) and the daemon exits 0 — faults are
 responses, not daemon deaths. The seed makes the run reproducible:
 
   $ atbt serve --inject crash=1.0,seed=3 --cache 0 < req.jsonl
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"serve","id":0,"status":"error","algorithm":"cascade","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":null,"message":"worker fault: injected worker crash","provenance":null,"cache":"miss","ticks":0}
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"serve","id":1,"status":"error","algorithm":null,"instance":null,"cost":null,"message":"request is not valid JSON: at offset 0: expected true","provenance":null,"cache":null,"ticks":0}
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"serve","id":"busy-1","status":"error","algorithm":"first-fit","instance":{"digest":"fnv1a64:d7b988d9f78c9e0f","kind":"busy","jobs":2,"g":2},"cost":null,"message":"worker fault: injected worker crash","provenance":null,"cache":"miss","ticks":0}
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"serve","id":3,"status":"error","algorithm":"cascade","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":null,"message":"worker fault: injected worker crash","provenance":null,"cache":"miss","ticks":0}
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"serve","id":4,"status":"error","algorithm":null,"instance":null,"cost":null,"message":"field \"instance\" must be a string","provenance":null,"cache":null,"ticks":0}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"serve","id":0,"status":"error","algorithm":"cascade","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":null,"message":"worker fault: injected worker crash","provenance":null,"cache":"miss","ticks":0}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"serve","id":1,"status":"error","algorithm":null,"instance":null,"cost":null,"message":"request is not valid JSON: at offset 0: expected true","provenance":null,"cache":null,"ticks":0}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"serve","id":"busy-1","status":"error","algorithm":"first-fit","instance":{"digest":"fnv1a64:d7b988d9f78c9e0f","kind":"busy","jobs":2,"g":2},"cost":null,"message":"worker fault: injected worker crash","provenance":null,"cache":"miss","ticks":0}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"serve","id":3,"status":"error","algorithm":"cascade","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":null,"message":"worker fault: injected worker crash","provenance":null,"cache":"miss","ticks":0}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"serve","id":4,"status":"error","algorithm":null,"instance":null,"cost":null,"message":"field \"instance\" must be a string","provenance":null,"cache":null,"ticks":0}
 
 The "lp_engine" field selects a registered simplex engine for LP-backed
 solvers. It is canonicalized into the solver params (overriding any
@@ -45,10 +45,27 @@ error listing the registered names:
   > {"instance": "slotted\ng 2\njob 0 0 4 2\njob 1 0 4 2\n", "lp_engine": "bogus"}
   > EOF
   $ atbt serve < lp.jsonl
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"serve","id":0,"status":"ok","algorithm":"lp-bound","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":"2","message":null,"provenance":null,"cache":"miss","ticks":11}
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"serve","id":1,"status":"ok","algorithm":"lp-bound","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":"2","message":null,"provenance":null,"cache":"hit","ticks":11}
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"serve","id":2,"status":"ok","algorithm":"lp-bound","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":"2","message":null,"provenance":null,"cache":"hit","ticks":11}
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"serve","id":3,"status":"error","algorithm":null,"instance":null,"cost":null,"message":"unknown lp_engine \"bogus\" (dense|float|revised|sparse)","provenance":null,"cache":null,"ticks":0}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"serve","id":0,"status":"ok","algorithm":"lp-bound","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":"2","message":null,"provenance":null,"cache":"miss","ticks":11}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"serve","id":1,"status":"ok","algorithm":"lp-bound","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":"2","message":null,"provenance":null,"cache":"hit","ticks":11}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"serve","id":2,"status":"ok","algorithm":"lp-bound","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":"2","message":null,"provenance":null,"cache":"hit","ticks":11}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"serve","id":3,"status":"error","algorithm":null,"instance":null,"cost":null,"message":"unknown lp_engine \"bogus\" (dense|float|revised|sparse)","provenance":null,"cache":null,"ticks":0}
+
+The "lp_pricing" field selects the simplex pricing policy the same way
+(sugar for params.pricing, canonicalized into the memo key): the two
+spellings below share one cached answer, a different policy is a
+distinct key solved fresh, and an unknown policy is a structured error:
+
+  $ cat > pricing.jsonl <<'EOF'
+  > {"instance": "slotted\ng 2\njob 0 0 4 2\njob 1 0 4 2\n", "algorithm": "lp-bound", "lp_pricing": "devex"}
+  > {"instance": "slotted\ng 2\njob 0 0 4 2\njob 1 0 4 2\n", "algorithm": "lp-bound", "params": {"pricing": "devex"}}
+  > {"instance": "slotted\ng 2\njob 0 0 4 2\njob 1 0 4 2\n", "algorithm": "lp-bound", "lp_pricing": "partial"}
+  > {"instance": "slotted\ng 2\njob 0 0 4 2\njob 1 0 4 2\n", "lp_pricing": "bogus"}
+  > EOF
+  $ atbt serve < pricing.jsonl
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"serve","id":0,"status":"ok","algorithm":"lp-bound","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":"2","message":null,"provenance":null,"cache":"miss","ticks":11}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"serve","id":1,"status":"ok","algorithm":"lp-bound","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":"2","message":null,"provenance":null,"cache":"hit","ticks":11}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"serve","id":2,"status":"ok","algorithm":"lp-bound","instance":{"digest":"fnv1a64:c2079638ed31cca2","kind":"slotted","jobs":2,"g":2},"cost":"2","message":null,"provenance":null,"cache":"miss","ticks":0}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"serve","id":3,"status":"error","algorithm":null,"instance":null,"cost":null,"message":"unknown lp_pricing \"bogus\" (dantzig|devex|partial)","provenance":null,"cache":null,"ticks":0}
 
 An unparseable inject spec is a usage error, before any request is read:
 

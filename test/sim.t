@@ -66,7 +66,7 @@ JSON mode emits one schema-1 document carrying the per-epoch telemetry,
 the totals and the replay, plus the session counters:
 
   $ atbt sim trace.txt --format json
-  {"schema":1,"tool":"atbt","version":"1.9.0","command":"sim","status":"ok","exit":0,"instance":{"digest":"fnv1a64:f0a475ae63ec7a2e","kind":"slotted","jobs":3,"horizon":8,"g":2},"kind":"rolling","g":2,"jobs":3,"epoch_len":4,"algorithm":"cascade","warm":true,"epochs":[{"index":0,"now":0,"arrived":2,"window_jobs":2,"opened":[1,2],"energy":2,"work":4,"completed":2,"sla_misses":0,"feasible":true,"lower_bound":"5","ticks":1,"lp_work":390,"warm_hits":0,"degraded":false,"provenance":{"winner":"exact","attempts":[{"tier":"exact","ticks":1,"status":"answered"}],"cost":2,"mass-bound":2,"gap":0}},{"index":1,"now":4,"arrived":3,"window_jobs":1,"opened":[5,6,7],"energy":3,"work":3,"completed":1,"sla_misses":0,"feasible":true,"lower_bound":"5","ticks":13,"lp_work":95,"warm_hits":3,"degraded":false,"provenance":{"winner":"exact","attempts":[{"tier":"exact","ticks":13,"status":"answered"}],"cost":3,"mass-bound":2,"gap":1}}],"totals":{"epochs":2,"energy":5,"work":7,"completed":3,"sla_misses":0,"degraded_epochs":0},"open_slots":[1,2,5,6,7],"replay":{"energy":"5","switch_ons":2,"peak_parallelism":2,"utilization":"7/10","violations":[]},"counters":{"active.exact.flow_checks":11,"active.exact.nodes":14,"active.minimal.closures":7,"active.minimal.feasibility_checks":14,"active.oracle.builds":5,"active.oracle.checks":27,"active.oracle.job_toggles":3,"active.oracle.slot_toggles":38,"cascade.attempts":2,"cascade.ticks":14,"flow.augment_calls":27,"flow.augmentations":42,"flow.bfs_rounds":21,"flow.drained_units":25,"flow.drains":21,"lp.bound_flips":3,"lp.degenerate_pivots":12,"lp.eta_updates":17,"lp.exact_cells":485,"lp.fill_nonzeros":94,"lp.phase1_pivots":16,"lp.pivots":16,"lp.refactorizations":2,"lp.solves":2,"lp.warm_starts":1,"session.solves":2,"session.warm_hits":2,"session.warm_misses":2,"sim.energy":5,"sim.epochs":2,"sim.work":7}}
+  {"schema":1,"tool":"atbt","version":"1.10.0","command":"sim","status":"ok","exit":0,"instance":{"digest":"fnv1a64:f0a475ae63ec7a2e","kind":"slotted","jobs":3,"horizon":8,"g":2},"kind":"rolling","g":2,"jobs":3,"epoch_len":4,"algorithm":"cascade","warm":true,"epochs":[{"index":0,"now":0,"arrived":2,"window_jobs":2,"opened":[1,2],"energy":2,"work":4,"completed":2,"sla_misses":0,"feasible":true,"lower_bound":"5","ticks":1,"lp_work":390,"warm_hits":0,"degraded":false,"provenance":{"winner":"exact","attempts":[{"tier":"exact","ticks":1,"status":"answered"}],"cost":2,"mass-bound":2,"gap":0}},{"index":1,"now":4,"arrived":3,"window_jobs":1,"opened":[5,6,7],"energy":3,"work":3,"completed":1,"sla_misses":0,"feasible":true,"lower_bound":"5","ticks":13,"lp_work":95,"warm_hits":3,"degraded":false,"provenance":{"winner":"exact","attempts":[{"tier":"exact","ticks":13,"status":"answered"}],"cost":3,"mass-bound":2,"gap":1}}],"totals":{"epochs":2,"energy":5,"work":7,"completed":3,"sla_misses":0,"degraded_epochs":0},"open_slots":[1,2,5,6,7],"replay":{"energy":"5","switch_ons":2,"peak_parallelism":2,"utilization":"7/10","violations":[]},"counters":{"active.exact.flow_checks":11,"active.exact.nodes":14,"active.minimal.closures":7,"active.minimal.feasibility_checks":14,"active.oracle.builds":5,"active.oracle.checks":27,"active.oracle.job_toggles":3,"active.oracle.slot_toggles":38,"cascade.attempts":2,"cascade.ticks":14,"flow.augment_calls":27,"flow.augmentations":42,"flow.bfs_rounds":21,"flow.drained_units":25,"flow.drains":21,"lp.bound_flips":3,"lp.degenerate_pivots":12,"lp.eta_updates":17,"lp.exact_cells":485,"lp.fill_nonzeros":94,"lp.phase1_pivots":16,"lp.pivots":16,"lp.priced_columns":548,"lp.refactorizations":2,"lp.solves":2,"lp.warm_starts":1,"session.solves":2,"session.warm_hits":2,"session.warm_misses":2,"sim.energy":5,"sim.epochs":2,"sim.work":7}}
 
 The SVG strip writes one lane per epoch plus the cumulative band:
 
@@ -80,6 +80,17 @@ The SVG strip writes one lane per epoch plus the cumulative band:
   $ grep -c "</svg>" epochs.svg
   1
 
+--lp-pricing selects the simplex pricing policy for every LP inside the
+loop (the window re-solves and the pinned LP1 bound); pricing never
+changes answers, so devex commits the identical schedule:
+
+  $ atbt sim trace.txt --lp-pricing devex
+  rolling: g=2 jobs=3 epoch-len=4 algorithm=cascade warm
+  epoch 0 now=0: arrived=2 window=2 opened={1,2} work=4 done=2 miss=0 feasible bound=5 warm=0
+  epoch 1 now=4: arrived=3 window=1 opened={5,6,7} work=3 done=1 miss=0 feasible bound=5 warm=3
+  total: energy=5 work=7 completed=3/3 misses=0
+  replay: energy=5 utilization=7/10 ok
+
 Flag validation:
 
   $ atbt sim trace.txt --epoch-len 0
@@ -87,4 +98,7 @@ Flag validation:
   [1]
   $ atbt sim trace.txt --algorithm no-such-solver
   atbt: unknown algorithm no-such-solver for active-slotted instances (valid: cascade|exact|ilp|lp-bound|minimal|rounding|unit)
+  [2]
+  $ atbt sim trace.txt --lp-pricing no-such-policy
+  atbt: unknown LP pricing no-such-policy (valid: dantzig|devex|partial; see atbt --list-solvers)
   [2]

@@ -473,7 +473,7 @@ let prop_eta_refactor_equiv =
   QCheck.Test.make ~name:"eta cap 1 = eta cap 64 (same pivots, same answer)" ~count:300 any_arb
     (fun l ->
       let m, _ = build_any l in
-      let every = Lp.solve ~engine:(Lp.Sparse_with { Lp.sparse_eta_cap = 1 }) m in
+      let every = Lp.solve ~engine:(Lp.Sparse_with { Lp.default_sparse_config with sparse_eta_cap = 1 }) m in
       let batched = Lp.solve ~engine:Lp.Sparse m in
       match (every, batched) with
       | Lp.Optimal a, Lp.Optimal b ->
@@ -482,6 +482,32 @@ let prop_eta_refactor_equiv =
       | Lp.Infeasible, Lp.Infeasible -> true
       | Lp.Unbounded, Lp.Unbounded -> true
       | _ -> false)
+
+(* Pricing policy is pure column selection: Dantzig, candidate-list
+   partial and devex must agree on status and objective (the vertex and
+   pivot sequence may differ), over both the exact sparse driver and the
+   float-certified path — whose results are exact either way, via
+   certification or the exact fallback. *)
+let prop_pricing_policies_agree =
+  QCheck.Test.make ~name:"pricing policies agree (status + objective, exact + float)"
+    ~count:400 any_arb (fun l ->
+      let m, vars = build_any l in
+      let baseline = Lp.solve ~engine:Lp.Sparse m in
+      List.for_all
+        (fun engine ->
+          List.for_all
+            (fun name ->
+              let pricing = Option.get (Lp.pricing_of_name name) in
+              match (baseline, Lp.solve ~engine ~pricing m) with
+              | Lp.Optimal a, Lp.Optimal b ->
+                  Q.equal (Lp.objective_value a) (Lp.objective_value b)
+                  && any_feasible l (Array.map (Lp.value b) vars)
+                  && any_feasible l (Array.map (Lp.value a) vars)
+              | Lp.Infeasible, Lp.Infeasible -> true
+              | Lp.Unbounded, Lp.Unbounded -> true
+              | _ -> false)
+            (Lp.pricing_names ()))
+        [ Lp.Sparse; Lp.Float_certified ])
 
 let test_warm_start_counters () =
   (* tightening a bound of an optimal basis: the warm re-solve reuses it
@@ -542,7 +568,7 @@ let test_engine_registry () =
            let description = "dup"
            let selector = Lp.Revised
            let handles _ = false
-           let solve ~engine:_ ~rule:_ ~warm:_ ~budget:_ ~obs:_ _ = Lp.Infeasible
+           let solve ~engine:_ ~rule:_ ~pricing:_ ~warm:_ ~budget:_ ~obs:_ _ = Lp.Infeasible
          end)
      with
     | exception Invalid_argument _ -> true
@@ -676,7 +702,7 @@ let test_sparse_golden_counters () =
   let obs1 = Obs.create () in
   let s1 =
     get_solution
-      (Lp.solve ~engine:(Lp.Sparse_with { Lp.sparse_eta_cap = 1 }) ~obs:obs1 (build ()))
+      (Lp.solve ~engine:(Lp.Sparse_with { Lp.default_sparse_config with sparse_eta_cap = 1 }) ~obs:obs1 (build ()))
   in
   Alcotest.(check int) "same pivots under eta cap 1" (Lp.pivots s) (Lp.pivots s1);
   let counter1 name = try List.assoc name (Obs.counters obs1) with Not_found -> 0 in
@@ -762,20 +788,26 @@ let test_basis_cache_eviction () =
       let misses = Lp.Basis_cache.misses cache in
       ignore (get_solution (Lp.solve (cache_model 1)));
       Alcotest.(check int) "evicted shape misses" (misses + 1) (Lp.Basis_cache.misses cache);
-      (* capacity 0: lookups counted, nothing ever stored *)
+      (* capacity 0 means disabled: stores and lookups are no-ops, and
+         unlike the pre-1.10 behaviour lookups are not even counted *)
       let off = Lp.Basis_cache.create ~capacity:0 in
       Lp.install_basis_cache (Some off);
       ignore (get_solution (Lp.solve (cache_model 0)));
       ignore (get_solution (Lp.solve (cache_model 0)));
       Alcotest.(check int) "capacity 0 stores nothing" 0 (Lp.Basis_cache.size off);
       Alcotest.(check int) "capacity 0 never hits" 0 (Lp.Basis_cache.hits off);
-      Alcotest.(check int) "capacity 0 counts misses" 2 (Lp.Basis_cache.misses off))
+      Alcotest.(check int) "capacity 0 counts no misses" 0 (Lp.Basis_cache.misses off);
+      (* the serve spelling of "disabled": --basis-cache 0 creates no
+         cache at all on the session *)
+      let s = Core.Session.create ~name:"no-cache" ~basis_cache:0 () in
+      Alcotest.(check bool) "session basis_cache 0 holds no cache" true
+        (Core.Session.basis_cache s = None))
 
 let props =
   List.map QCheck_alcotest.to_alcotest
     [ prop_solution_feasible; prop_no_sample_beats_optimum; prop_strong_duality;
       prop_engines_agree; prop_warm_matches_cold; prop_sparse_matches_revised;
-      prop_eta_refactor_equiv ]
+      prop_eta_refactor_equiv; prop_pricing_policies_agree ]
 
 let () =
   Alcotest.run "lp"
